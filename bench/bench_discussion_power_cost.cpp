@@ -1,0 +1,64 @@
+// Section 7 discussion quantified: power efficiency, vertical-scaling
+// cost, and the section 2.4 memory-parallelism comparison.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "perf/calibration.hpp"
+#include "perf/model.hpp"
+
+int main() {
+  using namespace ps;
+  bench::print_header("Section 7 discussion", "power, cost, and memory-parallelism numbers");
+
+  // --- power efficiency (measured wall numbers quoted by the paper) ------
+  std::printf("power draw (paper's measurements):\n");
+  std::printf("  full load, 2 GPUs: %.0f W   | without GPUs: %.0f W  (+%.0f%%)\n",
+              perf::kPowerFullLoadWithGpuW, perf::kPowerFullLoadNoGpuW,
+              (perf::kPowerFullLoadWithGpuW / perf::kPowerFullLoadNoGpuW - 1) * 100);
+  std::printf("  idle,      2 GPUs: %.0f W   | without GPUs: %.0f W\n",
+              perf::kPowerIdleWithGpuW, perf::kPowerIdleNoGpuW);
+
+  // Efficiency with this repo's Figure 11(b) results (IPv6, 64 B).
+  const double gpu_gbps = 36.2, cpu_gbps = 7.9;
+  const double gpu_eff = gpu_gbps / perf::kPowerFullLoadWithGpuW * 1000;
+  const double cpu_eff = cpu_gbps / perf::kPowerFullLoadNoGpuW * 1000;
+  std::printf("\nIPv6 forwarding efficiency (our Figure 11(b) @64 B):\n");
+  std::printf("  CPU+GPU: %.1f Mbps/W    CPU-only: %.1f Mbps/W    (%.1fx better with GPUs)\n",
+              gpu_eff, cpu_eff, gpu_eff / cpu_eff);
+
+  // --- vertical scaling cost (paper's June-2010 prices) -------------------
+  std::printf("\nCPU price per gigahertz (paper's price survey):\n");
+  struct Row {
+    const char* machine;
+    const char* cpu;
+    double price, ghz;
+  };
+  const Row rows[] = {
+      {"single-socket", "Core i7 920 (2.66 GHz, 4C)", 240, 2.66 * 4},
+      {"dual-socket", "Xeon X5550 (2.66 GHz, 4C)", 925, 2.66 * 4},
+      {"quad-socket", "Xeon E7540 (2.00 GHz, 6C)", 2190, 2.00 * 6},
+  };
+  for (const auto& row : rows) {
+    std::printf("  %-14s %-28s $%-5.0f -> $%.0f/GHz\n", row.machine, row.cpu, row.price,
+                row.price / row.ghz);
+  }
+  std::printf("  vs. a GPU: $50-500 into a free PCIe slot; at our measured IPv6 gain\n");
+  std::printf("  (+%.1f Gbps for 2x $500), that is $%.0f per added Gbps.\n",
+              gpu_gbps - cpu_gbps, 1000.0 / (gpu_gbps - cpu_gbps));
+
+  // --- section 2.4 memory parallelism -------------------------------------
+  std::printf("\nmemory-level parallelism (section 2.4 microbenchmark):\n");
+  std::printf("  X5550 core, optimal:      %d outstanding misses\n", perf::kCpuMlpSingleCore);
+  std::printf("  X5550 core, all 4 bursting: %d outstanding misses\n", perf::kCpuMlpAllCores);
+  std::printf("  GTX480: up to %d resident warps/SM x %d SMs hide the ~%.0f-cycle latency\n",
+              perf::kGpuMaxWarpsPerSm, perf::kGpuSmCount, perf::kGpuMemLatencyCycles);
+  std::printf("  memory bandwidth: %.1f GB/s (GTX480) vs 32 GB/s (X5550)\n",
+              perf::kGpuMemBytesPerSec / 1e9);
+
+  bench::print_comparisons({
+      {"full-load power increase with GPUs (%)", 68.0,
+       (perf::kPowerFullLoadWithGpuW / perf::kPowerFullLoadNoGpuW - 1) * 100},
+      {"GPU memory bandwidth advantage (x)", 177.4 / 32.0, perf::kGpuMemBytesPerSec / 32e9},
+  });
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Section 7, "horizontal scaling": when one box is not enough, cluster
+// PacketShader nodes with Valiant Load Balancing, as RouteBricks does.
+//
+// Under direct VLB over a full mesh of N nodes, each node spends up to
+// half its internal capacity forwarding other nodes' traffic, so a node
+// with internal capacity C contributes ~C/2 of external port capacity;
+// RouteBricks' RB4 (4 nodes x 8.7 Gbps internal, 64 B) delivers ~8.7 Gbps
+// of external capacity per... — the quantitative point the paper makes is
+// simpler: one PacketShader box (39 Gbps IPv4 @64 B) replaces the whole
+// RB4 cluster (35 Gbps aggregate from 4 machines) with headroom.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace ps;
+  bench::print_header("Section 7 discussion", "horizontal scaling with Valiant Load Balancing");
+
+  const double packetshader_node = 39.0;  // our Figure 11(a)-class capacity, 64 B IPv4
+  const double routebricks_node = 8.7;    // the paper's normalized RB number, 64 B
+
+  std::printf("single-node IPv4 capacity @64 B: PacketShader %.1f Gbps, RouteBricks %.1f Gbps\n",
+              packetshader_node, routebricks_node);
+  std::printf("=> one PacketShader box replaces RB4 (4 RouteBricks machines, ~%.0f Gbps)\n\n",
+              4 * routebricks_node);
+
+  std::printf("direct-VLB cluster external capacity (each node gives up to half its\n");
+  std::printf("internal capacity to transit traffic in the worst case):\n");
+  std::printf("%8s %22s %22s\n", "nodes", "PacketShader cluster", "RouteBricks cluster");
+  for (const int n : {1, 2, 4, 8, 16}) {
+    const double ps_cluster = n == 1 ? packetshader_node : n * packetshader_node / 2.0;
+    const double rb_cluster = n == 1 ? routebricks_node : n * routebricks_node / 2.0;
+    std::printf("%8d %18.1f Gbps %18.1f Gbps\n", n, ps_cluster, rb_cluster);
+  }
+
+  bench::print_comparisons({
+      {"PacketShader vs RouteBricks per node (x)", 4.0, packetshader_node / routebricks_node},
+      {"nodes to replace RB4's ~35 Gbps", 1.0, 35.0 / packetshader_node <= 1.0 ? 1.0 : 2.0},
+  });
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 5: effect of the I/O batch size with a single CPU core and two
+// 10 GbE ports, 64 B packets. RX, TX, and minimal forwarding (RX+TX)
+// series. Paper anchors: forwarding 0.78 Gbps at batch 1, 10.5 Gbps at
+// batch 64 (13.5x), gains stalling past 32.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/model_driver.hpp"
+
+namespace {
+
+double run_mode(ps::u32 batch, ps::core::ModelDriver::IoMode mode) {
+  using namespace ps;
+  core::TestbedConfig cfg{.topo = pcie::Topology::single_node(),
+                          .use_gpu = false,
+                          .ring_size = 4096};
+  core::RouterConfig rcfg{.use_gpu = false, .chunk_capacity = batch};
+  core::Testbed testbed(cfg, rcfg);
+  gen::TrafficGen traffic({.frame_size = 64, .seed = 5});
+  testbed.connect_sink(&traffic);
+  core::ModelDriver driver(testbed, nullptr, rcfg);
+  driver.set_active_workers(1);
+  driver.set_io_mode(mode);
+  const auto result = driver.run(traffic, 60'000);
+  return mode == core::ModelDriver::IoMode::kRxOnly ? result.input_gbps : result.output_gbps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ps;
+  bench::print_header("Figure 5",
+                      "batched packet I/O, one core, two ports, 64 B packets (Gbps)");
+
+  std::printf("%8s %10s %10s %14s\n", "batch", "RX", "TX", "forward");
+  double fwd1 = 0, fwd64 = 0;
+  for (const u32 batch : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const double rx = run_mode(batch, core::ModelDriver::IoMode::kRxOnly);
+    const double tx = run_mode(batch, core::ModelDriver::IoMode::kTxOnly);
+    const double fwd = run_mode(batch, core::ModelDriver::IoMode::kForward);
+    std::printf("%8u %10.2f %10.2f %14.2f\n", batch, rx, tx, fwd);
+    if (batch == 1) fwd1 = fwd;
+    if (batch == 64) fwd64 = fwd;
+  }
+
+  bench::print_comparisons({
+      {"forwarding @batch=1 (Gbps)", 0.78, fwd1},
+      {"forwarding @batch=64 (Gbps)", 10.5, fwd64},
+      {"speedup from batching", 13.5, fwd64 / fwd1},
+  });
+  return 0;
+}

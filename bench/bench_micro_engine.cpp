@@ -1,0 +1,90 @@
+// Host wall-clock microbenchmarks of the I/O-engine building blocks
+// (google-benchmark): rings, chunk copies, NIC RX/TX path, packet parse.
+#include <benchmark/benchmark.h>
+
+#include "core/testbed.hpp"
+#include "gen/traffic.hpp"
+#include "common/spsc_ring.hpp"
+#include "iengine/chunk.hpp"
+#include "iengine/engine.hpp"
+
+namespace {
+
+using namespace ps;
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  SpscRing<u64> ring(1024);
+  u64 v = 0;
+  for (auto _ : state) {
+    ring.push(v++);
+    benchmark::DoNotOptimize(ring.pop());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+void BM_ChunkAppend(benchmark::State& state) {
+  iengine::PacketChunk chunk(256);
+  std::vector<u8> frame(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    if (chunk.count() == chunk.max_packets()) chunk.clear();
+    benchmark::DoNotOptimize(chunk.append(frame));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ChunkAppend)->Arg(64)->Arg(1514);
+
+void BM_PacketParse(benchmark::State& state) {
+  net::FrameSpec spec;
+  spec.frame_size = 64;
+  auto frame = net::build_udp_ipv4(spec, net::Ipv4Addr(1, 2, 3, 4), net::Ipv4Addr(5, 6, 7, 8));
+  net::PacketView view;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net::parse_packet(frame.data(), static_cast<u32>(frame.size()), view));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_PacketParse);
+
+void BM_NicRxPath(benchmark::State& state) {
+  nic::NicPort port(0, pcie::Topology::single_node(), {.num_rx_queues = 1, .ring_size = 512});
+  gen::TrafficGen traffic({.frame_size = 64, .seed = 1});
+  const auto frame = traffic.next_frame();
+  nic::RxSlot slot;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(port.receive_frame(frame));
+    port.rx_peek(0, &slot, 1);
+    port.rx_release(0, 1);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_NicRxPath);
+
+void BM_EngineRecvSendRoundTrip(benchmark::State& state) {
+  core::TestbedConfig cfg{.topo = pcie::Topology::single_node(),
+                          .use_gpu = false,
+                          .ring_size = 4096};
+  core::Testbed testbed(cfg, core::RouterConfig{.use_gpu = false});
+  for (auto* port : testbed.ports()) port->configure_rss(0, 1);
+  gen::TrafficGen traffic({.frame_size = 64, .seed = 2});
+  testbed.connect_sink(&traffic);
+  auto* handle = testbed.engine().attach(0, {{0, 0}, {1, 0}});
+
+  iengine::PacketChunk chunk(64);
+  const i64 batch = state.range(0);
+  for (auto _ : state) {
+    for (i64 i = 0; i < batch; ++i) {
+      testbed.port(0).receive_frame(traffic.next_frame());
+    }
+    handle->recv_chunk(chunk);
+    for (u32 i = 0; i < chunk.count(); ++i) chunk.set_out_port(i, 1);
+    handle->send_chunk(chunk);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * batch);
+}
+BENCHMARK(BM_EngineRecvSendRoundTrip)->Arg(1)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// Host wall-clock microbenchmarks of the lookup structures and hashes
+// (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "nic/rss.hpp"
+#include "openflow/flow.hpp"
+#include "openflow/switch_table.hpp"
+#include "route/ipv4_table.hpp"
+#include "route/ipv6_table.hpp"
+#include "route/rib_gen.hpp"
+
+namespace {
+
+using namespace ps;
+
+void BM_Ipv4Lookup(benchmark::State& state) {
+  static const auto rib = route::generate_ipv4_rib({});  // paper scale
+  static route::Ipv4Table table = [] {
+    route::Ipv4Table t;
+    t.build(rib);
+    return t;
+  }();
+
+  Rng rng(1);
+  std::vector<u32> addrs(4096);
+  for (auto& a : addrs) a = rng.next_u32();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(net::Ipv4Addr(addrs[i++ & 4095])));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_Ipv4Lookup);
+
+void BM_Ipv6Lookup(benchmark::State& state) {
+  static const auto rib = route::generate_ipv6_rib(route::kPaperIpv6PrefixCount, 8, 2010);
+  static route::Ipv6Table table = [] {
+    route::Ipv6Table t;
+    t.build(rib);
+    return t;
+  }();
+
+  Rng rng(2);
+  std::vector<net::Ipv6Addr> addrs(4096);
+  for (auto& a : addrs) a = net::Ipv6Addr::from_words(rng.next_u64(), rng.next_u64());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(addrs[i++ & 4095]));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_Ipv6Lookup);
+
+void BM_Ipv6FlatLookup(benchmark::State& state) {
+  static const auto rib = route::generate_ipv6_rib(route::kPaperIpv6PrefixCount, 8, 2010);
+  static const route::Ipv6FlatTable flat = [] {
+    route::Ipv6Table t;
+    t.build(rib);
+    return t.flatten();
+  }();
+
+  Rng rng(3);
+  std::vector<net::Ipv6Addr> addrs(4096);
+  for (auto& a : addrs) a = net::Ipv6Addr::from_words(rng.next_u64(), rng.next_u64());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flat.lookup(addrs[i++ & 4095]));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_Ipv6FlatLookup);
+
+void BM_ToeplitzRss(benchmark::State& state) {
+  net::FrameSpec spec;
+  auto frame = net::build_udp_ipv4(spec, net::Ipv4Addr(10, 1, 2, 3), net::Ipv4Addr(10, 4, 5, 6));
+  net::PacketView view;
+  (void)net::parse_packet(frame.data(), static_cast<u32>(frame.size()), view);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nic::rss_hash(view));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_ToeplitzRss);
+
+void BM_FlowKeyHash(benchmark::State& state) {
+  openflow::FlowKey key;
+  key.nw_src = 0x12345678;
+  key.tp_dst = 80;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(openflow::flow_key_hash(key));
+    key.nw_dst++;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_FlowKeyHash);
+
+void BM_ExactMatchLookup(benchmark::State& state) {
+  static openflow::ExactMatchTable table = [] {
+    openflow::ExactMatchTable t(32768);
+    Rng rng(4);
+    for (int i = 0; i < 32768; ++i) {
+      openflow::FlowKey key;
+      key.nw_src = rng.next_u32();
+      key.nw_dst = rng.next_u32();
+      key.tp_src = static_cast<u16>(rng.next_u32());
+      t.insert(key, openflow::Action::output(1));
+    }
+    return t;
+  }();
+
+  Rng rng(5);
+  openflow::FlowKey probe;
+  for (auto _ : state) {
+    probe.nw_src = rng.next_u32();
+    benchmark::DoNotOptimize(table.lookup(probe));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_ExactMatchLookup);
+
+void BM_WildcardScan(benchmark::State& state) {
+  openflow::WildcardTable table;
+  Rng rng(6);
+  for (i64 i = 0; i < state.range(0); ++i) {
+    openflow::WildcardMatch m;
+    m.wildcards = openflow::kWildAll & ~openflow::kWildTpDst;
+    m.key.tp_dst = static_cast<u16>(rng.next_u32());
+    m.priority = static_cast<u16>(i);
+    table.insert(m, openflow::Action::drop());
+  }
+  openflow::FlowKey probe;
+  probe.tp_dst = 1;  // most probes scan the full table
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(probe));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_WildcardScan)->Arg(32)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

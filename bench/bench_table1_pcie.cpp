@@ -1,0 +1,59 @@
+// Table 1: data transfer rate between host and device (MB/s) as a function
+// of buffer size, both directions.
+//
+// Reproduced by timing the simulated device's copies on the model clock;
+// the model was fit to the table's corner points, so mid-table agreement
+// validates the T0 + bytes/BW form.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "gpu/device.hpp"
+#include "perf/model.hpp"
+
+int main() {
+  using namespace ps;
+  bench::print_header("Table 1", "PCIe host<->device transfer rate (MB/s) vs buffer size");
+
+  // Paper's numbers for reference.
+  const u64 sizes[] = {256, 1024, 4096, 16384, 65536, 262144, 1048576};
+  const double paper_h2d[] = {55, 185, 759, 2069, 4046, 5142, 5577};
+  const double paper_d2h[] = {63, 211, 786, 1743, 2848, 3242, 3394};
+
+  // Measure through the actual device object (one blocking copy each) so
+  // the path exercised is the same one the framework uses.
+  pcie::Topology topo = pcie::Topology::paper_server();
+  gpu::GpuDevice device(0, topo, std::make_shared<gpu::SimtExecutor>(0u));
+
+  std::printf("%12s %16s %16s %16s %16s\n", "bytes", "h2d MB/s", "paper h2d", "d2h MB/s",
+              "paper d2h");
+  std::vector<bench::Comparison> cmp;
+  for (std::size_t i = 0; i < std::size(sizes); ++i) {
+    const u64 size = sizes[i];
+    auto buf = device.alloc(size);
+    std::vector<u8> host(size, 0xab);
+
+    device.reset_timeline();
+    const auto h2d = device.memcpy_h2d(buf, 0, host);
+    const double h2d_rate = static_cast<double>(size) / to_seconds(h2d.duration()) / 1e6;
+
+    device.reset_timeline();
+    const auto d2h = device.memcpy_d2h(host, buf, 0);
+    const double d2h_rate = static_cast<double>(size) / to_seconds(d2h.duration()) / 1e6;
+
+    std::printf("%12llu %16.0f %16.0f %16.0f %16.0f\n",
+                static_cast<unsigned long long>(size), h2d_rate, paper_h2d[i], d2h_rate,
+                paper_d2h[i]);
+    if (size == 256 || size == 1048576) {
+      cmp.push_back({"h2d MB/s @" + std::to_string(size) + "B", paper_h2d[i], h2d_rate});
+      cmp.push_back({"d2h MB/s @" + std::to_string(size) + "B", paper_d2h[i], d2h_rate});
+    }
+  }
+  bench::print_comparisons(cmp);
+
+  // The section 2.2 sanity argument: 1 KB of 256 IPv4 addresses at the
+  // 1 KB rate translates to ~48.5 Mpps of lookups per GPU.
+  const double rate_1k = perf::pcie_transfer_rate_mbps(1024, perf::Direction::kHostToDevice);
+  std::printf("\n1KB batch of 256 IPv4 addresses: %.1f MB/s => %.1f Mpps per GPU\n", rate_1k,
+              rate_1k / 4.0);
+  return 0;
+}

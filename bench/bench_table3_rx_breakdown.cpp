@@ -1,0 +1,50 @@
+// Table 3: CPU cycle breakdown of the packet RX process (unmodified ixgbe
+// receiving and dropping 64 B packets), and what remains of each bin after
+// the huge-packet-buffer + batching + prefetch fixes of sections 4.2-4.3.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "mem/skb_model.hpp"
+
+int main() {
+  using namespace ps;
+  bench::print_header("Table 3", "CPU cycle breakdown in packet RX (64 B, receive and drop)");
+
+  const auto skb = mem::skb_rx_breakdown();
+  const auto huge = mem::huge_buffer_rx_breakdown();
+
+  struct Row {
+    const char* bin;
+    double skb_cycles;
+    double huge_cycles;
+    const char* fix;
+  };
+  const Row rows[] = {
+      {"skb initialization", skb.skb_init, huge.skb_init, "compact 8B metadata (s4.2)"},
+      {"skb (de)allocation", skb.alloc_free, huge.alloc_free, "huge packet buffer (s4.2)"},
+      {"memory subsystem", skb.memory_subsystem, huge.memory_subsystem,
+       "huge packet buffer (s4.2)"},
+      {"NIC device driver", skb.nic_driver, huge.nic_driver, "batch processing (s4.3)"},
+      {"others", skb.others, huge.others, "-"},
+      {"compulsory cache misses", skb.compulsory_misses, huge.compulsory_misses,
+       "software prefetch (s4.3)"},
+  };
+
+  std::printf("%-26s %10s %8s %12s %9s   %s\n", "functional bin", "cycles", "share",
+              "fixed cycles", "residual", "our solution");
+  for (const auto& row : rows) {
+    std::printf("%-26s %10.0f %7.1f%% %12.0f %8.1f%%   %s\n", row.bin, row.skb_cycles,
+                row.skb_cycles / skb.total() * 100.0, row.huge_cycles,
+                row.huge_cycles / skb.total() * 100.0, row.fix);
+  }
+  std::printf("%-26s %10.0f %7.1f%% %12.0f %8.1f%%\n", "total", skb.total(), 100.0,
+              huge.total(), huge.total() / skb.total() * 100.0);
+
+  bench::print_comparisons({
+      {"skb-related share of RX cycles (%)", 63.1,
+       (skb.skb_init + skb.alloc_free + skb.memory_subsystem) / skb.total() * 100.0},
+      {"compulsory cache-miss share (%)", 13.8, skb.compulsory_misses / skb.total() * 100.0},
+      {"engine RX cost vs skb path (x cheaper)", 10.0, skb.total() / huge.total()},
+  });
+  return 0;
+}

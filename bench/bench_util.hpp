@@ -1,0 +1,36 @@
+// Shared output helpers for the figure/table reproduction harnesses.
+//
+// Every bench prints (a) the series the paper plots, row by row, and
+// (b) a paper-vs-measured comparison where the paper quotes a number.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ps::bench {
+
+inline void print_header(const std::string& id, const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void print_note(const std::string& note) { std::printf("note: %s\n", note.c_str()); }
+
+struct Comparison {
+  std::string metric;
+  double paper;
+  double measured;
+};
+
+inline void print_comparisons(const std::vector<Comparison>& rows) {
+  std::printf("\n%-44s %12s %12s %8s\n", "paper-quoted metric", "paper", "measured", "ratio");
+  for (const auto& row : rows) {
+    const double ratio = row.paper != 0 ? row.measured / row.paper : 0.0;
+    std::printf("%-44s %12.2f %12.2f %7.2fx\n", row.metric.c_str(), row.paper, row.measured,
+                ratio);
+  }
+}
+
+}  // namespace ps::bench

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Build, test, run every figure/table harness, and save the logs — the
+# full reproduction pipeline in one command.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do [ -f "$b" ] && [ -x "$b" ] && "$b"; done 2>&1 | tee bench_output.txt

@@ -1,0 +1,63 @@
+// Shared pre-shading classification (section 6.2.1): split slow-path and
+// malformed packets out of a chunk before fast-path processing.
+#pragma once
+
+#include "iengine/chunk.hpp"
+#include "net/packet.hpp"
+
+namespace ps::apps {
+
+enum class FastPathClass : u8 {
+  kEligible,   // goes to the lookup fast path
+  kDropped,    // malformed / bad checksum / TTL expired at the wire
+  kSlowPath,   // hand to the host stack (non-matching ethertype etc.)
+};
+
+/// Parse and classify packet `i` of the chunk for an application expecting
+/// `want` at L3; sets the chunk verdict for non-eligible packets and fills
+/// `view` for eligible ones.
+inline FastPathClass classify_l3(iengine::PacketChunk& chunk, u32 i, net::EtherType want,
+                                 net::PacketView& view) {
+  const auto frame = chunk.packet(i);
+  const auto status = net::parse_packet(frame.data(), static_cast<u32>(frame.size()), view);
+
+  if (status == net::ParseStatus::kUnsupported) {
+    chunk.set_verdict(i, iengine::PacketVerdict::kSlowPath);
+    return FastPathClass::kSlowPath;
+  }
+  if (status != net::ParseStatus::kOk) {
+    chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+    return FastPathClass::kDropped;
+  }
+  if (view.ether_type != want) {
+    chunk.set_verdict(i, iengine::PacketVerdict::kSlowPath);
+    return FastPathClass::kSlowPath;
+  }
+
+  // TTL / hop-limit check: expired packets go to the host stack, which
+  // would emit the ICMP Time Exceeded.
+  if (want == net::EtherType::kIpv4 && view.ipv4().ttl <= 1) {
+    chunk.set_verdict(i, iengine::PacketVerdict::kSlowPath);
+    return FastPathClass::kSlowPath;
+  }
+  if (want == net::EtherType::kIpv6 && view.ipv6().hop_limit <= 1) {
+    chunk.set_verdict(i, iengine::PacketVerdict::kSlowPath);
+    return FastPathClass::kSlowPath;
+  }
+  return FastPathClass::kEligible;
+}
+
+/// Destination-address accessors for gathered GPU input. Frames here are
+/// untagged Ethernet (the generator produces none with VLANs), so the L3
+/// header sits at a fixed offset.
+inline u32 chunk_view_dst(const iengine::PacketChunk& chunk, u32 i) {
+  const auto frame = chunk.packet(i);
+  return load_be32(frame.data() + sizeof(net::EthernetHeader) + offsetof(net::Ipv4Header, dst_be));
+}
+
+inline const u8* chunk_view_dst6(const iengine::PacketChunk& chunk, u32 i) {
+  const auto frame = chunk.packet(i);
+  return frame.data() + sizeof(net::EthernetHeader) + offsetof(net::Ipv6Header, dst_bytes);
+}
+
+}  // namespace ps::apps

@@ -1,0 +1,165 @@
+#include "apps/dynamic_ipv4.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "apps/classify.hpp"
+#include "net/checksum.hpp"
+#include "perf/calibration.hpp"
+#include "perf/ledger.hpp"
+
+namespace ps::apps {
+
+DynamicIpv4ForwardApp::DynamicIpv4ForwardApp(route::Ipv4Fib& fib) : fib_(fib) {}
+
+void DynamicIpv4ForwardApp::upload(GpuState& st, int slot, const route::Ipv4Table& table) {
+  const auto tbl24 = table.tbl24();
+  st.device->memcpy_h2d(st.tbl24[slot], 0,
+                        {reinterpret_cast<const u8*>(tbl24.data()), tbl24.size_bytes()});
+  const auto tbl_long = table.tbl_long();
+  assert(tbl_long.size() / route::Ipv4Table::kChunk <= kMaxOverflowChunks);
+  if (!tbl_long.empty()) {
+    st.device->memcpy_h2d(st.tbl_long[slot], 0,
+                          {reinterpret_cast<const u8*>(tbl_long.data()),
+                           tbl_long.size_bytes()});
+  }
+}
+
+void DynamicIpv4ForwardApp::bind_gpu(gpu::GpuDevice& device) {
+  if (gpu_state_.contains(device.gpu_id())) return;
+  auto st = std::make_unique<GpuState>();
+  st->device = &device;
+  for (int slot = 0; slot < 2; ++slot) {
+    st->tbl24[slot] = device.alloc((1u << 24) * sizeof(u16));
+    st->tbl_long[slot] =
+        device.alloc(static_cast<std::size_t>(kMaxOverflowChunks) * route::Ipv4Table::kChunk *
+                     sizeof(u16));
+  }
+  st->input = device.alloc(kMaxBatchItems * sizeof(u32));
+  st->output = device.alloc(kMaxBatchItems * sizeof(u16));
+
+  const auto snapshot = fib_.snapshot();
+  upload(*st, 0, *snapshot);
+  st->generation = fib_.generation();
+  st->active.store(0, std::memory_order_release);
+  gpu_state_.emplace(device.gpu_id(), std::move(st));
+}
+
+int DynamicIpv4ForwardApp::sync() {
+  const u64 generation = fib_.generation();
+  const auto snapshot = fib_.snapshot();
+  int refreshed = 0;
+  for (auto& [id, st] : gpu_state_) {
+    if (st->generation == generation) continue;
+    // Double buffering: write the standby copy, then flip. Masters pick
+    // up the new index at their next shade; in-flight kernels keep
+    // reading the old copy.
+    const int standby = 1 - st->active.load(std::memory_order_acquire);
+    upload(*st, standby, *snapshot);
+    st->active.store(standby, std::memory_order_release);
+    st->generation = generation;
+    ++refreshed;
+  }
+  return refreshed;
+}
+
+void DynamicIpv4ForwardApp::pre_shade(core::ShaderJob& job) {
+  auto& chunk = job.chunk;
+  job.gpu_input.reserve(chunk.count() * sizeof(u32));
+  for (u32 i = 0; i < chunk.count(); ++i) {
+    perf::charge_cpu_cycles(perf::kPreShadingCyclesPerPacket);
+    net::PacketView view;
+    if (classify_l3(chunk, i, net::EtherType::kIpv4, view) != FastPathClass::kEligible) {
+      continue;
+    }
+    net::ipv4_decrement_ttl(view.ipv4());
+    const u32 dst = chunk_view_dst(chunk, i);
+    const auto* bytes = reinterpret_cast<const u8*>(&dst);
+    job.gpu_input.insert(job.gpu_input.end(), bytes, bytes + sizeof(u32));
+    job.gpu_index.push_back(i);
+  }
+  job.gpu_items = static_cast<u32>(job.gpu_index.size());
+}
+
+Picos DynamicIpv4ForwardApp::shade(core::GpuContext& gpu,
+                                   std::span<core::ShaderJob* const> jobs, Picos submit_time) {
+  auto& st = *gpu_state_.at(gpu.device->gpu_id());
+  const int slot = st.active.load(std::memory_order_acquire);
+
+  u32 total = 0;
+  for (auto* job : jobs) {
+    if (job->gpu_items == 0) continue;
+    assert(total + job->gpu_items <= kMaxBatchItems);
+    gpu.device->memcpy_h2d(st.input, total * sizeof(u32), job->gpu_input,
+                           gpu::kDefaultStream, submit_time);
+    total += job->gpu_items;
+  }
+  if (total == 0) return submit_time;
+
+  const u16* tbl24 = st.tbl24[slot].as<const u16>();
+  const u16* tbl_long = st.tbl_long[slot].as<const u16>();
+  const u32* in = st.input.as<const u32>();
+  u16* out = st.output.as<u16>();
+
+  gpu::KernelLaunch kernel{
+      .name = "ipv4_lookup_dynamic",
+      .threads = total,
+      .body =
+          [=](gpu::ThreadCtx& ctx) {
+            const u32 tid = ctx.thread_id();
+            out[tid] = route::Ipv4Table::lookup_in_arrays(tbl24, tbl_long, in[tid]);
+          },
+      .cost = {.instructions = perf::kGpuIpv4LookupInstr, .mem_accesses = 1.05},
+  };
+  gpu.device->launch(kernel, gpu::kDefaultStream, submit_time);
+
+  u32 offset = 0;
+  Picos done = submit_time;
+  for (auto* job : jobs) {
+    if (job->gpu_items == 0) continue;
+    job->gpu_output.resize(job->gpu_items * sizeof(u16));
+    const auto timing = gpu.device->memcpy_d2h(job->gpu_output, st.output,
+                                               offset * sizeof(u16), gpu::kDefaultStream,
+                                               submit_time);
+    done = std::max(done, timing.end);
+    offset += job->gpu_items;
+  }
+  return done;
+}
+
+void DynamicIpv4ForwardApp::post_shade(core::ShaderJob& job) {
+  auto& chunk = job.chunk;
+  const auto* next_hops = reinterpret_cast<const u16*>(job.gpu_output.data());
+  for (u32 k = 0; k < job.gpu_items; ++k) {
+    perf::charge_cpu_cycles(perf::kPostShadingCyclesPerPacket);
+    const u32 i = job.gpu_index[k];
+    const route::NextHop nh = next_hops[k];
+    if (nh == route::kNoRoute) {
+      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+    } else {
+      chunk.set_out_port(i, static_cast<i16>(nh));
+    }
+  }
+}
+
+void DynamicIpv4ForwardApp::process_cpu(iengine::PacketChunk& chunk) {
+  // One snapshot per chunk: routes may change between chunks, never
+  // within one.
+  const auto table = fib_.snapshot();
+  for (u32 i = 0; i < chunk.count(); ++i) {
+    perf::charge_cpu_cycles(perf::kCpuIpv4LookupCycles);
+    net::PacketView view;
+    if (classify_l3(chunk, i, net::EtherType::kIpv4, view) != FastPathClass::kEligible) {
+      continue;
+    }
+    net::ipv4_decrement_ttl(view.ipv4());
+    const route::NextHop nh = table->lookup(net::Ipv4Addr(chunk_view_dst(chunk, i)));
+    if (nh == route::kNoRoute) {
+      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+    } else {
+      chunk.set_out_port(i, static_cast<i16>(nh));
+    }
+  }
+}
+
+}  // namespace ps::apps

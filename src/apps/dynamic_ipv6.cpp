@@ -1,0 +1,193 @@
+#include "apps/dynamic_ipv6.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "apps/classify.hpp"
+#include "perf/calibration.hpp"
+#include "perf/ledger.hpp"
+
+namespace ps::apps {
+
+namespace {
+
+perf::KernelCost ipv6_kernel_cost() {
+  return {.instructions = 7 * perf::kGpuIpv6LookupInstrPerProbe,
+          .mem_accesses = 7.0,
+          .bytes_per_access = 48};
+}
+
+}  // namespace
+
+DynamicIpv6ForwardApp::DynamicIpv6ForwardApp(route::Ipv6Fib& fib) : fib_(fib) {}
+
+void DynamicIpv6ForwardApp::upload(GpuState& st, int slot, const route::Ipv6FlatTable& flat) {
+  auto& copy = st.copies[slot];
+  const auto slots = flat.slots();
+  const std::size_t needed =
+      std::max<std::size_t>(slots.size_bytes(), sizeof(route::Ipv6FlatTable::Slot));
+  if (needed > copy.slot_capacity_bytes) {
+    // Grow with headroom so routine FIB churn does not reallocate.
+    copy.slot_capacity_bytes = needed + needed / 2;
+    copy.slots = st.device->alloc(copy.slot_capacity_bytes);
+  }
+  if (!slots.empty()) {
+    st.device->memcpy_h2d(copy.slots, 0,
+                          {reinterpret_cast<const u8*>(slots.data()), slots.size_bytes()});
+  }
+
+  const auto offsets = flat.level_offsets();
+  if (!copy.offsets.valid()) copy.offsets = st.device->alloc(offsets.size_bytes());
+  st.device->memcpy_h2d(copy.offsets, 0,
+                        {reinterpret_cast<const u8*>(offsets.data()), offsets.size_bytes()});
+  const auto masks = flat.level_masks();
+  if (!copy.masks.valid()) copy.masks = st.device->alloc(masks.size_bytes());
+  st.device->memcpy_h2d(copy.masks, 0,
+                        {reinterpret_cast<const u8*>(masks.data()), masks.size_bytes()});
+  copy.default_nh = flat.default_route();
+}
+
+void DynamicIpv6ForwardApp::bind_gpu(gpu::GpuDevice& device) {
+  if (gpu_state_.contains(device.gpu_id())) return;
+  auto st = std::make_unique<GpuState>();
+  st->device = &device;
+  st->input = device.alloc(kMaxBatchItems * 16);
+  st->output = device.alloc(kMaxBatchItems * sizeof(u16));
+
+  const auto flat = fib_.snapshot()->flatten();
+  upload(*st, 0, flat);
+  st->generation = fib_.generation();
+  st->active.store(0, std::memory_order_release);
+  gpu_state_.emplace(device.gpu_id(), std::move(st));
+}
+
+int DynamicIpv6ForwardApp::sync() {
+  const u64 generation = fib_.generation();
+  int refreshed = 0;
+  std::shared_ptr<const route::Ipv6Table> snapshot;
+  std::unique_ptr<route::Ipv6FlatTable> flat;
+  for (auto& [id, st] : gpu_state_) {
+    if (st->generation == generation) continue;
+    if (!flat) {
+      snapshot = fib_.snapshot();
+      flat = std::make_unique<route::Ipv6FlatTable>(snapshot->flatten());
+    }
+    const int standby = 1 - st->active.load(std::memory_order_acquire);
+    upload(*st, standby, *flat);
+    st->active.store(standby, std::memory_order_release);
+    st->generation = generation;
+    ++refreshed;
+  }
+  return refreshed;
+}
+
+void DynamicIpv6ForwardApp::pre_shade(core::ShaderJob& job) {
+  auto& chunk = job.chunk;
+  job.gpu_input.reserve(chunk.count() * 16);
+  for (u32 i = 0; i < chunk.count(); ++i) {
+    perf::charge_cpu_cycles(perf::kPreShadingCyclesPerPacket);
+    net::PacketView view;
+    if (classify_l3(chunk, i, net::EtherType::kIpv6, view) != FastPathClass::kEligible) {
+      continue;
+    }
+    view.ipv6().hop_limit -= 1;
+    const u8* dst = chunk_view_dst6(chunk, i);
+    const u64 hi = load_be64(dst);
+    const u64 lo = load_be64(dst + 8);
+    const auto* hb = reinterpret_cast<const u8*>(&hi);
+    const auto* lb = reinterpret_cast<const u8*>(&lo);
+    job.gpu_input.insert(job.gpu_input.end(), hb, hb + 8);
+    job.gpu_input.insert(job.gpu_input.end(), lb, lb + 8);
+    job.gpu_index.push_back(i);
+  }
+  job.gpu_items = static_cast<u32>(job.gpu_index.size());
+}
+
+Picos DynamicIpv6ForwardApp::shade(core::GpuContext& gpu,
+                                   std::span<core::ShaderJob* const> jobs, Picos submit_time) {
+  auto& st = *gpu_state_.at(gpu.device->gpu_id());
+  const int slot = st.active.load(std::memory_order_acquire);
+  const auto& copy = st.copies[slot];
+
+  u32 total = 0;
+  for (auto* job : jobs) {
+    if (job->gpu_items == 0) continue;
+    assert(total + job->gpu_items <= kMaxBatchItems);
+    gpu.device->memcpy_h2d(st.input, static_cast<std::size_t>(total) * 16, job->gpu_input,
+                           gpu::kDefaultStream, submit_time);
+    total += job->gpu_items;
+  }
+  if (total == 0) return submit_time;
+
+  const auto* slots = copy.slots.as<const route::Ipv6FlatTable::Slot>();
+  const auto* offsets = copy.offsets.as<const u32>();
+  const auto* masks = copy.masks.as<const u32>();
+  const route::NextHop default_nh = copy.default_nh;
+  const u64* in = st.input.as<const u64>();
+  u16* out = st.output.as<u16>();
+
+  gpu::KernelLaunch kernel{
+      .name = "ipv6_lookup_dynamic",
+      .threads = total,
+      .body =
+          [=](gpu::ThreadCtx& ctx) {
+            const u32 tid = ctx.thread_id();
+            out[tid] = route::Ipv6FlatTable::lookup_in_arrays(
+                slots, offsets, masks, in[tid * 2], in[tid * 2 + 1], default_nh);
+          },
+      .cost = ipv6_kernel_cost(),
+  };
+  gpu.device->launch(kernel, gpu::kDefaultStream, submit_time);
+
+  u32 offset = 0;
+  Picos done = submit_time;
+  for (auto* job : jobs) {
+    if (job->gpu_items == 0) continue;
+    job->gpu_output.resize(job->gpu_items * sizeof(u16));
+    const auto timing = gpu.device->memcpy_d2h(
+        job->gpu_output, st.output, static_cast<std::size_t>(offset) * sizeof(u16),
+        gpu::kDefaultStream, submit_time);
+    done = std::max(done, timing.end);
+    offset += job->gpu_items;
+  }
+  return done;
+}
+
+void DynamicIpv6ForwardApp::post_shade(core::ShaderJob& job) {
+  auto& chunk = job.chunk;
+  const auto* next_hops = reinterpret_cast<const u16*>(job.gpu_output.data());
+  for (u32 k = 0; k < job.gpu_items; ++k) {
+    perf::charge_cpu_cycles(perf::kPostShadingCyclesPerPacket);
+    const u32 i = job.gpu_index[k];
+    const route::NextHop nh = next_hops[k];
+    if (nh == route::kNoRoute) {
+      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+    } else {
+      chunk.set_out_port(i, static_cast<i16>(nh));
+    }
+  }
+}
+
+void DynamicIpv6ForwardApp::process_cpu(iengine::PacketChunk& chunk) {
+  const auto table = fib_.snapshot();
+  for (u32 i = 0; i < chunk.count(); ++i) {
+    net::PacketView view;
+    if (classify_l3(chunk, i, net::EtherType::kIpv6, view) != FastPathClass::kEligible) {
+      perf::charge_cpu_cycles(perf::kCpuIpv6LookupCyclesPerProbe);
+      continue;
+    }
+    view.ipv6().hop_limit -= 1;
+    const u8* dst = chunk_view_dst6(chunk, i);
+    int probes = 0;
+    const route::NextHop nh =
+        table->lookup(net::Ipv6Addr::from_words(load_be64(dst), load_be64(dst + 8)), &probes);
+    perf::charge_cpu_cycles(probes * perf::kCpuIpv6LookupCyclesPerProbe);
+    if (nh == route::kNoRoute) {
+      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+    } else {
+      chunk.set_out_port(i, static_cast<i16>(nh));
+    }
+  }
+}
+
+}  // namespace ps::apps

@@ -1,0 +1,58 @@
+// IPv6 forwarding with a live control plane — the IPv6 counterpart of
+// DynamicIpv4ForwardApp. The flattened per-length hash tables are double-
+// buffered on every GPU; sync() uploads a committed FIB generation into
+// the standby copy (growing it if the table outgrew its reservation) and
+// flips atomically.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+
+#include "core/shader.hpp"
+#include "route/fib_manager.hpp"
+
+namespace ps::apps {
+
+class DynamicIpv6ForwardApp final : public core::Shader {
+ public:
+  explicit DynamicIpv6ForwardApp(route::Ipv6Fib& fib);
+
+  const char* name() const override { return "ipv6-forward-dynamic"; }
+  void bind_gpu(gpu::GpuDevice& device) override;
+  void pre_shade(core::ShaderJob& job) override;
+  Picos shade(core::GpuContext& gpu, std::span<core::ShaderJob* const> jobs,
+              Picos submit_time = 0) override;
+  void post_shade(core::ShaderJob& job) override;
+  void process_cpu(iengine::PacketChunk& chunk) override;
+
+  /// Push the FIB's current generation to every bound GPU (standby upload
+  /// + flip). Call after fib.commit(); safe while the data path runs.
+  int sync();
+
+  static constexpr u32 kMaxBatchItems = 65536;
+
+ private:
+  struct TableCopy {
+    gpu::DeviceBuffer slots;
+    gpu::DeviceBuffer offsets;  // u32[129]
+    gpu::DeviceBuffer masks;    // u32[129]
+    std::size_t slot_capacity_bytes = 0;
+    route::NextHop default_nh = route::kNoRoute;
+  };
+  struct GpuState {
+    gpu::GpuDevice* device = nullptr;
+    TableCopy copies[2];
+    gpu::DeviceBuffer input;
+    gpu::DeviceBuffer output;
+    std::atomic<int> active{0};
+    u64 generation = 0;
+  };
+
+  void upload(GpuState& st, int slot, const route::Ipv6FlatTable& flat);
+
+  route::Ipv6Fib& fib_;
+  std::unordered_map<int, std::unique_ptr<GpuState>> gpu_state_;
+};
+
+}  // namespace ps::apps

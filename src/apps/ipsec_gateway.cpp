@@ -1,0 +1,281 @@
+#include "apps/ipsec_gateway.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/cacheline.hpp"
+#include "perf/calibration.hpp"
+#include "perf/ledger.hpp"
+
+namespace ps::apps {
+
+namespace {
+
+constexpr u32 kAuthPrefix = 16;  // ESP header (8) + IV (8) precede the ciphertext
+
+u32 sha1_blocks_for(u32 auth_len) {
+  // HMAC = inner hash over (64 B ipad + message, padded) + outer hash over
+  // (64 B opad + 20 B digest) = 2 blocks.
+  return (64 + auth_len + 9 + 63) / 64 + 2;
+}
+
+u32 aes_blocks_for(u32 cipher_len) { return (cipher_len + 15) / 16; }
+
+double byte_copy_cycles(u64 bytes) {
+  return static_cast<double>(cache_lines(bytes)) * perf::kCopyCyclesPerCacheLine;
+}
+
+}  // namespace
+
+IpsecGatewayApp::IpsecGatewayApp(const crypto::SecurityAssociation& sa) : sa_(sa) {}
+
+void IpsecGatewayApp::bind_gpu(gpu::GpuDevice& device) {
+  if (gpu_state_.contains(device.gpu_id())) return;
+  GpuState st;
+  st.descs = device.alloc(kMaxBatchPackets * sizeof(PacketDesc));
+  st.blocks = device.alloc(kMaxBatchBlocks * sizeof(BlockRef));
+  st.blob = device.alloc(static_cast<std::size_t>(kMaxBatchBlocks) * 16 +
+                         kMaxBatchPackets * kAuthPrefix);
+  st.icv = device.alloc(kMaxBatchPackets * crypto::kHmacSha1_96Size);
+
+  // Key material: expanded AES schedule + CTR nonce + HMAC key, uploaded
+  // once per SA (keys are static, section 6).
+  std::vector<u8> keys;
+  const auto schedule = sa_.cipher.round_keys();
+  keys.insert(keys.end(), schedule.begin(), schedule.end());
+  keys.insert(keys.end(), sa_.nonce.begin(), sa_.nonce.end());
+  keys.insert(keys.end(), sa_.auth_key.begin(), sa_.auth_key.end());
+  st.keys = device.alloc(keys.size());
+  device.memcpy_h2d(st.keys, 0, keys);
+
+  gpu_state_.emplace(device.gpu_id(), std::move(st));
+}
+
+void IpsecGatewayApp::pre_shade(core::ShaderJob& job) {
+  auto& chunk = job.chunk;
+  iengine::PacketChunk scratch(chunk.max_packets());
+  scratch.in_port = chunk.in_port;
+  scratch.in_queue = chunk.in_queue;
+
+  std::vector<PacketDesc> descs;
+  std::vector<BlockRef> blocks;
+  std::vector<u8> blob;
+  u32 n_blocks = 0;
+
+  for (u32 i = 0; i < chunk.count(); ++i) {
+    perf::charge_cpu_cycles(perf::kCpuIpsecPerPacketCycles + perf::kPreShadingCyclesPerPacket);
+    const auto frame = chunk.packet(i);
+    const u32 seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+
+    crypto::EspLayout layout;
+    auto out = crypto::esp_build_unencrypted(sa_, frame, seq, &layout);
+    const u32 slot = scratch.count();
+    if (out.empty()) {
+      scratch.append(frame, chunk.rss_hash(i));
+      scratch.set_verdict(slot, iengine::PacketVerdict::kSlowPath);
+      continue;
+    }
+    scratch.append(out, chunk.rss_hash(i));
+    scratch.set_out_port(slot, static_cast<i16>(chunk.in_port ^ 1));
+
+    PacketDesc desc;
+    desc.blob_off = static_cast<u32>(blob.size());
+    desc.cipher_len = layout.cipher_len;
+    desc.first_block = n_blocks;
+    // Blob region: [ESP header | IV | plaintext payload] — the HMAC
+    // coverage, with AES applying to the tail past the 16 B prefix.
+    blob.insert(blob.end(), out.begin() + layout.esp_offset,
+                out.begin() + layout.icv_offset);
+    perf::charge_cpu_cycles(byte_copy_cycles(layout.icv_offset - layout.esp_offset));
+
+    const u32 nb = aes_blocks_for(layout.cipher_len);
+    for (u32 b = 0; b < nb; ++b) {
+      blocks.push_back({static_cast<u32>(descs.size()), b});
+    }
+    n_blocks += nb;
+    descs.push_back(desc);
+    job.gpu_index.push_back(slot);
+  }
+
+  chunk = std::move(scratch);
+
+  // Serialize descriptors + block map + blob into gpu_input.
+  const u32 n_packets = static_cast<u32>(descs.size());
+  job.gpu_input.clear();
+  auto push = [&](const void* p, std::size_t n) {
+    const auto* b = static_cast<const u8*>(p);
+    job.gpu_input.insert(job.gpu_input.end(), b, b + n);
+  };
+  push(&n_packets, sizeof(u32));
+  push(&n_blocks, sizeof(u32));
+  push(descs.data(), descs.size() * sizeof(PacketDesc));
+  push(blocks.data(), blocks.size() * sizeof(BlockRef));
+  push(blob.data(), blob.size());
+  job.gpu_items = n_blocks;
+}
+
+void IpsecGatewayApp::shade_one_job(core::GpuContext& gpu, core::ShaderJob& job,
+                                    gpu::StreamId stream, Picos submit_time, Picos& done) {
+  if (job.gpu_input.size() < 8) return;
+  auto& st = gpu_state_.at(gpu.device->gpu_id());
+
+  u32 n_packets = 0;
+  u32 n_blocks = 0;
+  std::memcpy(&n_packets, job.gpu_input.data(), 4);
+  std::memcpy(&n_blocks, job.gpu_input.data() + 4, 4);
+  if (n_packets == 0) return;
+  assert(n_packets <= kMaxBatchPackets && n_blocks <= kMaxBatchBlocks);
+
+  const std::size_t descs_off = 8;
+  const std::size_t blocks_off = descs_off + n_packets * sizeof(PacketDesc);
+  const std::size_t blob_off = blocks_off + n_blocks * sizeof(BlockRef);
+  const std::size_t blob_len = job.gpu_input.size() - blob_off;
+
+  // Gathered copies of the three regions (one logical transfer each).
+  gpu.device->memcpy_h2d(st.descs, 0,
+                         {job.gpu_input.data() + descs_off, blocks_off - descs_off}, stream,
+                         submit_time);
+  gpu.device->memcpy_h2d(st.blocks, 0,
+                         {job.gpu_input.data() + blocks_off, blob_off - blocks_off}, stream,
+                         submit_time);
+  gpu.device->memcpy_h2d(st.blob, 0, {job.gpu_input.data() + blob_off, blob_len}, stream,
+                         submit_time);
+
+  const auto* descs = st.descs.as<const PacketDesc>();
+  const auto* blocks = st.blocks.as<const BlockRef>();
+  u8* blob = st.blob.data();
+  u8* icv = st.icv.data();
+  const u8* schedule = st.keys.data();
+  const u8* nonce = st.keys.data() + 176;
+  const u8* auth_key = st.keys.data() + 180;
+
+  // Kernel 1 — AES-128-CTR, one thread per 16 B block (finest grain).
+  gpu::KernelLaunch aes{
+      .name = "ipsec_aes_ctr",
+      .threads = n_blocks,
+      .body =
+          [=](gpu::ThreadCtx& ctx) {
+            const BlockRef ref = blocks[ctx.thread_id()];
+            const PacketDesc d = descs[ref.desc];
+            const u8* iv = blob + d.blob_off + 8;
+            u8* data = blob + d.blob_off + kAuthPrefix + ref.block * 16;
+            const u32 remain = d.cipher_len - ref.block * 16;
+            crypto::aes_ctr_crypt_block(schedule, nonce, iv, ref.block, data,
+                                        remain < 16 ? remain : 16);
+          },
+      .cost = {.instructions = perf::kGpuAesInstrPerBlock, .mem_accesses = 1.0},
+  };
+  gpu.device->launch(aes, stream, submit_time);
+
+  // Kernel 2 — HMAC-SHA1 over [ESP hdr | IV | ciphertext], one thread per
+  // packet (SHA-1's block chain is sequential).
+  double total_sha_blocks = 0;
+  u64 total_auth_bytes = 0;
+  {
+    const auto* host_descs =
+        reinterpret_cast<const PacketDesc*>(job.gpu_input.data() + descs_off);
+    for (u32 p = 0; p < n_packets; ++p) {
+      total_sha_blocks += sha1_blocks_for(kAuthPrefix + host_descs[p].cipher_len);
+      total_auth_bytes += kAuthPrefix + host_descs[p].cipher_len;
+    }
+  }
+  gpu::KernelLaunch hmac{
+      .name = "ipsec_hmac_sha1",
+      .threads = n_packets,
+      .body =
+          [=](gpu::ThreadCtx& ctx) {
+            const PacketDesc d = descs[ctx.thread_id()];
+            const auto tag = crypto::hmac_sha1_96(
+                {auth_key, crypto::kSha1DigestSize},
+                {blob + d.blob_off, kAuthPrefix + d.cipher_len});
+            std::memcpy(icv + ctx.thread_id() * crypto::kHmacSha1_96Size, tag.data(),
+                        tag.size());
+          },
+      .cost = {.instructions =
+                   total_sha_blocks / n_packets * perf::kGpuSha1InstrPerBlock,
+               .mem_accesses = static_cast<double>(total_auth_bytes) / n_packets / 32.0},
+  };
+  gpu.device->launch(hmac, stream, submit_time);
+
+  // Results back: ciphertext blob + ICV array.
+  job.gpu_output.resize(blob_len + n_packets * crypto::kHmacSha1_96Size);
+  auto t1 = gpu.device->memcpy_d2h({job.gpu_output.data(), blob_len}, st.blob, 0, stream,
+                                   submit_time);
+  auto t2 = gpu.device->memcpy_d2h(
+      {job.gpu_output.data() + blob_len, n_packets * crypto::kHmacSha1_96Size}, st.icv, 0,
+      stream, submit_time);
+  done = std::max({done, t1.end, t2.end});
+}
+
+Picos IpsecGatewayApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* const> jobs,
+                             Picos submit_time) {
+  Picos done = submit_time;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    shade_one_job(gpu, *jobs[j], gpu.stream_for(j), submit_time, done);
+  }
+  return done;
+}
+
+void IpsecGatewayApp::post_shade(core::ShaderJob& job) {
+  auto& chunk = job.chunk;
+  if (job.gpu_input.size() < 8) return;
+  u32 n_packets = 0;
+  std::memcpy(&n_packets, job.gpu_input.data(), 4);
+  u32 n_blocks = 0;
+  std::memcpy(&n_blocks, job.gpu_input.data() + 4, 4);
+  const std::size_t descs_off = 8;
+  const auto* descs = reinterpret_cast<const PacketDesc*>(job.gpu_input.data() + descs_off);
+  const std::size_t blob_off =
+      descs_off + n_packets * sizeof(PacketDesc) + n_blocks * sizeof(BlockRef);
+  const std::size_t blob_len = job.gpu_input.size() - blob_off;
+  const u8* out_blob = job.gpu_output.data();
+  const u8* out_icv = job.gpu_output.data() + blob_len;
+
+  for (u32 k = 0; k < n_packets; ++k) {
+    perf::charge_cpu_cycles(perf::kPostShadingCyclesPerPacket);
+    const u32 i = job.gpu_index[k];
+    auto frame = chunk.packet(i);
+    const PacketDesc& d = descs[k];
+    const u32 esp_offset = sizeof(net::EthernetHeader) + sizeof(net::Ipv4Header);
+
+    // Write ciphertext (skip the ESP header + IV prefix, already in frame)
+    // and the ICV into the encapsulated frame.
+    std::memcpy(frame.data() + esp_offset + kAuthPrefix,
+                out_blob + d.blob_off + kAuthPrefix, d.cipher_len);
+    std::memcpy(frame.data() + esp_offset + kAuthPrefix + d.cipher_len,
+                out_icv + k * crypto::kHmacSha1_96Size, crypto::kHmacSha1_96Size);
+    perf::charge_cpu_cycles(byte_copy_cycles(d.cipher_len + crypto::kHmacSha1_96Size));
+  }
+}
+
+void IpsecGatewayApp::process_cpu(iengine::PacketChunk& chunk) {
+  iengine::PacketChunk scratch(chunk.max_packets());
+  scratch.in_port = chunk.in_port;
+  scratch.in_queue = chunk.in_queue;
+
+  for (u32 i = 0; i < chunk.count(); ++i) {
+    const auto frame = chunk.packet(i);
+    const u32 seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    auto out = crypto::esp_encapsulate(sa_, frame, seq);
+
+    const u32 slot = scratch.count();
+    if (out.empty()) {
+      scratch.append(frame, chunk.rss_hash(i));
+      scratch.set_verdict(slot, iengine::PacketVerdict::kSlowPath);
+      perf::charge_cpu_cycles(perf::kCpuIpsecPerPacketCycles);
+      continue;
+    }
+    scratch.append(out, chunk.rss_hash(i));
+    scratch.set_out_port(slot, static_cast<i16>(chunk.in_port ^ 1));
+
+    const u32 cipher_len =
+        crypto::esp_cipher_bytes(static_cast<u32>(frame.size()) - sizeof(net::EthernetHeader));
+    perf::charge_cpu_cycles(
+        perf::kCpuIpsecPerPacketCycles +
+        aes_blocks_for(cipher_len) * perf::kCpuAesCyclesPerBlock +
+        sha1_blocks_for(kAuthPrefix + cipher_len) * perf::kCpuSha1CyclesPerBlock);
+  }
+  chunk = std::move(scratch);
+}
+
+}  // namespace ps::apps

@@ -1,0 +1,173 @@
+#include "apps/ipv4_forward.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "apps/classify.hpp"
+#include "net/checksum.hpp"
+#include "perf/calibration.hpp"
+#include "perf/ledger.hpp"
+
+namespace ps::apps {
+
+Ipv4ForwardApp::Ipv4ForwardApp(const route::Ipv4Table& table) : table_(table) {}
+
+void Ipv4ForwardApp::bind_gpu(gpu::GpuDevice& device) {
+  if (gpu_state_.contains(device.gpu_id())) return;
+  GpuState st;
+  const auto tbl24 = table_.tbl24();
+  const auto tbl_long = table_.tbl_long();
+
+  st.tbl24 = device.alloc(tbl24.size_bytes());
+  device.memcpy_h2d(st.tbl24, 0, {reinterpret_cast<const u8*>(tbl24.data()), tbl24.size_bytes()});
+  // Every table has at least a placeholder overflow chunk so the kernel's
+  // pointer is always valid.
+  st.tbl_long = device.alloc(std::max<std::size_t>(tbl_long.size_bytes(), 2 * route::Ipv4Table::kChunk));
+  if (!tbl_long.empty()) {
+    device.memcpy_h2d(st.tbl_long, 0,
+                      {reinterpret_cast<const u8*>(tbl_long.data()), tbl_long.size_bytes()});
+  }
+  st.input = device.alloc(kMaxBatchItems * sizeof(u32));
+  st.output = device.alloc(kMaxBatchItems * sizeof(u16));
+  gpu_state_.emplace(device.gpu_id(), std::move(st));
+}
+
+bool Ipv4ForwardApp::classify_and_rewrite(iengine::PacketChunk& chunk, u32 i) {
+  net::PacketView view;
+  if (classify_l3(chunk, i, net::EtherType::kIpv4, view) != FastPathClass::kEligible) {
+    return false;
+  }
+  net::ipv4_decrement_ttl(view.ipv4());
+  return true;
+}
+
+void Ipv4ForwardApp::pre_shade(core::ShaderJob& job) {
+  auto& chunk = job.chunk;
+  job.gpu_input.reserve(chunk.count() * sizeof(u32));
+  for (u32 i = 0; i < chunk.count(); ++i) {
+    perf::charge_cpu_cycles(perf::kPreShadingCyclesPerPacket);
+    if (!classify_and_rewrite(chunk, i)) continue;
+    const u32 dst = chunk_view_dst(chunk, i);
+    const auto* bytes = reinterpret_cast<const u8*>(&dst);
+    job.gpu_input.insert(job.gpu_input.end(), bytes, bytes + sizeof(u32));
+    job.gpu_index.push_back(i);
+  }
+  job.gpu_items = static_cast<u32>(job.gpu_index.size());
+}
+
+Picos Ipv4ForwardApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* const> jobs,
+                            Picos submit_time) {
+  auto& st = gpu_state_.at(gpu.device->gpu_id());
+
+  if (gpu.streams.size() <= 1) {
+    // Gathered mode: pipeline all input copies, one kernel launch over the
+    // whole batch, then scatter the output copies (Figure 10(b)).
+    u32 total = 0;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      auto* job = jobs[j];
+      if (job->gpu_items == 0) continue;
+      assert(total + job->gpu_items <= kMaxBatchItems);
+      gpu.device->memcpy_h2d(st.input, total * sizeof(u32), job->gpu_input,
+                             gpu::kDefaultStream, submit_time);
+      total += job->gpu_items;
+    }
+    if (total == 0) return submit_time;
+
+    const u16* tbl24 = st.tbl24.as<const u16>();
+    const u16* tbl_long = st.tbl_long.as<const u16>();
+    const u32* in = st.input.as<const u32>();
+    u16* out = st.output.as<u16>();
+
+    gpu::KernelLaunch kernel{
+        .name = "ipv4_lookup",
+        .threads = total,
+        .body =
+            [=](gpu::ThreadCtx& ctx) {
+              const u32 tid = ctx.thread_id();
+              out[tid] = route::Ipv4Table::lookup_in_arrays(tbl24, tbl_long, in[tid]);
+            },
+        // One table probe for ~97% of packets, two for prefixes >/24.
+        .cost = {.instructions = perf::kGpuIpv4LookupInstr, .mem_accesses = 1.05},
+    };
+    gpu.device->launch(kernel, gpu::kDefaultStream, submit_time);
+
+    u32 offset = 0;
+    Picos done = submit_time;
+    for (auto* job : jobs) {
+      if (job->gpu_items == 0) continue;
+      job->gpu_output.resize(job->gpu_items * sizeof(u16));
+      const auto timing = gpu.device->memcpy_d2h(job->gpu_output, st.output,
+                                                 offset * sizeof(u16), gpu::kDefaultStream,
+                                                 submit_time);
+      done = std::max(done, timing.end);
+      offset += job->gpu_items;
+    }
+    return done;
+  }
+
+  // Streamed mode (Figure 10(c)): each chunk runs copy->kernel->copy on its
+  // own stream so transfers overlap other chunks' kernels.
+  Picos done = submit_time;
+  u32 offset = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    auto* job = jobs[j];
+    if (job->gpu_items == 0) continue;
+    assert(offset + job->gpu_items <= kMaxBatchItems);
+    const auto stream = gpu.stream_for(j);
+    gpu.device->memcpy_h2d(st.input, offset * sizeof(u32), job->gpu_input, stream, submit_time);
+
+    const u16* tbl24 = st.tbl24.as<const u16>();
+    const u16* tbl_long = st.tbl_long.as<const u16>();
+    const u32* in = st.input.as<const u32>() + offset;
+    u16* out = st.output.as<u16>() + offset;
+    gpu::KernelLaunch kernel{
+        .name = "ipv4_lookup",
+        .threads = job->gpu_items,
+        .body =
+            [=](gpu::ThreadCtx& ctx) {
+              const u32 tid = ctx.thread_id();
+              out[tid] = route::Ipv4Table::lookup_in_arrays(tbl24, tbl_long, in[tid]);
+            },
+        .cost = {.instructions = perf::kGpuIpv4LookupInstr, .mem_accesses = 1.05},
+    };
+    gpu.device->launch(kernel, stream, submit_time);
+
+    job->gpu_output.resize(job->gpu_items * sizeof(u16));
+    const auto timing =
+        gpu.device->memcpy_d2h(job->gpu_output, st.output, offset * sizeof(u16), stream,
+                               submit_time);
+    done = std::max(done, timing.end);
+    offset += job->gpu_items;
+  }
+  return done;
+}
+
+void Ipv4ForwardApp::post_shade(core::ShaderJob& job) {
+  auto& chunk = job.chunk;
+  const auto* next_hops = reinterpret_cast<const u16*>(job.gpu_output.data());
+  for (u32 k = 0; k < job.gpu_items; ++k) {
+    perf::charge_cpu_cycles(perf::kPostShadingCyclesPerPacket);
+    const u32 i = job.gpu_index[k];
+    const route::NextHop nh = next_hops[k];
+    if (nh == route::kNoRoute) {
+      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+    } else {
+      chunk.set_out_port(i, static_cast<i16>(nh));
+    }
+  }
+}
+
+void Ipv4ForwardApp::process_cpu(iengine::PacketChunk& chunk) {
+  for (u32 i = 0; i < chunk.count(); ++i) {
+    perf::charge_cpu_cycles(perf::kCpuIpv4LookupCycles);
+    if (!classify_and_rewrite(chunk, i)) continue;
+    const route::NextHop nh = table_.lookup(net::Ipv4Addr(chunk_view_dst(chunk, i)));
+    if (nh == route::kNoRoute) {
+      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+    } else {
+      chunk.set_out_port(i, static_cast<i16>(nh));
+    }
+  }
+}
+
+}  // namespace ps::apps

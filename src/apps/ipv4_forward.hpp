@@ -1,0 +1,44 @@
+// IPv4 forwarding application (section 6.2.1): DIR-24-8 longest-prefix
+// match, GPU-offloaded. The pre-shader classifies/rewrites and gathers
+// destination addresses; the GPU kernel performs the table lookup; the
+// post-shader scatters packets to egress ports.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/shader.hpp"
+#include "route/ipv4_table.hpp"
+
+namespace ps::apps {
+
+class Ipv4ForwardApp final : public core::Shader {
+ public:
+  /// `table` must outlive the app and stay unmodified while running.
+  explicit Ipv4ForwardApp(const route::Ipv4Table& table);
+
+  const char* name() const override { return "ipv4-forward"; }
+  void bind_gpu(gpu::GpuDevice& device) override;
+  void pre_shade(core::ShaderJob& job) override;
+  Picos shade(core::GpuContext& gpu, std::span<core::ShaderJob* const> jobs,
+              Picos submit_time = 0) override;
+  void post_shade(core::ShaderJob& job) override;
+  void process_cpu(iengine::PacketChunk& chunk) override;
+
+  /// Maximum GPU-eligible packets per shading batch.
+  static constexpr u32 kMaxBatchItems = 65536;
+
+ private:
+  bool classify_and_rewrite(iengine::PacketChunk& chunk, u32 i);
+
+  struct GpuState {
+    gpu::DeviceBuffer tbl24;
+    gpu::DeviceBuffer tbl_long;
+    gpu::DeviceBuffer input;   // u32 dst addresses
+    gpu::DeviceBuffer output;  // u16 next hops
+  };
+
+  const route::Ipv4Table& table_;
+  std::unordered_map<int, GpuState> gpu_state_;
+};
+
+}  // namespace ps::apps

@@ -1,0 +1,196 @@
+#include "apps/ipv6_forward.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "apps/classify.hpp"
+#include "perf/calibration.hpp"
+#include "perf/ledger.hpp"
+
+namespace ps::apps {
+
+namespace {
+
+perf::KernelCost ipv6_kernel_cost() {
+  // Seven dependent hash probes per lookup, each a random device-memory
+  // access (section 6.2.2); a probe touches a 24 B slot that straddles
+  // GDDR5 segments, so ~1.5 segments of bandwidth per probe.
+  return {.instructions = 7 * perf::kGpuIpv6LookupInstrPerProbe,
+          .mem_accesses = 7.0,
+          .bytes_per_access = 48};
+}
+
+}  // namespace
+
+Ipv6ForwardApp::Ipv6ForwardApp(const route::Ipv6Table& table)
+    : table_(table), flat_(table.flatten()) {}
+
+void Ipv6ForwardApp::bind_gpu(gpu::GpuDevice& device) {
+  if (gpu_state_.contains(device.gpu_id())) return;
+  GpuState st;
+
+  const auto slots = flat_.slots();
+  st.slots = device.alloc(std::max<std::size_t>(slots.size_bytes(), sizeof(route::Ipv6FlatTable::Slot)));
+  if (!slots.empty()) {
+    device.memcpy_h2d(st.slots, 0,
+                      {reinterpret_cast<const u8*>(slots.data()), slots.size_bytes()});
+  }
+  const auto offsets = flat_.level_offsets();
+  st.offsets = device.alloc(offsets.size_bytes());
+  device.memcpy_h2d(st.offsets, 0,
+                    {reinterpret_cast<const u8*>(offsets.data()), offsets.size_bytes()});
+  const auto masks = flat_.level_masks();
+  st.masks = device.alloc(masks.size_bytes());
+  device.memcpy_h2d(st.masks, 0,
+                    {reinterpret_cast<const u8*>(masks.data()), masks.size_bytes()});
+
+  st.input = device.alloc(kMaxBatchItems * 16);
+  st.output = device.alloc(kMaxBatchItems * sizeof(u16));
+  gpu_state_.emplace(device.gpu_id(), std::move(st));
+}
+
+bool Ipv6ForwardApp::classify_and_rewrite(iengine::PacketChunk& chunk, u32 i) {
+  net::PacketView view;
+  if (classify_l3(chunk, i, net::EtherType::kIpv6, view) != FastPathClass::kEligible) {
+    return false;
+  }
+  view.ipv6().hop_limit -= 1;  // no checksum in the IPv6 header
+  return true;
+}
+
+void Ipv6ForwardApp::pre_shade(core::ShaderJob& job) {
+  auto& chunk = job.chunk;
+  job.gpu_input.reserve(chunk.count() * 16);
+  for (u32 i = 0; i < chunk.count(); ++i) {
+    perf::charge_cpu_cycles(perf::kPreShadingCyclesPerPacket);
+    if (!classify_and_rewrite(chunk, i)) continue;
+    // Gather hi/lo words in host order, the layout the kernel consumes.
+    const u8* dst = chunk_view_dst6(chunk, i);
+    const u64 hi = load_be64(dst);
+    const u64 lo = load_be64(dst + 8);
+    const auto* hb = reinterpret_cast<const u8*>(&hi);
+    const auto* lb = reinterpret_cast<const u8*>(&lo);
+    job.gpu_input.insert(job.gpu_input.end(), hb, hb + 8);
+    job.gpu_input.insert(job.gpu_input.end(), lb, lb + 8);
+    job.gpu_index.push_back(i);
+  }
+  job.gpu_items = static_cast<u32>(job.gpu_index.size());
+}
+
+Picos Ipv6ForwardApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* const> jobs,
+                            Picos submit_time) {
+  auto& st = gpu_state_.at(gpu.device->gpu_id());
+  const auto* slots = st.slots.as<const route::Ipv6FlatTable::Slot>();
+  const auto* offsets = st.offsets.as<const u32>();
+  const auto* masks = st.masks.as<const u32>();
+  const route::NextHop default_nh = flat_.default_route();
+
+  const bool streamed = gpu.streams.size() > 1;
+  Picos done = submit_time;
+  u32 offset = 0;
+
+  if (!streamed) {
+    u32 total = 0;
+    for (auto* job : jobs) {
+      if (job->gpu_items == 0) continue;
+      assert(total + job->gpu_items <= kMaxBatchItems);
+      gpu.device->memcpy_h2d(st.input, static_cast<std::size_t>(total) * 16, job->gpu_input,
+                             gpu::kDefaultStream, submit_time);
+      total += job->gpu_items;
+    }
+    if (total == 0) return submit_time;
+
+    const u64* in = st.input.as<const u64>();
+    u16* out = st.output.as<u16>();
+    gpu::KernelLaunch kernel{
+        .name = "ipv6_lookup",
+        .threads = total,
+        .body =
+            [=](gpu::ThreadCtx& ctx) {
+              const u32 tid = ctx.thread_id();
+              out[tid] = route::Ipv6FlatTable::lookup_in_arrays(
+                  slots, offsets, masks, in[tid * 2], in[tid * 2 + 1], default_nh);
+            },
+        .cost = ipv6_kernel_cost(),
+    };
+    gpu.device->launch(kernel, gpu::kDefaultStream, submit_time);
+
+    for (auto* job : jobs) {
+      if (job->gpu_items == 0) continue;
+      job->gpu_output.resize(job->gpu_items * sizeof(u16));
+      const auto timing = gpu.device->memcpy_d2h(
+          job->gpu_output, st.output, static_cast<std::size_t>(offset) * sizeof(u16),
+          gpu::kDefaultStream, submit_time);
+      done = std::max(done, timing.end);
+      offset += job->gpu_items;
+    }
+    return done;
+  }
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    auto* job = jobs[j];
+    if (job->gpu_items == 0) continue;
+    assert(offset + job->gpu_items <= kMaxBatchItems);
+    const auto stream = gpu.stream_for(j);
+    gpu.device->memcpy_h2d(st.input, static_cast<std::size_t>(offset) * 16, job->gpu_input,
+                           stream, submit_time);
+    const u64* in = st.input.as<const u64>() + static_cast<std::size_t>(offset) * 2;
+    u16* out = st.output.as<u16>() + offset;
+    gpu::KernelLaunch kernel{
+        .name = "ipv6_lookup",
+        .threads = job->gpu_items,
+        .body =
+            [=](gpu::ThreadCtx& ctx) {
+              const u32 tid = ctx.thread_id();
+              out[tid] = route::Ipv6FlatTable::lookup_in_arrays(
+                  slots, offsets, masks, in[tid * 2], in[tid * 2 + 1], default_nh);
+            },
+        .cost = ipv6_kernel_cost(),
+    };
+    gpu.device->launch(kernel, stream, submit_time);
+    job->gpu_output.resize(job->gpu_items * sizeof(u16));
+    const auto timing =
+        gpu.device->memcpy_d2h(job->gpu_output, st.output,
+                               static_cast<std::size_t>(offset) * sizeof(u16), stream,
+                               submit_time);
+    done = std::max(done, timing.end);
+    offset += job->gpu_items;
+  }
+  return done;
+}
+
+void Ipv6ForwardApp::post_shade(core::ShaderJob& job) {
+  auto& chunk = job.chunk;
+  const auto* next_hops = reinterpret_cast<const u16*>(job.gpu_output.data());
+  for (u32 k = 0; k < job.gpu_items; ++k) {
+    perf::charge_cpu_cycles(perf::kPostShadingCyclesPerPacket);
+    const u32 i = job.gpu_index[k];
+    const route::NextHop nh = next_hops[k];
+    if (nh == route::kNoRoute) {
+      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+    } else {
+      chunk.set_out_port(i, static_cast<i16>(nh));
+    }
+  }
+}
+
+void Ipv6ForwardApp::process_cpu(iengine::PacketChunk& chunk) {
+  for (u32 i = 0; i < chunk.count(); ++i) {
+    if (!classify_and_rewrite(chunk, i)) {
+      perf::charge_cpu_cycles(perf::kCpuIpv6LookupCyclesPerProbe);
+      continue;
+    }
+    const u8* dst = chunk_view_dst6(chunk, i);
+    int probes = 0;
+    const route::NextHop nh =
+        table_.lookup(net::Ipv6Addr::from_words(load_be64(dst), load_be64(dst + 8)), &probes);
+    perf::charge_cpu_cycles(probes * perf::kCpuIpv6LookupCyclesPerProbe);
+    if (nh == route::kNoRoute) {
+      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+    } else {
+      chunk.set_out_port(i, static_cast<i16>(nh));
+    }
+  }
+}
+
+}  // namespace ps::apps

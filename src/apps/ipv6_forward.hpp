@@ -1,0 +1,45 @@
+// IPv6 forwarding application (section 6.2.2): binary search on prefix
+// lengths, seven hash probes per lookup — the memory-intensive workload
+// where GPU acceleration pays off most (Figure 11(b)).
+#pragma once
+
+#include <unordered_map>
+
+#include "core/shader.hpp"
+#include "route/ipv6_table.hpp"
+
+namespace ps::apps {
+
+class Ipv6ForwardApp final : public core::Shader {
+ public:
+  /// Builds the flattened GPU layout from `table` up front; `table` must
+  /// outlive the app.
+  explicit Ipv6ForwardApp(const route::Ipv6Table& table);
+
+  const char* name() const override { return "ipv6-forward"; }
+  void bind_gpu(gpu::GpuDevice& device) override;
+  void pre_shade(core::ShaderJob& job) override;
+  Picos shade(core::GpuContext& gpu, std::span<core::ShaderJob* const> jobs,
+              Picos submit_time = 0) override;
+  void post_shade(core::ShaderJob& job) override;
+  void process_cpu(iengine::PacketChunk& chunk) override;
+
+  static constexpr u32 kMaxBatchItems = 65536;
+
+ private:
+  bool classify_and_rewrite(iengine::PacketChunk& chunk, u32 i);
+
+  struct GpuState {
+    gpu::DeviceBuffer slots;
+    gpu::DeviceBuffer offsets;
+    gpu::DeviceBuffer masks;
+    gpu::DeviceBuffer input;   // 16 B address per item
+    gpu::DeviceBuffer output;  // u16 next hop per item
+  };
+
+  const route::Ipv6Table& table_;
+  route::Ipv6FlatTable flat_;
+  std::unordered_map<int, GpuState> gpu_state_;
+};
+
+}  // namespace ps::apps

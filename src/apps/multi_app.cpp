@@ -1,0 +1,164 @@
+#include "apps/multi_app.hpp"
+
+#include <cassert>
+
+#include "common/endian.hpp"
+#include "perf/calibration.hpp"
+#include "perf/ledger.hpp"
+
+namespace ps::apps {
+
+namespace {
+
+/// Cheap ethertype peek — full parsing happens in the child's pre-shader.
+net::EtherType ethertype_of(std::span<const u8> frame) {
+  if (frame.size() < sizeof(net::EthernetHeader)) return static_cast<net::EtherType>(0);
+  return static_cast<net::EtherType>(load_be16(frame.data() + 12));
+}
+
+/// Rebuild `parent` from finished sub-chunks, original packet order first
+/// (per-flow FIFO), then any packets the children appended beyond their
+/// inputs (e.g. OpenFlow flood clones).
+void reassemble(iengine::PacketChunk& parent,
+                std::span<const core::ShaderJob::SubJob> sub_jobs) {
+  struct Source {
+    const core::ShaderJob::SubJob* sub = nullptr;
+    u32 index = 0;
+  };
+  std::vector<Source> source(parent.count());
+  for (const auto& sub : sub_jobs) {
+    for (u32 k = 0; k < sub.parent_index.size(); ++k) {
+      source[sub.parent_index[k]] = {&sub, k};
+    }
+  }
+
+  iengine::PacketChunk scratch(parent.max_packets());
+  scratch.in_port = parent.in_port;
+  scratch.in_queue = parent.in_queue;
+  auto copy_from = [&scratch](const iengine::PacketChunk& from, u32 k) {
+    const u32 slot = scratch.count();
+    if (!scratch.append(from.packet(k), from.rss_hash(k))) return;
+    scratch.set_verdict(slot, from.verdict(k));
+    scratch.set_out_port(slot, from.out_port(k));
+  };
+
+  for (u32 i = 0; i < parent.count(); ++i) {
+    if (source[i].sub == nullptr) {
+      // Undispatched packet (unknown protocol): carried through unchanged.
+      copy_from(parent, i);
+      continue;
+    }
+    copy_from(source[i].sub->job->chunk, source[i].index);
+  }
+  // Child-appended extras (clones) after the originals.
+  for (const auto& sub : sub_jobs) {
+    const auto& sub_chunk = sub.job->chunk;
+    for (u32 k = static_cast<u32>(sub.parent_index.size()); k < sub_chunk.count(); ++k) {
+      copy_from(sub_chunk, k);
+    }
+  }
+  parent = std::move(scratch);
+}
+
+}  // namespace
+
+void MultiProtocolApp::add_protocol(net::EtherType type, core::Shader* app) {
+  assert(app != nullptr);
+  children_[type] = app;
+}
+
+void MultiProtocolApp::bind_gpu(gpu::GpuDevice& device) {
+  for (auto& [type, child] : children_) child->bind_gpu(device);
+}
+
+void MultiProtocolApp::pre_shade(core::ShaderJob& job) {
+  auto& chunk = job.chunk;
+
+  // Split into per-protocol sub-jobs, preserving per-packet provenance.
+  std::map<net::EtherType, std::size_t> sub_of;
+  for (u32 i = 0; i < chunk.count(); ++i) {
+    perf::charge_cpu_cycles(8.0);  // ethertype dispatch
+    const auto type = ethertype_of(chunk.packet(i));
+    const auto child_it = children_.find(type);
+    if (child_it == children_.end()) {
+      chunk.set_verdict(i, iengine::PacketVerdict::kSlowPath);
+      continue;
+    }
+    auto [it, inserted] = sub_of.try_emplace(type, job.sub_jobs.size());
+    if (inserted) {
+      core::ShaderJob::SubJob sub;
+      sub.job = std::make_unique<core::ShaderJob>(chunk.max_packets());
+      sub.job->chunk.in_port = chunk.in_port;
+      sub.job->chunk.in_queue = chunk.in_queue;
+      sub.app = child_it->second;
+      job.sub_jobs.push_back(std::move(sub));
+    }
+    auto& sub = job.sub_jobs[it->second];
+    sub.job->chunk.append(chunk.packet(i), chunk.rss_hash(i));
+    sub.parent_index.push_back(i);
+  }
+
+  u32 items = 0;
+  for (auto& sub : job.sub_jobs) {
+    sub.app->pre_shade(*sub.job);
+    items += sub.job->gpu_items;
+  }
+  job.gpu_items = items;
+}
+
+Picos MultiProtocolApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* const> jobs,
+                              Picos submit_time) {
+  // Each child shades on its own stream: with several streams in the
+  // context, heterogeneous kernels run concurrently (Fermi, section 7);
+  // with one, they serialize, as on the paper's original framework.
+  Picos done = submit_time;
+  std::size_t lane = 0;
+  for (auto* job : jobs) {
+    for (auto& sub : job->sub_jobs) {
+      core::GpuContext sub_ctx{gpu.device, {gpu.stream_for(lane++)}};
+      core::ShaderJob* sub_jobs_arr[] = {sub.job.get()};
+      done = std::max(done, sub.app->shade(sub_ctx, {sub_jobs_arr, 1}, submit_time));
+    }
+  }
+  return done;
+}
+
+void MultiProtocolApp::post_shade(core::ShaderJob& job) {
+  for (auto& sub : job.sub_jobs) sub.app->post_shade(*sub.job);
+  for (u32 i = 0; i < job.chunk.count(); ++i) perf::charge_cpu_cycles(4.0);  // reassembly
+  reassemble(job.chunk, job.sub_jobs);
+}
+
+void MultiProtocolApp::process_cpu(iengine::PacketChunk& chunk) {
+  // CPU-only path: same split, children's CPU paths, same reassembly.
+  core::ShaderJob job(chunk.max_packets());
+  job.chunk = std::move(chunk);
+
+  auto& parent = job.chunk;
+  std::map<net::EtherType, std::size_t> sub_of;
+  for (u32 i = 0; i < parent.count(); ++i) {
+    const auto type = ethertype_of(parent.packet(i));
+    const auto child_it = children_.find(type);
+    if (child_it == children_.end()) {
+      parent.set_verdict(i, iengine::PacketVerdict::kSlowPath);
+      continue;
+    }
+    auto [it, inserted] = sub_of.try_emplace(type, job.sub_jobs.size());
+    if (inserted) {
+      core::ShaderJob::SubJob sub;
+      sub.job = std::make_unique<core::ShaderJob>(parent.max_packets());
+      sub.job->chunk.in_port = parent.in_port;
+      sub.app = child_it->second;
+      job.sub_jobs.push_back(std::move(sub));
+    }
+    auto& sub = job.sub_jobs[it->second];
+    sub.job->chunk.append(parent.packet(i), parent.rss_hash(i));
+    sub.parent_index.push_back(i);
+  }
+
+  for (auto& sub : job.sub_jobs) sub.app->process_cpu(sub.job->chunk);
+  reassemble(parent, job.sub_jobs);
+  chunk = std::move(parent);
+}
+
+}  // namespace ps::apps

@@ -1,0 +1,42 @@
+// Multi-functional PacketShader (section 7): several applications active
+// at once, dispatched per packet by ethertype — e.g. IPv4 forwarding and
+// IPv6 forwarding on the same router, or forwarding plus IPsec.
+//
+// The paper notes the constraint that made this future work in 2010: the
+// framework ran one GPU kernel at a time per device, so multi-
+// functionality would have required fusing everything into a single
+// kernel — until Fermi added concurrent kernel execution. This composes
+// shaders the Fermi way: each chunk splits into per-protocol sub-chunks,
+// every child shades its sub-chunk on its own CUDA stream (concurrent
+// kernels when the GpuContext carries multiple streams, serialized
+// otherwise), and the post-shader reassembles the chunk in original
+// packet order so per-flow FIFO is preserved.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/shader.hpp"
+#include "net/headers.hpp"
+
+namespace ps::apps {
+
+class MultiProtocolApp final : public core::Shader {
+ public:
+  /// Register `app` for packets of `type`. Children must outlive this app.
+  /// Packets with no registered protocol go to the slow path.
+  void add_protocol(net::EtherType type, core::Shader* app);
+
+  const char* name() const override { return "multi-protocol"; }
+  void bind_gpu(gpu::GpuDevice& device) override;
+  void pre_shade(core::ShaderJob& job) override;
+  Picos shade(core::GpuContext& gpu, std::span<core::ShaderJob* const> jobs,
+              Picos submit_time = 0) override;
+  void post_shade(core::ShaderJob& job) override;
+  void process_cpu(iengine::PacketChunk& chunk) override;
+
+ private:
+  std::map<net::EtherType, core::Shader*> children_;
+};
+
+}  // namespace ps::apps

@@ -1,0 +1,69 @@
+// Byte-order helpers for wire-format access.
+//
+// Wire structs in ps::net store fields in network byte order; all access
+// goes through these loads/stores so host code always sees host-order
+// values and never does an unaligned or wrongly-ordered read.
+#pragma once
+
+#include <bit>
+#include <cstring>
+
+#include "common/types.hpp"
+
+namespace ps {
+
+constexpr u16 bswap16(u16 v) noexcept { return static_cast<u16>((v << 8) | (v >> 8)); }
+
+constexpr u32 bswap32(u32 v) noexcept {
+  return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) | ((v & 0x00ff0000u) >> 8) |
+         ((v & 0xff000000u) >> 24);
+}
+
+constexpr u64 bswap64(u64 v) noexcept {
+  return (static_cast<u64>(bswap32(static_cast<u32>(v))) << 32) | bswap32(static_cast<u32>(v >> 32));
+}
+
+constexpr bool kHostIsLittleEndian = std::endian::native == std::endian::little;
+
+constexpr u16 hton16(u16 v) noexcept { return kHostIsLittleEndian ? bswap16(v) : v; }
+constexpr u32 hton32(u32 v) noexcept { return kHostIsLittleEndian ? bswap32(v) : v; }
+constexpr u64 hton64(u64 v) noexcept { return kHostIsLittleEndian ? bswap64(v) : v; }
+constexpr u16 ntoh16(u16 v) noexcept { return hton16(v); }
+constexpr u32 ntoh32(u32 v) noexcept { return hton32(v); }
+constexpr u64 ntoh64(u64 v) noexcept { return hton64(v); }
+
+/// Unaligned big-endian loads/stores (wire structs may sit at any offset).
+inline u16 load_be16(const u8* p) noexcept {
+  u16 v;
+  std::memcpy(&v, p, 2);
+  return ntoh16(v);
+}
+
+inline u32 load_be32(const u8* p) noexcept {
+  u32 v;
+  std::memcpy(&v, p, 4);
+  return ntoh32(v);
+}
+
+inline u64 load_be64(const u8* p) noexcept {
+  u64 v;
+  std::memcpy(&v, p, 8);
+  return ntoh64(v);
+}
+
+inline void store_be16(u8* p, u16 v) noexcept {
+  const u16 be = hton16(v);
+  std::memcpy(p, &be, 2);
+}
+
+inline void store_be32(u8* p, u32 v) noexcept {
+  const u32 be = hton32(v);
+  std::memcpy(p, &be, 4);
+}
+
+inline void store_be64(u8* p, u64 v) noexcept {
+  const u64 be = hton64(v);
+  std::memcpy(p, &be, 8);
+}
+
+}  // namespace ps

@@ -1,0 +1,94 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ps {
+
+Histogram::Histogram() : buckets_(static_cast<std::size_t>(kBucketsPerDecade * kDecades), 0) {}
+
+int Histogram::bucket_index(double value) const {
+  if (!(value > 0.0)) return 0;
+  // log-spaced buckets anchored at 1e-10.
+  const double pos = (std::log10(value) + 10.0) * kBucketsPerDecade;
+  const int idx = static_cast<int>(pos);
+  return std::clamp(idx, 0, kBucketsPerDecade * kDecades - 1);
+}
+
+double Histogram::bucket_midpoint(int index) const {
+  const double lo = (static_cast<double>(index) / kBucketsPerDecade) - 10.0;
+  const double hi = (static_cast<double>(index + 1) / kBucketsPerDecade) - 10.0;
+  return std::pow(10.0, (lo + hi) / 2.0);
+}
+
+void Histogram::record(double value) { record_n(value, 1); }
+
+void Histogram::record_n(double value, u64 n) {
+  if (n == 0) return;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += n;
+  sum_ += value * static_cast<double>(n);
+  sum_sq_ += value * value * static_cast<double>(n);
+  buckets_[static_cast<std::size_t>(bucket_index(value))] += n;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = sum_sq_ = min_ = max_ = 0.0;
+}
+
+double Histogram::stddev() const noexcept {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank definition: the smallest value with at least q*count
+  // observations at or below it.
+  const u64 rank = q <= 0.0 ? 0
+                            : std::min<u64>(count_ - 1,
+                                            static_cast<u64>(std::ceil(q * static_cast<double>(count_))) - 1);
+  const u64 target = rank;
+  u64 seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) return std::clamp(bucket_midpoint(static_cast<int>(i)), min_, max_);
+  }
+  return max_;
+}
+
+std::string Histogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3f p50=%.3f p99=%.3f min=%.3f max=%.3f",
+                static_cast<unsigned long long>(count_), mean(), p50(), p99(), min(), max());
+  return buf;
+}
+
+}  // namespace ps

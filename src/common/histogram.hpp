@@ -1,0 +1,52 @@
+// Latency/throughput statistics with percentile support.
+//
+// Figure 12 of the paper reports average round-trip latency over offered
+// load; our harness additionally records percentiles, so the distribution
+// is kept as a log-bucketed histogram (constant memory, ~1% value error).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ps {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void record(double value);
+  void record_n(double value, u64 count);
+  void merge(const Histogram& other);
+  void reset();
+
+  u64 count() const noexcept { return count_; }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double mean() const noexcept { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double stddev() const noexcept;
+
+  /// Value at quantile q in [0,1], approximated by bucket midpoint.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p99() const { return quantile(0.99); }
+
+  /// One-line human-readable summary.
+  std::string summary() const;
+
+ private:
+  static constexpr int kBucketsPerDecade = 64;
+  static constexpr int kDecades = 20;  // covers 1e-10 .. 1e10 relative range
+  int bucket_index(double value) const;
+  double bucket_midpoint(int index) const;
+
+  std::vector<u64> buckets_;
+  u64 count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ps

@@ -1,0 +1,133 @@
+// Bounded multi-producer / single-consumer queue.
+//
+// Used for the master thread's input queue (section 5.3): several worker
+// threads feed one master. The paper deliberately keeps this queue shared
+// (rather than per-worker) to preserve fairness between workers; we mirror
+// that with a single mutex-guarded FIFO, which also gives the FIFO ordering
+// guarantee section 5.3 requires.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ps {
+
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Blocking push; waits while the queue is full unless closed.
+  /// Returns false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. Returns false when full or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; returns nullopt only after close() with the queue drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::optional<T> value;
+    {
+      std::lock_guard lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      value = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Pops up to `max` items at once (the gather step of gather/scatter).
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    std::size_t n = 0;
+    {
+      std::lock_guard lock(mu_);
+      while (n < max && !items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++n;
+      }
+    }
+    if (n > 0) not_full_.notify_all();
+    return n;
+  }
+
+  /// Blocking pop of up to `max` items: waits until at least one is
+  /// available (or the queue is closed), then drains greedily.
+  std::size_t pop_batch_wait(std::vector<T>& out, std::size_t max) {
+    std::size_t n = 0;
+    {
+      std::unique_lock lock(mu_);
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+      while (n < max && !items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++n;
+      }
+    }
+    if (n > 0) not_full_.notify_all();
+    return n;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ps

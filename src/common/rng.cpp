@@ -1,0 +1,55 @@
+#include "common/rng.hpp"
+
+namespace ps {
+namespace {
+
+constexpr u64 rotl(u64 x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: expands a single seed into the full xoshiro state.
+u64 splitmix64(u64& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::reseed(u64 seed) noexcept {
+  u64 x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+  // All-zero state is the one fixed point of xoshiro; splitmix64 cannot
+  // produce four zero outputs in a row, so the state is always valid.
+}
+
+u64 Rng::next_u64() noexcept {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::next_below(u64 bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  u64 x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  u64 low = static_cast<u64>(m);
+  if (low < bound) {
+    const u64 threshold = -bound % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<u64>(m);
+    }
+  }
+  return static_cast<u64>(m >> 64);
+}
+
+}  // namespace ps

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Benchmarks and tests must be reproducible run-to-run, so all randomness in
+// the repository flows through this generator with explicit seeds (never
+// std::random_device or time-based seeding).
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace ps {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  void reseed(u64 seed) noexcept;
+
+  u64 next_u64() noexcept;
+  u32 next_u32() noexcept { return static_cast<u32>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  u64 next_below(u64 bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Uniform in [lo, hi] inclusive.
+  u64 next_range(u64 lo, u64 hi) noexcept { return lo + next_below(hi - lo + 1); }
+
+ private:
+  std::array<u64, 4> s_{};
+};
+
+}  // namespace ps

@@ -1,0 +1,94 @@
+// Bounded lock-free single-producer / single-consumer ring.
+//
+// This is the queue shape the paper relies on throughout: a NIC RX/TX
+// descriptor ring has exactly one producer and one consumer (section 4.4
+// dedicates each queue to one core precisely to get this property), and the
+// worker->master input/output queues of section 5.3 are SPSC per worker.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/types.hpp"
+
+namespace ps {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; the ring holds capacity
+  /// elements (one slot is *not* sacrificed; we track head/tail as free
+  /// running counters).
+  explicit SpscRing(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side. Returns false when full.
+  bool push(T value) {
+    const u64 head = head_.load(std::memory_order_relaxed);
+    const u64 tail = tail_cache_;
+    if (head - tail >= capacity()) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head - tail_cache_ >= capacity()) return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when empty.
+  std::optional<T> pop() {
+    const u64 tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) return std::nullopt;
+    }
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Consumer-side batch pop: moves up to `max` elements into `out`,
+  /// returns the count. This is the primitive behind batched packet RX.
+  std::size_t pop_batch(T* out, std::size_t max) {
+    const u64 tail = tail_.load(std::memory_order_relaxed);
+    u64 head = head_cache_;
+    if (tail == head) {
+      head = head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head) return 0;
+    }
+    const std::size_t n = std::min<std::size_t>(max, head - tail);
+    for (std::size_t i = 0; i < n; ++i) out[i] = std::move(slots_[(tail + i) & mask_]);
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Approximate occupancy; exact when called from either endpoint thread.
+  std::size_t size() const noexcept {
+    const u64 head = head_.load(std::memory_order_acquire);
+    const u64 tail = tail_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(head - tail);
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+
+  alignas(kCacheLineSize) std::atomic<u64> head_{0};  // producer writes
+  alignas(kCacheLineSize) u64 tail_cache_{0};         // producer-local
+  alignas(kCacheLineSize) std::atomic<u64> tail_{0};  // consumer writes
+  alignas(kCacheLineSize) u64 head_cache_{0};         // consumer-local
+};
+
+}  // namespace ps

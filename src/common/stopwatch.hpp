@@ -1,0 +1,31 @@
+// Wall-clock stopwatch for the host-speed microbenchmarks (bench_micro_*).
+// All paper-shaped figures use the simulated clock in ps::perf instead.
+#pragma once
+
+#include <chrono>
+
+#include "common/types.hpp"
+
+namespace ps {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  Picos elapsed_picos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count() *
+           kPicosPerNano;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ps

@@ -1,0 +1,61 @@
+// Token-bucket rate limiter on the model clock.
+//
+// The paper's packet generator rate-limits its offered load (section 6.4
+// notes the overhead of doing so); the latency experiments sweep offered
+// rates. This bucket paces work in modeled time: deterministic, no
+// wall-clock dependency.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace ps {
+
+class TokenBucket {
+ public:
+  /// `rate_per_sec` tokens accrue per simulated second, up to `burst`.
+  /// The bucket starts full.
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+  /// Try to take `cost` tokens at model time `now`. Returns true on
+  /// success. `now` must be monotone across calls.
+  bool try_consume(Picos now, double cost = 1.0) {
+    refill(now);
+    if (tokens_ < cost) return false;
+    tokens_ -= cost;
+    return true;
+  }
+
+  /// Earliest model time at which `cost` tokens will be available
+  /// (== now when they already are).
+  Picos next_available(Picos now, double cost = 1.0) {
+    refill(now);
+    if (tokens_ >= cost) return now;
+    const double deficit = cost - tokens_;
+    return now + static_cast<Picos>(deficit / rate_ * 1e12);
+  }
+
+  double tokens_at(Picos now) {
+    refill(now);
+    return tokens_;
+  }
+
+ private:
+  void refill(Picos now) {
+    if (now <= last_) return;
+    tokens_ = std::min(burst_, tokens_ + rate_ * to_seconds(now - last_));
+    last_ = now;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  Picos last_ = 0;
+};
+
+}  // namespace ps

@@ -1,0 +1,54 @@
+// Basic scalar types and unit helpers shared by every PacketShader module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ps {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Simulated time in picoseconds. Picosecond granularity keeps cycle
+/// arithmetic exact for multi-GHz clocks (1 cycle @ 2.66 GHz = 375.9 ps).
+using Picos = i64;
+
+constexpr Picos kPicosPerNano = 1'000;
+constexpr Picos kPicosPerMicro = 1'000'000;
+constexpr Picos kPicosPerMilli = 1'000'000'000;
+constexpr Picos kPicosPerSec = 1'000'000'000'000;
+
+constexpr double to_micros(Picos p) { return static_cast<double>(p) / kPicosPerMicro; }
+constexpr double to_nanos(Picos p) { return static_cast<double>(p) / kPicosPerNano; }
+constexpr double to_seconds(Picos p) { return static_cast<double>(p) / kPicosPerSec; }
+constexpr Picos micros(double us) { return static_cast<Picos>(us * kPicosPerMicro); }
+constexpr Picos nanos(double ns) { return static_cast<Picos>(ns * kPicosPerNano); }
+constexpr Picos seconds(double s) { return static_cast<Picos>(s * kPicosPerSec); }
+
+/// Convert a (bytes, duration) pair to throughput in Gbit/s.
+constexpr double to_gbps(u64 bytes, Picos elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / static_cast<double>(elapsed) * 1e3;
+}
+
+/// Convert a (packets, duration) pair to millions of packets per second.
+constexpr double to_mpps(u64 packets, Picos elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(packets) / static_cast<double>(elapsed) * 1e6;
+}
+
+/// Ethernet framing overhead per packet on the wire: preamble (7) + SFD (1)
+/// + FCS (4) + inter-frame gap (12) = 24 bytes. The paper counts this
+/// overhead in all Gbps figures (footnote 1); so do we.
+constexpr u32 kEthernetWireOverhead = 24;
+
+/// Bytes a packet of `frame_size` occupies on the wire.
+constexpr u64 wire_bytes(u64 frame_size) { return frame_size + kEthernetWireOverhead; }
+
+}  // namespace ps

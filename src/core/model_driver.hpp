@@ -1,0 +1,80 @@
+// Steady-state throughput model executor (DESIGN.md §4).
+//
+// Runs the full functional pipeline — generator → NIC DMA → io-engine →
+// pre-shade → shade (GPU) → post-shade → TX — deterministically on one
+// host thread, with every stage charging its modeled resource. The
+// sustainable rate is then work / busiest-resource-time. This produces all
+// Figure 6 / Figure 11 numbers; real threads (core::Router) exist for
+// functional integration tests where wall-clock shape does not matter.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/shader.hpp"
+#include "core/testbed.hpp"
+#include "gen/traffic.hpp"
+
+namespace ps::core {
+
+struct ModelResult {
+  u64 offered = 0;     // frames handed to the NICs
+  u64 accepted = 0;    // frames that fit in RX rings
+  u64 forwarded = 0;   // frames transmitted
+  u64 dropped = 0;
+  u64 slow_path = 0;
+
+  double input_gbps = 0.0;   // offered-side wire throughput at the bottleneck
+  double output_gbps = 0.0;  // transmitted wire throughput
+  double mpps = 0.0;         // forwarded packet rate
+  std::string bottleneck;
+};
+
+class ModelDriver {
+ public:
+  /// `shader` == nullptr runs minimal forwarding (RX + TX, no lookup):
+  /// the Figure 5 / Figure 6 "forwarding" workload. Minimal forwarding
+  /// echoes each packet to a fixed peer port (0<->1, 2<->3, ...), or to a
+  /// port on the other node when `node_crossing` is set.
+  ModelDriver(Testbed& testbed, Shader* shader, RouterConfig config);
+
+  /// Drive ~`target_packets` through the pipeline and report model-clock
+  /// throughput.
+  ModelResult run(gen::TrafficGen& traffic, u64 target_packets);
+
+  /// Minimal-forwarding behaviour flags.
+  void set_node_crossing(bool v) { node_crossing_ = v; }
+  /// Restrict the run to the first `n` worker cores (0 = all); used by the
+  /// single-core Figure 5 sweep.
+  void set_active_workers(int n) { active_workers_ = n; }
+  /// RX-only (drop after fetch) and TX-only (synthesize at TX) modes for
+  /// Figure 6's RX/TX series.
+  enum class IoMode { kForward, kRxOnly, kTxOnly };
+  void set_io_mode(IoMode mode) { io_mode_ = mode; }
+
+  /// Resource charges accumulated by the last run() (for ablation benches
+  /// that inspect per-resource busy time directly).
+  const perf::CostLedger& ledger() const { return ledger_; }
+
+ private:
+  struct WorkerCtx {
+    int core = 0;
+    int node = 0;
+    iengine::IoHandle* handle = nullptr;
+  };
+
+  void process_chunk_cpu(WorkerCtx& worker, ShaderJob& job);
+  i16 minimal_out_port(int in_port) const;
+
+  Testbed& testbed_;
+  Shader* shader_;
+  RouterConfig config_;
+  perf::CostLedger ledger_;
+  std::vector<WorkerCtx> workers_;
+  std::vector<std::vector<JobPtr>> node_pending_;  // gathered jobs per node
+  bool node_crossing_ = false;
+  int active_workers_ = 0;
+  IoMode io_mode_ = IoMode::kForward;
+};
+
+}  // namespace ps::core

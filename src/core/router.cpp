@@ -1,0 +1,232 @@
+#include "core/router.hpp"
+
+#include <cassert>
+#include <chrono>
+
+namespace ps::core {
+
+namespace {
+constexpr std::chrono::microseconds kIdleSleep{20};
+}
+
+Router::Router(iengine::PacketIoEngine& engine, std::vector<gpu::GpuDevice*> gpus,
+               Shader& shader, RouterConfig config)
+    : engine_(engine), shader_(shader), config_(config) {
+  const auto& topo = engine.topology();
+  workers_per_node_ = config_.use_gpu ? topo.cores_per_node - 1 : topo.cores_per_node;
+  assert(workers_per_node_ > 0);
+
+  nodes_.resize(static_cast<std::size_t>(topo.num_nodes));
+  for (int n = 0; n < topo.num_nodes; ++n) {
+    auto& node = nodes_[static_cast<std::size_t>(n)];
+    if (config_.use_gpu) {
+      assert(static_cast<std::size_t>(n) < gpus.size() && gpus[static_cast<std::size_t>(n)]);
+      node.master_in =
+          std::make_unique<MpscQueue<ShaderJob*>>(config_.master_queue_capacity);
+      node.gpu.device = gpus[static_cast<std::size_t>(n)];
+      node.gpu.streams.push_back(gpu::kDefaultStream);
+      for (u32 s = 1; s < config_.num_streams; ++s) {
+        node.gpu.streams.push_back(node.gpu.device->create_stream());
+      }
+    }
+  }
+
+  // Worker k of node n drains RX queue k of every port on node n — the
+  // NUMA-local RSS confinement of section 4.5.
+  for (int n = 0; n < topo.num_nodes; ++n) {
+    for (int k = 0; k < workers_per_node_; ++k) {
+      WorkerRuntime worker;
+      worker.id = static_cast<int>(workers_.size());
+      worker.node = n;
+      worker.core = n * topo.cores_per_node + k;
+
+      std::vector<iengine::QueueRef> queues;
+      for (int port = 0; port < topo.num_ports(); ++port) {
+        if (topo.node_of_port(port) != n) continue;
+        queues.push_back({port, static_cast<u16>(k)});
+      }
+      worker.handle = engine_.attach(worker.core, std::move(queues));
+      worker.out_queue = std::make_unique<SpscRing<ShaderJob*>>(
+          std::max<u32>(config_.pipeline_depth * 2, 16));
+      workers_.push_back(std::move(worker));
+    }
+  }
+  stats_.resize(workers_.size());
+}
+
+Router::~Router() { stop(); }
+
+ShaderJob* Router::acquire_job(WorkerRuntime& worker) {
+  for (auto& owned : worker.job_pool) {
+    if (owned->worker_id == -1) {  // -1 marks "free"
+      owned->worker_id = worker.id;
+      owned->reset();
+      return owned.get();
+    }
+  }
+  worker.job_pool.push_back(std::make_unique<ShaderJob>(config_.chunk_capacity));
+  worker.job_pool.back()->worker_id = worker.id;
+  return worker.job_pool.back().get();
+}
+
+void Router::release_job(WorkerRuntime& worker, ShaderJob* job) {
+  (void)worker;
+  job->worker_id = -1;
+}
+
+void Router::finish_job(WorkerRuntime& worker, ShaderJob* job) {
+  auto& st = stats_[static_cast<std::size_t>(worker.id)];
+  for (u32 i = 0; i < job->chunk.count(); ++i) {
+    switch (job->chunk.verdict(i)) {
+      case iengine::PacketVerdict::kDrop:
+        ++st.dropped;
+        break;
+      case iengine::PacketVerdict::kSlowPath: {
+        ++st.slow_path;
+        if (host_stack_ != nullptr) {
+          std::optional<net::FrameBuffer> reply;
+          {
+            std::lock_guard lock(host_stack_mu_);
+            reply = host_stack_->handle(job->chunk.packet(i), job->chunk.in_port);
+          }
+          // Errors (ICMP etc.) go back out of the ingress port.
+          if (reply) worker.handle->send_frame(job->chunk.in_port, *reply);
+        }
+        break;
+      }
+      case iengine::PacketVerdict::kForward:
+        break;
+    }
+  }
+  st.packets_out += worker.handle->send_chunk(job->chunk);
+  release_job(worker, job);
+}
+
+void Router::process_cpu_only(WorkerRuntime& worker, ShaderJob* job) {
+  stats_[static_cast<std::size_t>(worker.id)].cpu_processed += job->chunk.count();
+  shader_.process_cpu(job->chunk);
+  finish_job(worker, job);
+}
+
+void Router::worker_loop(WorkerRuntime& worker) {
+  auto& st = stats_[static_cast<std::size_t>(worker.id)];
+  auto& node = nodes_[static_cast<std::size_t>(worker.node)];
+  u32 inflight = 0;
+
+  while (running_.load(std::memory_order_acquire) || inflight > 0) {
+    bool progress = false;
+
+    // Scatter side: results ready from the master.
+    while (auto done = worker.out_queue->pop()) {
+      ShaderJob* job = *done;
+      shader_.post_shade(*job);
+      finish_job(worker, job);
+      --inflight;
+      progress = true;
+    }
+
+    // Chunk pipelining: keep fetching while under the in-flight cap.
+    if (running_.load(std::memory_order_acquire) && inflight < config_.pipeline_depth) {
+      ShaderJob* job = acquire_job(worker);
+      const u32 n = worker.handle->recv_chunk(job->chunk);
+      if (n > 0) {
+        ++st.chunks;
+        st.packets_in += n;
+        const bool take_cpu_path =
+            !config_.use_gpu ||
+            (config_.opportunistic_threshold != 0 && n < config_.opportunistic_threshold);
+        if (take_cpu_path) {
+          process_cpu_only(worker, job);
+        } else {
+          shader_.pre_shade(*job);
+          st.gpu_processed += n;
+          if (node.master_in->try_push(job)) {
+            ++inflight;
+          } else {
+            // Master back-pressure: shade on the CPU rather than stall
+            // (degenerate opportunistic offload).
+            st.gpu_processed -= n;
+            process_cpu_only(worker, job);
+          }
+        }
+        progress = true;
+      } else {
+        release_job(worker, job);
+      }
+    }
+
+    if (!progress) std::this_thread::sleep_for(kIdleSleep);
+  }
+}
+
+void Router::master_loop(int node_id) {
+  auto& node = nodes_[static_cast<std::size_t>(node_id)];
+  std::vector<ShaderJob*> batch;
+  batch.reserve(config_.gather_max);
+
+  while (true) {
+    batch.clear();
+    // Gather: take as many pending chunks as allowed in one shading pass.
+    const std::size_t n = node.master_in->pop_batch_wait(batch, config_.gather_max);
+    if (n == 0) break;  // queue closed and drained
+
+    shader_.shade(node.gpu, {batch.data(), batch.size()});
+
+    // Scatter: return each chunk to the worker it came from. Capacity is
+    // sized so a worker's in-flight jobs always fit its output ring.
+    for (ShaderJob* job : batch) {
+      auto& out = *workers_[static_cast<std::size_t>(job->worker_id)].out_queue;
+      const bool pushed = out.push(job);
+      assert(pushed);
+      (void)pushed;
+    }
+  }
+}
+
+void Router::start() {
+  if (started_) return;
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+
+  if (config_.use_gpu) {
+    for (auto& node : nodes_) {
+      if (node.gpu.device != nullptr) shader_.bind_gpu(*node.gpu.device);
+    }
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      threads_.emplace_back([this, n] { master_loop(static_cast<int>(n)); });
+    }
+  }
+  for (auto& worker : workers_) {
+    threads_.emplace_back([this, &worker] { worker_loop(worker); });
+  }
+}
+
+void Router::stop() {
+  if (!started_) return;
+  running_.store(false, std::memory_order_release);
+  engine_.stop();
+  // Workers stop fetching, flush their in-flight chunks, and exit; masters
+  // exit once their queues are closed and drained.
+  for (auto& node : nodes_) {
+    if (node.master_in) node.master_in->close();
+  }
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  started_ = false;
+}
+
+WorkerStats Router::total_stats() const {
+  WorkerStats total;
+  for (const auto& st : stats_) {
+    total.chunks += st.chunks;
+    total.packets_in += st.packets_in;
+    total.packets_out += st.packets_out;
+    total.dropped += st.dropped;
+    total.slow_path += st.slow_path;
+    total.cpu_processed += st.cpu_processed;
+    total.gpu_processed += st.gpu_processed;
+  }
+  return total;
+}
+
+}  // namespace ps::core

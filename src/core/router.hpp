@@ -1,0 +1,131 @@
+// The PacketShader runtime (sections 5.1, 5.3, 5.4): per-NUMA-node
+// partitions of worker threads (packet I/O + pre/post-shading) and one
+// master thread (exclusive GPU communication), joined by the master's
+// input queue and per-worker output queues.
+//
+// Implemented optimizations, each independently switchable for ablation:
+//  - chunk pipelining: a worker keeps several chunks in flight instead of
+//    stalling for the master (Figure 10(a));
+//  - gather/scatter: the master dequeues several chunks and shades them in
+//    one batch (Figure 10(b));
+//  - concurrent copy and execution: multiple CUDA streams overlap PCIe
+//    copies with kernel execution (Figure 10(c));
+//  - opportunistic offloading (section 7): small chunks (light load) are
+//    processed on the worker's CPU for latency, large ones on the GPU.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <mutex>
+
+#include "common/mpsc_queue.hpp"
+#include "common/spsc_ring.hpp"
+#include "core/shader.hpp"
+#include "gpu/device.hpp"
+#include "iengine/engine.hpp"
+#include "slowpath/host_stack.hpp"
+
+namespace ps::core {
+
+struct RouterConfig {
+  /// CPU+GPU mode: 3 workers + 1 master per node; CPU-only: 4 workers.
+  bool use_gpu = true;
+
+  u32 chunk_capacity = iengine::PacketChunk::kDefaultMaxPackets;
+
+  // --- optimization switches (section 5.4) ---------------------------------
+  u32 pipeline_depth = 4;   // chunks in flight per worker (1 = no pipelining)
+  u32 gather_max = 8;       // chunks per shading batch (1 = no gather/scatter)
+  u32 num_streams = 1;      // >1 enables concurrent copy and execution
+  /// Chunks with fewer packets than this are processed on the CPU
+  /// (opportunistic offloading); 0 disables (always GPU).
+  u32 opportunistic_threshold = 0;
+
+  u32 master_queue_capacity = 64;
+};
+
+/// Per-worker counters.
+struct WorkerStats {
+  u64 chunks = 0;
+  u64 packets_in = 0;
+  u64 packets_out = 0;
+  u64 dropped = 0;
+  u64 slow_path = 0;
+  u64 cpu_processed = 0;  // packets taken by the opportunistic CPU path
+  u64 gpu_processed = 0;
+};
+
+class Router {
+ public:
+  /// `engine` and `gpus` outlive the router. `gpus` holds one device per
+  /// NUMA node (empty in CPU-only mode). The router attaches workers to
+  /// queues NUMA-locally: worker k of node n drains queue k of every port
+  /// on node n (section 4.5 RSS confinement).
+  Router(iengine::PacketIoEngine& engine, std::vector<gpu::GpuDevice*> gpus, Shader& shader,
+         RouterConfig config);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Attach the slow-path host stack: packets with a kSlowPath verdict are
+  /// handed to it, and any response it builds (e.g. ICMP Time Exceeded)
+  /// goes back out of the ingress port. Call before start(); the stack
+  /// must outlive the router. Null detaches.
+  void set_host_stack(slowpath::HostStack* stack) { host_stack_ = stack; }
+
+  /// Spawn worker and master threads and start forwarding.
+  void start();
+
+  /// Stop threads and join them. Idempotent.
+  void stop();
+
+  /// Aggregate statistics over all workers.
+  WorkerStats total_stats() const;
+  const std::vector<WorkerStats>& worker_stats() const { return stats_; }
+
+  int workers_per_node() const { return workers_per_node_; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct NodeRuntime {
+    std::unique_ptr<MpscQueue<ShaderJob*>> master_in;
+    GpuContext gpu;
+  };
+
+  struct WorkerRuntime {
+    int id = 0;
+    int node = 0;
+    int core = 0;
+    iengine::IoHandle* handle = nullptr;
+    std::unique_ptr<SpscRing<ShaderJob*>> out_queue;  // master -> this worker
+    std::vector<JobPtr> job_pool;
+  };
+
+  void worker_loop(WorkerRuntime& worker);
+  void master_loop(int node);
+  ShaderJob* acquire_job(WorkerRuntime& worker);
+  void release_job(WorkerRuntime& worker, ShaderJob* job);
+  void finish_job(WorkerRuntime& worker, ShaderJob* job);
+  void process_cpu_only(WorkerRuntime& worker, ShaderJob* job);
+
+  iengine::PacketIoEngine& engine_;
+  Shader& shader_;
+  RouterConfig config_;
+  int workers_per_node_;
+
+  slowpath::HostStack* host_stack_ = nullptr;
+  std::mutex host_stack_mu_;  // the host stack is single-threaded, as Linux's is per-softirq
+
+  std::vector<NodeRuntime> nodes_;
+  std::vector<WorkerRuntime> workers_;
+  std::vector<WorkerStats> stats_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+};
+
+}  // namespace ps::core

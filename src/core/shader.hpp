@@ -1,0 +1,105 @@
+// The PacketShader application interface (section 5.1, Figure 7):
+// an application is three callbacks — pre-shader, shader, post-shader —
+// plus a CPU-only path used for the baseline mode and for opportunistic
+// offloading (section 7).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gpu/device.hpp"
+#include "iengine/chunk.hpp"
+
+namespace ps::core {
+
+/// One chunk's trip through the pipeline: the packets plus the staging
+/// buffers the pre-shader fills for the GPU and the shader fills back.
+struct ShaderJob {
+  iengine::PacketChunk chunk;
+
+  /// Host-side staging the pre-shader gathers for the device (e.g. the
+  /// array of destination IP addresses for IPv4 forwarding, §6.2.1).
+  std::vector<u8> gpu_input;
+  /// Results copied back from the device for the post-shader.
+  std::vector<u8> gpu_output;
+  /// GPU threads this job wants (packets, or finer grain, e.g. AES blocks).
+  u32 gpu_items = 0;
+  /// Maps GPU-eligible item -> packet index in the chunk (slow-path and
+  /// dropped packets never reach the device).
+  std::vector<u32> gpu_index;
+
+  int worker_id = 0;      // owner worker (for the scatter step)
+  Picos enqueue_time = 0; // latency accounting (model time)
+
+  /// Composition support (section 7 multi-functionality): a dispatching
+  /// shader may split a chunk into per-protocol sub-jobs, each processed
+  /// by a child shader; `parent_index` maps a sub-chunk packet back to its
+  /// position in this job's chunk.
+  struct SubJob {
+    std::unique_ptr<ShaderJob> job;
+    class Shader* app = nullptr;
+    std::vector<u32> parent_index;
+  };
+  std::vector<SubJob> sub_jobs;
+
+  explicit ShaderJob(u32 chunk_capacity) : chunk(chunk_capacity) {}
+
+  void reset() {
+    chunk.clear();
+    gpu_input.clear();
+    gpu_output.clear();
+    gpu_index.clear();
+    sub_jobs.clear();
+    gpu_items = 0;
+    enqueue_time = 0;
+  }
+};
+
+using JobPtr = std::unique_ptr<ShaderJob>;
+
+/// Per-master GPU context: the device plus the streams the master may use
+/// for concurrent copy and execution (section 5.4). With a single stream,
+/// copies and kernels serialize; with several, consecutive chunks overlap.
+struct GpuContext {
+  gpu::GpuDevice* device = nullptr;
+  std::vector<gpu::StreamId> streams;  // at least {kDefaultStream}
+
+  gpu::StreamId stream_for(std::size_t i) const {
+    return streams[i % streams.size()];
+  }
+};
+
+/// Applications implement this interface. One instance is shared by all
+/// threads: pre/post_shade run concurrently on worker threads, shade on
+/// master threads, so implementations keep per-packet state inside the job
+/// and treat tables as read-only (the paper assumes static tables, §6).
+class Shader {
+ public:
+  virtual ~Shader() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Called once per GPU before the data path starts: upload tables etc.
+  virtual void bind_gpu(gpu::GpuDevice& device) { (void)device; }
+
+  /// Worker-side: classify packets (drop/slow-path), rewrite headers, and
+  /// gather the device input into job.gpu_input / job.gpu_items.
+  virtual void pre_shade(ShaderJob& job) = 0;
+
+  /// Master-side: process a gathered batch of jobs on the GPU. The default
+  /// sequence per job is h2d copy -> kernel -> d2h copy on the job's
+  /// stream. `submit_time` is the model-clock instant the batch starts.
+  /// Returns the model-clock completion time.
+  virtual Picos shade(GpuContext& gpu, std::span<ShaderJob* const> jobs,
+                      Picos submit_time = 0) = 0;
+
+  /// Worker-side: apply gpu_output to the chunk (set verdicts/out ports).
+  virtual void post_shade(ShaderJob& job) = 0;
+
+  /// The CPU-only implementation of the whole operation, used by the
+  /// CPU-only mode (Figure 11 baselines) and opportunistic offloading.
+  virtual void process_cpu(iengine::PacketChunk& chunk) = 0;
+};
+
+}  // namespace ps::core

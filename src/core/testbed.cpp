@@ -1,0 +1,46 @@
+#include "core/testbed.hpp"
+
+namespace ps::core {
+
+Testbed::Testbed(const TestbedConfig& config, const RouterConfig& router_config)
+    : config_(config) {
+  const auto& topo = config_.topo;
+  workers_per_node_ =
+      router_config.use_gpu && config_.use_gpu ? topo.cores_per_node - 1 : topo.cores_per_node;
+
+  nic::NicConfig nic_config;
+  nic_config.num_rx_queues = static_cast<u16>(workers_per_node_);
+  // One private TX queue per core so send_chunk never contends (§4.4).
+  nic_config.num_tx_queues = static_cast<u16>(topo.num_cores());
+  nic_config.ring_size = config_.ring_size;
+
+  for (int p = 0; p < topo.num_ports(); ++p) {
+    ports_.push_back(std::make_unique<nic::NicPort>(p, topo, nic_config));
+    // NUMA-blind engine configuration: packet DMA crosses nodes (§4.5).
+    if (!config_.engine.numa_aware && topo.num_nodes > 1) {
+      ports_.back()->set_numa_blind(true);
+    }
+    port_ptrs_.push_back(ports_.back().get());
+  }
+
+  if (config_.use_gpu) {
+    gpu_executor_ = std::make_shared<gpu::SimtExecutor>(config_.gpu_pool_workers);
+    for (int g = 0; g < topo.num_gpus(); ++g) {
+      gpus_.push_back(std::make_unique<gpu::GpuDevice>(g, topo, gpu_executor_));
+      gpu_ptrs_.push_back(gpus_.back().get());
+    }
+  }
+
+  engine_ = std::make_unique<iengine::PacketIoEngine>(topo, port_ptrs_, config_.engine);
+}
+
+void Testbed::set_ledger(perf::CostLedger* ledger) {
+  for (auto& port : ports_) port->set_ledger(ledger);
+  for (auto& gpu : gpus_) gpu->set_ledger(ledger);
+}
+
+void Testbed::connect_sink(nic::WireSink* sink) {
+  for (auto& port : ports_) port->set_wire_sink(sink);
+}
+
+}  // namespace ps::core

@@ -1,0 +1,60 @@
+// Wiring helper: builds the paper's server (Figure 3) — ports, packet I/O
+// engine, GPUs — in one object. Shared by the model driver, integration
+// tests, benchmarks, and examples.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/router.hpp"
+#include "gpu/device.hpp"
+#include "iengine/engine.hpp"
+#include "nic/nic.hpp"
+#include "nic/wire.hpp"
+#include "pcie/topology.hpp"
+#include "perf/ledger.hpp"
+
+namespace ps::core {
+
+struct TestbedConfig {
+  pcie::Topology topo = pcie::Topology::paper_server();
+  bool use_gpu = true;
+  u32 ring_size = 4096;  // RX/TX descriptors per queue
+  iengine::EngineConfig engine;
+  /// Workers for the shared SIMT executor (0 = inline execution —
+  /// deterministic and fast for model runs; >0 = real host parallelism).
+  unsigned gpu_pool_workers = 0;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(const TestbedConfig& config, const RouterConfig& router_config = {});
+
+  const pcie::Topology& topology() const { return config_.topo; }
+  const TestbedConfig& config() const { return config_; }
+
+  std::span<nic::NicPort* const> ports() const { return port_ptrs_; }
+  nic::NicPort& port(int i) { return *ports_[static_cast<std::size_t>(i)]; }
+  iengine::PacketIoEngine& engine() { return *engine_; }
+  std::vector<gpu::GpuDevice*> gpus() const { return gpu_ptrs_; }
+
+  /// Route all ports' DMA and all GPUs' charges to `ledger`.
+  void set_ledger(perf::CostLedger* ledger);
+
+  /// Point every port's TX at `sink` (e.g. the traffic generator).
+  void connect_sink(nic::WireSink* sink);
+
+  int workers_per_node() const { return workers_per_node_; }
+
+ private:
+  TestbedConfig config_;
+  int workers_per_node_;
+  std::vector<std::unique_ptr<nic::NicPort>> ports_;
+  std::vector<nic::NicPort*> port_ptrs_;
+  std::shared_ptr<gpu::SimtExecutor> gpu_executor_;
+  std::vector<std::unique_ptr<gpu::GpuDevice>> gpus_;
+  std::vector<gpu::GpuDevice*> gpu_ptrs_;
+  std::unique_ptr<iengine::PacketIoEngine> engine_;
+};
+
+}  // namespace ps::core

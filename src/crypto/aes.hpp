@@ -1,0 +1,41 @@
+// AES-128 block cipher, implemented from scratch (FIPS-197).
+//
+// Only encryption is needed: CTR mode (RFC 3686) uses the forward cipher
+// for both directions. The per-16 B-block structure is what the paper's
+// IPsec shader exploits — one GPU thread per AES block (section 6.2.4).
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace ps::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+inline constexpr std::size_t kAesKeySize = 16;
+
+class Aes128 {
+ public:
+  Aes128() = default;
+  explicit Aes128(std::span<const u8, kAesKeySize> key) { set_key(key); }
+
+  void set_key(std::span<const u8, kAesKeySize> key);
+
+  /// Encrypt one 16-byte block (in and out may alias).
+  void encrypt_block(const u8* in, u8* out) const;
+
+  /// Round keys, exposed so a GPU kernel can be handed the expanded key
+  /// schedule instead of re-expanding per thread.
+  std::span<const u8> round_keys() const { return {round_keys_.data(), round_keys_.size()}; }
+
+  /// Stateless block encryption against a pre-expanded key schedule
+  /// (176 bytes) — the routine shared by the CPU and GPU code paths.
+  static void encrypt_block_with_schedule(const u8* schedule, const u8* in, u8* out);
+
+ private:
+  static constexpr int kRounds = 10;
+  std::array<u8, kAesBlockSize*(kRounds + 1)> round_keys_{};
+};
+
+}  // namespace ps::crypto

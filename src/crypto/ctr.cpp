@@ -1,0 +1,35 @@
+#include "crypto/ctr.hpp"
+
+#include <cstring>
+
+#include "common/endian.hpp"
+
+namespace ps::crypto {
+
+void aes_ctr_crypt_block(const u8* key_schedule, const u8* nonce, const u8* iv,
+                         u32 block_index, u8* block, std::size_t block_len) {
+  u8 counter_block[kAesBlockSize];
+  std::memcpy(counter_block, nonce, kCtrNonceSize);
+  std::memcpy(counter_block + kCtrNonceSize, iv, kCtrIvSize);
+  store_be32(counter_block + kCtrNonceSize + kCtrIvSize, block_index + 1);  // RFC 3686: from 1
+
+  u8 keystream[kAesBlockSize];
+  Aes128::encrypt_block_with_schedule(key_schedule, counter_block, keystream);
+
+  for (std::size_t i = 0; i < block_len; ++i) block[i] ^= keystream[i];
+}
+
+void aes_ctr_crypt(const Aes128& cipher, std::span<const u8, kCtrNonceSize> nonce,
+                   std::span<const u8, kCtrIvSize> iv, std::span<u8> data) {
+  const u8* schedule = cipher.round_keys().data();
+  u32 block = 0;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t len = std::min(kAesBlockSize, data.size() - offset);
+    aes_ctr_crypt_block(schedule, nonce.data(), iv.data(), block, data.data() + offset, len);
+    ++block;
+    offset += len;
+  }
+}
+
+}  // namespace ps::crypto

@@ -1,0 +1,28 @@
+// AES-128 in counter mode per RFC 3686 (the IPsec profile the paper's
+// gateway uses): counter block = nonce(4) | IV(8) | block counter(4),
+// counter starting at 1.
+//
+// Each 16-byte block's keystream depends only on the block index, which is
+// exactly the parallelism the paper maps to one GPU thread per block.
+#pragma once
+
+#include <span>
+
+#include "crypto/aes.hpp"
+
+namespace ps::crypto {
+
+inline constexpr std::size_t kCtrNonceSize = 4;
+inline constexpr std::size_t kCtrIvSize = 8;
+
+/// Encrypt/decrypt (XOR keystream) `data` in place. CTR is symmetric.
+void aes_ctr_crypt(const Aes128& cipher, std::span<const u8, kCtrNonceSize> nonce,
+                   std::span<const u8, kCtrIvSize> iv, std::span<u8> data);
+
+/// Process exactly one 16-byte-aligned block slice of a message:
+/// block_index selects the counter value; `block` is that block's bytes
+/// (may be shorter at the tail). This is the per-GPU-thread unit.
+void aes_ctr_crypt_block(const u8* key_schedule, const u8* nonce, const u8* iv,
+                         u32 block_index, u8* block, std::size_t block_len);
+
+}  // namespace ps::crypto

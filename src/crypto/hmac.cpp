@@ -1,0 +1,44 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace ps::crypto {
+
+std::array<u8, kSha1DigestSize> hmac_sha1(std::span<const u8> key, std::span<const u8> data) {
+  u8 key_block[kSha1BlockSize] = {};
+  if (key.size() > kSha1BlockSize) {
+    const auto hashed = sha1(key);
+    std::memcpy(key_block, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  u8 ipad[kSha1BlockSize];
+  u8 opad[kSha1BlockSize];
+  for (std::size_t i = 0; i < kSha1BlockSize; ++i) {
+    ipad[i] = static_cast<u8>(key_block[i] ^ 0x36);
+    opad[i] = static_cast<u8>(key_block[i] ^ 0x5c);
+  }
+
+  Sha1 inner;
+  inner.update({ipad, kSha1BlockSize});
+  inner.update(data);
+  std::array<u8, kSha1DigestSize> inner_digest;
+  inner.final(inner_digest);
+
+  Sha1 outer;
+  outer.update({opad, kSha1BlockSize});
+  outer.update(inner_digest);
+  std::array<u8, kSha1DigestSize> digest;
+  outer.final(digest);
+  return digest;
+}
+
+std::array<u8, kHmacSha1_96Size> hmac_sha1_96(std::span<const u8> key, std::span<const u8> data) {
+  const auto full = hmac_sha1(key, data);
+  std::array<u8, kHmacSha1_96Size> truncated;
+  std::memcpy(truncated.data(), full.data(), truncated.size());
+  return truncated;
+}
+
+}  // namespace ps::crypto

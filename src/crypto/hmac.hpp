@@ -1,0 +1,20 @@
+// HMAC-SHA1 (RFC 2104) and the 96-bit truncation IPsec uses for the ESP
+// integrity check value (RFC 2404).
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "crypto/sha1.hpp"
+
+namespace ps::crypto {
+
+inline constexpr std::size_t kHmacSha1_96Size = 12;
+
+/// Full 20-byte HMAC-SHA1 tag.
+std::array<u8, kSha1DigestSize> hmac_sha1(std::span<const u8> key, std::span<const u8> data);
+
+/// ESP's truncated 96-bit tag (first 12 bytes).
+std::array<u8, kHmacSha1_96Size> hmac_sha1_96(std::span<const u8> key, std::span<const u8> data);
+
+}  // namespace ps::crypto

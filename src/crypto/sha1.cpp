@@ -1,0 +1,106 @@
+#include "crypto/sha1.hpp"
+
+#include <cstring>
+
+#include "common/endian.hpp"
+
+namespace ps::crypto {
+namespace {
+constexpr u32 rotl32(u32 x, int n) { return (x << n) | (x >> (32 - n)); }
+}
+
+void Sha1::reset() {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u, 0xc3d2e1f0u};
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::process_block(const u8* block) {
+  u32 w[80];
+  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  u32 a = state_[0], b = state_[1], c = state_[2], d = state_[3], e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    u32 f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdcu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6u;
+    }
+    const u32 temp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(std::span<const u8> data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(kSha1BlockSize - buffered_, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == kSha1BlockSize) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+
+  while (offset + kSha1BlockSize <= data.size()) {
+    process_block(data.data() + offset);
+    offset += kSha1BlockSize;
+  }
+
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+void Sha1::final(std::span<u8, kSha1DigestSize> digest) {
+  const u64 bit_length = total_bytes_ * 8;
+
+  const u8 pad_byte = 0x80;
+  update({&pad_byte, 1});
+  const u8 zero = 0;
+  while (buffered_ != 56) update({&zero, 1});
+
+  u8 length_be[8];
+  store_be64(length_be, bit_length);
+  update({length_be, 8});
+
+  for (int i = 0; i < 5; ++i) store_be32(digest.data() + 4 * i, state_[i]);
+  reset();
+}
+
+std::array<u8, kSha1DigestSize> sha1(std::span<const u8> data) {
+  Sha1 ctx;
+  ctx.update(data);
+  std::array<u8, kSha1DigestSize> digest;
+  ctx.final(digest);
+  return digest;
+}
+
+}  // namespace ps::crypto

@@ -1,0 +1,38 @@
+// SHA-1 (FIPS 180-1), implemented from scratch.
+//
+// The 64-byte block chain has a data dependency between blocks, so —
+// unlike AES-CTR — SHA-1 can only be parallelized at packet granularity
+// (section 6.2.4); the IPsec shader maps one packet's HMAC to one thread.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace ps::crypto {
+
+inline constexpr std::size_t kSha1DigestSize = 20;
+inline constexpr std::size_t kSha1BlockSize = 64;
+
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  void reset();
+  void update(std::span<const u8> data);
+  void final(std::span<u8, kSha1DigestSize> digest);
+
+ private:
+  void process_block(const u8* block);
+
+  std::array<u32, 5> state_{};
+  std::array<u8, kSha1BlockSize> buffer_{};
+  u64 total_bytes_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+/// One-shot convenience.
+std::array<u8, kSha1DigestSize> sha1(std::span<const u8> data);
+
+}  // namespace ps::crypto

@@ -1,0 +1,97 @@
+#include "gen/pcap.hpp"
+
+#include <cstring>
+
+namespace ps::gen {
+
+namespace {
+
+constexpr u32 kMagic = 0xa1b2c3d4;  // microsecond-resolution pcap
+constexpr u16 kVersionMajor = 2;
+constexpr u16 kVersionMinor = 4;
+constexpr u32 kLinkTypeEthernet = 1;
+constexpr u32 kSnapLen = 65535;
+
+void put_u32(std::ofstream& out, u32 v) {
+  out.write(reinterpret_cast<const char*>(&v), 4);  // host order, per pcap magic
+}
+
+void put_u16(std::ofstream& out, u16 v) { out.write(reinterpret_cast<const char*>(&v), 2); }
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (out_) write_header();
+}
+
+PcapWriter::~PcapWriter() { flush(); }
+
+void PcapWriter::write_header() {
+  put_u32(out_, kMagic);
+  put_u16(out_, kVersionMajor);
+  put_u16(out_, kVersionMinor);
+  put_u32(out_, 0);  // thiszone
+  put_u32(out_, 0);  // sigfigs
+  put_u32(out_, kSnapLen);
+  put_u32(out_, kLinkTypeEthernet);
+}
+
+void PcapWriter::on_frame(int /*port*/, std::span<const u8> frame) {
+  // Wire-sink use has no model clock: synthesize strictly increasing
+  // microsecond timestamps so captures stay sorted.
+  std::lock_guard lock(mu_);
+  if (!out_) return;
+  const Picos ts = synthetic_clock_;
+  synthetic_clock_ += kPicosPerMicro;
+  put_u32(out_, static_cast<u32>(ts / kPicosPerSec));
+  put_u32(out_, static_cast<u32>((ts % kPicosPerSec) / kPicosPerMicro));
+  put_u32(out_, static_cast<u32>(frame.size()));
+  put_u32(out_, static_cast<u32>(frame.size()));
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  ++frames_;
+}
+
+void PcapWriter::write(std::span<const u8> frame, Picos timestamp) {
+  std::lock_guard lock(mu_);
+  if (!out_) return;
+  put_u32(out_, static_cast<u32>(timestamp / kPicosPerSec));
+  put_u32(out_, static_cast<u32>((timestamp % kPicosPerSec) / kPicosPerMicro));
+  put_u32(out_, static_cast<u32>(frame.size()));
+  put_u32(out_, static_cast<u32>(frame.size()));
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  ++frames_;
+}
+
+void PcapWriter::flush() {
+  std::lock_guard lock(mu_);
+  if (out_) out_.flush();
+}
+
+std::vector<std::vector<u8>> read_pcap(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::vector<u8>> frames;
+  if (!in) return frames;
+
+  u8 header[24];
+  if (!in.read(reinterpret_cast<char*>(header), sizeof(header))) return frames;
+  u32 magic;
+  std::memcpy(&magic, header, 4);
+  if (magic != kMagic) return frames;
+
+  while (true) {
+    u8 record[16];
+    if (!in.read(reinterpret_cast<char*>(record), sizeof(record))) break;
+    u32 caplen;
+    std::memcpy(&caplen, record + 8, 4);
+    if (caplen > kSnapLen) break;  // corrupt
+    std::vector<u8> frame(caplen);
+    if (!in.read(reinterpret_cast<char*>(frame.data()), caplen)) break;
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+}  // namespace ps::gen

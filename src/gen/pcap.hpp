@@ -1,0 +1,48 @@
+// Pcap capture writer: dumps frames in the classic libpcap format so
+// anything the simulated router emits can be inspected with tcpdump or
+// Wireshark — the debugging loop a real deployment would have.
+#pragma once
+
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "nic/wire.hpp"
+
+namespace ps::gen {
+
+/// A WireSink that writes every frame to a pcap file (LINKTYPE_ETHERNET).
+/// Timestamps count simulated microseconds from the first frame; thread-
+/// safe so it can sit behind the multithreaded Router.
+class PcapWriter final : public nic::WireSink {
+ public:
+  explicit PcapWriter(const std::string& path);
+  ~PcapWriter() override;
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void on_frame(int port, std::span<const u8> frame) override;
+
+  /// Write a frame with an explicit timestamp (model time).
+  void write(std::span<const u8> frame, Picos timestamp);
+
+  u64 frames_written() const { return frames_; }
+
+  void flush();
+
+ private:
+  void write_header();
+
+  std::ofstream out_;
+  std::mutex mu_;
+  u64 frames_ = 0;
+  Picos synthetic_clock_ = 0;
+};
+
+/// Minimal pcap reader used by tests and tooling: returns the frames in a
+/// capture file (empty on malformed input).
+std::vector<std::vector<u8>> read_pcap(const std::string& path);
+
+}  // namespace ps::gen

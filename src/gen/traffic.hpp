@@ -1,0 +1,88 @@
+// Packet generator / sink (section 6.1): synthesizes traffic with random
+// destination IP addresses and UDP ports so IP forwarding and OpenFlow
+// look up a different entry for every packet, and acts as the sink for
+// whatever the router transmits back.
+#pragma once
+
+#include <atomic>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/packet.hpp"
+#include "nic/nic.hpp"
+#include "nic/wire.hpp"
+
+namespace ps::gen {
+
+enum class TrafficKind : u8 {
+  kIpv4Udp,
+  kIpv6Udp,
+};
+
+struct TrafficConfig {
+  TrafficKind kind = TrafficKind::kIpv4Udp;
+  u32 frame_size = net::kMinFrameSize;
+  u64 seed = 7;
+  /// Number of distinct flows (5-tuples); 0 = every packet its own flow.
+  u32 flow_count = 0;
+  /// Destination pools: when non-empty, destinations are drawn uniformly
+  /// from here instead of the full address space. The throughput figures
+  /// sample destinations covered by the forwarding table (a packet that
+  /// matches no route is dropped, which would understate TX load); see
+  /// route::sample_covered_*().
+  std::vector<u32> ipv4_dst_pool;
+  std::vector<net::Ipv6Addr> ipv6_dst_pool;
+};
+
+class TrafficGen final : public nic::WireSink {
+ public:
+  explicit TrafficGen(TrafficConfig config = {});
+
+  const TrafficConfig& config() const { return config_; }
+
+  /// Produce the next frame (deterministic sequence from the seed).
+  net::FrameBuffer next_frame();
+
+  /// Produce a frame for flow `flow_id` (stable 5-tuple per id) — used by
+  /// ordering tests, which need repeated packets of one flow.
+  net::FrameBuffer frame_for_flow(u32 flow_id, u32 sequence = 0);
+
+  /// Offer `count` frames round-robin across `ports`. Returns how many the
+  /// NICs accepted (ring-full drops are the difference).
+  u64 offer(std::span<nic::NicPort* const> ports, u64 count);
+
+  /// Rate-limited offering on the model clock: emit frames at `gbps` of
+  /// wire throughput for `duration` of simulated time, round-robin across
+  /// `ports` (the paper's generator paces its load the same way, §6.4).
+  /// Returns (offered, accepted).
+  struct PacedResult {
+    u64 offered = 0;
+    u64 accepted = 0;
+  };
+  PacedResult offer_paced(std::span<nic::NicPort* const> ports, double gbps, Picos duration);
+
+  // --- sink side -------------------------------------------------------------
+  // Sink counters are atomic: with the real-threaded Router, several worker
+  // cores transmit into this sink concurrently.
+  void on_frame(int port, std::span<const u8> frame) override;
+
+  u64 sunk_packets() const { return sunk_packets_.load(std::memory_order_relaxed); }
+  u64 sunk_bytes() const { return sunk_bytes_.load(std::memory_order_relaxed); }
+  u64 sunk_on_port(int port) const {
+    return per_port_sunk_.at(static_cast<std::size_t>(port)).load(std::memory_order_relaxed);
+  }
+  void reset_sink();
+
+ private:
+  net::FrameBuffer build(u32 src_entropy, u32 dst_entropy, u16 src_port, u16 dst_port);
+
+  TrafficConfig config_;
+  Rng rng_;
+  u64 sequence_ = 0;
+  std::atomic<u64> sunk_packets_{0};
+  std::atomic<u64> sunk_bytes_{0};
+  std::vector<std::atomic<u64>> per_port_sunk_;
+};
+
+}  // namespace ps::gen

@@ -1,0 +1,161 @@
+#include "gpu/device.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+namespace ps::gpu {
+
+DeviceBuffer::DeviceBuffer(GpuDevice* device, std::size_t bytes) : device_(device) {
+  assert(device != nullptr);
+  std::lock_guard lock(device->op_mu_);  // allocation may race device ops
+  if (device->allocated_bytes_ + bytes > perf::kGpuMemBytes) {
+    throw std::bad_alloc();  // past the card's 1.5 GB GDDR5
+  }
+  storage_.resize(bytes);
+  device->allocated_bytes_ += bytes;
+}
+
+DeviceBuffer::~DeviceBuffer() {
+  if (device_ != nullptr) {
+    std::lock_guard lock(device_->op_mu_);
+    device_->allocated_bytes_ -= storage_.size();
+  }
+}
+
+DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
+  if (this != &other) {
+    if (device_ != nullptr) {
+      std::lock_guard lock(device_->op_mu_);
+      device_->allocated_bytes_ -= storage_.size();
+    }
+    device_ = other.device_;
+    storage_ = std::move(other.storage_);
+    other.device_ = nullptr;
+    other.storage_.clear();
+  }
+  return *this;
+}
+
+GpuDevice::GpuDevice(int gpu_id, const pcie::Topology& topo,
+                     std::shared_ptr<SimtExecutor> executor)
+    : gpu_id_(gpu_id),
+      node_(topo.node_of_gpu(gpu_id)),
+      ioh_(topo.ioh_of_gpu(gpu_id)),
+      executor_(executor ? std::move(executor) : std::make_shared<SimtExecutor>()),
+      streams_(1, 0) {}
+
+StreamId GpuDevice::create_stream() {
+  std::lock_guard lock(op_mu_);
+  streams_.push_back(0);
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+Picos GpuDevice::stream_call_overhead() const {
+  return streams_.size() > 1 ? perf::kGpuStreamCallOverhead : 0;
+}
+
+void GpuDevice::charge_copy(u64 bytes, perf::Direction dir) {
+  if (ledger_ == nullptr) return;
+  const Picos occupancy = perf::ioh_copy_occupancy(bytes, dir);
+  ledger_->charge({perf::ResourceKind::kGpuCopy, static_cast<u16>(gpu_id_)}, occupancy);
+  if (streams_.size() <= 1) {
+    // Without "concurrent copy and execution" (section 5.4), the device
+    // serializes transfers and kernels: copy time also occupies the
+    // execution engine. Multiple streams lift this.
+    ledger_->charge({perf::ResourceKind::kGpuExec, static_cast<u16>(gpu_id_)}, occupancy);
+  }
+  const auto channel = dir == perf::Direction::kHostToDevice ? perf::ResourceKind::kIohH2d
+                                                             : perf::ResourceKind::kIohD2h;
+  ledger_->charge({channel, static_cast<u16>(ioh_)}, occupancy);
+}
+
+OpTiming GpuDevice::memcpy_h2d(DeviceBuffer& dst, std::size_t dst_offset,
+                               std::span<const u8> src, StreamId stream, Picos submit_time) {
+  std::lock_guard lock(op_mu_);
+  assert(dst_offset + src.size() <= dst.size());
+  std::memcpy(dst.data() + dst_offset, src.data(), src.size());
+  bytes_h2d_ += src.size();
+  charge_copy(src.size(), perf::Direction::kHostToDevice);
+  // CPU time spent in the CUDA library (driver call + stream overhead).
+  perf::charge_cpu_cycles(perf::kGpuDriverCallCycles +
+                          to_seconds(stream_call_overhead()) * perf::kCpuHz);
+
+  const Picos duration =
+      perf::pcie_transfer_time(src.size(), perf::Direction::kHostToDevice) +
+      stream_call_overhead();
+  const Picos start = std::max({submit_time, streams_.at(stream), copy_engine_free_});
+  const Picos end = start + duration;
+  streams_[stream] = end;
+  // Back-to-back copies pipeline their handshakes: the engine frees after
+  // the occupancy portion, before the full one-shot latency elapses.
+  copy_engine_free_ =
+      start + perf::ioh_copy_occupancy(src.size(), perf::Direction::kHostToDevice);
+  return {start, end};
+}
+
+OpTiming GpuDevice::memcpy_d2h(std::span<u8> dst, const DeviceBuffer& src,
+                               std::size_t src_offset, StreamId stream, Picos submit_time) {
+  std::lock_guard lock(op_mu_);
+  assert(src_offset + dst.size() <= src.size());
+  std::memcpy(dst.data(), src.data() + src_offset, dst.size());
+  bytes_d2h_ += dst.size();
+  charge_copy(dst.size(), perf::Direction::kDeviceToHost);
+  perf::charge_cpu_cycles(perf::kGpuDriverCallCycles +
+                          to_seconds(stream_call_overhead()) * perf::kCpuHz);
+
+  const Picos duration =
+      perf::pcie_transfer_time(dst.size(), perf::Direction::kDeviceToHost) +
+      stream_call_overhead();
+  const Picos start = std::max({submit_time, streams_.at(stream), copy_engine_free_});
+  const Picos end = start + duration;
+  streams_[stream] = end;
+  copy_engine_free_ =
+      start + perf::ioh_copy_occupancy(dst.size(), perf::Direction::kDeviceToHost);
+  return {start, end};
+}
+
+OpTiming GpuDevice::launch(const KernelLaunch& kernel, StreamId stream, Picos submit_time,
+                           ExecStats* stats_out) {
+  std::lock_guard lock(op_mu_);
+  const ExecStats stats = executor_->run(kernel.threads, kernel.body, kernel.track_divergence);
+  if (stats_out != nullptr) *stats_out = stats;
+  ++kernels_launched_;
+  perf::charge_cpu_cycles(perf::kGpuDriverCallCycles +
+                          to_seconds(stream_call_overhead()) * perf::kCpuHz);
+
+  // Measured divergence overrides the static estimate when tracking is on.
+  perf::KernelCost cost = kernel.cost;
+  if (kernel.track_divergence) cost.warp_efficiency *= stats.warp_efficiency;
+
+  const Picos exec = perf::gpu_exec_time(kernel.threads, cost);
+  const Picos launch = perf::gpu_launch_latency(kernel.threads);
+  const Picos duration = launch + exec + stream_call_overhead();
+  if (ledger_ != nullptr) {
+    // Launching occupies the device front-end: back-to-back small kernels
+    // serialize on it, which is what gather/scatter amortizes (§5.4).
+    ledger_->charge({perf::ResourceKind::kGpuExec, static_cast<u16>(gpu_id_)}, launch + exec);
+  }
+
+  const Picos start = std::max({submit_time, streams_.at(stream), exec_engine_free_});
+  const Picos end = start + duration;
+  streams_[stream] = end;
+  exec_engine_free_ = end;  // one kernel at a time on the device (section 7)
+  return {start, end};
+}
+
+Picos GpuDevice::synchronize() const {
+  std::lock_guard lock(op_mu_);
+  Picos latest = 0;
+  for (const Picos tail : streams_) latest = std::max(latest, tail);
+  return latest;
+}
+
+void GpuDevice::reset_timeline() {
+  std::lock_guard lock(op_mu_);
+  std::fill(streams_.begin(), streams_.end(), 0);
+  exec_engine_free_ = 0;
+  copy_engine_free_ = 0;
+}
+
+}  // namespace ps::gpu

@@ -1,0 +1,152 @@
+// Simulated NVIDIA GTX480 device: device-memory allocation, host<->device
+// copies, kernel launches, CUDA-style streams, and the copy/exec engine
+// timeline that models "concurrent copy and execution" (section 5.4).
+//
+// Functional results come from SimtExecutor; all times come from the
+// calibrated model in ps::perf. Copies additionally charge the IOH channel
+// the card hangs off, which is how GPU traffic competes with NIC DMA for
+// the ~40 Gbps dual-IOH budget (sections 3.2, 6.3).
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gpu/executor.hpp"
+#include "pcie/topology.hpp"
+#include "perf/ledger.hpp"
+#include "perf/model.hpp"
+
+namespace ps::gpu {
+
+class GpuDevice;
+
+/// RAII device-memory allocation (the CUDA cudaMalloc/cudaFree pair).
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(GpuDevice* device, std::size_t bytes);
+  ~DeviceBuffer();
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  u8* data() noexcept { return storage_.data(); }
+  const u8* data() const noexcept { return storage_.data(); }
+  std::size_t size() const noexcept { return storage_.size(); }
+  bool valid() const noexcept { return device_ != nullptr; }
+
+  template <typename T>
+  T* as() noexcept {
+    return reinterpret_cast<T*>(storage_.data());
+  }
+  template <typename T>
+  const T* as() const noexcept {
+    return reinterpret_cast<const T*>(storage_.data());
+  }
+
+ private:
+  GpuDevice* device_ = nullptr;
+  std::vector<u8> storage_;
+};
+
+using StreamId = u32;
+inline constexpr StreamId kDefaultStream = 0;
+
+/// Timing of one device operation on the modeled clock.
+struct OpTiming {
+  Picos start = 0;
+  Picos end = 0;
+  Picos duration() const { return end - start; }
+};
+
+struct KernelLaunch {
+  std::string name;
+  u32 threads = 0;
+  KernelBody body;
+  perf::KernelCost cost;
+  bool track_divergence = false;
+};
+
+class GpuDevice {
+ public:
+  GpuDevice(int gpu_id, const pcie::Topology& topo,
+            std::shared_ptr<SimtExecutor> executor = nullptr);
+
+  int gpu_id() const { return gpu_id_; }
+  int numa_node() const { return node_; }
+
+  void set_ledger(perf::CostLedger* ledger) { ledger_ = ledger; }
+
+  /// Allocate device memory; throws std::bad_alloc past the 1.5 GB card
+  /// capacity (section 2.1).
+  DeviceBuffer alloc(std::size_t bytes) { return DeviceBuffer(this, bytes); }
+  u64 allocated_bytes() const { return allocated_bytes_; }
+
+  /// Create an additional stream (stream 0 always exists). Multiple live
+  /// streams put the device in "streamed" mode, which adds the per-CUDA-
+  /// call overhead the paper observed hurting lightweight kernels (§5.4).
+  StreamId create_stream();
+  u32 stream_count() const { return static_cast<u32>(streams_.size()); }
+
+  // --- operations ----------------------------------------------------------
+  // Each performs the work immediately (functionally) and returns its
+  // modeled timing: start = max(submit_time, stream tail, engine free).
+
+  OpTiming memcpy_h2d(DeviceBuffer& dst, std::size_t dst_offset, std::span<const u8> src,
+                      StreamId stream = kDefaultStream, Picos submit_time = 0);
+  OpTiming memcpy_d2h(std::span<u8> dst, const DeviceBuffer& src, std::size_t src_offset,
+                      StreamId stream = kDefaultStream, Picos submit_time = 0);
+
+  /// Launch a kernel; returns modeled timing and fills `stats_out` (if
+  /// non-null) with functional divergence statistics.
+  OpTiming launch(const KernelLaunch& kernel, StreamId stream = kDefaultStream,
+                  Picos submit_time = 0, ExecStats* stats_out = nullptr);
+
+  /// Modeled completion time of everything enqueued on a stream.
+  Picos stream_tail(StreamId stream) const { return streams_.at(stream); }
+
+  /// Modeled completion time of all streams (cudaDeviceSynchronize).
+  Picos synchronize() const;
+
+  /// Reset all modeled clocks to zero (between benchmark runs).
+  void reset_timeline();
+
+  /// Cumulative counters.
+  u64 kernels_launched() const { return kernels_launched_; }
+  u64 bytes_h2d() const { return bytes_h2d_; }
+  u64 bytes_d2h() const { return bytes_d2h_; }
+
+ private:
+  friend class DeviceBuffer;
+
+  Picos stream_call_overhead() const;
+  void charge_copy(u64 bytes, perf::Direction dir);
+
+  int gpu_id_;
+  int node_;
+  int ioh_;
+  std::shared_ptr<SimtExecutor> executor_;
+  perf::CostLedger* ledger_ = nullptr;
+  // Serializes device operations: a master thread and a control-plane
+  // table update (DynamicIpv4ForwardApp::sync) may touch one device
+  // concurrently, like the CUDA driver's per-context lock.
+  mutable std::mutex op_mu_;
+
+  std::vector<Picos> streams_;  // per-stream tail time
+  Picos exec_engine_free_ = 0;
+  Picos copy_engine_free_ = 0;
+
+  u64 allocated_bytes_ = 0;
+  u64 kernels_launched_ = 0;
+  u64 bytes_h2d_ = 0;
+  u64 bytes_d2h_ = 0;
+};
+
+}  // namespace ps::gpu

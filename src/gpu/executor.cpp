@@ -1,0 +1,127 @@
+#include "gpu/executor.hpp"
+
+#include <bit>
+#include <memory>
+
+namespace ps::gpu {
+namespace {
+constexpr u32 kBlockThreads = 4096;  // work-claim granularity for the pool
+}
+
+SimtExecutor::SimtExecutor(unsigned workers) {
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SimtExecutor::~SimtExecutor() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void SimtExecutor::run_range(u32 begin, u32 end) {
+  for (u32 tid = begin; tid < end; ++tid) {
+    ThreadCtx ctx(tid, path_words_);
+    (*body_)(ctx);
+  }
+}
+
+void SimtExecutor::worker_loop() {
+  u64 seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || generation_ != seen_generation; });
+      if (stopping_) return;
+      seen_generation = generation_;
+      ++active_workers_;
+    }
+    // Claim blocks until the grid is exhausted.
+    while (true) {
+      const u32 block = next_block_.fetch_add(1, std::memory_order_relaxed);
+      if (block >= total_blocks_) break;
+      const u32 begin = block * kBlockThreads;
+      const u32 end = std::min(total_threads_, begin + kBlockThreads);
+      run_range(begin, end);
+      blocks_done_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    {
+      std::lock_guard lock(mu_);
+      --active_workers_;
+    }
+    // run() waits for full quiescence so the next launch can safely reset
+    // the shared launch state.
+    done_cv_.notify_all();
+  }
+}
+
+ExecStats SimtExecutor::run(u32 threads, const KernelBody& body, bool track_divergence) {
+  ExecStats stats;
+  stats.threads = threads;
+  stats.warps = (threads + perf::kGpuWarpSize - 1) / perf::kGpuWarpSize;
+  if (threads == 0) return stats;
+
+  std::lock_guard launch_lock(launch_mu_);
+
+  std::unique_ptr<std::atomic<u64>[]> paths;
+  if (track_divergence) {
+    paths = std::make_unique<std::atomic<u64>[]>(stats.warps);
+    for (u32 i = 0; i < stats.warps; ++i) paths[i].store(0, std::memory_order_relaxed);
+  }
+
+  body_ = &body;
+  path_words_ = paths.get();
+  total_threads_ = threads;
+  total_blocks_ = (threads + kBlockThreads - 1) / kBlockThreads;
+  next_block_.store(0, std::memory_order_relaxed);
+  blocks_done_.store(0, std::memory_order_relaxed);
+
+  if (workers_.empty()) {
+    run_range(0, threads);
+  } else {
+    {
+      std::lock_guard lock(mu_);
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    // The launching thread helps, then waits for completion AND worker
+    // quiescence (a straggler must not observe the next launch's state).
+    while (true) {
+      const u32 block = next_block_.fetch_add(1, std::memory_order_relaxed);
+      if (block >= total_blocks_) break;
+      const u32 begin = block * kBlockThreads;
+      const u32 end = std::min(total_threads_, begin + kBlockThreads);
+      run_range(begin, end);
+      blocks_done_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    {
+      std::unique_lock lock(mu_);
+      done_cv_.wait(lock, [&] {
+        return blocks_done_.load(std::memory_order_acquire) == total_blocks_ &&
+               active_workers_ == 0;
+      });
+    }
+  }
+
+  if (track_divergence) {
+    // Lockstep cost: a warp whose threads took k distinct paths executes
+    // all k paths with masking, so its useful-lane fraction is 1/k.
+    double sum_efficiency = 0.0;
+    for (u32 w = 0; w < stats.warps; ++w) {
+      const int k = std::popcount(paths[w].load(std::memory_order_relaxed));
+      sum_efficiency += k <= 1 ? 1.0 : 1.0 / static_cast<double>(k);
+    }
+    stats.warp_efficiency = sum_efficiency / static_cast<double>(stats.warps);
+  }
+
+  body_ = nullptr;
+  path_words_ = nullptr;
+  return stats;
+}
+
+}  // namespace ps::gpu

@@ -1,0 +1,43 @@
+#include "iengine/chunk.hpp"
+
+#include <cstring>
+
+namespace ps::iengine {
+
+PacketChunk::PacketChunk(u32 max_packets) : max_packets_(max_packets) {
+  buffer_.resize(static_cast<std::size_t>(max_packets) * mem::kDataCellSize);
+  offsets_.reserve(max_packets);
+  lengths_.reserve(max_packets);
+  hashes_.reserve(max_packets);
+  verdicts_.reserve(max_packets);
+  out_ports_.reserve(max_packets);
+}
+
+void PacketChunk::clear() {
+  count_ = 0;
+  used_bytes_ = 0;
+  offsets_.clear();
+  lengths_.clear();
+  hashes_.clear();
+  verdicts_.clear();
+  out_ports_.clear();
+  in_port = -1;
+  in_queue = 0;
+}
+
+bool PacketChunk::append(std::span<const u8> frame, u32 rss_hash) {
+  if (count_ >= max_packets_ || frame.size() > mem::kDataCellSize) return false;
+  if (used_bytes_ + frame.size() > buffer_.size()) return false;
+
+  std::memcpy(buffer_.data() + used_bytes_, frame.data(), frame.size());
+  offsets_.push_back(used_bytes_);
+  lengths_.push_back(static_cast<u16>(frame.size()));
+  hashes_.push_back(rss_hash);
+  verdicts_.push_back(PacketVerdict::kForward);
+  out_ports_.push_back(-1);
+  used_bytes_ += static_cast<u32>(frame.size());
+  ++count_;
+  return true;
+}
+
+}  // namespace ps::iengine

@@ -1,0 +1,76 @@
+// The chunk: a batch of packets copied into one contiguous user-level
+// buffer with per-packet offset/length arrays (sections 4.3, 5.3).
+//
+// The paper copies (rather than zero-copies) from the huge packet buffer
+// for better abstraction: cells recycle immediately and the user buffer can
+// be freely rewritten and split across output ports. Chunks are also the
+// unit of GPU parallelism.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/huge_buffer.hpp"
+
+namespace ps::iengine {
+
+/// Per-packet disposition decided in post-shading.
+enum class PacketVerdict : u8 {
+  kForward = 0,  // send to out_port
+  kDrop,         // malformed / TTL expired / no route / policy
+  kSlowPath,     // hand to the host stack (destined to local, etc.)
+};
+
+class PacketChunk {
+ public:
+  static constexpr u32 kDefaultMaxPackets = 256;  // the RX batch cap
+
+  explicit PacketChunk(u32 max_packets = kDefaultMaxPackets);
+
+  u32 max_packets() const noexcept { return max_packets_; }
+  u32 count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// Remove all packets but keep capacity.
+  void clear();
+
+  /// Append a packet by copy; returns false when full (by packet count or
+  /// buffer bytes).
+  bool append(std::span<const u8> frame, u32 rss_hash = 0);
+
+  std::span<u8> packet(u32 i) {
+    return {buffer_.data() + offsets_[i], lengths_[i]};
+  }
+  std::span<const u8> packet(u32 i) const {
+    return {buffer_.data() + offsets_[i], lengths_[i]};
+  }
+  u16 length(u32 i) const { return lengths_[i]; }
+  u32 rss_hash(u32 i) const { return hashes_[i]; }
+
+  /// Total payload bytes currently in the chunk.
+  u32 bytes() const noexcept { return used_bytes_; }
+
+  // --- routing decisions filled by the application --------------------------
+  PacketVerdict verdict(u32 i) const { return verdicts_[i]; }
+  void set_verdict(u32 i, PacketVerdict v) { verdicts_[i] = v; }
+  i16 out_port(u32 i) const { return out_ports_[i]; }
+  void set_out_port(u32 i, i16 port) { out_ports_[i] = port; }
+
+  // --- provenance ------------------------------------------------------------
+  int in_port = -1;
+  u16 in_queue = 0;
+
+ private:
+  u32 max_packets_;
+  u32 count_ = 0;
+  u32 used_bytes_ = 0;
+  std::vector<u8> buffer_;      // max_packets * kDataCellSize, contiguous
+  std::vector<u32> offsets_;
+  std::vector<u16> lengths_;
+  std::vector<u32> hashes_;
+  std::vector<PacketVerdict> verdicts_;
+  std::vector<i16> out_ports_;
+};
+
+}  // namespace ps::iengine

@@ -1,0 +1,188 @@
+#include "iengine/engine.hpp"
+
+#include <cassert>
+
+#include "common/cacheline.hpp"
+#include "perf/calibration.hpp"
+#include "perf/ledger.hpp"
+
+namespace ps::iengine {
+namespace {
+
+// Cycles burned by an empty poll of a virtual interface (ring-tail read).
+constexpr double kEmptyPollCycles = 40.0;
+
+double copy_cycles(u32 frame_bytes) {
+  return static_cast<double>(cache_lines(frame_bytes)) * perf::kCopyCyclesPerCacheLine;
+}
+
+}  // namespace
+
+IoHandle::IoHandle(PacketIoEngine* engine, int core, u16 tx_queue, std::vector<QueueRef> queues)
+    : engine_(engine), core_(core), tx_queue_(tx_queue), queues_(std::move(queues)) {}
+
+u32 IoHandle::recv_from_queue(const QueueRef& ref, PacketChunk& chunk) {
+  nic::NicPort* port = engine_->port(ref.port);
+  const u32 room = chunk.max_packets() - chunk.count();
+  if (room == 0) return 0;
+
+  std::vector<nic::RxSlot> slots(room);
+  const u32 n = port->rx_peek(ref.queue, slots.data(), room);
+  if (n == 0) {
+    perf::charge_cpu_cycles(kEmptyPollCycles);
+    return 0;
+  }
+
+  const bool remote_nic =
+      engine_->topology().node_of_core(core_) != port->numa_node();
+
+  for (u32 i = 0; i < n; ++i) {
+    const auto& slot = slots[i];
+    chunk.append({slot.data, slot.length}, slot.rss_hash);
+
+    double cycles = perf::kRxCyclesPerPacket + copy_cycles(slot.length);
+    if (remote_nic && engine_->config().numa_aware) {
+      // NUMA-aware configurations never create this binding; treat it as a
+      // setup error rather than silently paying remote-access costs.
+      assert(false && "numa-aware engine must not drain remote queues");
+    }
+    if (remote_nic) cycles += perf::kNumaBlindExtraCyclesPerPacket;
+    if (!engine_->config().multiqueue_fixes) {
+      cycles *= 1.0 + perf::kFalseSharingExtraCyclesPerPacket8Cores +
+                perf::kSharedCounterExtraCyclesPerPacket8Cores;
+    }
+    perf::charge_cpu_cycles(cycles);
+  }
+
+  port->rx_release(ref.queue, n);
+  if (chunk.in_port < 0) {
+    chunk.in_port = ref.port;
+    chunk.in_queue = ref.queue;
+  }
+  return n;
+}
+
+u32 IoHandle::recv_chunk(PacketChunk& chunk) {
+  chunk.clear();
+  if (queues_.empty()) return 0;
+
+  // One engine call per chunk: the amortized "system call" (section 5.2).
+  perf::charge_cpu_cycles(perf::kRxCyclesPerBatch);
+
+  // Round-robin over this thread's virtual interfaces for fairness,
+  // resuming after the queue the previous call stopped at.
+  u32 total = 0;
+  for (std::size_t visited = 0; visited < queues_.size(); ++visited) {
+    const QueueRef& ref = queues_[rr_cursor_];
+    rr_cursor_ = (rr_cursor_ + 1) % queues_.size();
+    total += recv_from_queue(ref, chunk);
+    if (chunk.count() == chunk.max_packets()) break;
+  }
+  return total;
+}
+
+u32 IoHandle::recv_chunk_wait(PacketChunk& chunk) {
+  while (true) {
+    const u32 n = recv_chunk(chunk);
+    if (n > 0) return n;
+    if (engine_->stopped()) return 0;
+
+    // Dry: switch from polling to interrupts (section 5.2). Arm every
+    // queue; any enable may deliver a pending edge synchronously.
+    for (const auto& ref : queues_) {
+      engine_->port(ref.port)->enable_rx_interrupt(ref.queue);
+    }
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return irq_pending_ || engine_->stopped(); });
+    irq_pending_ = false;
+    // Back to polling: disable interrupts while we drain.
+    lock.unlock();
+    for (const auto& ref : queues_) {
+      engine_->port(ref.port)->disable_rx_interrupt(ref.queue);
+    }
+  }
+}
+
+u32 IoHandle::send_chunk(const PacketChunk& chunk) {
+  if (chunk.empty()) return 0;
+  perf::charge_cpu_cycles(perf::kTxCyclesPerBatch);
+
+  u32 sent = 0;
+  for (u32 i = 0; i < chunk.count(); ++i) {
+    if (chunk.verdict(i) != PacketVerdict::kForward) continue;
+    const i16 out = chunk.out_port(i);
+    if (out < 0 || static_cast<std::size_t>(out) >= engine_->num_ports()) {
+      ++tx_drops_;
+      continue;
+    }
+    double cycles = perf::kTxCyclesPerPacket + copy_cycles(chunk.length(i));
+    if (!engine_->config().multiqueue_fixes) {
+      cycles *= 1.0 + perf::kFalseSharingExtraCyclesPerPacket8Cores +
+                perf::kSharedCounterExtraCyclesPerPacket8Cores;
+    }
+    perf::charge_cpu_cycles(cycles);
+
+    if (engine_->port(out)->transmit(tx_queue_, chunk.packet(i))) {
+      ++sent;
+    } else {
+      ++tx_drops_;
+    }
+  }
+  return sent;
+}
+
+bool IoHandle::send_frame(int port, std::span<const u8> frame) {
+  if (port < 0 || static_cast<std::size_t>(port) >= engine_->num_ports()) return false;
+  perf::charge_cpu_cycles(perf::kTxCyclesPerPacket +
+                          copy_cycles(static_cast<u32>(frame.size())));
+  return engine_->port(port)->transmit(tx_queue_, frame);
+}
+
+void IoHandle::on_interrupt() {
+  {
+    std::lock_guard lock(mu_);
+    irq_pending_ = true;
+  }
+  cv_.notify_one();
+}
+
+PacketIoEngine::PacketIoEngine(const pcie::Topology& topo, std::vector<nic::NicPort*> ports,
+                               EngineConfig config)
+    : topo_(topo), ports_(std::move(ports)), config_(config) {
+  queue_owner_.resize(ports_.size());
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    queue_owner_[p].resize(ports_[p]->config().num_rx_queues, nullptr);
+    ports_[p]->set_interrupt_handler([this](int port, u16 queue) {
+      IoHandle* owner = queue_owner_[static_cast<std::size_t>(port)][queue];
+      if (owner != nullptr) owner->on_interrupt();
+    });
+  }
+}
+
+PacketIoEngine::~PacketIoEngine() { stop(); }
+
+IoHandle* PacketIoEngine::attach(int core, std::vector<QueueRef> queues) {
+  for (const auto& ref : queues) {
+    (void)ref;  // assertions compile out in release builds
+    assert(ref.port >= 0 && static_cast<std::size_t>(ref.port) < ports_.size());
+    assert(ref.queue < ports_[static_cast<std::size_t>(ref.port)]->config().num_rx_queues);
+    assert(queue_owner_[static_cast<std::size_t>(ref.port)][ref.queue] == nullptr &&
+           "virtual interfaces are exclusive to one thread");
+  }
+  // Core index doubles as the TX queue index: each core gets a private TX
+  // queue on every port, so transmission is also contention-free.
+  auto handle = std::unique_ptr<IoHandle>(
+      new IoHandle(this, core, static_cast<u16>(core), std::move(queues)));
+  for (const auto& ref : handle->queues()) {
+    queue_owner_[static_cast<std::size_t>(ref.port)][ref.queue] = handle.get();
+  }
+  handles_.push_back(std::move(handle));
+  return handles_.back().get();
+}
+
+void PacketIoEngine::stop() {
+  stopping_ = true;
+  for (auto& handle : handles_) handle->on_interrupt();
+}
+
+}  // namespace ps::iengine

@@ -1,0 +1,134 @@
+// User-level packet I/O engine (sections 4 and 5.2).
+//
+// Design points carried over from the paper:
+//  - batched RX/TX with one "system call" per chunk, amortizing the
+//    per-packet mode-switch cost (Figure 5);
+//  - packets are copied from huge-buffer cells into the chunk's contiguous
+//    user buffer with offset/length arrays (section 4.3);
+//  - explicit per-(NIC, RX queue) virtual interfaces owned by exactly one
+//    thread — no shared per-NIC queue, no locks (Figure 8(b));
+//  - round-robin fetching over a thread's virtual interfaces for fairness;
+//  - interrupt/poll switching in user context to avoid receive livelock:
+//    poll while packets pend, re-arm the RX interrupt and block when dry
+//    (section 5.2).
+//
+// CPU costs of the kernel path are charged per calibration so the model
+// reproduces Figures 5 and 6.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "iengine/chunk.hpp"
+#include "nic/nic.hpp"
+#include "pcie/topology.hpp"
+
+namespace ps::iengine {
+
+struct EngineConfig {
+  u32 rx_batch_cap = PacketChunk::kDefaultMaxPackets;  // chunk size cap (§5.3)
+  /// Charge the §4.5 NUMA-blind penalty when a thread drains a queue whose
+  /// NIC lives on another node (used by bench_ablation_numa).
+  bool numa_aware = true;
+  /// Models the §4.4 pathologies when false (shared counters, unaligned
+  /// per-queue data) by charging the extra per-packet cycles.
+  bool multiqueue_fixes = true;
+};
+
+/// A (port, RX queue) pair — the unit a virtual interface binds.
+struct QueueRef {
+  int port = 0;
+  u16 queue = 0;
+};
+
+class PacketIoEngine;
+
+/// Per-thread handle: the set of virtual interfaces one core owns plus the
+/// interrupt wakeup channel. Create via PacketIoEngine::attach().
+class IoHandle {
+ public:
+  int core() const { return core_; }
+  const std::vector<QueueRef>& queues() const { return queues_; }
+
+  /// Fetch up to the batch cap from this handle's queues, round-robin,
+  /// starting from where the last call left off. Returns packets fetched
+  /// (0 when everything is dry). Non-blocking.
+  u32 recv_chunk(PacketChunk& chunk);
+
+  /// Blocking variant: on dry queues re-arms RX interrupts and sleeps until
+  /// the NIC signals reception (or the engine stops). Returns 0 only on
+  /// engine shutdown.
+  u32 recv_chunk_wait(PacketChunk& chunk);
+
+  /// Transmit the chunk's forwarded packets to their out_ports on this
+  /// handle's TX queue. Returns packets actually sent.
+  u32 send_chunk(const PacketChunk& chunk);
+
+  /// Transmit one standalone frame (e.g. a slow-path ICMP reply) on this
+  /// handle's TX queue of `port`. Returns false on invalid port or
+  /// TX reject.
+  bool send_frame(int port, std::span<const u8> frame);
+
+  /// Total packets this handle dropped at send time (TX reject / bad port).
+  u64 tx_drops() const { return tx_drops_; }
+
+ private:
+  friend class PacketIoEngine;
+
+  IoHandle(PacketIoEngine* engine, int core, u16 tx_queue, std::vector<QueueRef> queues);
+
+  u32 recv_from_queue(const QueueRef& ref, PacketChunk& chunk);
+  void on_interrupt();
+
+  PacketIoEngine* engine_;
+  int core_;
+  u16 tx_queue_;  // this core's private TX queue index on every port
+  std::vector<QueueRef> queues_;
+  std::size_t rr_cursor_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool irq_pending_ = false;
+
+  u64 tx_drops_ = 0;
+};
+
+class PacketIoEngine {
+ public:
+  /// `ports` outlive the engine. TX queue `i` on every port is reserved
+  /// for core `i`; ports must be configured with enough TX queues.
+  PacketIoEngine(const pcie::Topology& topo, std::vector<nic::NicPort*> ports,
+                 EngineConfig config = {});
+  ~PacketIoEngine();
+
+  PacketIoEngine(const PacketIoEngine&) = delete;
+  PacketIoEngine& operator=(const PacketIoEngine&) = delete;
+
+  /// Bind a set of RX queues to a core. Each (port, queue) pair must be
+  /// attached at most once — virtual interfaces are exclusive by design.
+  IoHandle* attach(int core, std::vector<QueueRef> queues);
+
+  /// Unblock all recv_chunk_wait() callers; subsequent waits return 0.
+  void stop();
+  bool stopped() const { return stopping_; }
+
+  const pcie::Topology& topology() const { return topo_; }
+  nic::NicPort* port(int id) const { return ports_.at(static_cast<std::size_t>(id)); }
+  std::size_t num_ports() const { return ports_.size(); }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  friend class IoHandle;
+
+  pcie::Topology topo_;
+  std::vector<nic::NicPort*> ports_;
+  EngineConfig config_;
+  std::vector<std::unique_ptr<IoHandle>> handles_;
+  // (port, queue) -> owning handle, for interrupt dispatch.
+  std::vector<std::vector<IoHandle*>> queue_owner_;
+  bool stopping_ = false;
+};
+
+}  // namespace ps::iengine

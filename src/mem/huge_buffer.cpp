@@ -1,0 +1,11 @@
+#include "mem/huge_buffer.hpp"
+
+namespace ps::mem {
+
+HugePacketBuffer::HugePacketBuffer(u32 cells, int numa_node)
+    : cell_count_(cells),
+      numa_node_(numa_node),
+      data_(static_cast<std::size_t>(cells) * kDataCellSize),
+      metadata_(cells) {}
+
+}  // namespace ps::mem

@@ -1,0 +1,69 @@
+// Cost model of the legacy Linux per-packet buffer path (Figure 4(a)),
+// the baseline that Table 3 dissects.
+//
+// Functionally this is a freelist allocator handing out (skb metadata,
+// data buffer) pairs; its purpose is to charge the Table 3 cycle bins so
+// `bench_table3_rx_breakdown` can reproduce the breakdown and quantify
+// what the huge packet buffer eliminates.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/huge_buffer.hpp"
+#include "perf/calibration.hpp"
+
+namespace ps::mem {
+
+/// Cycle cost of receiving one packet, split by Table 3's functional bins.
+struct RxCycleBreakdown {
+  double skb_init = 0;
+  double alloc_free = 0;
+  double memory_subsystem = 0;
+  double nic_driver = 0;
+  double others = 0;
+  double compulsory_misses = 0;
+
+  double total() const {
+    return skb_init + alloc_free + memory_subsystem + nic_driver + others + compulsory_misses;
+  }
+};
+
+/// Per-packet RX cost on the unmodified skb path (Table 3's measurement:
+/// unmodified ixgbe receiving 64 B packets and dropping them).
+RxCycleBreakdown skb_rx_breakdown();
+
+/// Per-packet RX cost with the huge packet buffer + batching + prefetch
+/// fixes of sections 4.2-4.3 applied; the bins that the paper's techniques
+/// eliminate are zero or near-zero.
+RxCycleBreakdown huge_buffer_rx_breakdown();
+
+/// Functional skb-style allocator: one 208 B metadata block plus one data
+/// buffer per packet, recycled through freelists (a miniature slab). Used
+/// by tests to show both buffering schemes carry packets correctly.
+class SkbAllocator {
+ public:
+  struct Skb {
+    std::vector<u8> metadata;  // kSkbMetadataSize bytes, re-initialized per packet
+    std::vector<u8> data;
+  };
+
+  explicit SkbAllocator(u32 buffer_size = kDataCellSize) : buffer_size_(buffer_size) {}
+
+  /// Allocate (or recycle) an skb; metadata is zero-initialized each time,
+  /// mirroring the per-packet init cost the paper measures.
+  Skb allocate();
+
+  /// Return an skb to the freelist.
+  void release(Skb skb);
+
+  u64 total_allocations() const noexcept { return allocations_; }
+  u64 freelist_size() const noexcept { return freelist_.size(); }
+
+ private:
+  u32 buffer_size_;
+  std::vector<Skb> freelist_;
+  u64 allocations_ = 0;
+};
+
+}  // namespace ps::mem

@@ -1,0 +1,90 @@
+// Network address value types: MAC, IPv4, IPv6.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/endian.hpp"
+#include "common/types.hpp"
+
+namespace ps::net {
+
+/// 48-bit Ethernet MAC address.
+struct MacAddr {
+  std::array<u8, 6> bytes{};
+
+  static constexpr MacAddr broadcast() {
+    return MacAddr{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+  }
+
+  /// Deterministic per-port address used by the simulated NICs.
+  static constexpr MacAddr for_port(u32 port) {
+    return MacAddr{{0x02, 0x50, 0x53, 0x00,  // locally administered, "PS"
+                    static_cast<u8>(port >> 8), static_cast<u8>(port)}};
+  }
+
+  bool is_broadcast() const { return *this == broadcast(); }
+  bool is_multicast() const { return (bytes[0] & 0x01) != 0; }
+
+  std::string to_string() const;
+
+  auto operator<=>(const MacAddr&) const = default;
+};
+
+/// IPv4 address held in host byte order (so prefix arithmetic is plain
+/// integer arithmetic); converted to network order only at the wire.
+struct Ipv4Addr {
+  u32 value = 0;  // host order
+
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(u32 host_order) : value(host_order) {}
+  constexpr Ipv4Addr(u8 a, u8 b, u8 c, u8 d)
+      : value((u32{a} << 24) | (u32{b} << 16) | (u32{c} << 8) | u32{d}) {}
+
+  static std::optional<Ipv4Addr> parse(const std::string& dotted);
+  std::string to_string() const;
+
+  auto operator<=>(const Ipv4Addr&) const = default;
+};
+
+/// 128-bit IPv6 address, stored as big-endian bytes (wire layout).
+struct Ipv6Addr {
+  std::array<u8, 16> bytes{};
+
+  /// Most-significant 64 bits as a host-order integer (the lookup
+  /// algorithms operate on the top 64 bits, as real tables rarely hold
+  /// prefixes longer than /64).
+  u64 hi64() const { return load_be64(bytes.data()); }
+  u64 lo64() const { return load_be64(bytes.data() + 8); }
+
+  static Ipv6Addr from_words(u64 hi, u64 lo) {
+    Ipv6Addr a;
+    store_be64(a.bytes.data(), hi);
+    store_be64(a.bytes.data() + 8, lo);
+    return a;
+  }
+
+  std::string to_string() const;
+
+  auto operator<=>(const Ipv6Addr&) const = default;
+};
+
+}  // namespace ps::net
+
+template <>
+struct std::hash<ps::net::Ipv4Addr> {
+  std::size_t operator()(const ps::net::Ipv4Addr& a) const noexcept {
+    return std::hash<ps::u32>{}(a.value);
+  }
+};
+
+template <>
+struct std::hash<ps::net::Ipv6Addr> {
+  std::size_t operator()(const ps::net::Ipv6Addr& a) const noexcept {
+    return std::hash<ps::u64>{}(a.hi64() * 0x9e3779b97f4a7c15ULL ^ a.lo64());
+  }
+};

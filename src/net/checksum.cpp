@@ -1,0 +1,72 @@
+#include "net/checksum.hpp"
+
+#include <cstring>
+
+namespace ps::net {
+
+u32 checksum_partial(std::span<const u8> data, u32 initial) {
+  u64 sum = initial;
+  const u8* p = data.data();
+  std::size_t n = data.size();
+
+  // Sum 16-bit big-endian words; a trailing odd byte is padded with zero.
+  while (n >= 2) {
+    sum += load_be16(p);
+    p += 2;
+    n -= 2;
+  }
+  if (n == 1) sum += static_cast<u32>(*p) << 8;
+
+  while (sum >> 32) sum = (sum & 0xffffffff) + (sum >> 32);
+  return static_cast<u32>(sum);
+}
+
+u16 checksum_finish(u32 partial) {
+  u32 sum = partial;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<u16>(~sum & 0xffff);
+}
+
+u16 checksum(std::span<const u8> data) { return checksum_finish(checksum_partial(data)); }
+
+void ipv4_fill_checksum(Ipv4Header& h) {
+  h.set_checksum(0);
+  const auto* bytes = reinterpret_cast<const u8*>(&h);
+  h.set_checksum(checksum({bytes, h.header_bytes()}));
+}
+
+bool ipv4_checksum_ok(const Ipv4Header& h) {
+  const auto* bytes = reinterpret_cast<const u8*>(&h);
+  // Summing the header including the stored checksum must fold to 0xffff.
+  return checksum_finish(checksum_partial({bytes, h.header_bytes()})) == 0;
+}
+
+u16 checksum_update16(u16 old_checksum, u16 old_value, u16 new_value) {
+  // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m')
+  u32 sum = static_cast<u16>(~old_checksum);
+  sum += static_cast<u16>(~old_value);
+  sum += new_value;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<u16>(~sum & 0xffff);
+}
+
+void ipv4_decrement_ttl(Ipv4Header& h) {
+  // TTL and protocol share a 16-bit checksum word: old = (ttl<<8)|proto.
+  const u16 old_word = static_cast<u16>((u16{h.ttl} << 8) | h.protocol);
+  h.ttl -= 1;
+  const u16 new_word = static_cast<u16>((u16{h.ttl} << 8) | h.protocol);
+  h.set_checksum(checksum_update16(h.checksum(), old_word, new_word));
+}
+
+u16 l4_checksum_ipv4(const Ipv4Header& ip, std::span<const u8> l4) {
+  u8 pseudo[12];
+  store_be32(pseudo, ip.src().value);
+  store_be32(pseudo + 4, ip.dst().value);
+  pseudo[8] = 0;
+  pseudo[9] = ip.protocol;
+  store_be16(pseudo + 10, static_cast<u16>(l4.size()));
+  const u32 partial = checksum_partial({pseudo, sizeof(pseudo)});
+  return checksum_finish(checksum_partial(l4, partial));
+}
+
+}  // namespace ps::net

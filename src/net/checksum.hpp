@@ -1,0 +1,38 @@
+// RFC 1071 Internet checksum plus the RFC 1624 incremental update used for
+// TTL decrement on the forwarding fast path.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "net/headers.hpp"
+
+namespace ps::net {
+
+/// One's-complement sum of a byte range (not yet folded/inverted).
+u32 checksum_partial(std::span<const u8> data, u32 initial = 0);
+
+/// Fold a partial sum and invert: the final checksum field value.
+u16 checksum_finish(u32 partial);
+
+/// Full checksum of a byte range.
+u16 checksum(std::span<const u8> data);
+
+/// Compute and install the IPv4 header checksum.
+void ipv4_fill_checksum(Ipv4Header& h);
+
+/// True when the stored IPv4 header checksum verifies.
+bool ipv4_checksum_ok(const Ipv4Header& h);
+
+/// RFC 1624 incremental checksum update for a 16-bit field change.
+u16 checksum_update16(u16 old_checksum, u16 old_value, u16 new_value);
+
+/// Decrement TTL and incrementally patch the checksum — the per-packet
+/// rewrite the pre-shading step performs for IPv4 forwarding (section 6.2.1).
+void ipv4_decrement_ttl(Ipv4Header& h);
+
+/// UDP/TCP checksum over an IPv4 pseudo header. `l4` spans the transport
+/// header plus payload.
+u16 l4_checksum_ipv4(const Ipv4Header& ip, std::span<const u8> l4);
+
+}  // namespace ps::net

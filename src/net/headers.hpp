@@ -1,0 +1,218 @@
+// Wire-format protocol headers.
+//
+// Each struct mirrors the on-the-wire layout byte for byte; multi-byte
+// fields are stored as raw big-endian bytes and accessed through typed
+// getters/setters, so the structs can be memcpy'd / reinterpreted over
+// packet buffers safely on any host.
+#pragma once
+
+#include <cstring>
+#include <type_traits>
+
+#include "common/endian.hpp"
+#include "common/types.hpp"
+#include "net/addr.hpp"
+
+namespace ps::net {
+
+enum class EtherType : u16 {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kVlan = 0x8100,
+  kIpv6 = 0x86dd,
+};
+
+enum class IpProto : u8 {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+  kIpv6Icmp = 58,
+  kEsp = 50,
+};
+
+#pragma pack(push, 1)
+
+struct EthernetHeader {
+  u8 dst[6];
+  u8 src[6];
+  u8 ethertype_be[2];
+
+  MacAddr dst_mac() const {
+    MacAddr m;
+    std::memcpy(m.bytes.data(), dst, 6);
+    return m;
+  }
+  MacAddr src_mac() const {
+    MacAddr m;
+    std::memcpy(m.bytes.data(), src, 6);
+    return m;
+  }
+  void set_dst(const MacAddr& m) { std::memcpy(dst, m.bytes.data(), 6); }
+  void set_src(const MacAddr& m) { std::memcpy(src, m.bytes.data(), 6); }
+
+  EtherType ethertype() const { return static_cast<EtherType>(load_be16(ethertype_be)); }
+  void set_ethertype(EtherType t) { store_be16(ethertype_be, static_cast<u16>(t)); }
+};
+static_assert(sizeof(EthernetHeader) == 14);
+
+struct Ipv4Header {
+  u8 version_ihl;    // version (4 bits) + header length in 32-bit words
+  u8 dscp_ecn;
+  u8 total_length_be[2];
+  u8 identification_be[2];
+  u8 flags_fragment_be[2];
+  u8 ttl;
+  u8 protocol;
+  u8 checksum_be[2];
+  u8 src_be[4];
+  u8 dst_be[4];
+
+  u8 version() const { return version_ihl >> 4; }
+  u8 ihl() const { return version_ihl & 0x0f; }
+  u32 header_bytes() const { return u32{ihl()} * 4; }
+  void set_version_ihl(u8 version, u8 words) {
+    version_ihl = static_cast<u8>((version << 4) | (words & 0x0f));
+  }
+
+  u16 total_length() const { return load_be16(total_length_be); }
+  void set_total_length(u16 v) { store_be16(total_length_be, v); }
+
+  u16 identification() const { return load_be16(identification_be); }
+  void set_identification(u16 v) { store_be16(identification_be, v); }
+
+  u16 checksum() const { return load_be16(checksum_be); }
+  void set_checksum(u16 v) { store_be16(checksum_be, v); }
+
+  IpProto proto() const { return static_cast<IpProto>(protocol); }
+  void set_proto(IpProto p) { protocol = static_cast<u8>(p); }
+
+  Ipv4Addr src() const { return Ipv4Addr(load_be32(src_be)); }
+  Ipv4Addr dst() const { return Ipv4Addr(load_be32(dst_be)); }
+  void set_src(Ipv4Addr a) { store_be32(src_be, a.value); }
+  void set_dst(Ipv4Addr a) { store_be32(dst_be, a.value); }
+};
+static_assert(sizeof(Ipv4Header) == 20);
+
+struct Ipv6Header {
+  u8 version_class_flow_be[4];  // version (4) + traffic class (8) + flow (20)
+  u8 payload_length_be[2];
+  u8 next_header;
+  u8 hop_limit;
+  u8 src_bytes[16];
+  u8 dst_bytes[16];
+
+  u8 version() const { return version_class_flow_be[0] >> 4; }
+  void set_version_class_flow(u8 traffic_class, u32 flow_label) {
+    const u32 word = (u32{6} << 28) | (u32{traffic_class} << 20) | (flow_label & 0xfffff);
+    store_be32(version_class_flow_be, word);
+  }
+
+  u16 payload_length() const { return load_be16(payload_length_be); }
+  void set_payload_length(u16 v) { store_be16(payload_length_be, v); }
+
+  IpProto proto() const { return static_cast<IpProto>(next_header); }
+  void set_proto(IpProto p) { next_header = static_cast<u8>(p); }
+
+  Ipv6Addr src() const {
+    Ipv6Addr a;
+    std::memcpy(a.bytes.data(), src_bytes, 16);
+    return a;
+  }
+  Ipv6Addr dst() const {
+    Ipv6Addr a;
+    std::memcpy(a.bytes.data(), dst_bytes, 16);
+    return a;
+  }
+  void set_src(const Ipv6Addr& a) { std::memcpy(src_bytes, a.bytes.data(), 16); }
+  void set_dst(const Ipv6Addr& a) { std::memcpy(dst_bytes, a.bytes.data(), 16); }
+};
+static_assert(sizeof(Ipv6Header) == 40);
+
+struct UdpHeader {
+  u8 src_port_be[2];
+  u8 dst_port_be[2];
+  u8 length_be[2];
+  u8 checksum_be[2];
+
+  u16 src_port() const { return load_be16(src_port_be); }
+  u16 dst_port() const { return load_be16(dst_port_be); }
+  u16 length() const { return load_be16(length_be); }
+  u16 checksum() const { return load_be16(checksum_be); }
+  void set_src_port(u16 v) { store_be16(src_port_be, v); }
+  void set_dst_port(u16 v) { store_be16(dst_port_be, v); }
+  void set_length(u16 v) { store_be16(length_be, v); }
+  void set_checksum(u16 v) { store_be16(checksum_be, v); }
+};
+static_assert(sizeof(UdpHeader) == 8);
+
+struct TcpHeader {
+  u8 src_port_be[2];
+  u8 dst_port_be[2];
+  u8 seq_be[4];
+  u8 ack_be[4];
+  u8 data_offset_flags_be[2];
+  u8 window_be[2];
+  u8 checksum_be[2];
+  u8 urgent_be[2];
+
+  u16 src_port() const { return load_be16(src_port_be); }
+  u16 dst_port() const { return load_be16(dst_port_be); }
+  u32 seq() const { return load_be32(seq_be); }
+  u32 ack() const { return load_be32(ack_be); }
+  u8 data_offset_words() const { return static_cast<u8>(load_be16(data_offset_flags_be) >> 12); }
+  u16 flags() const { return load_be16(data_offset_flags_be) & 0x01ff; }
+  void set_src_port(u16 v) { store_be16(src_port_be, v); }
+  void set_dst_port(u16 v) { store_be16(dst_port_be, v); }
+  void set_seq(u32 v) { store_be32(seq_be, v); }
+  void set_ack(u32 v) { store_be32(ack_be, v); }
+  void set_data_offset_flags(u8 words, u16 flags) {
+    store_be16(data_offset_flags_be, static_cast<u16>((u16{words} << 12) | (flags & 0x01ff)));
+  }
+  void set_window(u16 v) { store_be16(window_be, v); }
+  void set_checksum(u16 v) { store_be16(checksum_be, v); }
+};
+static_assert(sizeof(TcpHeader) == 20);
+
+struct IcmpHeader {
+  u8 type;
+  u8 code;
+  u8 checksum_be[2];
+  u8 rest_be[4];
+
+  u16 checksum() const { return load_be16(checksum_be); }
+  void set_checksum(u16 v) { store_be16(checksum_be, v); }
+};
+static_assert(sizeof(IcmpHeader) == 8);
+
+/// RFC 4303 Encapsulating Security Payload header (tunnel mode, section
+/// 6.2.4 of the paper).
+struct EspHeader {
+  u8 spi_be[4];
+  u8 sequence_be[4];
+
+  u32 spi() const { return load_be32(spi_be); }
+  u32 sequence() const { return load_be32(sequence_be); }
+  void set_spi(u32 v) { store_be32(spi_be, v); }
+  void set_sequence(u32 v) { store_be32(sequence_be, v); }
+};
+static_assert(sizeof(EspHeader) == 8);
+
+/// ESP trailer fields that precede the authentication tag.
+struct EspTrailer {
+  u8 pad_length;
+  u8 next_header;
+};
+static_assert(sizeof(EspTrailer) == 2);
+
+#pragma pack(pop)
+
+static_assert(std::is_trivially_copyable_v<EthernetHeader>);
+static_assert(std::is_trivially_copyable_v<Ipv4Header>);
+static_assert(std::is_trivially_copyable_v<Ipv6Header>);
+
+/// Frame-size constants as the paper uses them: packet sizes sweep from
+/// 64 B to 1514 B and every Gbps figure adds the 24 B wire overhead on top.
+inline constexpr u32 kMinFrameSize = 64;
+inline constexpr u32 kMaxFrameSize = 1514;
+
+}  // namespace ps::net

@@ -1,0 +1,123 @@
+#include "net/packet.hpp"
+
+#include <cassert>
+
+namespace ps::net {
+
+const char* to_string(ParseStatus s) {
+  switch (s) {
+    case ParseStatus::kOk: return "ok";
+    case ParseStatus::kTruncated: return "truncated";
+    case ParseStatus::kBadVersion: return "bad-version";
+    case ParseStatus::kBadHeaderLen: return "bad-header-len";
+    case ParseStatus::kBadChecksum: return "bad-checksum";
+    case ParseStatus::kUnsupported: return "unsupported";
+  }
+  return "?";
+}
+
+ParseStatus parse_packet(u8* data, u32 length, PacketView& out) {
+  out = PacketView{};
+  out.data = data;
+  out.length = length;
+
+  if (length < sizeof(EthernetHeader)) return ParseStatus::kTruncated;
+  const auto& eth = *reinterpret_cast<const EthernetHeader*>(data);
+  out.ether_type = eth.ethertype();
+  out.l3_offset = sizeof(EthernetHeader);
+
+  switch (out.ether_type) {
+    case EtherType::kIpv4: {
+      if (length < out.l3_offset + sizeof(Ipv4Header)) return ParseStatus::kTruncated;
+      const auto& ip = *reinterpret_cast<const Ipv4Header*>(data + out.l3_offset);
+      if (ip.version() != 4) return ParseStatus::kBadVersion;
+      if (ip.ihl() < 5) return ParseStatus::kBadHeaderLen;
+      if (length < out.l3_offset + ip.header_bytes()) return ParseStatus::kBadHeaderLen;
+      if (ip.total_length() < ip.header_bytes() ||
+          length < out.l3_offset + ip.total_length()) {
+        return ParseStatus::kTruncated;
+      }
+      if (!ipv4_checksum_ok(ip)) return ParseStatus::kBadChecksum;
+      out.ip_proto = ip.proto();
+      out.l4_offset = static_cast<u16>(out.l3_offset + ip.header_bytes());
+      out.has_l4 = (out.ip_proto == IpProto::kUdp && ip.total_length() >= ip.header_bytes() + sizeof(UdpHeader)) ||
+                   (out.ip_proto == IpProto::kTcp && ip.total_length() >= ip.header_bytes() + sizeof(TcpHeader)) ||
+                   (out.ip_proto == IpProto::kEsp && ip.total_length() >= ip.header_bytes() + sizeof(EspHeader));
+      return ParseStatus::kOk;
+    }
+    case EtherType::kIpv6: {
+      if (length < out.l3_offset + sizeof(Ipv6Header)) return ParseStatus::kTruncated;
+      const auto& ip = *reinterpret_cast<const Ipv6Header*>(data + out.l3_offset);
+      if (ip.version() != 6) return ParseStatus::kBadVersion;
+      if (length < out.l3_offset + sizeof(Ipv6Header) + ip.payload_length()) {
+        return ParseStatus::kTruncated;
+      }
+      out.ip_proto = ip.proto();
+      out.l4_offset = static_cast<u16>(out.l3_offset + sizeof(Ipv6Header));
+      out.has_l4 = (out.ip_proto == IpProto::kUdp && ip.payload_length() >= sizeof(UdpHeader)) ||
+                   (out.ip_proto == IpProto::kTcp && ip.payload_length() >= sizeof(TcpHeader)) ||
+                   (out.ip_proto == IpProto::kEsp && ip.payload_length() >= sizeof(EspHeader));
+      return ParseStatus::kOk;
+    }
+    default:
+      return ParseStatus::kUnsupported;
+  }
+}
+
+FrameBuffer build_udp_ipv4(const FrameSpec& spec, Ipv4Addr src, Ipv4Addr dst) {
+  const u32 size = std::max(spec.frame_size, kMinUdpIpv4Frame);
+  FrameBuffer frame(size, 0);
+
+  auto& eth = *reinterpret_cast<EthernetHeader*>(frame.data());
+  eth.set_dst(spec.dst_mac);
+  eth.set_src(spec.src_mac);
+  eth.set_ethertype(EtherType::kIpv4);
+
+  auto& ip = *reinterpret_cast<Ipv4Header*>(frame.data() + sizeof(EthernetHeader));
+  ip.set_version_ihl(4, 5);
+  ip.dscp_ecn = 0;
+  ip.set_total_length(static_cast<u16>(size - sizeof(EthernetHeader)));
+  ip.set_identification(0);
+  store_be16(ip.flags_fragment_be, 0x4000);  // DF
+  ip.ttl = spec.ttl;
+  ip.set_proto(IpProto::kUdp);
+  ip.set_src(src);
+  ip.set_dst(dst);
+  ipv4_fill_checksum(ip);
+
+  auto& udp = *reinterpret_cast<UdpHeader*>(frame.data() + sizeof(EthernetHeader) + sizeof(Ipv4Header));
+  udp.set_src_port(spec.src_port);
+  udp.set_dst_port(spec.dst_port);
+  udp.set_length(static_cast<u16>(size - sizeof(EthernetHeader) - sizeof(Ipv4Header)));
+  udp.set_checksum(0);  // optional for IPv4; generator leaves it zero
+
+  return frame;
+}
+
+FrameBuffer build_udp_ipv6(const FrameSpec& spec, const Ipv6Addr& src, const Ipv6Addr& dst) {
+  const u32 size = std::max(spec.frame_size, kMinUdpIpv6Frame);
+  FrameBuffer frame(size, 0);
+
+  auto& eth = *reinterpret_cast<EthernetHeader*>(frame.data());
+  eth.set_dst(spec.dst_mac);
+  eth.set_src(spec.src_mac);
+  eth.set_ethertype(EtherType::kIpv6);
+
+  auto& ip = *reinterpret_cast<Ipv6Header*>(frame.data() + sizeof(EthernetHeader));
+  ip.set_version_class_flow(0, 0);
+  ip.set_payload_length(static_cast<u16>(size - sizeof(EthernetHeader) - sizeof(Ipv6Header)));
+  ip.set_proto(IpProto::kUdp);
+  ip.hop_limit = spec.ttl;
+  ip.set_src(src);
+  ip.set_dst(dst);
+
+  auto& udp = *reinterpret_cast<UdpHeader*>(frame.data() + sizeof(EthernetHeader) + sizeof(Ipv6Header));
+  udp.set_src_port(spec.src_port);
+  udp.set_dst_port(spec.dst_port);
+  udp.set_length(static_cast<u16>(size - sizeof(EthernetHeader) - sizeof(Ipv6Header)));
+  udp.set_checksum(0xffff);  // placeholder; IPv6 requires nonzero
+
+  return frame;
+}
+
+}  // namespace ps::net

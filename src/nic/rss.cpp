@@ -1,0 +1,75 @@
+#include "nic/rss.hpp"
+
+#include <cassert>
+
+#include "common/endian.hpp"
+#include "net/headers.hpp"
+
+namespace ps::nic {
+
+u32 toeplitz_hash(std::span<const u8> key, std::span<const u8> input) {
+  assert(key.size() >= input.size() + 4);
+  if (input.empty()) return 0;
+
+  // 64-bit shift register primed with the first 8 key bytes; one key byte
+  // is fed in per input byte, keeping >= 32 bits of lookahead at all times.
+  u64 window = 0;
+  for (int i = 0; i < 8; ++i) {
+    window = (window << 8) | (i < static_cast<int>(key.size()) ? key[i] : 0);
+  }
+  std::size_t next_key_byte = 8;
+
+  u32 result = 0;
+  for (u8 byte : input) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if (byte & (1u << bit)) result ^= static_cast<u32>(window >> 32);
+      window <<= 1;
+    }
+    const u8 refill = next_key_byte < key.size() ? key[next_key_byte] : 0;
+    window |= refill;
+    ++next_key_byte;
+  }
+  return result;
+}
+
+u32 rss_hash(const net::PacketView& pkt, std::span<const u8> key) {
+  u8 input[36];  // worst case: IPv6 addrs (32) + ports (4)
+  std::size_t len = 0;
+
+  switch (pkt.ether_type) {
+    case net::EtherType::kIpv4: {
+      const auto& ip = pkt.ipv4();
+      std::memcpy(input, ip.src_be, 4);
+      std::memcpy(input + 4, ip.dst_be, 4);
+      len = 8;
+      break;
+    }
+    case net::EtherType::kIpv6: {
+      const auto& ip = pkt.ipv6();
+      std::memcpy(input, ip.src_bytes, 16);
+      std::memcpy(input + 16, ip.dst_bytes, 16);
+      len = 32;
+      break;
+    }
+    default:
+      return 0;
+  }
+
+  if (pkt.has_l4 &&
+      (pkt.ip_proto == net::IpProto::kTcp || pkt.ip_proto == net::IpProto::kUdp)) {
+    // Source port then destination port, big-endian, straight off the wire.
+    std::memcpy(input + len, pkt.data + pkt.l4_offset, 4);
+    len += 4;
+  }
+
+  return toeplitz_hash(key, {input, len});
+}
+
+void RssIndirectionTable::distribute(u16 first_queue, u16 num_queues) {
+  assert(num_queues > 0);
+  for (u32 i = 0; i < kEntries; ++i) {
+    table_[i] = static_cast<u16>(first_queue + i % num_queues);
+  }
+}
+
+}  // namespace ps::nic

@@ -1,0 +1,52 @@
+// Receive-Side Scaling (section 4.4): Toeplitz hash over the packet
+// 5-tuple plus the indirection table that spreads flows across RX queues.
+//
+// RSS is also what preserves per-flow packet order end to end (section
+// 5.3): all packets of a flow hash to the same queue, hence the same
+// worker thread.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/types.hpp"
+#include "net/packet.hpp"
+
+namespace ps::nic {
+
+/// Microsoft's verification key; the de-facto default programmed into
+/// 82599-class NICs.
+inline constexpr std::array<u8, 40> kDefaultRssKey = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+    0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+    0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+};
+
+/// Toeplitz hash of `input` under `key` (key must be at least
+/// input.size() + 4 bytes long).
+u32 toeplitz_hash(std::span<const u8> key, std::span<const u8> input);
+
+/// RSS hash of a parsed frame: IPv4/IPv6 src+dst addresses plus TCP/UDP
+/// ports when present (the standard hash input layout). Non-IP frames
+/// hash to 0 (queue 0), as real NICs do.
+u32 rss_hash(const net::PacketView& pkt, std::span<const u8> key = kDefaultRssKey);
+
+/// 128-entry indirection table mapping hash -> RX queue.
+class RssIndirectionTable {
+ public:
+  static constexpr u32 kEntries = 128;
+
+  /// Spread hashes round-robin over queues [first_queue, first_queue + n).
+  /// Section 4.5 uses this to confine a NIC's packets to the CPU cores of
+  /// its own NUMA node.
+  void distribute(u16 first_queue, u16 num_queues);
+
+  u16 queue_for_hash(u32 hash) const { return table_[hash % kEntries]; }
+  u16 entry(u32 i) const { return table_[i % kEntries]; }
+
+ private:
+  std::array<u16, kEntries> table_{};
+};
+
+}  // namespace ps::nic

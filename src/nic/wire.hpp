@@ -1,0 +1,37 @@
+// The "wire" abstraction: where a port's transmitted frames go, and how
+// external traffic reaches a port. The traffic generator (ps::gen)
+// implements WireSink to act as source and sink, exactly like the
+// generator machine wired to the PacketShader server in section 6.1.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace ps::nic {
+
+class WireSink {
+ public:
+  virtual ~WireSink() = default;
+
+  /// A frame left `port` and arrived at the peer.
+  virtual void on_frame(int port, std::span<const u8> frame) = 0;
+};
+
+/// Discards frames, counting them; the default peer.
+class NullWire final : public WireSink {
+ public:
+  void on_frame(int, std::span<const u8> frame) override {
+    ++frames_;
+    bytes_ += frame.size();
+  }
+
+  u64 frames() const noexcept { return frames_; }
+  u64 bytes() const noexcept { return bytes_; }
+
+ private:
+  u64 frames_ = 0;
+  u64 bytes_ = 0;
+};
+
+}  // namespace ps::nic

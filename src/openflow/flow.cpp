@@ -1,0 +1,71 @@
+#include "openflow/flow.hpp"
+
+namespace ps::openflow {
+
+FlowKey extract_flow_key(const net::PacketView& pkt, u16 in_port) {
+  FlowKey key;
+  key.in_port = in_port;
+
+  const auto& eth = pkt.eth();
+  key.dl_src = eth.src_mac().bytes;
+  key.dl_dst = eth.dst_mac().bytes;
+  key.dl_type = static_cast<u16>(pkt.ether_type);
+
+  if (pkt.ether_type == net::EtherType::kIpv4) {
+    const auto& ip = pkt.ipv4();
+    key.nw_src = ip.src().value;
+    key.nw_dst = ip.dst().value;
+    key.nw_proto = ip.protocol;
+    if (pkt.has_l4) {
+      if (pkt.ip_proto == net::IpProto::kUdp) {
+        key.tp_src = pkt.udp().src_port();
+        key.tp_dst = pkt.udp().dst_port();
+      } else if (pkt.ip_proto == net::IpProto::kTcp) {
+        key.tp_src = pkt.tcp().src_port();
+        key.tp_dst = pkt.tcp().dst_port();
+      }
+    }
+  }
+  return key;
+}
+
+u32 flow_key_hash(const FlowKey& key) {
+  // Four 64-bit lanes mixed splitmix-style; flat and branch-free so the
+  // GPU port is the identical routine.
+  const u8* bytes = key.bytes().data();
+  u64 h = 0x243f6a8885a308d3ULL;
+  for (int lane = 0; lane < 4; ++lane) {
+    u64 word;
+    std::memcpy(&word, bytes + lane * 8, 8);
+    h ^= word;
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+  }
+  return static_cast<u32>(h ^ (h >> 32));
+}
+
+namespace {
+
+bool prefix_match(u32 a, u32 b, u8 bits) {
+  if (bits == 0) return true;
+  const u32 mask = bits >= 32 ? 0xffffffffu : ~((u32{1} << (32 - bits)) - 1);
+  return (a & mask) == (b & mask);
+}
+
+}  // namespace
+
+bool WildcardMatch::matches(const FlowKey& k) const {
+  if (!(wildcards & kWildInPort) && k.in_port != key.in_port) return false;
+  if (!(wildcards & kWildDlVlan) && k.dl_vlan != key.dl_vlan) return false;
+  if (!(wildcards & kWildDlSrc) && k.dl_src != key.dl_src) return false;
+  if (!(wildcards & kWildDlDst) && k.dl_dst != key.dl_dst) return false;
+  if (!(wildcards & kWildDlType) && k.dl_type != key.dl_type) return false;
+  if (!(wildcards & kWildNwProto) && k.nw_proto != key.nw_proto) return false;
+  if (!(wildcards & kWildTpSrc) && k.tp_src != key.tp_src) return false;
+  if (!(wildcards & kWildTpDst) && k.tp_dst != key.tp_dst) return false;
+  if (!prefix_match(k.nw_src, key.nw_src, nw_src_bits)) return false;
+  if (!prefix_match(k.nw_dst, key.nw_dst, nw_dst_bits)) return false;
+  return true;
+}
+
+}  // namespace ps::openflow

@@ -1,0 +1,125 @@
+// OpenFlow 0.8.9 flow abstraction (section 6.2.3): the ten-field flow key,
+// wildcard masks, and actions.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+#include "net/packet.hpp"
+
+namespace ps::openflow {
+
+/// The ten-field flow key of OpenFlow 0.8.9: ingress port, Ethernet
+/// src/dst/VLAN/type, IP src/dst/protocol, transport src/dst ports.
+/// Packed to a fixed 32 bytes so hashing and comparison are flat
+/// byte operations on both CPU and GPU.
+#pragma pack(push, 1)
+struct FlowKey {
+  u16 in_port = 0;
+  std::array<u8, 6> dl_src{};
+  std::array<u8, 6> dl_dst{};
+  u16 dl_vlan = 0;
+  u16 dl_type = 0;
+  u32 nw_src = 0;  // host order
+  u32 nw_dst = 0;
+  u8 nw_proto = 0;
+  u8 pad = 0;
+  u16 tp_src = 0;
+  u16 tp_dst = 0;
+
+  bool operator==(const FlowKey&) const = default;
+
+  std::span<const u8, 32> bytes() const {
+    return std::span<const u8, 32>{reinterpret_cast<const u8*>(this), 32};
+  }
+};
+#pragma pack(pop)
+static_assert(sizeof(FlowKey) == 32);
+
+/// Extract the flow key from a parsed frame (non-IP fields zero as in the
+/// reference switch).
+FlowKey extract_flow_key(const net::PacketView& pkt, u16 in_port);
+
+/// Flow-key hash — the computation the paper offloads to the GPU. A flat
+/// 64->32 bit mix over the 32 key bytes, identical on CPU and GPU paths.
+u32 flow_key_hash(const FlowKey& key);
+
+/// Wildcard flags (subset of OFPFW_*); a set bit means "ignore this field".
+enum WildcardBits : u32 {
+  kWildInPort = 1u << 0,
+  kWildDlVlan = 1u << 1,
+  kWildDlSrc = 1u << 2,
+  kWildDlDst = 1u << 3,
+  kWildDlType = 1u << 4,
+  kWildNwProto = 1u << 5,
+  kWildTpSrc = 1u << 6,
+  kWildTpDst = 1u << 7,
+  kWildAll = 0xff,
+};
+
+struct WildcardMatch {
+  FlowKey key;
+  u32 wildcards = kWildAll;  // WildcardBits
+  u8 nw_src_bits = 0;        // prefix length to match on nw_src (0 = ignore)
+  u8 nw_dst_bits = 0;
+  u16 priority = 0;          // higher wins
+
+  bool matches(const FlowKey& k) const;
+};
+
+enum class ActionType : u8 {
+  kOutput = 0,   // forward to `port`
+  kFlood,        // all ports except ingress
+  kDrop,
+  kController,   // punt to the slow path
+};
+
+/// A flow entry's action: a disposition plus optional L2 rewrites
+/// (OFPAT_SET_DL_SRC / OFPAT_SET_DL_DST in OpenFlow 0.8.9), applied
+/// before output.
+struct Action {
+  ActionType type = ActionType::kDrop;
+  u16 port = 0;
+  bool set_dl_src = false;
+  bool set_dl_dst = false;
+  net::MacAddr dl_src{};
+  net::MacAddr dl_dst{};
+
+  static Action output(u16 port) {
+    Action a;
+    a.type = ActionType::kOutput;
+    a.port = port;
+    return a;
+  }
+  static Action drop() { return Action{}; }
+  static Action flood() {
+    Action a;
+    a.type = ActionType::kFlood;
+    return a;
+  }
+  static Action controller() {
+    Action a;
+    a.type = ActionType::kController;
+    return a;
+  }
+
+  /// Chainable rewrite setters.
+  Action& with_dl_src(const net::MacAddr& mac) {
+    set_dl_src = true;
+    dl_src = mac;
+    return *this;
+  }
+  Action& with_dl_dst(const net::MacAddr& mac) {
+    set_dl_dst = true;
+    dl_dst = mac;
+    return *this;
+  }
+
+  bool operator==(const Action&) const = default;
+};
+
+}  // namespace ps::openflow

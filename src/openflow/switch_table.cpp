@@ -1,0 +1,151 @@
+#include "openflow/switch_table.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace ps::openflow {
+
+ExactMatchTable::ExactMatchTable(std::size_t expected_entries) {
+  const std::size_t capacity = std::bit_ceil(std::max<std::size_t>(expected_entries * 2, 16));
+  slots_.resize(capacity);
+}
+
+i64 ExactMatchTable::probe_in_slots(const Slot* slots, u32 capacity_mask, const FlowKey& key,
+                                    u32 hash) {
+  u32 index = hash & capacity_mask;
+  // Linear probing; an empty slot terminates the chain (no tombstones:
+  // erase() re-inserts the displaced cluster).
+  while (slots[index].occupied != 0) {
+    if (slots[index].key == key) return index;
+    index = (index + 1) & capacity_mask;
+  }
+  return -1;
+}
+
+void ExactMatchTable::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  size_ = 0;
+  for (const auto& slot : old) {
+    if (slot.occupied == 0) continue;
+    insert(slot.key, slot.action, slot.expires_at);
+    // Preserve counters across the rehash.
+    const u32 mask = static_cast<u32>(slots_.size() - 1);
+    const i64 idx = probe_in_slots(slots_.data(), mask, slot.key, flow_key_hash(slot.key));
+    assert(idx >= 0);
+    slots_[static_cast<std::size_t>(idx)].stats = slot.stats;
+  }
+}
+
+void ExactMatchTable::insert(const FlowKey& key, Action action, ExpiryTime expires_at) {
+  if ((size_ + 1) * 10 > slots_.size() * 7) grow();
+  const u32 mask = static_cast<u32>(slots_.size() - 1);
+  u32 index = flow_key_hash(key) & mask;
+  while (slots_[index].occupied != 0) {
+    if (slots_[index].key == key) {
+      slots_[index].action = action;
+      slots_[index].expires_at = expires_at;
+      return;
+    }
+    index = (index + 1) & mask;
+  }
+  slots_[index] = Slot{key, action, 1, {}, expires_at};
+  ++size_;
+}
+
+std::size_t ExactMatchTable::expire(Picos now) {
+  // Collect first: erase() reshuffles probe clusters.
+  std::vector<FlowKey> expired;
+  for (const auto& slot : slots_) {
+    if (slot.occupied != 0 && slot.expires_at != 0 && slot.expires_at <= now) {
+      expired.push_back(slot.key);
+    }
+  }
+  for (const auto& key : expired) erase(key);
+  return expired.size();
+}
+
+bool ExactMatchTable::erase(const FlowKey& key) {
+  const u32 mask = static_cast<u32>(slots_.size() - 1);
+  i64 idx = probe_in_slots(slots_.data(), mask, key, flow_key_hash(key));
+  if (idx < 0) return false;
+
+  // Remove and re-insert the rest of the probe cluster so linear probing
+  // invariants hold without tombstones.
+  slots_[static_cast<std::size_t>(idx)] = Slot{};
+  --size_;
+  u32 index = (static_cast<u32>(idx) + 1) & mask;
+  while (slots_[index].occupied != 0) {
+    Slot displaced = slots_[index];
+    slots_[index] = Slot{};
+    --size_;
+    insert(displaced.key, displaced.action);
+    const i64 nidx =
+        probe_in_slots(slots_.data(), mask, displaced.key, flow_key_hash(displaced.key));
+    slots_[static_cast<std::size_t>(nidx)].stats = displaced.stats;
+    index = (index + 1) & mask;
+  }
+  return true;
+}
+
+std::optional<Action> ExactMatchTable::lookup(const FlowKey& key, u32 packet_bytes) {
+  const u32 mask = static_cast<u32>(slots_.size() - 1);
+  const i64 idx = probe_in_slots(slots_.data(), mask, key, flow_key_hash(key));
+  if (idx < 0) return std::nullopt;
+  auto& slot = slots_[static_cast<std::size_t>(idx)];
+  ++slot.stats.packets;
+  slot.stats.bytes += packet_bytes;
+  return slot.action;
+}
+
+void WildcardTable::insert(WildcardMatch match, Action action, ExpiryTime expires_at) {
+  const auto pos = std::find_if(entries_.begin(), entries_.end(), [&](const Entry& e) {
+    return e.match.priority < match.priority;
+  });
+  entries_.insert(pos, Entry{match, action, {}, expires_at});
+}
+
+std::size_t WildcardTable::expire(Picos now) {
+  const auto first = std::remove_if(entries_.begin(), entries_.end(), [&](const Entry& e) {
+    return e.expires_at != 0 && e.expires_at <= now;
+  });
+  const auto n = static_cast<std::size_t>(entries_.end() - first);
+  entries_.erase(first, entries_.end());
+  return n;
+}
+
+std::optional<Action> WildcardTable::lookup(const FlowKey& key, u32 packet_bytes, int* scanned) {
+  int n = 0;
+  for (auto& entry : entries_) {
+    ++n;
+    if (entry.match.matches(key)) {
+      ++entry.stats.packets;
+      entry.stats.bytes += packet_bytes;
+      if (scanned != nullptr) *scanned = n;
+      return entry.action;
+    }
+  }
+  if (scanned != nullptr) *scanned = n;
+  return std::nullopt;
+}
+
+std::size_t OpenFlowSwitch::expire(Picos now) {
+  return exact_.expire(now) + wildcard_.expire(now);
+}
+
+Action OpenFlowSwitch::classify(const FlowKey& key, u32 packet_bytes, int* wildcard_scanned) {
+  if (auto action = exact_.lookup(key, packet_bytes)) {
+    ++exact_hits_;
+    if (wildcard_scanned != nullptr) *wildcard_scanned = 0;
+    return *action;
+  }
+  if (auto action = wildcard_.lookup(key, packet_bytes, wildcard_scanned)) {
+    ++wildcard_hits_;
+    return *action;
+  }
+  ++misses_;
+  return default_action_;
+}
+
+}  // namespace ps::openflow

@@ -1,0 +1,121 @@
+// OpenFlow switch data path (section 6.2.3): an exact-match hash table and
+// a priority-ordered wildcard table searched linearly, as in the reference
+// implementation (hardware switches use TCAM instead). Exact matches take
+// precedence over any wildcard entry.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "openflow/flow.hpp"
+
+namespace ps::openflow {
+
+struct FlowStats {
+  u64 packets = 0;
+  u64 bytes = 0;
+};
+
+/// Entry lifetime: 0 = permanent, otherwise the model time at which the
+/// entry hard-expires (OpenFlow's hard_timeout, removed by the periodic
+/// control-plane sweep).
+using ExpiryTime = Picos;
+
+/// Exact-match table: open addressing with linear probing over flat slots,
+/// the same layout the GPU kernel consumes.
+class ExactMatchTable {
+ public:
+  struct Slot {
+    FlowKey key;
+    Action action;
+    u16 occupied = 0;
+    FlowStats stats;
+    ExpiryTime expires_at = 0;
+  };
+
+  explicit ExactMatchTable(std::size_t expected_entries = 1024);
+
+  /// Insert or update. Grows (rehashes) beyond 70% load. `expires_at` of
+  /// 0 means permanent.
+  void insert(const FlowKey& key, Action action, ExpiryTime expires_at = 0);
+  bool erase(const FlowKey& key);
+
+  /// Remove entries whose hard timeout has passed; returns how many.
+  std::size_t expire(Picos now);
+
+  /// Returns the action, or nullopt on miss; bumps entry counters.
+  std::optional<Action> lookup(const FlowKey& key, u32 packet_bytes = 0);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+  std::span<const Slot> slots() const { return slots_; }
+
+  /// Flat probe against raw slots (shared with the GPU kernel): returns
+  /// the slot index or -1.
+  static i64 probe_in_slots(const Slot* slots, u32 capacity_mask, const FlowKey& key, u32 hash);
+
+ private:
+  void grow();
+
+  std::vector<Slot> slots_;  // power-of-two size
+  std::size_t size_ = 0;
+};
+
+/// Wildcard table: entries sorted by descending priority; first match wins.
+class WildcardTable {
+ public:
+  struct Entry {
+    WildcardMatch match;
+    Action action;
+    FlowStats stats;
+    ExpiryTime expires_at = 0;
+  };
+
+  void insert(WildcardMatch match, Action action, ExpiryTime expires_at = 0);
+
+  /// Remove entries whose hard timeout has passed; returns how many.
+  std::size_t expire(Picos now);
+  std::size_t size() const { return entries_.size(); }
+  std::span<const Entry> entries() const { return entries_; }
+
+  /// Linear search in priority order; bumps counters on hit. `scanned`,
+  /// when non-null, receives the number of entries examined (cost model).
+  std::optional<Action> lookup(const FlowKey& key, u32 packet_bytes = 0, int* scanned = nullptr);
+
+ private:
+  std::vector<Entry> entries_;  // descending priority
+};
+
+/// The combined switch lookup pipeline.
+class OpenFlowSwitch {
+ public:
+  ExactMatchTable& exact() { return exact_; }
+  WildcardTable& wildcard() { return wildcard_; }
+  const ExactMatchTable& exact() const { return exact_; }
+  const WildcardTable& wildcard() const { return wildcard_; }
+
+  /// Table-miss policy (default: punt to controller).
+  void set_default_action(Action a) { default_action_ = a; }
+  Action default_action() const { return default_action_; }
+
+  /// Full lookup: exact first, then wildcard, then the default action.
+  Action classify(const FlowKey& key, u32 packet_bytes = 0, int* wildcard_scanned = nullptr);
+
+  /// Control-plane sweep removing hard-expired entries from both tables
+  /// (OpenFlow hard_timeout); returns the number evicted.
+  std::size_t expire(Picos now);
+
+  u64 exact_hits() const { return exact_hits_; }
+  u64 wildcard_hits() const { return wildcard_hits_; }
+  u64 misses() const { return misses_; }
+
+ private:
+  ExactMatchTable exact_;
+  WildcardTable wildcard_;
+  Action default_action_ = Action::controller();
+  u64 exact_hits_ = 0;
+  u64 wildcard_hits_ = 0;
+  u64 misses_ = 0;
+};
+
+}  // namespace ps::openflow

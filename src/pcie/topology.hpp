@@ -1,0 +1,71 @@
+// Machine topology model: the server of Table 2 / Figure 3.
+//
+// Two NUMA nodes; each node has a quad-core X5550, local DDR3, and an IOH
+// hosting two dual-port 10 GbE NICs (PCIe x8) and one GTX480 (PCIe x16).
+// Placement decisions in the io-engine and framework (section 4.5, 5.1)
+// are all phrased against this topology.
+#pragma once
+
+#include <cassert>
+
+#include "common/types.hpp"
+#include "perf/calibration.hpp"
+
+namespace ps::pcie {
+
+struct Topology {
+  int num_nodes = perf::kNumNodes;
+  int cores_per_node = perf::kCoresPerNode;
+  int nics_per_node = 2;
+  int ports_per_nic = 2;
+  int gpus_per_node = 1;
+  /// Dual-IOH boards exhibit the section 3.2 transfer asymmetry; a
+  /// single-IOH configuration (num_nodes=1) does not.
+  bool dual_ioh = true;
+
+  int num_cores() const { return num_nodes * cores_per_node; }
+  int num_nics() const { return num_nodes * nics_per_node; }
+  int num_ports() const { return num_nics() * ports_per_nic; }
+  int num_gpus() const { return num_nodes * gpus_per_node; }
+
+  int node_of_core(int core) const {
+    assert(core >= 0 && core < num_cores());
+    return core / cores_per_node;
+  }
+  int node_of_nic(int nic) const {
+    assert(nic >= 0 && nic < num_nics());
+    return nic / nics_per_node;
+  }
+  int node_of_port(int port) const { return node_of_nic(nic_of_port(port)); }
+  int node_of_gpu(int gpu) const {
+    assert(gpu >= 0 && gpu < num_gpus());
+    return gpu / gpus_per_node;
+  }
+
+  int nic_of_port(int port) const {
+    assert(port >= 0 && port < num_ports());
+    return port / ports_per_nic;
+  }
+
+  /// Each node's IOH is indexed by the node id.
+  int ioh_of_node(int node) const {
+    assert(node >= 0 && node < num_nodes);
+    return node;
+  }
+  int ioh_of_port(int port) const { return ioh_of_node(node_of_port(port)); }
+  int ioh_of_gpu(int gpu) const { return ioh_of_node(node_of_gpu(gpu)); }
+
+  /// The paper's default server.
+  static Topology paper_server() { return Topology{}; }
+
+  /// A single-node, single-IOH machine (used by the §3.2 comparison and
+  /// small tests).
+  static Topology single_node() {
+    Topology t;
+    t.num_nodes = 1;
+    t.dual_ioh = false;
+    return t;
+  }
+};
+
+}  // namespace ps::pcie

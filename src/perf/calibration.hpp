@@ -1,0 +1,233 @@
+// Calibration constants for the performance model.
+//
+// Every paper-shaped number this repository reports is produced by charging
+// functional work against the analytical resource model defined here. Each
+// constant is annotated with the paper measurement it is fit to, so the
+// provenance of every reproduced figure is auditable. See DESIGN.md §4.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ps::perf {
+
+// ---------------------------------------------------------------------------
+// Host CPU: 2x Intel Xeon X5550 (Nehalem), 4 cores each, 2.66 GHz (Table 2).
+// ---------------------------------------------------------------------------
+inline constexpr double kCpuHz = 2.66e9;
+inline constexpr int kCoresPerNode = 4;
+inline constexpr int kNumNodes = 2;
+inline constexpr int kTotalCores = kCoresPerNode * kNumNodes;
+
+inline constexpr Picos cpu_cycles_to_picos(double cycles) {
+  return static_cast<Picos>(cycles / kCpuHz * 1e12);
+}
+
+// ---------------------------------------------------------------------------
+// Packet I/O engine CPU costs (fit to Figure 5: single core, two 10 GbE
+// ports, 64 B packets; batch=1 forwards 0.78 Gbps => ~2400 cycles/packet,
+// batch=64 forwards 10.5 Gbps => ~178 cycles/packet; speedup 13.5x).
+//
+// cycles(batch) = per_packet + per_batch / batch, split between the RX and
+// TX halves of the path.
+// ---------------------------------------------------------------------------
+inline constexpr double kRxCyclesPerPacket = 65.0;
+inline constexpr double kRxCyclesPerBatch = 1200.0;   // syscall + ring doorbells + IRQ
+inline constexpr double kTxCyclesPerPacket = 58.0;
+inline constexpr double kTxCyclesPerBatch = 1058.0;
+// Copying a 64 B packet into the contiguous user buffer; scales with lines
+// touched. Paper: copy is <20% of total packet I/O cycles (section 4.3).
+inline constexpr double kCopyCyclesPerCacheLine = 12.0;
+
+// ---------------------------------------------------------------------------
+// Legacy skb path per-packet RX cost (fit to Table 3 percentages; total
+// sized so the unbatched skb path is ~4x slower than our unbatched path,
+// consistent with the Linux-vs-engine gap reported across section 4).
+// Shares sum to 100%.
+// ---------------------------------------------------------------------------
+inline constexpr double kSkbRxTotalCycles = 2900.0;
+inline constexpr double kSkbShareInit = 0.049;          // skb initialization
+inline constexpr double kSkbShareAllocFree = 0.080;     // (de)allocation wrappers
+inline constexpr double kSkbShareMemSubsystem = 0.502;  // slab + page allocator
+inline constexpr double kSkbShareNicDriver = 0.133;     // incl. per-packet DMA mapping
+inline constexpr double kSkbShareOthers = 0.098;
+inline constexpr double kSkbShareCacheMiss = 0.138;     // compulsory misses from DMA
+
+// Huge-packet-buffer path: what remains of each Table 3 bin once the paper's
+// fixes are applied (section 4.2-4.3). Metadata shrinks 208 B -> 8 B; the
+// slab path disappears entirely; software prefetch hides compulsory misses.
+// These bins sum to kRxCyclesPerPacket so Table 3 and Figure 5 agree.
+inline constexpr double kHugeBufMetadataInitCycles = 6.0;
+inline constexpr double kHugeBufDriverCyclesPerPacket = 40.0;
+inline constexpr double kHugeBufOtherCyclesPerPacket = 12.0;
+inline constexpr double kHugeBufResidualMissCycles = 7.0;
+
+// ---------------------------------------------------------------------------
+// NUMA effects (section 4.5): node-crossing memory access is 40-50% slower
+// and 20-30% lower bandwidth; NUMA-blind I/O caps forwarding below 25 Gbps
+// vs ~40 Gbps NUMA-aware (~60% improvement).
+// ---------------------------------------------------------------------------
+inline constexpr double kRemoteAccessLatencyFactor = 1.45;
+inline constexpr double kRemoteBandwidthFactor = 0.75;
+// Extra CPU cycles per packet whose data lands in the remote node
+// (remote access is 40-50% slower).
+inline constexpr double kNumaBlindExtraCyclesPerPacket = 95.0;
+// NUMA-blind DMA: RSS spreads packets over all cores, so half of all
+// packet DMA targets remote memory and traverses both IOHs at reduced
+// efficiency. Fit so blind forwarding sits just under 25 Gbps when aware
+// forwarding is ~41 Gbps (the ~60% gap of section 4.5).
+inline constexpr double kNumaBlindRemoteFraction = 0.5;
+inline constexpr double kRemoteDmaCostFactor = 1.15;
+
+// ---------------------------------------------------------------------------
+// Multi-core pathologies (section 4.4): without cache-line alignment of
+// per-queue data and per-queue statistics counters, per-packet cycles grow
+// ~20% when scaling from one to eight cores.
+// ---------------------------------------------------------------------------
+inline constexpr double kFalseSharingExtraCyclesPerPacket8Cores = 0.12;  // fraction
+inline constexpr double kSharedCounterExtraCyclesPerPacket8Cores = 0.08; // fraction
+
+// ---------------------------------------------------------------------------
+// PCIe / DMA transfer model (fit to Table 1):
+//   transfer_time(bytes) = T0 + bytes / BW_peak
+// Host-to-device: 256 B @55 MB/s, 1 MB @5577 MB/s  => T0=4.6 us, 6.0 GB/s
+// Device-to-host: 256 B @63 MB/s, 1 MB @3394 MB/s  => T0=4.0 us, 3.6 GB/s
+// (The d2h direction is slower because of the dual-IOH problem, §3.2.)
+// ---------------------------------------------------------------------------
+inline constexpr Picos kPcieH2dLatency = 4'600'000;  // 4.6 us
+inline constexpr double kPcieH2dPeakBytesPerSec = 6.0e9;
+inline constexpr Picos kPcieD2hLatency = 4'000'000;  // 4.0 us
+inline constexpr double kPcieD2hPeakBytesPerSec = 3.6e9;
+
+// IOH occupancy per DMA transaction (pipelined copies overlap the
+// handshake, so occupancy excludes most of the one-shot latency above).
+inline constexpr Picos kIohDmaSetupOverhead = 500'000;  // 0.5 us per batched copy
+
+// ---------------------------------------------------------------------------
+// IOH channel model (fit to Figure 6, 8 cores / 8 ports):
+// per-packet NIC DMA time = (frame + descriptor) / BW_dir + overhead.
+//   RX-only:  53.1 Gbps @64 B .. 59.9 Gbps @1514 B  => d2h 3.77 GB/s + 5.3 ns
+//   TX-only:  79.3 Gbps @64 B .. 80 Gbps (line rate) => h2d 6.5 GB/s + 5.4 ns
+//   Forward:  41.1 Gbps @64 B, >40 Gbps all sizes    => duplex coupling 0.435
+// The duplex coupling expresses the dual-IOH anomaly: the two directions
+// only partially overlap, so IOH busy time = max(d2h, h2d) + k * min(...).
+// ---------------------------------------------------------------------------
+inline constexpr double kIohD2hBytesPerSec = 3.77e9;
+inline constexpr double kIohH2dBytesPerSec = 6.5e9;
+inline constexpr Picos kNicDmaPerPacketOverhead = 5'300;  // 5.3 ns
+inline constexpr double kIohDuplexCoupling = 0.435;
+inline constexpr u32 kNicDescriptorBytes = 16;
+
+// Single-IOH motherboards do not show the asymmetry (§3.2): with
+// dual_ioh=false the model uses symmetric full-duplex channels.
+inline constexpr double kIohSymmetricBytesPerSec = 6.5e9;
+
+// 10 GbE line rate per port, on-the-wire (includes the 24 B overhead).
+inline constexpr double kPortLineRateBitsPerSec = 10.0e9;
+
+// NIC interrupt moderation delay (section 6.4 attributes the elevated
+// latency at low offered load to it; ixgbe-class adapters batch interrupts
+// on this order).
+inline constexpr Picos kInterruptModerationDelay = 80'000'000;  // 80 us
+
+// ---------------------------------------------------------------------------
+// GPU model: NVIDIA GTX480 (section 2.1-2.2): 15 SMs x 32 SPs @1.4 GHz,
+// 1.5 GB GDDR5 @177.4 GB/s, kernel launch 3.8 us for 1 thread and 4.1 us
+// for 4096 threads (=> ~73 ps per additional thread).
+// ---------------------------------------------------------------------------
+inline constexpr int kGpuSmCount = 15;
+inline constexpr int kGpuSpPerSm = 32;
+inline constexpr int kGpuCores = kGpuSmCount * kGpuSpPerSm;  // 480
+inline constexpr double kGpuHz = 1.4e9;
+inline constexpr double kGpuMemBytesPerSec = 177.4e9;
+inline constexpr u64 kGpuMemBytes = 1'500'000'000;
+inline constexpr int kGpuMaxWarpsPerSm = 32;
+inline constexpr int kGpuWarpSize = 32;
+
+inline constexpr Picos kGpuLaunchBaseLatency = 3'800'000;  // 3.8 us
+inline constexpr Picos kGpuLaunchPerThread = 73;           // 73 ps/thread
+
+// CPU cycles the master thread spends in the CUDA driver per device call
+// (copy or launch), independent of streams.
+inline constexpr double kGpuDriverCallCycles = 200.0;
+
+// Per-CUDA-call overhead when multiple streams are live (section 5.4:
+// "having multiple streams adds non-trivial overhead for each CUDA library
+// function call", enough to hurt lightweight kernels like IPv4 lookup).
+inline constexpr Picos kGpuStreamCallOverhead = 5'000'000;  // 5 us
+
+// Device-memory access latency (~780 GPU cycles, calibrated so Figure 2's
+// GPU curve crosses one X5550 near batch 320). A thread's dependent access
+// chain floors its kernel's execution time at accesses x latency; with
+// enough threads, the throughput terms overtake the floor (section 2.1).
+inline constexpr double kGpuMemLatencyCycles = 780.0;
+
+// Effective bytes of device-memory bandwidth consumed per random access
+// (32 B minimum GDDR5 transaction granularity; uncoalesced accesses cost a
+// full segment just as every 4 B random host access costs a 64 B line, §2.4).
+inline constexpr u32 kGpuRandomAccessBytes = 32;
+
+// ---------------------------------------------------------------------------
+// Application work profiles.
+// ---------------------------------------------------------------------------
+
+// CPU-side per-packet application cycles, on top of packet I/O. Fit to the
+// CPU-only curves of Figure 11 at 64 B with 8 worker cores:
+//   IPv4 ~28 Gbps => ~535 cycles total => ~390 cycles of lookup+rewrite.
+//   IPv6 ~8 Gbps  => ~11.4 Mpps => ~1870 cycles => ~1720 cycles of lookup.
+inline constexpr double kCpuIpv4LookupCycles = 390.0;
+inline constexpr double kCpuIpv6LookupCyclesPerProbe = 245.0;  // x7 probes
+// Pre/post-shading per packet in CPU+GPU mode (gathering addresses,
+// scattering results, TTL/checksum rewrite): 39 Gbps @64 B across 6 workers.
+inline constexpr double kPreShadingCyclesPerPacket = 70.0;
+inline constexpr double kPostShadingCyclesPerPacket = 60.0;
+
+// GPU per-thread instruction counts (straightforward ports of the CPU code,
+// section 5.5). Used by the kernel-time model.
+inline constexpr double kGpuIpv4LookupInstr = 60.0;
+inline constexpr double kGpuIpv6LookupInstrPerProbe = 40.0;
+
+// Crypto (section 6.2.4). CPU uses SSE-optimized AES-128-CTR + SHA1.
+// Costs are per primitive *block* because the small-packet behaviour of
+// Figure 11(d) is dominated by HMAC's fixed block count (a 64 B packet
+// still hashes ~5 SHA-1 blocks through ipad/opad). Fit so the 8-core
+// CPU-only gateway lands at ~2.5-3 Gbps @64 B and ~6 Gbps @1514 B input —
+// the ~3.5x gap below the CPU+GPU curve.
+inline constexpr double kCpuAesCyclesPerBlock = 180.0;    // per 16 B block
+inline constexpr double kCpuSha1CyclesPerBlock = 900.0;   // per 64 B block
+inline constexpr double kCpuIpsecPerPacketCycles = 800.0; // ESP encap, SA, IV
+
+// GPU crypto instruction costs per primitive block: calibrated so two
+// GTX480s sustain ~33 Gbps of AES-128-CTR + HMAC-SHA1 without packet I/O
+// (section 6.3: "the performance of two GPUs scales up to 33 Gbps",
+// i.e. ~2.06 GB/s of payload per GPU).
+inline constexpr double kGpuAesInstrPerBlock = 2600.0;    // per 16 B block
+inline constexpr double kGpuSha1InstrPerBlock = 10500.0;  // per 64 B block
+
+// OpenFlow (section 6.2.3): per-packet flow-key extraction and hashing on
+// CPU; hash computation and wildcard linear search offloadable to GPU.
+inline constexpr double kCpuFlowKeyExtractCycles = 90.0;
+inline constexpr double kCpuFlowHashCycles = 160.0;
+inline constexpr double kCpuExactLookupCycles = 260.0;   // one random probe + compare
+inline constexpr double kCpuWildcardCyclesPerEntry = 18.0;
+inline constexpr double kGpuFlowHashInstr = 90.0;
+inline constexpr double kGpuWildcardInstrPerEntry = 3.2;
+inline constexpr double kGpuExactLookupInstr = 55.0;
+
+// ---------------------------------------------------------------------------
+// Memory-latency microbenchmark (section 2.4): an X5550 core sustains ~6
+// outstanding misses alone, ~4 when all four cores burst. ~100 ns raw miss.
+// ---------------------------------------------------------------------------
+inline constexpr double kCpuMissLatencyNs = 100.0;
+inline constexpr int kCpuMlpSingleCore = 6;
+inline constexpr int kCpuMlpAllCores = 4;
+
+// ---------------------------------------------------------------------------
+// Power (section 7): 594 W full load with 2 GPUs / 353 W without;
+// idle 327 W / 260 W.
+// ---------------------------------------------------------------------------
+inline constexpr double kPowerFullLoadWithGpuW = 594.0;
+inline constexpr double kPowerFullLoadNoGpuW = 353.0;
+inline constexpr double kPowerIdleWithGpuW = 327.0;
+inline constexpr double kPowerIdleNoGpuW = 260.0;
+
+}  // namespace ps::perf

@@ -1,0 +1,124 @@
+#include "perf/ledger.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "perf/calibration.hpp"
+
+namespace ps::perf {
+
+const char* to_string(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kCpuCore: return "cpu-core";
+    case ResourceKind::kIohD2h: return "ioh-d2h";
+    case ResourceKind::kIohH2d: return "ioh-h2d";
+    case ResourceKind::kGpuExec: return "gpu-exec";
+    case ResourceKind::kGpuCopy: return "gpu-copy";
+    case ResourceKind::kPortRx: return "port-rx";
+    case ResourceKind::kPortTx: return "port-tx";
+    case ResourceKind::kHostMemBw: return "host-mem-bw";
+  }
+  return "?";
+}
+
+void CostLedger::charge(ResourceId id, Picos busy) {
+  if (busy <= 0) return;
+  charges_[id] += busy;
+}
+
+Picos CostLedger::busy(ResourceId id) const {
+  const auto it = charges_.find(id);
+  return it == charges_.end() ? 0 : it->second;
+}
+
+namespace {
+
+Picos ioh_duplex_busy(Picos d2h, Picos h2d) {
+  const Picos hi = std::max(d2h, h2d);
+  const Picos lo = std::min(d2h, h2d);
+  return hi + static_cast<Picos>(kIohDuplexCoupling * static_cast<double>(lo));
+}
+
+}  // namespace
+
+Picos CostLedger::bottleneck_time() const {
+  Picos worst = 0;
+  // Direct resources.
+  for (const auto& [id, busy] : charges_) {
+    if (id.kind == ResourceKind::kIohD2h || id.kind == ResourceKind::kIohH2d) continue;
+    worst = std::max(worst, busy);
+  }
+  // IOH channels, combined per IOH index.
+  for (const auto& [id, busy] : charges_) {
+    if (id.kind != ResourceKind::kIohD2h) continue;
+    const Picos h2d = this->busy({ResourceKind::kIohH2d, id.index});
+    worst = std::max(worst, ioh_duplex_busy(busy, h2d));
+  }
+  for (const auto& [id, busy] : charges_) {
+    if (id.kind != ResourceKind::kIohH2d) continue;
+    const Picos d2h = this->busy({ResourceKind::kIohD2h, id.index});
+    worst = std::max(worst, ioh_duplex_busy(d2h, busy));
+  }
+  return worst;
+}
+
+std::string CostLedger::bottleneck_name() const {
+  Picos worst = -1;
+  std::string name = "idle";
+  char buf[48];
+  for (const auto& [id, busy] : charges_) {
+    Picos effective = busy;
+    if (id.kind == ResourceKind::kIohD2h) {
+      effective = ioh_duplex_busy(busy, this->busy({ResourceKind::kIohH2d, id.index}));
+      std::snprintf(buf, sizeof(buf), "ioh%u-duplex", id.index);
+    } else if (id.kind == ResourceKind::kIohH2d) {
+      effective = ioh_duplex_busy(this->busy({ResourceKind::kIohD2h, id.index}), busy);
+      std::snprintf(buf, sizeof(buf), "ioh%u-duplex", id.index);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s%u", to_string(id.kind), id.index);
+    }
+    if (effective > worst) {
+      worst = effective;
+      name = buf;
+    }
+  }
+  return name;
+}
+
+double CostLedger::throughput_per_sec(u64 work_items) const {
+  const Picos t = bottleneck_time();
+  if (t <= 0) return 0.0;
+  return static_cast<double>(work_items) / to_seconds(t);
+}
+
+void CostLedger::reset() { charges_.clear(); }
+
+void CostLedger::merge(const CostLedger& other) {
+  for (const auto& [id, busy] : other.charges_) charges_[id] += busy;
+}
+
+namespace {
+thread_local CostLedger* tls_ledger = nullptr;
+thread_local u16 tls_core = 0;
+}  // namespace
+
+CpuChargeScope::CpuChargeScope(CostLedger* ledger, u16 core_index)
+    : prev_ledger_(tls_ledger), prev_core_(tls_core) {
+  tls_ledger = ledger;
+  tls_core = core_index;
+}
+
+CpuChargeScope::~CpuChargeScope() {
+  tls_ledger = prev_ledger_;
+  tls_core = prev_core_;
+}
+
+void charge_cpu_cycles(double cycles) {
+  if (tls_ledger == nullptr || cycles <= 0) return;
+  tls_ledger->charge({ResourceKind::kCpuCore, tls_core}, cpu_cycles_to_picos(cycles));
+}
+
+CostLedger* active_ledger() { return tls_ledger; }
+u16 active_core() { return tls_core; }
+
+}  // namespace ps::perf

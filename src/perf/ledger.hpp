@@ -1,0 +1,94 @@
+// Resource accounting for steady-state throughput analysis.
+//
+// Functional components (NIC DMA, io-engine, shaders, GPU device) charge
+// busy time to resource instances as they process a batch of work. The
+// ledger then answers: for this much work, which resource saturates first
+// and what packet rate is sustainable? This is the pipeline-bottleneck
+// analysis that produces every throughput figure (DESIGN.md §4).
+#pragma once
+
+#include <compare>
+#include <map>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ps::perf {
+
+enum class ResourceKind : u8 {
+  kCpuCore,    // one per core; CPU cycles
+  kIohD2h,     // per-IOH device-to-host DMA channel (NIC RX, GPU->host)
+  kIohH2d,     // per-IOH host-to-device DMA channel (NIC TX, host->GPU)
+  kGpuExec,    // per-GPU kernel execution engine
+  kGpuCopy,    // per-GPU copy engine (used when streams overlap copy/exec)
+  kPortRx,     // per-port ingress line rate
+  kPortTx,     // per-port egress line rate
+  kHostMemBw,  // per-node memory bandwidth (rarely binding; tracked anyway)
+};
+
+const char* to_string(ResourceKind kind);
+
+struct ResourceId {
+  ResourceKind kind{};
+  u16 index = 0;
+
+  auto operator<=>(const ResourceId&) const = default;
+};
+
+class CostLedger {
+ public:
+  /// Record `busy` picoseconds of occupancy on a resource instance.
+  void charge(ResourceId id, Picos busy);
+
+  /// Raw accumulated busy time of one resource instance.
+  Picos busy(ResourceId id) const;
+
+  /// Busy time of the critical resource. Per-IOH d2h/h2d channels are
+  /// combined with the duplex-coupling rule before comparison
+  /// (busy = max(d2h, h2d) + k * min(d2h, h2d)); all other resources
+  /// compare directly.
+  Picos bottleneck_time() const;
+
+  /// Human-readable name of the critical resource, e.g. "ioh0-duplex".
+  std::string bottleneck_name() const;
+
+  /// Sustainable rate for `work_items` items of charged work, in items/s.
+  double throughput_per_sec(u64 work_items) const;
+
+  void reset();
+
+  /// Merge another ledger's charges into this one.
+  void merge(const CostLedger& other);
+
+  const std::map<ResourceId, Picos>& entries() const { return charges_; }
+
+ private:
+  std::map<ResourceId, Picos> charges_;
+};
+
+/// Scoped thread-local CPU charge sink: while alive, charge_cpu_cycles()
+/// adds to `ledger` on core `core_index`. Scopes nest; the innermost wins.
+class CpuChargeScope {
+ public:
+  CpuChargeScope(CostLedger* ledger, u16 core_index);
+  ~CpuChargeScope();
+
+  CpuChargeScope(const CpuChargeScope&) = delete;
+  CpuChargeScope& operator=(const CpuChargeScope&) = delete;
+
+ private:
+  CostLedger* prev_ledger_;
+  u16 prev_core_;
+};
+
+/// Charge CPU cycles to the active scope's ledger; no-op without a scope
+/// (so functional code is usable with accounting disabled).
+void charge_cpu_cycles(double cycles);
+
+/// The ledger/core of the innermost active scope on this thread (null/0
+/// when none). Exposed so device models invoked from CPU code can place
+/// related charges consistently.
+CostLedger* active_ledger();
+u16 active_core();
+
+}  // namespace ps::perf

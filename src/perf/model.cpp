@@ -1,0 +1,78 @@
+#include "perf/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ps::perf {
+
+Picos pcie_transfer_time(u64 bytes, Direction dir) {
+  const Picos t0 = dir == Direction::kHostToDevice ? kPcieH2dLatency : kPcieD2hLatency;
+  const double bw =
+      dir == Direction::kHostToDevice ? kPcieH2dPeakBytesPerSec : kPcieD2hPeakBytesPerSec;
+  return t0 + static_cast<Picos>(static_cast<double>(bytes) / bw * 1e12);
+}
+
+double pcie_transfer_rate_mbps(u64 bytes, Direction dir) {
+  const Picos t = pcie_transfer_time(bytes, dir);
+  return static_cast<double>(bytes) / to_seconds(t) / 1e6;
+}
+
+Picos ioh_copy_occupancy(u64 bytes, Direction dir) {
+  const double bw =
+      dir == Direction::kHostToDevice ? kIohH2dBytesPerSec : kIohD2hBytesPerSec;
+  return kIohDmaSetupOverhead + static_cast<Picos>(static_cast<double>(bytes) / bw * 1e12);
+}
+
+Picos nic_dma_occupancy(u32 frame_bytes, Direction dir, bool dual_ioh) {
+  const u64 bytes = frame_bytes + kNicDescriptorBytes;
+  double bw;
+  if (!dual_ioh) {
+    bw = kIohSymmetricBytesPerSec;  // single-IOH boards show no asymmetry (§3.2)
+  } else {
+    bw = dir == Direction::kHostToDevice ? kIohH2dBytesPerSec : kIohD2hBytesPerSec;
+  }
+  return kNicDmaPerPacketOverhead +
+         static_cast<Picos>(static_cast<double>(bytes) / bw * 1e12);
+}
+
+Picos port_wire_time(u32 frame_bytes) {
+  const double bits = static_cast<double>(wire_bytes(frame_bytes)) * 8.0;
+  return static_cast<Picos>(bits / kPortLineRateBitsPerSec * 1e12);
+}
+
+Picos gpu_launch_latency(u32 threads) {
+  return kGpuLaunchBaseLatency + static_cast<Picos>(threads) * kGpuLaunchPerThread;
+}
+
+Picos gpu_exec_time(u32 threads, const KernelCost& cost) {
+  if (threads == 0) return 0;
+  const double eff = std::clamp(cost.warp_efficiency, 0.05, 1.0);
+
+  const double t_compute =
+      static_cast<double>(threads) * cost.instructions / eff / (kGpuCores * kGpuHz);
+
+  const double t_membw = static_cast<double>(threads) * cost.mem_accesses *
+                         static_cast<double>(cost.bytes_per_access) / kGpuMemBytesPerSec;
+
+  // Latency floor: one thread's dependent access chain cannot complete
+  // faster than accesses x latency, no matter how many warps run beside
+  // it. With few threads this floor dominates (the left side of Figure 2);
+  // with many, the compute/bandwidth terms overtake it — which is exactly
+  // "enough threads hide the latency" (section 2.1).
+  const double t_latency = cost.mem_accesses * (kGpuMemLatencyCycles / kGpuHz);
+
+  const double t = std::max({t_compute, t_membw, t_latency});
+  return static_cast<Picos>(t * 1e12);
+}
+
+Picos gpu_kernel_time(u32 threads, const KernelCost& cost) {
+  return gpu_launch_latency(threads) + gpu_exec_time(threads, cost);
+}
+
+double cpu_lookup_only_rate(int cpus, int probes) {
+  if (cpus <= 0 || probes <= 0) return 0.0;
+  const double cycles_per_lookup = kCpuLookupOnlyCyclesPerProbe * probes;
+  return static_cast<double>(cpus) * kCoresPerNode * kCpuHz / cycles_per_lookup;
+}
+
+}  // namespace ps::perf

@@ -1,0 +1,70 @@
+// Analytic timing functions built on the calibration constants.
+//
+// These answer "how long does this operation take on the paper's hardware"
+// for PCIe transfers, NIC DMA, GPU kernel launches/executions, and wire
+// serialization. Device models call them to charge the ledger and to
+// timestamp events for the latency experiments.
+#pragma once
+
+#include "common/types.hpp"
+#include "perf/calibration.hpp"
+
+namespace ps::perf {
+
+enum class Direction : u8 { kHostToDevice, kDeviceToHost };
+
+/// One-shot PCIe transfer latency: T0 + bytes/BW (Table 1 fit). This is
+/// the end-to-end time a blocking cudaMemcpy-style copy takes.
+Picos pcie_transfer_time(u64 bytes, Direction dir);
+
+/// Effective transfer rate in MB/s for a buffer of `bytes` — the exact
+/// quantity Table 1 tabulates.
+double pcie_transfer_rate_mbps(u64 bytes, Direction dir);
+
+/// IOH-channel occupancy of a pipelined bulk copy (gather/scatter copies
+/// overlap their handshakes, so occupancy ≈ bytes/BW + setup).
+Picos ioh_copy_occupancy(u64 bytes, Direction dir);
+
+/// IOH-channel occupancy of one NIC packet DMA (frame + descriptor).
+Picos nic_dma_occupancy(u32 frame_bytes, Direction dir, bool dual_ioh = true);
+
+/// Wire serialization time of one frame on a 10 GbE port (includes the
+/// 24 B preamble/FCS/IFG overhead).
+Picos port_wire_time(u32 frame_bytes);
+
+/// Kernel launch latency for `threads` threads (section 2.2: 3.8 us for
+/// one thread, 4.1 us for 4096).
+Picos gpu_launch_latency(u32 threads);
+
+/// Cost profile of one GPU kernel, per thread.
+struct KernelCost {
+  double instructions = 0.0;      // arithmetic instruction count
+  double mem_accesses = 0.0;      // dependent random device-memory accesses
+  u32 bytes_per_access = kGpuRandomAccessBytes;
+  double warp_efficiency = 1.0;   // fraction of lanes doing useful work
+};
+
+/// Execution time of a kernel over `threads` threads (excludes launch and
+/// copies). Three regimes, take the max:
+///  - compute-bound: instructions / (480 cores x 1.4 GHz), derated by
+///    warp divergence;
+///  - memory-bandwidth-bound: accesses x 32 B / 177.4 GB/s;
+///  - latency-bound: each thread's dependent access chain floors the time
+///    at accesses x ~780 cycles; with few threads nothing amortizes it
+///    (this is why Figure 2's GPU curve starts far below CPU).
+Picos gpu_exec_time(u32 threads, const KernelCost& cost);
+
+/// Launch + execution (no copies): the quantity behind Figure 2's GPU
+/// series once transfer time is added by the caller.
+Picos gpu_kernel_time(u32 threads, const KernelCost& cost);
+
+/// Host-side lookup-only throughput model for Figure 2's CPU series:
+/// `cpus` quad-core X5550 sockets streaming independent lookups of
+/// `probes` dependent memory accesses each. Returns lookups/s.
+double cpu_lookup_only_rate(int cpus, int probes);
+
+/// Effective per-probe CPU cycles in the lookup-only microbenchmark
+/// (high memory-level parallelism across independent lookups).
+inline constexpr double kCpuLookupOnlyCyclesPerProbe = 100.0;
+
+}  // namespace ps::perf

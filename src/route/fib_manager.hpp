@@ -1,0 +1,110 @@
+// Control-plane FIB management (section 7, "integration with a control
+// plane"): a Zebra/Quagga-style RIB feeding the data path's forwarding
+// tables without disturbing it.
+//
+// The paper names the two candidate mechanisms — incremental update or
+// double buffering — and this implements double buffering: route changes
+// accumulate in the manager, commit() rebuilds a fresh table off the data
+// path, and the data path picks up the new snapshot at its next chunk
+// boundary. In-flight lookups keep the old snapshot alive (shared_ptr),
+// so there is never a torn table.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "route/ipv4_table.hpp"
+#include "route/ipv6_table.hpp"
+
+namespace ps::route {
+
+/// Double-buffered FIB: Table must provide build(span<const Prefix>).
+/// KeyFn maps a prefix to a unique (network, length) key.
+template <typename Table, typename Prefix, typename KeyFn>
+class FibManager {
+ public:
+  FibManager() : active_(std::make_shared<const Table>()) {}
+
+  /// Announce (add or replace) a route. Takes effect at commit().
+  void announce(const Prefix& prefix) {
+    std::lock_guard lock(mu_);
+    rib_[KeyFn{}(prefix)] = prefix;
+    dirty_ = true;
+  }
+
+  /// Withdraw a route. Takes effect at commit(). Returns false when the
+  /// route was not present.
+  bool withdraw(const Prefix& prefix) {
+    std::lock_guard lock(mu_);
+    const bool erased = rib_.erase(KeyFn{}(prefix)) > 0;
+    dirty_ = dirty_ || erased;
+    return erased;
+  }
+
+  std::size_t route_count() const {
+    std::lock_guard lock(mu_);
+    return rib_.size();
+  }
+
+  /// Rebuild the standby table from the RIB and atomically publish it.
+  /// Runs on the control-plane thread; the data path is never blocked.
+  /// Returns the new generation number (unchanged if nothing was dirty).
+  u64 commit() {
+    std::unique_lock lock(mu_);
+    if (!dirty_) return generation_;
+    std::vector<Prefix> prefixes;
+    prefixes.reserve(rib_.size());
+    for (const auto& [key, prefix] : rib_) prefixes.push_back(prefix);
+    dirty_ = false;
+    lock.unlock();
+
+    // Build outside the lock: announcements may continue meanwhile (they
+    // will be picked up by the next commit).
+    auto fresh = std::make_shared<Table>();
+    fresh->build(prefixes);
+
+    lock.lock();
+    active_ = std::move(fresh);
+    return ++generation_;
+  }
+
+  /// Data-path snapshot: grab once per chunk, keep for the chunk's
+  /// lifetime. Cheap (one ref-count bump under a short lock).
+  std::shared_ptr<const Table> snapshot() const {
+    std::lock_guard lock(mu_);
+    return active_;
+  }
+
+  /// Monotonic table version; bumps on every effective commit.
+  u64 generation() const {
+    std::lock_guard lock(mu_);
+    return generation_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const Table> active_;
+  std::unordered_map<u64, Prefix> rib_;
+  bool dirty_ = false;
+  u64 generation_ = 0;
+};
+
+struct Ipv4PrefixKey {
+  u64 operator()(const Ipv4Prefix& p) const {
+    return (static_cast<u64>(p.network()) << 8) | p.length;
+  }
+};
+
+struct Ipv6PrefixKey {
+  u64 operator()(const Ipv6Prefix& p) const {
+    const Key128 k = mask128(p.addr.hi64(), p.addr.lo64(), p.length);
+    return Key128Hash{}(k) * 131 + p.length;
+  }
+};
+
+using Ipv4Fib = FibManager<Ipv4Table, Ipv4Prefix, Ipv4PrefixKey>;
+using Ipv6Fib = FibManager<Ipv6Table, Ipv6Prefix, Ipv6PrefixKey>;
+
+}  // namespace ps::route

@@ -1,0 +1,93 @@
+#include "route/ipv4_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ps::route {
+
+Ipv4Table::Ipv4Table() : tbl24_(1u << 24, kNoRoute) {}
+
+void Ipv4Table::build(std::span<const Ipv4Prefix> prefixes) {
+  std::fill(tbl24_.begin(), tbl24_.end(), kNoRoute);
+  tbl_long_.clear();
+  prefix_count_ = prefixes.size();
+
+  // Insert in ascending prefix-length order so longer prefixes overwrite
+  // shorter ones — this is what makes flat range-filling implement LPM.
+  std::vector<Ipv4Prefix> sorted(prefixes.begin(), prefixes.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Ipv4Prefix& a, const Ipv4Prefix& b) { return a.length < b.length; });
+
+  for (const auto& p : sorted) {
+    assert(p.length <= 32);
+    assert(p.next_hop < kLongFlag);
+    const u32 net = p.network();
+
+    if (p.length <= 24) {
+      const u32 first = net >> 8;
+      const u32 count = u32{1} << (24 - p.length);
+      for (u32 i = 0; i < count; ++i) {
+        u16& entry = tbl24_[first + i];
+        if (entry & kLongFlag) {
+          // A longer (>24) prefix was inserted before us in a duplicate
+          // build; cannot happen with length-sorted insertion.
+          assert(false && "length-sorted insertion violated");
+          continue;
+        }
+        entry = p.next_hop;
+      }
+    } else {
+      const u32 idx24 = net >> 8;
+      u16& entry = tbl24_[idx24];
+      u32 chunk;
+      if (entry & kLongFlag) {
+        chunk = entry & ~kLongFlag;
+      } else {
+        // First >24-bit prefix under this /24: allocate an overflow chunk
+        // seeded with the current (shorter-prefix) next hop.
+        chunk = static_cast<u32>(tbl_long_.size() / kChunk);
+        if (chunk >= kLongFlag) throw std::length_error("too many >24-bit prefixes");
+        tbl_long_.insert(tbl_long_.end(), kChunk, entry);
+        entry = static_cast<u16>(kLongFlag | chunk);
+      }
+      const u32 first = net & 0xff;
+      const u32 count = u32{1} << (32 - p.length);
+      for (u32 i = 0; i < count; ++i) {
+        tbl_long_[chunk * kChunk + first + i] = p.next_hop;
+      }
+    }
+  }
+}
+
+NextHop Ipv4Table::lookup(net::Ipv4Addr addr, int* probes) const {
+  return lookup_in_arrays(tbl24_.data(), tbl_long_.data(), addr.value, probes);
+}
+
+void Ipv4ReferenceLpm::build(std::span<const Ipv4Prefix> prefixes) {
+  prefixes_.assign(prefixes.begin(), prefixes.end());
+  // Descending length with stable order: the first match during the scan is
+  // the longest; among equal prefixes the later insertion wins, matching
+  // Ipv4Table::build's overwrite semantics.
+  std::stable_sort(prefixes_.begin(), prefixes_.end(),
+                   [](const Ipv4Prefix& a, const Ipv4Prefix& b) { return a.length > b.length; });
+}
+
+NextHop Ipv4ReferenceLpm::lookup(net::Ipv4Addr addr) const {
+  for (std::size_t i = 0; i < prefixes_.size(); ++i) {
+    // Scan within one length class from the back so the last-inserted
+    // duplicate wins, like the rebuild semantics of Ipv4Table.
+    const auto& p = prefixes_[i];
+    if (!p.matches(addr)) continue;
+    NextHop result = p.next_hop;
+    for (std::size_t j = i + 1; j < prefixes_.size() && prefixes_[j].length == p.length; ++j) {
+      if (prefixes_[j].matches(addr) && prefixes_[j].network() == p.network()) {
+        result = prefixes_[j].next_hop;
+      }
+    }
+    return result;
+  }
+  return kNoRoute;
+}
+
+}  // namespace ps::route

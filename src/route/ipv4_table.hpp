@@ -1,0 +1,88 @@
+// DIR-24-8-BASIC IPv4 forwarding table (Gupta, Lin, McKeown, INFOCOM'98),
+// the lookup algorithm of section 6.2.1: next hops for every possible
+// 24-bit prefix in one flat table (TBL24) plus 256-entry overflow chunks
+// (TBLlong) for the ~3% of prefixes longer than /24. One memory access per
+// lookup in the common case, two in the worst case.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/addr.hpp"
+
+namespace ps::route {
+
+/// Next-hop handle; in this repository it is the egress port index.
+using NextHop = u16;
+inline constexpr NextHop kNoRoute = 0x7fff;  // 15-bit next-hop space, all-ones
+
+struct Ipv4Prefix {
+  net::Ipv4Addr addr;
+  u8 length = 0;  // 0..32
+  NextHop next_hop = kNoRoute;
+
+  u32 network() const { return length == 0 ? 0 : (addr.value & ~((u64{1} << (32 - length)) - 1)); }
+  bool matches(net::Ipv4Addr a) const {
+    if (length == 0) return true;
+    const u32 mask = static_cast<u32>(~((u64{1} << (32 - length)) - 1));
+    return (a.value & mask) == (addr.value & mask);
+  }
+};
+
+class Ipv4Table {
+ public:
+  Ipv4Table();
+
+  /// Build the table from a prefix set (longest-prefix semantics; when the
+  /// same prefix appears twice the last next hop wins). The paper treats
+  /// tables as static (section 6), so updates are whole-table rebuilds.
+  void build(std::span<const Ipv4Prefix> prefixes);
+
+  /// Longest-prefix-match lookup. `probes`, when non-null, receives the
+  /// number of memory accesses performed (1 or 2) for cost accounting.
+  NextHop lookup(net::Ipv4Addr addr, int* probes = nullptr) const;
+
+  std::size_t prefix_count() const { return prefix_count_; }
+  std::size_t overflow_chunks() const { return tbl_long_.size() / kChunk; }
+
+  /// Raw tables, for copying into GPU device memory. The GPU kernel and
+  /// the CPU path share lookup_in_arrays() — the same algorithm on both
+  /// processors, exactly as the paper ports it (section 5.5).
+  std::span<const u16> tbl24() const { return tbl24_; }
+  std::span<const u16> tbl_long() const { return tbl_long_; }
+
+  /// The shared lookup routine over raw arrays.
+  static NextHop lookup_in_arrays(const u16* tbl24, const u16* tbl_long, u32 addr,
+                                  int* probes = nullptr) {
+    const u16 entry = tbl24[addr >> 8];
+    if ((entry & kLongFlag) == 0) {
+      if (probes != nullptr) *probes = 1;
+      return entry;
+    }
+    if (probes != nullptr) *probes = 2;
+    const u32 chunk = entry & ~kLongFlag;
+    return tbl_long[chunk * kChunk + (addr & 0xff)];
+  }
+
+  static constexpr u16 kLongFlag = 0x8000;
+  static constexpr u32 kChunk = 256;
+
+ private:
+  std::vector<u16> tbl24_;     // 2^24 entries
+  std::vector<u16> tbl_long_;  // kChunk entries per overflow chunk
+  std::size_t prefix_count_ = 0;
+};
+
+/// Reference LPM for property testing: linear scan over all prefixes.
+class Ipv4ReferenceLpm {
+ public:
+  void build(std::span<const Ipv4Prefix> prefixes);
+  NextHop lookup(net::Ipv4Addr addr) const;
+
+ private:
+  std::vector<Ipv4Prefix> prefixes_;  // sorted by descending length
+};
+
+}  // namespace ps::route

@@ -1,0 +1,224 @@
+#include "route/ipv6_table.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace ps::route {
+
+namespace {
+
+u64 mask_top_bits(u64 value, int bits) {
+  if (bits <= 0) return 0;
+  if (bits >= 64) return value;
+  return value & ~((u64{1} << (64 - bits)) - 1);
+}
+
+/// Bit `index` (0 = most significant of hi) of a 128-bit value.
+int bit_at(u64 hi, u64 lo, int index) {
+  if (index < 64) return static_cast<int>((hi >> (63 - index)) & 1);
+  return static_cast<int>((lo >> (127 - index)) & 1);
+}
+
+u64 flat_hash(u64 hi, u64 lo) {
+  u64 x = hi * 0x9e3779b97f4a7c15ULL ^ lo;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Key128 mask128(u64 hi, u64 lo, int bits) {
+  assert(bits >= 0 && bits <= 128);
+  if (bits <= 64) return {mask_top_bits(hi, bits), 0};
+  return {hi, mask_top_bits(lo, bits - 64)};
+}
+
+// --- reference trie ---------------------------------------------------------
+
+struct Ipv6ReferenceLpm::Node {
+  std::unique_ptr<Node> child[2];
+  bool has_nh = false;
+  NextHop nh = kNoRoute;
+};
+
+Ipv6ReferenceLpm::Ipv6ReferenceLpm() : root_(std::make_unique<Node>()) {}
+Ipv6ReferenceLpm::~Ipv6ReferenceLpm() = default;
+Ipv6ReferenceLpm::Ipv6ReferenceLpm(Ipv6ReferenceLpm&&) noexcept = default;
+Ipv6ReferenceLpm& Ipv6ReferenceLpm::operator=(Ipv6ReferenceLpm&&) noexcept = default;
+
+void Ipv6ReferenceLpm::insert(const Ipv6Prefix& prefix) {
+  Node* node = root_.get();
+  const u64 hi = prefix.addr.hi64();
+  const u64 lo = prefix.addr.lo64();
+  for (int i = 0; i < prefix.length; ++i) {
+    const int b = bit_at(hi, lo, i);
+    if (!node->child[b]) node->child[b] = std::make_unique<Node>();
+    node = node->child[b].get();
+  }
+  node->has_nh = true;
+  node->nh = prefix.next_hop;
+}
+
+void Ipv6ReferenceLpm::build(std::span<const Ipv6Prefix> prefixes) {
+  root_ = std::make_unique<Node>();
+  for (const auto& p : prefixes) insert(p);
+}
+
+NextHop Ipv6ReferenceLpm::lookup_key(const Key128& key, int max_length) const {
+  NextHop best = kNoRoute;
+  const Node* node = root_.get();
+  if (node->has_nh) best = node->nh;
+  for (int i = 0; i < max_length; ++i) {
+    node = node->child[bit_at(key.hi, key.lo, i)].get();
+    if (node == nullptr) break;
+    if (node->has_nh) best = node->nh;
+  }
+  return best;
+}
+
+NextHop Ipv6ReferenceLpm::lookup(const net::Ipv6Addr& addr, int max_length) const {
+  return lookup_key({addr.hi64(), addr.lo64()}, max_length);
+}
+
+// --- binary search on prefix lengths ----------------------------------------
+
+void Ipv6Table::build(std::span<const Ipv6Prefix> prefixes) {
+  for (auto& level : levels_) level.clear();
+  default_nh_ = kNoRoute;
+  prefix_count_ = 0;
+  marker_count_ = 0;
+
+  Ipv6ReferenceLpm trie;
+  for (const auto& p : prefixes) {
+    assert(p.length <= 128);
+    assert(p.next_hop <= kNoRoute);
+    trie.insert(p);
+  }
+
+  for (const auto& p : prefixes) {
+    ++prefix_count_;
+    if (p.length == 0) {
+      default_nh_ = p.next_hop;
+      continue;
+    }
+    const u64 hi = p.addr.hi64();
+    const u64 lo = p.addr.lo64();
+
+    // Walk the binary search tree over lengths [1, 128], dropping a marker
+    // at every level where the search must turn toward longer prefixes.
+    int low = 1, high = 128;
+    while (true) {
+      const int mid = (low + high) / 2;
+      const Key128 key = mask128(hi, lo, mid);
+      if (p.length == mid) {
+        Entry& e = levels_[mid][key];
+        e.is_prefix = true;
+        e.nh = p.next_hop;
+        break;
+      }
+      if (p.length > mid) {
+        auto [it, inserted] = levels_[mid].try_emplace(key);
+        if (inserted) ++marker_count_;
+        low = mid + 1;
+      } else {
+        high = mid - 1;
+      }
+      assert(low <= high);
+    }
+  }
+
+  // Precompute every entry's best-matching prefix: the longest real prefix
+  // covering the entry's bits, at or below the entry's level. A hit on the
+  // entry can then immediately record `bmp` and continue toward longer
+  // lengths with no backtracking.
+  for (int length = 1; length <= 128; ++length) {
+    for (auto& [key, entry] : levels_[length]) {
+      entry.bmp = trie.lookup_key(key, length);
+      if (entry.bmp == kNoRoute) entry.bmp = default_nh_;
+    }
+  }
+}
+
+NextHop Ipv6Table::lookup(const net::Ipv6Addr& addr, int* probes) const {
+  const u64 hi = addr.hi64();
+  const u64 lo = addr.lo64();
+  NextHop best = default_nh_;
+  int n = 0;
+  int low = 1, high = 128;
+  while (low <= high) {
+    const int mid = (low + high) / 2;
+    ++n;
+    const auto& level = levels_[mid];
+    const auto it = level.find(mask128(hi, lo, mid));
+    if (it != level.end()) {
+      best = it->second.bmp;
+      low = mid + 1;
+    } else {
+      high = mid - 1;
+    }
+  }
+  if (probes != nullptr) *probes = n;
+  return best;
+}
+
+Ipv6FlatTable Ipv6Table::flatten() const {
+  Ipv6FlatTable flat;
+  flat.default_nh_ = default_nh_;
+
+  u32 offset = 0;
+  for (int length = 1; length <= 128; ++length) {
+    const auto& level = levels_[length];
+    flat.level_offset_[length] = offset;
+    if (level.empty()) {
+      flat.level_mask_[length] = 0;
+      continue;
+    }
+    // 2x headroom keeps linear-probe chains short.
+    const u32 capacity = static_cast<u32>(std::bit_ceil(level.size() * 2));
+    flat.level_mask_[length] = capacity - 1;
+    flat.slots_.resize(offset + capacity);
+    for (const auto& [key, entry] : level) {
+      u32 slot = static_cast<u32>(flat_hash(key.hi, key.lo)) & (capacity - 1);
+      while (flat.slots_[offset + slot].occupied != 0) slot = (slot + 1) & (capacity - 1);
+      flat.slots_[offset + slot] =
+          Ipv6FlatTable::Slot{key.hi, key.lo, entry.bmp, 1};
+    }
+    offset += capacity;
+  }
+  return flat;
+}
+
+NextHop Ipv6FlatTable::lookup_in_arrays(const Slot* slots, const u32* offsets, const u32* masks,
+                                        u64 hi, u64 lo, NextHop default_nh, int* probes) {
+  NextHop best = default_nh;
+  int n = 0;
+  int low = 1, high = 128;
+  while (low <= high) {
+    const int mid = (low + high) / 2;
+    ++n;
+    bool found = false;
+    if (masks[mid] != 0) {
+      const Key128 key = mask128(hi, lo, mid);
+      u32 slot = static_cast<u32>(flat_hash(key.hi, key.lo)) & masks[mid];
+      while (slots[offsets[mid] + slot].occupied != 0) {
+        const Slot& s = slots[offsets[mid] + slot];
+        if (s.key_hi == key.hi && s.key_lo == key.lo) {
+          best = s.bmp;
+          found = true;
+          break;
+        }
+        slot = (slot + 1) & masks[mid];
+      }
+    }
+    if (found) {
+      low = mid + 1;
+    } else {
+      high = mid - 1;
+    }
+  }
+  if (probes != nullptr) *probes = n;
+  return best;
+}
+
+}  // namespace ps::route

@@ -1,0 +1,143 @@
+#include "route/rib_gen.hpp"
+
+#include <array>
+#include <unordered_set>
+
+namespace ps::route {
+
+namespace {
+
+// Approximate length distribution of the 2009 RouteViews table: /24
+// dominates (~53%), /22-/23 around a quarter, classic /16 and /19-/21
+// blocks most of the rest, 3% longer than /24 (the paper quotes the 3%).
+constexpr std::array<double, 33> kIpv4LengthWeights = [] {
+  std::array<double, 33> w{};
+  w[8] = 0.0002;
+  w[9] = 0.0004;
+  w[10] = 0.0008;
+  w[11] = 0.0015;
+  w[12] = 0.0025;
+  w[13] = 0.0045;
+  w[14] = 0.008;
+  w[15] = 0.009;
+  w[16] = 0.047;
+  w[17] = 0.023;
+  w[18] = 0.035;
+  w[19] = 0.060;
+  w[20] = 0.072;
+  w[21] = 0.078;
+  w[22] = 0.106;
+  w[23] = 0.112;
+  w[24] = 0.4101;  // /24 dominates; weights below total exactly 1.0
+  w[25] = 0.006;
+  w[26] = 0.007;
+  w[27] = 0.005;
+  w[28] = 0.004;
+  w[29] = 0.004;
+  w[30] = 0.003;
+  w[31] = 0.0003;
+  w[32] = 0.0007;
+  return w;
+}();
+
+int sample_ipv4_length(Rng& rng) {
+  const double r = rng.next_double();
+  double acc = 0.0;
+  for (int len = 8; len <= 32; ++len) {
+    acc += kIpv4LengthWeights[static_cast<std::size_t>(len)];
+    if (r < acc) return len;
+  }
+  return 24;
+}
+
+}  // namespace
+
+double ipv4_length_fraction(int length) {
+  if (length < 0 || length > 32) return 0.0;
+  double total = 0.0;
+  for (const double w : kIpv4LengthWeights) total += w;
+  return kIpv4LengthWeights[static_cast<std::size_t>(length)] / total;
+}
+
+std::vector<Ipv4Prefix> generate_ipv4_rib(const RibGenConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Ipv4Prefix> prefixes;
+  prefixes.reserve(config.prefix_count);
+
+  // Uniqueness over (network, length).
+  std::unordered_set<u64> seen;
+  seen.reserve(config.prefix_count * 2);
+
+  while (prefixes.size() < config.prefix_count) {
+    const int length = sample_ipv4_length(rng);
+    // Bias networks away from reserved space: first octet in [1, 223].
+    const u32 first_octet = static_cast<u32>(rng.next_range(1, 223));
+    const u32 rest = rng.next_u32() & 0x00ffffff;
+    const u32 addr = (first_octet << 24) | rest;
+    const u32 mask = length == 0 ? 0 : static_cast<u32>(~((u64{1} << (32 - length)) - 1));
+    const u32 network = addr & mask;
+
+    const u64 key = (static_cast<u64>(network) << 8) | static_cast<u64>(length);
+    if (!seen.insert(key).second) continue;
+
+    prefixes.push_back(Ipv4Prefix{
+        .addr = net::Ipv4Addr(network),
+        .length = static_cast<u8>(length),
+        .next_hop = static_cast<NextHop>(rng.next_below(config.num_next_hops)),
+    });
+  }
+  return prefixes;
+}
+
+std::vector<Ipv6Prefix> generate_ipv6_rib(std::size_t count, u16 num_next_hops, u64 seed) {
+  Rng rng(seed);
+  std::vector<Ipv6Prefix> prefixes;
+  prefixes.reserve(count);
+
+  std::unordered_set<u64> seen;  // hash of (masked hi, length)
+  seen.reserve(count * 2);
+
+  while (prefixes.size() < count) {
+    const int length = static_cast<int>(rng.next_range(16, 64));
+    const u64 hi = rng.next_u64();
+    const Key128 key = mask128(hi, 0, length);
+
+    const u64 dedupe = key.hi * 131 + static_cast<u64>(length);
+    if (!seen.insert(dedupe).second) continue;
+
+    prefixes.push_back(Ipv6Prefix{
+        .addr = net::Ipv6Addr::from_words(key.hi, 0),
+        .length = static_cast<u8>(length),
+        .next_hop = static_cast<NextHop>(rng.next_below(num_next_hops)),
+    });
+  }
+  return prefixes;
+}
+
+std::vector<u32> sample_covered_ipv4(std::span<const Ipv4Prefix> prefixes, std::size_t count,
+                                     u64 seed) {
+  Rng rng(seed);
+  std::vector<u32> pool;
+  pool.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& p = prefixes[rng.next_below(prefixes.size())];
+    const u32 host = p.length >= 32 ? 0 : static_cast<u32>(rng.next_u32() >> p.length);
+    pool.push_back(p.network() | host);
+  }
+  return pool;
+}
+
+std::vector<net::Ipv6Addr> sample_covered_ipv6(std::span<const Ipv6Prefix> prefixes,
+                                               std::size_t count, u64 seed) {
+  Rng rng(seed);
+  std::vector<net::Ipv6Addr> pool;
+  pool.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& p = prefixes[rng.next_below(prefixes.size())];
+    const u64 host = p.length >= 64 ? 0 : rng.next_u64() >> p.length;
+    pool.push_back(net::Ipv6Addr::from_words(p.addr.hi64() | host, rng.next_u64()));
+  }
+  return pool;
+}
+
+}  // namespace ps::route

@@ -1,0 +1,52 @@
+// Synthetic RIB generation (DESIGN.md substitution table).
+//
+// The paper populates its IPv4 table from the RouteViews BGP snapshot of
+// 2009-09-01: 282,797 unique prefixes, 3% longer than /24. We cannot ship
+// that snapshot, so we generate a deterministic prefix set matching its
+// size and prefix-length histogram — the only properties DIR-24-8
+// performance depends on. For IPv6 the paper itself generates 200,000
+// random prefixes (section 6.2.2), which we mirror exactly.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "route/ipv4_table.hpp"
+#include "route/ipv6_table.hpp"
+
+namespace ps::route {
+
+/// RouteViews-2009 scale.
+inline constexpr std::size_t kPaperIpv4PrefixCount = 282'797;
+inline constexpr std::size_t kPaperIpv6PrefixCount = 200'000;
+
+struct RibGenConfig {
+  std::size_t prefix_count = kPaperIpv4PrefixCount;
+  u16 num_next_hops = 8;  // egress ports of the paper's server
+  u64 seed = 2010;
+};
+
+/// Deterministic IPv4 prefix set with a 2009-BGP-like length histogram
+/// (~50% /24, 3% longer than /24, the rest spread over /8../23).
+/// Prefixes are unique.
+std::vector<Ipv4Prefix> generate_ipv4_rib(const RibGenConfig& config = {});
+
+/// Deterministic random IPv6 prefix set, lengths uniform in [16, 64] as in
+/// typical IPv6 tables (nothing longer than /64 is routed); unique.
+std::vector<Ipv6Prefix> generate_ipv6_rib(std::size_t count = kPaperIpv6PrefixCount,
+                                          u16 num_next_hops = 8, u64 seed = 2010);
+
+/// The empirical prefix-length histogram the IPv4 generator samples from
+/// (fractions over lengths 8..32), exposed for tests.
+double ipv4_length_fraction(int length);
+
+/// Destination pools covered by a RIB: each address lies inside a random
+/// prefix of the table (random host bits), so every generated packet has a
+/// route. Used by the throughput benches (a miss would drop the packet and
+/// understate TX load — the paper's generator keeps the router forwarding).
+std::vector<u32> sample_covered_ipv4(std::span<const Ipv4Prefix> prefixes, std::size_t count,
+                                     u64 seed = 77);
+std::vector<net::Ipv6Addr> sample_covered_ipv6(std::span<const Ipv6Prefix> prefixes,
+                                               std::size_t count, u64 seed = 77);
+
+}  // namespace ps::route

@@ -1,0 +1,122 @@
+#include "slowpath/host_stack.hpp"
+
+#include <cstring>
+
+#include "net/checksum.hpp"
+
+namespace ps::slowpath {
+
+namespace {
+constexpr u8 kIcmpTimeExceeded = 11;
+constexpr u8 kIcmpEchoRequest = 8;
+constexpr u8 kIcmpEchoReply = 0;
+}
+
+HostStack::HostStack(net::Ipv4Addr router_addr) : router_addr_(router_addr) {
+  local_addrs_.insert(router_addr);
+}
+
+void HostStack::add_local_address(net::Ipv4Addr addr) { local_addrs_.insert(addr); }
+
+net::FrameBuffer HostStack::build_time_exceeded(const net::PacketView& offender, int in_port) {
+  // ICMP quotes the offending IP header plus the first 8 payload bytes.
+  const auto& off_ip = offender.ipv4();
+  const u32 quote_len =
+      std::min<u32>(off_ip.header_bytes() + 8, offender.length - offender.l3_offset);
+
+  const u32 total = static_cast<u32>(sizeof(net::EthernetHeader) + sizeof(net::Ipv4Header) +
+                                     sizeof(net::IcmpHeader) + quote_len);
+  net::FrameBuffer out(std::max<u32>(total, net::kMinUdpIpv4Frame), 0);
+
+  auto& eth = *reinterpret_cast<net::EthernetHeader*>(out.data());
+  // Back out the ingress port: swap L2 roles.
+  eth.set_src(net::MacAddr::for_port(static_cast<u32>(in_port)));
+  eth.set_dst(offender.eth().src_mac());
+  eth.set_ethertype(net::EtherType::kIpv4);
+
+  auto& ip = *reinterpret_cast<net::Ipv4Header*>(out.data() + sizeof(net::EthernetHeader));
+  ip.set_version_ihl(4, 5);
+  ip.set_total_length(static_cast<u16>(out.size() - sizeof(net::EthernetHeader)));
+  ip.ttl = 64;
+  ip.set_proto(net::IpProto::kIcmp);
+  ip.set_src(router_addr_);
+  ip.set_dst(off_ip.src());
+
+  auto& icmp = *reinterpret_cast<net::IcmpHeader*>(out.data() + sizeof(net::EthernetHeader) +
+                                                   sizeof(net::Ipv4Header));
+  icmp.type = kIcmpTimeExceeded;
+  icmp.code = 0;
+
+  std::memcpy(out.data() + sizeof(net::EthernetHeader) + sizeof(net::Ipv4Header) +
+                  sizeof(net::IcmpHeader),
+              offender.data + offender.l3_offset, quote_len);
+
+  // ICMP checksum over header + quoted data, then the outer IP checksum.
+  const std::span<const u8> icmp_bytes{
+      out.data() + sizeof(net::EthernetHeader) + sizeof(net::Ipv4Header),
+      out.size() - sizeof(net::EthernetHeader) - sizeof(net::Ipv4Header)};
+  icmp.set_checksum(net::checksum(icmp_bytes));
+  net::ipv4_fill_checksum(ip);
+  return out;
+}
+
+net::FrameBuffer HostStack::build_echo_reply(const net::PacketView& request, int in_port) {
+  // The reply mirrors the request: swapped addresses, type 0, identifier,
+  // sequence number and payload preserved (RFC 792).
+  net::FrameBuffer out(request.data, request.data + request.length);
+
+  auto& eth = *reinterpret_cast<net::EthernetHeader*>(out.data());
+  const auto requester_mac = request.eth().src_mac();
+  eth.set_src(net::MacAddr::for_port(static_cast<u32>(in_port)));
+  eth.set_dst(requester_mac);
+
+  auto& ip = *reinterpret_cast<net::Ipv4Header*>(out.data() + request.l3_offset);
+  const auto requester = ip.src();
+  ip.set_src(ip.dst());
+  ip.set_dst(requester);
+  ip.ttl = 64;
+  net::ipv4_fill_checksum(ip);
+
+  auto& icmp = *reinterpret_cast<net::IcmpHeader*>(out.data() + request.l4_offset);
+  icmp.type = kIcmpEchoReply;
+  icmp.set_checksum(0);
+  icmp.set_checksum(net::checksum({out.data() + request.l4_offset,
+                                   out.size() - request.l4_offset}));
+  return out;
+}
+
+std::optional<net::FrameBuffer> HostStack::handle(std::span<const u8> frame, int in_port) {
+  net::PacketView view;
+  const auto status =
+      net::parse_packet(const_cast<u8*>(frame.data()), static_cast<u32>(frame.size()), view);
+
+  if (status != net::ParseStatus::kOk || view.ether_type != net::EtherType::kIpv4) {
+    ++stats_.unhandled;
+    return std::nullopt;
+  }
+
+  const auto& ip = view.ipv4();
+  if (local_addrs_.contains(ip.dst())) {
+    // Ping the router: ICMP echo requests get a real reply; everything
+    // else addressed to us is delivered to local sockets.
+    if (ip.proto() == net::IpProto::kIcmp &&
+        view.length >= view.l4_offset + sizeof(net::IcmpHeader)) {
+      const auto& icmp = *reinterpret_cast<const net::IcmpHeader*>(view.data + view.l4_offset);
+      if (icmp.type == kIcmpEchoRequest) {
+        ++stats_.icmp_echo_replies;
+        return build_echo_reply(view, in_port);
+      }
+    }
+    ++stats_.delivered_locally;
+    local_.emplace_back(frame.begin(), frame.end());
+    return std::nullopt;
+  }
+  if (ip.ttl <= 1) {
+    ++stats_.icmp_time_exceeded;
+    return build_time_exceeded(view, in_port);
+  }
+  ++stats_.unhandled;
+  return std::nullopt;
+}
+
+}  // namespace ps::slowpath

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "common/endian.hpp"
+#include "common/types.hpp"
+
+namespace ps {
+namespace {
+
+TEST(Endian, Bswap) {
+  EXPECT_EQ(bswap16(0x1234), 0x3412);
+  EXPECT_EQ(bswap32(0x12345678u), 0x78563412u);
+  EXPECT_EQ(bswap64(0x0102030405060708ULL), 0x0807060504030201ULL);
+}
+
+TEST(Endian, RoundTrips) {
+  EXPECT_EQ(ntoh16(hton16(0xabcd)), 0xabcd);
+  EXPECT_EQ(ntoh32(hton32(0xdeadbeefu)), 0xdeadbeefu);
+  EXPECT_EQ(ntoh64(hton64(0x0123456789abcdefULL)), 0x0123456789abcdefULL);
+}
+
+TEST(Endian, BigEndianLoadsAreWireOrder) {
+  const u8 wire[8] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+  EXPECT_EQ(load_be16(wire), 0x0102);
+  EXPECT_EQ(load_be32(wire), 0x01020304u);
+  EXPECT_EQ(load_be64(wire), 0x0102030405060708ULL);
+}
+
+TEST(Endian, StoresRoundTripThroughLoads) {
+  u8 buf[8];
+  store_be16(buf, 0xbeef);
+  EXPECT_EQ(load_be16(buf), 0xbeef);
+  EXPECT_EQ(buf[0], 0xbe);  // network order on the wire
+  store_be32(buf, 0x12345678u);
+  EXPECT_EQ(load_be32(buf), 0x12345678u);
+  store_be64(buf, 0xfedcba9876543210ULL);
+  EXPECT_EQ(load_be64(buf), 0xfedcba9876543210ULL);
+}
+
+TEST(Endian, UnalignedAccessIsSafe) {
+  u8 buf[12] = {};
+  store_be32(buf + 1, 0xcafebabeu);  // deliberately misaligned
+  EXPECT_EQ(load_be32(buf + 1), 0xcafebabeu);
+  store_be64(buf + 3, 0x1122334455667788ULL);
+  EXPECT_EQ(load_be64(buf + 3), 0x1122334455667788ULL);
+}
+
+TEST(Types, UnitConversions) {
+  EXPECT_EQ(micros(1.0), kPicosPerMicro);
+  EXPECT_DOUBLE_EQ(to_micros(kPicosPerMilli), 1000.0);
+  EXPECT_DOUBLE_EQ(to_seconds(kPicosPerSec), 1.0);
+  // 64 B frame + 24 B overhead at 10 Gbps: 70.4 ns per packet, so a
+  // thousand 64 B packets arrive in ~70 us (the section 2.3 argument).
+  EXPECT_EQ(wire_bytes(64), 88u);
+}
+
+TEST(Types, ThroughputHelpers) {
+  // 88 wire bytes in 70.4 ns = 10 Gbps.
+  EXPECT_NEAR(to_gbps(88, nanos(70.4)), 10.0, 0.01);
+  EXPECT_NEAR(to_mpps(1000, micros(70.4)), 14.2, 0.05);
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "common/histogram.hpp"
+
+namespace ps {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_NEAR(h.stddev(), 1.29, 0.01);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h;
+  for (int i = 1; i <= 10'000; ++i) h.record(static_cast<double>(i));
+  EXPECT_NEAR(h.p50(), 5000, 5000 * 0.05);
+  EXPECT_NEAR(h.p99(), 9900, 9900 * 0.05);
+  EXPECT_NEAR(h.quantile(0.0), 1.0, 0.2);
+  EXPECT_NEAR(h.quantile(1.0), 10'000, 1.0);
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  Histogram a, b, combined;
+  for (int i = 0; i < 100; ++i) {
+    const double v = 1.0 + i * 0.37;
+    if (i % 2 == 0) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  EXPECT_NEAR(a.p50(), combined.p50(), 1e-9);
+}
+
+TEST(Histogram, RecordNWeightsValues) {
+  Histogram h;
+  h.record_n(10.0, 99);
+  h.record_n(1000.0, 1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.p50(), 10.0, 0.5);
+  EXPECT_NEAR(h.quantile(0.999), 1000.0, 50.0);
+}
+
+TEST(Histogram, ResetClearsState) {
+  Histogram h;
+  h.record(5.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, WideDynamicRange) {
+  Histogram h;
+  h.record(1e-9);
+  h.record(1e9);
+  EXPECT_NEAR(h.quantile(0.0), 1e-9, 1e-10);
+  EXPECT_NEAR(h.quantile(1.0), 1e9, 1e8 * 0.5);
+}
+
+TEST(Histogram, SummaryIsHumanReadable) {
+  Histogram h;
+  h.record(1.5);
+  const auto s = h.summary();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("mean="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,167 @@
+// SPSC ring and MPSC queue: capacity/FIFO invariants plus cross-thread
+// stress.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_queue.hpp"
+#include "common/spsc_ring.hpp"
+
+namespace ps {
+namespace {
+
+TEST(SpscRing, FifoOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ring.pop(), i);
+  EXPECT_FALSE(ring.pop().has_value());
+}
+
+TEST(SpscRing, CapacityRoundsToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_FALSE(ring.push(99));  // full
+  EXPECT_EQ(ring.pop(), 0);
+  EXPECT_TRUE(ring.push(99));  // space reclaimed
+}
+
+TEST(SpscRing, PopBatch) {
+  SpscRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) ring.push(i);
+  int out[16];
+  EXPECT_EQ(ring.pop_batch(out, 4), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(ring.pop_batch(out, 16), 6u);
+  EXPECT_EQ(out[0], 4);
+  EXPECT_EQ(ring.pop_batch(out, 16), 0u);
+}
+
+TEST(SpscRing, WrapAroundManyTimes) {
+  SpscRing<u64> ring(4);
+  u64 next_push = 0, next_pop = 0;
+  for (int round = 0; round < 1000; ++round) {
+    while (ring.push(next_push)) ++next_push;
+    while (auto v = ring.pop()) {
+      EXPECT_EQ(*v, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_push, next_pop);
+}
+
+TEST(SpscRing, CrossThreadStress) {
+  SpscRing<u64> ring(64);
+  constexpr u64 kCount = 200'000;
+
+  std::thread producer([&] {
+    for (u64 i = 0; i < kCount;) {
+      if (ring.push(i)) ++i;
+    }
+  });
+  u64 expected = 0;
+  while (expected < kCount) {
+    if (auto v = ring.pop()) {
+      ASSERT_EQ(*v, expected);  // FIFO and no loss under concurrency
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(MpscQueue, FifoAndBlockingPop) {
+  MpscQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpscQueue, TryPushRespectsCapacity) {
+  MpscQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+}
+
+TEST(MpscQueue, CloseUnblocksConsumer) {
+  MpscQueue<int> q(4);
+  std::thread consumer([&] {
+    EXPECT_FALSE(q.pop().has_value());  // wakes on close with empty queue
+  });
+  q.close();
+  consumer.join();
+}
+
+TEST(MpscQueue, CloseDrainsRemainingItems) {
+  MpscQueue<int> q(4);
+  q.try_push(7);
+  q.close();
+  EXPECT_EQ(q.pop(), 7);  // drained even after close
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpscQueue, PopBatchWaitGathersPending) {
+  MpscQueue<int> q(16);
+  for (int i = 0; i < 6; ++i) q.try_push(i);
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch_wait(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  out.clear();
+  EXPECT_EQ(q.pop_batch_wait(out, 10), 2u);
+}
+
+TEST(MpscQueue, MultipleProducersAllDelivered) {
+  MpscQueue<u64> q(128);
+  constexpr int kProducers = 4;
+  constexpr u64 kPerProducer = 20'000;
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (u64 i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(static_cast<u64>(p) * kPerProducer + i));
+      }
+    });
+  }
+
+  u64 received = 0;
+  u64 sum = 0;
+  while (received < kProducers * kPerProducer) {
+    if (auto v = q.try_pop()) {
+      sum += *v;
+      ++received;
+    }
+  }
+  for (auto& t : producers) t.join();
+
+  const u64 n = kProducers * kPerProducer;
+  EXPECT_EQ(sum, n * (n - 1) / 2);  // every value exactly once
+}
+
+TEST(MpscQueue, PerProducerOrderPreserved) {
+  // The master input queue must preserve each worker's chunk order.
+  MpscQueue<std::pair<int, u64>> q(64);
+  constexpr u64 kPerProducer = 5000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&q, p] {
+      for (u64 i = 0; i < kPerProducer; ++i) ASSERT_TRUE(q.push({p, i}));
+    });
+  }
+  u64 next_seq[3] = {};
+  u64 received = 0;
+  while (received < 3 * kPerProducer) {
+    if (auto v = q.try_pop()) {
+      EXPECT_EQ(v->second, next_seq[v->first]++);
+      ++received;
+    }
+  }
+  for (auto& t : producers) t.join();
+}
+
+}  // namespace
+}  // namespace ps

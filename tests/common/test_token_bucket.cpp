@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "common/token_bucket.hpp"
+
+namespace ps {
+namespace {
+
+TEST(TokenBucket, StartsFullAndDrains) {
+  TokenBucket bucket(/*rate=*/10.0, /*burst=*/3.0);
+  EXPECT_TRUE(bucket.try_consume(0));
+  EXPECT_TRUE(bucket.try_consume(0));
+  EXPECT_TRUE(bucket.try_consume(0));
+  EXPECT_FALSE(bucket.try_consume(0));  // burst exhausted
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket bucket(10.0, 3.0);  // 10 tokens/s
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(bucket.try_consume(0));
+  EXPECT_FALSE(bucket.try_consume(micros(50'000)));   // 0.05 s -> 0.5 tokens
+  EXPECT_TRUE(bucket.try_consume(micros(100'000)));   // 0.1 s -> 1 token
+  EXPECT_FALSE(bucket.try_consume(micros(100'000)));  // spent it
+}
+
+TEST(TokenBucket, BurstCapsAccrual) {
+  TokenBucket bucket(1000.0, 2.0);
+  // A long idle period must not bank more than the burst.
+  EXPECT_NEAR(bucket.tokens_at(seconds(100)), 2.0, 1e-9);
+  EXPECT_TRUE(bucket.try_consume(seconds(100)));
+  EXPECT_TRUE(bucket.try_consume(seconds(100)));
+  EXPECT_FALSE(bucket.try_consume(seconds(100)));
+}
+
+TEST(TokenBucket, NextAvailablePredictsExactly) {
+  TokenBucket bucket(4.0, 1.0);  // one token every 0.25 s
+  ASSERT_TRUE(bucket.try_consume(0));
+  const Picos when = bucket.next_available(0);
+  EXPECT_EQ(when, seconds(0.25));
+  EXPECT_FALSE(bucket.try_consume(when - 1000));
+  EXPECT_TRUE(bucket.try_consume(when));
+}
+
+TEST(TokenBucket, SustainedRateIsExact) {
+  TokenBucket bucket(1'000'000.0, 8.0);
+  u64 sent = 0;
+  Picos now = 0;
+  const Picos end = seconds(0.01);
+  while (now < end) {
+    if (bucket.try_consume(now)) {
+      ++sent;
+    } else {
+      now = bucket.next_available(now);
+    }
+  }
+  // 1 Mtoken/s over 10 ms = ~10,000 (+burst).
+  EXPECT_NEAR(static_cast<double>(sent), 10'000.0, 20.0);
+}
+
+TEST(TokenBucket, PacedOfferedLoadMatchesTarget) {
+  // The generator-facing behaviour: offer at 10 Gbps of 64 B frames for
+  // 1 ms of model time => 10e9 / (88*8) * 1e-3 ~ 14,200 frames.
+  TokenBucket bucket(10e9 / (88.0 * 8.0), 8.0);
+  u64 frames = 0;
+  Picos now = 0;
+  while (now < kPicosPerMilli) {
+    if (bucket.try_consume(now)) {
+      ++frames;
+    } else {
+      now = bucket.next_available(now);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(frames), 14'204.0, 30.0);
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,83 @@
+// Master back-pressure: when the shading queue is full, workers fall back
+// to the CPU path instead of stalling (the degenerate form of
+// opportunistic offloading) — no packets are lost.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/router.hpp"
+#include "core/testbed.hpp"
+#include "gen/traffic.hpp"
+
+namespace ps::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// A shader whose GPU stage is artificially slow, so the master input
+/// queue backs up under load.
+class SlowShader final : public Shader {
+ public:
+  const char* name() const override { return "slow-shader"; }
+
+  void pre_shade(ShaderJob& job) override {
+    for (u32 i = 0; i < job.chunk.count(); ++i) job.gpu_index.push_back(i);
+    job.gpu_items = job.chunk.count();
+  }
+
+  Picos shade(GpuContext&, std::span<ShaderJob* const> jobs, Picos submit) override {
+    std::this_thread::sleep_for(2ms);  // pathological kernel
+    for (auto* job : jobs) job->gpu_output.resize(job->gpu_items);
+    return submit;
+  }
+
+  void post_shade(ShaderJob& job) override { route_all(job.chunk); }
+
+  void process_cpu(iengine::PacketChunk& chunk) override { route_all(chunk); }
+
+ private:
+  static void route_all(iengine::PacketChunk& chunk) {
+    for (u32 i = 0; i < chunk.count(); ++i) {
+      chunk.set_verdict(i, iengine::PacketVerdict::kForward);
+      chunk.set_out_port(i, 1);
+    }
+  }
+};
+
+TEST(RouterBackpressure, FullMasterQueueFallsBackToCpu) {
+  Testbed testbed({.topo = pcie::Topology::paper_server(),
+                   .use_gpu = true,
+                   .ring_size = 8192,
+                   .gpu_pool_workers = 0},
+                  RouterConfig{.use_gpu = true});
+  gen::TrafficGen traffic({.frame_size = 64, .seed = 100});
+  testbed.connect_sink(&traffic);
+
+  SlowShader shader;
+  RouterConfig config;
+  config.use_gpu = true;
+  config.chunk_capacity = 32;          // many small chunks
+  config.master_queue_capacity = 2;    // tiny: backs up immediately
+  config.pipeline_depth = 4;
+  Router router(testbed.engine(), testbed.gpus(), shader, config);
+  router.start();
+
+  const u64 offered = 20'000;
+  traffic.offer(testbed.ports(), offered);
+
+  const auto deadline = std::chrono::steady_clock::now() + 20s;
+  while (traffic.sunk_packets() < offered && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(2ms);
+  }
+  router.stop();
+
+  const auto stats = router.total_stats();
+  EXPECT_EQ(stats.packets_out, offered);        // nothing lost
+  EXPECT_GT(stats.cpu_processed, 0u);           // the fallback fired
+  EXPECT_GT(stats.gpu_processed, 0u);           // and the GPU still did work
+  EXPECT_EQ(stats.cpu_processed + stats.gpu_processed, offered);
+}
+
+}  // namespace
+}  // namespace ps::core

@@ -1,0 +1,89 @@
+// Testbed wiring: queue counts that match the router layout, ledger and
+// sink propagation, and the NUMA-blind flag reaching the ports.
+#include <gtest/gtest.h>
+
+#include "core/model_driver.hpp"
+#include "core/testbed.hpp"
+#include "gen/traffic.hpp"
+
+namespace ps::core {
+namespace {
+
+TEST(Testbed, GpuModeReservesAMasterCorePerNode) {
+  Testbed testbed({.topo = pcie::Topology::paper_server(), .use_gpu = true},
+                  RouterConfig{.use_gpu = true});
+  EXPECT_EQ(testbed.workers_per_node(), 3);  // 4 cores - 1 master
+  // Each port carries one RX queue per worker and one TX queue per core.
+  EXPECT_EQ(testbed.port(0).config().num_rx_queues, 3);
+  EXPECT_EQ(testbed.port(0).config().num_tx_queues, 8);
+  EXPECT_EQ(testbed.gpus().size(), 2u);
+}
+
+TEST(Testbed, CpuOnlyModeUsesEveryCoreAsWorker) {
+  Testbed testbed({.topo = pcie::Topology::paper_server(), .use_gpu = false},
+                  RouterConfig{.use_gpu = false});
+  EXPECT_EQ(testbed.workers_per_node(), 4);
+  EXPECT_EQ(testbed.port(0).config().num_rx_queues, 4);
+  EXPECT_TRUE(testbed.gpus().empty());
+}
+
+TEST(Testbed, LedgerPropagatesToPortsAndGpus) {
+  Testbed testbed({.topo = pcie::Topology::paper_server(), .use_gpu = true},
+                  RouterConfig{.use_gpu = true});
+  perf::CostLedger ledger;
+  testbed.set_ledger(&ledger);
+
+  gen::TrafficGen traffic({.seed = 1});
+  ASSERT_TRUE(testbed.port(0).receive_frame(traffic.next_frame()));
+  EXPECT_GT(ledger.busy({perf::ResourceKind::kIohD2h, 0}), 0);
+
+  auto buffer = testbed.gpus()[0]->alloc(64);
+  testbed.gpus()[0]->memcpy_h2d(buffer, 0, std::vector<u8>(64, 0));
+  EXPECT_GT(ledger.busy({perf::ResourceKind::kGpuCopy, 0}), 0);
+
+  // Detaching stops further charges.
+  testbed.set_ledger(nullptr);
+  const Picos before = ledger.busy({perf::ResourceKind::kIohD2h, 0});
+  ASSERT_TRUE(testbed.port(0).receive_frame(traffic.next_frame()));
+  EXPECT_EQ(ledger.busy({perf::ResourceKind::kIohD2h, 0}), before);
+}
+
+TEST(Testbed, SinkReceivesAllTransmissions) {
+  Testbed testbed({.topo = pcie::Topology::single_node(), .use_gpu = false},
+                  RouterConfig{.use_gpu = false});
+  gen::TrafficGen traffic({.seed = 2});
+  testbed.connect_sink(&traffic);
+  const auto frame = traffic.next_frame();
+  for (int p = 0; p < 4; ++p) {
+    ASSERT_TRUE(testbed.port(p).transmit(0, frame));
+  }
+  EXPECT_EQ(traffic.sunk_packets(), 4u);
+}
+
+TEST(Testbed, NumaBlindEngineFlagsReachThePorts) {
+  TestbedConfig cfg{.topo = pcie::Topology::paper_server(), .use_gpu = false};
+  cfg.engine.numa_aware = false;
+  Testbed testbed(cfg, RouterConfig{.use_gpu = false});
+
+  // NUMA-blind DMA charges both IOHs (the §4.5 remote traversal).
+  perf::CostLedger ledger;
+  testbed.set_ledger(&ledger);
+  gen::TrafficGen traffic({.seed = 3});
+  ASSERT_TRUE(testbed.port(0).receive_frame(traffic.next_frame()));
+  EXPECT_GT(ledger.busy({perf::ResourceKind::kIohD2h, 0}), 0);
+  EXPECT_GT(ledger.busy({perf::ResourceKind::kIohD2h, 1}), 0);
+}
+
+TEST(Testbed, NumaAwareChargesOnlyTheLocalIoh) {
+  Testbed testbed({.topo = pcie::Topology::paper_server(), .use_gpu = false},
+                  RouterConfig{.use_gpu = false});
+  perf::CostLedger ledger;
+  testbed.set_ledger(&ledger);
+  gen::TrafficGen traffic({.seed = 4});
+  ASSERT_TRUE(testbed.port(0).receive_frame(traffic.next_frame()));
+  EXPECT_GT(ledger.busy({perf::ResourceKind::kIohD2h, 0}), 0);
+  EXPECT_EQ(ledger.busy({perf::ResourceKind::kIohD2h, 1}), 0);
+}
+
+}  // namespace
+}  // namespace ps::core

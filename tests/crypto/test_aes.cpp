@@ -1,0 +1,151 @@
+// AES-128 and AES-128-CTR against published test vectors.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "crypto/aes.hpp"
+#include "crypto/ctr.hpp"
+
+namespace ps::crypto {
+namespace {
+
+std::array<u8, 16> from_hex16(const std::string& hex) {
+  std::array<u8, 16> out{};
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<u8>(std::stoul(hex.substr(static_cast<std::size_t>(i) * 2, 2), nullptr, 16));
+  }
+  return out;
+}
+
+std::string to_hex(std::span<const u8> bytes) {
+  std::string s;
+  for (const u8 b : bytes) {
+    char buf[3];
+    std::snprintf(buf, sizeof(buf), "%02x", b);
+    s += buf;
+  }
+  return s;
+}
+
+TEST(Aes128, Fips197AppendixC) {
+  // FIPS-197 appendix C.1.
+  const auto key = from_hex16("000102030405060708090a0b0c0d0e0f");
+  const auto plaintext = from_hex16("00112233445566778899aabbccddeeff");
+  Aes128 aes{std::span<const u8, 16>{key}};
+  u8 out[16];
+  aes.encrypt_block(plaintext.data(), out);
+  EXPECT_EQ(to_hex(out), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, Fips197AppendixB) {
+  const auto key = from_hex16("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto plaintext = from_hex16("3243f6a8885a308d313198a2e0370734");
+  Aes128 aes{std::span<const u8, 16>{key}};
+  u8 out[16];
+  aes.encrypt_block(plaintext.data(), out);
+  EXPECT_EQ(to_hex(out), "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(Aes128, InPlaceEncryptionAliases) {
+  const auto key = from_hex16("000102030405060708090a0b0c0d0e0f");
+  Aes128 aes{std::span<const u8, 16>{key}};
+  auto buf = from_hex16("00112233445566778899aabbccddeeff");
+  aes.encrypt_block(buf.data(), buf.data());
+  EXPECT_EQ(to_hex(buf), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, ScheduleSharedWithStaticPath) {
+  const auto key = from_hex16("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto plaintext = from_hex16("3243f6a8885a308d313198a2e0370734");
+  Aes128 aes{std::span<const u8, 16>{key}};
+  u8 a[16], b[16];
+  aes.encrypt_block(plaintext.data(), a);
+  Aes128::encrypt_block_with_schedule(aes.round_keys().data(), plaintext.data(), b);
+  EXPECT_EQ(0, std::memcmp(a, b, 16));
+}
+
+TEST(AesCtr, Rfc3686Vector1) {
+  // RFC 3686 test vector #1: single block message.
+  const auto key = from_hex16("ae6852f8121067cc4bf7a5765577f39e");
+  Aes128 aes{std::span<const u8, 16>{key}};
+  const u8 nonce[4] = {0x00, 0x00, 0x00, 0x30};
+  const u8 iv[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  u8 data[16];
+  std::memcpy(data, "Single block msg", 16);
+  aes_ctr_crypt(aes, std::span<const u8, 4>{nonce, 4}, std::span<const u8, 8>{iv, 8}, data);
+  EXPECT_EQ(to_hex(data), "e4095d4fb7a7b3792d6175a3261311b8");
+}
+
+TEST(AesCtr, Rfc3686Vector2TwoBlocks) {
+  // RFC 3686 test vector #2: 32-byte message.
+  const auto key = from_hex16("7e24067817fae0d743d6ce1f32539163");
+  Aes128 aes{std::span<const u8, 16>{key}};
+  const u8 nonce[4] = {0x00, 0x6c, 0xb6, 0xdb};
+  const u8 iv[8] = {0xc0, 0x54, 0x3b, 0x59, 0xda, 0x48, 0xd9, 0x0b};
+  u8 data[32];
+  for (int i = 0; i < 32; ++i) data[i] = static_cast<u8>(i);
+  aes_ctr_crypt(aes, std::span<const u8, 4>{nonce, 4}, std::span<const u8, 8>{iv, 8}, data);
+  EXPECT_EQ(to_hex(data),
+            "5104a106168a72d9790d41ee8edad388eb2e1efc46da57c8fce630df9141be28");
+}
+
+TEST(AesCtr, RoundTrip) {
+  const auto key = from_hex16("000102030405060708090a0b0c0d0e0f");
+  Aes128 aes{std::span<const u8, 16>{key}};
+  const u8 nonce[4] = {1, 2, 3, 4};
+  const u8 iv[8] = {9, 9, 9, 9, 9, 9, 9, 9};
+
+  std::vector<u8> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i * 7);
+  const auto original = data;
+
+  aes_ctr_crypt(aes, std::span<const u8, 4>{nonce, 4}, std::span<const u8, 8>{iv, 8}, data);
+  EXPECT_NE(data, original);
+  aes_ctr_crypt(aes, std::span<const u8, 4>{nonce, 4}, std::span<const u8, 8>{iv, 8}, data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(AesCtr, BlockwiseMatchesStreamwise) {
+  // Encrypting block-by-block (the GPU decomposition) must equal the
+  // streaming CPU path.
+  const auto key = from_hex16("8809cf4f3c2b7e151628aed2a6abf715");
+  Aes128 aes{std::span<const u8, 16>{key}};
+  const u8 nonce[4] = {5, 6, 7, 8};
+  const u8 iv[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+
+  std::vector<u8> a(123), b(123);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = b[i] = static_cast<u8>(i);
+
+  aes_ctr_crypt(aes, std::span<const u8, 4>{nonce, 4}, std::span<const u8, 8>{iv, 8}, a);
+  for (u32 blk = 0; blk * 16 < b.size(); ++blk) {
+    const std::size_t len = std::min<std::size_t>(16, b.size() - blk * 16);
+    aes_ctr_crypt_block(aes.round_keys().data(), nonce, iv, blk, b.data() + blk * 16, len);
+  }
+  EXPECT_EQ(a, b);
+}
+
+// Property sweep: round trip across many lengths including non-multiples
+// of the block size.
+class AesCtrLengthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AesCtrLengthTest, RoundTripAtLength) {
+  const auto key = from_hex16("00112233445566778899aabbccddeeff");
+  Aes128 aes{std::span<const u8, 16>{key}};
+  const u8 nonce[4] = {0xde, 0xad, 0xbe, 0xef};
+  const u8 iv[8] = {8, 7, 6, 5, 4, 3, 2, 1};
+
+  std::vector<u8> data(GetParam());
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i * 31 + 7);
+  const auto original = data;
+  aes_ctr_crypt(aes, std::span<const u8, 4>{nonce, 4}, std::span<const u8, 8>{iv, 8}, data);
+  aes_ctr_crypt(aes, std::span<const u8, 4>{nonce, 4}, std::span<const u8, 8>{iv, 8}, data);
+  EXPECT_EQ(data, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AesCtrLengthTest,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 64, 255, 1514));
+
+}  // namespace
+}  // namespace ps::crypto

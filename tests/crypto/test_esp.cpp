@@ -1,0 +1,187 @@
+// ESP tunnel-mode encapsulation/decapsulation, ICV enforcement, and the
+// anti-replay window.
+#include <gtest/gtest.h>
+
+#include "crypto/esp.hpp"
+#include "net/packet.hpp"
+
+namespace ps::crypto {
+namespace {
+
+net::FrameBuffer test_frame(u32 size = 64) {
+  net::FrameSpec spec;
+  spec.frame_size = size;
+  return net::build_udp_ipv4(spec, net::Ipv4Addr(10, 0, 0, 1), net::Ipv4Addr(10, 0, 0, 2));
+}
+
+SecurityAssociation test_sa() {
+  return SecurityAssociation::make_test_sa(0x1001, net::Ipv4Addr(192, 168, 1, 1),
+                                           net::Ipv4Addr(192, 168, 2, 1));
+}
+
+TEST(Esp, EncapsulatedFrameParsesAsEsp) {
+  auto sa = test_sa();
+  const auto frame = test_frame();
+  const auto out = esp_encapsulate(sa, frame);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.size(), esp_output_frame_size(static_cast<u32>(frame.size())));
+
+  net::PacketView view;
+  ASSERT_EQ(net::parse_packet(const_cast<u8*>(out.data()), static_cast<u32>(out.size()), view),
+            net::ParseStatus::kOk);
+  EXPECT_EQ(view.ip_proto, net::IpProto::kEsp);
+  EXPECT_EQ(view.ipv4().src(), sa.tunnel_src);
+  EXPECT_EQ(view.ipv4().dst(), sa.tunnel_dst);
+}
+
+TEST(Esp, RoundTripRecoversInnerPacket) {
+  auto sa = test_sa();
+  const auto frame = test_frame(128);
+  const auto tunnel = esp_encapsulate(sa, frame);
+
+  auto rx_sa = test_sa();  // fresh replay state, same keys
+  std::vector<u8> inner;
+  ASSERT_EQ(esp_decapsulate(rx_sa, tunnel, inner), EspError::kOk);
+
+  // Inner IP packet must be byte-identical past the L2 header.
+  ASSERT_EQ(inner.size(), frame.size());
+  EXPECT_TRUE(std::equal(inner.begin() + sizeof(net::EthernetHeader), inner.end(),
+                         frame.begin() + sizeof(net::EthernetHeader)));
+}
+
+TEST(Esp, PayloadIsActuallyEncrypted) {
+  auto sa = test_sa();
+  const auto frame = test_frame(256);
+  const auto tunnel = esp_encapsulate(sa, frame);
+
+  // The inner IP header bytes must not appear in clear inside the tunnel
+  // payload region.
+  const auto needle_begin = frame.begin() + sizeof(net::EthernetHeader);
+  const auto it = std::search(tunnel.begin() + 34, tunnel.end(), needle_begin,
+                              needle_begin + 20);
+  EXPECT_EQ(it, tunnel.end());
+}
+
+TEST(Esp, CorruptedCiphertextFailsAuth) {
+  auto sa = test_sa();
+  auto tunnel = esp_encapsulate(sa, test_frame());
+  tunnel[tunnel.size() - 20] ^= 0x01;  // flip a ciphertext bit
+
+  auto rx_sa = test_sa();
+  std::vector<u8> inner;
+  EXPECT_EQ(esp_decapsulate(rx_sa, tunnel, inner), EspError::kAuthFailed);
+}
+
+TEST(Esp, CorruptedIcvFailsAuth) {
+  auto sa = test_sa();
+  auto tunnel = esp_encapsulate(sa, test_frame());
+  tunnel.back() ^= 0xff;
+
+  auto rx_sa = test_sa();
+  std::vector<u8> inner;
+  EXPECT_EQ(esp_decapsulate(rx_sa, tunnel, inner), EspError::kAuthFailed);
+}
+
+TEST(Esp, WrongSpiRejected) {
+  auto sa = test_sa();
+  const auto tunnel = esp_encapsulate(sa, test_frame());
+
+  auto other = SecurityAssociation::make_test_sa(0x2002, sa.tunnel_src, sa.tunnel_dst);
+  std::vector<u8> inner;
+  EXPECT_EQ(esp_decapsulate(other, tunnel, inner), EspError::kUnknownSpi);
+}
+
+TEST(Esp, ReplayedPacketRejected) {
+  auto sa = test_sa();
+  const auto tunnel = esp_encapsulate(sa, test_frame());
+
+  auto rx_sa = test_sa();
+  std::vector<u8> inner;
+  EXPECT_EQ(esp_decapsulate(rx_sa, tunnel, inner), EspError::kOk);
+  EXPECT_EQ(esp_decapsulate(rx_sa, tunnel, inner), EspError::kReplayed);
+}
+
+TEST(Esp, OutOfOrderWithinWindowAccepted) {
+  auto sa = test_sa();
+  const auto frame = test_frame();
+  const auto t1 = esp_encapsulate(sa, frame);  // seq 1
+  const auto t2 = esp_encapsulate(sa, frame);  // seq 2
+  const auto t3 = esp_encapsulate(sa, frame);  // seq 3
+
+  auto rx_sa = test_sa();
+  std::vector<u8> inner;
+  EXPECT_EQ(esp_decapsulate(rx_sa, t3, inner), EspError::kOk);
+  EXPECT_EQ(esp_decapsulate(rx_sa, t1, inner), EspError::kOk);  // late but in window
+  EXPECT_EQ(esp_decapsulate(rx_sa, t2, inner), EspError::kOk);
+  EXPECT_EQ(esp_decapsulate(rx_sa, t2, inner), EspError::kReplayed);
+}
+
+TEST(Esp, AncientSequenceOutsideWindowRejected) {
+  auto sa = test_sa();
+  const auto frame = test_frame();
+  const auto first = esp_encapsulate(sa, frame);  // seq 1
+  std::vector<u8> last;
+  for (int i = 0; i < 100; ++i) last = esp_encapsulate(sa, frame);  // up to seq 101
+
+  auto rx_sa = test_sa();
+  std::vector<u8> inner;
+  EXPECT_EQ(esp_decapsulate(rx_sa, last, inner), EspError::kOk);
+  EXPECT_EQ(esp_decapsulate(rx_sa, first, inner), EspError::kReplayed);
+}
+
+TEST(Esp, NonIpv4InputRejected) {
+  auto sa = test_sa();
+  net::FrameSpec spec;
+  const auto v6 = net::build_udp_ipv6(spec, net::Ipv6Addr::from_words(1, 2),
+                                      net::Ipv6Addr::from_words(3, 4));
+  EXPECT_TRUE(esp_encapsulate(sa, v6).empty());
+}
+
+TEST(Esp, SequenceNumbersAdvance) {
+  auto sa = test_sa();
+  const auto t1 = esp_encapsulate(sa, test_frame());
+  const auto t2 = esp_encapsulate(sa, test_frame());
+  const auto& esp1 = *reinterpret_cast<const net::EspHeader*>(t1.data() + 34);
+  const auto& esp2 = *reinterpret_cast<const net::EspHeader*>(t2.data() + 34);
+  EXPECT_EQ(esp1.sequence() + 1, esp2.sequence());
+}
+
+TEST(Esp, CipherBytesPadTo4ByteAlignment) {
+  for (u32 inner = 40; inner < 80; ++inner) {
+    EXPECT_EQ(esp_cipher_bytes(inner) % 4, 0u) << inner;
+    EXPECT_GE(esp_cipher_bytes(inner), inner + 2);
+    EXPECT_LT(esp_cipher_bytes(inner), inner + 2 + 4);
+  }
+}
+
+TEST(SaDatabase, AddAndLookup) {
+  SaDatabase db;
+  db.add(SecurityAssociation::make_test_sa(1, net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(2, 2, 2, 2)));
+  db.add(SecurityAssociation::make_test_sa(2, net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(3, 3, 3, 3)));
+  ASSERT_NE(db.by_spi(1), nullptr);
+  ASSERT_NE(db.by_spi(2), nullptr);
+  EXPECT_EQ(db.by_spi(3), nullptr);
+  EXPECT_EQ(db.by_spi(2)->tunnel_dst, net::Ipv4Addr(3, 3, 3, 3));
+}
+
+// Round trip across frame sizes (property sweep).
+class EspSizeTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(EspSizeTest, RoundTrip) {
+  auto sa = test_sa();
+  const auto frame = test_frame(GetParam());
+  const auto tunnel = esp_encapsulate(sa, frame);
+  ASSERT_FALSE(tunnel.empty());
+
+  auto rx_sa = test_sa();
+  std::vector<u8> inner;
+  ASSERT_EQ(esp_decapsulate(rx_sa, tunnel, inner), EspError::kOk);
+  EXPECT_TRUE(std::equal(inner.begin() + sizeof(net::EthernetHeader), inner.end(),
+                         frame.begin() + sizeof(net::EthernetHeader)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EspSizeTest,
+                         ::testing::Values(64, 65, 66, 67, 128, 256, 512, 1024, 1514));
+
+}  // namespace
+}  // namespace ps::crypto

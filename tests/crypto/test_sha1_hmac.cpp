@@ -1,0 +1,115 @@
+// SHA-1 against FIPS 180-1 vectors and HMAC-SHA1 against RFC 2202.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha1.hpp"
+
+namespace ps::crypto {
+namespace {
+
+std::string to_hex(std::span<const u8> bytes) {
+  std::string s;
+  for (const u8 b : bytes) {
+    char buf[3];
+    std::snprintf(buf, sizeof(buf), "%02x", b);
+    s += buf;
+  }
+  return s;
+}
+
+std::span<const u8> bytes_of(const char* s) {
+  return {reinterpret_cast<const u8*>(s), std::strlen(s)};
+}
+
+TEST(Sha1, Fips180Abc) {
+  EXPECT_EQ(to_hex(sha1(bytes_of("abc"))), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, Fips180TwoBlockMessage) {
+  EXPECT_EQ(to_hex(sha1(bytes_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, EmptyMessage) {
+  EXPECT_EQ(to_hex(sha1({})), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 ctx;
+  const std::vector<u8> chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  std::array<u8, kSha1DigestSize> digest;
+  ctx.final(digest);
+  EXPECT_EQ(to_hex(digest), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalUpdatesMatchOneShot) {
+  const char* msg = "The quick brown fox jumps over the lazy dog";
+  const auto expected = sha1(bytes_of(msg));
+
+  // Split at every position: same digest regardless of update boundaries.
+  const auto all = bytes_of(msg);
+  for (std::size_t split = 0; split <= all.size(); ++split) {
+    Sha1 ctx;
+    ctx.update(all.subspan(0, split));
+    ctx.update(all.subspan(split));
+    std::array<u8, kSha1DigestSize> digest;
+    ctx.final(digest);
+    EXPECT_EQ(digest, expected) << "split at " << split;
+  }
+}
+
+TEST(Sha1, ContextReusableAfterFinal) {
+  Sha1 ctx;
+  ctx.update(bytes_of("abc"));
+  std::array<u8, kSha1DigestSize> first;
+  ctx.final(first);
+
+  ctx.update(bytes_of("abc"));
+  std::array<u8, kSha1DigestSize> second;
+  ctx.final(second);
+  EXPECT_EQ(first, second);
+}
+
+TEST(HmacSha1, Rfc2202Case1) {
+  std::vector<u8> key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha1(key, bytes_of("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1, Rfc2202Case2) {
+  EXPECT_EQ(to_hex(hmac_sha1(bytes_of("Jefe"), bytes_of("what do ya want for nothing?"))),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha1, Rfc2202Case3) {
+  std::vector<u8> key(20, 0xaa);
+  std::vector<u8> data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha1(key, data)), "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacSha1, Rfc2202Case6LongKey) {
+  // Key longer than the 64 B block: must be hashed first.
+  std::vector<u8> key(80, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha1(key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(HmacSha1, TruncationTakesFirst12Bytes) {
+  std::vector<u8> key(20, 0x0b);
+  const auto full = hmac_sha1(key, bytes_of("Hi There"));
+  const auto trunc = hmac_sha1_96(key, bytes_of("Hi There"));
+  EXPECT_EQ(0, std::memcmp(full.data(), trunc.data(), kHmacSha1_96Size));
+}
+
+TEST(HmacSha1, DifferentKeysDiffer) {
+  std::vector<u8> k1(20, 0x01), k2(20, 0x02);
+  EXPECT_NE(hmac_sha1(k1, bytes_of("data")), hmac_sha1(k2, bytes_of("data")));
+}
+
+}  // namespace
+}  // namespace ps::crypto

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "iengine/chunk.hpp"
+#include "net/packet.hpp"
+
+namespace ps::iengine {
+namespace {
+
+TEST(PacketChunk, AppendAndAccess) {
+  PacketChunk chunk(8);
+  const std::vector<u8> a(64, 0xaa), b(128, 0xbb);
+  EXPECT_TRUE(chunk.append(a, 111));
+  EXPECT_TRUE(chunk.append(b, 222));
+
+  ASSERT_EQ(chunk.count(), 2u);
+  EXPECT_EQ(chunk.length(0), 64);
+  EXPECT_EQ(chunk.length(1), 128);
+  EXPECT_EQ(chunk.rss_hash(0), 111u);
+  EXPECT_EQ(chunk.packet(1)[0], 0xbb);
+  EXPECT_EQ(chunk.bytes(), 192u);
+}
+
+TEST(PacketChunk, PacketsAreContiguousInOneBuffer) {
+  // The copy-into-contiguous-user-buffer design of section 4.3.
+  PacketChunk chunk(4);
+  chunk.append(std::vector<u8>(100, 1));
+  chunk.append(std::vector<u8>(50, 2));
+  EXPECT_EQ(chunk.packet(1).data(), chunk.packet(0).data() + 100);
+}
+
+TEST(PacketChunk, CapacityByCount) {
+  PacketChunk chunk(2);
+  const std::vector<u8> frame(64, 0);
+  EXPECT_TRUE(chunk.append(frame));
+  EXPECT_TRUE(chunk.append(frame));
+  EXPECT_FALSE(chunk.append(frame));  // count cap
+}
+
+TEST(PacketChunk, RejectsOversizedPacket) {
+  PacketChunk chunk(4);
+  EXPECT_FALSE(chunk.append(std::vector<u8>(mem::kDataCellSize + 1, 0)));
+  EXPECT_EQ(chunk.count(), 0u);
+}
+
+TEST(PacketChunk, DefaultVerdictIsForward) {
+  PacketChunk chunk(4);
+  chunk.append(std::vector<u8>(64, 0));
+  EXPECT_EQ(chunk.verdict(0), PacketVerdict::kForward);
+  EXPECT_EQ(chunk.out_port(0), -1);
+
+  chunk.set_verdict(0, PacketVerdict::kDrop);
+  chunk.set_out_port(0, 5);
+  EXPECT_EQ(chunk.verdict(0), PacketVerdict::kDrop);
+  EXPECT_EQ(chunk.out_port(0), 5);
+}
+
+TEST(PacketChunk, ClearKeepsCapacityDropsContent) {
+  PacketChunk chunk(4);
+  chunk.append(std::vector<u8>(64, 0));
+  chunk.in_port = 3;
+  chunk.clear();
+  EXPECT_EQ(chunk.count(), 0u);
+  EXPECT_EQ(chunk.bytes(), 0u);
+  EXPECT_EQ(chunk.in_port, -1);
+  EXPECT_EQ(chunk.max_packets(), 4u);
+  EXPECT_TRUE(chunk.append(std::vector<u8>(64, 0)));
+}
+
+TEST(PacketChunk, MutationThroughSpan) {
+  PacketChunk chunk(2);
+  chunk.append(std::vector<u8>(64, 0));
+  chunk.packet(0)[10] = 0x42;  // applications rewrite headers in place
+  EXPECT_EQ(chunk.packet(0)[10], 0x42);
+}
+
+TEST(PacketChunk, MoveAssignmentTransfersContents) {
+  PacketChunk a(4), b(4);
+  a.append(std::vector<u8>(64, 7));
+  a.in_port = 2;
+  b = std::move(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.in_port, 2);
+  EXPECT_EQ(b.packet(0)[0], 7);
+}
+
+}  // namespace
+}  // namespace ps::iengine

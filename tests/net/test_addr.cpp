@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "net/addr.hpp"
+
+namespace ps::net {
+namespace {
+
+TEST(MacAddr, Format) {
+  const MacAddr mac{{0x02, 0x50, 0x53, 0x00, 0x01, 0x02}};
+  EXPECT_EQ(mac.to_string(), "02:50:53:00:01:02");
+}
+
+TEST(MacAddr, PortDerivedAddressesAreDistinctAndUnicast) {
+  for (u32 p = 0; p < 8; ++p) {
+    const auto mac = MacAddr::for_port(p);
+    EXPECT_FALSE(mac.is_multicast());
+    for (u32 q = p + 1; q < 8; ++q) EXPECT_NE(mac, MacAddr::for_port(q));
+  }
+}
+
+TEST(MacAddr, Broadcast) {
+  EXPECT_TRUE(MacAddr::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddr::broadcast().is_multicast());
+  EXPECT_FALSE(MacAddr::for_port(0).is_broadcast());
+}
+
+TEST(Ipv4Addr, ParseValid) {
+  const auto a = Ipv4Addr::parse("192.168.1.200");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value, 0xc0a801c8u);
+  EXPECT_EQ(a->to_string(), "192.168.1.200");
+}
+
+TEST(Ipv4Addr, ParseInvalid) {
+  EXPECT_FALSE(Ipv4Addr::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("hello").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4x").has_value());
+}
+
+TEST(Ipv4Addr, OctetConstructorMatchesParse) {
+  EXPECT_EQ(Ipv4Addr(10, 20, 30, 40), Ipv4Addr::parse("10.20.30.40").value());
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2));
+  EXPECT_LT(Ipv4Addr(9, 255, 255, 255), Ipv4Addr(10, 0, 0, 0));
+}
+
+TEST(Ipv6Addr, WordRoundTrip) {
+  const auto a = Ipv6Addr::from_words(0x2001'0db8'0000'0000ULL, 0x0000'0000'0000'0001ULL);
+  EXPECT_EQ(a.hi64(), 0x2001'0db8'0000'0000ULL);
+  EXPECT_EQ(a.lo64(), 1u);
+  EXPECT_EQ(a.to_string(), "2001:0db8:0000:0000:0000:0000:0000:0001");
+}
+
+TEST(Ipv6Addr, BytesAreBigEndian) {
+  const auto a = Ipv6Addr::from_words(0x0102'0304'0506'0708ULL, 0);
+  EXPECT_EQ(a.bytes[0], 0x01);
+  EXPECT_EQ(a.bytes[7], 0x08);
+}
+
+TEST(Ipv6Addr, HashDistinguishesHiAndLo) {
+  const std::hash<Ipv6Addr> h;
+  EXPECT_NE(h(Ipv6Addr::from_words(1, 2)), h(Ipv6Addr::from_words(2, 1)));
+}
+
+}  // namespace
+}  // namespace ps::net

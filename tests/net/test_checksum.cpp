@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+#include "net/packet.hpp"
+
+namespace ps::net {
+namespace {
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic worked example: 0001 f203 f4f5 f6f7 -> checksum 0x220d.
+  const u8 data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const u8 even[] = {0x12, 0x34, 0x56, 0x00};
+  const u8 odd[] = {0x12, 0x34, 0x56};
+  EXPECT_EQ(checksum(even), checksum(odd));
+}
+
+TEST(Checksum, KnownIpv4Header) {
+  // Wikipedia's canonical IPv4 header example; checksum field = 0xb861.
+  u8 header[] = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11,
+                 0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7};
+  EXPECT_EQ(checksum(header), 0xb861);
+}
+
+TEST(Checksum, FillAndVerifyIpv4) {
+  auto frame = build_udp_ipv4({}, Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2));
+  auto& ip = *reinterpret_cast<Ipv4Header*>(frame.data() + sizeof(EthernetHeader));
+  EXPECT_TRUE(ipv4_checksum_ok(ip));
+  ip.set_checksum(ip.checksum() ^ 1);
+  EXPECT_FALSE(ipv4_checksum_ok(ip));
+}
+
+TEST(Checksum, IncrementalTtlUpdateMatchesRecompute) {
+  auto frame = build_udp_ipv4({}, Ipv4Addr(1, 2, 3, 4), Ipv4Addr(5, 6, 7, 8));
+  auto& ip = *reinterpret_cast<Ipv4Header*>(frame.data() + sizeof(EthernetHeader));
+
+  for (int hop = 0; hop < 60; ++hop) {
+    ipv4_decrement_ttl(ip);
+    EXPECT_TRUE(ipv4_checksum_ok(ip)) << "after hop " << hop;
+  }
+  EXPECT_EQ(ip.ttl, 4);
+}
+
+TEST(Checksum, IncrementalUpdateFormula) {
+  // RFC 1624: updating a field must match recomputation from scratch.
+  u8 data[] = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11,
+               0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7};
+  const u16 before = checksum(data);
+
+  const u16 old_word = load_be16(data + 2);
+  const u16 new_word = 0x0abc;
+  store_be16(data + 2, new_word);
+  const u16 recomputed = checksum(data);
+  EXPECT_EQ(checksum_update16(before, old_word, new_word), recomputed);
+}
+
+TEST(Checksum, L4ChecksumVerifies) {
+  FrameSpec spec;
+  spec.frame_size = 100;
+  auto frame = build_udp_ipv4(spec, Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2));
+  auto& ip = *reinterpret_cast<Ipv4Header*>(frame.data() + sizeof(EthernetHeader));
+  auto& udp = *reinterpret_cast<UdpHeader*>(frame.data() + sizeof(EthernetHeader) +
+                                            sizeof(Ipv4Header));
+  std::span<u8> l4{frame.data() + sizeof(EthernetHeader) + sizeof(Ipv4Header),
+                   frame.size() - sizeof(EthernetHeader) - sizeof(Ipv4Header)};
+
+  udp.set_checksum(l4_checksum_ipv4(ip, l4));
+  // With the checksum installed, recomputation folds to zero.
+  EXPECT_EQ(l4_checksum_ipv4(ip, l4), 0x0000);
+}
+
+TEST(Checksum, PartialCombination) {
+  const u8 data[] = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x02};
+  const u32 all = checksum_partial(data);
+  const u32 split = checksum_partial(std::span<const u8>{data, 4});
+  EXPECT_EQ(checksum_finish(all),
+            checksum_finish(checksum_partial(std::span<const u8>{data + 4, 2}, split)));
+}
+
+}  // namespace
+}  // namespace ps::net

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+
+namespace ps::net {
+namespace {
+
+TEST(PacketBuilder, Ipv4FrameIsWellFormed) {
+  FrameSpec spec;
+  spec.frame_size = 64;
+  spec.src_port = 1111;
+  spec.dst_port = 2222;
+  auto frame = build_udp_ipv4(spec, Ipv4Addr(10, 0, 0, 1), Ipv4Addr(20, 0, 0, 2));
+  ASSERT_EQ(frame.size(), 64u);
+
+  PacketView view;
+  ASSERT_EQ(parse_packet(frame.data(), static_cast<u32>(frame.size()), view), ParseStatus::kOk);
+  EXPECT_EQ(view.ether_type, EtherType::kIpv4);
+  EXPECT_EQ(view.ip_proto, IpProto::kUdp);
+  EXPECT_TRUE(view.has_l4);
+  EXPECT_EQ(view.ipv4().src(), Ipv4Addr(10, 0, 0, 1));
+  EXPECT_EQ(view.ipv4().dst(), Ipv4Addr(20, 0, 0, 2));
+  EXPECT_EQ(view.udp().src_port(), 1111);
+  EXPECT_EQ(view.udp().dst_port(), 2222);
+  EXPECT_EQ(view.ipv4().total_length(), 50);  // 64 - 14 L2 bytes
+}
+
+TEST(PacketBuilder, Ipv6FrameIsWellFormed) {
+  FrameSpec spec;
+  spec.frame_size = 80;
+  auto frame = build_udp_ipv6(spec, Ipv6Addr::from_words(0x2001, 1),
+                              Ipv6Addr::from_words(0x2002, 2));
+  ASSERT_EQ(frame.size(), 80u);
+
+  PacketView view;
+  ASSERT_EQ(parse_packet(frame.data(), static_cast<u32>(frame.size()), view), ParseStatus::kOk);
+  EXPECT_EQ(view.ether_type, EtherType::kIpv6);
+  EXPECT_EQ(view.ipv6().src().hi64(), 0x2001u);
+  EXPECT_EQ(view.ipv6().dst().lo64(), 2u);
+  EXPECT_EQ(view.ipv6().payload_length(), 80 - 14 - 40);
+}
+
+TEST(PacketBuilder, EnforcesMinimumSizes) {
+  FrameSpec spec;
+  spec.frame_size = 10;  // below any sane minimum
+  EXPECT_EQ(build_udp_ipv4(spec, Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2)).size(),
+            kMinUdpIpv4Frame);
+  EXPECT_EQ(build_udp_ipv6(spec, Ipv6Addr{}, Ipv6Addr{}).size(), kMinUdpIpv6Frame);
+}
+
+TEST(PacketParse, TruncatedFrames) {
+  auto frame = build_udp_ipv4({}, Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2));
+  PacketView view;
+  EXPECT_EQ(parse_packet(frame.data(), 10, view), ParseStatus::kTruncated);
+  EXPECT_EQ(parse_packet(frame.data(), 20, view), ParseStatus::kTruncated);
+  // One byte short of the IP total length.
+  EXPECT_EQ(parse_packet(frame.data(), static_cast<u32>(frame.size()) - 15, view),
+            ParseStatus::kTruncated);
+}
+
+TEST(PacketParse, BadChecksumDetected) {
+  auto frame = build_udp_ipv4({}, Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2));
+  frame[sizeof(EthernetHeader) + 10] ^= 0xff;  // corrupt checksum byte
+  PacketView view;
+  EXPECT_EQ(parse_packet(frame.data(), static_cast<u32>(frame.size()), view),
+            ParseStatus::kBadChecksum);
+}
+
+TEST(PacketParse, BadVersionDetected) {
+  auto frame = build_udp_ipv4({}, Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2));
+  auto& ip = *reinterpret_cast<Ipv4Header*>(frame.data() + sizeof(EthernetHeader));
+  ip.set_version_ihl(6, 5);
+  ipv4_fill_checksum(ip);
+  PacketView view;
+  EXPECT_EQ(parse_packet(frame.data(), static_cast<u32>(frame.size()), view),
+            ParseStatus::kBadVersion);
+}
+
+TEST(PacketParse, BadHeaderLengthDetected) {
+  auto frame = build_udp_ipv4({}, Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2));
+  auto& ip = *reinterpret_cast<Ipv4Header*>(frame.data() + sizeof(EthernetHeader));
+  ip.set_version_ihl(4, 2);  // IHL below the minimum of 5
+  ipv4_fill_checksum(ip);
+  PacketView view;
+  EXPECT_EQ(parse_packet(frame.data(), static_cast<u32>(frame.size()), view),
+            ParseStatus::kBadHeaderLen);
+}
+
+TEST(PacketParse, UnsupportedEthertype) {
+  auto frame = build_udp_ipv4({}, Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2));
+  auto& eth = *reinterpret_cast<EthernetHeader*>(frame.data());
+  eth.set_ethertype(EtherType::kArp);
+  PacketView view;
+  EXPECT_EQ(parse_packet(frame.data(), static_cast<u32>(frame.size()), view),
+            ParseStatus::kUnsupported);
+}
+
+TEST(PacketParse, OffsetsPointAtHeaders) {
+  FrameSpec spec;
+  spec.frame_size = 128;
+  auto frame = build_udp_ipv4(spec, Ipv4Addr(1, 2, 3, 4), Ipv4Addr(5, 6, 7, 8));
+  PacketView view;
+  ASSERT_EQ(parse_packet(frame.data(), static_cast<u32>(frame.size()), view), ParseStatus::kOk);
+  EXPECT_EQ(view.l3_offset, 14);
+  EXPECT_EQ(view.l4_offset, 34);
+  EXPECT_EQ(view.l4_bytes().size(), 128u - 34u);
+}
+
+TEST(HeaderLayout, WireSizes) {
+  EXPECT_EQ(sizeof(EthernetHeader), 14u);
+  EXPECT_EQ(sizeof(Ipv4Header), 20u);
+  EXPECT_EQ(sizeof(Ipv6Header), 40u);
+  EXPECT_EQ(sizeof(UdpHeader), 8u);
+  EXPECT_EQ(sizeof(TcpHeader), 20u);
+  EXPECT_EQ(sizeof(EspHeader), 8u);
+}
+
+TEST(HeaderLayout, FieldAccessorsAreBigEndianOnWire) {
+  Ipv4Header ip{};
+  ip.set_total_length(0x1234);
+  EXPECT_EQ(ip.total_length_be[0], 0x12);
+  EXPECT_EQ(ip.total_length_be[1], 0x34);
+  ip.set_src(Ipv4Addr(192, 168, 0, 1));
+  EXPECT_EQ(ip.src_be[0], 192);
+  EXPECT_EQ(ip.src_be[3], 1);
+}
+
+}  // namespace
+}  // namespace ps::net

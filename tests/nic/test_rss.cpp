@@ -1,0 +1,117 @@
+// Toeplitz RSS against Microsoft's published verification vectors, plus
+// indirection-table behaviour.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nic/rss.hpp"
+
+namespace ps::nic {
+namespace {
+
+// Build the 12-byte IPv4+ports hash input: src addr, dst addr, src port,
+// dst port, all big-endian (the order the verification suite specifies).
+std::vector<u8> ipv4_tuple(net::Ipv4Addr src, u16 src_port, net::Ipv4Addr dst, u16 dst_port) {
+  std::vector<u8> input(12);
+  store_be32(input.data(), src.value);
+  store_be32(input.data() + 4, dst.value);
+  store_be16(input.data() + 8, src_port);
+  store_be16(input.data() + 10, dst_port);
+  return input;
+}
+
+TEST(Toeplitz, MicrosoftVector1) {
+  const auto input = ipv4_tuple(net::Ipv4Addr(66, 9, 149, 187), 2794,
+                                net::Ipv4Addr(161, 142, 100, 80), 1766);
+  EXPECT_EQ(toeplitz_hash(kDefaultRssKey, input), 0x51ccc178u);
+}
+
+TEST(Toeplitz, MicrosoftVector2) {
+  const auto input = ipv4_tuple(net::Ipv4Addr(199, 92, 111, 2), 14230,
+                                net::Ipv4Addr(65, 69, 140, 83), 4739);
+  EXPECT_EQ(toeplitz_hash(kDefaultRssKey, input), 0xc626b0eau);
+}
+
+TEST(Toeplitz, MicrosoftVector3) {
+  const auto input = ipv4_tuple(net::Ipv4Addr(24, 19, 198, 95), 12898,
+                                net::Ipv4Addr(12, 22, 207, 184), 38024);
+  EXPECT_EQ(toeplitz_hash(kDefaultRssKey, input), 0x5c2b394au);
+}
+
+TEST(Toeplitz, MicrosoftVectorIpOnly1) {
+  // Address-only variant (no ports): 8-byte input.
+  std::vector<u8> input(8);
+  store_be32(input.data(), net::Ipv4Addr(66, 9, 149, 187).value);
+  store_be32(input.data() + 4, net::Ipv4Addr(161, 142, 100, 80).value);
+  EXPECT_EQ(toeplitz_hash(kDefaultRssKey, input), 0x323e8fc2u);
+}
+
+TEST(Toeplitz, EmptyInputIsZero) {
+  EXPECT_EQ(toeplitz_hash(kDefaultRssKey, {}), 0u);
+}
+
+TEST(Rss, HashFromParsedFrameMatchesManualTuple) {
+  net::FrameSpec spec;
+  spec.src_port = 2794;
+  spec.dst_port = 1766;
+  auto frame = net::build_udp_ipv4(spec, net::Ipv4Addr(66, 9, 149, 187),
+                                   net::Ipv4Addr(161, 142, 100, 80));
+  net::PacketView view;
+  ASSERT_EQ(net::parse_packet(frame.data(), static_cast<u32>(frame.size()), view),
+            net::ParseStatus::kOk);
+  EXPECT_EQ(rss_hash(view), 0x51ccc178u);
+}
+
+TEST(Rss, SameFlowSameHash) {
+  // Flow affinity is what preserves packet order (section 5.3).
+  net::FrameSpec spec;
+  spec.src_port = 1000;
+  spec.dst_port = 2000;
+  auto a = net::build_udp_ipv4(spec, net::Ipv4Addr(1, 2, 3, 4), net::Ipv4Addr(5, 6, 7, 8));
+  spec.frame_size = 512;  // size must not matter
+  auto b = net::build_udp_ipv4(spec, net::Ipv4Addr(1, 2, 3, 4), net::Ipv4Addr(5, 6, 7, 8));
+
+  net::PacketView va, vb;
+  ASSERT_EQ(net::parse_packet(a.data(), static_cast<u32>(a.size()), va), net::ParseStatus::kOk);
+  ASSERT_EQ(net::parse_packet(b.data(), static_cast<u32>(b.size()), vb), net::ParseStatus::kOk);
+  EXPECT_EQ(rss_hash(va), rss_hash(vb));
+}
+
+TEST(Rss, Ipv6FlowHashes) {
+  net::FrameSpec spec;
+  auto frame = net::build_udp_ipv6(spec, net::Ipv6Addr::from_words(1, 2),
+                                   net::Ipv6Addr::from_words(3, 4));
+  net::PacketView view;
+  ASSERT_EQ(net::parse_packet(frame.data(), static_cast<u32>(frame.size()), view),
+            net::ParseStatus::kOk);
+  EXPECT_NE(rss_hash(view), 0u);
+}
+
+TEST(RssIndirection, RoundRobinDistribution) {
+  RssIndirectionTable table;
+  table.distribute(0, 4);
+  for (u32 i = 0; i < RssIndirectionTable::kEntries; ++i) {
+    EXPECT_EQ(table.entry(i), i % 4);
+  }
+}
+
+TEST(RssIndirection, NodeConfinedDistribution) {
+  // Section 4.5: confine a NIC's packets to queues 2..3 only.
+  RssIndirectionTable table;
+  table.distribute(2, 2);
+  for (u32 i = 0; i < RssIndirectionTable::kEntries; ++i) {
+    EXPECT_GE(table.queue_for_hash(i * 2654435761u), 2);
+    EXPECT_LE(table.queue_for_hash(i * 2654435761u), 3);
+  }
+}
+
+TEST(RssIndirection, HashSpreadAcrossQueues) {
+  RssIndirectionTable table;
+  table.distribute(0, 8);
+  int counts[8] = {};
+  Rng rng(3);
+  for (int i = 0; i < 8000; ++i) ++counts[table.queue_for_hash(rng.next_u32())];
+  for (const int c : counts) EXPECT_GT(c, 500);  // roughly even
+}
+
+}  // namespace
+}  // namespace ps::nic

@@ -1,0 +1,86 @@
+// Property tests on the Toeplitz hash: GF(2) linearity, key sensitivity,
+// and queue-balance under random flows.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nic/rss.hpp"
+
+namespace ps::nic {
+namespace {
+
+std::vector<u8> random_input(Rng& rng, std::size_t n) {
+  std::vector<u8> v(n);
+  for (auto& b : v) b = static_cast<u8>(rng.next_u64());
+  return v;
+}
+
+// Toeplitz is linear over GF(2): H(a ^ b) == H(a) ^ H(b) for equal-length
+// inputs. This pins the implementation far more tightly than fixed
+// vectors alone.
+class ToeplitzLinearityTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ToeplitzLinearityTest, XorHomomorphism) {
+  Rng rng(GetParam() * 31 + 5);
+  const std::size_t len = GetParam();
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = random_input(rng, len);
+    const auto b = random_input(rng, len);
+    std::vector<u8> both(len);
+    for (std::size_t i = 0; i < len; ++i) both[i] = a[i] ^ b[i];
+
+    EXPECT_EQ(toeplitz_hash(kDefaultRssKey, both),
+              toeplitz_hash(kDefaultRssKey, a) ^ toeplitz_hash(kDefaultRssKey, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(InputLengths, ToeplitzLinearityTest,
+                         ::testing::Values(1, 2, 4, 8, 12, 16, 32, 36));
+
+TEST(ToeplitzProperties, ZeroInputHashesToZero) {
+  const std::vector<u8> zeros(12, 0);
+  EXPECT_EQ(toeplitz_hash(kDefaultRssKey, zeros), 0u);  // linearity's identity
+}
+
+TEST(ToeplitzProperties, SingleBitSelectsKeyWindow) {
+  // Input with only bit k set hashes to the 32-bit key window at offset k.
+  u8 input[4] = {0x80, 0, 0, 0};  // bit 0
+  const u32 expected0 = load_be32(kDefaultRssKey.data());
+  EXPECT_EQ(toeplitz_hash(kDefaultRssKey, input), expected0);
+
+  u8 input8[4] = {0, 0x80, 0, 0};  // bit 8
+  const u32 expected8 = load_be32(kDefaultRssKey.data() + 1);
+  EXPECT_EQ(toeplitz_hash(kDefaultRssKey, input8), expected8);
+}
+
+TEST(ToeplitzProperties, KeySensitivity) {
+  auto other_key = kDefaultRssKey;
+  other_key[5] ^= 0x10;
+  Rng rng(9);
+  int same = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto input = random_input(rng, 12);
+    if (toeplitz_hash(kDefaultRssKey, input) == toeplitz_hash(other_key, input)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(ToeplitzProperties, QueueBalanceOverRandomFlows) {
+  // The property RSS load balancing rests on: random 5-tuples spread
+  // roughly evenly over the queues (section 4.4).
+  RssIndirectionTable table;
+  table.distribute(0, 3);  // 3 workers per node, the paper's GPU config
+  Rng rng(11);
+  int counts[3] = {};
+  const int n = 30'000;
+  for (int i = 0; i < n; ++i) {
+    u8 tuple[12];
+    for (auto& b : tuple) b = static_cast<u8>(rng.next_u64());
+    ++counts[table.queue_for_hash(toeplitz_hash(kDefaultRssKey, tuple))];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 3, n / 3 / 10) << "queue imbalance >10%";
+  }
+}
+
+}  // namespace
+}  // namespace ps::nic

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "openflow/flow.hpp"
+
+namespace ps::openflow {
+namespace {
+
+net::FrameBuffer udp_frame() {
+  net::FrameSpec spec;
+  spec.src_port = 1234;
+  spec.dst_port = 80;
+  return net::build_udp_ipv4(spec, net::Ipv4Addr(10, 0, 0, 1), net::Ipv4Addr(10, 0, 0, 2));
+}
+
+FlowKey key_of(net::FrameBuffer& frame, u16 in_port = 3) {
+  net::PacketView view;
+  EXPECT_EQ(net::parse_packet(frame.data(), static_cast<u32>(frame.size()), view),
+            net::ParseStatus::kOk);
+  return extract_flow_key(view, in_port);
+}
+
+TEST(FlowKey, ExtractionFillsTenFields) {
+  auto frame = udp_frame();
+  const auto key = key_of(frame);
+  EXPECT_EQ(key.in_port, 3);
+  EXPECT_EQ(key.dl_type, 0x0800);
+  EXPECT_EQ(key.nw_src, net::Ipv4Addr(10, 0, 0, 1).value);
+  EXPECT_EQ(key.nw_dst, net::Ipv4Addr(10, 0, 0, 2).value);
+  EXPECT_EQ(key.nw_proto, 17);
+  EXPECT_EQ(key.tp_src, 1234);
+  EXPECT_EQ(key.tp_dst, 80);
+  EXPECT_EQ(key.dl_src, net::MacAddr::for_port(0).bytes);
+  EXPECT_EQ(key.dl_dst, net::MacAddr::for_port(1).bytes);
+}
+
+TEST(FlowKey, FixedThirtyTwoByteLayout) {
+  EXPECT_EQ(sizeof(FlowKey), 32u);  // flat layout shared with the GPU
+}
+
+TEST(FlowKey, HashIsDeterministicAndSpreads) {
+  auto frame = udp_frame();
+  const auto key = key_of(frame);
+  EXPECT_EQ(flow_key_hash(key), flow_key_hash(key));
+
+  FlowKey other = key;
+  other.tp_dst = 81;
+  EXPECT_NE(flow_key_hash(key), flow_key_hash(other));
+}
+
+TEST(FlowKey, SamePacketDifferentPortDifferentKey) {
+  auto frame = udp_frame();
+  EXPECT_NE(key_of(frame, 1), key_of(frame, 2));
+}
+
+TEST(WildcardMatch, AllWildMatchesEverything) {
+  WildcardMatch match;
+  match.wildcards = kWildAll;
+  auto frame = udp_frame();
+  EXPECT_TRUE(match.matches(key_of(frame)));
+  EXPECT_TRUE(match.matches(FlowKey{}));
+}
+
+TEST(WildcardMatch, SingleFieldConstraints) {
+  auto frame = udp_frame();
+  const auto key = key_of(frame);
+
+  WildcardMatch match;
+  match.wildcards = kWildAll & ~kWildTpDst;
+  match.key.tp_dst = 80;
+  EXPECT_TRUE(match.matches(key));
+  match.key.tp_dst = 81;
+  EXPECT_FALSE(match.matches(key));
+
+  match = WildcardMatch{};
+  match.wildcards = kWildAll & ~kWildInPort;
+  match.key.in_port = 3;
+  EXPECT_TRUE(match.matches(key));
+  match.key.in_port = 4;
+  EXPECT_FALSE(match.matches(key));
+}
+
+TEST(WildcardMatch, IpPrefixMasks) {
+  auto frame = udp_frame();
+  const auto key = key_of(frame);  // nw_src 10.0.0.1
+
+  WildcardMatch match;
+  match.wildcards = kWildAll;
+  match.nw_src_bits = 8;
+  match.key.nw_src = net::Ipv4Addr(10, 99, 99, 99).value;  // 10/8
+  EXPECT_TRUE(match.matches(key));
+
+  match.nw_src_bits = 24;  // 10.99.99/24 no longer covers 10.0.0.1
+  EXPECT_FALSE(match.matches(key));
+
+  match.key.nw_src = net::Ipv4Addr(10, 0, 0, 0).value;
+  EXPECT_TRUE(match.matches(key));
+
+  match.nw_src_bits = 32;
+  EXPECT_FALSE(match.matches(key));  // exact 10.0.0.0 != 10.0.0.1
+}
+
+TEST(WildcardMatch, ZeroBitsIgnoresAddress) {
+  WildcardMatch match;
+  match.wildcards = kWildAll;
+  match.nw_src_bits = 0;
+  match.key.nw_src = 0xdeadbeef;
+  EXPECT_TRUE(match.matches(FlowKey{}));
+}
+
+TEST(Action, Builders) {
+  EXPECT_EQ(Action::output(5).type, ActionType::kOutput);
+  EXPECT_EQ(Action::output(5).port, 5);
+  EXPECT_EQ(Action::drop().type, ActionType::kDrop);
+  EXPECT_EQ(Action::controller().type, ActionType::kController);
+}
+
+}  // namespace
+}  // namespace ps::openflow

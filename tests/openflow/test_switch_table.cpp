@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "openflow/switch_table.hpp"
+
+namespace ps::openflow {
+namespace {
+
+FlowKey make_key(u32 id) {
+  FlowKey key;
+  key.in_port = static_cast<u16>(id % 8);
+  key.nw_src = id * 2654435761u;
+  key.nw_dst = ~id;
+  key.nw_proto = 17;
+  key.tp_src = static_cast<u16>(id);
+  key.tp_dst = static_cast<u16>(id >> 16);
+  key.dl_type = 0x0800;
+  return key;
+}
+
+TEST(ExactMatchTable, InsertLookupErase) {
+  ExactMatchTable table;
+  table.insert(make_key(1), Action::output(3));
+  table.insert(make_key(2), Action::drop());
+
+  EXPECT_EQ(table.lookup(make_key(1)), Action::output(3));
+  EXPECT_EQ(table.lookup(make_key(2)), Action::drop());
+  EXPECT_FALSE(table.lookup(make_key(3)).has_value());
+
+  EXPECT_TRUE(table.erase(make_key(1)));
+  EXPECT_FALSE(table.lookup(make_key(1)).has_value());
+  EXPECT_FALSE(table.erase(make_key(1)));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(ExactMatchTable, InsertOverwritesAction) {
+  ExactMatchTable table;
+  table.insert(make_key(1), Action::output(1));
+  table.insert(make_key(1), Action::output(2));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.lookup(make_key(1)), Action::output(2));
+}
+
+TEST(ExactMatchTable, GrowsPastLoadFactor) {
+  ExactMatchTable table(4);
+  const auto initial_capacity = table.capacity();
+  for (u32 i = 0; i < 1000; ++i) table.insert(make_key(i), Action::output(static_cast<u16>(i % 8)));
+  EXPECT_GT(table.capacity(), initial_capacity);
+  EXPECT_EQ(table.size(), 1000u);
+  for (u32 i = 0; i < 1000; ++i) {
+    ASSERT_EQ(table.lookup(make_key(i)), Action::output(static_cast<u16>(i % 8))) << i;
+  }
+}
+
+TEST(ExactMatchTable, EraseRepairsProbeClusters) {
+  // Force collisions, erase the middle of a cluster, everything must stay
+  // findable (the no-tombstone reinsertion path).
+  ExactMatchTable table(8);
+  std::vector<FlowKey> keys;
+  for (u32 i = 0; i < 12; ++i) keys.push_back(make_key(i * 1000));
+  for (const auto& k : keys) table.insert(k, Action::output(1));
+  for (std::size_t victim = 0; victim < keys.size(); victim += 2) {
+    ASSERT_TRUE(table.erase(keys[victim]));
+  }
+  for (std::size_t i = 1; i < keys.size(); i += 2) {
+    EXPECT_TRUE(table.lookup(keys[i]).has_value()) << i;
+  }
+}
+
+TEST(ExactMatchTable, CountersTrackHits) {
+  ExactMatchTable table;
+  table.insert(make_key(5), Action::output(0));
+  table.lookup(make_key(5), 100);
+  table.lookup(make_key(5), 50);
+  const auto slots = table.slots();
+  for (const auto& slot : slots) {
+    if (slot.occupied) {
+      EXPECT_EQ(slot.stats.packets, 2u);
+      EXPECT_EQ(slot.stats.bytes, 150u);
+    }
+  }
+}
+
+TEST(WildcardTable, PriorityOrderWins) {
+  WildcardTable table;
+  WildcardMatch low;
+  low.wildcards = kWildAll;
+  low.priority = 1;
+  WildcardMatch high;
+  high.wildcards = kWildAll & ~kWildNwProto;
+  high.key.nw_proto = 17;
+  high.priority = 100;
+
+  // Insert low first: the high-priority entry must still match first.
+  table.insert(low, Action::drop());
+  table.insert(high, Action::output(7));
+
+  EXPECT_EQ(table.lookup(make_key(1)), Action::output(7));  // udp hits high
+
+  FlowKey tcp = make_key(1);
+  tcp.nw_proto = 6;
+  EXPECT_EQ(table.lookup(tcp), Action::drop());  // falls to catch-all
+}
+
+TEST(WildcardTable, ScannedCountsEntriesExamined) {
+  WildcardTable table;
+  for (u16 p = 0; p < 10; ++p) {
+    WildcardMatch m;
+    m.wildcards = kWildAll & ~kWildInPort;
+    m.key.in_port = p;
+    m.priority = static_cast<u16>(100 - p);
+    table.insert(m, Action::output(p));
+  }
+  FlowKey key;
+  key.in_port = 9;  // matches the last (lowest-priority) entry
+  int scanned = 0;
+  EXPECT_EQ(table.lookup(key, 0, &scanned), Action::output(9));
+  EXPECT_EQ(scanned, 10);
+
+  key.in_port = 0;
+  EXPECT_EQ(table.lookup(key, 0, &scanned), Action::output(0));
+  EXPECT_EQ(scanned, 1);
+
+  key.in_port = 99;  // no match: full scan
+  EXPECT_FALSE(table.lookup(key, 0, &scanned).has_value());
+  EXPECT_EQ(scanned, 10);
+}
+
+TEST(OpenFlowSwitch, ExactBeatsWildcard) {
+  OpenFlowSwitch sw;
+  const auto key = make_key(42);
+  WildcardMatch wild;
+  wild.wildcards = kWildAll;
+  wild.priority = 65535;
+  sw.wildcard().insert(wild, Action::drop());
+  sw.exact().insert(key, Action::output(2));
+
+  EXPECT_EQ(sw.classify(key), Action::output(2));
+  EXPECT_EQ(sw.exact_hits(), 1u);
+  EXPECT_EQ(sw.classify(make_key(43)), Action::drop());
+  EXPECT_EQ(sw.wildcard_hits(), 1u);
+}
+
+TEST(OpenFlowSwitch, MissUsesDefaultAction) {
+  OpenFlowSwitch sw;
+  EXPECT_EQ(sw.classify(make_key(1)), Action::controller());
+  EXPECT_EQ(sw.misses(), 1u);
+
+  sw.set_default_action(Action::drop());
+  EXPECT_EQ(sw.classify(make_key(2)), Action::drop());
+}
+
+TEST(OpenFlowSwitch, RandomizedAgainstLinearReference) {
+  // Property test: table behaviour must equal a brute-force reference.
+  OpenFlowSwitch sw;
+  std::vector<std::pair<FlowKey, Action>> exact_ref;
+  Rng rng(31);
+
+  for (u32 i = 0; i < 500; ++i) {
+    const auto key = make_key(static_cast<u32>(rng.next_u32()));
+    const auto action = Action::output(static_cast<u16>(rng.next_below(8)));
+    sw.exact().insert(key, action);
+    exact_ref.emplace_back(key, action);
+  }
+  for (const auto& [key, action] : exact_ref) {
+    EXPECT_EQ(sw.classify(key), action);
+  }
+}
+
+
+TEST(FlowExpiry, HardTimeoutsEvictExactEntries) {
+  ExactMatchTable table;
+  table.insert(make_key(1), Action::output(1), /*expires_at=*/ps::seconds(1.0));
+  table.insert(make_key(2), Action::output(2));  // permanent
+  table.insert(make_key(3), Action::output(3), ps::seconds(3.0));
+
+  EXPECT_EQ(table.expire(ps::seconds(0.5)), 0u);
+  EXPECT_EQ(table.expire(ps::seconds(2.0)), 1u);
+  EXPECT_FALSE(table.lookup(make_key(1)).has_value());
+  EXPECT_TRUE(table.lookup(make_key(2)).has_value());
+  EXPECT_TRUE(table.lookup(make_key(3)).has_value());
+  EXPECT_EQ(table.expire(ps::seconds(10.0)), 1u);
+  EXPECT_TRUE(table.lookup(make_key(2)).has_value());  // permanent survives
+}
+
+TEST(FlowExpiry, WildcardTimeouts) {
+  WildcardTable table;
+  WildcardMatch a;
+  a.wildcards = kWildAll;
+  a.priority = 10;
+  table.insert(a, Action::output(1), ps::seconds(1.0));
+  WildcardMatch b;
+  b.wildcards = kWildAll;
+  b.priority = 5;
+  table.insert(b, Action::output(2));
+
+  EXPECT_EQ(table.lookup(make_key(1)), Action::output(1));
+  EXPECT_EQ(table.expire(ps::seconds(2.0)), 1u);
+  // With the high-priority entry gone, the permanent one takes over.
+  EXPECT_EQ(table.lookup(make_key(1)), Action::output(2));
+}
+
+TEST(FlowExpiry, SwitchSweepCoversBothTables) {
+  OpenFlowSwitch sw;
+  sw.exact().insert(make_key(1), Action::output(1), ps::seconds(1.0));
+  WildcardMatch m;
+  m.wildcards = kWildAll;
+  sw.wildcard().insert(m, Action::output(2), ps::seconds(1.0));
+  EXPECT_EQ(sw.expire(ps::seconds(5.0)), 2u);
+  EXPECT_EQ(sw.exact().size(), 0u);
+  EXPECT_EQ(sw.wildcard().size(), 0u);
+}
+
+TEST(FlowExpiry, ReinsertRefreshesTimeout) {
+  ExactMatchTable table;
+  table.insert(make_key(1), Action::output(1), ps::seconds(1.0));
+  table.insert(make_key(1), Action::output(1), ps::seconds(10.0));  // refresh
+  EXPECT_EQ(table.expire(ps::seconds(2.0)), 0u);
+  EXPECT_TRUE(table.lookup(make_key(1)).has_value());
+}
+
+TEST(FlowExpiry, GrowPreservesExpiry) {
+  ExactMatchTable table(4);
+  for (u32 i = 0; i < 100; ++i) {
+    table.insert(make_key(i), Action::output(1), ps::seconds(1.0));
+  }
+  EXPECT_EQ(table.expire(ps::seconds(2.0)), 100u);  // all still timed
+  EXPECT_EQ(table.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ps::openflow

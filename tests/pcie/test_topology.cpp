@@ -1,0 +1,66 @@
+// Machine topology invariants: the Figure 3 block diagram encoded.
+#include <gtest/gtest.h>
+
+#include "pcie/topology.hpp"
+
+namespace ps::pcie {
+namespace {
+
+TEST(Topology, PaperServerShape) {
+  const auto topo = Topology::paper_server();
+  EXPECT_EQ(topo.num_nodes, 2);
+  EXPECT_EQ(topo.num_cores(), 8);
+  EXPECT_EQ(topo.num_nics(), 4);
+  EXPECT_EQ(topo.num_ports(), 8);
+  EXPECT_EQ(topo.num_gpus(), 2);
+  EXPECT_TRUE(topo.dual_ioh);
+}
+
+TEST(Topology, NodeLocality) {
+  const auto topo = Topology::paper_server();
+  // Cores 0-3 on node 0, 4-7 on node 1.
+  EXPECT_EQ(topo.node_of_core(0), 0);
+  EXPECT_EQ(topo.node_of_core(3), 0);
+  EXPECT_EQ(topo.node_of_core(4), 1);
+  EXPECT_EQ(topo.node_of_core(7), 1);
+  // Ports 0-3 (NICs 0-1) on node 0, 4-7 on node 1.
+  EXPECT_EQ(topo.node_of_port(0), 0);
+  EXPECT_EQ(topo.node_of_port(3), 0);
+  EXPECT_EQ(topo.node_of_port(4), 1);
+  EXPECT_EQ(topo.node_of_port(7), 1);
+  // One GPU per node.
+  EXPECT_EQ(topo.node_of_gpu(0), 0);
+  EXPECT_EQ(topo.node_of_gpu(1), 1);
+}
+
+TEST(Topology, IohFollowsNode) {
+  const auto topo = Topology::paper_server();
+  for (int port = 0; port < topo.num_ports(); ++port) {
+    EXPECT_EQ(topo.ioh_of_port(port), topo.node_of_port(port));
+  }
+  for (int gpu = 0; gpu < topo.num_gpus(); ++gpu) {
+    EXPECT_EQ(topo.ioh_of_gpu(gpu), topo.node_of_gpu(gpu));
+  }
+}
+
+TEST(Topology, PortToNicMapping) {
+  const auto topo = Topology::paper_server();
+  EXPECT_EQ(topo.nic_of_port(0), 0);
+  EXPECT_EQ(topo.nic_of_port(1), 0);  // dual-port NICs
+  EXPECT_EQ(topo.nic_of_port(2), 1);
+  EXPECT_EQ(topo.nic_of_port(7), 3);
+}
+
+TEST(Topology, SingleNodeVariant) {
+  const auto topo = Topology::single_node();
+  EXPECT_EQ(topo.num_nodes, 1);
+  EXPECT_EQ(topo.num_cores(), 4);
+  EXPECT_EQ(topo.num_ports(), 4);
+  EXPECT_FALSE(topo.dual_ioh);  // no dual-IOH asymmetry (section 3.2)
+  for (int port = 0; port < topo.num_ports(); ++port) {
+    EXPECT_EQ(topo.node_of_port(port), 0);
+  }
+}
+
+}  // namespace
+}  // namespace ps::pcie

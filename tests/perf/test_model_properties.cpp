@@ -1,0 +1,119 @@
+// Property tests on the cost model: monotonicity, bounds, and regime
+// consistency — the invariants that keep calibration tweaks honest.
+#include <gtest/gtest.h>
+
+#include "perf/calibration.hpp"
+#include "perf/ledger.hpp"
+#include "perf/model.hpp"
+
+namespace ps::perf {
+namespace {
+
+TEST(ModelProperties, KernelTimeMonotoneInThreads) {
+  const KernelCost cost{.instructions = 100, .mem_accesses = 3};
+  Picos prev = 0;
+  for (u32 threads = 32; threads <= 1 << 20; threads *= 2) {
+    const Picos t = gpu_exec_time(threads, cost);
+    EXPECT_GE(t, prev) << threads;
+    prev = t;
+  }
+}
+
+TEST(ModelProperties, KernelTimeMonotoneInWork) {
+  for (double instr = 10; instr < 1e6; instr *= 3) {
+    const Picos lighter = gpu_exec_time(4096, {.instructions = instr, .mem_accesses = 1});
+    const Picos heavier = gpu_exec_time(4096, {.instructions = instr * 3, .mem_accesses = 1});
+    EXPECT_GE(heavier, lighter);
+  }
+}
+
+TEST(ModelProperties, PerThreadCostNeverIncreasesWithBatch) {
+  // The economic argument of Figure 2: amortized per-item time falls (or
+  // stays flat) as the batch grows.
+  const KernelCost cost{.instructions = 280, .mem_accesses = 7};
+  double prev = 1e18;
+  for (u32 threads = 32; threads <= 1 << 18; threads *= 2) {
+    const double per_item =
+        static_cast<double>(gpu_kernel_time(threads, cost)) / threads;
+    EXPECT_LE(per_item, prev * 1.0001) << threads;
+    prev = per_item;
+  }
+}
+
+TEST(ModelProperties, WarpEfficiencyScalesComputeOnly) {
+  // Divergence derates instruction throughput, not memory bandwidth.
+  const u32 threads = 1 << 18;
+  const KernelCost membound{.instructions = 1, .mem_accesses = 50, .warp_efficiency = 0.5};
+  const KernelCost membound_full{.instructions = 1, .mem_accesses = 50, .warp_efficiency = 1.0};
+  EXPECT_EQ(gpu_exec_time(threads, membound), gpu_exec_time(threads, membound_full));
+}
+
+TEST(ModelProperties, IohDuplexBusyBetweenMaxAndSum) {
+  CostLedger ledger;
+  ledger.charge({ResourceKind::kIohD2h, 0}, 700);
+  ledger.charge({ResourceKind::kIohH2d, 0}, 500);
+  const Picos busy = ledger.bottleneck_time();
+  EXPECT_GE(busy, 700);        // at least the max (full overlap)
+  EXPECT_LE(busy, 700 + 500);  // at most the sum (no overlap)
+}
+
+TEST(ModelProperties, NicDmaOccupancyMonotoneInFrameSize) {
+  for (const auto dir : {Direction::kDeviceToHost, Direction::kHostToDevice}) {
+    Picos prev = 0;
+    for (u32 size = 64; size <= 1514; size += 10) {
+      const Picos t = nic_dma_occupancy(size, dir);
+      EXPECT_GE(t, prev);
+      prev = t;
+    }
+  }
+}
+
+TEST(ModelProperties, WirePacketRateMatchesLineRate) {
+  // sum over a second of wire times == 1 second at exactly 10 Gbps load.
+  for (const u32 size : {64u, 128u, 512u, 1514u}) {
+    const double pps = 10e9 / (wire_bytes(size) * 8.0);
+    EXPECT_NEAR(to_seconds(port_wire_time(size)) * pps, 1.0, 1e-9);
+  }
+}
+
+TEST(ModelProperties, LaunchLatencyLinearInThreads) {
+  const Picos a = gpu_launch_latency(1000);
+  const Picos b = gpu_launch_latency(2000);
+  const Picos c = gpu_launch_latency(3000);
+  EXPECT_EQ(b - a, c - b);
+}
+
+TEST(ModelProperties, ThroughputInverselyProportionalToCharge) {
+  CostLedger ledger;
+  ledger.charge({ResourceKind::kCpuCore, 0}, kPicosPerSec / 2);
+  const double t1 = ledger.throughput_per_sec(1000);
+  ledger.charge({ResourceKind::kCpuCore, 0}, kPicosPerSec / 2);
+  const double t2 = ledger.throughput_per_sec(1000);
+  EXPECT_NEAR(t1, 2 * t2, 1e-6);
+}
+
+TEST(ModelProperties, CalibrationSelfConsistency) {
+  // The huge-buffer Table 3 bins must sum to the Figure 5 per-packet RX
+  // constant — the two experiments share one path.
+  EXPECT_DOUBLE_EQ(kHugeBufMetadataInitCycles + kHugeBufDriverCyclesPerPacket +
+                       kHugeBufOtherCyclesPerPacket + kHugeBufResidualMissCycles,
+                   kRxCyclesPerPacket);
+  // Table 3's shares cover 100%.
+  EXPECT_NEAR(kSkbShareInit + kSkbShareAllocFree + kSkbShareMemSubsystem + kSkbShareNicDriver +
+                  kSkbShareOthers + kSkbShareCacheMiss,
+              1.0, 1e-9);
+}
+
+TEST(ModelProperties, BatchAmortizationShape) {
+  // cycles(batch) = per_packet + per_batch/batch must reproduce the 13.5x
+  // Figure 5 span within the model itself.
+  const double per_packet = kRxCyclesPerPacket + kTxCyclesPerPacket +
+                            2 * kCopyCyclesPerCacheLine;
+  const double per_batch = kRxCyclesPerBatch + kTxCyclesPerBatch;
+  const double at1 = per_packet + per_batch;
+  const double at64 = per_packet + per_batch / 64;
+  EXPECT_NEAR(at1 / at64, 13.5, 2.0);
+}
+
+}  // namespace
+}  // namespace ps::perf

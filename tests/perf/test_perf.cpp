@@ -1,0 +1,183 @@
+// Cost-model plumbing: ledger accounting, the IOH duplex-coupling rule,
+// charge scopes, and the analytic timing functions' anchor points.
+#include <gtest/gtest.h>
+
+#include "perf/calibration.hpp"
+#include "perf/ledger.hpp"
+#include "perf/model.hpp"
+
+namespace ps::perf {
+namespace {
+
+TEST(CostLedger, AccumulatesPerResource) {
+  CostLedger ledger;
+  ledger.charge({ResourceKind::kCpuCore, 0}, 100);
+  ledger.charge({ResourceKind::kCpuCore, 0}, 50);
+  ledger.charge({ResourceKind::kCpuCore, 1}, 30);
+  EXPECT_EQ(ledger.busy({ResourceKind::kCpuCore, 0}), 150);
+  EXPECT_EQ(ledger.busy({ResourceKind::kCpuCore, 1}), 30);
+  EXPECT_EQ(ledger.busy({ResourceKind::kCpuCore, 2}), 0);
+}
+
+TEST(CostLedger, BottleneckIsBusiestResource) {
+  CostLedger ledger;
+  ledger.charge({ResourceKind::kCpuCore, 0}, 100);
+  ledger.charge({ResourceKind::kGpuExec, 0}, 500);
+  ledger.charge({ResourceKind::kPortTx, 3}, 200);
+  EXPECT_EQ(ledger.bottleneck_time(), 500);
+  EXPECT_EQ(ledger.bottleneck_name(), "gpu-exec0");
+}
+
+TEST(CostLedger, IohChannelsCoupleAsDuplex) {
+  CostLedger ledger;
+  ledger.charge({ResourceKind::kIohD2h, 0}, 1000);
+  ledger.charge({ResourceKind::kIohH2d, 0}, 600);
+  // busy = max + k*min = 1000 + 0.435*600.
+  const Picos expected = 1000 + static_cast<Picos>(kIohDuplexCoupling * 600);
+  EXPECT_EQ(ledger.bottleneck_time(), expected);
+  EXPECT_EQ(ledger.bottleneck_name(), "ioh0-duplex");
+}
+
+TEST(CostLedger, IohIndexesAreIndependent) {
+  CostLedger ledger;
+  ledger.charge({ResourceKind::kIohD2h, 0}, 1000);
+  ledger.charge({ResourceKind::kIohH2d, 1}, 900);
+  // Different IOHs: no coupling between them.
+  EXPECT_EQ(ledger.bottleneck_time(), 1000);
+}
+
+TEST(CostLedger, ThroughputFromBottleneck) {
+  CostLedger ledger;
+  ledger.charge({ResourceKind::kCpuCore, 0}, kPicosPerSec);  // 1 second busy
+  EXPECT_DOUBLE_EQ(ledger.throughput_per_sec(1'000'000), 1e6);
+}
+
+TEST(CostLedger, MergeCombinesCharges) {
+  CostLedger a, b;
+  a.charge({ResourceKind::kCpuCore, 0}, 100);
+  b.charge({ResourceKind::kCpuCore, 0}, 50);
+  b.charge({ResourceKind::kPortRx, 1}, 70);
+  a.merge(b);
+  EXPECT_EQ(a.busy({ResourceKind::kCpuCore, 0}), 150);
+  EXPECT_EQ(a.busy({ResourceKind::kPortRx, 1}), 70);
+}
+
+TEST(CpuChargeScope, RoutesChargesToActiveScope) {
+  CostLedger ledger;
+  charge_cpu_cycles(1000);  // no scope: dropped
+  EXPECT_EQ(ledger.busy({ResourceKind::kCpuCore, 0}), 0);
+
+  {
+    CpuChargeScope scope(&ledger, 3);
+    charge_cpu_cycles(kCpuHz);  // one second worth of cycles
+  }
+  charge_cpu_cycles(1000);  // scope gone: dropped again
+  EXPECT_EQ(ledger.busy({ResourceKind::kCpuCore, 3}), kPicosPerSec);
+}
+
+TEST(CpuChargeScope, ScopesNest) {
+  CostLedger outer, inner;
+  CpuChargeScope a(&outer, 0);
+  {
+    CpuChargeScope b(&inner, 1);
+    charge_cpu_cycles(100);
+  }
+  charge_cpu_cycles(100);
+  EXPECT_GT(inner.busy({ResourceKind::kCpuCore, 1}), 0);
+  EXPECT_GT(outer.busy({ResourceKind::kCpuCore, 0}), 0);
+  EXPECT_EQ(outer.busy({ResourceKind::kCpuCore, 1}), 0);
+}
+
+// --- analytic model anchors -------------------------------------------------
+
+TEST(Model, PcieTransferMatchesTable1Anchors) {
+  // Table 1's corners, the calibration targets (within ~15%).
+  EXPECT_NEAR(pcie_transfer_rate_mbps(256, Direction::kHostToDevice), 55, 10);
+  EXPECT_NEAR(pcie_transfer_rate_mbps(1 << 20, Direction::kHostToDevice), 5577, 600);
+  EXPECT_NEAR(pcie_transfer_rate_mbps(256, Direction::kDeviceToHost), 63, 10);
+  EXPECT_NEAR(pcie_transfer_rate_mbps(1 << 20, Direction::kDeviceToHost), 3394, 400);
+}
+
+TEST(Model, PcieRateIsMonotoneInSize) {
+  double prev = 0;
+  for (u64 size = 64; size <= (1 << 22); size *= 2) {
+    const double rate = pcie_transfer_rate_mbps(size, Direction::kHostToDevice);
+    EXPECT_GT(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(Model, TransferTimeNeverDecreasesWithBytes) {
+  // Cost-model sanity: more bytes never takes less time.
+  for (Direction dir : {Direction::kHostToDevice, Direction::kDeviceToHost}) {
+    Picos prev = 0;
+    for (u64 size = 0; size <= 1 << 20; size += 4096) {
+      const Picos t = pcie_transfer_time(size, dir);
+      EXPECT_GE(t, prev);
+      prev = t;
+    }
+  }
+}
+
+TEST(Model, D2hSlowerThanH2d) {
+  // The dual-IOH asymmetry (section 3.2).
+  EXPECT_LT(pcie_transfer_rate_mbps(1 << 20, Direction::kDeviceToHost),
+            pcie_transfer_rate_mbps(1 << 20, Direction::kHostToDevice));
+}
+
+TEST(Model, WireTimeAt10G) {
+  // A 64 B frame (88 wire bytes) takes 70.4 ns at 10 Gbps.
+  EXPECT_NEAR(to_nanos(port_wire_time(64)), 70.4, 0.1);
+}
+
+TEST(Model, KernelLatencyBoundSmallBatches) {
+  // With one warp, the 7-probe IPv6 chain is exposed (Figure 2's origin).
+  const KernelCost cost{.instructions = 280, .mem_accesses = 7};
+  const Picos small = gpu_exec_time(32, cost);
+  EXPECT_GT(to_micros(small), 2.0);  // ~7 x 550 cycles at 1.4 GHz
+
+  // With thousands of threads per SM the latency is hidden and the
+  // per-thread time collapses.
+  const Picos large = gpu_exec_time(32768, cost);
+  EXPECT_LT(static_cast<double>(large) / 32768, static_cast<double>(small) / 32);
+}
+
+TEST(Model, KernelThroughputRegimes) {
+  // Memory-bandwidth-bound when accesses dominate.
+  const KernelCost membw{.instructions = 1, .mem_accesses = 100};
+  // Compute-bound when instructions dominate.
+  const KernelCost compute{.instructions = 100'000, .mem_accesses = 1};
+  const u32 threads = 1 << 20;
+  const double t_mem = to_seconds(gpu_exec_time(threads, membw));
+  const double t_cmp = to_seconds(gpu_exec_time(threads, compute));
+  EXPECT_NEAR(t_mem, threads * 100.0 * 32 / kGpuMemBytesPerSec, t_mem * 0.01);
+  EXPECT_NEAR(t_cmp, threads * 100'000.0 / (kGpuCores * kGpuHz), t_cmp * 0.01);
+}
+
+TEST(Model, DivergenceDeratesCompute) {
+  const KernelCost uniform{.instructions = 10'000, .mem_accesses = 0, .warp_efficiency = 1.0};
+  KernelCost diverged = uniform;
+  diverged.warp_efficiency = 0.5;
+  const u32 threads = 1 << 18;
+  EXPECT_NEAR(static_cast<double>(gpu_exec_time(threads, diverged)),
+              2.0 * static_cast<double>(gpu_exec_time(threads, uniform)),
+              static_cast<double>(gpu_exec_time(threads, uniform)) * 0.01);
+}
+
+TEST(Model, CpuLookupOnlyRateMatchesFigure2Calibration) {
+  // One quad-core X5550 on 7-probe IPv6 lookups: ~15 Mpps (Figure 2's CPU
+  // line), doubling with the second socket.
+  EXPECT_NEAR(cpu_lookup_only_rate(1, 7) / 1e6, 15.2, 0.5);
+  EXPECT_NEAR(cpu_lookup_only_rate(2, 7), 2 * cpu_lookup_only_rate(1, 7), 1.0);
+}
+
+TEST(Model, NicDmaSymmetricWithoutDualIoh) {
+  // Single-IOH boards show no RX/TX asymmetry (section 3.2).
+  EXPECT_EQ(nic_dma_occupancy(64, Direction::kDeviceToHost, false),
+            nic_dma_occupancy(64, Direction::kHostToDevice, false));
+  EXPECT_GT(nic_dma_occupancy(64, Direction::kDeviceToHost, true),
+            nic_dma_occupancy(64, Direction::kHostToDevice, true));
+}
+
+}  // namespace
+}  // namespace ps::perf

@@ -1,0 +1,102 @@
+// Synthetic RIB generators: determinism, scale, and the prefix-length
+// histogram properties the DIR-24-8 evaluation depends on.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "route/rib_gen.hpp"
+
+namespace ps::route {
+namespace {
+
+TEST(RibGen, Deterministic) {
+  const auto a = generate_ipv4_rib({.prefix_count = 1000, .num_next_hops = 8, .seed = 42});
+  const auto b = generate_ipv4_rib({.prefix_count = 1000, .num_next_hops = 8, .seed = 42});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].addr, b[i].addr);
+    EXPECT_EQ(a[i].length, b[i].length);
+    EXPECT_EQ(a[i].next_hop, b[i].next_hop);
+  }
+}
+
+TEST(RibGen, DifferentSeedsDiffer) {
+  const auto a = generate_ipv4_rib({.prefix_count = 100, .num_next_hops = 8, .seed = 1});
+  const auto b = generate_ipv4_rib({.prefix_count = 100, .num_next_hops = 8, .seed = 2});
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].addr == b[i].addr && a[i].length == b[i].length) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RibGen, PrefixesAreUnique) {
+  const auto rib = generate_ipv4_rib({.prefix_count = 20'000, .num_next_hops = 8, .seed = 7});
+  std::unordered_set<u64> seen;
+  for (const auto& p : rib) {
+    const u64 key = (static_cast<u64>(p.network()) << 8) | p.length;
+    EXPECT_TRUE(seen.insert(key).second);
+  }
+}
+
+TEST(RibGen, PrefixesAreCanonical) {
+  const auto rib = generate_ipv4_rib({.prefix_count = 5000, .num_next_hops = 8, .seed = 8});
+  for (const auto& p : rib) {
+    EXPECT_EQ(p.addr.value, p.network());  // no host bits set
+    EXPECT_GE(p.length, 8);
+    EXPECT_LE(p.length, 32);
+    EXPECT_LT(p.next_hop, 8);
+  }
+}
+
+TEST(RibGen, LengthHistogramMatchesPaper) {
+  // 3% of RouteViews prefixes are longer than /24 (section 6.2.1) and /24
+  // dominates the table.
+  const auto rib = generate_ipv4_rib({.prefix_count = 100'000, .num_next_hops = 8, .seed = 3});
+  u64 longer_than_24 = 0;
+  u64 exactly_24 = 0;
+  for (const auto& p : rib) {
+    if (p.length > 24) ++longer_than_24;
+    if (p.length == 24) ++exactly_24;
+  }
+  const double frac_long = static_cast<double>(longer_than_24) / static_cast<double>(rib.size());
+  EXPECT_GT(frac_long, 0.015);
+  EXPECT_LT(frac_long, 0.05);
+  EXPECT_GT(static_cast<double>(exactly_24) / static_cast<double>(rib.size()), 0.35);
+}
+
+TEST(RibGen, PaperScaleCountBuilds) {
+  const auto rib = generate_ipv4_rib({.prefix_count = kPaperIpv4PrefixCount,
+                                      .num_next_hops = 8,
+                                      .seed = 2010});
+  EXPECT_EQ(rib.size(), kPaperIpv4PrefixCount);
+}
+
+TEST(RibGen, Ipv6Unique64BitPrefixes) {
+  const auto rib = generate_ipv6_rib(10'000, 8, 5);
+  for (const auto& p : rib) {
+    EXPECT_GE(p.length, 16);
+    EXPECT_LE(p.length, 64);
+    EXPECT_EQ(p.addr.lo64(), 0u);
+    // Canonical: masked to its own length.
+    EXPECT_EQ(mask128(p.addr.hi64(), 0, p.length).hi, p.addr.hi64());
+  }
+}
+
+TEST(RibGen, Ipv6Deterministic) {
+  const auto a = generate_ipv6_rib(500, 8, 77);
+  const auto b = generate_ipv6_rib(500, 8, 77);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].addr, b[i].addr);
+    EXPECT_EQ(a[i].length, b[i].length);
+  }
+}
+
+TEST(RibGen, LengthFractionSumsToOne) {
+  double total = 0;
+  for (int len = 0; len <= 32; ++len) total += ipv4_length_fraction(len);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ps::route

@@ -1,0 +1,174 @@
+// Slow-path host stack: ICMP Time Exceeded generation, local delivery,
+// and the unhandled bucket.
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+#include "slowpath/host_stack.hpp"
+
+namespace ps::slowpath {
+namespace {
+
+net::FrameBuffer expired_frame(net::Ipv4Addr src, net::Ipv4Addr dst) {
+  net::FrameSpec spec;
+  spec.ttl = 1;
+  spec.frame_size = 96;
+  return net::build_udp_ipv4(spec, src, dst);
+}
+
+TEST(HostStack, TtlExpiredProducesIcmpTimeExceeded) {
+  HostStack stack(net::Ipv4Addr(192, 0, 2, 1));
+  const auto offender = expired_frame(net::Ipv4Addr(10, 0, 0, 5), net::Ipv4Addr(99, 9, 9, 9));
+
+  const auto reply = stack.handle(offender, /*in_port=*/3);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(stack.stats().icmp_time_exceeded, 1u);
+
+  net::PacketView view;
+  ASSERT_EQ(net::parse_packet(const_cast<u8*>(reply->data()),
+                              static_cast<u32>(reply->size()), view),
+            net::ParseStatus::kOk);  // valid IP checksum
+  EXPECT_EQ(view.ip_proto, net::IpProto::kIcmp);
+  EXPECT_EQ(view.ipv4().src(), net::Ipv4Addr(192, 0, 2, 1));  // router speaks
+  EXPECT_EQ(view.ipv4().dst(), net::Ipv4Addr(10, 0, 0, 5));   // back to sender
+
+  const auto& icmp = *reinterpret_cast<const net::IcmpHeader*>(reply->data() + view.l4_offset);
+  EXPECT_EQ(icmp.type, 11);  // Time Exceeded
+  EXPECT_EQ(icmp.code, 0);
+
+  // ICMP checksum over the ICMP portion folds to zero when valid.
+  const std::span<const u8> icmp_bytes{reply->data() + view.l4_offset,
+                                       reply->size() - view.l4_offset};
+  EXPECT_EQ(net::checksum(icmp_bytes), 0x0000);
+}
+
+TEST(HostStack, IcmpQuotesOffendingHeader) {
+  HostStack stack(net::Ipv4Addr(192, 0, 2, 1));
+  const auto offender = expired_frame(net::Ipv4Addr(10, 0, 0, 5), net::Ipv4Addr(99, 9, 9, 9));
+  const auto reply = stack.handle(offender, 0);
+  ASSERT_TRUE(reply.has_value());
+
+  // RFC 792: the quoted data is the offender's IP header + 8 bytes.
+  const std::size_t quote_offset = 14 + 20 + 8;  // eth + outer ip + icmp hdr
+  EXPECT_TRUE(std::equal(offender.begin() + 14, offender.begin() + 14 + 28,
+                         reply->begin() + quote_offset));
+}
+
+TEST(HostStack, LocalDelivery) {
+  HostStack stack(net::Ipv4Addr(192, 0, 2, 1));
+  stack.add_local_address(net::Ipv4Addr(192, 0, 2, 99));
+
+  net::FrameSpec spec;  // healthy TTL: addressed TO the router
+  const auto to_router = net::build_udp_ipv4(spec, net::Ipv4Addr(8, 8, 8, 8),
+                                             net::Ipv4Addr(192, 0, 2, 99));
+  EXPECT_FALSE(stack.handle(to_router, 0).has_value());
+  EXPECT_EQ(stack.stats().delivered_locally, 1u);
+  ASSERT_EQ(stack.local_deliveries().size(), 1u);
+  EXPECT_EQ(stack.local_deliveries()[0].size(), to_router.size());
+}
+
+TEST(HostStack, UnhandledBucket) {
+  HostStack stack(net::Ipv4Addr(192, 0, 2, 1));
+
+  // Non-IP frame.
+  auto arp = net::build_udp_ipv4({}, net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(2, 2, 2, 2));
+  reinterpret_cast<net::EthernetHeader*>(arp.data())->set_ethertype(net::EtherType::kArp);
+  EXPECT_FALSE(stack.handle(arp, 0).has_value());
+
+  // Healthy transit packet that somehow reached the slow path.
+  const auto transit =
+      net::build_udp_ipv4({}, net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(2, 2, 2, 2));
+  EXPECT_FALSE(stack.handle(transit, 0).has_value());
+  EXPECT_EQ(stack.stats().unhandled, 2u);
+}
+
+TEST(HostStack, RepliesAreAtLeastMinimumFrameSize) {
+  HostStack stack(net::Ipv4Addr(192, 0, 2, 1));
+  net::FrameSpec tiny;
+  tiny.ttl = 1;
+  tiny.frame_size = 42;  // smallest UDP/IPv4 frame
+  const auto offender =
+      net::build_udp_ipv4(tiny, net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(2, 2, 2, 2));
+  const auto reply = stack.handle(offender, 0);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_GE(reply->size(), net::kMinUdpIpv4Frame);
+}
+
+
+net::FrameBuffer echo_request(net::Ipv4Addr src, net::Ipv4Addr dst, u16 ident, u16 seq) {
+  // Hand-built ICMP echo request with 16 payload bytes.
+  const u32 total = 14 + 20 + 8 + 16;
+  net::FrameBuffer out(total, 0);
+  auto& eth = *reinterpret_cast<net::EthernetHeader*>(out.data());
+  eth.set_src(net::MacAddr::for_port(9));
+  eth.set_dst(net::MacAddr::for_port(0));
+  eth.set_ethertype(net::EtherType::kIpv4);
+
+  auto& ip = *reinterpret_cast<net::Ipv4Header*>(out.data() + 14);
+  ip.set_version_ihl(4, 5);
+  ip.set_total_length(static_cast<u16>(total - 14));
+  ip.ttl = 64;
+  ip.set_proto(net::IpProto::kIcmp);
+  ip.set_src(src);
+  ip.set_dst(dst);
+
+  auto& icmp = *reinterpret_cast<net::IcmpHeader*>(out.data() + 34);
+  icmp.type = 8;  // echo request
+  icmp.code = 0;
+  store_be16(icmp.rest_be, ident);
+  store_be16(icmp.rest_be + 2, seq);
+  for (u32 i = 0; i < 16; ++i) out[42 + i] = static_cast<u8>(i);
+  icmp.set_checksum(net::checksum({out.data() + 34, total - 34}));
+  net::ipv4_fill_checksum(ip);
+  return out;
+}
+
+TEST(HostStack, EchoRequestToRouterGetsReply) {
+  HostStack stack(net::Ipv4Addr(192, 0, 2, 1));
+  const auto request = echo_request(net::Ipv4Addr(10, 0, 0, 9),
+                                    net::Ipv4Addr(192, 0, 2, 1), 0x1234, 7);
+
+  const auto reply = stack.handle(request, /*in_port=*/5);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(stack.stats().icmp_echo_replies, 1u);
+  EXPECT_EQ(stack.stats().delivered_locally, 0u);
+
+  net::PacketView view;
+  ASSERT_EQ(net::parse_packet(const_cast<u8*>(reply->data()),
+                              static_cast<u32>(reply->size()), view),
+            net::ParseStatus::kOk);
+  EXPECT_EQ(view.ipv4().src(), net::Ipv4Addr(192, 0, 2, 1));
+  EXPECT_EQ(view.ipv4().dst(), net::Ipv4Addr(10, 0, 0, 9));
+
+  const auto& icmp = *reinterpret_cast<const net::IcmpHeader*>(reply->data() + view.l4_offset);
+  EXPECT_EQ(icmp.type, 0);  // echo reply
+  EXPECT_EQ(load_be16(icmp.rest_be), 0x1234);      // identifier preserved
+  EXPECT_EQ(load_be16(icmp.rest_be + 2), 7);       // sequence preserved
+  // Payload preserved byte for byte.
+  EXPECT_TRUE(std::equal(reply->begin() + 42, reply->end(), request.begin() + 42));
+  // ICMP checksum verifies.
+  EXPECT_EQ(net::checksum({reply->data() + view.l4_offset, reply->size() - view.l4_offset}),
+            0x0000);
+}
+
+TEST(HostStack, EchoRequestToTransitAddressIsNotAnswered) {
+  HostStack stack(net::Ipv4Addr(192, 0, 2, 1));
+  const auto request = echo_request(net::Ipv4Addr(10, 0, 0, 9),
+                                    net::Ipv4Addr(99, 99, 99, 99), 1, 1);
+  EXPECT_FALSE(stack.handle(request, 0).has_value());
+  EXPECT_EQ(stack.stats().icmp_echo_replies, 0u);
+}
+
+TEST(HostStack, NonEchoIcmpToRouterDeliversLocally) {
+  HostStack stack(net::Ipv4Addr(192, 0, 2, 1));
+  auto request = echo_request(net::Ipv4Addr(10, 0, 0, 9), net::Ipv4Addr(192, 0, 2, 1), 1, 1);
+  // Rewrite to an echo *reply* (someone pinging from us): no auto-answer.
+  auto& icmp = *reinterpret_cast<net::IcmpHeader*>(request.data() + 34);
+  icmp.type = 0;
+  icmp.set_checksum(0);
+  icmp.set_checksum(net::checksum({request.data() + 34, request.size() - 34}));
+  EXPECT_FALSE(stack.handle(request, 0).has_value());
+  EXPECT_EQ(stack.stats().delivered_locally, 1u);
+}
+
+}  // namespace
+}  // namespace ps::slowpath
