@@ -101,5 +101,13 @@ int main() {
   std::printf("host stack: %llu ICMP time-exceeded sent, %llu delivered locally\n",
               static_cast<unsigned long long>(host_stack.stats().icmp_time_exceeded),
               static_cast<unsigned long long>(host_stack.stats().delivered_locally));
+  std::printf("drops by reason:");
+  if (stats.dropped() == 0) std::printf(" none");
+  std::printf("\n");
+  for (std::size_t r = 0; r < iengine::kNumDropReasons; ++r) {
+    if (stats.drops_by_reason[r] == 0) continue;
+    std::printf("  %-12s %llu\n", iengine::to_string(static_cast<iengine::DropReason>(r)),
+                static_cast<unsigned long long>(stats.drops_by_reason[r]));
+  }
   return 0;
 }

@@ -55,7 +55,7 @@ int main() {
                 static_cast<unsigned long long>(stats.packets_in),
                 static_cast<unsigned long long>(stats.packets_out),
                 static_cast<unsigned long long>(stats.gpu_processed),
-                static_cast<unsigned long long>(stats.dropped),
+                static_cast<unsigned long long>(stats.dropped()),
                 static_cast<unsigned long long>(stats.slow_path));
   }
 
@@ -68,6 +68,14 @@ int main() {
               static_cast<unsigned long long>(stats.packets_in),
               static_cast<unsigned long long>(stats.packets_out),
               static_cast<unsigned long long>(stats.gpu_processed));
+  if (stats.dropped() > 0) {
+    std::printf("drops by reason:\n");
+    for (std::size_t r = 0; r < iengine::kNumDropReasons; ++r) {
+      if (stats.drops_by_reason[r] == 0) continue;
+      std::printf("  %-12s %llu\n", iengine::to_string(static_cast<iengine::DropReason>(r)),
+                  static_cast<unsigned long long>(stats.drops_by_reason[r]));
+    }
+  }
   std::printf("per-port egress distribution (next hops spread over 8 ports):\n");
   for (int p = 0; p < 8; ++p) {
     std::printf("  port %d: %llu\n", p,

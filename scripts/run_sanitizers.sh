@@ -1,0 +1,22 @@
+#!/bin/sh
+# Build and run the test suite under the sanitizer presets: once with
+# ASan+UBSan (-DPS_SANITIZE=address) and once with TSan
+# (-DPS_SANITIZE=thread), each in its own build tree. Pass a preset name
+# ("address" or "thread") to run just that one.
+set -e
+cd "$(dirname "$0")/.."
+
+presets="${1:-address thread}"
+
+for preset in $presets; do
+  build_dir="build-san-$preset"
+  echo "=== PS_SANITIZE=$preset ($build_dir) ==="
+  cmake -B "$build_dir" -DPS_SANITIZE="$preset" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build_dir" --target ps_tests -j "$(nproc)"
+  # halt_on_error makes a sanitizer report fail the test run instead of
+  # continuing past it.
+  ASAN_OPTIONS=halt_on_error=1 \
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir "$build_dir" --output-on-failure
+done

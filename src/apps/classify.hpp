@@ -18,6 +18,9 @@ enum class FastPathClass : u8 {
 /// `view` for eligible ones.
 inline FastPathClass classify_l3(iengine::PacketChunk& chunk, u32 i, net::EtherType want,
                                  net::PacketView& view) {
+  // Already condemned upstream (e.g. NIC-flagged corruption): keep the
+  // verdict and reason, don't resurrect the packet.
+  if (chunk.verdict(i) == iengine::PacketVerdict::kDrop) return FastPathClass::kDropped;
   const auto frame = chunk.packet(i);
   const auto status = net::parse_packet(frame.data(), static_cast<u32>(frame.size()), view);
 
@@ -26,7 +29,7 @@ inline FastPathClass classify_l3(iengine::PacketChunk& chunk, u32 i, net::EtherT
     return FastPathClass::kSlowPath;
   }
   if (status != net::ParseStatus::kOk) {
-    chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+    chunk.set_drop(i, iengine::DropReason::kParseError);
     return FastPathClass::kDropped;
   }
   if (view.ether_type != want) {

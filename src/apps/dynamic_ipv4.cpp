@@ -81,8 +81,9 @@ void DynamicIpv4ForwardApp::pre_shade(core::ShaderJob& job) {
   job.gpu_items = static_cast<u32>(job.gpu_index.size());
 }
 
-Picos DynamicIpv4ForwardApp::shade(core::GpuContext& gpu,
-                                   std::span<core::ShaderJob* const> jobs, Picos submit_time) {
+core::ShadeOutcome DynamicIpv4ForwardApp::shade(core::GpuContext& gpu,
+                                                std::span<core::ShaderJob* const> jobs,
+                                                Picos submit_time) {
   auto& st = *gpu_state_.at(gpu.device->gpu_id());
   const int slot = st.active.load(std::memory_order_acquire);
 
@@ -90,11 +91,12 @@ Picos DynamicIpv4ForwardApp::shade(core::GpuContext& gpu,
   for (auto* job : jobs) {
     if (job->gpu_items == 0) continue;
     assert(total + job->gpu_items <= kMaxBatchItems);
-    gpu.device->memcpy_h2d(st.input, total * sizeof(u32), job->gpu_input,
-                           gpu::kDefaultStream, submit_time);
+    const auto h2d = gpu.device->memcpy_h2d(st.input, total * sizeof(u32), job->gpu_input,
+                                            gpu::kDefaultStream, submit_time);
+    if (!h2d.ok()) return {h2d.status, h2d.end};
     total += job->gpu_items;
   }
-  if (total == 0) return submit_time;
+  if (total == 0) return {gpu::GpuStatus::kOk, submit_time};
 
   const u16* tbl24 = st.tbl24[slot].as<const u16>();
   const u16* tbl_long = st.tbl_long[slot].as<const u16>();
@@ -111,7 +113,8 @@ Picos DynamicIpv4ForwardApp::shade(core::GpuContext& gpu,
           },
       .cost = {.instructions = perf::kGpuIpv4LookupInstr, .mem_accesses = 1.05},
   };
-  gpu.device->launch(kernel, gpu::kDefaultStream, submit_time);
+  const auto k = gpu.device->launch(kernel, gpu::kDefaultStream, submit_time);
+  if (!k.ok()) return {k.status, k.end};
 
   u32 offset = 0;
   Picos done = submit_time;
@@ -121,10 +124,22 @@ Picos DynamicIpv4ForwardApp::shade(core::GpuContext& gpu,
     const auto timing = gpu.device->memcpy_d2h(job->gpu_output, st.output,
                                                offset * sizeof(u16), gpu::kDefaultStream,
                                                submit_time);
+    if (!timing.ok()) return {timing.status, timing.end};
     done = std::max(done, timing.end);
     offset += job->gpu_items;
   }
-  return done;
+  return {gpu::GpuStatus::kOk, done};
+}
+
+void DynamicIpv4ForwardApp::shade_cpu(core::ShaderJob& job) {
+  const auto table = fib_.snapshot();
+  const auto* in = reinterpret_cast<const u32*>(job.gpu_input.data());
+  job.gpu_output.resize(job.gpu_items * sizeof(u16));
+  auto* out = reinterpret_cast<u16*>(job.gpu_output.data());
+  for (u32 k = 0; k < job.gpu_items; ++k) {
+    perf::charge_cpu_cycles(perf::kCpuIpv4LookupCycles);
+    out[k] = table->lookup(net::Ipv4Addr(in[k]));
+  }
 }
 
 void DynamicIpv4ForwardApp::post_shade(core::ShaderJob& job) {
@@ -135,7 +150,7 @@ void DynamicIpv4ForwardApp::post_shade(core::ShaderJob& job) {
     const u32 i = job.gpu_index[k];
     const route::NextHop nh = next_hops[k];
     if (nh == route::kNoRoute) {
-      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+      chunk.set_drop(i, iengine::DropReason::kNoRoute);
     } else {
       chunk.set_out_port(i, static_cast<i16>(nh));
     }
@@ -155,7 +170,7 @@ void DynamicIpv4ForwardApp::process_cpu(iengine::PacketChunk& chunk) {
     net::ipv4_decrement_ttl(view.ipv4());
     const route::NextHop nh = table->lookup(net::Ipv4Addr(chunk_view_dst(chunk, i)));
     if (nh == route::kNoRoute) {
-      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+      chunk.set_drop(i, iengine::DropReason::kNoRoute);
     } else {
       chunk.set_out_port(i, static_cast<i16>(nh));
     }

@@ -103,8 +103,9 @@ void DynamicIpv6ForwardApp::pre_shade(core::ShaderJob& job) {
   job.gpu_items = static_cast<u32>(job.gpu_index.size());
 }
 
-Picos DynamicIpv6ForwardApp::shade(core::GpuContext& gpu,
-                                   std::span<core::ShaderJob* const> jobs, Picos submit_time) {
+core::ShadeOutcome DynamicIpv6ForwardApp::shade(core::GpuContext& gpu,
+                                                std::span<core::ShaderJob* const> jobs,
+                                                Picos submit_time) {
   auto& st = *gpu_state_.at(gpu.device->gpu_id());
   const int slot = st.active.load(std::memory_order_acquire);
   const auto& copy = st.copies[slot];
@@ -113,11 +114,12 @@ Picos DynamicIpv6ForwardApp::shade(core::GpuContext& gpu,
   for (auto* job : jobs) {
     if (job->gpu_items == 0) continue;
     assert(total + job->gpu_items <= kMaxBatchItems);
-    gpu.device->memcpy_h2d(st.input, static_cast<std::size_t>(total) * 16, job->gpu_input,
-                           gpu::kDefaultStream, submit_time);
+    const auto h2d = gpu.device->memcpy_h2d(st.input, static_cast<std::size_t>(total) * 16,
+                                            job->gpu_input, gpu::kDefaultStream, submit_time);
+    if (!h2d.ok()) return {h2d.status, h2d.end};
     total += job->gpu_items;
   }
-  if (total == 0) return submit_time;
+  if (total == 0) return {gpu::GpuStatus::kOk, submit_time};
 
   const auto* slots = copy.slots.as<const route::Ipv6FlatTable::Slot>();
   const auto* offsets = copy.offsets.as<const u32>();
@@ -137,7 +139,8 @@ Picos DynamicIpv6ForwardApp::shade(core::GpuContext& gpu,
           },
       .cost = ipv6_kernel_cost(),
   };
-  gpu.device->launch(kernel, gpu::kDefaultStream, submit_time);
+  const auto k = gpu.device->launch(kernel, gpu::kDefaultStream, submit_time);
+  if (!k.ok()) return {k.status, k.end};
 
   u32 offset = 0;
   Picos done = submit_time;
@@ -147,10 +150,23 @@ Picos DynamicIpv6ForwardApp::shade(core::GpuContext& gpu,
     const auto timing = gpu.device->memcpy_d2h(
         job->gpu_output, st.output, static_cast<std::size_t>(offset) * sizeof(u16),
         gpu::kDefaultStream, submit_time);
+    if (!timing.ok()) return {timing.status, timing.end};
     done = std::max(done, timing.end);
     offset += job->gpu_items;
   }
-  return done;
+  return {gpu::GpuStatus::kOk, done};
+}
+
+void DynamicIpv6ForwardApp::shade_cpu(core::ShaderJob& job) {
+  const auto table = fib_.snapshot();
+  const auto* in = reinterpret_cast<const u64*>(job.gpu_input.data());
+  job.gpu_output.resize(job.gpu_items * sizeof(u16));
+  auto* out = reinterpret_cast<u16*>(job.gpu_output.data());
+  for (u32 k = 0; k < job.gpu_items; ++k) {
+    int probes = 0;
+    out[k] = table->lookup(net::Ipv6Addr::from_words(in[k * 2], in[k * 2 + 1]), &probes);
+    perf::charge_cpu_cycles(probes * perf::kCpuIpv6LookupCyclesPerProbe);
+  }
 }
 
 void DynamicIpv6ForwardApp::post_shade(core::ShaderJob& job) {
@@ -161,7 +177,7 @@ void DynamicIpv6ForwardApp::post_shade(core::ShaderJob& job) {
     const u32 i = job.gpu_index[k];
     const route::NextHop nh = next_hops[k];
     if (nh == route::kNoRoute) {
-      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+      chunk.set_drop(i, iengine::DropReason::kNoRoute);
     } else {
       chunk.set_out_port(i, static_cast<i16>(nh));
     }
@@ -183,7 +199,7 @@ void DynamicIpv6ForwardApp::process_cpu(iengine::PacketChunk& chunk) {
         table->lookup(net::Ipv6Addr::from_words(load_be64(dst), load_be64(dst + 8)), &probes);
     perf::charge_cpu_cycles(probes * perf::kCpuIpv6LookupCyclesPerProbe);
     if (nh == route::kNoRoute) {
-      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+      chunk.set_drop(i, iengine::DropReason::kNoRoute);
     } else {
       chunk.set_out_port(i, static_cast<i16>(nh));
     }

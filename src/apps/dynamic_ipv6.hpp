@@ -21,8 +21,9 @@ class DynamicIpv6ForwardApp final : public core::Shader {
   const char* name() const override { return "ipv6-forward-dynamic"; }
   void bind_gpu(gpu::GpuDevice& device) override;
   void pre_shade(core::ShaderJob& job) override;
-  Picos shade(core::GpuContext& gpu, std::span<core::ShaderJob* const> jobs,
-              Picos submit_time = 0) override;
+  core::ShadeOutcome shade(core::GpuContext& gpu, std::span<core::ShaderJob* const> jobs,
+                           Picos submit_time = 0) override;
+  void shade_cpu(core::ShaderJob& job) override;
   void post_shade(core::ShaderJob& job) override;
   void process_cpu(iengine::PacketChunk& chunk) override;
 

@@ -65,6 +65,14 @@ void IpsecGatewayApp::pre_shade(core::ShaderJob& job) {
   for (u32 i = 0; i < chunk.count(); ++i) {
     perf::charge_cpu_cycles(perf::kCpuIpsecPerPacketCycles + perf::kPreShadingCyclesPerPacket);
     const auto frame = chunk.packet(i);
+    if (chunk.verdict(i) == iengine::PacketVerdict::kDrop) {
+      // Condemned upstream (e.g. NIC-flagged corruption): carry the packet
+      // and its reason through so the drop stays accounted — never encrypt.
+      const u32 slot = scratch.count();
+      scratch.append(frame, chunk.rss_hash(i));
+      scratch.set_drop(slot, chunk.drop_reason(i));
+      continue;
+    }
     const u32 seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
 
     crypto::EspLayout layout;
@@ -114,16 +122,17 @@ void IpsecGatewayApp::pre_shade(core::ShaderJob& job) {
   job.gpu_items = n_blocks;
 }
 
-void IpsecGatewayApp::shade_one_job(core::GpuContext& gpu, core::ShaderJob& job,
-                                    gpu::StreamId stream, Picos submit_time, Picos& done) {
-  if (job.gpu_input.size() < 8) return;
+gpu::GpuStatus IpsecGatewayApp::shade_one_job(core::GpuContext& gpu, core::ShaderJob& job,
+                                              gpu::StreamId stream, Picos submit_time,
+                                              Picos& done) {
+  if (job.gpu_input.size() < 8) return gpu::GpuStatus::kOk;
   auto& st = gpu_state_.at(gpu.device->gpu_id());
 
   u32 n_packets = 0;
   u32 n_blocks = 0;
   std::memcpy(&n_packets, job.gpu_input.data(), 4);
   std::memcpy(&n_blocks, job.gpu_input.data() + 4, 4);
-  if (n_packets == 0) return;
+  if (n_packets == 0) return gpu::GpuStatus::kOk;
   assert(n_packets <= kMaxBatchPackets && n_blocks <= kMaxBatchBlocks);
 
   const std::size_t descs_off = 8;
@@ -132,14 +141,20 @@ void IpsecGatewayApp::shade_one_job(core::GpuContext& gpu, core::ShaderJob& job,
   const std::size_t blob_len = job.gpu_input.size() - blob_off;
 
   // Gathered copies of the three regions (one logical transfer each).
-  gpu.device->memcpy_h2d(st.descs, 0,
-                         {job.gpu_input.data() + descs_off, blocks_off - descs_off}, stream,
-                         submit_time);
-  gpu.device->memcpy_h2d(st.blocks, 0,
-                         {job.gpu_input.data() + blocks_off, blob_off - blocks_off}, stream,
-                         submit_time);
-  gpu.device->memcpy_h2d(st.blob, 0, {job.gpu_input.data() + blob_off, blob_len}, stream,
-                         submit_time);
+  // Re-uploading the plaintext blob also makes a retried job idempotent:
+  // the in-place AES below always starts from fresh plaintext.
+  const auto c1 = gpu.device->memcpy_h2d(
+      st.descs, 0, {job.gpu_input.data() + descs_off, blocks_off - descs_off}, stream,
+      submit_time);
+  if (!c1.ok()) return c1.status;
+  const auto c2 = gpu.device->memcpy_h2d(
+      st.blocks, 0, {job.gpu_input.data() + blocks_off, blob_off - blocks_off}, stream,
+      submit_time);
+  if (!c2.ok()) return c2.status;
+  const auto c3 = gpu.device->memcpy_h2d(st.blob, 0,
+                                         {job.gpu_input.data() + blob_off, blob_len}, stream,
+                                         submit_time);
+  if (!c3.ok()) return c3.status;
 
   const auto* descs = st.descs.as<const PacketDesc>();
   const auto* blocks = st.blocks.as<const BlockRef>();
@@ -165,7 +180,8 @@ void IpsecGatewayApp::shade_one_job(core::GpuContext& gpu, core::ShaderJob& job,
           },
       .cost = {.instructions = perf::kGpuAesInstrPerBlock, .mem_accesses = 1.0},
   };
-  gpu.device->launch(aes, stream, submit_time);
+  const auto aes_result = gpu.device->launch(aes, stream, submit_time);
+  if (!aes_result.ok()) return aes_result.status;
 
   // Kernel 2 — HMAC-SHA1 over [ESP hdr | IV | ciphertext], one thread per
   // packet (SHA-1's block chain is sequential).
@@ -195,25 +211,73 @@ void IpsecGatewayApp::shade_one_job(core::GpuContext& gpu, core::ShaderJob& job,
                    total_sha_blocks / n_packets * perf::kGpuSha1InstrPerBlock,
                .mem_accesses = static_cast<double>(total_auth_bytes) / n_packets / 32.0},
   };
-  gpu.device->launch(hmac, stream, submit_time);
+  const auto hmac_result = gpu.device->launch(hmac, stream, submit_time);
+  if (!hmac_result.ok()) return hmac_result.status;
 
   // Results back: ciphertext blob + ICV array.
   job.gpu_output.resize(blob_len + n_packets * crypto::kHmacSha1_96Size);
   auto t1 = gpu.device->memcpy_d2h({job.gpu_output.data(), blob_len}, st.blob, 0, stream,
                                    submit_time);
+  if (!t1.ok()) return t1.status;
   auto t2 = gpu.device->memcpy_d2h(
       {job.gpu_output.data() + blob_len, n_packets * crypto::kHmacSha1_96Size}, st.icv, 0,
       stream, submit_time);
+  if (!t2.ok()) return t2.status;
   done = std::max({done, t1.end, t2.end});
+  return gpu::GpuStatus::kOk;
 }
 
-Picos IpsecGatewayApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* const> jobs,
-                             Picos submit_time) {
+core::ShadeOutcome IpsecGatewayApp::shade(core::GpuContext& gpu,
+                                          std::span<core::ShaderJob* const> jobs,
+                                          Picos submit_time) {
   Picos done = submit_time;
   for (std::size_t j = 0; j < jobs.size(); ++j) {
-    shade_one_job(gpu, *jobs[j], gpu.stream_for(j), submit_time, done);
+    const auto st = shade_one_job(gpu, *jobs[j], gpu.stream_for(j), submit_time, done);
+    if (st != gpu::GpuStatus::kOk) return {st, done};
   }
-  return done;
+  return {gpu::GpuStatus::kOk, done};
+}
+
+void IpsecGatewayApp::shade_cpu(core::ShaderJob& job) {
+  if (job.gpu_input.size() < 8) {
+    job.gpu_output.clear();
+    return;
+  }
+  u32 n_packets = 0;
+  u32 n_blocks = 0;
+  std::memcpy(&n_packets, job.gpu_input.data(), 4);
+  std::memcpy(&n_blocks, job.gpu_input.data() + 4, 4);
+  const std::size_t descs_off = 8;
+  const std::size_t blocks_off = descs_off + n_packets * sizeof(PacketDesc);
+  const std::size_t blob_off = blocks_off + n_blocks * sizeof(BlockRef);
+  const std::size_t blob_len = job.gpu_input.size() - blob_off;
+  const auto* descs = reinterpret_cast<const PacketDesc*>(job.gpu_input.data() + descs_off);
+
+  // Same output layout as the GPU path: [ciphertext blob | ICV array].
+  job.gpu_output.resize(blob_len + n_packets * crypto::kHmacSha1_96Size);
+  u8* blob = job.gpu_output.data();
+  std::memcpy(blob, job.gpu_input.data() + blob_off, blob_len);
+  u8* icv = job.gpu_output.data() + blob_len;
+
+  const auto schedule = sa_.cipher.round_keys();
+  for (u32 p = 0; p < n_packets; ++p) {
+    const PacketDesc& d = descs[p];
+    const u8* iv = blob + d.blob_off + 8;
+    const u32 nb = aes_blocks_for(d.cipher_len);
+    for (u32 b = 0; b < nb; ++b) {
+      u8* data = blob + d.blob_off + kAuthPrefix + b * 16;
+      const u32 remain = d.cipher_len - b * 16;
+      crypto::aes_ctr_crypt_block(schedule.data(), sa_.nonce.data(), iv, b, data,
+                                  remain < 16 ? remain : 16);
+    }
+    const auto tag =
+        crypto::hmac_sha1_96({sa_.auth_key.data(), crypto::kSha1DigestSize},
+                             {blob + d.blob_off, kAuthPrefix + d.cipher_len});
+    std::memcpy(icv + p * crypto::kHmacSha1_96Size, tag.data(), tag.size());
+    perf::charge_cpu_cycles(nb * perf::kCpuAesCyclesPerBlock +
+                            sha1_blocks_for(kAuthPrefix + d.cipher_len) *
+                                perf::kCpuSha1CyclesPerBlock);
+  }
 }
 
 void IpsecGatewayApp::post_shade(core::ShaderJob& job) {
@@ -255,6 +319,12 @@ void IpsecGatewayApp::process_cpu(iengine::PacketChunk& chunk) {
 
   for (u32 i = 0; i < chunk.count(); ++i) {
     const auto frame = chunk.packet(i);
+    if (chunk.verdict(i) == iengine::PacketVerdict::kDrop) {
+      const u32 slot = scratch.count();
+      scratch.append(frame, chunk.rss_hash(i));
+      scratch.set_drop(slot, chunk.drop_reason(i));
+      continue;
+    }
     const u32 seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
     auto out = crypto::esp_encapsulate(sa_, frame, seq);
 

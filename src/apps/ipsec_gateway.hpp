@@ -28,8 +28,9 @@ class IpsecGatewayApp final : public core::Shader {
   const char* name() const override { return "ipsec-gateway"; }
   void bind_gpu(gpu::GpuDevice& device) override;
   void pre_shade(core::ShaderJob& job) override;
-  Picos shade(core::GpuContext& gpu, std::span<core::ShaderJob* const> jobs,
-              Picos submit_time = 0) override;
+  core::ShadeOutcome shade(core::GpuContext& gpu, std::span<core::ShaderJob* const> jobs,
+                           Picos submit_time = 0) override;
+  void shade_cpu(core::ShaderJob& job) override;
   void post_shade(core::ShaderJob& job) override;
   void process_cpu(iengine::PacketChunk& chunk) override;
 
@@ -57,8 +58,8 @@ class IpsecGatewayApp final : public core::Shader {
     gpu::DeviceBuffer keys;    // AES schedule (176 B) + nonce (4) + auth key (20)
   };
 
-  void shade_one_job(core::GpuContext& gpu, core::ShaderJob& job, gpu::StreamId stream,
-                     Picos submit_time, Picos& done);
+  gpu::GpuStatus shade_one_job(core::GpuContext& gpu, core::ShaderJob& job,
+                               gpu::StreamId stream, Picos submit_time, Picos& done);
 
   const crypto::SecurityAssociation& sa_;
   std::atomic<u32> next_seq_{1};

@@ -55,8 +55,9 @@ void Ipv4ForwardApp::pre_shade(core::ShaderJob& job) {
   job.gpu_items = static_cast<u32>(job.gpu_index.size());
 }
 
-Picos Ipv4ForwardApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* const> jobs,
-                            Picos submit_time) {
+core::ShadeOutcome Ipv4ForwardApp::shade(core::GpuContext& gpu,
+                                         std::span<core::ShaderJob* const> jobs,
+                                         Picos submit_time) {
   auto& st = gpu_state_.at(gpu.device->gpu_id());
 
   if (gpu.streams.size() <= 1) {
@@ -67,11 +68,12 @@ Picos Ipv4ForwardApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* co
       auto* job = jobs[j];
       if (job->gpu_items == 0) continue;
       assert(total + job->gpu_items <= kMaxBatchItems);
-      gpu.device->memcpy_h2d(st.input, total * sizeof(u32), job->gpu_input,
-                             gpu::kDefaultStream, submit_time);
+      const auto h2d = gpu.device->memcpy_h2d(st.input, total * sizeof(u32), job->gpu_input,
+                                              gpu::kDefaultStream, submit_time);
+      if (!h2d.ok()) return {h2d.status, h2d.end};
       total += job->gpu_items;
     }
-    if (total == 0) return submit_time;
+    if (total == 0) return {gpu::GpuStatus::kOk, submit_time};
 
     const u16* tbl24 = st.tbl24.as<const u16>();
     const u16* tbl_long = st.tbl_long.as<const u16>();
@@ -89,7 +91,8 @@ Picos Ipv4ForwardApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* co
         // One table probe for ~97% of packets, two for prefixes >/24.
         .cost = {.instructions = perf::kGpuIpv4LookupInstr, .mem_accesses = 1.05},
     };
-    gpu.device->launch(kernel, gpu::kDefaultStream, submit_time);
+    const auto k = gpu.device->launch(kernel, gpu::kDefaultStream, submit_time);
+    if (!k.ok()) return {k.status, k.end};
 
     u32 offset = 0;
     Picos done = submit_time;
@@ -99,10 +102,11 @@ Picos Ipv4ForwardApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* co
       const auto timing = gpu.device->memcpy_d2h(job->gpu_output, st.output,
                                                  offset * sizeof(u16), gpu::kDefaultStream,
                                                  submit_time);
+      if (!timing.ok()) return {timing.status, timing.end};
       done = std::max(done, timing.end);
       offset += job->gpu_items;
     }
-    return done;
+    return {gpu::GpuStatus::kOk, done};
   }
 
   // Streamed mode (Figure 10(c)): each chunk runs copy->kernel->copy on its
@@ -114,7 +118,10 @@ Picos Ipv4ForwardApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* co
     if (job->gpu_items == 0) continue;
     assert(offset + job->gpu_items <= kMaxBatchItems);
     const auto stream = gpu.stream_for(j);
-    gpu.device->memcpy_h2d(st.input, offset * sizeof(u32), job->gpu_input, stream, submit_time);
+    const auto h2d =
+        gpu.device->memcpy_h2d(st.input, offset * sizeof(u32), job->gpu_input, stream,
+                               submit_time);
+    if (!h2d.ok()) return {h2d.status, h2d.end};
 
     const u16* tbl24 = st.tbl24.as<const u16>();
     const u16* tbl_long = st.tbl_long.as<const u16>();
@@ -130,16 +137,29 @@ Picos Ipv4ForwardApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* co
             },
         .cost = {.instructions = perf::kGpuIpv4LookupInstr, .mem_accesses = 1.05},
     };
-    gpu.device->launch(kernel, stream, submit_time);
+    const auto k = gpu.device->launch(kernel, stream, submit_time);
+    if (!k.ok()) return {k.status, k.end};
 
     job->gpu_output.resize(job->gpu_items * sizeof(u16));
     const auto timing =
         gpu.device->memcpy_d2h(job->gpu_output, st.output, offset * sizeof(u16), stream,
                                submit_time);
+    if (!timing.ok()) return {timing.status, timing.end};
     done = std::max(done, timing.end);
     offset += job->gpu_items;
   }
-  return done;
+  return {gpu::GpuStatus::kOk, done};
+}
+
+void Ipv4ForwardApp::shade_cpu(core::ShaderJob& job) {
+  // Same computation as the kernel, host tables, no header rewrites.
+  const auto* in = reinterpret_cast<const u32*>(job.gpu_input.data());
+  job.gpu_output.resize(job.gpu_items * sizeof(u16));
+  auto* out = reinterpret_cast<u16*>(job.gpu_output.data());
+  for (u32 k = 0; k < job.gpu_items; ++k) {
+    perf::charge_cpu_cycles(perf::kCpuIpv4LookupCycles);
+    out[k] = table_.lookup(net::Ipv4Addr(in[k]));
+  }
 }
 
 void Ipv4ForwardApp::post_shade(core::ShaderJob& job) {
@@ -150,7 +170,7 @@ void Ipv4ForwardApp::post_shade(core::ShaderJob& job) {
     const u32 i = job.gpu_index[k];
     const route::NextHop nh = next_hops[k];
     if (nh == route::kNoRoute) {
-      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+      chunk.set_drop(i, iengine::DropReason::kNoRoute);
     } else {
       chunk.set_out_port(i, static_cast<i16>(nh));
     }
@@ -163,7 +183,7 @@ void Ipv4ForwardApp::process_cpu(iengine::PacketChunk& chunk) {
     if (!classify_and_rewrite(chunk, i)) continue;
     const route::NextHop nh = table_.lookup(net::Ipv4Addr(chunk_view_dst(chunk, i)));
     if (nh == route::kNoRoute) {
-      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+      chunk.set_drop(i, iengine::DropReason::kNoRoute);
     } else {
       chunk.set_out_port(i, static_cast<i16>(nh));
     }

@@ -77,8 +77,9 @@ void Ipv6ForwardApp::pre_shade(core::ShaderJob& job) {
   job.gpu_items = static_cast<u32>(job.gpu_index.size());
 }
 
-Picos Ipv6ForwardApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* const> jobs,
-                            Picos submit_time) {
+core::ShadeOutcome Ipv6ForwardApp::shade(core::GpuContext& gpu,
+                                         std::span<core::ShaderJob* const> jobs,
+                                         Picos submit_time) {
   auto& st = gpu_state_.at(gpu.device->gpu_id());
   const auto* slots = st.slots.as<const route::Ipv6FlatTable::Slot>();
   const auto* offsets = st.offsets.as<const u32>();
@@ -94,11 +95,12 @@ Picos Ipv6ForwardApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* co
     for (auto* job : jobs) {
       if (job->gpu_items == 0) continue;
       assert(total + job->gpu_items <= kMaxBatchItems);
-      gpu.device->memcpy_h2d(st.input, static_cast<std::size_t>(total) * 16, job->gpu_input,
-                             gpu::kDefaultStream, submit_time);
+      const auto h2d = gpu.device->memcpy_h2d(st.input, static_cast<std::size_t>(total) * 16,
+                                              job->gpu_input, gpu::kDefaultStream, submit_time);
+      if (!h2d.ok()) return {h2d.status, h2d.end};
       total += job->gpu_items;
     }
-    if (total == 0) return submit_time;
+    if (total == 0) return {gpu::GpuStatus::kOk, submit_time};
 
     const u64* in = st.input.as<const u64>();
     u16* out = st.output.as<u16>();
@@ -113,7 +115,8 @@ Picos Ipv6ForwardApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* co
             },
         .cost = ipv6_kernel_cost(),
     };
-    gpu.device->launch(kernel, gpu::kDefaultStream, submit_time);
+    const auto k = gpu.device->launch(kernel, gpu::kDefaultStream, submit_time);
+    if (!k.ok()) return {k.status, k.end};
 
     for (auto* job : jobs) {
       if (job->gpu_items == 0) continue;
@@ -121,10 +124,11 @@ Picos Ipv6ForwardApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* co
       const auto timing = gpu.device->memcpy_d2h(
           job->gpu_output, st.output, static_cast<std::size_t>(offset) * sizeof(u16),
           gpu::kDefaultStream, submit_time);
+      if (!timing.ok()) return {timing.status, timing.end};
       done = std::max(done, timing.end);
       offset += job->gpu_items;
     }
-    return done;
+    return {gpu::GpuStatus::kOk, done};
   }
 
   for (std::size_t j = 0; j < jobs.size(); ++j) {
@@ -132,8 +136,9 @@ Picos Ipv6ForwardApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* co
     if (job->gpu_items == 0) continue;
     assert(offset + job->gpu_items <= kMaxBatchItems);
     const auto stream = gpu.stream_for(j);
-    gpu.device->memcpy_h2d(st.input, static_cast<std::size_t>(offset) * 16, job->gpu_input,
-                           stream, submit_time);
+    const auto h2d = gpu.device->memcpy_h2d(st.input, static_cast<std::size_t>(offset) * 16,
+                                            job->gpu_input, stream, submit_time);
+    if (!h2d.ok()) return {h2d.status, h2d.end};
     const u64* in = st.input.as<const u64>() + static_cast<std::size_t>(offset) * 2;
     u16* out = st.output.as<u16>() + offset;
     gpu::KernelLaunch kernel{
@@ -147,16 +152,29 @@ Picos Ipv6ForwardApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* co
             },
         .cost = ipv6_kernel_cost(),
     };
-    gpu.device->launch(kernel, stream, submit_time);
+    const auto k = gpu.device->launch(kernel, stream, submit_time);
+    if (!k.ok()) return {k.status, k.end};
     job->gpu_output.resize(job->gpu_items * sizeof(u16));
     const auto timing =
         gpu.device->memcpy_d2h(job->gpu_output, st.output,
                                static_cast<std::size_t>(offset) * sizeof(u16), stream,
                                submit_time);
+    if (!timing.ok()) return {timing.status, timing.end};
     done = std::max(done, timing.end);
     offset += job->gpu_items;
   }
-  return done;
+  return {gpu::GpuStatus::kOk, done};
+}
+
+void Ipv6ForwardApp::shade_cpu(core::ShaderJob& job) {
+  const auto* in = reinterpret_cast<const u64*>(job.gpu_input.data());
+  job.gpu_output.resize(job.gpu_items * sizeof(u16));
+  auto* out = reinterpret_cast<u16*>(job.gpu_output.data());
+  for (u32 k = 0; k < job.gpu_items; ++k) {
+    int probes = 0;
+    out[k] = table_.lookup(net::Ipv6Addr::from_words(in[k * 2], in[k * 2 + 1]), &probes);
+    perf::charge_cpu_cycles(probes * perf::kCpuIpv6LookupCyclesPerProbe);
+  }
 }
 
 void Ipv6ForwardApp::post_shade(core::ShaderJob& job) {
@@ -167,7 +185,7 @@ void Ipv6ForwardApp::post_shade(core::ShaderJob& job) {
     const u32 i = job.gpu_index[k];
     const route::NextHop nh = next_hops[k];
     if (nh == route::kNoRoute) {
-      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+      chunk.set_drop(i, iengine::DropReason::kNoRoute);
     } else {
       chunk.set_out_port(i, static_cast<i16>(nh));
     }
@@ -186,7 +204,7 @@ void Ipv6ForwardApp::process_cpu(iengine::PacketChunk& chunk) {
         table_.lookup(net::Ipv6Addr::from_words(load_be64(dst), load_be64(dst + 8)), &probes);
     perf::charge_cpu_cycles(probes * perf::kCpuIpv6LookupCyclesPerProbe);
     if (nh == route::kNoRoute) {
-      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+      chunk.set_drop(i, iengine::DropReason::kNoRoute);
     } else {
       chunk.set_out_port(i, static_cast<i16>(nh));
     }

@@ -39,6 +39,7 @@ void reassemble(iengine::PacketChunk& parent,
     const u32 slot = scratch.count();
     if (!scratch.append(from.packet(k), from.rss_hash(k))) return;
     scratch.set_verdict(slot, from.verdict(k));
+    scratch.set_drop_reason(slot, from.drop_reason(k));
     scratch.set_out_port(slot, from.out_port(k));
   };
 
@@ -78,6 +79,9 @@ void MultiProtocolApp::pre_shade(core::ShaderJob& job) {
   std::map<net::EtherType, std::size_t> sub_of;
   for (u32 i = 0; i < chunk.count(); ++i) {
     perf::charge_cpu_cycles(8.0);  // ethertype dispatch
+    // Pre-condemned packets (e.g. NIC-flagged corruption) stay in the
+    // parent; reassembly carries them through with verdict and reason.
+    if (chunk.verdict(i) == iengine::PacketVerdict::kDrop) continue;
     const auto type = ethertype_of(chunk.packet(i));
     const auto child_it = children_.find(type);
     if (child_it == children_.end()) {
@@ -106,8 +110,9 @@ void MultiProtocolApp::pre_shade(core::ShaderJob& job) {
   job.gpu_items = items;
 }
 
-Picos MultiProtocolApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* const> jobs,
-                              Picos submit_time) {
+core::ShadeOutcome MultiProtocolApp::shade(core::GpuContext& gpu,
+                                           std::span<core::ShaderJob* const> jobs,
+                                           Picos submit_time) {
   // Each child shades on its own stream: with several streams in the
   // context, heterogeneous kernels run concurrently (Fermi, section 7);
   // with one, they serialize, as on the paper's original framework.
@@ -117,10 +122,16 @@ Picos MultiProtocolApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* 
     for (auto& sub : job->sub_jobs) {
       core::GpuContext sub_ctx{gpu.device, {gpu.stream_for(lane++)}};
       core::ShaderJob* sub_jobs_arr[] = {sub.job.get()};
-      done = std::max(done, sub.app->shade(sub_ctx, {sub_jobs_arr, 1}, submit_time));
+      const auto outcome = sub.app->shade(sub_ctx, {sub_jobs_arr, 1}, submit_time);
+      if (!outcome.ok()) return {outcome.status, std::max(done, outcome.done)};
+      done = std::max(done, outcome.done);
     }
   }
-  return done;
+  return {gpu::GpuStatus::kOk, done};
+}
+
+void MultiProtocolApp::shade_cpu(core::ShaderJob& job) {
+  for (auto& sub : job.sub_jobs) sub.app->shade_cpu(*sub.job);
 }
 
 void MultiProtocolApp::post_shade(core::ShaderJob& job) {
@@ -137,6 +148,7 @@ void MultiProtocolApp::process_cpu(iengine::PacketChunk& chunk) {
   auto& parent = job.chunk;
   std::map<net::EtherType, std::size_t> sub_of;
   for (u32 i = 0; i < parent.count(); ++i) {
+    if (parent.verdict(i) == iengine::PacketVerdict::kDrop) continue;
     const auto type = ethertype_of(parent.packet(i));
     const auto child_it = children_.find(type);
     if (child_it == children_.end()) {

@@ -79,11 +79,12 @@ void OpenFlowApp::pre_shade(core::ShaderJob& job) {
   job.gpu_input.reserve(chunk.count() * sizeof(openflow::FlowKey));
   for (u32 i = 0; i < chunk.count(); ++i) {
     perf::charge_cpu_cycles(perf::kCpuFlowKeyExtractCycles);
+    if (chunk.verdict(i) == iengine::PacketVerdict::kDrop) continue;
     net::PacketView view;
     const auto frame = chunk.packet(i);
     if (net::parse_packet(frame.data(), static_cast<u32>(frame.size()), view) !=
         net::ParseStatus::kOk) {
-      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+      chunk.set_drop(i, iengine::DropReason::kParseError);
       continue;
     }
     const auto key = openflow::extract_flow_key(view, static_cast<u16>(chunk.in_port));
@@ -94,8 +95,9 @@ void OpenFlowApp::pre_shade(core::ShaderJob& job) {
   job.gpu_items = static_cast<u32>(job.gpu_index.size());
 }
 
-Picos OpenFlowApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* const> jobs,
-                         Picos submit_time) {
+core::ShadeOutcome OpenFlowApp::shade(core::GpuContext& gpu,
+                                      std::span<core::ShaderJob* const> jobs,
+                                      Picos submit_time) {
   auto& st = gpu_state_.at(gpu.device->gpu_id());
   const auto* exact = st.exact.as<const GpuExactSlot>();
   const auto* wild = st.wildcard.as<const GpuWildcardEntry>();
@@ -147,11 +149,12 @@ Picos OpenFlowApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* const
     for (auto* job : jobs) {
       if (job->gpu_items == 0) continue;
       assert(total + job->gpu_items <= kMaxBatchItems);
-      gpu.device->memcpy_h2d(st.input, total * sizeof(openflow::FlowKey), job->gpu_input,
-                             gpu::kDefaultStream, submit_time);
+      const auto h2d = gpu.device->memcpy_h2d(st.input, total * sizeof(openflow::FlowKey),
+                                              job->gpu_input, gpu::kDefaultStream, submit_time);
+      if (!h2d.ok()) return {h2d.status, h2d.end};
       total += job->gpu_items;
     }
-    if (total == 0) return submit_time;
+    if (total == 0) return {gpu::GpuStatus::kOk, submit_time};
 
     gpu::KernelLaunch kernel{
         .name = "openflow_classify",
@@ -159,7 +162,8 @@ Picos OpenFlowApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* const
         .body = make_body(st.input.as<const openflow::FlowKey>(), st.output.as<u32>()),
         .cost = kernel_cost(),
     };
-    gpu.device->launch(kernel, gpu::kDefaultStream, submit_time);
+    const auto k = gpu.device->launch(kernel, gpu::kDefaultStream, submit_time);
+    if (!k.ok()) return {k.status, k.end};
 
     for (auto* job : jobs) {
       if (job->gpu_items == 0) continue;
@@ -167,10 +171,11 @@ Picos OpenFlowApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* const
       const auto timing = gpu.device->memcpy_d2h(job->gpu_output, st.output,
                                                  offset * sizeof(u32), gpu::kDefaultStream,
                                                  submit_time);
+      if (!timing.ok()) return {timing.status, timing.end};
       done = std::max(done, timing.end);
       offset += job->gpu_items;
     }
-    return done;
+    return {gpu::GpuStatus::kOk, done};
   }
 
   for (std::size_t j = 0; j < jobs.size(); ++j) {
@@ -178,8 +183,9 @@ Picos OpenFlowApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* const
     if (job->gpu_items == 0) continue;
     assert(offset + job->gpu_items <= kMaxBatchItems);
     const auto stream = gpu.stream_for(j);
-    gpu.device->memcpy_h2d(st.input, offset * sizeof(openflow::FlowKey), job->gpu_input,
-                           stream, submit_time);
+    const auto h2d = gpu.device->memcpy_h2d(st.input, offset * sizeof(openflow::FlowKey),
+                                            job->gpu_input, stream, submit_time);
+    if (!h2d.ok()) return {h2d.status, h2d.end};
     gpu::KernelLaunch kernel{
         .name = "openflow_classify",
         .threads = job->gpu_items,
@@ -187,14 +193,47 @@ Picos OpenFlowApp::shade(core::GpuContext& gpu, std::span<core::ShaderJob* const
                           st.output.as<u32>() + offset),
         .cost = kernel_cost(),
     };
-    gpu.device->launch(kernel, stream, submit_time);
+    const auto k = gpu.device->launch(kernel, stream, submit_time);
+    if (!k.ok()) return {k.status, k.end};
     job->gpu_output.resize(job->gpu_items * sizeof(u32));
     const auto timing = gpu.device->memcpy_d2h(job->gpu_output, st.output,
                                                offset * sizeof(u32), stream, submit_time);
+    if (!timing.ok()) return {timing.status, timing.end};
     done = std::max(done, timing.end);
     offset += job->gpu_items;
   }
-  return done;
+  return {gpu::GpuStatus::kOk, done};
+}
+
+void OpenFlowApp::shade_cpu(core::ShaderJob& job) {
+  // Host-side replay of the classification kernel over the gathered keys.
+  const auto* in = reinterpret_cast<const openflow::FlowKey*>(job.gpu_input.data());
+  job.gpu_output.resize(job.gpu_items * sizeof(u32));
+  auto* out = reinterpret_cast<u32*>(job.gpu_output.data());
+  const auto slots = switch_.exact().slots();
+  const u32 exact_mask = static_cast<u32>(slots.size() - 1);
+  const auto entries = switch_.wildcard().entries();
+  for (u32 k = 0; k < job.gpu_items; ++k) {
+    const openflow::FlowKey& key = in[k];
+    perf::charge_cpu_cycles(perf::kCpuFlowHashCycles + perf::kCpuExactLookupCycles);
+    u32 index = openflow::flow_key_hash(key) & exact_mask;
+    while (slots[index].occupied && !(slots[index].key == key)) {
+      index = (index + 1) & exact_mask;
+    }
+    if (slots[index].occupied) {
+      out[k] = encode_result(MatchSource::kExact, index);
+      continue;
+    }
+    u32 result = encode_result(MatchSource::kMiss, 0);
+    for (u32 w = 0; w < entries.size(); ++w) {
+      perf::charge_cpu_cycles(perf::kCpuWildcardCyclesPerEntry);
+      if (entries[w].match.matches(key)) {
+        result = encode_result(MatchSource::kWildcard, w);
+        break;
+      }
+    }
+    out[k] = result;
+  }
 }
 
 void OpenFlowApp::apply_action(iengine::PacketChunk& chunk, u32 i, openflow::Action action) {
@@ -230,7 +269,7 @@ void OpenFlowApp::apply_action(iengine::PacketChunk& chunk, u32 i, openflow::Act
       break;
     }
     case openflow::ActionType::kDrop:
-      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+      chunk.set_drop(i, iengine::DropReason::kNoRoute);  // flow-table drop policy
       break;
     case openflow::ActionType::kController:
       chunk.set_verdict(i, iengine::PacketVerdict::kSlowPath);
@@ -267,11 +306,12 @@ void OpenFlowApp::process_cpu(iengine::PacketChunk& chunk) {
   const u32 original_count = chunk.count();
   for (u32 i = 0; i < original_count; ++i) {
     perf::charge_cpu_cycles(perf::kCpuFlowKeyExtractCycles);
+    if (chunk.verdict(i) == iengine::PacketVerdict::kDrop) continue;
     net::PacketView view;
     const auto frame = chunk.packet(i);
     if (net::parse_packet(frame.data(), static_cast<u32>(frame.size()), view) !=
         net::ParseStatus::kOk) {
-      chunk.set_verdict(i, iengine::PacketVerdict::kDrop);
+      chunk.set_drop(i, iengine::DropReason::kParseError);
       continue;
     }
     const auto key = openflow::extract_flow_key(view, static_cast<u16>(chunk.in_port));

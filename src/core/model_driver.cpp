@@ -183,7 +183,13 @@ ModelResult ModelDriver::run(gen::TrafficGen& traffic, u64 target_packets) {
           for (std::size_t j = i; j < std::min(pending.size(), i + config_.gather_max); ++j) {
             batch.push_back(pending[j].get());
           }
-          shader_->shade(gpu_ctx[static_cast<std::size_t>(n)], {batch.data(), batch.size()});
+          const ShadeOutcome outcome =
+              shader_->shade(gpu_ctx[static_cast<std::size_t>(n)], {batch.data(), batch.size()});
+          if (!outcome.ok()) {
+            // The analytic driver has no retry loop; re-shade on the CPU so
+            // a model run under fault injection still accounts every packet.
+            for (auto* job : batch) shader_->shade_cpu(*job);
+          }
         }
 
         // --- worker post-shading + TX --------------------------------------

@@ -1,5 +1,6 @@
 #include "core/router.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 
@@ -16,9 +17,9 @@ Router::Router(iengine::PacketIoEngine& engine, std::vector<gpu::GpuDevice*> gpu
   workers_per_node_ = config_.use_gpu ? topo.cores_per_node - 1 : topo.cores_per_node;
   assert(workers_per_node_ > 0);
 
-  nodes_.resize(static_cast<std::size_t>(topo.num_nodes));
+  nodes_.reserve(static_cast<std::size_t>(topo.num_nodes));
   for (int n = 0; n < topo.num_nodes; ++n) {
-    auto& node = nodes_[static_cast<std::size_t>(n)];
+    auto& node = *nodes_.emplace_back(std::make_unique<NodeRuntime>());
     if (config_.use_gpu) {
       assert(static_cast<std::size_t>(n) < gpus.size() && gpus[static_cast<std::size_t>(n)]);
       node.master_in =
@@ -77,28 +78,26 @@ void Router::release_job(WorkerRuntime& worker, ShaderJob* job) {
 void Router::finish_job(WorkerRuntime& worker, ShaderJob* job) {
   auto& st = stats_[static_cast<std::size_t>(worker.id)];
   for (u32 i = 0; i < job->chunk.count(); ++i) {
-    switch (job->chunk.verdict(i)) {
-      case iengine::PacketVerdict::kDrop:
-        ++st.dropped;
-        break;
-      case iengine::PacketVerdict::kSlowPath: {
-        ++st.slow_path;
-        if (host_stack_ != nullptr) {
-          std::optional<net::FrameBuffer> reply;
-          {
-            std::lock_guard lock(host_stack_mu_);
-            reply = host_stack_->handle(job->chunk.packet(i), job->chunk.in_port);
-          }
-          // Errors (ICMP etc.) go back out of the ingress port.
-          if (reply) worker.handle->send_frame(job->chunk.in_port, *reply);
-        }
-        break;
+    if (job->chunk.verdict(i) != iengine::PacketVerdict::kSlowPath) continue;
+    ++st.slow_path;
+    if (host_stack_ != nullptr) {
+      std::optional<net::FrameBuffer> reply;
+      {
+        std::lock_guard lock(host_stack_mu_);
+        reply = host_stack_->handle(job->chunk.packet(i), job->chunk.in_port);
       }
-      case iengine::PacketVerdict::kForward:
-        break;
+      // Errors (ICMP etc.) go back out of the ingress port.
+      if (reply) worker.handle->send_frame(job->chunk.in_port, *reply);
     }
   }
+  // Send first: a TX ring that stays full after the retry budget marks the
+  // packet kDrop/kRingFull, so drops are tallied after the send attempt.
   st.packets_out += worker.handle->send_chunk(job->chunk);
+  for (u32 i = 0; i < job->chunk.count(); ++i) {
+    if (job->chunk.verdict(i) == iengine::PacketVerdict::kDrop) {
+      ++st.drops_by_reason[static_cast<std::size_t>(job->chunk.drop_reason(i))];
+    }
+  }
   release_job(worker, job);
 }
 
@@ -110,7 +109,7 @@ void Router::process_cpu_only(WorkerRuntime& worker, ShaderJob* job) {
 
 void Router::worker_loop(WorkerRuntime& worker) {
   auto& st = stats_[static_cast<std::size_t>(worker.id)];
-  auto& node = nodes_[static_cast<std::size_t>(worker.node)];
+  auto& node = *nodes_[static_cast<std::size_t>(worker.node)];
   u32 inflight = 0;
 
   while (running_.load(std::memory_order_acquire) || inflight > 0) {
@@ -119,6 +118,12 @@ void Router::worker_loop(WorkerRuntime& worker) {
     // Scatter side: results ready from the master.
     while (auto done = worker.out_queue->pop()) {
       ShaderJob* job = *done;
+      if (job->shaded_on_cpu) {
+        // The master's GPU failed this batch; the packets were shaded on
+        // the CPU, so re-attribute them.
+        st.gpu_processed -= job->chunk.count();
+        st.cpu_processed += job->chunk.count();
+      }
       shader_.post_shade(*job);
       finish_job(worker, job);
       --inflight;
@@ -139,14 +144,21 @@ void Router::worker_loop(WorkerRuntime& worker) {
           process_cpu_only(worker, job);
         } else {
           shader_.pre_shade(*job);
-          st.gpu_processed += n;
-          if (node.master_in->try_push(job)) {
+          const bool push_ok =
+              (injector_ == nullptr || !injector_->should_fire("core.master_queue")) &&
+              node.master_in->try_push(job);
+          if (push_ok) {
+            st.gpu_processed += n;
             ++inflight;
           } else {
-            // Master back-pressure: shade on the CPU rather than stall
-            // (degenerate opportunistic offload).
-            st.gpu_processed -= n;
-            process_cpu_only(worker, job);
+            // Master back-pressure (or injected queue overflow): shade on
+            // the CPU rather than stall. pre_shade already rewrote headers,
+            // so re-shade the gathered input instead of re-running
+            // process_cpu (which would, e.g., decrement TTL again).
+            st.cpu_processed += n;
+            shader_.shade_cpu(*job);
+            shader_.post_shade(*job);
+            finish_job(worker, job);
           }
         }
         progress = true;
@@ -159,8 +171,84 @@ void Router::worker_loop(WorkerRuntime& worker) {
   }
 }
 
+void Router::cpu_fallback_batch(NodeRuntime& node, std::span<ShaderJob* const> batch) {
+  for (ShaderJob* job : batch) {
+    shader_.shade_cpu(*job);
+    job->shaded_on_cpu = true;
+  }
+  std::lock_guard lock(node.health_mu);
+  node.health.cpu_fallback_chunks += batch.size();
+}
+
+void Router::shade_batch(NodeRuntime& node, std::span<ShaderJob* const> batch) {
+  {
+    std::lock_guard lock(node.health_mu);
+    ++node.health.batches;
+  }
+
+  // Unhealthy device: shade on the CPU, but probe periodically so the GPU
+  // is re-admitted once it recovers.
+  bool healthy;
+  {
+    std::lock_guard lock(node.health_mu);
+    healthy = node.health.healthy;
+  }
+  if (!healthy) {
+    if (++node.batches_since_probe >= config_.gpu_probe_interval_batches) {
+      node.batches_since_probe = 0;
+      const auto probe = node.gpu.device->probe();
+      std::lock_guard lock(node.health_mu);
+      ++node.health.probes;
+      if (probe.ok()) {
+        node.health.healthy = true;
+        ++node.health.recoveries;
+        node.consecutive_failures = 0;
+        healthy = true;
+      }
+    }
+    if (!healthy) {
+      cpu_fallback_batch(node, batch);
+      return;
+    }
+  }
+
+  // Healthy (or just recovered): shade with bounded retry + exponential
+  // backoff. Retrying is safe: shaders re-upload their gathered inputs
+  // each attempt and a failed device op advances no stream state.
+  const u32 attempts = std::max<u32>(1, config_.gpu_max_retries);
+  for (u32 attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      const u64 backoff =
+          std::min<u64>(static_cast<u64>(config_.gpu_backoff_us) << (attempt - 1),
+                        config_.gpu_backoff_cap_us);
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      std::lock_guard lock(node.health_mu);
+      ++node.health.retries;
+    }
+    const ShadeOutcome outcome = shader_.shade(node.gpu, batch);
+    if (outcome.ok()) {
+      node.consecutive_failures = 0;
+      return;
+    }
+  }
+
+  // Retry budget exhausted: the batch is re-shaded on the CPU (no packet
+  // is lost) and repeated failures trip the device to unhealthy.
+  ++node.consecutive_failures;
+  {
+    std::lock_guard lock(node.health_mu);
+    ++node.health.failed_batches;
+    if (node.health.healthy && node.consecutive_failures >= config_.gpu_fail_threshold) {
+      node.health.healthy = false;
+      ++node.health.trips;
+      node.batches_since_probe = 0;
+    }
+  }
+  cpu_fallback_batch(node, batch);
+}
+
 void Router::master_loop(int node_id) {
-  auto& node = nodes_[static_cast<std::size_t>(node_id)];
+  auto& node = *nodes_[static_cast<std::size_t>(node_id)];
   std::vector<ShaderJob*> batch;
   batch.reserve(config_.gather_max);
 
@@ -170,7 +258,7 @@ void Router::master_loop(int node_id) {
     const std::size_t n = node.master_in->pop_batch_wait(batch, config_.gather_max);
     if (n == 0) break;  // queue closed and drained
 
-    shader_.shade(node.gpu, {batch.data(), batch.size()});
+    shade_batch(node, {batch.data(), batch.size()});
 
     // Scatter: return each chunk to the worker it came from. Capacity is
     // sized so a worker's in-flight jobs always fit its output ring.
@@ -190,7 +278,7 @@ void Router::start() {
 
   if (config_.use_gpu) {
     for (auto& node : nodes_) {
-      if (node.gpu.device != nullptr) shader_.bind_gpu(*node.gpu.device);
+      if (node->gpu.device != nullptr) shader_.bind_gpu(*node->gpu.device);
     }
     for (std::size_t n = 0; n < nodes_.size(); ++n) {
       threads_.emplace_back([this, n] { master_loop(static_cast<int>(n)); });
@@ -208,7 +296,7 @@ void Router::stop() {
   // Workers stop fetching, flush their in-flight chunks, and exit; masters
   // exit once their queues are closed and drained.
   for (auto& node : nodes_) {
-    if (node.master_in) node.master_in->close();
+    if (node->master_in) node->master_in->close();
   }
   for (auto& t : threads_) t.join();
   threads_.clear();
@@ -221,12 +309,20 @@ WorkerStats Router::total_stats() const {
     total.chunks += st.chunks;
     total.packets_in += st.packets_in;
     total.packets_out += st.packets_out;
-    total.dropped += st.dropped;
     total.slow_path += st.slow_path;
     total.cpu_processed += st.cpu_processed;
     total.gpu_processed += st.gpu_processed;
+    for (std::size_t r = 0; r < iengine::kNumDropReasons; ++r) {
+      total.drops_by_reason[r] += st.drops_by_reason[r];
+    }
   }
   return total;
+}
+
+GpuHealthStats Router::gpu_health(int node) const {
+  const auto& rt = *nodes_[static_cast<std::size_t>(node)];
+  std::lock_guard lock(rt.health_mu);
+  return rt.health;
 }
 
 }  // namespace ps::core

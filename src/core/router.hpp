@@ -14,8 +14,10 @@
 //    processed on the worker's CPU for latency, large ones on the GPU.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <memory>
+#include <numeric>
 #include <thread>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "common/mpsc_queue.hpp"
 #include "common/spsc_ring.hpp"
 #include "core/shader.hpp"
+#include "fault/fault_injector.hpp"
 #include "gpu/device.hpp"
 #include "iengine/engine.hpp"
 #include "slowpath/host_stack.hpp"
@@ -45,6 +48,20 @@ struct RouterConfig {
   u32 opportunistic_threshold = 0;
 
   u32 master_queue_capacity = 64;
+
+  // --- GPU watchdog (fault tolerance) --------------------------------------
+  /// Shading attempts per batch before the master declares the batch failed
+  /// and re-shades it on the CPU (1 = no retry).
+  u32 gpu_max_retries = 3;
+  /// Base backoff between retries, doubling per attempt, capped below.
+  u32 gpu_backoff_us = 50;
+  u32 gpu_backoff_cap_us = 2000;
+  /// Consecutive failed batches before the node's device is marked
+  /// unhealthy and shading flips to the CPU.
+  u32 gpu_fail_threshold = 2;
+  /// While unhealthy, probe the device every this many batches; a
+  /// successful probe re-admits it.
+  u32 gpu_probe_interval_batches = 16;
 };
 
 /// Per-worker counters.
@@ -52,10 +69,31 @@ struct WorkerStats {
   u64 chunks = 0;
   u64 packets_in = 0;
   u64 packets_out = 0;
-  u64 dropped = 0;
   u64 slow_path = 0;
   u64 cpu_processed = 0;  // packets taken by the opportunistic CPU path
   u64 gpu_processed = 0;
+  /// Dropped packets, bucketed by cause (indexed by iengine::DropReason).
+  std::array<u64, iengine::kNumDropReasons> drops_by_reason{};
+
+  u64 drops(iengine::DropReason reason) const {
+    return drops_by_reason[static_cast<std::size_t>(reason)];
+  }
+  /// Total drops across all reasons (the old `dropped` counter).
+  u64 dropped() const {
+    return std::accumulate(drops_by_reason.begin(), drops_by_reason.end(), u64{0});
+  }
+};
+
+/// Per-node GPU watchdog counters (master-thread owned, mutex-published).
+struct GpuHealthStats {
+  u64 batches = 0;           // shading batches attempted
+  u64 retries = 0;           // extra shade attempts after a failure
+  u64 failed_batches = 0;    // batches that exhausted the retry budget
+  u64 cpu_fallback_chunks = 0;  // chunks re-shaded on the CPU by the master
+  u64 trips = 0;             // healthy -> unhealthy transitions
+  u64 recoveries = 0;        // unhealthy -> healthy transitions
+  u64 probes = 0;            // probe attempts while unhealthy
+  bool healthy = true;
 };
 
 class Router {
@@ -85,7 +123,17 @@ class Router {
 
   /// Aggregate statistics over all workers.
   WorkerStats total_stats() const;
+  /// Alias of total_stats() — the conventional accessor name.
+  WorkerStats stats() const { return total_stats(); }
   const std::vector<WorkerStats>& worker_stats() const { return stats_; }
+
+  /// Snapshot of node `node`'s GPU watchdog state.
+  GpuHealthStats gpu_health(int node) const;
+
+  /// Route fault-injection checks ("core.master_queue") through `injector`.
+  /// Call before start(); null disables. The injector must outlive the
+  /// router.
+  void set_fault_injector(fault::FaultInjector* injector) { injector_ = injector; }
 
   int workers_per_node() const { return workers_per_node_; }
   int num_workers() const { return static_cast<int>(workers_.size()); }
@@ -94,6 +142,13 @@ class Router {
   struct NodeRuntime {
     std::unique_ptr<MpscQueue<ShaderJob*>> master_in;
     GpuContext gpu;
+
+    // Watchdog state. Counters are written only by the node's master
+    // thread; the mutex orders them for gpu_health() readers.
+    mutable std::mutex health_mu;
+    GpuHealthStats health;
+    u32 consecutive_failures = 0;     // master-thread only
+    u32 batches_since_probe = 0;      // master-thread only
   };
 
   struct WorkerRuntime {
@@ -107,6 +162,11 @@ class Router {
 
   void worker_loop(WorkerRuntime& worker);
   void master_loop(int node);
+  /// One watchdog-supervised shading pass over `batch`: retry with
+  /// exponential backoff, trip to unhealthy on repeated failure, probe for
+  /// recovery, and fall back to shade_cpu so no batch is ever lost.
+  void shade_batch(NodeRuntime& node, std::span<ShaderJob* const> batch);
+  void cpu_fallback_batch(NodeRuntime& node, std::span<ShaderJob* const> batch);
   ShaderJob* acquire_job(WorkerRuntime& worker);
   void release_job(WorkerRuntime& worker, ShaderJob* job);
   void finish_job(WorkerRuntime& worker, ShaderJob* job);
@@ -119,8 +179,9 @@ class Router {
 
   slowpath::HostStack* host_stack_ = nullptr;
   std::mutex host_stack_mu_;  // the host stack is single-threaded, as Linux's is per-softirq
+  fault::FaultInjector* injector_ = nullptr;
 
-  std::vector<NodeRuntime> nodes_;
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;  // NodeRuntime owns a mutex
   std::vector<WorkerRuntime> workers_;
   std::vector<WorkerStats> stats_;
   std::vector<std::thread> threads_;

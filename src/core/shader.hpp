@@ -31,6 +31,10 @@ struct ShaderJob {
 
   int worker_id = 0;      // owner worker (for the scatter step)
   Picos enqueue_time = 0; // latency accounting (model time)
+  /// Set when the master (or a backpressured worker) computed gpu_output
+  /// via shade_cpu instead of the device, so stats can re-attribute the
+  /// packets from the GPU column to the CPU column.
+  bool shaded_on_cpu = false;
 
   /// Composition support (section 7 multi-functionality): a dispatching
   /// shader may split a chunk into per-protocol sub-jobs, each processed
@@ -53,6 +57,7 @@ struct ShaderJob {
     sub_jobs.clear();
     gpu_items = 0;
     enqueue_time = 0;
+    shaded_on_cpu = false;
   }
 };
 
@@ -68,6 +73,15 @@ struct GpuContext {
   gpu::StreamId stream_for(std::size_t i) const {
     return streams[i % streams.size()];
   }
+};
+
+/// Result of one shade() batch. `done` is the model-clock completion time
+/// of the batch; on failure it reflects time burned before the fault and
+/// the batch's gpu_output must be treated as garbage.
+struct ShadeOutcome {
+  gpu::GpuStatus status = gpu::GpuStatus::kOk;
+  Picos done = 0;
+  bool ok() const { return status == gpu::GpuStatus::kOk; }
 };
 
 /// Applications implement this interface. One instance is shared by all
@@ -90,9 +104,19 @@ class Shader {
   /// Master-side: process a gathered batch of jobs on the GPU. The default
   /// sequence per job is h2d copy -> kernel -> d2h copy on the job's
   /// stream. `submit_time` is the model-clock instant the batch starts.
-  /// Returns the model-clock completion time.
-  virtual Picos shade(GpuContext& gpu, std::span<ShaderJob* const> jobs,
-                      Picos submit_time = 0) = 0;
+  /// Returns the outcome; on any device-op failure the shader stops the
+  /// batch and reports the failing status so the master can retry or fall
+  /// back. A failed batch may be re-shaded: inputs are left untouched.
+  virtual ShadeOutcome shade(GpuContext& gpu, std::span<ShaderJob* const> jobs,
+                             Picos submit_time = 0) = 0;
+
+  /// CPU re-shade of one pre-shaded job: compute job.gpu_output from
+  /// job.gpu_input exactly as the kernel would, without touching packet
+  /// headers (pre_shade already rewrote them — re-running process_cpu here
+  /// would, e.g., decrement TTL twice). Used when the master's GPU is
+  /// unhealthy and for worker-side backpressure fallback; post_shade then
+  /// applies the results as if the GPU had produced them.
+  virtual void shade_cpu(ShaderJob& job) = 0;
 
   /// Worker-side: apply gpu_output to the chunk (set verdicts/out ports).
   virtual void post_shade(ShaderJob& job) = 0;

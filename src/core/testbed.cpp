@@ -39,6 +39,11 @@ void Testbed::set_ledger(perf::CostLedger* ledger) {
   for (auto& gpu : gpus_) gpu->set_ledger(ledger);
 }
 
+void Testbed::set_fault_injector(fault::FaultInjector* injector) {
+  for (auto& port : ports_) port->set_fault_injector(injector);
+  for (auto& gpu : gpus_) gpu->set_fault_injector(injector);
+}
+
 void Testbed::connect_sink(nic::WireSink* sink) {
   for (auto& port : ports_) port->set_wire_sink(sink);
 }

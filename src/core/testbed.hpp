@@ -41,6 +41,11 @@ class Testbed {
   /// Route all ports' DMA and all GPUs' charges to `ledger`.
   void set_ledger(perf::CostLedger* ledger);
 
+  /// Route every port's and every GPU's fault-injection checks through
+  /// `injector` (null disables). Call Router::set_fault_injector separately
+  /// for the "core.*" points.
+  void set_fault_injector(fault::FaultInjector* injector);
+
   /// Point every port's TX at `sink` (e.g. the traffic generator).
   void connect_sink(nic::WireSink* sink);
 

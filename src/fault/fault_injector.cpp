@@ -1,0 +1,67 @@
+#include "fault/fault_injector.hpp"
+
+namespace ps::fault {
+
+FaultInjector::PointState& FaultInjector::state_for(std::string_view point) {
+  auto it = points_.find(std::string(point));
+  if (it == points_.end()) {
+    it = points_.emplace(std::string(point), PointState{}).first;
+    // Bind existing rules that name this point.
+    for (std::size_t r = 0; r < rules_.size(); ++r) {
+      if (rules_[r].point == it->first) it->second.rules.push_back(r);
+    }
+  }
+  return it->second;
+}
+
+void FaultInjector::add_rule(FaultRule rule) {
+  std::lock_guard lock(mu_);
+  const std::size_t index = rules_.size();
+  rules_.push_back(std::move(rule));
+  // Bind to the point if it is already registered; otherwise state_for()
+  // will pick the rule up on first hit.
+  const auto it = points_.find(rules_.back().point);
+  if (it != points_.end()) it->second.rules.push_back(index);
+}
+
+void FaultInjector::register_point(std::string_view point) {
+  std::lock_guard lock(mu_);
+  state_for(point);
+}
+
+bool FaultInjector::should_fire(std::string_view point) {
+  std::lock_guard lock(mu_);
+  PointState& st = state_for(point);
+  const u64 hit = st.stats.hits++;  // this hit's zero-based index
+
+  for (const std::size_t r : st.rules) {
+    const FaultRule& rule = rules_[r];
+    if (hit < rule.after) continue;
+    if (hit - rule.after >= rule.count) continue;
+    if (rule.probability < 1.0 && !rng_.next_bool(rule.probability)) continue;
+    ++st.stats.fired;
+    return true;
+  }
+  return false;
+}
+
+PointStats FaultInjector::stats(std::string_view point) const {
+  std::lock_guard lock(mu_);
+  const auto it = points_.find(std::string(point));
+  return it == points_.end() ? PointStats{} : it->second.stats;
+}
+
+u64 FaultInjector::total_fired() const {
+  std::lock_guard lock(mu_);
+  u64 total = 0;
+  for (const auto& [name, st] : points_) total += st.stats.fired;
+  return total;
+}
+
+void FaultInjector::reset() {
+  std::lock_guard lock(mu_);
+  rules_.clear();
+  for (auto& [name, st] : points_) st = PointState{};
+}
+
+}  // namespace ps::fault

@@ -1,0 +1,80 @@
+// Deterministic fault injection (chaos harness) for the whole pipeline.
+//
+// Each layer registers named injection points ("gpu.launch",
+// "nic.rx_ring_full", ...) and asks `should_fire(point)` on the hot path.
+// Faults are scheduled as rules over the point's own hit counter — "arm
+// after N hits, fire for the next M, with probability p" — so a fault
+// schedule is reproducible run-to-run regardless of wall-clock timing:
+// the k-th kernel launch fails, not "the launch around t=2ms".
+//
+// A null injector (the default everywhere) costs one pointer test per
+// point, so production paths pay nothing when chaos is off.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace ps::fault {
+
+/// One scheduled fault window on a named injection point.
+struct FaultRule {
+  std::string point;
+  /// Arm after this many hits of the point (0 = from the first hit).
+  u64 after = 0;
+  /// Stay armed for this many hits once armed (window length).
+  u64 count = ~0ull;
+  /// Chance each hit inside the window actually fires.
+  double probability = 1.0;
+};
+
+/// Per-point counters, for assertions in chaos tests.
+struct PointStats {
+  u64 hits = 0;   // times the point was evaluated
+  u64 fired = 0;  // times a fault was injected
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(u64 seed = 1) : rng_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedule a fault. Rules accumulate; several rules may cover one point.
+  void add_rule(FaultRule rule);
+
+  /// Pre-register a point so it shows up in stats() with zero hits.
+  /// should_fire() auto-registers, so this is optional.
+  void register_point(std::string_view point);
+
+  /// Hot-path check: counts a hit on `point` and reports whether a fault
+  /// fires on this hit. Thread-safe; per-point hit order decides firing.
+  bool should_fire(std::string_view point);
+
+  PointStats stats(std::string_view point) const;
+  u64 total_fired() const;
+
+  /// Drop all rules and counters (keeps registered point names).
+  void reset();
+
+ private:
+  struct PointState {
+    PointStats stats;
+    std::vector<std::size_t> rules;  // indices into rules_
+  };
+
+  PointState& state_for(std::string_view point);
+
+  mutable std::mutex mu_;
+  std::vector<FaultRule> rules_;
+  std::unordered_map<std::string, PointState> points_;
+  Rng rng_;
+};
+
+}  // namespace ps::fault

@@ -6,32 +6,44 @@
 
 namespace ps::gpu {
 
-DeviceBuffer::DeviceBuffer(GpuDevice* device, std::size_t bytes) : device_(device) {
+const char* to_string(GpuStatus status) {
+  switch (status) {
+    case GpuStatus::kOk:           return "ok";
+    case GpuStatus::kLaunchFailed: return "launch_failed";
+    case GpuStatus::kCopyFailed:   return "copy_failed";
+    case GpuStatus::kTimeout:      return "timeout";
+    case GpuStatus::kDeviceSick:   return "device_sick";
+  }
+  return "unknown";
+}
+
+DeviceBuffer::DeviceBuffer(GpuDevice* device, std::size_t bytes) : account_(device->mem_) {
   assert(device != nullptr);
-  std::lock_guard lock(device->op_mu_);  // allocation may race device ops
-  if (device->allocated_bytes_ + bytes > perf::kGpuMemBytes) {
+  std::lock_guard lock(account_->mu);  // allocation may race device ops
+  if (account_->allocated + bytes > perf::kGpuMemBytes) {
     throw std::bad_alloc();  // past the card's 1.5 GB GDDR5
   }
   storage_.resize(bytes);
-  device->allocated_bytes_ += bytes;
+  account_->allocated += bytes;
 }
 
-DeviceBuffer::~DeviceBuffer() {
-  if (device_ != nullptr) {
-    std::lock_guard lock(device_->op_mu_);
-    device_->allocated_bytes_ -= storage_.size();
+DeviceBuffer::~DeviceBuffer() { release(); }
+
+void DeviceBuffer::release() noexcept {
+  if (account_ != nullptr) {
+    std::lock_guard lock(account_->mu);
+    account_->allocated -= storage_.size();
   }
+  account_.reset();
+  storage_.clear();
 }
 
 DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
   if (this != &other) {
-    if (device_ != nullptr) {
-      std::lock_guard lock(device_->op_mu_);
-      device_->allocated_bytes_ -= storage_.size();
-    }
-    device_ = other.device_;
+    release();
+    account_ = std::move(other.account_);
     storage_ = std::move(other.storage_);
-    other.device_ = nullptr;
+    other.account_.reset();
     other.storage_.clear();
   }
   return *this;
@@ -55,6 +67,14 @@ Picos GpuDevice::stream_call_overhead() const {
   return streams_.size() > 1 ? perf::kGpuStreamCallOverhead : 0;
 }
 
+GpuStatus GpuDevice::check_fault(std::string_view op_point, GpuStatus op_status) {
+  if (injector_ == nullptr) return GpuStatus::kOk;
+  if (injector_->should_fire("gpu.sick")) return GpuStatus::kDeviceSick;
+  if (injector_->should_fire(op_point)) return op_status;
+  if (injector_->should_fire("gpu.timeout")) return GpuStatus::kTimeout;
+  return GpuStatus::kOk;
+}
+
 void GpuDevice::charge_copy(u64 bytes, perf::Direction dir) {
   if (ledger_ == nullptr) return;
   const Picos occupancy = perf::ioh_copy_occupancy(bytes, dir);
@@ -70,10 +90,17 @@ void GpuDevice::charge_copy(u64 bytes, perf::Direction dir) {
   ledger_->charge({channel, static_cast<u16>(ioh_)}, occupancy);
 }
 
-OpTiming GpuDevice::memcpy_h2d(DeviceBuffer& dst, std::size_t dst_offset,
-                               std::span<const u8> src, StreamId stream, Picos submit_time) {
+GpuResult GpuDevice::memcpy_h2d(DeviceBuffer& dst, std::size_t dst_offset,
+                                std::span<const u8> src, StreamId stream, Picos submit_time) {
   std::lock_guard lock(op_mu_);
   assert(dst_offset + src.size() <= dst.size());
+  if (const GpuStatus st = check_fault("gpu.copy", GpuStatus::kCopyFailed);
+      st != GpuStatus::kOk) {
+    // Failed DMA: the driver call still burns CPU, nothing lands on device.
+    perf::charge_cpu_cycles(perf::kGpuDriverCallCycles);
+    const Picos start = std::max({submit_time, streams_.at(stream), copy_engine_free_});
+    return {st, start, start};
+  }
   std::memcpy(dst.data() + dst_offset, src.data(), src.size());
   bytes_h2d_ += src.size();
   charge_copy(src.size(), perf::Direction::kHostToDevice);
@@ -91,13 +118,19 @@ OpTiming GpuDevice::memcpy_h2d(DeviceBuffer& dst, std::size_t dst_offset,
   // the occupancy portion, before the full one-shot latency elapses.
   copy_engine_free_ =
       start + perf::ioh_copy_occupancy(src.size(), perf::Direction::kHostToDevice);
-  return {start, end};
+  return {GpuStatus::kOk, start, end};
 }
 
-OpTiming GpuDevice::memcpy_d2h(std::span<u8> dst, const DeviceBuffer& src,
-                               std::size_t src_offset, StreamId stream, Picos submit_time) {
+GpuResult GpuDevice::memcpy_d2h(std::span<u8> dst, const DeviceBuffer& src,
+                                std::size_t src_offset, StreamId stream, Picos submit_time) {
   std::lock_guard lock(op_mu_);
   assert(src_offset + dst.size() <= src.size());
+  if (const GpuStatus st = check_fault("gpu.copy", GpuStatus::kCopyFailed);
+      st != GpuStatus::kOk) {
+    perf::charge_cpu_cycles(perf::kGpuDriverCallCycles);
+    const Picos start = std::max({submit_time, streams_.at(stream), copy_engine_free_});
+    return {st, start, start};
+  }
   std::memcpy(dst.data(), src.data() + src_offset, dst.size());
   bytes_d2h_ += dst.size();
   charge_copy(dst.size(), perf::Direction::kDeviceToHost);
@@ -112,12 +145,18 @@ OpTiming GpuDevice::memcpy_d2h(std::span<u8> dst, const DeviceBuffer& src,
   streams_[stream] = end;
   copy_engine_free_ =
       start + perf::ioh_copy_occupancy(dst.size(), perf::Direction::kDeviceToHost);
-  return {start, end};
+  return {GpuStatus::kOk, start, end};
 }
 
-OpTiming GpuDevice::launch(const KernelLaunch& kernel, StreamId stream, Picos submit_time,
-                           ExecStats* stats_out) {
+GpuResult GpuDevice::launch(const KernelLaunch& kernel, StreamId stream, Picos submit_time,
+                            ExecStats* stats_out) {
   std::lock_guard lock(op_mu_);
+  if (const GpuStatus st = check_fault("gpu.launch", GpuStatus::kLaunchFailed);
+      st != GpuStatus::kOk) {
+    perf::charge_cpu_cycles(perf::kGpuDriverCallCycles);
+    const Picos start = std::max({submit_time, streams_.at(stream), exec_engine_free_});
+    return {st, start, start};
+  }
   const ExecStats stats = executor_->run(kernel.threads, kernel.body, kernel.track_divergence);
   if (stats_out != nullptr) *stats_out = stats;
   ++kernels_launched_;
@@ -141,7 +180,22 @@ OpTiming GpuDevice::launch(const KernelLaunch& kernel, StreamId stream, Picos su
   const Picos end = start + duration;
   streams_[stream] = end;
   exec_engine_free_ = end;  // one kernel at a time on the device (section 7)
-  return {start, end};
+  return {GpuStatus::kOk, start, end};
+}
+
+GpuResult GpuDevice::probe(Picos submit_time) {
+  std::lock_guard lock(op_mu_);
+  if (const GpuStatus st = check_fault("gpu.launch", GpuStatus::kLaunchFailed);
+      st != GpuStatus::kOk) {
+    perf::charge_cpu_cycles(perf::kGpuDriverCallCycles);
+    return {st, submit_time, submit_time};
+  }
+  // A minimal one-thread launch: enough to exercise driver + front-end.
+  perf::charge_cpu_cycles(perf::kGpuDriverCallCycles);
+  const Picos start = std::max({submit_time, exec_engine_free_});
+  const Picos end = start + perf::gpu_launch_latency(1);
+  exec_engine_free_ = end;
+  return {GpuStatus::kOk, start, end};
 }
 
 Picos GpuDevice::synchronize() const {

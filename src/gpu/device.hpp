@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/fault_injector.hpp"
 #include "gpu/executor.hpp"
 #include "pcie/topology.hpp"
 #include "perf/ledger.hpp"
@@ -24,6 +25,15 @@
 namespace ps::gpu {
 
 class GpuDevice;
+
+/// Shared memory-accounting block for one device. Buffers co-own it so a
+/// buffer that outlives its GpuDevice (e.g. app state torn down after the
+/// testbed) still releases its accounting safely instead of dereferencing
+/// a dead device.
+struct DeviceMemAccount {
+  std::mutex mu;
+  u64 allocated = 0;
+};
 
 /// RAII device-memory allocation (the CUDA cudaMalloc/cudaFree pair).
 class DeviceBuffer {
@@ -40,7 +50,7 @@ class DeviceBuffer {
   u8* data() noexcept { return storage_.data(); }
   const u8* data() const noexcept { return storage_.data(); }
   std::size_t size() const noexcept { return storage_.size(); }
-  bool valid() const noexcept { return device_ != nullptr; }
+  bool valid() const noexcept { return account_ != nullptr; }
 
   template <typename T>
   T* as() noexcept {
@@ -52,19 +62,41 @@ class DeviceBuffer {
   }
 
  private:
-  GpuDevice* device_ = nullptr;
+  void release() noexcept;
+
+  std::shared_ptr<DeviceMemAccount> account_;
   std::vector<u8> storage_;
 };
 
 using StreamId = u32;
 inline constexpr StreamId kDefaultStream = 0;
 
-/// Timing of one device operation on the modeled clock.
-struct OpTiming {
+/// Outcome of one device operation. Real CUDA calls can fail (launch
+/// errors, copy timeouts, a wedged device); every device API reports a
+/// status instead of asserting so the caller can retry or fall back.
+enum class GpuStatus : u8 {
+  kOk = 0,
+  kLaunchFailed,  // kernel launch rejected by the driver
+  kCopyFailed,    // DMA transfer error
+  kTimeout,       // operation exceeded its watchdog deadline
+  kDeviceSick,    // device-wide failure (all ops fail until it recovers)
+};
+
+const char* to_string(GpuStatus status);
+
+/// Status + timing of one device operation on the modeled clock. On
+/// failure the functional work did not happen and the stream tail does
+/// not advance (start == end == the would-be start time).
+struct GpuResult {
+  GpuStatus status = GpuStatus::kOk;
   Picos start = 0;
   Picos end = 0;
+  bool ok() const { return status == GpuStatus::kOk; }
   Picos duration() const { return end - start; }
 };
+
+/// Legacy name: call sites that only consume timing keep compiling.
+using OpTiming = GpuResult;
 
 struct KernelLaunch {
   std::string name;
@@ -84,10 +116,18 @@ class GpuDevice {
 
   void set_ledger(perf::CostLedger* ledger) { ledger_ = ledger; }
 
+  /// Attach a chaos-test fault injector (nullptr = faults off). Checked
+  /// points: "gpu.sick" (device-wide, all ops), "gpu.launch", "gpu.copy",
+  /// "gpu.timeout".
+  void set_fault_injector(fault::FaultInjector* injector) { injector_ = injector; }
+
   /// Allocate device memory; throws std::bad_alloc past the 1.5 GB card
   /// capacity (section 2.1).
   DeviceBuffer alloc(std::size_t bytes) { return DeviceBuffer(this, bytes); }
-  u64 allocated_bytes() const { return allocated_bytes_; }
+  u64 allocated_bytes() const {
+    std::lock_guard lock(mem_->mu);
+    return mem_->allocated;
+  }
 
   /// Create an additional stream (stream 0 always exists). Multiple live
   /// streams put the device in "streamed" mode, which adds the per-CUDA-
@@ -96,18 +136,23 @@ class GpuDevice {
   u32 stream_count() const { return static_cast<u32>(streams_.size()); }
 
   // --- operations ----------------------------------------------------------
-  // Each performs the work immediately (functionally) and returns its
+  // Each performs the work immediately (functionally) and returns status +
   // modeled timing: start = max(submit_time, stream tail, engine free).
+  // On an injected fault the work is skipped and a failing status returns.
 
-  OpTiming memcpy_h2d(DeviceBuffer& dst, std::size_t dst_offset, std::span<const u8> src,
-                      StreamId stream = kDefaultStream, Picos submit_time = 0);
-  OpTiming memcpy_d2h(std::span<u8> dst, const DeviceBuffer& src, std::size_t src_offset,
-                      StreamId stream = kDefaultStream, Picos submit_time = 0);
+  GpuResult memcpy_h2d(DeviceBuffer& dst, std::size_t dst_offset, std::span<const u8> src,
+                       StreamId stream = kDefaultStream, Picos submit_time = 0);
+  GpuResult memcpy_d2h(std::span<u8> dst, const DeviceBuffer& src, std::size_t src_offset,
+                       StreamId stream = kDefaultStream, Picos submit_time = 0);
 
-  /// Launch a kernel; returns modeled timing and fills `stats_out` (if
-  /// non-null) with functional divergence statistics.
-  OpTiming launch(const KernelLaunch& kernel, StreamId stream = kDefaultStream,
-                  Picos submit_time = 0, ExecStats* stats_out = nullptr);
+  /// Launch a kernel; returns status + modeled timing and fills `stats_out`
+  /// (if non-null) with functional divergence statistics.
+  GpuResult launch(const KernelLaunch& kernel, StreamId stream = kDefaultStream,
+                   Picos submit_time = 0, ExecStats* stats_out = nullptr);
+
+  /// Health probe: a trivial no-op launch through the same fault gates.
+  /// The watchdog uses this to decide when a sick device may be re-admitted.
+  GpuResult probe(Picos submit_time = 0);
 
   /// Modeled completion time of everything enqueued on a stream.
   Picos stream_tail(StreamId stream) const { return streams_.at(stream); }
@@ -128,12 +173,16 @@ class GpuDevice {
 
   Picos stream_call_overhead() const;
   void charge_copy(u64 bytes, perf::Direction dir);
+  /// Fault gate for one op: "gpu.sick" first, then the op's own point.
+  /// Returns kOk when no injector is attached or nothing fires.
+  GpuStatus check_fault(std::string_view op_point, GpuStatus op_status);
 
   int gpu_id_;
   int node_;
   int ioh_;
   std::shared_ptr<SimtExecutor> executor_;
   perf::CostLedger* ledger_ = nullptr;
+  fault::FaultInjector* injector_ = nullptr;
   // Serializes device operations: a master thread and a control-plane
   // table update (DynamicIpv4ForwardApp::sync) may touch one device
   // concurrently, like the CUDA driver's per-context lock.
@@ -143,7 +192,7 @@ class GpuDevice {
   Picos exec_engine_free_ = 0;
   Picos copy_engine_free_ = 0;
 
-  u64 allocated_bytes_ = 0;
+  std::shared_ptr<DeviceMemAccount> mem_ = std::make_shared<DeviceMemAccount>();
   u64 kernels_launched_ = 0;
   u64 bytes_h2d_ = 0;
   u64 bytes_d2h_ = 0;

@@ -4,12 +4,28 @@
 
 namespace ps::iengine {
 
+const char* to_string(DropReason reason) {
+  switch (reason) {
+    case DropReason::kNone:       return "none";
+    case DropReason::kRingFull:   return "ring_full";
+    case DropReason::kParseError: return "parse_error";
+    case DropReason::kTtlExpired: return "ttl_expired";
+    case DropReason::kNoRoute:    return "no_route";
+    case DropReason::kGpuFailed:  return "gpu_failed";
+    case DropReason::kQueueFull:  return "queue_full";
+    case DropReason::kCorrupted:  return "corrupted";
+    case DropReason::kCount:      break;
+  }
+  return "unknown";
+}
+
 PacketChunk::PacketChunk(u32 max_packets) : max_packets_(max_packets) {
   buffer_.resize(static_cast<std::size_t>(max_packets) * mem::kDataCellSize);
   offsets_.reserve(max_packets);
   lengths_.reserve(max_packets);
   hashes_.reserve(max_packets);
   verdicts_.reserve(max_packets);
+  drop_reasons_.reserve(max_packets);
   out_ports_.reserve(max_packets);
 }
 
@@ -20,6 +36,7 @@ void PacketChunk::clear() {
   lengths_.clear();
   hashes_.clear();
   verdicts_.clear();
+  drop_reasons_.clear();
   out_ports_.clear();
   in_port = -1;
   in_queue = 0;
@@ -34,6 +51,7 @@ bool PacketChunk::append(std::span<const u8> frame, u32 rss_hash) {
   lengths_.push_back(static_cast<u16>(frame.size()));
   hashes_.push_back(rss_hash);
   verdicts_.push_back(PacketVerdict::kForward);
+  drop_reasons_.push_back(DropReason::kNone);
   out_ports_.push_back(-1);
   used_bytes_ += static_cast<u32>(frame.size());
   ++count_;

@@ -22,6 +22,24 @@ enum class PacketVerdict : u8 {
   kSlowPath,     // hand to the host stack (destined to local, etc.)
 };
 
+/// Why a packet was dropped. Every kDrop verdict carries one of these so
+/// the router can account losses per cause (nothing drops silently).
+enum class DropReason : u8 {
+  kNone = 0,      // not dropped
+  kRingFull,      // TX ring backpressure exhausted its retry budget
+  kParseError,    // malformed headers / failed validation
+  kTtlExpired,    // TTL / hop limit reached zero with no slow path attached
+  kNoRoute,       // longest-prefix-match miss / flow-table drop action
+  kGpuFailed,     // GPU shading failed and CPU re-shade was impossible
+  kQueueFull,     // internal queue overflow with no fallback
+  kCorrupted,     // NIC flagged the frame (bad checksum / DMA corruption)
+  kCount,
+};
+
+inline constexpr std::size_t kNumDropReasons = static_cast<std::size_t>(DropReason::kCount);
+
+const char* to_string(DropReason reason);
+
 class PacketChunk {
  public:
   static constexpr u32 kDefaultMaxPackets = 256;  // the RX batch cap
@@ -57,6 +75,14 @@ class PacketChunk {
   i16 out_port(u32 i) const { return out_ports_[i]; }
   void set_out_port(u32 i, i16 port) { out_ports_[i] = port; }
 
+  DropReason drop_reason(u32 i) const { return drop_reasons_[i]; }
+  void set_drop_reason(u32 i, DropReason r) { drop_reasons_[i] = r; }
+  /// Mark packet i dropped for `reason` (sets both verdict and reason).
+  void set_drop(u32 i, DropReason reason) {
+    verdicts_[i] = PacketVerdict::kDrop;
+    drop_reasons_[i] = reason;
+  }
+
   // --- provenance ------------------------------------------------------------
   int in_port = -1;
   u16 in_queue = 0;
@@ -70,6 +96,7 @@ class PacketChunk {
   std::vector<u16> lengths_;
   std::vector<u32> hashes_;
   std::vector<PacketVerdict> verdicts_;
+  std::vector<DropReason> drop_reasons_;
   std::vector<i16> out_ports_;
 };
 

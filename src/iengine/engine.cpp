@@ -1,6 +1,7 @@
 #include "iengine/engine.hpp"
 
 #include <cassert>
+#include <thread>
 
 #include "common/cacheline.hpp"
 #include "perf/calibration.hpp"
@@ -11,6 +12,11 @@ namespace {
 
 // Cycles burned by an empty poll of a virtual interface (ring-tail read).
 constexpr double kEmptyPollCycles = 40.0;
+
+// Bounded TX backpressure handling: a full ring is re-polled up to this
+// many times with a doubling spin-wait before the packet is dropped.
+constexpr u32 kTxRetryLimit = 4;
+constexpr double kTxRetrySpinCyclesBase = 64.0;
 
 double copy_cycles(u32 frame_bytes) {
   return static_cast<double>(cache_lines(frame_bytes)) * perf::kCopyCyclesPerCacheLine;
@@ -39,6 +45,11 @@ u32 IoHandle::recv_from_queue(const QueueRef& ref, PacketChunk& chunk) {
   for (u32 i = 0; i < n; ++i) {
     const auto& slot = slots[i];
     chunk.append({slot.data, slot.length}, slot.rss_hash);
+    if (!slot.checksum_ok) {
+      // NIC flagged the frame corrupted on the wire/DMA; keep it in the
+      // chunk so the drop is accounted, but never forward it.
+      chunk.set_drop(chunk.count() - 1, DropReason::kCorrupted);
+    }
 
     double cycles = perf::kRxCyclesPerPacket + copy_cycles(slot.length);
     if (remote_nic && engine_->config().numa_aware) {
@@ -103,7 +114,7 @@ u32 IoHandle::recv_chunk_wait(PacketChunk& chunk) {
   }
 }
 
-u32 IoHandle::send_chunk(const PacketChunk& chunk) {
+u32 IoHandle::send_chunk(PacketChunk& chunk) {
   if (chunk.empty()) return 0;
   perf::charge_cpu_cycles(perf::kTxCyclesPerBatch);
 
@@ -112,6 +123,7 @@ u32 IoHandle::send_chunk(const PacketChunk& chunk) {
     if (chunk.verdict(i) != PacketVerdict::kForward) continue;
     const i16 out = chunk.out_port(i);
     if (out < 0 || static_cast<std::size_t>(out) >= engine_->num_ports()) {
+      chunk.set_drop(i, DropReason::kRingFull);
       ++tx_drops_;
       continue;
     }
@@ -122,9 +134,18 @@ u32 IoHandle::send_chunk(const PacketChunk& chunk) {
     }
     perf::charge_cpu_cycles(cycles);
 
-    if (engine_->port(out)->transmit(tx_queue_, chunk.packet(i))) {
+    bool ok = engine_->port(out)->transmit(tx_queue_, chunk.packet(i));
+    for (u32 attempt = 0; !ok && attempt < kTxRetryLimit; ++attempt) {
+      // Spin a little and re-poll the ring; the wait is real work the core
+      // cannot overlap, so it lands on the ledger.
+      perf::charge_cpu_cycles(kTxRetrySpinCyclesBase * static_cast<double>(1u << attempt));
+      std::this_thread::yield();
+      ok = engine_->port(out)->transmit(tx_queue_, chunk.packet(i));
+    }
+    if (ok) {
       ++sent;
     } else {
+      chunk.set_drop(i, DropReason::kRingFull);
       ++tx_drops_;
     }
   }

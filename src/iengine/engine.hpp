@@ -63,8 +63,11 @@ class IoHandle {
   u32 recv_chunk_wait(PacketChunk& chunk);
 
   /// Transmit the chunk's forwarded packets to their out_ports on this
-  /// handle's TX queue. Returns packets actually sent.
-  u32 send_chunk(const PacketChunk& chunk);
+  /// handle's TX queue. A full TX ring is retried with a bounded spin
+  /// (charged to the perf ledger); packets still rejected after the budget
+  /// are marked kDrop/kRingFull in the chunk — never silently lost.
+  /// Returns packets actually sent.
+  u32 send_chunk(PacketChunk& chunk);
 
   /// Transmit one standalone frame (e.g. a slow-path ICMP reply) on this
   /// handle's TX queue of `port`. Returns false on invalid port or

@@ -43,6 +43,18 @@ NicPort::NicPort(int port_id, const pcie::Topology& topo, const NicConfig& confi
   rss_table_.distribute(0, config.num_rx_queues);
 }
 
+void NicPort::set_fault_injector(fault::FaultInjector* injector) {
+  injector_ = injector;
+  link_down_point_ = "nic.link_down." + std::to_string(port_id_);
+  if (injector_ != nullptr) {
+    injector_->register_point("nic.rx_ring_full");
+    injector_->register_point("nic.rx_corrupt");
+    injector_->register_point("nic.tx_reject");
+    injector_->register_point("mem.cell_exhausted");
+    injector_->register_point(link_down_point_);
+  }
+}
+
 void NicPort::configure_rss(u16 first_queue, u16 num_queues) {
   assert(first_queue + num_queues <= config_.num_rx_queues);
   rss_table_.distribute(first_queue, num_queues);
@@ -95,7 +107,16 @@ bool NicPort::receive_frame(std::span<const u8> frame) {
   auto& q = rx_queues_[queue];
   auto& stats = *rx_stats_[queue];
 
-  if (q.count() >= config_.ring_size) {
+  if (injector_ != nullptr && injector_->should_fire(link_down_point_)) {
+    // Link flap: the frame is lost on the wire; count it so chaos tests
+    // can account for every injected loss.
+    ++stats.drops;
+    return false;
+  }
+  const bool injected_ring_full =
+      injector_ != nullptr && (injector_->should_fire("nic.rx_ring_full") ||
+                               injector_->should_fire("mem.cell_exhausted"));
+  if (injected_ring_full || q.count() >= config_.ring_size) {
     ++stats.drops;
     return false;
   }
@@ -108,6 +129,12 @@ bool NicPort::receive_frame(std::span<const u8> frame) {
   meta.length = static_cast<u16>(frame.size());
   meta.rss_hash = hash;
   meta.status = checksum_ok ? 1 : 0;
+  if (injector_ != nullptr && injector_->should_fire("nic.rx_corrupt")) {
+    // Bit flip during DMA; the hardware checksum engine catches it and
+    // clears the descriptor's checksum-ok status bit.
+    dst.data()[frame.size() - 1] ^= 0xff;
+    meta.status = 0;
+  }
 
   const bool was_empty = q.count() == 0;
   q.head.store(head + 1, std::memory_order_release);
@@ -155,6 +182,13 @@ bool NicPort::transmit(u16 queue, std::span<const u8> frame) {
   if (frame.empty() || frame.size() > mem::kDataCellSize) return false;
   auto& q = tx_queues_[queue];
   auto& stats = *tx_stats_[queue];
+
+  if (injector_ != nullptr && (injector_->should_fire("nic.tx_reject") ||
+                               injector_->should_fire(link_down_point_))) {
+    // Injected TX backpressure / downed link: reject, caller may retry.
+    ++stats.drops;
+    return false;
+  }
 
   // Stage the frame in the TX huge buffer (the DMA source), then put it on
   // the wire. The sim drains synchronously, so the ring never backs up;

@@ -12,6 +12,7 @@
 
 #include "common/cacheline.hpp"
 #include "common/types.hpp"
+#include "fault/fault_injector.hpp"
 #include "mem/huge_buffer.hpp"
 #include "nic/rss.hpp"
 #include "nic/wire.hpp"
@@ -63,6 +64,14 @@ class NicPort {
 
   /// Peer receiving transmitted frames (may be null = drop after counting).
   void set_wire_sink(WireSink* sink) { wire_sink_ = sink; }
+
+  /// Route this port's fault-injection checks through `injector` (null
+  /// disables). Registered points: "nic.rx_ring_full" (RX ring-full burst),
+  /// "nic.rx_corrupt" (frame corrupted on DMA, flagged in the descriptor),
+  /// "nic.tx_reject" (TX-ring backpressure), "mem.cell_exhausted"
+  /// (huge-buffer cell unavailable), and "nic.link_down.<port>" (per-port
+  /// link flap, both directions). The injector must outlive the port.
+  void set_fault_injector(fault::FaultInjector* injector);
 
   /// Program the RSS indirection table to spread over RX queues
   /// [first, first+n); defaults to all queues.
@@ -156,6 +165,8 @@ class NicPort {
   std::vector<QueueStats*> tx_stats_;
 
   perf::CostLedger* ledger_ = nullptr;
+  fault::FaultInjector* injector_ = nullptr;
+  std::string link_down_point_;  // "nic.link_down.<port>", precomputed
   bool numa_blind_ = false;
   WireSink* wire_sink_ = nullptr;
   NullWire default_sink_;

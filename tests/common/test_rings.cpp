@@ -2,6 +2,8 @@
 // stress.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -140,6 +142,99 @@ TEST(MpscQueue, MultipleProducersAllDelivered) {
 
   const u64 n = kProducers * kPerProducer;
   EXPECT_EQ(sum, n * (n - 1) / 2);  // every value exactly once
+}
+
+TEST(MpscQueue, CloseUnblocksProducerStuckOnFullQueue) {
+  // A worker blocked in push() against a full master queue must not
+  // deadlock shutdown: close() wakes it and the push reports failure so
+  // the caller can fall back (the router re-shades the chunk on the CPU).
+  MpscQueue<int> q(2);
+  ASSERT_TRUE(q.try_push(1));
+  ASSERT_TRUE(q.try_push(2));
+
+  std::atomic<int> result{-1};
+  std::thread producer([&] { result.store(q.push(3) ? 1 : 0); });
+  // Whether the producer is already parked on not_full_ or not, the queue
+  // stays full, so the push can only be refused — close() resolves it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  producer.join();
+  EXPECT_EQ(result.load(), 0);  // woken by close, push refused
+
+  // Items already queued still drain after close; nothing is lost.
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpscQueue, PushAndTryPushRefusedAfterClose) {
+  MpscQueue<int> q(4);
+  q.close();
+  EXPECT_FALSE(q.push(1));
+  EXPECT_FALSE(q.try_push(2));
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MpscQueue, ConcurrentProducersDuringClose) {
+  // Producers hammering the queue while the consumer closes it: every
+  // value is either refused (push returned false) or delivered exactly
+  // once — never both, never lost.
+  constexpr int kProducers = 4;
+  constexpr u64 kPerProducer = 5'000;
+  MpscQueue<u64> q(32);
+
+  std::atomic<u64> accepted{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &accepted, p] {
+      for (u64 i = 0; i < kPerProducer; ++i) {
+        // Blocking push: waits for space until close() refuses it.
+        if (q.push(static_cast<u64>(p) * kPerProducer + i)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  u64 drained = 0;
+  while (drained < 1'000) {
+    if (q.try_pop()) ++drained;
+  }
+  q.close();  // producers keep pushing against the closed queue
+  for (auto& t : producers) t.join();
+  while (q.try_pop()) ++drained;  // post-close drain
+
+  EXPECT_EQ(drained, accepted.load());  // accepted == delivered, exactly
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpscQueue, PopBatchWaitWakesOnCloseWithZero) {
+  MpscQueue<int> q(4);
+  std::vector<int> out;
+  std::thread consumer([&] { EXPECT_EQ(q.pop_batch_wait(out, 8), 0u); });
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SpscRing, FullRingRejectsWithoutClobbering) {
+  // A rejected push must leave the ring contents intact — this is the
+  // guarantee the master relies on when a worker's output ring is full.
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.push(i));
+  EXPECT_FALSE(ring.push(99));
+  EXPECT_FALSE(ring.push(100));
+  EXPECT_EQ(ring.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(ring.pop(), i);  // untouched
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, MinimumCapacityIsTwo) {
+  SpscRing<int> ring(1);
+  EXPECT_GE(ring.capacity(), 2u);
+  EXPECT_TRUE(ring.push(1));
+  EXPECT_TRUE(ring.push(2));
 }
 
 TEST(MpscQueue, PerProducerOrderPreserved) {

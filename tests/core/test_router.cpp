@@ -96,7 +96,7 @@ TEST(Router, GpuModeForwardsAllTraffic) {
   EXPECT_EQ(stats.packets_in, offered);
   EXPECT_EQ(stats.packets_out, offered);
   EXPECT_EQ(stats.gpu_processed, offered);
-  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.dropped(), 0u);
   // Default route: everything must leave via port 1.
   EXPECT_EQ(fx.traffic.sunk_on_port(1), offered);
 }

@@ -26,11 +26,13 @@ class SlowShader final : public Shader {
     job.gpu_items = job.chunk.count();
   }
 
-  Picos shade(GpuContext&, std::span<ShaderJob* const> jobs, Picos submit) override {
+  ShadeOutcome shade(GpuContext&, std::span<ShaderJob* const> jobs, Picos submit) override {
     std::this_thread::sleep_for(2ms);  // pathological kernel
     for (auto* job : jobs) job->gpu_output.resize(job->gpu_items);
-    return submit;
+    return {gpu::GpuStatus::kOk, submit};
   }
+
+  void shade_cpu(ShaderJob& job) override { job.gpu_output.resize(job.gpu_items); }
 
   void post_shade(ShaderJob& job) override { route_all(job.chunk); }
 

@@ -1,0 +1,100 @@
+// Fault injector: rule windows are indexed by per-point hit counters, so a
+// chaos schedule is reproducible run-to-run regardless of timing.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+
+namespace ps::fault {
+namespace {
+
+TEST(FaultInjector, NoRulesNeverFires) {
+  FaultInjector inj;
+  inj.register_point("gpu.launch");
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(inj.should_fire("gpu.launch"));
+  EXPECT_EQ(inj.stats("gpu.launch").hits, 100u);
+  EXPECT_EQ(inj.stats("gpu.launch").fired, 0u);
+  EXPECT_EQ(inj.total_fired(), 0u);
+}
+
+TEST(FaultInjector, WindowFiresExactlyAfterCountHits) {
+  FaultInjector inj;
+  inj.add_rule({.point = "gpu.launch", .after = 3, .count = 2});
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) fired.push_back(inj.should_fire("gpu.launch"));
+  // Hits 0,1,2 clean; 3,4 fire; 5+ clean again.
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, false, true, true, false, false, false}));
+  EXPECT_EQ(inj.stats("gpu.launch").fired, 2u);
+}
+
+TEST(FaultInjector, PointsHaveIndependentCounters) {
+  FaultInjector inj;
+  inj.add_rule({.point = "a", .after = 0, .count = 1});
+  EXPECT_FALSE(inj.should_fire("b"));  // other point untouched by the rule
+  EXPECT_TRUE(inj.should_fire("a"));
+  EXPECT_FALSE(inj.should_fire("a"));
+  EXPECT_EQ(inj.stats("b").hits, 1u);
+}
+
+TEST(FaultInjector, OverlappingRulesUnion) {
+  FaultInjector inj;
+  inj.add_rule({.point = "p", .after = 0, .count = 1});
+  inj.add_rule({.point = "p", .after = 2, .count = 1});
+  std::vector<bool> fired;
+  for (int i = 0; i < 4; ++i) fired.push_back(inj.should_fire("p"));
+  EXPECT_EQ(fired, (std::vector<bool>{true, false, true, false}));
+}
+
+TEST(FaultInjector, ProbabilityIsSeedDeterministic) {
+  auto run = [](u64 seed) {
+    FaultInjector inj(seed);
+    inj.add_rule({.point = "p", .probability = 0.5});
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(inj.should_fire("p"));
+    return fired;
+  };
+  EXPECT_EQ(run(7), run(7));  // same seed, same schedule
+  EXPECT_NE(run(7), run(8));  // different seed, different schedule
+
+  const auto fired = run(7);
+  const auto n = std::count(fired.begin(), fired.end(), true);
+  EXPECT_GT(n, 0);   // p=0.5 over 64 hits: some fire...
+  EXPECT_LT(n, 64);  // ...but not all
+}
+
+TEST(FaultInjector, ResetClearsRulesAndCounters) {
+  FaultInjector inj;
+  inj.add_rule({.point = "p"});
+  EXPECT_TRUE(inj.should_fire("p"));
+  inj.reset();
+  EXPECT_FALSE(inj.should_fire("p"));
+  EXPECT_EQ(inj.stats("p").hits, 1u);  // counts restart after reset
+  EXPECT_EQ(inj.total_fired(), 0u);
+}
+
+TEST(FaultInjector, ThreadSafeHitAccounting) {
+  FaultInjector inj;
+  inj.add_rule({.point = "p", .after = 1000, .count = 500});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2500;
+  std::vector<std::thread> threads;
+  std::atomic<u64> fired{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (inj.should_fire("p")) fired.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // The window is a range of the shared hit counter, so exactly `count`
+  // hits land inside it no matter how threads interleave.
+  EXPECT_EQ(inj.stats("p").hits, static_cast<u64>(kThreads) * kPerThread);
+  EXPECT_EQ(fired.load(), 500u);
+  EXPECT_EQ(inj.stats("p").fired, 500u);
+}
+
+}  // namespace
+}  // namespace ps::fault

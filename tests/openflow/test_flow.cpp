@@ -24,8 +24,10 @@ TEST(FlowKey, ExtractionFillsTenFields) {
   const auto key = key_of(frame);
   EXPECT_EQ(key.in_port, 3);
   EXPECT_EQ(key.dl_type, 0x0800);
-  EXPECT_EQ(key.nw_src, net::Ipv4Addr(10, 0, 0, 1).value);
-  EXPECT_EQ(key.nw_dst, net::Ipv4Addr(10, 0, 0, 2).value);
+  // Copies: nw_src/nw_dst are misaligned inside the packed key, and
+  // EXPECT_EQ would bind a reference to them.
+  EXPECT_EQ(u32{key.nw_src}, net::Ipv4Addr(10, 0, 0, 1).value);
+  EXPECT_EQ(u32{key.nw_dst}, net::Ipv4Addr(10, 0, 0, 2).value);
   EXPECT_EQ(key.nw_proto, 17);
   EXPECT_EQ(key.tp_src, 1234);
   EXPECT_EQ(key.tp_dst, 80);
