@@ -1,0 +1,240 @@
+// Overload-control bench: goodput and tail latency of the real threaded
+// router as offered load sweeps from 0.5x to 4x of its measured capacity.
+//
+// The shader is artificially slow on both silicon paths, so the capacity
+// ceiling is known to be internal (not the traffic generator). What the
+// overload-control layer must deliver:
+//  - goodput rises with load until capacity, then FLATTENS — it must not
+//    collapse as offered load keeps growing (the excess is shed at the
+//    NIC ring before any cycles are spent on it);
+//  - queueing delay stays bounded because every internal queue is bounded
+//    (master queue watermarks + chunk pipelining cap), so p99 latency at
+//    4x is set by buffer depths, not by the overload.
+//
+// Emits one machine-readable line:  BENCH {...json...}
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/router.hpp"
+#include "core/testbed.hpp"
+#include "gen/traffic.hpp"
+
+namespace {
+
+using namespace ps;
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+/// Both paths cost real time per chunk, so the router has a well-defined
+/// capacity for the sweep to push against.
+class CostlyShader final : public core::Shader {
+ public:
+  const char* name() const override { return "costly-shader"; }
+
+  void pre_shade(core::ShaderJob& job) override {
+    for (u32 i = 0; i < job.chunk.count(); ++i) job.gpu_index.push_back(i);
+    job.gpu_items = job.chunk.count();
+  }
+
+  core::ShadeOutcome shade(core::GpuContext&, std::span<core::ShaderJob* const> jobs,
+                           Picos submit) override {
+    std::this_thread::sleep_for(jobs.size() * 1ms);  // per gathered chunk
+    for (auto* job : jobs) job->gpu_output.resize(job->gpu_items);
+    return {gpu::GpuStatus::kOk, submit};
+  }
+
+  void shade_cpu(core::ShaderJob& job) override {
+    std::this_thread::sleep_for(1ms);  // per chunk, pricier per packet
+    job.gpu_output.resize(job.gpu_items);
+  }
+
+  void post_shade(core::ShaderJob& job) override { route_all(job.chunk); }
+  void process_cpu(iengine::PacketChunk& chunk) override { route_all(chunk); }
+
+ private:
+  static void route_all(iengine::PacketChunk& chunk) {
+    for (u32 i = 0; i < chunk.count(); ++i) {
+      chunk.set_verdict(i, iengine::PacketVerdict::kForward);
+      chunk.set_out_port(i, 1);
+    }
+  }
+};
+
+struct Harness {
+  core::Testbed testbed;
+  gen::TrafficGen traffic;
+  CostlyShader shader;
+  core::Router router;
+
+  Harness()
+      : testbed({.topo = pcie::Topology::single_node(),
+                 .use_gpu = true,
+                 .ring_size = 4096,
+                 .gpu_pool_workers = 0},
+                core::RouterConfig{.use_gpu = true}),
+        traffic({.frame_size = 64, .seed = 7}),
+        router(testbed.engine(), testbed.gpus(), shader,
+               core::RouterConfig{.use_gpu = true, .chunk_capacity = 64,
+                                  .master_queue_capacity = 8}) {
+    testbed.connect_sink(&traffic);
+    router.start();
+  }
+  ~Harness() { router.stop(); }
+};
+
+/// Unpaced flood for `window`: the router's sustained drain rate is its
+/// capacity.
+double measure_capacity_pps(std::chrono::milliseconds window) {
+  Harness h;
+  h.traffic.offer(h.testbed.ports(), 4'096);  // prime the rings
+  const u64 sunk0 = h.traffic.sunk_packets();
+  const auto t0 = Clock::now();
+  while (Clock::now() - t0 < window) {
+    h.traffic.offer(h.testbed.ports(), 512);
+  }
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  return static_cast<double>(h.traffic.sunk_packets() - sunk0) / secs;
+}
+
+struct Point {
+  double mult = 0;
+  double offered_pps = 0;
+  double goodput_pps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  u64 offered = 0;
+  u64 accepted = 0;
+  u64 hw_drops = 0;
+  u64 bp_reduced_batches = 0;
+  u64 bp_diverted_chunks = 0;
+};
+
+Point run_point(double mult, double capacity_pps, std::chrono::milliseconds window) {
+  Harness h;
+  Point pt;
+  pt.mult = mult;
+  const double rate = mult * capacity_pps;
+  const auto tick = 1ms;
+  const auto per_tick = static_cast<u64>(
+      std::max(1.0, rate * std::chrono::duration<double>(tick).count()));
+
+  // Sampler: a (time, sunk) trace fine enough to recover when each paced
+  // burst finished draining.
+  std::atomic<bool> sampling{true};
+  std::vector<std::pair<Clock::time_point, u64>> trace;
+  trace.reserve(1u << 16);
+  std::thread sampler([&] {
+    while (sampling.load(std::memory_order_relaxed)) {
+      trace.emplace_back(Clock::now(), h.traffic.sunk_packets());
+      std::this_thread::sleep_for(100us);
+    }
+  });
+
+  struct Burst {
+    Clock::time_point sent;
+    u64 target;  // cumulative accepted after this burst
+  };
+  std::vector<Burst> bursts;
+  u64 accepted = 0;
+  const auto start = Clock::now();
+  auto next = start;
+  while (Clock::now() - start < window) {
+    accepted += h.traffic.offer(h.testbed.ports(), per_tick);
+    pt.offered += per_tick;
+    bursts.push_back({Clock::now(), accepted});
+    next += tick;
+    std::this_thread::sleep_until(next);
+  }
+  const double offer_secs = std::chrono::duration<double>(Clock::now() - start).count();
+  // Sustained goodput is what actually drained DURING the window; the
+  // post-window drain below only settles latency bookkeeping.
+  const u64 sunk_in_window = h.traffic.sunk_packets();
+
+  // Drain, then stop the trace.
+  const auto drain_deadline = Clock::now() + 10s;
+  while (h.traffic.sunk_packets() < accepted && Clock::now() < drain_deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  std::this_thread::sleep_for(2ms);
+  sampling.store(false);
+  sampler.join();
+
+  // Per-burst completion latency from the trace (two monotone scans).
+  std::vector<double> lat_ms;
+  lat_ms.reserve(bursts.size());
+  std::size_t cursor = 0;
+  for (const auto& b : bursts) {
+    while (cursor < trace.size() && trace[cursor].second < b.target) ++cursor;
+    if (cursor == trace.size()) break;  // never drained (clipped by deadline)
+    lat_ms.push_back(
+        std::chrono::duration<double, std::milli>(trace[cursor].first - b.sent).count());
+  }
+  std::sort(lat_ms.begin(), lat_ms.end());
+  if (!lat_ms.empty()) {
+    pt.p50_ms = lat_ms[lat_ms.size() / 2];
+    pt.p99_ms = lat_ms[std::min(lat_ms.size() - 1, lat_ms.size() * 99 / 100)];
+  }
+
+  pt.accepted = accepted;
+  pt.offered_pps = static_cast<double>(pt.offered) / offer_secs;
+  pt.goodput_pps = static_cast<double>(sunk_in_window) / offer_secs;
+  for (auto* port : h.testbed.ports()) pt.hw_drops += port->rx_totals().drops;
+  const auto stats = h.router.total_stats();
+  pt.bp_reduced_batches = stats.bp_reduced_batches;
+  pt.bp_diverted_chunks = stats.bp_diverted_chunks;
+  return pt;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Overload sweep",
+                      "goodput and tail latency vs offered load, 0.5x-4x capacity");
+  bench::print_note("capacity is measured, not assumed: an unpaced flood sets the ceiling");
+
+  const double capacity_pps = measure_capacity_pps(400ms);
+  std::printf("measured capacity: %.0f pps\n\n", capacity_pps);
+
+  std::printf("%6s %14s %14s %10s %10s %12s %12s\n", "mult", "offered pps", "goodput pps",
+              "p50 ms", "p99 ms", "hw drops", "diverted");
+  std::vector<Point> points;
+  for (const double mult : {0.5, 1.0, 2.0, 3.0, 4.0}) {
+    points.push_back(run_point(mult, capacity_pps, 400ms));
+    const auto& p = points.back();
+    std::printf("%6.1f %14.0f %14.0f %10.2f %10.2f %12llu %12llu\n", p.mult, p.offered_pps,
+                p.goodput_pps, p.p50_ms, p.p99_ms,
+                static_cast<unsigned long long>(p.hw_drops),
+                static_cast<unsigned long long>(p.bp_diverted_chunks));
+  }
+
+  double peak = 0;
+  for (const auto& p : points) peak = std::max(peak, p.goodput_pps);
+  const auto& at4x = points.back();
+  const double retention = peak > 0 ? at4x.goodput_pps / peak : 0.0;
+
+  bench::print_comparisons({
+      {"goodput at 4x / peak goodput (>= 0.85)", 1.0, retention},
+  });
+
+  std::printf("\nBENCH {\"bench\":\"overload\",\"capacity_pps\":%.0f,\"peak_goodput_pps\":%.0f,"
+              "\"goodput_retention_at_4x\":%.3f,\"points\":[",
+              capacity_pps, peak, retention);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::printf("%s{\"mult\":%.1f,\"offered_pps\":%.0f,\"goodput_pps\":%.0f,"
+                "\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"offered\":%llu,\"accepted\":%llu,"
+                "\"hw_drops\":%llu,\"bp_reduced_batches\":%llu,\"bp_diverted_chunks\":%llu}",
+                i ? "," : "", p.mult, p.offered_pps, p.goodput_pps, p.p50_ms, p.p99_ms,
+                static_cast<unsigned long long>(p.offered),
+                static_cast<unsigned long long>(p.accepted),
+                static_cast<unsigned long long>(p.hw_drops),
+                static_cast<unsigned long long>(p.bp_reduced_batches),
+                static_cast<unsigned long long>(p.bp_diverted_chunks));
+  }
+  std::printf("]}\n");
+  return retention >= 0.85 ? 0 : 1;
+}

@@ -5,7 +5,10 @@
 //  - IPv4 via DynamicIpv4ForwardApp (routes come from an Ipv4Fib; we
 //    re-route mid-run and the change takes effect without stopping);
 //  - IPv6 via Ipv6ForwardApp, composed with MultiProtocolApp;
-//  - TTL-expired packets answered with real ICMP Time Exceeded replies.
+//  - TTL-expired packets answered with real ICMP Time Exceeded replies;
+//  - the liveness layer at work: a worker thread is wedged mid-run by a
+//    fault point, the heartbeat supervisor detects it, a peer adopts its
+//    NIC queues, and the packet-conservation audit still balances.
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -15,6 +18,7 @@
 #include "apps/multi_app.hpp"
 #include "core/router.hpp"
 #include "core/testbed.hpp"
+#include "fault/fault_injector.hpp"
 #include "gen/traffic.hpp"
 #include "route/rib_gen.hpp"
 #include "slowpath/host_stack.hpp"
@@ -48,8 +52,19 @@ int main() {
   testbed.connect_sink(&sink);
 
   slowpath::HostStack host_stack(net::Ipv4Addr(192, 0, 2, 1));
-  core::Router router(testbed.engine(), testbed.gpus(), multi, core::RouterConfig{});
+  core::RouterConfig config;
+  // Overload control (README "Tuning" section): keep the defaults for the
+  // watermarks, budget the slow path explicitly.
+  config.slowpath_admission = {.rate_pps = 50'000, .burst = 512, .queue_capacity = 2048};
+  core::Router router(testbed.engine(), testbed.gpus(), multi, config);
   router.set_host_stack(&host_stack);
+
+  // Liveness demo: the 200th worker-loop iteration parks its thread, as a
+  // wedged thread would. Nobody restarts it by hand — watch the supervisor.
+  fault::FaultInjector inj(/*seed=*/42);
+  inj.add_rule({.point = std::string(fault::Point::kWorkerHang), .after = 200, .count = 1});
+  router.set_fault_injector(&inj);
+
   router.start();
   std::printf("router up: %d workers + 2 masters, host stack at 192.0.2.1\n\n",
               router.num_workers());
@@ -91,6 +106,19 @@ int main() {
       net::build_udp_ipv4(dying, net::Ipv4Addr(10, 0, 0, 7), net::Ipv4Addr(20, 0, 0, 1)));
   std::this_thread::sleep_for(200ms);
 
+  // The hang fired somewhere in the middle of all that. Report what the
+  // supervisor saw before stopping.
+  const auto& sup = router.supervisor();
+  std::printf("\nsupervisor: %llu stall(s) detected, %llu recovered",
+              static_cast<unsigned long long>(sup.stalls_detected()),
+              static_cast<unsigned long long>(sup.recoveries()));
+  for (const auto& ev : sup.stall_events()) {
+    std::printf("  [%s silent %lld ms, queues adopted by a peer]", ev.name.c_str(),
+                static_cast<long long>(
+                    std::chrono::duration_cast<std::chrono::milliseconds>(ev.silent_for).count()));
+  }
+  std::printf("\n");
+
   router.stop();
 
   const auto stats = router.total_stats();
@@ -109,5 +137,13 @@ int main() {
     std::printf("  %-12s %llu\n", iengine::to_string(static_cast<iengine::DropReason>(r)),
                 static_cast<unsigned long long>(stats.drops_by_reason[r]));
   }
-  return 0;
+
+  const auto audit = router.audit();
+  std::printf("conservation: rx %llu == tx %llu + drops %llu + slow-path %llu (%s)\n",
+              static_cast<unsigned long long>(audit.rx),
+              static_cast<unsigned long long>(audit.tx),
+              static_cast<unsigned long long>(audit.dropped),
+              static_cast<unsigned long long>(audit.slow_path),
+              audit.balanced() ? "balanced" : "VIOLATED");
+  return audit.balanced() ? 0 : 1;
 }

@@ -3,10 +3,18 @@
 # ASan+UBSan (-DPS_SANITIZE=address) and once with TSan
 # (-DPS_SANITIZE=thread), each in its own build tree. Pass a preset name
 # ("address" or "thread") to run just that one.
+#
+# An optional second argument is a ctest -R regex to run a subset. The
+# overload-control / liveness layer leans hard on cross-thread protocols
+# (heartbeat publication, quarantine adoption, watermark reads), so its
+# suites are worth a focused TSan pass while iterating:
+#   scripts/run_sanitizers.sh thread \
+#     'Supervisor|SupervisorChaos|OverloadControl|Admission|LinkFlap|FibChurn|RouterBackpressure|Chaos'
 set -e
 cd "$(dirname "$0")/.."
 
 presets="${1:-address thread}"
+filter="$2"
 
 for preset in $presets; do
   build_dir="build-san-$preset"
@@ -18,5 +26,5 @@ for preset in $presets; do
   ASAN_OPTIONS=halt_on_error=1 \
   UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   TSAN_OPTIONS=halt_on_error=1 \
-    ctest --test-dir "$build_dir" --output-on-failure
+    ctest --test-dir "$build_dir" --output-on-failure ${filter:+-R "$filter"}
 done

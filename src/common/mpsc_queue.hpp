@@ -7,6 +7,7 @@
 // guarantee section 5.3 requires.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -101,6 +102,36 @@ class MpscQueue {
     if (n > 0) not_full_.notify_all();
     return n;
   }
+
+  /// Timed pop_batch_wait: waits up to `timeout` for at least one item,
+  /// then drains greedily. Returns 0 on timeout as well as on
+  /// closed-and-drained — the consumer distinguishes via drained(). The
+  /// timeout lets a consumer that must stay observable (heartbeats) tick
+  /// while idle instead of blocking indefinitely.
+  template <typename Rep, typename Period>
+  std::size_t pop_batch_wait_for(std::vector<T>& out, std::size_t max,
+                                 std::chrono::duration<Rep, Period> timeout) {
+    std::size_t n = 0;
+    {
+      std::unique_lock lock(mu_);
+      not_empty_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
+      while (n < max && !items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++n;
+      }
+    }
+    if (n > 0) not_full_.notify_all();
+    return n;
+  }
+
+  /// Closed with nothing left to pop: the consumer may exit.
+  bool drained() const {
+    std::lock_guard lock(mu_);
+    return closed_ && items_.empty();
+  }
+
+  std::size_t capacity() const { return capacity_; }
 
   void close() {
     {

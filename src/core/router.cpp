@@ -8,11 +8,20 @@ namespace ps::core {
 
 namespace {
 constexpr std::chrono::microseconds kIdleSleep{20};
+/// Master wait quantum: short enough that an idle master still heartbeats
+/// well inside any sane stall window.
+constexpr std::chrono::milliseconds kMasterIdleTick{1};
+/// Park quantum for a simulated hang.
+constexpr std::chrono::microseconds kHangPollSleep{100};
 }
 
 Router::Router(iengine::PacketIoEngine& engine, std::vector<gpu::GpuDevice*> gpus,
                Shader& shader, RouterConfig config)
-    : engine_(engine), shader_(shader), config_(config) {
+    : engine_(engine),
+      shader_(shader),
+      config_(config),
+      slowpath_admission_(config.slowpath_admission),
+      supervisor_({config.supervisor_interval, config.supervisor_stall_window}) {
   const auto& topo = engine.topology();
   workers_per_node_ = config_.use_gpu ? topo.cores_per_node - 1 : topo.cores_per_node;
   assert(workers_per_node_ > 0);
@@ -36,23 +45,43 @@ Router::Router(iengine::PacketIoEngine& engine, std::vector<gpu::GpuDevice*> gpu
   // NUMA-local RSS confinement of section 4.5.
   for (int n = 0; n < topo.num_nodes; ++n) {
     for (int k = 0; k < workers_per_node_; ++k) {
-      WorkerRuntime worker;
-      worker.id = static_cast<int>(workers_.size());
-      worker.node = n;
-      worker.core = n * topo.cores_per_node + k;
+      auto worker = std::make_unique<WorkerRuntime>();
+      worker->id = static_cast<int>(workers_.size());
+      worker->node = n;
+      worker->core = n * topo.cores_per_node + k;
 
       std::vector<iengine::QueueRef> queues;
       for (int port = 0; port < topo.num_ports(); ++port) {
         if (topo.node_of_port(port) != n) continue;
         queues.push_back({port, static_cast<u16>(k)});
       }
-      worker.handle = engine_.attach(worker.core, std::move(queues));
-      worker.out_queue = std::make_unique<SpscRing<ShaderJob*>>(
+      worker->handle = engine_.attach(worker->core, std::move(queues));
+      worker->out_queue = std::make_unique<SpscRing<ShaderJob*>>(
           std::max<u32>(config_.pipeline_depth * 2, 16));
       workers_.push_back(std::move(worker));
     }
   }
-  stats_.resize(workers_.size());
+  stats_ = std::vector<CacheAligned<WorkerCounters>>(workers_.size());
+
+  // Liveness: one heartbeat per worker, then one per master, supervised
+  // with the router's recovery policy (quarantine + kick for workers,
+  // re-kick for masters).
+  const std::size_t num_masters = config_.use_gpu ? nodes_.size() : 0;
+  heartbeats_ = std::vector<CacheAligned<Heartbeat>>(workers_.size() + num_masters);
+  for (auto& owned : workers_) {
+    const int w = owned->id;
+    owned->supervise_id = supervisor_.add_thread(
+        "worker." + std::to_string(w), supervise::ThreadKind::kWorker,
+        &heartbeats_[static_cast<std::size_t>(w)].value,
+        [this, w](const supervise::StallEvent&) { on_worker_stall(w); },
+        [this, w](int) { on_worker_recover(w); });
+  }
+  for (std::size_t n = 0; n < num_masters; ++n) {
+    nodes_[n]->supervise_id = supervisor_.add_thread(
+        "master." + std::to_string(n), supervise::ThreadKind::kMaster,
+        &heartbeats_[workers_.size() + n].value,
+        [this, n](const supervise::StallEvent&) { on_master_stall(static_cast<int>(n)); });
+  }
 }
 
 Router::~Router() { stop(); }
@@ -76,43 +105,122 @@ void Router::release_job(WorkerRuntime& worker, ShaderJob* job) {
 }
 
 void Router::finish_job(WorkerRuntime& worker, ShaderJob* job) {
-  auto& st = stats_[static_cast<std::size_t>(worker.id)];
+  auto& st = *stats_[static_cast<std::size_t>(worker.id)];
   for (u32 i = 0; i < job->chunk.count(); ++i) {
     if (job->chunk.verdict(i) != iengine::PacketVerdict::kSlowPath) continue;
-    ++st.slow_path;
     if (host_stack_ != nullptr) {
       std::optional<net::FrameBuffer> reply;
+      bool admitted;
       {
         std::lock_guard lock(host_stack_mu_);
-        reply = host_stack_->handle(job->chunk.packet(i), job->chunk.in_port);
+        admitted = slowpath_admission_.admit(host_stack_->local_deliveries().size());
+        if (admitted) reply = host_stack_->handle(job->chunk.packet(i), job->chunk.in_port);
       }
+      if (!admitted) {
+        // Admission refused (token bucket dry or the stack at its memory
+        // bound): shed at the door, before the stack spends cycles or
+        // memory. The packet becomes an accounted drop, not a slow_path.
+        job->chunk.set_drop(i, iengine::DropReason::kSlowpathShed);
+        continue;
+      }
+      st.slow_path.fetch_add(1, std::memory_order_relaxed);
       // Errors (ICMP etc.) go back out of the ingress port.
       if (reply) worker.handle->send_frame(job->chunk.in_port, *reply);
+    } else {
+      st.slow_path.fetch_add(1, std::memory_order_relaxed);
     }
   }
   // Send first: a TX ring that stays full after the retry budget marks the
   // packet kDrop/kRingFull, so drops are tallied after the send attempt.
-  st.packets_out += worker.handle->send_chunk(job->chunk);
+  st.packets_out.fetch_add(worker.handle->send_chunk(job->chunk), std::memory_order_relaxed);
   for (u32 i = 0; i < job->chunk.count(); ++i) {
     if (job->chunk.verdict(i) == iengine::PacketVerdict::kDrop) {
-      ++st.drops_by_reason[static_cast<std::size_t>(job->chunk.drop_reason(i))];
+      st.drops_by_reason[static_cast<std::size_t>(job->chunk.drop_reason(i))].fetch_add(
+          1, std::memory_order_relaxed);
     }
   }
   release_job(worker, job);
 }
 
 void Router::process_cpu_only(WorkerRuntime& worker, ShaderJob* job) {
-  stats_[static_cast<std::size_t>(worker.id)].cpu_processed += job->chunk.count();
+  stats_[static_cast<std::size_t>(worker.id)]->cpu_processed.fetch_add(
+      job->chunk.count(), std::memory_order_relaxed);
   shader_.process_cpu(job->chunk);
   finish_job(worker, job);
 }
 
-void Router::worker_loop(WorkerRuntime& worker) {
-  auto& st = stats_[static_cast<std::size_t>(worker.id)];
+void Router::simulate_hang(std::atomic<bool>& release) {
+  while (running_.load(std::memory_order_acquire) &&
+         !release.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(kHangPollSleep);
+  }
+  release.store(false, std::memory_order_relaxed);
+}
+
+bool Router::recv_and_dispatch(WorkerRuntime& worker, iengine::IoHandle* handle, u32 batch_cap,
+                               u32 per_queue_cap, u32& inflight, bool adopted, bool divert_cpu) {
+  auto& st = *stats_[static_cast<std::size_t>(worker.id)];
   auto& node = *nodes_[static_cast<std::size_t>(worker.node)];
+  ShaderJob* job = acquire_job(worker);
+  const u32 n = handle->recv_chunk(job->chunk, batch_cap, per_queue_cap);
+  if (n == 0) {
+    release_job(worker, job);
+    return false;
+  }
+  st.chunks.fetch_add(1, std::memory_order_relaxed);
+  st.packets_in.fetch_add(n, std::memory_order_relaxed);
+  heartbeats_[static_cast<std::size_t>(worker.id)].value.advance(n);
+  if (adopted) st.adopted_chunks.fetch_add(1, std::memory_order_relaxed);
+  if (worker.bp_active) st.bp_reduced_batches.fetch_add(1, std::memory_order_relaxed);
+
+  const bool take_cpu_path =
+      !config_.use_gpu ||
+      (config_.opportunistic_threshold != 0 && n < config_.opportunistic_threshold);
+  if (take_cpu_path) {
+    process_cpu_only(worker, job);
+    return true;
+  }
+  shader_.pre_shade(*job);
+  const bool push_ok =
+      !divert_cpu &&
+      (injector_ == nullptr || !injector_->should_fire("core.master_queue")) &&
+      node.master_in->try_push(job);
+  if (push_ok) {
+    st.gpu_processed.fetch_add(n, std::memory_order_relaxed);
+    ++inflight;
+  } else {
+    // Master back-pressure (queue saturated at dispatch time, a lost
+    // try_push race, or injected queue overflow): shade on the CPU rather
+    // than stall — the degenerate form of opportunistic offloading.
+    // pre_shade already rewrote headers, so re-shade the gathered input
+    // instead of re-running process_cpu (which would, e.g., decrement TTL
+    // again).
+    if (divert_cpu) st.bp_diverted_chunks.fetch_add(1, std::memory_order_relaxed);
+    st.cpu_processed.fetch_add(n, std::memory_order_relaxed);
+    shader_.shade_cpu(*job);
+    shader_.post_shade(*job);
+    finish_job(worker, job);
+  }
+  return true;
+}
+
+void Router::worker_loop(WorkerRuntime& worker) {
+  auto& st = *stats_[static_cast<std::size_t>(worker.id)];
+  auto& node = *nodes_[static_cast<std::size_t>(worker.node)];
+  auto& hb = heartbeats_[static_cast<std::size_t>(worker.id)].value;
   u32 inflight = 0;
 
   while (running_.load(std::memory_order_acquire) || inflight > 0) {
+    // The beat leads the iteration and the hang point follows it
+    // immediately: every poll this thread ever made happens-before its
+    // latest published beat, which is what lets the supervisor hand the
+    // queues to a peer race-free once the beats go silent.
+    hb.beat();
+    if (injector_ != nullptr && injector_->should_fire(fault::Point::kWorkerHang)) {
+      simulate_hang(worker.hang_release);
+      continue;  // re-read quarantine state before touching any queue
+    }
+
     bool progress = false;
 
     // Scatter side: results ready from the master.
@@ -121,8 +229,8 @@ void Router::worker_loop(WorkerRuntime& worker) {
       if (job->shaded_on_cpu) {
         // The master's GPU failed this batch; the packets were shaded on
         // the CPU, so re-attribute them.
-        st.gpu_processed -= job->chunk.count();
-        st.cpu_processed += job->chunk.count();
+        st.gpu_processed.fetch_sub(job->chunk.count(), std::memory_order_relaxed);
+        st.cpu_processed.fetch_add(job->chunk.count(), std::memory_order_relaxed);
       }
       shader_.post_shade(*job);
       finish_job(worker, job);
@@ -130,41 +238,60 @@ void Router::worker_loop(WorkerRuntime& worker) {
       progress = true;
     }
 
-    // Chunk pipelining: keep fetching while under the in-flight cap.
-    if (running_.load(std::memory_order_acquire) && inflight < config_.pipeline_depth) {
-      ShaderJob* job = acquire_job(worker);
-      const u32 n = worker.handle->recv_chunk(job->chunk);
-      if (n > 0) {
-        ++st.chunks;
-        st.packets_in += n;
-        const bool take_cpu_path =
-            !config_.use_gpu ||
-            (config_.opportunistic_threshold != 0 && n < config_.opportunistic_threshold);
-        if (take_cpu_path) {
-          process_cpu_only(worker, job);
-        } else {
-          shader_.pre_shade(*job);
-          const bool push_ok =
-              (injector_ == nullptr || !injector_->should_fire("core.master_queue")) &&
-              node.master_in->try_push(job);
-          if (push_ok) {
-            st.gpu_processed += n;
-            ++inflight;
-          } else {
-            // Master back-pressure (or injected queue overflow): shade on
-            // the CPU rather than stall. pre_shade already rewrote headers,
-            // so re-shade the gathered input instead of re-running
-            // process_cpu (which would, e.g., decrement TTL again).
-            st.cpu_processed += n;
-            shader_.shade_cpu(*job);
-            shader_.post_shade(*job);
-            finish_job(worker, job);
-          }
-        }
-        progress = true;
-      } else {
-        release_job(worker, job);
+    // End-to-end backpressure: the master queue's depth is the congestion
+    // signal. Above the high watermark, shrink the RX batch and split it
+    // fairly across this worker's virtual interfaces; at saturation keep
+    // the (shrunk) poll but divert the chunk straight down the CPU path —
+    // opportunistic offloading in its degenerate form. Spare CPU cycles
+    // absorb what the GPU queue cannot take, and only when both are
+    // exhausted does excess load overflow the NIC RX ring, which is the
+    // cheapest place to drop (no copy, no cycles).
+    u32 batch_cap = config_.chunk_capacity;
+    u32 per_queue_cap = config_.chunk_capacity;
+    bool divert_cpu = false;
+    if (config_.use_gpu && config_.backpressure) {
+      const std::size_t depth = node.master_in->size();
+      const std::size_t cap = node.master_in->capacity();
+      if (depth >= cap) divert_cpu = true;
+      const auto high = static_cast<std::size_t>(static_cast<double>(cap) * config_.bp_high_watermark);
+      const auto low = static_cast<std::size_t>(static_cast<double>(cap) * config_.bp_low_watermark);
+      if (worker.bp_active) {
+        if (depth <= low) worker.bp_active = false;  // hysteresis
+      } else if (depth >= high) {
+        worker.bp_active = true;
       }
+      if (worker.bp_active) {
+        batch_cap = std::min(batch_cap, config_.bp_reduced_batch);
+        const auto nq = static_cast<u32>(worker.handle->queues().size());
+        per_queue_cap = std::max<u32>(1, batch_cap / std::max<u32>(1, nq));
+      }
+    }
+
+    // Chunk pipelining: keep fetching while under the in-flight cap. Every
+    // RX poll — on our own handle or an adopted one — first wins the
+    // handle's io_token: stall detection can accuse a live worker (one
+    // merely starved of cycles, possibly mid-poll), so the token, not the
+    // verdict, is what keeps each handle single-consumer.
+    const bool want_fetch =
+        running_.load(std::memory_order_acquire) && inflight < config_.pipeline_depth;
+    if (want_fetch && !worker.quarantined.load(std::memory_order_acquire) &&
+        !worker.io_token.exchange(true, std::memory_order_acquire)) {
+      progress |= recv_and_dispatch(worker, worker.handle, batch_cap, per_queue_cap,
+                                    inflight, /*adopted=*/false, divert_cpu);
+      worker.io_token.store(false, std::memory_order_release);
+    }
+
+    // Quarantine adoption: drain a wedged peer's virtual interfaces on its
+    // behalf. adopt_ack publishes (with release) which peer this worker
+    // last acted on; the supervisor reads it (acquire) to know the peer's
+    // final poll is visible before letting the owner resume.
+    WorkerRuntime* victim = worker.adopt.load(std::memory_order_acquire);
+    worker.adopt_ack.store(victim, std::memory_order_release);
+    if (victim != nullptr && want_fetch && inflight < config_.pipeline_depth &&
+        !victim->io_token.exchange(true, std::memory_order_acquire)) {
+      progress |= recv_and_dispatch(worker, victim->handle, batch_cap, per_queue_cap,
+                                    inflight, /*adopted=*/true, divert_cpu);
+      victim->io_token.store(false, std::memory_order_release);
     }
 
     if (!progress) std::this_thread::sleep_for(kIdleSleep);
@@ -249,26 +376,95 @@ void Router::shade_batch(NodeRuntime& node, std::span<ShaderJob* const> batch) {
 
 void Router::master_loop(int node_id) {
   auto& node = *nodes_[static_cast<std::size_t>(node_id)];
+  auto& hb = heartbeats_[workers_.size() + static_cast<std::size_t>(node_id)].value;
   std::vector<ShaderJob*> batch;
   batch.reserve(config_.gather_max);
 
   while (true) {
+    // Beat, then the hang point, then the gather: a parked master holds no
+    // jobs, so workers' in-flight chunks drain as soon as it is re-kicked.
+    hb.beat();
+    if (injector_ != nullptr && injector_->should_fire(fault::Point::kMasterHang)) {
+      simulate_hang(node.hang_release);
+      continue;
+    }
+
     batch.clear();
     // Gather: take as many pending chunks as allowed in one shading pass.
-    const std::size_t n = node.master_in->pop_batch_wait(batch, config_.gather_max);
-    if (n == 0) break;  // queue closed and drained
+    // The wait is timed (not indefinite) so an idle master keeps beating.
+    const std::size_t n =
+        node.master_in->pop_batch_wait_for(batch, config_.gather_max, kMasterIdleTick);
+    if (n == 0) {
+      if (node.master_in->drained()) break;  // queue closed and empty
+      continue;
+    }
 
     shade_batch(node, {batch.data(), batch.size()});
+    hb.advance(n);
 
     // Scatter: return each chunk to the worker it came from. Capacity is
     // sized so a worker's in-flight jobs always fit its output ring.
     for (ShaderJob* job : batch) {
-      auto& out = *workers_[static_cast<std::size_t>(job->worker_id)].out_queue;
+      auto& out = *workers_[static_cast<std::size_t>(job->worker_id)]->out_queue;
       const bool pushed = out.push(job);
       assert(pushed);
       (void)pushed;
     }
   }
+}
+
+void Router::on_worker_stall(int worker_id) {
+  WorkerRuntime& worker = *workers_[static_cast<std::size_t>(worker_id)];
+  // Quarantine: hand the wedged worker's virtual interfaces to a same-node
+  // peer so its NIC queues keep draining while it is out. The peer polls
+  // them only while `adopt` is set; the owner polls them only while not
+  // quarantined; and because this verdict may be wrong (a live worker can
+  // look stalled when the scheduler starves it), both sides additionally
+  // race for the owner's io_token before every poll — the handle stays
+  // single-consumer even against a false positive.
+  for (auto& cand : workers_) {
+    if (cand->id == worker.id || cand->node != worker.node) continue;
+    if (cand->quarantined.load(std::memory_order_acquire)) continue;
+    if (cand->adopt.load(std::memory_order_acquire) != nullptr) continue;
+    worker.quarantined.store(true, std::memory_order_release);
+    cand->adopt.store(&worker, std::memory_order_release);
+    worker.adopter_id = cand->id;
+    break;
+  }
+  // The kick (watchdog bite): a thread parked at the hang point resumes —
+  // quarantined, so it stays off its queues until recovery completes.
+  worker.hang_release.store(true, std::memory_order_release);
+}
+
+void Router::on_worker_recover(int worker_id) {
+  WorkerRuntime& worker = *workers_[static_cast<std::size_t>(worker_id)];
+  if (worker.adopter_id < 0) {
+    // No peer could adopt (e.g. all quarantined); just lift the flag if set.
+    worker.quarantined.store(false, std::memory_order_release);
+    return;
+  }
+  WorkerRuntime& peer = *workers_[static_cast<std::size_t>(worker.adopter_id)];
+  worker.adopter_id = -1;
+  peer.adopt.store(nullptr, std::memory_order_release);
+  // Wait for the peer's acknowledgement: it republishes adopt_ack every
+  // iteration after its adopted poll, so observing nullptr (acquire) makes
+  // the peer's final poll visible before the owner's next one — the
+  // single-consumer handoff is race-free. The wait is bounded: a peer
+  // that itself hung stops acking, but a parked peer is not polling, so
+  // resuming the owner anyway is safe.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(1);
+  while (running_.load(std::memory_order_acquire) &&
+         peer.adopt_ack.load(std::memory_order_acquire) != nullptr &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  worker.quarantined.store(false, std::memory_order_release);
+}
+
+void Router::on_master_stall(int node) {
+  // Masters hold no exclusive queues; recovery is just the re-kick. The
+  // workers already absorbed the stall via try_push failure -> CPU path.
+  nodes_[static_cast<std::size_t>(node)]->hang_release.store(true, std::memory_order_release);
 }
 
 void Router::start() {
@@ -285,13 +481,17 @@ void Router::start() {
     }
   }
   for (auto& worker : workers_) {
-    threads_.emplace_back([this, &worker] { worker_loop(worker); });
+    threads_.emplace_back([this, w = worker.get()] { worker_loop(*w); });
   }
+  if (config_.supervise) supervisor_.start();
 }
 
 void Router::stop() {
   if (!started_) return;
   running_.store(false, std::memory_order_release);
+  // Supervisor first: threads about to exit stop beating, and shutdown
+  // must not be misread as a mass stall.
+  supervisor_.stop();
   engine_.stop();
   // Workers stop fetching, flush their in-flight chunks, and exit; masters
   // exit once their queues are closed and drained.
@@ -301,22 +501,57 @@ void Router::stop() {
   for (auto& t : threads_) t.join();
   threads_.clear();
   started_ = false;
+  assert(audit().balanced() && "packet conservation violated");
 }
 
 WorkerStats Router::total_stats() const {
   WorkerStats total;
-  for (const auto& st : stats_) {
+  for (const auto& slot : stats_) {
+    const WorkerStats st = slot->snapshot();
     total.chunks += st.chunks;
     total.packets_in += st.packets_in;
     total.packets_out += st.packets_out;
     total.slow_path += st.slow_path;
     total.cpu_processed += st.cpu_processed;
     total.gpu_processed += st.gpu_processed;
+    total.bp_reduced_batches += st.bp_reduced_batches;
+    total.bp_diverted_chunks += st.bp_diverted_chunks;
+    total.adopted_chunks += st.adopted_chunks;
     for (std::size_t r = 0; r < iengine::kNumDropReasons; ++r) {
       total.drops_by_reason[r] += st.drops_by_reason[r];
     }
   }
   return total;
+}
+
+std::vector<WorkerStats> Router::worker_stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(stats_.size());
+  for (const auto& slot : stats_) out.push_back(slot->snapshot());
+  return out;
+}
+
+ConservationAudit Router::audit() const {
+  ConservationAudit audit;
+  const WorkerStats total = total_stats();
+  audit.rx = total.packets_in;
+  audit.tx = total.packets_out;
+  audit.dropped = total.dropped();
+  audit.slow_path = total.slow_path;
+  // Jobs still owned by a worker hold packets inside the pipeline. Exact
+  // once threads are joined (job pools are worker-thread-local while they
+  // run), zero after a clean stop().
+  for (const auto& worker : workers_) {
+    for (const auto& owned : worker->job_pool) {
+      if (owned->worker_id != -1) audit.in_flight += owned->chunk.count();
+    }
+  }
+  return audit;
+}
+
+slowpath::AdmissionStats Router::slowpath_admission_stats() const {
+  std::lock_guard lock(host_stack_mu_);
+  return slowpath_admission_.stats();
 }
 
 GpuHealthStats Router::gpu_health(int node) const {

@@ -12,10 +12,25 @@
 //    copies with kernel execution (Figure 10(c));
 //  - opportunistic offloading (section 7): small chunks (light load) are
 //    processed on the worker's CPU for latency, large ones on the GPU.
+//
+// Overload control and liveness (beyond the paper, which assumes graceful
+// degradation):
+//  - end-to-end backpressure: the master's queue depth is the congestion
+//    signal; above the high watermark workers shrink their RX batch with
+//    per-port fair shares, and at saturation chunks divert straight down
+//    the CPU path; only when both silicon paths are exhausted does excess
+//    load overflow the NIC RX ring — the cheapest drop point;
+//  - slow-path admission control: a token bucket plus a memory bound in
+//    front of the host stack (refusals are kSlowpathShed drops);
+//  - a heartbeat supervisor detects stalled workers/masters within a
+//    bounded window, quarantines a wedged worker's NIC queues onto a peer,
+//    and re-kicks the thread; audit() proves no packet is ever lost
+//    unaccounted through any of it.
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <numeric>
 #include <thread>
@@ -23,13 +38,17 @@
 
 #include <mutex>
 
+#include "common/cacheline.hpp"
+#include "common/heartbeat.hpp"
 #include "common/mpsc_queue.hpp"
 #include "common/spsc_ring.hpp"
 #include "core/shader.hpp"
 #include "fault/fault_injector.hpp"
 #include "gpu/device.hpp"
 #include "iengine/engine.hpp"
+#include "slowpath/admission.hpp"
 #include "slowpath/host_stack.hpp"
+#include "supervise/supervisor.hpp"
 
 namespace ps::core {
 
@@ -62,6 +81,29 @@ struct RouterConfig {
   /// While unhealthy, probe the device every this many batches; a
   /// successful probe re-admits it.
   u32 gpu_probe_interval_batches = 16;
+
+  // --- end-to-end backpressure (overload control) --------------------------
+  /// Watermark-driven RX admission (GPU mode; the CPU-only mode processes
+  /// chunks inline and self-paces).
+  bool backpressure = true;
+  /// Master-queue depth, as a fraction of master_queue_capacity, above
+  /// which a worker shrinks its RX batch and applies per-port fair shares.
+  double bp_high_watermark = 0.75;
+  /// Depth fraction below which the worker returns to full batches
+  /// (hysteresis, so the batch size does not flap at the threshold).
+  double bp_low_watermark = 0.25;
+  /// Reduced RX batch while above the high watermark.
+  u32 bp_reduced_batch = 32;
+
+  // --- heartbeat supervisor (liveness) -------------------------------------
+  /// Run the supervisor thread (detection + recovery of hung threads).
+  bool supervise = true;
+  std::chrono::milliseconds supervisor_interval{2};
+  /// Heartbeat silence beyond this declares a worker/master stalled.
+  std::chrono::milliseconds supervisor_stall_window{20};
+
+  // --- slow-path admission control -----------------------------------------
+  slowpath::AdmissionConfig slowpath_admission{};
 };
 
 /// Per-worker counters.
@@ -72,6 +114,11 @@ struct WorkerStats {
   u64 slow_path = 0;
   u64 cpu_processed = 0;  // packets taken by the opportunistic CPU path
   u64 gpu_processed = 0;
+  // --- overload control ----------------------------------------------------
+  u64 bp_reduced_batches = 0;  // RX fetches shrunk by the high watermark
+  u64 bp_diverted_chunks = 0;  // chunks sent down the CPU path because the
+                               // master queue was saturated at dispatch time
+  u64 adopted_chunks = 0;      // chunks drained from a quarantined peer
   /// Dropped packets, bucketed by cause (indexed by iengine::DropReason).
   std::array<u64, iengine::kNumDropReasons> drops_by_reason{};
 
@@ -96,6 +143,21 @@ struct GpuHealthStats {
   bool healthy = true;
 };
 
+/// Packet-conservation identity over everything the engine accepted:
+///   rx == tx + dropped + slow_path + in_flight.
+/// After stop() in_flight is zero and balanced() must hold — stop()
+/// asserts it in debug builds, chaos tests assert it always. Wire-side
+/// losses (RX ring full, carrier out) happen before rx and are accounted
+/// separately in the NIC queue stats.
+struct ConservationAudit {
+  u64 rx = 0;         // packets workers fetched from the rings
+  u64 tx = 0;         // packets transmitted
+  u64 dropped = 0;    // sum over DropReason buckets
+  u64 slow_path = 0;  // packets consumed by the slow path
+  u64 in_flight = 0;  // packets in jobs still inside the pipeline
+  bool balanced() const { return rx == tx + dropped + slow_path + in_flight; }
+};
+
 class Router {
  public:
   /// `engine` and `gpus` outlive the router. `gpus` holds one device per
@@ -112,27 +174,46 @@ class Router {
   /// Attach the slow-path host stack: packets with a kSlowPath verdict are
   /// handed to it, and any response it builds (e.g. ICMP Time Exceeded)
   /// goes back out of the ingress port. Call before start(); the stack
-  /// must outlive the router. Null detaches.
+  /// must outlive the router. Null detaches. Admission control
+  /// (config.slowpath_admission) gates entry: refusals become
+  /// DropReason::kSlowpathShed.
   void set_host_stack(slowpath::HostStack* stack) { host_stack_ = stack; }
 
-  /// Spawn worker and master threads and start forwarding.
+  /// Spawn worker and master threads (and the heartbeat supervisor) and
+  /// start forwarding.
   void start();
 
-  /// Stop threads and join them. Idempotent.
+  /// Stop threads and join them. Idempotent. Asserts the conservation
+  /// audit in debug builds.
   void stop();
 
-  /// Aggregate statistics over all workers.
+  /// Aggregate statistics over all workers. Safe to call while the router
+  /// runs (counters are single-writer relaxed atomics): the snapshot is
+  /// not an instantaneous cut across workers, but every value in it was
+  /// current at the moment it was read.
   WorkerStats total_stats() const;
   /// Alias of total_stats() — the conventional accessor name.
   WorkerStats stats() const { return total_stats(); }
-  const std::vector<WorkerStats>& worker_stats() const { return stats_; }
+  std::vector<WorkerStats> worker_stats() const;
+
+  /// Packet-conservation audit. Exact once the router is stopped;
+  /// a racy-but-indicative snapshot while it runs.
+  ConservationAudit audit() const;
+
+  /// Liveness: the heartbeat supervisor (stall events, per-thread health).
+  /// Workers register first (supervisor thread id == worker id), then
+  /// masters (id == num_workers() + node).
+  const supervise::Supervisor& supervisor() const { return supervisor_; }
+
+  /// Slow-path admission accounting (admitted / shed by rate / by queue).
+  slowpath::AdmissionStats slowpath_admission_stats() const;
 
   /// Snapshot of node `node`'s GPU watchdog state.
   GpuHealthStats gpu_health(int node) const;
 
-  /// Route fault-injection checks ("core.master_queue") through `injector`.
-  /// Call before start(); null disables. The injector must outlive the
-  /// router.
+  /// Route fault-injection checks ("core.master_queue", the hang points)
+  /// through `injector`. Call before start(); null disables. The injector
+  /// must outlive the router.
   void set_fault_injector(fault::FaultInjector* injector) { injector_ = injector; }
 
   int workers_per_node() const { return workers_per_node_; }
@@ -143,12 +224,51 @@ class Router {
     std::unique_ptr<MpscQueue<ShaderJob*>> master_in;
     GpuContext gpu;
 
+    /// Released by the supervisor to un-park a master wedged at
+    /// fault::Point::kMasterHang (the "re-kick").
+    std::atomic<bool> hang_release{false};
+    int supervise_id = -1;
+
     // Watchdog state. Counters are written only by the node's master
     // thread; the mutex orders them for gpu_health() readers.
     mutable std::mutex health_mu;
     GpuHealthStats health;
     u32 consecutive_failures = 0;     // master-thread only
     u32 batches_since_probe = 0;      // master-thread only
+  };
+
+  /// Internal form of WorkerStats: single-writer relaxed atomics. Each
+  /// slot is written by exactly one worker thread; making the counters
+  /// atomic lets total_stats() / the supervisor / tests sample them while
+  /// traffic flows without a data race or a hot-path lock.
+  struct WorkerCounters {
+    std::atomic<u64> chunks{0};
+    std::atomic<u64> packets_in{0};
+    std::atomic<u64> packets_out{0};
+    std::atomic<u64> slow_path{0};
+    std::atomic<u64> cpu_processed{0};
+    std::atomic<u64> gpu_processed{0};
+    std::atomic<u64> bp_reduced_batches{0};
+    std::atomic<u64> bp_diverted_chunks{0};
+    std::atomic<u64> adopted_chunks{0};
+    std::array<std::atomic<u64>, iengine::kNumDropReasons> drops_by_reason{};
+
+    WorkerStats snapshot() const {
+      WorkerStats s;
+      s.chunks = chunks.load(std::memory_order_relaxed);
+      s.packets_in = packets_in.load(std::memory_order_relaxed);
+      s.packets_out = packets_out.load(std::memory_order_relaxed);
+      s.slow_path = slow_path.load(std::memory_order_relaxed);
+      s.cpu_processed = cpu_processed.load(std::memory_order_relaxed);
+      s.gpu_processed = gpu_processed.load(std::memory_order_relaxed);
+      s.bp_reduced_batches = bp_reduced_batches.load(std::memory_order_relaxed);
+      s.bp_diverted_chunks = bp_diverted_chunks.load(std::memory_order_relaxed);
+      s.adopted_chunks = adopted_chunks.load(std::memory_order_relaxed);
+      for (std::size_t r = 0; r < iengine::kNumDropReasons; ++r) {
+        s.drops_by_reason[r] = drops_by_reason[r].load(std::memory_order_relaxed);
+      }
+      return s;
+    }
   };
 
   struct WorkerRuntime {
@@ -158,6 +278,31 @@ class Router {
     iengine::IoHandle* handle = nullptr;
     std::unique_ptr<SpscRing<ShaderJob*>> out_queue;  // master -> this worker
     std::vector<JobPtr> job_pool;
+
+    // --- liveness / quarantine (supervisor handshake) ----------------------
+    std::atomic<bool> hang_release{false};
+    /// While true this worker does not poll its own NIC queues (a peer
+    /// adopted them after a detected hang). Set before the hang is
+    /// released, cleared only after the adopter acknowledged letting go.
+    std::atomic<bool> quarantined{false};
+    /// Exclusive right to RX on this worker's handle. A stall verdict can
+    /// be a false positive — a live worker merely starved of cycles, still
+    /// mid-poll when the supervisor hands its queues away — so the
+    /// single-consumer discipline cannot rest on the verdict alone: every
+    /// poll (owner or adopter) must win this token first. Uncontended in
+    /// steady state, so it costs one exchange per loop iteration.
+    std::atomic<bool> io_token{false};
+    /// Wedged peer whose handle this worker should drain in addition to
+    /// its own (quarantine adoption). Written by the supervisor.
+    std::atomic<WorkerRuntime*> adopt{nullptr};
+    /// Last `adopt` value this worker actually acted on, published every
+    /// iteration — the supervisor's proof that the adopter has let go
+    /// before the owner resumes (single-consumer discipline preserved).
+    std::atomic<WorkerRuntime*> adopt_ack{nullptr};
+    int adopter_id = -1;  // supervisor-thread only
+    int supervise_id = -1;
+
+    bool bp_active = false;  // worker-thread-local watermark hysteresis
   };
 
   void worker_loop(WorkerRuntime& worker);
@@ -171,6 +316,21 @@ class Router {
   void release_job(WorkerRuntime& worker, ShaderJob* job);
   void finish_job(WorkerRuntime& worker, ShaderJob* job);
   void process_cpu_only(WorkerRuntime& worker, ShaderJob* job);
+  /// Fetch one chunk from `handle` and route it through the pipeline
+  /// (GPU push with CPU fallback, or the CPU-only path). Returns true on
+  /// progress. `adopted` marks chunks drained on a quarantined peer's
+  /// behalf (for stats). `divert_cpu` skips the master queue entirely —
+  /// the deterministic opportunistic fallback when the queue is saturated.
+  bool recv_and_dispatch(WorkerRuntime& worker, iengine::IoHandle* handle, u32 batch_cap,
+                         u32 per_queue_cap, u32& inflight, bool adopted, bool divert_cpu);
+  /// Park the calling thread (no heartbeats) until the supervisor releases
+  /// it or the router stops — the deterministic model of a hung thread.
+  void simulate_hang(std::atomic<bool>& release);
+
+  // Supervisor-thread recovery policy.
+  void on_worker_stall(int worker_id);
+  void on_worker_recover(int worker_id);
+  void on_master_stall(int node);
 
   iengine::PacketIoEngine& engine_;
   Shader& shader_;
@@ -178,12 +338,19 @@ class Router {
   int workers_per_node_;
 
   slowpath::HostStack* host_stack_ = nullptr;
-  std::mutex host_stack_mu_;  // the host stack is single-threaded, as Linux's is per-softirq
+  mutable std::mutex host_stack_mu_;  // the host stack is single-threaded, as Linux's is per-softirq
+  slowpath::Admission slowpath_admission_;  // guarded by host_stack_mu_
   fault::FaultInjector* injector_ = nullptr;
 
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;  // NodeRuntime owns a mutex
-  std::vector<WorkerRuntime> workers_;
-  std::vector<WorkerStats> stats_;
+  std::vector<std::unique_ptr<WorkerRuntime>> workers_;  // owns atomics
+  /// Per-worker counters, cacheline-isolated (§4.4 discipline: each slot
+  /// is written on every chunk by its worker).
+  std::vector<CacheAligned<WorkerCounters>> stats_;
+  /// One heartbeat per worker, then one per master; cacheline-isolated
+  /// (each is written every loop iteration by its thread).
+  std::vector<CacheAligned<Heartbeat>> heartbeats_;
+  supervise::Supervisor supervisor_;
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};
   bool started_ = false;

@@ -22,6 +22,26 @@
 
 namespace ps::fault {
 
+/// Well-known fault-point names. Layers may also mint ad-hoc names (e.g.
+/// per-port variants suffix the port id: "nic.link_flap.3"); the ones
+/// threaded through recovery machinery live here so call sites and chaos
+/// tests cannot drift apart.
+struct Point {
+  /// A worker thread wedges (stops beating) until the supervisor's
+  /// recovery kicks it. Evaluated once per worker-loop iteration, right
+  /// after the heartbeat.
+  static constexpr std::string_view kWorkerHang = "core.worker_hang";
+  /// A master thread parks between shading batches until re-kicked.
+  static constexpr std::string_view kMasterHang = "core.master_hang";
+  /// Per-port carrier loss window, prefix only: the port appends its id
+  /// ("nic.link_flap.<port>"). While the window is active the link is
+  /// down — RX frames are lost on the wire, TX is rejected — and the
+  /// first activity past the window restores the carrier.
+  static constexpr std::string_view kLinkFlap = "nic.link_flap";
+  /// Master input-queue overflow (worker falls back to CPU shading).
+  static constexpr std::string_view kMasterQueue = "core.master_queue";
+};
+
 /// One scheduled fault window on a named injection point.
 struct FaultRule {
   std::string point;

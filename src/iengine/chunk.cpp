@@ -14,6 +14,7 @@ const char* to_string(DropReason reason) {
     case DropReason::kGpuFailed:  return "gpu_failed";
     case DropReason::kQueueFull:  return "queue_full";
     case DropReason::kCorrupted:  return "corrupted";
+    case DropReason::kSlowpathShed: return "slowpath_shed";
     case DropReason::kCount:      break;
   }
   return "unknown";

@@ -33,6 +33,7 @@ enum class DropReason : u8 {
   kGpuFailed,     // GPU shading failed and CPU re-shade was impossible
   kQueueFull,     // internal queue overflow with no fallback
   kCorrupted,     // NIC flagged the frame (bad checksum / DMA corruption)
+  kSlowpathShed,  // slow-path admission control refused the packet
   kCount,
 };
 

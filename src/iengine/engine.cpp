@@ -27,9 +27,10 @@ double copy_cycles(u32 frame_bytes) {
 IoHandle::IoHandle(PacketIoEngine* engine, int core, u16 tx_queue, std::vector<QueueRef> queues)
     : engine_(engine), core_(core), tx_queue_(tx_queue), queues_(std::move(queues)) {}
 
-u32 IoHandle::recv_from_queue(const QueueRef& ref, PacketChunk& chunk) {
+u32 IoHandle::recv_from_queue(const QueueRef& ref, PacketChunk& chunk, u32 max_take) {
   nic::NicPort* port = engine_->port(ref.port);
-  const u32 room = chunk.max_packets() - chunk.count();
+  if (!port->link_up()) return 0;  // carrier out: the driver stops polling
+  const u32 room = std::min(chunk.max_packets() - chunk.count(), max_take);
   if (room == 0) return 0;
 
   std::vector<nic::RxSlot> slots(room);
@@ -74,20 +75,26 @@ u32 IoHandle::recv_from_queue(const QueueRef& ref, PacketChunk& chunk) {
 }
 
 u32 IoHandle::recv_chunk(PacketChunk& chunk) {
+  return recv_chunk(chunk, chunk.max_packets(), chunk.max_packets());
+}
+
+u32 IoHandle::recv_chunk(PacketChunk& chunk, u32 batch_cap, u32 per_queue_cap) {
   chunk.clear();
-  if (queues_.empty()) return 0;
+  if (queues_.empty() || batch_cap == 0 || per_queue_cap == 0) return 0;
+  batch_cap = std::min(batch_cap, chunk.max_packets());
 
   // One engine call per chunk: the amortized "system call" (section 5.2).
   perf::charge_cpu_cycles(perf::kRxCyclesPerBatch);
 
   // Round-robin over this thread's virtual interfaces for fairness,
-  // resuming after the queue the previous call stopped at.
+  // resuming after the queue the previous call stopped at. Under
+  // backpressure the per-queue quota keeps the shrunk batch fair.
   u32 total = 0;
   for (std::size_t visited = 0; visited < queues_.size(); ++visited) {
     const QueueRef& ref = queues_[rr_cursor_];
     rr_cursor_ = (rr_cursor_ + 1) % queues_.size();
-    total += recv_from_queue(ref, chunk);
-    if (chunk.count() == chunk.max_packets()) break;
+    total += recv_from_queue(ref, chunk, std::min(per_queue_cap, batch_cap - total));
+    if (total >= batch_cap || chunk.count() == chunk.max_packets()) break;
   }
   return total;
 }

@@ -54,8 +54,17 @@ class IoHandle {
 
   /// Fetch up to the batch cap from this handle's queues, round-robin,
   /// starting from where the last call left off. Returns packets fetched
-  /// (0 when everything is dry). Non-blocking.
+  /// (0 when everything is dry). Non-blocking. Ports whose carrier is out
+  /// (nic link state) are skipped until the link recovers.
   u32 recv_chunk(PacketChunk& chunk);
+
+  /// Overload-control variant: fetch at most `batch_cap` packets in this
+  /// call and at most `per_queue_cap` of them from any one virtual
+  /// interface. Workers under backpressure shrink `batch_cap` (shedding
+  /// then happens at the NIC RX ring — the cheapest drop point) and use
+  /// `per_queue_cap` as a weighted admission quota so one hot port cannot
+  /// starve the others out of the shrunk batch.
+  u32 recv_chunk(PacketChunk& chunk, u32 batch_cap, u32 per_queue_cap);
 
   /// Blocking variant: on dry queues re-arms RX interrupts and sleeps until
   /// the NIC signals reception (or the engine stops). Returns 0 only on
@@ -82,7 +91,7 @@ class IoHandle {
 
   IoHandle(PacketIoEngine* engine, int core, u16 tx_queue, std::vector<QueueRef> queues);
 
-  u32 recv_from_queue(const QueueRef& ref, PacketChunk& chunk);
+  u32 recv_from_queue(const QueueRef& ref, PacketChunk& chunk, u32 max_take);
   void on_interrupt();
 
   PacketIoEngine* engine_;

@@ -46,13 +46,32 @@ NicPort::NicPort(int port_id, const pcie::Topology& topo, const NicConfig& confi
 void NicPort::set_fault_injector(fault::FaultInjector* injector) {
   injector_ = injector;
   link_down_point_ = "nic.link_down." + std::to_string(port_id_);
+  link_flap_point_ =
+      std::string(fault::Point::kLinkFlap) + "." + std::to_string(port_id_);
   if (injector_ != nullptr) {
     injector_->register_point("nic.rx_ring_full");
     injector_->register_point("nic.rx_corrupt");
     injector_->register_point("nic.tx_reject");
     injector_->register_point("mem.cell_exhausted");
     injector_->register_point(link_down_point_);
+    injector_->register_point(link_flap_point_);
   }
+}
+
+bool NicPort::link_fault_active() {
+  if (injector_ == nullptr) return false;
+  if (injector_->should_fire(link_flap_point_)) {
+    if (link_up_.exchange(false, std::memory_order_acq_rel)) {
+      ++link_flaps_;  // loss of carrier (up -> down edge)
+    }
+    ++carrier_lost_frames_;
+    return true;
+  }
+  // First event past the fault window: carrier restored.
+  if (!link_up_.load(std::memory_order_relaxed)) {
+    link_up_.store(true, std::memory_order_release);
+  }
+  return false;
 }
 
 void NicPort::configure_rss(u16 first_queue, u16 num_queues) {
@@ -107,6 +126,12 @@ bool NicPort::receive_frame(std::span<const u8> frame) {
   auto& q = rx_queues_[queue];
   auto& stats = *rx_stats_[queue];
 
+  if (link_fault_active()) {
+    // Carrier out: the frame is lost on the wire. Counted in the steering
+    // queue's drops so chaos tests can account for every injected loss.
+    ++stats.drops;
+    return false;
+  }
   if (injector_ != nullptr && injector_->should_fire(link_down_point_)) {
     // Link flap: the frame is lost on the wire; count it so chaos tests
     // can account for every injected loss.
@@ -183,6 +208,11 @@ bool NicPort::transmit(u16 queue, std::span<const u8> frame) {
   auto& q = tx_queues_[queue];
   auto& stats = *tx_stats_[queue];
 
+  if (link_fault_active()) {
+    // Carrier out: transmission is impossible until the link recovers.
+    ++stats.drops;
+    return false;
+  }
   if (injector_ != nullptr && (injector_->should_fire("nic.tx_reject") ||
                                injector_->should_fire(link_down_point_))) {
     // Injected TX backpressure / downed link: reject, caller may retry.

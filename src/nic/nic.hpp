@@ -69,9 +69,27 @@ class NicPort {
   /// disables). Registered points: "nic.rx_ring_full" (RX ring-full burst),
   /// "nic.rx_corrupt" (frame corrupted on DMA, flagged in the descriptor),
   /// "nic.tx_reject" (TX-ring backpressure), "mem.cell_exhausted"
-  /// (huge-buffer cell unavailable), and "nic.link_down.<port>" (per-port
-  /// link flap, both directions). The injector must outlive the port.
+  /// (huge-buffer cell unavailable), "nic.link_down.<port>" (per-frame
+  /// link fault, both directions), and "nic.link_flap.<port>" (carrier
+  /// loss: the link-state latch below goes down for the window). The
+  /// injector must outlive the port.
   void set_fault_injector(fault::FaultInjector* injector);
+
+  // --- link state (carrier) ------------------------------------------------
+
+  /// Carrier latch driven by the "nic.link_flap.<port>" fault window: an
+  /// in-window wire/TX event takes the link down, the first one past the
+  /// window restores it. The io-engine stops polling a down port's RX
+  /// queues (the driver honours loss of carrier) and resumes when it
+  /// comes back.
+  bool link_up() const { return link_up_.load(std::memory_order_acquire); }
+  /// Up->down transitions observed.
+  u64 link_flaps() const { return link_flaps_.load(std::memory_order_relaxed); }
+  /// Frames lost on the wire (RX) or rejected at TX while the carrier was
+  /// out. Also counted in the affected queue's drops.
+  u64 carrier_lost_frames() const {
+    return carrier_lost_frames_.load(std::memory_order_relaxed);
+  }
 
   /// Program the RSS indirection table to spread over RX queues
   /// [first, first+n); defaults to all queues.
@@ -144,6 +162,9 @@ class NicPort {
   void charge_rx_dma(u32 frame_bytes);
   void charge_tx_dma(u32 frame_bytes);
   void charge_dma(perf::ResourceKind channel, Picos occupancy);
+  /// Evaluate the per-port link-flap point and update the carrier latch.
+  /// Returns true while the carrier is out for this event.
+  bool link_fault_active();
 
   int port_id_;
   int node_;
@@ -167,6 +188,10 @@ class NicPort {
   perf::CostLedger* ledger_ = nullptr;
   fault::FaultInjector* injector_ = nullptr;
   std::string link_down_point_;  // "nic.link_down.<port>", precomputed
+  std::string link_flap_point_;  // "nic.link_flap.<port>", precomputed
+  std::atomic<bool> link_up_{true};
+  std::atomic<u64> link_flaps_{0};
+  std::atomic<u64> carrier_lost_frames_{0};
   bool numa_blind_ = false;
   WireSink* wire_sink_ = nullptr;
   NullWire default_sink_;

@@ -1,0 +1,29 @@
+#include "slowpath/admission.hpp"
+
+namespace ps::slowpath {
+
+Admission::Admission(AdmissionConfig config)
+    : config_(config),
+      bucket_(config.rate_pps, config.burst),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Picos Admission::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<Picos>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count() * 1000);
+}
+
+bool Admission::admit(std::size_t retained_frames) {
+  if (retained_frames >= config_.queue_capacity) {
+    ++stats_.shed_queue;
+    return false;
+  }
+  if (!bucket_.try_consume(now())) {
+    ++stats_.shed_rate;
+    return false;
+  }
+  ++stats_.admitted;
+  return true;
+}
+
+}  // namespace ps::slowpath

@@ -1,0 +1,64 @@
+// Slow-path admission control: a token-bucket rate limiter plus a bound
+// on the host stack's retained memory, sitting in front of
+// slowpath::HostStack.
+//
+// The slow path exists for the rare packet (TTL expiry, router-addressed
+// control traffic); it is orders of magnitude slower than the data path
+// and it *retains* frames (local deliveries). Without admission control a
+// data-path flood of slow-path-classified packets buries the host stack —
+// the failure mode "Data Path Processing in Fast Programmable Routers"
+// warns about — and exhausts its memory. Every refusal is accounted as a
+// DropReason::kSlowpathShed drop; nothing is shed silently.
+//
+// Single-threaded by design: the router already serializes host-stack
+// access (host_stack_mu_), and admit() is called under that same lock.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+#include "common/token_bucket.hpp"
+#include "common/types.hpp"
+
+namespace ps::slowpath {
+
+struct AdmissionConfig {
+  /// Sustained packets/second the slow path will accept.
+  double rate_pps = 100'000;
+  /// Bucket depth: a short burst above the rate is fine (the stack's
+  /// queue absorbs it), a sustained flood is not.
+  double burst = 1024;
+  /// Upper bound on frames the host stack may retain (local-delivery
+  /// queue). Admission refuses once the stack holds this many.
+  std::size_t queue_capacity = 4096;
+};
+
+struct AdmissionStats {
+  u64 admitted = 0;
+  u64 shed_rate = 0;   // refused: token bucket empty (flood)
+  u64 shed_queue = 0;  // refused: host stack at its memory bound
+};
+
+class Admission {
+ public:
+  explicit Admission(AdmissionConfig config = {});
+
+  const AdmissionConfig& config() const { return config_; }
+
+  /// May one more packet enter the host stack? `retained_frames` is the
+  /// stack's current retained-queue depth (its memory bound). Counts the
+  /// outcome either way.
+  bool admit(std::size_t retained_frames);
+
+  const AdmissionStats& stats() const { return stats_; }
+
+ private:
+  Picos now() const;
+
+  AdmissionConfig config_;
+  TokenBucket bucket_;
+  AdmissionStats stats_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace ps::slowpath

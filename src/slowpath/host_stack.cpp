@@ -107,6 +107,10 @@ std::optional<net::FrameBuffer> HostStack::handle(std::span<const u8> frame, int
         return build_echo_reply(view, in_port);
       }
     }
+    if (local_.size() >= local_capacity_) {
+      ++stats_.local_overflow;  // socket buffer full: the frame is gone
+      return std::nullopt;
+    }
     ++stats_.delivered_locally;
     local_.emplace_back(frame.begin(), frame.end());
     return std::nullopt;

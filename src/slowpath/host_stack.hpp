@@ -22,6 +22,9 @@ struct HostStackStats {
   u64 icmp_echo_replies = 0;
   u64 delivered_locally = 0;
   u64 unhandled = 0;
+  /// Local deliveries refused because the retained queue hit its memory
+  /// bound (defense in depth behind slowpath::Admission).
+  u64 local_overflow = 0;
 };
 
 class HostStack {
@@ -39,6 +42,15 @@ class HostStack {
   /// Frames delivered to local sockets (would-be BGP/SSH traffic).
   const std::vector<net::FrameBuffer>& local_deliveries() const { return local_; }
 
+  /// Hard bound on retained local-delivery frames: past it, new local
+  /// deliveries are counted in `local_overflow` and discarded instead of
+  /// growing the queue. Models finite socket buffers — the stack's memory
+  /// stays bounded whatever the data path feeds it.
+  void set_local_capacity(std::size_t capacity) { local_capacity_ = capacity; }
+  std::size_t local_capacity() const { return local_capacity_; }
+  /// Consume the retained queue (a local daemon reading its socket).
+  void drain_local() { local_.clear(); }
+
   const HostStackStats& stats() const { return stats_; }
 
  private:
@@ -48,6 +60,7 @@ class HostStack {
   net::Ipv4Addr router_addr_;
   std::unordered_set<net::Ipv4Addr> local_addrs_;
   std::vector<net::FrameBuffer> local_;
+  std::size_t local_capacity_ = 4096;
   HostStackStats stats_;
 };
 

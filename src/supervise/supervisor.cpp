@@ -1,0 +1,152 @@
+#include "supervise/supervisor.hpp"
+
+#include <cassert>
+
+namespace ps::supervise {
+
+const char* to_string(ThreadKind kind) {
+  switch (kind) {
+    case ThreadKind::kWorker: return "worker";
+    case ThreadKind::kMaster: return "master";
+    case ThreadKind::kOther: return "other";
+  }
+  return "?";
+}
+
+Supervisor::Supervisor(SupervisorConfig config) : config_(config) {}
+
+Supervisor::~Supervisor() { stop(); }
+
+int Supervisor::add_thread(std::string name, ThreadKind kind, const Heartbeat* hb,
+                           StallHandler on_stall, RecoverHandler on_recover) {
+  assert(hb != nullptr);
+  std::lock_guard lock(mu_);
+  assert(!started_ && "register threads before start()");
+  Slot slot;
+  slot.name = std::move(name);
+  slot.kind = kind;
+  slot.hb = hb;
+  slot.on_stall = std::move(on_stall);
+  slot.on_recover = std::move(on_recover);
+  slot.last_beats = hb->beats_now();
+  slot.last_advance = std::chrono::steady_clock::now();
+  slots_.push_back(std::move(slot));
+  return static_cast<int>(slots_.size() - 1);
+}
+
+void Supervisor::check(std::chrono::steady_clock::time_point now) {
+  // Collect transitions under the lock, invoke handlers outside it: the
+  // recovery handshake may block on another thread's heartbeat, and
+  // accessors (health(), stall_events()) must stay responsive meanwhile.
+  struct Pending {
+    StallHandler* on_stall = nullptr;
+    RecoverHandler* on_recover = nullptr;
+    int thread_id = -1;
+    StallEvent event;
+  };
+  std::vector<Pending> pending;
+  {
+    std::lock_guard lock(mu_);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = slots_[i];
+      const u64 beats = slot.hb->beats_now();
+      if (beats != slot.last_beats) {
+        slot.last_beats = beats;
+        slot.last_advance = now;
+        if (slot.state == ThreadState::kStalled) {
+          slot.state = ThreadState::kLive;
+          ++slot.recoveries;
+          if (slot.on_recover) {
+            pending.push_back({nullptr, &slot.on_recover, static_cast<int>(i), {}});
+          }
+        }
+        continue;
+      }
+      const auto silent =
+          std::chrono::duration_cast<std::chrono::milliseconds>(now - slot.last_advance);
+      if (slot.state == ThreadState::kLive && silent > config_.stall_window) {
+        slot.state = ThreadState::kStalled;
+        ++slot.stalls;
+        StallEvent event;
+        event.thread_id = static_cast<int>(i);
+        event.name = slot.name;
+        event.kind = slot.kind;
+        event.beats_at_detection = beats;
+        event.silent_for = silent;
+        events_.push_back(event);
+        pending.push_back({slot.on_stall ? &slot.on_stall : nullptr, nullptr,
+                           static_cast<int>(i), std::move(event)});
+      }
+    }
+  }
+  for (auto& p : pending) {
+    if (p.on_stall != nullptr) (*p.on_stall)(p.event);
+    if (p.on_recover != nullptr) (*p.on_recover)(p.thread_id);
+  }
+}
+
+void Supervisor::check_now() { check(std::chrono::steady_clock::now()); }
+
+void Supervisor::run() {
+  while (running_.load(std::memory_order_acquire)) {
+    check(std::chrono::steady_clock::now());
+    std::unique_lock lock(mu_);
+    cv_.wait_for(lock, config_.check_interval,
+                 [&] { return !running_.load(std::memory_order_acquire); });
+  }
+}
+
+void Supervisor::start() {
+  {
+    std::lock_guard lock(mu_);
+    if (started_) return;
+    started_ = true;
+    // Re-baseline every slot: the gap between registration and start()
+    // (threads may not even exist yet) must not count as silence.
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& slot : slots_) {
+      slot.last_beats = slot.hb->beats_now();
+      slot.last_advance = now;
+    }
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
+}
+
+void Supervisor::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  running_.store(false, std::memory_order_release);
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+ThreadHealth Supervisor::health(int thread_id) const {
+  std::lock_guard lock(mu_);
+  const Slot& slot = slots_.at(static_cast<std::size_t>(thread_id));
+  return {slot.state, slot.stalls, slot.recoveries, slot.last_beats};
+}
+
+std::vector<StallEvent> Supervisor::stall_events() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+u64 Supervisor::stalls_detected() const {
+  std::lock_guard lock(mu_);
+  u64 total = 0;
+  for (const auto& slot : slots_) total += slot.stalls;
+  return total;
+}
+
+u64 Supervisor::recoveries() const {
+  std::lock_guard lock(mu_);
+  u64 total = 0;
+  for (const auto& slot : slots_) total += slot.recoveries;
+  return total;
+}
+
+}  // namespace ps::supervise

@@ -1,0 +1,125 @@
+// Heartbeat supervisor (liveness layer).
+//
+// Every worker and master publishes a cacheline-isolated Heartbeat
+// (common/heartbeat.hpp); the Supervisor samples them from a dedicated
+// thread every `check_interval` and declares a thread stalled once its
+// beat counter has been silent for longer than `stall_window`. Detection
+// is therefore bounded: a hung thread is noticed within
+// stall_window + check_interval (+ scheduler noise).
+//
+// The supervisor itself is policy-free. Recovery lives with the owner of
+// the supervised threads (the Router), which registers callbacks:
+//  - on_stall fires once per live->stalled transition (record the event,
+//    quarantine the thread's queues, kick it);
+//  - on_recover fires once per stalled->live transition (the beats
+//    resumed; undo the quarantine).
+// Callbacks run on the supervisor thread, outside the supervisor's lock,
+// so they may block briefly (e.g. the queue-handoff handshake).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/heartbeat.hpp"
+#include "common/types.hpp"
+
+namespace ps::supervise {
+
+enum class ThreadKind : u8 { kWorker, kMaster, kOther };
+
+enum class ThreadState : u8 { kLive, kStalled };
+
+const char* to_string(ThreadKind kind);
+
+/// One live->stalled transition, recorded for tests and post-mortems.
+struct StallEvent {
+  int thread_id = -1;
+  std::string name;
+  ThreadKind kind = ThreadKind::kOther;
+  u64 beats_at_detection = 0;
+  /// Observed silence when the stall was declared (>= stall_window).
+  std::chrono::milliseconds silent_for{0};
+};
+
+struct SupervisorConfig {
+  std::chrono::milliseconds check_interval{2};
+  /// Heartbeat silence longer than this declares the thread stalled.
+  std::chrono::milliseconds stall_window{20};
+};
+
+/// Snapshot of one supervised thread's liveness accounting.
+struct ThreadHealth {
+  ThreadState state = ThreadState::kLive;
+  u64 stalls = 0;
+  u64 recoveries = 0;
+  u64 last_beats = 0;
+};
+
+class Supervisor {
+ public:
+  using StallHandler = std::function<void(const StallEvent&)>;
+  using RecoverHandler = std::function<void(int thread_id)>;
+
+  explicit Supervisor(SupervisorConfig config = {});
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Register a supervised thread. `hb` must outlive the supervisor and
+  /// stay at a stable address (e.g. inside a reserved vector). Returns the
+  /// thread's id. Call before start().
+  int add_thread(std::string name, ThreadKind kind, const Heartbeat* hb,
+                 StallHandler on_stall = {}, RecoverHandler on_recover = {});
+
+  /// Spawn the supervision thread. Idempotent.
+  void start();
+  /// Stop and join the supervision thread. Idempotent.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  const SupervisorConfig& config() const { return config_; }
+
+  /// One synchronous supervision pass (deterministic tests drive this
+  /// instead of start()).
+  void check_now();
+
+  ThreadHealth health(int thread_id) const;
+  std::vector<StallEvent> stall_events() const;
+  u64 stalls_detected() const;
+  u64 recoveries() const;
+
+ private:
+  struct Slot {
+    std::string name;
+    ThreadKind kind = ThreadKind::kOther;
+    const Heartbeat* hb = nullptr;
+    StallHandler on_stall;
+    RecoverHandler on_recover;
+    // Supervisor-thread state, published under mu_ for accessors.
+    u64 last_beats = 0;
+    std::chrono::steady_clock::time_point last_advance;
+    ThreadState state = ThreadState::kLive;
+    u64 stalls = 0;
+    u64 recoveries = 0;
+  };
+
+  void run();
+  void check(std::chrono::steady_clock::time_point now);
+
+  SupervisorConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // wakes the loop promptly on stop()
+  std::vector<Slot> slots_;
+  std::vector<StallEvent> events_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+};
+
+}  // namespace ps::supervise

@@ -1,0 +1,62 @@
+// Slow-path admission control: token-bucket rate limiting plus the
+// host-stack memory bound, with every refusal accounted.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "slowpath/admission.hpp"
+
+namespace ps::slowpath {
+namespace {
+
+TEST(Admission, BurstAdmittedThenRateShed) {
+  // A glacial refill rate makes the outcome deterministic: exactly the
+  // burst is admitted, everything after is shed by the rate limiter.
+  Admission admission({.rate_pps = 0.001, .burst = 8, .queue_capacity = 100});
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(admission.admit(/*retained_frames=*/0)) << "burst packet " << i;
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(admission.admit(/*retained_frames=*/0));
+  }
+  EXPECT_EQ(admission.stats().admitted, 8u);
+  EXPECT_EQ(admission.stats().shed_rate, 5u);
+  EXPECT_EQ(admission.stats().shed_queue, 0u);
+}
+
+TEST(Admission, QueueBoundShedsBeforeTouchingTheBucket) {
+  Admission admission({.rate_pps = 1e9, .burst = 1e6, .queue_capacity = 4});
+  EXPECT_TRUE(admission.admit(3));   // below the bound
+  EXPECT_FALSE(admission.admit(4));  // at the bound: refused
+  EXPECT_FALSE(admission.admit(10000));
+  EXPECT_EQ(admission.stats().admitted, 1u);
+  EXPECT_EQ(admission.stats().shed_queue, 2u);
+  EXPECT_EQ(admission.stats().shed_rate, 0u);
+}
+
+TEST(Admission, BucketRefillsOverWallClock) {
+  // 10k tokens/s -> one token every 100us; after draining the burst, a
+  // short real sleep makes admission possible again.
+  Admission admission({.rate_pps = 10'000, .burst = 2, .queue_capacity = 100});
+  EXPECT_TRUE(admission.admit(0));
+  EXPECT_TRUE(admission.admit(0));
+  // The bucket may or may not be empty this same instant, but after 50ms
+  // (500 tokens of refill, capped at burst=2) it must admit again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(admission.admit(0));
+  EXPECT_GE(admission.stats().admitted, 3u);
+}
+
+TEST(Admission, DefaultsAreGenerousForLightSlowpathTraffic) {
+  // The router's default config must not perturb functional tests that
+  // push a handful of TTL-expired packets.
+  Admission admission;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(admission.admit(static_cast<std::size_t>(i)));
+  }
+  EXPECT_EQ(admission.stats().admitted, 100u);
+}
+
+}  // namespace
+}  // namespace ps::slowpath

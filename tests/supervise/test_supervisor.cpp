@@ -1,0 +1,145 @@
+// Heartbeat supervisor unit tests: bounded stall detection, recovery
+// transitions, callback ordering, and the threaded mode.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/heartbeat.hpp"
+#include "supervise/supervisor.hpp"
+
+namespace ps::supervise {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Supervisor, BeatingThreadStaysLive) {
+  Supervisor sup({.check_interval = 1ms, .stall_window = 5ms});
+  Heartbeat hb;
+  const int id = sup.add_thread("worker.0", ThreadKind::kWorker, &hb);
+
+  for (int i = 0; i < 5; ++i) {
+    hb.beat();
+    std::this_thread::sleep_for(2ms);
+    sup.check_now();
+  }
+  EXPECT_EQ(sup.health(id).state, ThreadState::kLive);
+  EXPECT_EQ(sup.stalls_detected(), 0u);
+  EXPECT_TRUE(sup.stall_events().empty());
+}
+
+TEST(Supervisor, SilentThreadDetectedWithinWindow) {
+  Supervisor sup({.check_interval = 1ms, .stall_window = 5ms});
+  Heartbeat hb;
+  hb.beat();
+
+  std::atomic<int> stalls{0};
+  const int id = sup.add_thread(
+      "master.0", ThreadKind::kMaster, &hb,
+      [&](const StallEvent& e) {
+        ++stalls;
+        EXPECT_EQ(e.name, "master.0");
+        EXPECT_EQ(e.kind, ThreadKind::kMaster);
+        EXPECT_GT(e.silent_for, 5ms);
+      });
+
+  sup.check_now();  // baseline: beat observed, thread live
+  EXPECT_EQ(sup.health(id).state, ThreadState::kLive);
+
+  std::this_thread::sleep_for(8ms);  // silence > stall_window
+  sup.check_now();
+  EXPECT_EQ(sup.health(id).state, ThreadState::kStalled);
+  EXPECT_EQ(stalls.load(), 1);
+  ASSERT_EQ(sup.stall_events().size(), 1u);
+  EXPECT_EQ(sup.stall_events()[0].thread_id, id);
+
+  // Still silent: the stall is declared once, not per check.
+  std::this_thread::sleep_for(8ms);
+  sup.check_now();
+  EXPECT_EQ(stalls.load(), 1);
+  EXPECT_EQ(sup.stalls_detected(), 1u);
+}
+
+TEST(Supervisor, ResumedBeatsTriggerRecovery) {
+  Supervisor sup({.check_interval = 1ms, .stall_window = 5ms});
+  Heartbeat hb;
+  std::atomic<int> recovered{0};
+  const int id = sup.add_thread(
+      "worker.1", ThreadKind::kWorker, &hb, {},
+      [&](int thread_id) {
+        ++recovered;
+        EXPECT_EQ(thread_id, 0);
+      });
+
+  sup.check_now();
+  std::this_thread::sleep_for(8ms);
+  sup.check_now();
+  ASSERT_EQ(sup.health(id).state, ThreadState::kStalled);
+
+  hb.beat();  // the thread came back
+  sup.check_now();
+  EXPECT_EQ(sup.health(id).state, ThreadState::kLive);
+  EXPECT_EQ(recovered.load(), 1);
+  EXPECT_EQ(sup.health(id).stalls, 1u);
+  EXPECT_EQ(sup.health(id).recoveries, 1u);
+  EXPECT_EQ(sup.recoveries(), 1u);
+}
+
+TEST(Supervisor, ThreadedModeDetectsAndRecoversAutomatically) {
+  Supervisor sup({.check_interval = 1ms, .stall_window = 5ms});
+  Heartbeat live_hb;
+  Heartbeat hung_hb;
+  const int live_id = sup.add_thread("worker.live", ThreadKind::kWorker, &live_hb);
+  const int hung_id = sup.add_thread("worker.hung", ThreadKind::kWorker, &hung_hb);
+
+  std::atomic<bool> run{true};
+  std::thread beater([&] {
+    while (run.load()) {
+      live_hb.beat();
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+
+  sup.start();
+  // Detection is bounded by stall_window + check_interval + scheduling
+  // noise; 500ms is orders of magnitude of slack.
+  const auto deadline = std::chrono::steady_clock::now() + 500ms;
+  while (sup.stalls_detected() < 1 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(sup.health(hung_id).state, ThreadState::kStalled);
+  EXPECT_EQ(sup.health(live_id).state, ThreadState::kLive);
+
+  hung_hb.beat();
+  const auto deadline2 = std::chrono::steady_clock::now() + 500ms;
+  while (sup.recoveries() < 1 && std::chrono::steady_clock::now() < deadline2) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(sup.health(hung_id).state, ThreadState::kLive);
+  EXPECT_EQ(sup.health(hung_id).recoveries, 1u);
+
+  sup.stop();
+  run.store(false);
+  beater.join();
+  EXPECT_EQ(sup.health(live_id).stalls, 0u);
+}
+
+TEST(Supervisor, StartRebaselinesRegistrationGap) {
+  Supervisor sup({.check_interval = 1ms, .stall_window = 5ms});
+  Heartbeat hb;
+  std::atomic<int> stalls{0};
+  sup.add_thread("worker.0", ThreadKind::kWorker, &hb,
+                 [&](const StallEvent&) { ++stalls; });
+
+  // A long gap between registration and start() must not be read as
+  // silence: the supervised thread may not even have been spawned yet.
+  std::this_thread::sleep_for(10ms);
+  sup.start();
+  std::this_thread::sleep_for(3ms);  // less than the window after start
+  sup.stop();
+  EXPECT_EQ(stalls.load(), 0);
+}
+
+}  // namespace
+}  // namespace ps::supervise
