@@ -17,16 +17,27 @@
 // + service (processor-shared over the worker cores) + GPU pipeline
 // residence + M/D/1-style queueing against the configuration's capacity.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
 
+#include "apps/ipv6_forward.hpp"
 #include "bench/bench_util.hpp"
+#include "core/router.hpp"
+#include "core/testbed.hpp"
+#include "gen/traffic.hpp"
 #include "perf/calibration.hpp"
 #include "perf/model.hpp"
+#include "telemetry/exporter.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace {
 
 using namespace ps;
+using namespace std::chrono_literals;
 
 struct Config {
   const char* name;
@@ -85,6 +96,59 @@ double latency_us(const Config& cfg, double offered_gbps) {
   return lat;
 }
 
+/// Measured counterpart of the analytic walk: drive 64 B IPv6 traffic
+/// through the real threaded router with the pipeline tracer enabled and
+/// report the per-stage latency breakdown from the drained spans — the
+/// stages are stamped by the router itself (PipelineTracer), not by
+/// ad-hoc timers in this bench.
+telemetry::StageBreakdown measure_stage_breakdown() {
+  const route::Ipv6Prefix default_route{net::Ipv6Addr{}, 0, 1};
+  route::Ipv6Table table;
+  table.build({&default_route, 1});
+  apps::Ipv6ForwardApp app(table);
+
+  core::Testbed testbed({.topo = pcie::Topology::single_node(),
+                         .use_gpu = true,
+                         .ring_size = 4096,
+                         .gpu_pool_workers = 0},
+                        core::RouterConfig{.use_gpu = true});
+  gen::TrafficGen traffic({.kind = gen::TrafficKind::kIpv6Udp, .frame_size = 78, .seed = 12});
+  testbed.connect_sink(&traffic);
+
+  core::RouterConfig config;
+  config.use_gpu = true;
+  config.chunk_capacity = 64;
+
+  telemetry::PipelineTracer tracer(1u << 15);
+  tracer.set_enabled(true);
+
+  core::Router router(testbed.engine(), testbed.gpus(), app, config);
+  router.set_tracer(&tracer);
+  router.start();
+
+  u64 accepted = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 < 400ms) {
+    accepted += traffic.offer(testbed.ports(), 512);
+  }
+  // Drain-wait on total_stats() (single-writer atomics); audit()'s
+  // job-pool scan is only race-free once the router is stopped.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto s = router.total_stats();
+    if (s.packets_in == accepted &&
+        s.packets_out + s.dropped() + s.slow_path == s.packets_in) {
+      break;
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+  router.stop();
+
+  std::vector<telemetry::TraceSpan> spans;
+  tracer.drain(spans);
+  return telemetry::compute_stage_breakdown(spans);
+}
+
 }  // namespace
 
 int main() {
@@ -129,5 +193,24 @@ int main() {
       {"batched <= unbatched wherever both run (1=yes)", 1.0,
        batched_never_higher ? 1.0 : 0.0},
   });
+
+  bench::print_note("measured run: real threaded router, tracer-stamped stage boundaries");
+  const auto breakdown = measure_stage_breakdown();
+  telemetry::Exporter exporter(std::cout);
+  exporter.print_stage_breakdown(breakdown, "per-stage latency (measured, CPU+GPU batched)");
+
+  telemetry::BenchLine line("fig12_stage_breakdown");
+  line.field("spans", breakdown.spans).fixed("end_to_end_mean_us", breakdown.total_mean_us, 2);
+  line.array("stages");
+  for (std::size_t i = 1; i < telemetry::kNumStages; ++i) {
+    if (breakdown.samples[i] == 0) continue;
+    line.object()
+        .field("stage", std::string(telemetry::to_string(static_cast<telemetry::Stage>(i))))
+        .fixed("mean_us", breakdown.mean_us[i], 2)
+        .field("samples", breakdown.samples[i])
+        .end();
+  }
+  line.end();
+  bench::emit_bench(line);
   return 0;
 }

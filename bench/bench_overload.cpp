@@ -220,21 +220,27 @@ int main() {
       {"goodput at 4x / peak goodput (>= 0.85)", 1.0, retention},
   });
 
-  std::printf("\nBENCH {\"bench\":\"overload\",\"capacity_pps\":%.0f,\"peak_goodput_pps\":%.0f,"
-              "\"goodput_retention_at_4x\":%.3f,\"points\":[",
-              capacity_pps, peak, retention);
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto& p = points[i];
-    std::printf("%s{\"mult\":%.1f,\"offered_pps\":%.0f,\"goodput_pps\":%.0f,"
-                "\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"offered\":%llu,\"accepted\":%llu,"
-                "\"hw_drops\":%llu,\"bp_reduced_batches\":%llu,\"bp_diverted_chunks\":%llu}",
-                i ? "," : "", p.mult, p.offered_pps, p.goodput_pps, p.p50_ms, p.p99_ms,
-                static_cast<unsigned long long>(p.offered),
-                static_cast<unsigned long long>(p.accepted),
-                static_cast<unsigned long long>(p.hw_drops),
-                static_cast<unsigned long long>(p.bp_reduced_batches),
-                static_cast<unsigned long long>(p.bp_diverted_chunks));
+  std::printf("\n");
+  telemetry::BenchLine line("overload");
+  line.fixed("capacity_pps", capacity_pps, 0)
+      .fixed("peak_goodput_pps", peak, 0)
+      .fixed("goodput_retention_at_4x", retention, 3)
+      .array("points");
+  for (const auto& p : points) {
+    line.object()
+        .fixed("mult", p.mult, 1)
+        .fixed("offered_pps", p.offered_pps, 0)
+        .fixed("goodput_pps", p.goodput_pps, 0)
+        .fixed("p50_ms", p.p50_ms, 3)
+        .fixed("p99_ms", p.p99_ms, 3)
+        .field("offered", p.offered)
+        .field("accepted", p.accepted)
+        .field("hw_drops", p.hw_drops)
+        .field("bp_reduced_batches", p.bp_reduced_batches)
+        .field("bp_diverted_chunks", p.bp_diverted_chunks)
+        .end();
   }
-  std::printf("]}\n");
+  line.end();
+  bench::emit_bench(line);
   return retention >= 0.85 ? 0 : 1;
 }

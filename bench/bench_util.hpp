@@ -5,10 +5,22 @@
 #pragma once
 
 #include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "telemetry/exporter.hpp"
+
 namespace ps::bench {
+
+/// Emit the canonical machine-readable line on stdout. Benches build the
+/// line with telemetry::BenchLine instead of hand-rolled printf; the
+/// format is pinned byte-exactly by the golden tests in
+/// tests/telemetry/test_exporter.cpp.
+inline void emit_bench(const telemetry::BenchLine& line) {
+  telemetry::Exporter exporter(std::cout);
+  exporter.emit(line);
+}
 
 inline void print_header(const std::string& id, const std::string& title) {
   std::printf("\n==============================================================\n");

@@ -10,11 +10,24 @@
 # suites are worth a focused TSan pass while iterating:
 #   scripts/run_sanitizers.sh thread \
 #     'Supervisor|SupervisorChaos|OverloadControl|Admission|LinkFlap|FibChurn|RouterBackpressure|Chaos'
+#
+# The telemetry layer has its own cross-thread surface — snapshot() racing
+# single-writer counters, the tracer's per-slot seqlock, the GPU/CPU
+# differential paths — collected under the "telemetry" shorthand:
+#   scripts/run_sanitizers.sh thread telemetry
+# In particular TelemetryConservation runs a snapshot thread against live
+# traffic: a data race in MetricsRegistry::snapshot() fails that suite
+# under TSan.
 set -e
 cd "$(dirname "$0")/.."
 
+telemetry_filter='TelemetryConservation|MetricsRegistry|PipelineTrace|BenchLine|Exporter|StageBreakdown|GpuCpuDifferential'
+
 presets="${1:-address thread}"
 filter="$2"
+if [ "$filter" = "telemetry" ]; then
+  filter="$telemetry_filter"
+fi
 
 for preset in $presets; do
   build_dir="build-san-$preset"

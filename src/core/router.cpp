@@ -139,13 +139,17 @@ void Router::finish_job(WorkerRuntime& worker, ShaderJob* job) {
           1, std::memory_order_relaxed);
     }
   }
+  st.in_flight_packets.fetch_sub(job->chunk.count(), std::memory_order_relaxed);
+  if (tracer_ != nullptr) tracer_->end_span(job->trace_slot);
   release_job(worker, job);
 }
 
 void Router::process_cpu_only(WorkerRuntime& worker, ShaderJob* job) {
   stats_[static_cast<std::size_t>(worker.id)]->cpu_processed.fetch_add(
       job->chunk.count(), std::memory_order_relaxed);
+  if (tracer_ != nullptr) tracer_->mark_cpu_path(job->trace_slot);
   shader_.process_cpu(job->chunk);
+  if (tracer_ != nullptr) tracer_->stamp(job->trace_slot, telemetry::Stage::kScatter);
   finish_job(worker, job);
 }
 
@@ -169,6 +173,8 @@ bool Router::recv_and_dispatch(WorkerRuntime& worker, iengine::IoHandle* handle,
   }
   st.chunks.fetch_add(1, std::memory_order_relaxed);
   st.packets_in.fetch_add(n, std::memory_order_relaxed);
+  st.in_flight_packets.fetch_add(n, std::memory_order_relaxed);
+  if (tracer_ != nullptr) job->trace_slot = tracer_->begin_span(n);
   heartbeats_[static_cast<std::size_t>(worker.id)].value.advance(n);
   if (adopted) st.adopted_chunks.fetch_add(1, std::memory_order_relaxed);
   if (worker.bp_active) st.bp_reduced_batches.fetch_add(1, std::memory_order_relaxed);
@@ -197,8 +203,10 @@ bool Router::recv_and_dispatch(WorkerRuntime& worker, iengine::IoHandle* handle,
     // again).
     if (divert_cpu) st.bp_diverted_chunks.fetch_add(1, std::memory_order_relaxed);
     st.cpu_processed.fetch_add(n, std::memory_order_relaxed);
+    if (tracer_ != nullptr) tracer_->mark_cpu_path(job->trace_slot);
     shader_.shade_cpu(*job);
     shader_.post_shade(*job);
+    if (tracer_ != nullptr) tracer_->stamp(job->trace_slot, telemetry::Stage::kScatter);
     finish_job(worker, job);
   }
   return true;
@@ -233,6 +241,7 @@ void Router::worker_loop(WorkerRuntime& worker) {
         st.cpu_processed.fetch_add(job->chunk.count(), std::memory_order_relaxed);
       }
       shader_.post_shade(*job);
+      if (tracer_ != nullptr) tracer_->stamp(job->trace_slot, telemetry::Stage::kScatter);
       finish_job(worker, job);
       --inflight;
       progress = true;
@@ -302,12 +311,17 @@ void Router::cpu_fallback_batch(NodeRuntime& node, std::span<ShaderJob* const> b
   for (ShaderJob* job : batch) {
     shader_.shade_cpu(*job);
     job->shaded_on_cpu = true;
+    if (tracer_ != nullptr) tracer_->mark_cpu_path(job->trace_slot);
   }
   std::lock_guard lock(node.health_mu);
   node.health.cpu_fallback_chunks += batch.size();
 }
 
 void Router::shade_batch(NodeRuntime& node, std::span<ShaderJob* const> batch) {
+  if (tracer_ != nullptr) {
+    // Gather complete: the batch is assembled and about to be shaded.
+    for (ShaderJob* job : batch) tracer_->stamp(job->trace_slot, telemetry::Stage::kGather);
+  }
   {
     std::lock_guard lock(node.health_mu);
     ++node.health.batches;
@@ -399,7 +413,16 @@ void Router::master_loop(int node_id) {
       continue;
     }
 
+    if (tracer_ != nullptr) {
+      for (ShaderJob* job : batch) {
+        tracer_->stamp(job->trace_slot, telemetry::Stage::kMasterDequeue);
+      }
+    }
+    // The device-op observer stamps H2D/kernel/D2H for whatever batch is
+    // published here; ops run synchronously on this thread.
+    node.trace_batch = {batch.data(), batch.size()};
     shade_batch(node, {batch.data(), batch.size()});
+    node.trace_batch = {};
     hb.advance(n);
 
     // Scatter: return each chunk to the worker it came from. Capacity is
@@ -476,6 +499,23 @@ void Router::start() {
     for (auto& node : nodes_) {
       if (node->gpu.device != nullptr) shader_.bind_gpu(*node->gpu.device);
     }
+    if (tracer_ != nullptr) {
+      // Stamp device stage boundaries from inside the device: the observer
+      // runs on the master thread (ops are synchronous) and stamps whatever
+      // batch the master published in trace_batch. Detached in stop().
+      for (auto& owned : nodes_) {
+        NodeRuntime* node = owned.get();
+        if (node->gpu.device == nullptr) continue;
+        node->gpu.device->set_op_observer(
+            [this, node](gpu::GpuOp op, const gpu::GpuResult&) {
+              const telemetry::Stage stage = op == gpu::GpuOp::kH2d ? telemetry::Stage::kH2d
+                                             : op == gpu::GpuOp::kKernel
+                                                 ? telemetry::Stage::kKernel
+                                                 : telemetry::Stage::kD2h;
+              for (ShaderJob* job : node->trace_batch) tracer_->stamp(job->trace_slot, stage);
+            });
+      }
+    }
     for (std::size_t n = 0; n < nodes_.size(); ++n) {
       threads_.emplace_back([this, n] { master_loop(static_cast<int>(n)); });
     }
@@ -500,6 +540,12 @@ void Router::stop() {
   }
   for (auto& t : threads_) t.join();
   threads_.clear();
+  if (tracer_ != nullptr) {
+    // The observer captures `this`; the device outlives the router.
+    for (auto& node : nodes_) {
+      if (node->gpu.device != nullptr) node->gpu.device->set_op_observer(nullptr);
+    }
+  }
   started_ = false;
   assert(audit().balanced() && "packet conservation violated");
 }
@@ -558,6 +604,120 @@ GpuHealthStats Router::gpu_health(int node) const {
   const auto& rt = *nodes_[static_cast<std::size_t>(node)];
   std::lock_guard lock(rt.health_mu);
   return rt.health;
+}
+
+void Router::set_telemetry(telemetry::MetricsRegistry* registry) {
+  telemetry_ = registry;
+  if (telemetry_ != nullptr) register_metrics();
+}
+
+void Router::set_tracer(telemetry::PipelineTracer* tracer) { tracer_ = tracer; }
+
+void Router::register_metrics() {
+  using telemetry::MetricKind;
+  auto& reg = *telemetry_;
+
+  // --- router aggregates (probes over the per-worker single-writer atomics)
+  reg.register_probe("router.rx_packets", MetricKind::kCounter,
+                     [this] { return total_stats().packets_in; });
+  reg.register_probe("router.tx_packets", MetricKind::kCounter,
+                     [this] { return total_stats().packets_out; });
+  reg.register_probe("router.chunks", MetricKind::kCounter,
+                     [this] { return total_stats().chunks; });
+  reg.register_probe("router.slow_path", MetricKind::kCounter,
+                     [this] { return total_stats().slow_path; });
+  reg.register_probe("router.drops_total", MetricKind::kCounter,
+                     [this] { return total_stats().dropped(); });
+  for (std::size_t r = 0; r < iengine::kNumDropReasons; ++r) {
+    const auto reason = static_cast<iengine::DropReason>(r);
+    reg.register_probe(std::string("router.drops.") + iengine::to_string(reason),
+                       MetricKind::kCounter,
+                       [this, reason] { return total_stats().drops(reason); });
+  }
+  reg.register_probe("router.bp_reduced_batches", MetricKind::kCounter,
+                     [this] { return total_stats().bp_reduced_batches; });
+  reg.register_probe("router.bp_diverted_chunks", MetricKind::kCounter,
+                     [this] { return total_stats().bp_diverted_chunks; });
+  reg.register_probe("router.adopted_chunks", MetricKind::kCounter,
+                     [this] { return total_stats().adopted_chunks; });
+  // Gauges: cpu/gpu_processed re-attribute on GPU fallback (gpu shrinks,
+  // cpu grows), and in-flight drains back to zero.
+  reg.register_probe("router.cpu_processed", MetricKind::kGauge,
+                     [this] { return total_stats().cpu_processed; });
+  reg.register_probe("router.gpu_processed", MetricKind::kGauge,
+                     [this] { return total_stats().gpu_processed; });
+  reg.register_probe("router.in_flight_packets", MetricKind::kGauge, [this] {
+    u64 total = 0;
+    for (const auto& slot : stats_) {
+      total += slot->in_flight_packets.load(std::memory_order_relaxed);
+    }
+    return total;
+  });
+
+  // --- per-node GPU watchdog (mutex-published by the master)
+  if (config_.use_gpu) {
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      const std::string prefix = "gpu.node" + std::to_string(n) + ".";
+      const int node = static_cast<int>(n);
+      reg.register_probe(prefix + "batches", MetricKind::kCounter,
+                         [this, node] { return gpu_health(node).batches; });
+      reg.register_probe(prefix + "retries", MetricKind::kCounter,
+                         [this, node] { return gpu_health(node).retries; });
+      reg.register_probe(prefix + "failed_batches", MetricKind::kCounter,
+                         [this, node] { return gpu_health(node).failed_batches; });
+      reg.register_probe(prefix + "cpu_fallback_chunks", MetricKind::kCounter,
+                         [this, node] { return gpu_health(node).cpu_fallback_chunks; });
+      reg.register_probe(prefix + "trips", MetricKind::kCounter,
+                         [this, node] { return gpu_health(node).trips; });
+      reg.register_probe(prefix + "recoveries", MetricKind::kCounter,
+                         [this, node] { return gpu_health(node).recoveries; });
+      reg.register_probe(prefix + "probes", MetricKind::kCounter,
+                         [this, node] { return gpu_health(node).probes; });
+      reg.register_probe(prefix + "healthy", MetricKind::kGauge,
+                         [this, node] { return gpu_health(node).healthy ? u64{1} : u64{0}; });
+    }
+  }
+
+  // --- slow-path admission + supervisor
+  reg.register_probe("slowpath.admitted", MetricKind::kCounter,
+                     [this] { return slowpath_admission_stats().admitted; });
+  reg.register_probe("slowpath.shed_rate", MetricKind::kCounter,
+                     [this] { return slowpath_admission_stats().shed_rate; });
+  reg.register_probe("slowpath.shed_queue", MetricKind::kCounter,
+                     [this] { return slowpath_admission_stats().shed_queue; });
+  reg.register_probe("supervisor.stalls", MetricKind::kCounter,
+                     [this] { return supervisor_.stalls_detected(); });
+  reg.register_probe("supervisor.recoveries", MetricKind::kCounter,
+                     [this] { return supervisor_.recoveries(); });
+
+  // --- engine + NIC (wire-side accounting, before the router's rx)
+  reg.register_probe("engine.tx_drops", MetricKind::kCounter, [this] {
+    u64 total = 0;
+    for (const auto& worker : workers_) total += worker->handle->tx_drops();
+    return total;
+  });
+  for (std::size_t p = 0; p < engine_.num_ports(); ++p) {
+    const std::string prefix = "nic.port" + std::to_string(p) + ".";
+    nic::NicPort* port = engine_.port(static_cast<int>(p));
+    reg.register_probe(prefix + "rx_packets", MetricKind::kCounter,
+                       [port] { return port->rx_totals().packets; });
+    reg.register_probe(prefix + "rx_bytes", MetricKind::kCounter,
+                       [port] { return port->rx_totals().bytes; });
+    reg.register_probe(prefix + "rx_drops", MetricKind::kCounter,
+                       [port] { return port->rx_totals().drops; });
+    reg.register_probe(prefix + "tx_packets", MetricKind::kCounter,
+                       [port] { return port->tx_totals().packets; });
+    reg.register_probe(prefix + "tx_bytes", MetricKind::kCounter,
+                       [port] { return port->tx_totals().bytes; });
+    reg.register_probe(prefix + "tx_drops", MetricKind::kCounter,
+                       [port] { return port->tx_totals().drops; });
+    reg.register_probe(prefix + "link_flaps", MetricKind::kCounter,
+                       [port] { return port->link_flaps(); });
+    reg.register_probe(prefix + "carrier_lost_frames", MetricKind::kCounter,
+                       [port] { return port->carrier_lost_frames(); });
+    reg.register_probe(prefix + "link_up", MetricKind::kGauge,
+                       [port] { return port->link_up() ? u64{1} : u64{0}; });
+  }
 }
 
 }  // namespace ps::core

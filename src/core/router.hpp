@@ -49,6 +49,8 @@
 #include "slowpath/admission.hpp"
 #include "slowpath/host_stack.hpp"
 #include "supervise/supervisor.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace ps::core {
 
@@ -216,6 +218,23 @@ class Router {
   /// must outlive the router.
   void set_fault_injector(fault::FaultInjector* injector) { injector_ = injector; }
 
+  /// Publish this router's counters into `registry` under the canonical
+  /// names (see README "Exported metrics"): router.*, gpu.node<N>.*,
+  /// slowpath.*, supervisor.*, nic.port<P>.*, engine.tx_drops. Registers
+  /// pull-model probes over the existing single-writer atomics, so
+  /// registry->snapshot() is race-free while traffic flows. Call before
+  /// start(). The probes capture `this`: either the router must outlive
+  /// the registry's last snapshot, or a rebuilt router re-registers the
+  /// same names (probe re-registration swaps in place). Null detaches
+  /// nothing (no-op).
+  void set_telemetry(telemetry::MetricsRegistry* registry);
+
+  /// Attach a pipeline tracer; every chunk then gets stamped at the eight
+  /// Fig-12 stage boundaries (tracer->set_enabled gates the cost). Call
+  /// before start(); the tracer must outlive the router. Null detaches.
+  void set_tracer(telemetry::PipelineTracer* tracer);
+  telemetry::PipelineTracer* tracer() const { return tracer_; }
+
   int workers_per_node() const { return workers_per_node_; }
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
@@ -228,6 +247,11 @@ class Router {
     /// fault::Point::kMasterHang (the "re-kick").
     std::atomic<bool> hang_release{false};
     int supervise_id = -1;
+
+    /// Batch whose spans the device-op observer stamps (H2D/kernel/D2H).
+    /// Master-thread only: set around shade_batch, and the observer runs
+    /// on the master thread too (device ops are synchronous).
+    std::span<ShaderJob* const> trace_batch{};
 
     // Watchdog state. Counters are written only by the node's master
     // thread; the mutex orders them for gpu_health() readers.
@@ -251,6 +275,11 @@ class Router {
     std::atomic<u64> bp_reduced_batches{0};
     std::atomic<u64> bp_diverted_chunks{0};
     std::atomic<u64> adopted_chunks{0};
+    /// Packets fetched but not yet accounted out by finish_job. Written
+    /// only by the owning worker (finish_job always runs there), so the
+    /// telemetry in-flight gauge stays single-writer; the audit()'s
+    /// job-pool scan is the independent cross-check.
+    std::atomic<u64> in_flight_packets{0};
     std::array<std::atomic<u64>, iengine::kNumDropReasons> drops_by_reason{};
 
     WorkerStats snapshot() const {
@@ -332,6 +361,9 @@ class Router {
   void on_worker_recover(int worker_id);
   void on_master_stall(int node);
 
+  /// Register the canonical probe set into telemetry_ (set_telemetry impl).
+  void register_metrics();
+
   iengine::PacketIoEngine& engine_;
   Shader& shader_;
   RouterConfig config_;
@@ -341,6 +373,8 @@ class Router {
   mutable std::mutex host_stack_mu_;  // the host stack is single-threaded, as Linux's is per-softirq
   slowpath::Admission slowpath_admission_;  // guarded by host_stack_mu_
   fault::FaultInjector* injector_ = nullptr;
+  telemetry::MetricsRegistry* telemetry_ = nullptr;
+  telemetry::PipelineTracer* tracer_ = nullptr;
 
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;  // NodeRuntime owns a mutex
   std::vector<std::unique_ptr<WorkerRuntime>> workers_;  // owns atomics

@@ -31,6 +31,8 @@ struct ShaderJob {
 
   int worker_id = 0;      // owner worker (for the scatter step)
   Picos enqueue_time = 0; // latency accounting (model time)
+  /// Pipeline-tracer ring slot for this chunk's span (-1 = untraced).
+  i32 trace_slot = -1;
   /// Set when the master (or a backpressured worker) computed gpu_output
   /// via shade_cpu instead of the device, so stats can re-attribute the
   /// packets from the GPU column to the CPU column.
@@ -57,6 +59,7 @@ struct ShaderJob {
     sub_jobs.clear();
     gpu_items = 0;
     enqueue_time = 0;
+    trace_slot = -1;
     shaded_on_cpu = false;
   }
 };

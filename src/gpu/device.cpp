@@ -118,7 +118,9 @@ GpuResult GpuDevice::memcpy_h2d(DeviceBuffer& dst, std::size_t dst_offset,
   // the occupancy portion, before the full one-shot latency elapses.
   copy_engine_free_ =
       start + perf::ioh_copy_occupancy(src.size(), perf::Direction::kHostToDevice);
-  return {GpuStatus::kOk, start, end};
+  const GpuResult result{GpuStatus::kOk, start, end};
+  if (op_observer_) op_observer_(GpuOp::kH2d, result);
+  return result;
 }
 
 GpuResult GpuDevice::memcpy_d2h(std::span<u8> dst, const DeviceBuffer& src,
@@ -145,7 +147,9 @@ GpuResult GpuDevice::memcpy_d2h(std::span<u8> dst, const DeviceBuffer& src,
   streams_[stream] = end;
   copy_engine_free_ =
       start + perf::ioh_copy_occupancy(dst.size(), perf::Direction::kDeviceToHost);
-  return {GpuStatus::kOk, start, end};
+  const GpuResult result{GpuStatus::kOk, start, end};
+  if (op_observer_) op_observer_(GpuOp::kD2h, result);
+  return result;
 }
 
 GpuResult GpuDevice::launch(const KernelLaunch& kernel, StreamId stream, Picos submit_time,
@@ -180,7 +184,9 @@ GpuResult GpuDevice::launch(const KernelLaunch& kernel, StreamId stream, Picos s
   const Picos end = start + duration;
   streams_[stream] = end;
   exec_engine_free_ = end;  // one kernel at a time on the device (section 7)
-  return {GpuStatus::kOk, start, end};
+  const GpuResult result{GpuStatus::kOk, start, end};
+  if (op_observer_) op_observer_(GpuOp::kKernel, result);
+  return result;
 }
 
 GpuResult GpuDevice::probe(Picos submit_time) {

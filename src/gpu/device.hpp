@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cassert>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -98,6 +99,9 @@ struct GpuResult {
 /// Legacy name: call sites that only consume timing keep compiling.
 using OpTiming = GpuResult;
 
+/// Data-path operation classes, for the op observer below.
+enum class GpuOp : u8 { kH2d = 0, kKernel, kD2h };
+
 struct KernelLaunch {
   std::string name;
   u32 threads = 0;
@@ -154,6 +158,17 @@ class GpuDevice {
   /// The watchdog uses this to decide when a sick device may be re-admitted.
   GpuResult probe(Picos submit_time = 0);
 
+  using OpObserver = std::function<void(GpuOp, const GpuResult&)>;
+  /// Observe every *successful* data-path op (h2d / kernel / d2h; probes
+  /// excluded). Called on the op's calling thread, after the op completes,
+  /// with the device's op lock held — keep the callback tiny and never
+  /// call back into the device. Null detaches. The pipeline tracer uses
+  /// this to stamp batch spans at the device stage boundaries.
+  void set_op_observer(OpObserver cb) {
+    std::lock_guard lock(op_mu_);
+    op_observer_ = std::move(cb);
+  }
+
   /// Modeled completion time of everything enqueued on a stream.
   Picos stream_tail(StreamId stream) const { return streams_.at(stream); }
 
@@ -187,6 +202,8 @@ class GpuDevice {
   // table update (DynamicIpv4ForwardApp::sync) may touch one device
   // concurrently, like the CUDA driver's per-context lock.
   mutable std::mutex op_mu_;
+
+  OpObserver op_observer_;  // guarded by op_mu_
 
   std::vector<Picos> streams_;  // per-stream tail time
   Picos exec_engine_free_ = 0;

@@ -131,7 +131,7 @@ u32 IoHandle::send_chunk(PacketChunk& chunk) {
     const i16 out = chunk.out_port(i);
     if (out < 0 || static_cast<std::size_t>(out) >= engine_->num_ports()) {
       chunk.set_drop(i, DropReason::kRingFull);
-      ++tx_drops_;
+      tx_drops_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     double cycles = perf::kTxCyclesPerPacket + copy_cycles(chunk.length(i));
@@ -153,7 +153,7 @@ u32 IoHandle::send_chunk(PacketChunk& chunk) {
       ++sent;
     } else {
       chunk.set_drop(i, DropReason::kRingFull);
-      ++tx_drops_;
+      tx_drops_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   return sent;

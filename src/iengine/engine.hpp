@@ -16,6 +16,7 @@
 // reproduces Figures 5 and 6.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -84,7 +85,8 @@ class IoHandle {
   bool send_frame(int port, std::span<const u8> frame);
 
   /// Total packets this handle dropped at send time (TX reject / bad port).
-  u64 tx_drops() const { return tx_drops_; }
+  /// Written only by the owning worker (relaxed); readable from any thread.
+  u64 tx_drops() const { return tx_drops_.load(std::memory_order_relaxed); }
 
  private:
   friend class PacketIoEngine;
@@ -104,7 +106,7 @@ class IoHandle {
   std::condition_variable cv_;
   bool irq_pending_ = false;
 
-  u64 tx_drops_ = 0;
+  std::atomic<u64> tx_drops_{0};
 };
 
 class PacketIoEngine {

@@ -27,15 +27,16 @@ NicPort::NicPort(int port_id, const pcie::Topology& topo, const NicConfig& confi
   }
 
   if (config.per_queue_stats) {
-    rx_stats_aligned_ = std::vector<CacheAligned<QueueStats>>(config.num_rx_queues);
-    tx_stats_aligned_ = std::vector<CacheAligned<QueueStats>>(config.num_tx_queues);
+    rx_stats_aligned_ = std::vector<CacheAligned<AtomicQueueStats>>(config.num_rx_queues);
+    tx_stats_aligned_ = std::vector<CacheAligned<AtomicQueueStats>>(config.num_tx_queues);
     for (auto& s : rx_stats_aligned_) rx_stats_.push_back(&s.value);
     for (auto& s : tx_stats_aligned_) tx_stats_.push_back(&s.value);
   } else {
     // Pathological layout (§4.4 ablation): counters packed back to back so
-    // adjacent queues' statistics share cache lines.
-    rx_stats_packed_.resize(config.num_rx_queues);
-    tx_stats_packed_.resize(config.num_tx_queues);
+    // adjacent queues' statistics share cache lines. Count-constructed in
+    // place: AtomicQueueStats is not movable.
+    rx_stats_packed_ = std::vector<AtomicQueueStats>(config.num_rx_queues);
+    tx_stats_packed_ = std::vector<AtomicQueueStats>(config.num_tx_queues);
     for (auto& s : rx_stats_packed_) rx_stats_.push_back(&s);
     for (auto& s : tx_stats_packed_) tx_stats_.push_back(&s);
   }
@@ -129,20 +130,20 @@ bool NicPort::receive_frame(std::span<const u8> frame) {
   if (link_fault_active()) {
     // Carrier out: the frame is lost on the wire. Counted in the steering
     // queue's drops so chaos tests can account for every injected loss.
-    ++stats.drops;
+    stats.drops.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   if (injector_ != nullptr && injector_->should_fire(link_down_point_)) {
     // Link flap: the frame is lost on the wire; count it so chaos tests
     // can account for every injected loss.
-    ++stats.drops;
+    stats.drops.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   const bool injected_ring_full =
       injector_ != nullptr && (injector_->should_fire("nic.rx_ring_full") ||
                                injector_->should_fire("mem.cell_exhausted"));
   if (injected_ring_full || q.count() >= config_.ring_size) {
-    ++stats.drops;
+    stats.drops.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
 
@@ -164,8 +165,8 @@ bool NicPort::receive_frame(std::span<const u8> frame) {
   const bool was_empty = q.count() == 0;
   q.head.store(head + 1, std::memory_order_release);
 
-  ++stats.packets;
-  stats.bytes += frame.size();
+  stats.packets.fetch_add(1, std::memory_order_relaxed);
+  stats.bytes.fetch_add(frame.size(), std::memory_order_relaxed);
   charge_rx_dma(static_cast<u32>(frame.size()));
 
   if (was_empty && irq_handler_ &&
@@ -210,13 +211,13 @@ bool NicPort::transmit(u16 queue, std::span<const u8> frame) {
 
   if (link_fault_active()) {
     // Carrier out: transmission is impossible until the link recovers.
-    ++stats.drops;
+    stats.drops.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   if (injector_ != nullptr && (injector_->should_fire("nic.tx_reject") ||
                                injector_->should_fire(link_down_point_))) {
     // Injected TX backpressure / downed link: reject, caller may retry.
-    ++stats.drops;
+    stats.drops.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
 
@@ -230,8 +231,8 @@ bool NicPort::transmit(u16 queue, std::span<const u8> frame) {
   q.buffer->metadata(cell).length = static_cast<u16>(frame.size());
   ++q.next_cell;
 
-  ++stats.packets;
-  stats.bytes += frame.size();
+  stats.packets.fetch_add(1, std::memory_order_relaxed);
+  stats.bytes.fetch_add(frame.size(), std::memory_order_relaxed);
   charge_tx_dma(static_cast<u32>(frame.size()));
 
   WireSink* sink = wire_sink_ != nullptr ? wire_sink_ : &default_sink_;
@@ -262,9 +263,10 @@ bool NicPort::rx_interrupt_enabled(u16 queue) const {
 QueueStats NicPort::rx_totals() const {
   QueueStats total;
   for (u16 i = 0; i < config_.num_rx_queues; ++i) {
-    total.packets += rx_stats_[i]->packets;
-    total.bytes += rx_stats_[i]->bytes;
-    total.drops += rx_stats_[i]->drops;
+    const QueueStats s = rx_stats_[i]->snapshot();
+    total.packets += s.packets;
+    total.bytes += s.bytes;
+    total.drops += s.drops;
   }
   return total;
 }
@@ -272,9 +274,10 @@ QueueStats NicPort::rx_totals() const {
 QueueStats NicPort::tx_totals() const {
   QueueStats total;
   for (u16 i = 0; i < config_.num_tx_queues; ++i) {
-    total.packets += tx_stats_[i]->packets;
-    total.bytes += tx_stats_[i]->bytes;
-    total.drops += tx_stats_[i]->drops;
+    const QueueStats s = tx_stats_[i]->snapshot();
+    total.packets += s.packets;
+    total.bytes += s.bytes;
+    total.drops += s.drops;
   }
   return total;
 }

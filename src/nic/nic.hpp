@@ -30,10 +30,26 @@ struct NicConfig {
   bool per_queue_stats = true;
 };
 
+/// POD snapshot of one queue's counters.
 struct QueueStats {
   u64 packets = 0;
   u64 bytes = 0;
   u64 drops = 0;  // ring-full drops (RX) or backpressure rejects (TX)
+};
+
+/// Live per-queue counter block. Single-writer relaxed atomics (the same
+/// discipline as the router's worker counters): the owning path increments
+/// with relaxed RMWs, and any thread — stats queries, telemetry probes —
+/// may snapshot concurrently without a data race.
+struct AtomicQueueStats {
+  std::atomic<u64> packets{0};
+  std::atomic<u64> bytes{0};
+  std::atomic<u64> drops{0};
+
+  QueueStats snapshot() const {
+    return {packets.load(std::memory_order_relaxed), bytes.load(std::memory_order_relaxed),
+            drops.load(std::memory_order_relaxed)};
+  }
 };
 
 /// Reference to one received packet still resident in a huge-buffer cell.
@@ -129,8 +145,8 @@ class NicPort {
 
   // --- statistics ----------------------------------------------------------
 
-  const QueueStats& rx_queue_stats(u16 queue) const { return *rx_stats_[queue]; }
-  const QueueStats& tx_queue_stats(u16 queue) const { return *tx_stats_[queue]; }
+  QueueStats rx_queue_stats(u16 queue) const { return rx_stats_[queue]->snapshot(); }
+  QueueStats tx_queue_stats(u16 queue) const { return tx_stats_[queue]->snapshot(); }
 
   /// Per-port totals, accumulated from per-queue counters on demand — the
   /// cheap-statistics design of section 4.4 (cost paid only on the rare
@@ -178,12 +194,12 @@ class NicPort {
   // Cache-line isolation of per-queue statistics is the §4.4 false-sharing
   // fix. With per_queue_stats=false the counters are packed back to back
   // (adjacent queues share cache lines), the layout the ablation measures.
-  std::vector<CacheAligned<QueueStats>> rx_stats_aligned_;
-  std::vector<CacheAligned<QueueStats>> tx_stats_aligned_;
-  std::vector<QueueStats> rx_stats_packed_;
-  std::vector<QueueStats> tx_stats_packed_;
-  std::vector<QueueStats*> rx_stats_;
-  std::vector<QueueStats*> tx_stats_;
+  std::vector<CacheAligned<AtomicQueueStats>> rx_stats_aligned_;
+  std::vector<CacheAligned<AtomicQueueStats>> tx_stats_aligned_;
+  std::vector<AtomicQueueStats> rx_stats_packed_;
+  std::vector<AtomicQueueStats> tx_stats_packed_;
+  std::vector<AtomicQueueStats*> rx_stats_;
+  std::vector<AtomicQueueStats*> tx_stats_;
 
   perf::CostLedger* ledger_ = nullptr;
   fault::FaultInjector* injector_ = nullptr;

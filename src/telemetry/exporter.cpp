@@ -1,0 +1,149 @@
+#include "telemetry/exporter.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace ps::telemetry {
+
+BenchLine::BenchLine(const std::string& bench_name) {
+  buf_ = "BENCH {\"bench\":\"" + bench_name + "\"";
+  open_.push_back('{');
+  needs_comma_ = true;
+}
+
+void BenchLine::comma() {
+  if (needs_comma_) buf_ += ',';
+  needs_comma_ = true;
+}
+
+BenchLine& BenchLine::field(const std::string& key, u64 value) {
+  comma();
+  char tmp[32];
+  std::snprintf(tmp, sizeof(tmp), "%llu", static_cast<unsigned long long>(value));
+  buf_ += '"';
+  buf_ += key;
+  buf_ += "\":";
+  buf_ += tmp;
+  return *this;
+}
+
+BenchLine& BenchLine::field(const std::string& key, const std::string& value) {
+  comma();
+  buf_ += '"';
+  buf_ += key;
+  buf_ += "\":\"";
+  buf_ += value;
+  buf_ += '"';
+  return *this;
+}
+
+BenchLine& BenchLine::fixed(const std::string& key, double value, int precision) {
+  comma();
+  char tmp[64];
+  std::snprintf(tmp, sizeof(tmp), "%.*f", precision, value);
+  buf_ += '"';
+  buf_ += key;
+  buf_ += "\":";
+  buf_ += tmp;
+  return *this;
+}
+
+BenchLine& BenchLine::array(const std::string& key) {
+  comma();
+  buf_ += '"';
+  buf_ += key;
+  buf_ += "\":[";
+  open_.push_back('[');
+  needs_comma_ = false;
+  return *this;
+}
+
+BenchLine& BenchLine::object() {
+  comma();
+  buf_ += '{';
+  open_.push_back('{');
+  needs_comma_ = false;
+  return *this;
+}
+
+BenchLine& BenchLine::end() {
+  if (open_.empty()) return *this;
+  buf_ += open_.back() == '[' ? ']' : '}';
+  open_.pop_back();
+  needs_comma_ = true;
+  return *this;
+}
+
+std::string BenchLine::str() const {
+  std::string out = buf_;
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    out += *it == '[' ? ']' : '}';
+  }
+  return out;
+}
+
+StageBreakdown compute_stage_breakdown(const std::vector<TraceSpan>& spans) {
+  StageBreakdown b;
+  std::array<u64, kNumStages> sum_ns{};
+  u64 total_ns = 0;
+  for (const auto& span : spans) {
+    if (span.begin_ns() == 0 || span.end_ns() == 0 || span.end_ns() < span.begin_ns()) continue;
+    ++b.spans;
+    total_ns += span.end_ns() - span.begin_ns();
+    u64 prev = span.begin_ns();
+    for (std::size_t i = 1; i < kNumStages; ++i) {
+      const u64 t = span.ts[i];
+      if (t == 0 || t < prev) continue;  // unstamped (CPU path) or clock skew
+      sum_ns[i] += t - prev;
+      ++b.samples[i];
+      prev = t;
+    }
+  }
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    if (b.samples[i] != 0) {
+      b.mean_us[i] = static_cast<double>(sum_ns[i]) / static_cast<double>(b.samples[i]) / 1e3;
+    }
+  }
+  if (b.spans != 0) b.total_mean_us = static_cast<double>(total_ns) / static_cast<double>(b.spans) / 1e3;
+  return b;
+}
+
+Exporter::Exporter(std::ostream& out) : out_(out) {}
+
+void Exporter::emit(const BenchLine& line) { out_ << line.str() << '\n'; }
+
+void Exporter::print_snapshot(const MetricsSnapshot& snap, const std::string& title) {
+  char tmp[160];
+  if (!title.empty()) out_ << "=== " << title << " (snapshot #" << snap.sequence << ") ===\n";
+  for (const auto& v : snap.values) {
+    std::snprintf(tmp, sizeof(tmp), "  %-40s %-8s %llu\n", v.name.c_str(), to_string(v.kind),
+                  static_cast<unsigned long long>(v.value));
+    out_ << tmp;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::snprintf(tmp, sizeof(tmp),
+                  "  %-40s histo    count=%llu mean=%.1f p50<=%llu p99<=%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(h.count), h.mean(),
+                  static_cast<unsigned long long>(h.quantile(0.50)),
+                  static_cast<unsigned long long>(h.quantile(0.99)));
+    out_ << tmp;
+  }
+}
+
+void Exporter::print_stage_breakdown(const StageBreakdown& b, const std::string& title) {
+  char tmp[128];
+  if (!title.empty()) out_ << "=== " << title << " ===\n";
+  std::snprintf(tmp, sizeof(tmp), "  spans=%llu  end-to-end mean=%.2f us\n",
+                static_cast<unsigned long long>(b.spans), b.total_mean_us);
+  out_ << tmp;
+  for (std::size_t i = 1; i < kNumStages; ++i) {
+    if (b.samples[i] == 0) continue;
+    std::snprintf(tmp, sizeof(tmp), "  %-16s %8.2f us  (n=%llu)\n",
+                  to_string(static_cast<Stage>(i)), b.mean_us[i],
+                  static_cast<unsigned long long>(b.samples[i]));
+    out_ << tmp;
+  }
+}
+
+}  // namespace ps::telemetry

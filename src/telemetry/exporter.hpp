@@ -1,0 +1,83 @@
+// Canonical emission layer for bench + telemetry output. All benches used
+// to hand-roll their own `BENCH {...}` printf lines; this module owns the
+// format so one golden test pins it for every consumer:
+//
+//   BENCH {"bench":"<name>",...}        one line, machine-scrapeable
+//
+// BenchLine builds that line with printf-compatible number formatting
+// (%.Nf for doubles, %llu for counters) so ports from hand-rolled printf
+// stay byte-identical. Exporter writes lines/snapshots to a stream and
+// turns drained TraceSpans into the paper's Figure-12 per-stage latency
+// breakdown.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace ps::telemetry {
+
+/// Builder for one canonical `BENCH {...}` JSON line. Number formatting
+/// matches printf: fixed(v, 3) == %.3f, unsigned == %llu. Keys are emitted
+/// in call order; nesting via array()/object() ... end().
+class BenchLine {
+ public:
+  explicit BenchLine(const std::string& bench_name);
+
+  BenchLine& field(const std::string& key, u64 value);
+  BenchLine& field(const std::string& key, const std::string& value);
+  /// Fixed-point double, `precision` digits — byte-identical to %.Nf.
+  BenchLine& fixed(const std::string& key, double value, int precision);
+
+  BenchLine& array(const std::string& key);  // [ ... end()
+  BenchLine& object();                       // { ... end(), inside an array
+  BenchLine& end();
+
+  /// The finished line, starting "BENCH {" (closes any open scopes).
+  std::string str() const;
+
+ private:
+  void comma();
+
+  std::string buf_;
+  std::vector<char> open_;  // '[' / '{' scope stack
+  bool needs_comma_ = false;
+};
+
+/// Per-stage latency attribution over a set of drained spans: for each
+/// stage, the mean time from the previous *stamped* stage to it (so CPU
+/// path spans, whose device stages are unstamped, still attribute
+/// correctly across the gap).
+struct StageBreakdown {
+  std::array<double, kNumStages> mean_us{};  // [stage] = mean arrival delta
+  std::array<u64, kNumStages> samples{};     // spans contributing to [stage]
+  double total_mean_us = 0;                  // mean end-to-end span time
+  u64 spans = 0;
+};
+
+StageBreakdown compute_stage_breakdown(const std::vector<TraceSpan>& spans);
+
+class Exporter {
+ public:
+  explicit Exporter(std::ostream& out);
+
+  /// Emit the canonical line followed by '\n'.
+  void emit(const BenchLine& line);
+
+  /// Human-readable dump of a metrics snapshot (name, kind, value per
+  /// line, histograms with count/mean/p50/p99).
+  void print_snapshot(const MetricsSnapshot& snap, const std::string& title = "");
+
+  /// Human-readable Figure-12 style per-stage table.
+  void print_stage_breakdown(const StageBreakdown& b, const std::string& title = "");
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace ps::telemetry

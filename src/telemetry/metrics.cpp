@@ -1,0 +1,139 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <tuple>
+#include <utility>
+
+namespace ps::telemetry {
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+  }
+  return "?";
+}
+
+void HistogramMetric::record(u64 value) {
+  const u32 bucket = value == 0 ? 0 : static_cast<u32>(63 - std::countl_zero(value));
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramMetric::Snapshot HistogramMetric::snapshot() const {
+  Snapshot s;
+  // Count first: records racing with the snapshot may land in buckets we
+  // have already read, so the bucket sum can only exceed `count`, never
+  // undershoot it — quantile() stays well-defined.
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  for (u32 i = 0; i < kBuckets; ++i) s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  return s;
+}
+
+u64 HistogramMetric::Snapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  const u64 target = static_cast<u64>(q * static_cast<double>(count - 1)) + 1;
+  u64 seen = 0;
+  for (u32 i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= target) return i >= 63 ? ~0ull : (u64{2} << i) - 1;  // bucket upper bound
+  }
+  return ~0ull;
+}
+
+const MetricValue* MetricsSnapshot::find(const std::string& name) const {
+  for (const auto& v : values) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+u64 MetricsSnapshot::value(const std::string& name) const {
+  const auto* v = find(name);
+  return v != nullptr ? v->value : 0;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find_entry(const std::string& name) {
+  for (auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  if (Entry* e = find_entry(name)) {
+    assert(e->counter != nullptr && "metric re-registered with a different flavour");
+    return &e->counter->value;
+  }
+  counters_.emplace_back();
+  entries_.push_back({name, MetricKind::kCounter, &counters_.back(), nullptr, {}});
+  return &counters_.back().value;
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  if (Entry* e = find_entry(name)) {
+    assert(e->gauge != nullptr && "metric re-registered with a different flavour");
+    return &e->gauge->value;
+  }
+  gauges_.emplace_back();
+  entries_.push_back({name, MetricKind::kGauge, nullptr, &gauges_.back(), {}});
+  return &gauges_.back().value;
+}
+
+HistogramMetric* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  for (auto& [n, h] : histograms_) {
+    if (n == name) return &h;
+  }
+  // piecewise: HistogramMetric holds atomics and cannot be moved in.
+  histograms_.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                           std::forward_as_tuple());
+  return &histograms_.back().second;
+}
+
+void MetricsRegistry::register_probe(const std::string& name, MetricKind kind, Probe fn) {
+  std::lock_guard lock(mu_);
+  if (Entry* e = find_entry(name)) {
+    // Re-registration (e.g. a rebuilt Router over one registry) swaps the
+    // probe in place; kind must not change.
+    assert(!e->counter && !e->gauge && "metric re-registered with a different flavour");
+    assert(e->kind == kind && "metric re-registered with a different kind");
+    e->probe = std::move(fn);
+    return;
+  }
+  entries_.push_back({name, kind, nullptr, nullptr, std::move(fn)});
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  snap.sequence = snapshots_taken_.fetch_add(1, std::memory_order_relaxed) + 1;
+  snap.values.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    u64 v = 0;
+    if (e.counter != nullptr) {
+      v = e.counter->value.value();
+    } else if (e.gauge != nullptr) {
+      v = e.gauge->value.value();
+    } else if (e.probe) {
+      v = e.probe();
+    }
+    snap.values.push_back({e.name, e.kind, v});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) snap.histograms.emplace_back(name, h.snapshot());
+  return snap;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size() + histograms_.size();
+}
+
+}  // namespace ps::telemetry

@@ -1,0 +1,166 @@
+// Unified metrics layer (the measurement substrate every perf experiment
+// stands on). Before this module, observability was scattered: worker
+// counters in the Router, per-queue stats in the NIC, watchdog counters
+// under a mutex, admission tallies under another, supervisor totals behind
+// accessors — and every consumer (benches, chaos tests, the audit) wired
+// itself to each source by hand. The registry puts one name in front of
+// each of them.
+//
+// Two metric flavours, one discipline:
+//  - *owned* counters/gauges/histograms: the registry allocates a
+//    cacheline-isolated slot; exactly one thread writes it with relaxed
+//    atomics (the single-writer rule PR 2 established for WorkerCounters),
+//    and any thread may read it with a relaxed load;
+//  - *probes*: pull-model adapters over counters that already live (and
+//    are already safely sampleable) inside a subsystem — e.g. the Router's
+//    per-worker atomics or the NIC's per-queue atomic stats. A probe is a
+//    function the snapshot calls; it must be safe to invoke concurrently
+//    with traffic (read atomics, or take the subsystem's own mutex).
+//
+// snapshot() is a coherent point-in-time view in the same sense as
+// Router::total_stats(): not an instantaneous cut across writers, but
+// every value in it was current at the moment it was read, and reading is
+// race-free under TSan while traffic flows. Counter metrics are declared
+// monotonic and tests hold the registry to it across snapshots.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/types.hpp"
+
+namespace ps::telemetry {
+
+enum class MetricKind : u8 {
+  kCounter,  // monotonically non-decreasing (rx packets, drops, ...)
+  kGauge,    // goes both ways (queue depth, in-flight packets, health)
+};
+
+const char* to_string(MetricKind kind);
+
+/// Owned counter slot: one writer thread, relaxed increments. Readers load
+/// relaxed — the value is always a real past value, never torn.
+class Counter {
+ public:
+  void add(u64 delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  u64 value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> value_{0};
+};
+
+/// Owned gauge slot: one writer thread, relaxed stores/adds.
+class Gauge {
+ public:
+  void set(u64 v) { value_.store(v, std::memory_order_relaxed); }
+  void add(u64 delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void sub(u64 delta) { value_.fetch_sub(delta, std::memory_order_relaxed); }
+  u64 value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> value_{0};
+};
+
+/// Owned log2-bucketed histogram: one writer thread records with relaxed
+/// stores; snapshotting reads every bucket relaxed. 64 power-of-two
+/// buckets cover the full u64 range (bucket i holds values whose highest
+/// set bit is i; value 0 lands in bucket 0).
+class HistogramMetric {
+ public:
+  static constexpr u32 kBuckets = 64;
+
+  void record(u64 value);
+
+  struct Snapshot {
+    u64 count = 0;
+    u64 sum = 0;
+    std::array<u64, kBuckets> buckets{};
+    double mean() const { return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0; }
+    /// Bucket-upper-bound approximation of quantile q in [0, 1].
+    u64 quantile(double q) const;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::atomic<u64> count_{0};
+  std::atomic<u64> sum_{0};
+  std::array<std::atomic<u64>, kBuckets> buckets_{};
+};
+
+/// One metric's value at snapshot time.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  u64 value = 0;
+};
+
+/// Point-in-time view over every registered metric (owned + probed).
+struct MetricsSnapshot {
+  /// Monotonic sequence number of this snapshot (1, 2, ...).
+  u64 sequence = 0;
+  std::vector<MetricValue> values;                           // registration order
+  std::vector<std::pair<std::string, HistogramMetric::Snapshot>> histograms;
+
+  const MetricValue* find(const std::string& name) const;
+  /// Value of `name`; 0 when absent (use find() to distinguish).
+  u64 value(const std::string& name) const;
+  bool has(const std::string& name) const { return find(name) != nullptr; }
+};
+
+class MetricsRegistry {
+ public:
+  using Probe = std::function<u64()>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register (or look up) an owned metric. Registration is mutex-guarded
+  /// (cold path; do it before the hot loop). Returned pointers are stable
+  /// for the registry's lifetime. Re-registering a name returns the same
+  /// slot; a name may not change flavour (owned vs probe) or kind.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  HistogramMetric* histogram(const std::string& name);
+
+  /// Register a pull-model probe: `fn` is called by snapshot() and must be
+  /// safe to call concurrently with traffic. kCounter probes promise
+  /// monotonicity; kGauge probes may move both ways.
+  void register_probe(const std::string& name, MetricKind kind, Probe fn);
+
+  /// Coherent point-in-time view. Safe to call from any thread while
+  /// writers run; TSan-clean by construction (relaxed atomic loads for
+  /// owned slots, subsystem-synchronized reads inside probes).
+  MetricsSnapshot snapshot() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    // Exactly one of these is set.
+    CacheAligned<Counter>* counter = nullptr;
+    CacheAligned<Gauge>* gauge = nullptr;
+    Probe probe;
+  };
+
+  Entry* find_entry(const std::string& name);
+
+  mutable std::mutex mu_;  // registration vs snapshot iteration only
+  std::deque<CacheAligned<Counter>> counters_;  // deque: stable addresses
+  std::deque<CacheAligned<Gauge>> gauges_;
+  std::deque<std::pair<std::string, HistogramMetric>> histograms_;
+  std::vector<Entry> entries_;
+  mutable std::atomic<u64> snapshots_taken_{0};
+};
+
+}  // namespace ps::telemetry

@@ -1,0 +1,116 @@
+#include "telemetry/tracer.hpp"
+
+#include <bit>
+
+namespace ps::telemetry {
+
+const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::kRxRing: return "rx_ring";
+    case Stage::kMasterDequeue: return "master_dequeue";
+    case Stage::kGather: return "gather";
+    case Stage::kH2d: return "h2d";
+    case Stage::kKernel: return "kernel";
+    case Stage::kD2h: return "d2h";
+    case Stage::kScatter: return "scatter";
+    case Stage::kTxDoorbell: return "tx_doorbell";
+    case Stage::kCount: break;
+  }
+  return "?";
+}
+
+PipelineTracer::PipelineTracer(u32 capacity) {
+  capacity_ = std::bit_ceil(std::max<u32>(capacity, 2));
+  mask_ = capacity_ - 1;
+  slots_ = std::vector<CacheAligned<Slot>>(capacity_);
+  drained_gen_.assign(capacity_, 0);
+}
+
+i32 PipelineTracer::begin_span(u32 packets) {
+  if (!enabled()) return kNoSlot;
+
+  const u64 ticket = next_claim_.fetch_add(1, std::memory_order_relaxed);
+  const u64 gen = ticket + 1;  // 0 stays "never completed"
+  const u32 index = static_cast<u32>(ticket) & mask_;
+  Slot& slot = slots_[index].value;
+
+  // Claim by flipping the seqlock to odd. A slot whose span is still in
+  // flight (odd), or one a racing claimant just won, rejects the claim and
+  // the NEW span is dropped whole — an open span is never trampled.
+  u32 seq = slot.seq.load(std::memory_order_acquire);
+  if ((seq & 1u) != 0 ||
+      !slot.seq.compare_exchange_strong(seq, seq + 1, std::memory_order_acq_rel)) {
+    spans_dropped_.fetch_add(1, std::memory_order_relaxed);
+    count_write(2);  // the claim ticket + the drop counter
+    return kNoSlot;
+  }
+
+  if (slot.complete_gen.load(std::memory_order_relaxed) != 0) {
+    // A completed span (drained or not) is being overwritten wholesale.
+    spans_overwritten_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  slot.chunk_id.store(gen, std::memory_order_relaxed);
+  slot.packets.store(packets, std::memory_order_relaxed);
+  slot.cpu_path.store(0, std::memory_order_relaxed);
+  for (auto& t : slot.ts) t.store(0, std::memory_order_relaxed);
+  slot.ts[static_cast<std::size_t>(Stage::kRxRing)].store(now_ns(), std::memory_order_relaxed);
+  spans_started_.fetch_add(1, std::memory_order_relaxed);
+  count_write(6 + kNumStages);
+  return static_cast<i32>(index);
+}
+
+void PipelineTracer::stamp(i32 slot, Stage stage) {
+  if (slot == kNoSlot) return;
+  slots_[static_cast<std::size_t>(slot)].value.ts[static_cast<std::size_t>(stage)].store(
+      now_ns(), std::memory_order_relaxed);
+  count_write();
+}
+
+void PipelineTracer::mark_cpu_path(i32 slot) {
+  if (slot == kNoSlot) return;
+  slots_[static_cast<std::size_t>(slot)].value.cpu_path.store(1, std::memory_order_relaxed);
+  count_write();
+}
+
+void PipelineTracer::end_span(i32 slot) {
+  if (slot == kNoSlot) return;
+  Slot& s = slots_[static_cast<std::size_t>(slot)].value;
+  s.ts[static_cast<std::size_t>(Stage::kTxDoorbell)].store(now_ns(), std::memory_order_relaxed);
+  s.complete_gen.store(s.chunk_id.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  // Publish: the release on the even seq makes every stamp above visible
+  // to a reader that acquire-loads seq.
+  s.seq.fetch_add(1, std::memory_order_release);
+  spans_completed_.fetch_add(1, std::memory_order_relaxed);
+  count_write(4);
+}
+
+std::size_t PipelineTracer::drain(std::vector<TraceSpan>& out) {
+  std::lock_guard lock(drain_mu_);
+  std::size_t appended = 0;
+  for (u32 i = 0; i < capacity_; ++i) {
+    Slot& s = slots_[i].value;
+    const u32 seq1 = s.seq.load(std::memory_order_acquire);
+    if ((seq1 & 1u) != 0) continue;  // span open: skip whole
+    const u64 gen = s.complete_gen.load(std::memory_order_acquire);
+    if (gen == 0 || gen == drained_gen_[i]) continue;  // nothing new
+
+    TraceSpan span;
+    span.chunk_id = s.chunk_id.load(std::memory_order_relaxed);
+    span.packets = s.packets.load(std::memory_order_relaxed);
+    span.cpu_path = s.cpu_path.load(std::memory_order_relaxed) != 0;
+    for (std::size_t k = 0; k < kNumStages; ++k) {
+      span.ts[k] = s.ts[k].load(std::memory_order_relaxed);
+    }
+    // Seqlock validation: a writer that claimed the slot mid-read bumped
+    // seq, so the read above may be torn — discard it whole.
+    if (s.seq.load(std::memory_order_acquire) != seq1) continue;
+
+    drained_gen_[i] = gen;
+    out.push_back(span);
+    ++appended;
+  }
+  return appended;
+}
+
+}  // namespace ps::telemetry

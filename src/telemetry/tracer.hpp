@@ -1,0 +1,157 @@
+// Chunk-granularity pipeline tracer: the measured counterpart of the
+// paper's Figure 12 latency breakdown. Each chunk is stamped at the eight
+// stage boundaries of its trip through the router:
+//
+//   kRxRing        worker fetched the chunk from the NIC RX ring
+//   kMasterDequeue master popped the chunk's job off its input queue
+//   kGather        master assembled the shading batch (gather complete)
+//   kH2d           last host->device input copy of the batch finished
+//   kKernel        last kernel launch of the batch finished
+//   kD2h           last device->host output copy of the batch finished
+//   kScatter       worker applied the results (post-shade done)
+//   kTxDoorbell    worker rang the TX doorbell (send_chunk returned)
+//
+// Chunks that never visit the device (CPU-only mode, opportunistic
+// offloading, backpressure diversion, GPU fallback) carry a cpu_path mark
+// and leave the device stages unstamped (zero).
+//
+// Span storage is a preallocated ring of slots; the hot path never
+// allocates. Writers claim a slot with one fetch_add and stamp with
+// relaxed atomic stores; a per-slot seqlock keeps the (cold) reader from
+// ever observing a torn span. Overflow policy: if the ring wraps onto a
+// span still being written, the *new* span is dropped whole — a span is
+// either complete in the drain output or entirely absent, never
+// truncated. A completed-but-undrained span may be overwritten wholesale
+// by a later claim (again: lost whole, counted, never torn).
+//
+// Disabled tracing costs one relaxed load per call site and performs ZERO
+// atomic writes — asserted by test via the write instrumentation counter
+// below, so the hot path can keep the tracer wired in permanently.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/types.hpp"
+
+namespace ps::telemetry {
+
+enum class Stage : u8 {
+  kRxRing = 0,
+  kMasterDequeue,
+  kGather,
+  kH2d,
+  kKernel,
+  kD2h,
+  kScatter,
+  kTxDoorbell,
+  kCount,
+};
+
+inline constexpr std::size_t kNumStages = static_cast<std::size_t>(Stage::kCount);
+
+const char* to_string(Stage stage);
+
+/// One chunk's completed trip, as drained by the (cold-path) reader.
+struct TraceSpan {
+  u64 chunk_id = 0;
+  u32 packets = 0;
+  bool cpu_path = false;
+  /// Nanoseconds on the steady clock; 0 = stage never stamped.
+  std::array<u64, kNumStages> ts{};
+
+  u64 begin_ns() const { return ts[static_cast<std::size_t>(Stage::kRxRing)]; }
+  u64 end_ns() const { return ts[static_cast<std::size_t>(Stage::kTxDoorbell)]; }
+  u64 stage(Stage s) const { return ts[static_cast<std::size_t>(s)]; }
+};
+
+class PipelineTracer {
+ public:
+  static constexpr i32 kNoSlot = -1;
+
+  /// `capacity` = concurrent + undrained spans the ring can hold; rounded
+  /// up to a power of two. All storage is allocated here, none on the hot
+  /// path. Tracing starts disabled.
+  explicit PipelineTracer(u32 capacity = 1024);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Claim a slot and stamp Stage::kRxRing. Returns kNoSlot when tracing
+  /// is disabled or the ring wrapped onto a span still in flight (the new
+  /// span is dropped whole).
+  i32 begin_span(u32 packets);
+
+  /// Stamp one stage boundary with the current time. No-op for kNoSlot.
+  void stamp(i32 slot, Stage stage);
+
+  /// Mark the span as having taken a CPU path (device stages absent).
+  void mark_cpu_path(i32 slot);
+
+  /// Stamp Stage::kTxDoorbell and publish the span for drain().
+  void end_span(i32 slot);
+
+  /// Collect completed spans not yet drained (single consumer; cold path).
+  /// Appends to `out`, returns how many were appended. Torn or in-flight
+  /// slots are skipped whole.
+  std::size_t drain(std::vector<TraceSpan>& out);
+
+  // --- accounting -----------------------------------------------------------
+  u64 spans_started() const { return spans_started_.load(std::memory_order_relaxed); }
+  u64 spans_completed() const { return spans_completed_.load(std::memory_order_relaxed); }
+  /// Spans dropped whole because the ring wrapped onto an open slot.
+  u64 spans_dropped() const { return spans_dropped_.load(std::memory_order_relaxed); }
+  /// Completed spans overwritten before anyone drained them (also whole).
+  u64 spans_overwritten() const { return spans_overwritten_.load(std::memory_order_relaxed); }
+
+  /// Instrumentation for the "disabled tracing writes nothing" property:
+  /// every atomic store/rmw the tracer's hot path performs also bumps this
+  /// counter, so a disabled tracer must leave it exactly where it was.
+  u64 hot_path_atomic_writes() const {
+    return hot_path_writes_.load(std::memory_order_relaxed);
+  }
+
+  u32 capacity() const { return capacity_; }
+
+  static u64 now_ns() {
+    return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now().time_since_epoch())
+                                .count());
+  }
+
+ private:
+  struct Slot {
+    /// Seqlock: odd = a writer owns the slot (span open), even = at rest.
+    std::atomic<u32> seq{0};
+    /// Claim generation of the last *completed* span in this slot; the
+    /// reader remembers what it drained to skip stale re-reads.
+    std::atomic<u64> complete_gen{0};
+    std::atomic<u64> chunk_id{0};
+    std::atomic<u32> packets{0};
+    std::atomic<u8> cpu_path{0};
+    std::array<std::atomic<u64>, kNumStages> ts{};
+  };
+
+  void count_write(u64 n = 1) { hot_path_writes_.fetch_add(n, std::memory_order_relaxed); }
+
+  u32 capacity_ = 0;  // power of two
+  u32 mask_ = 0;
+  std::atomic<bool> enabled_{false};
+  std::atomic<u64> next_claim_{0};  // claim tickets; slot = ticket & mask
+  std::vector<CacheAligned<Slot>> slots_;
+
+  std::atomic<u64> spans_started_{0};
+  std::atomic<u64> spans_completed_{0};
+  std::atomic<u64> spans_dropped_{0};
+  std::atomic<u64> spans_overwritten_{0};
+  std::atomic<u64> hot_path_writes_{0};
+
+  std::mutex drain_mu_;  // single logical consumer, enforced
+  std::vector<u64> drained_gen_;  // per slot: last complete_gen drained
+};
+
+}  // namespace ps::telemetry

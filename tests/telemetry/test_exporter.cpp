@@ -1,0 +1,155 @@
+// Golden tests for the canonical BENCH emission layer. The overload bench
+// (and every future bench) builds its line through BenchLine, so this file
+// pins the byte-exact format the lab's scrapers parse: key order, printf
+// number formatting (%.Nf / %llu), and the BENCH prefix.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "telemetry/exporter.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace ps::telemetry {
+namespace {
+
+TEST(BenchLine, GoldenScalarFields) {
+  BenchLine line("demo");
+  line.field("count", u64{42})
+      .fixed("rate", 1234.5678, 0)
+      .fixed("ratio", 0.8567, 3)
+      .field("label", std::string("fast"));
+  EXPECT_EQ(line.str(),
+            "BENCH {\"bench\":\"demo\",\"count\":42,\"rate\":1235,"
+            "\"ratio\":0.857,\"label\":\"fast\"}");
+}
+
+// Byte-for-byte the line bench_overload used to hand-roll with printf —
+// the dedupe onto BenchLine must not change a single character.
+TEST(BenchLine, GoldenOverloadBenchFormat) {
+  struct Point {
+    double mult, offered_pps, goodput_pps, p50_ms, p99_ms;
+    u64 offered, accepted, hw_drops, bp_reduced_batches, bp_diverted_chunks;
+  };
+  const std::vector<Point> points = {
+      {0.5, 12345.6, 12000.4, 1.2345, 4.5678, 5000, 4990, 10, 3, 1},
+      {4.0, 98765.4, 43210.9, 2.5, 80.25, 40000, 30000, 10000, 77, 42},
+  };
+
+  BenchLine line("overload");
+  line.fixed("capacity_pps", 24691.35, 0)
+      .fixed("peak_goodput_pps", 43210.9, 0)
+      .fixed("goodput_retention_at_4x", 0.9996, 3)
+      .array("points");
+  for (const auto& p : points) {
+    line.object()
+        .fixed("mult", p.mult, 1)
+        .fixed("offered_pps", p.offered_pps, 0)
+        .fixed("goodput_pps", p.goodput_pps, 0)
+        .fixed("p50_ms", p.p50_ms, 3)
+        .fixed("p99_ms", p.p99_ms, 3)
+        .field("offered", p.offered)
+        .field("accepted", p.accepted)
+        .field("hw_drops", p.hw_drops)
+        .field("bp_reduced_batches", p.bp_reduced_batches)
+        .field("bp_diverted_chunks", p.bp_diverted_chunks)
+        .end();
+  }
+  line.end();
+
+  // Reference produced by the original printf chain.
+  char expect[1024];
+  int n = std::snprintf(
+      expect, sizeof(expect),
+      "BENCH {\"bench\":\"overload\",\"capacity_pps\":%.0f,\"peak_goodput_pps\":%.0f,"
+      "\"goodput_retention_at_4x\":%.3f,\"points\":[",
+      24691.35, 43210.9, 0.9996);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    n += std::snprintf(
+        expect + n, sizeof(expect) - static_cast<std::size_t>(n),
+        "%s{\"mult\":%.1f,\"offered_pps\":%.0f,\"goodput_pps\":%.0f,"
+        "\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"offered\":%llu,\"accepted\":%llu,"
+        "\"hw_drops\":%llu,\"bp_reduced_batches\":%llu,\"bp_diverted_chunks\":%llu}",
+        i ? "," : "", p.mult, p.offered_pps, p.goodput_pps, p.p50_ms, p.p99_ms,
+        static_cast<unsigned long long>(p.offered), static_cast<unsigned long long>(p.accepted),
+        static_cast<unsigned long long>(p.hw_drops),
+        static_cast<unsigned long long>(p.bp_reduced_batches),
+        static_cast<unsigned long long>(p.bp_diverted_chunks));
+  }
+  std::snprintf(expect + n, sizeof(expect) - static_cast<std::size_t>(n), "]}");
+
+  EXPECT_EQ(line.str(), expect);
+}
+
+TEST(BenchLine, StrClosesOpenScopesWithoutMutating) {
+  BenchLine line("partial");
+  line.array("xs").object().field("a", u64{1});
+  EXPECT_EQ(line.str(), "BENCH {\"bench\":\"partial\",\"xs\":[{\"a\":1}]}");
+  // str() is idempotent: the scopes are closed in the output, not in the
+  // builder, so continuing afterwards still works.
+  line.field("b", u64{2}).end().end();
+  EXPECT_EQ(line.str(), "BENCH {\"bench\":\"partial\",\"xs\":[{\"a\":1,\"b\":2}]}");
+}
+
+TEST(Exporter, EmitAppendsNewline) {
+  std::ostringstream out;
+  Exporter exporter(out);
+  BenchLine line("x");
+  line.field("v", u64{1});
+  exporter.emit(line);
+  EXPECT_EQ(out.str(), "BENCH {\"bench\":\"x\",\"v\":1}\n");
+}
+
+TEST(Exporter, PrintSnapshotListsEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("rx")->add(5);
+  reg.gauge("depth")->set(2);
+  reg.histogram("lat")->record(100);
+
+  std::ostringstream out;
+  Exporter exporter(out);
+  exporter.print_snapshot(reg.snapshot(), "test");
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("=== test"), std::string::npos);
+  EXPECT_NE(text.find("rx"), std::string::npos);
+  EXPECT_NE(text.find("counter"), std::string::npos);
+  EXPECT_NE(text.find("depth"), std::string::npos);
+  EXPECT_NE(text.find("gauge"), std::string::npos);
+  EXPECT_NE(text.find("count=1"), std::string::npos);  // the histogram line
+}
+
+TEST(StageBreakdown, AttributesDeltasToStampedStages) {
+  // Hand-built span: rx=1000, dequeue=1500, gather=1600, h2d=2000,
+  // kernel=2600, d2h=3000, scatter=3500, tx=4000 (ns).
+  TraceSpan gpu_span;
+  gpu_span.packets = 64;
+  gpu_span.ts = {1000, 1500, 1600, 2000, 2600, 3000, 3500, 4000};
+  // CPU-path span: device stages unstamped; the scatter delta bridges the
+  // gap from the dequeue stamp.
+  TraceSpan cpu_span;
+  cpu_span.cpu_path = true;
+  cpu_span.ts = {2000, 2400, 0, 0, 0, 0, 3400, 3600};
+
+  const auto b = compute_stage_breakdown({gpu_span, cpu_span});
+  EXPECT_EQ(b.spans, 2u);
+  const auto idx = [](Stage s) { return static_cast<std::size_t>(s); };
+  EXPECT_EQ(b.samples[idx(Stage::kMasterDequeue)], 2u);
+  EXPECT_DOUBLE_EQ(b.mean_us[idx(Stage::kMasterDequeue)], (500.0 + 400.0) / 2 / 1e3);
+  EXPECT_EQ(b.samples[idx(Stage::kKernel)], 1u);  // only the GPU span
+  EXPECT_DOUBLE_EQ(b.mean_us[idx(Stage::kKernel)], 600.0 / 1e3);
+  EXPECT_EQ(b.samples[idx(Stage::kScatter)], 2u);
+  EXPECT_DOUBLE_EQ(b.mean_us[idx(Stage::kScatter)], (500.0 + 1000.0) / 2 / 1e3);
+  EXPECT_DOUBLE_EQ(b.total_mean_us, ((4000.0 - 1000.0) + (3600.0 - 2000.0)) / 2 / 1e3);
+
+  // Incomplete spans (no begin or no end) are excluded whole.
+  TraceSpan incomplete;
+  incomplete.ts[0] = 500;
+  const auto b2 = compute_stage_breakdown({incomplete});
+  EXPECT_EQ(b2.spans, 0u);
+}
+
+}  // namespace
+}  // namespace ps::telemetry
