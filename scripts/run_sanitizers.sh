@@ -1,8 +1,9 @@
 #!/bin/sh
-# Build and run the test suite under the sanitizer presets: once with
-# ASan+UBSan (-DPS_SANITIZE=address) and once with TSan
-# (-DPS_SANITIZE=thread), each in its own build tree. Pass a preset name
-# ("address" or "thread") to run just that one.
+# Build and run the test suite under the sanitizer presets: ASan+UBSan
+# (-DPS_SANITIZE=address), TSan (-DPS_SANITIZE=thread), and standalone
+# UBSan (-DPS_SANITIZE=undefined, with -fno-sanitize-recover so any UB
+# aborts the test), each in its own build tree. Pass a preset name
+# ("address", "thread", or "undefined") to run just that one.
 #
 # An optional second argument is a ctest -R regex to run a subset. The
 # overload-control / liveness layer leans hard on cross-thread protocols
@@ -23,7 +24,7 @@ cd "$(dirname "$0")/.."
 
 telemetry_filter='TelemetryConservation|MetricsRegistry|PipelineTrace|BenchLine|Exporter|StageBreakdown|GpuCpuDifferential'
 
-presets="${1:-address thread}"
+presets="${1:-address thread undefined}"
 filter="$2"
 if [ "$filter" = "telemetry" ]; then
   filter="$telemetry_filter"

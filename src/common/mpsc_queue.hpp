@@ -5,15 +5,18 @@
 // (rather than per-worker) to preserve fairness between workers; we mirror
 // that with a single mutex-guarded FIFO, which also gives the FIFO ordering
 // guarantee section 5.3 requires.
+//
+// Concurrency contract (machine-checked under PS_ANALYZE): every item and
+// the closed flag are GUARDED_BY(mu_); waits are explicit loops so the
+// guarded reads stay visible to the thread-safety analysis.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace ps {
@@ -26,11 +29,12 @@ class MpscQueue {
   /// Blocking push; waits while the queue is full unless closed.
   /// Returns false if the queue was closed.
   bool push(T value) {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;
-    items_.push_back(std::move(value));
-    lock.unlock();
+    {
+      MutexLock lock(mu_);
+      while (items_.size() >= capacity_ && !closed_) not_full_.wait(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
     not_empty_.notify_one();
     return true;
   }
@@ -38,7 +42,7 @@ class MpscQueue {
   /// Non-blocking push. Returns false when full or closed.
   bool try_push(T value) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
     }
@@ -48,12 +52,14 @@ class MpscQueue {
 
   /// Blocking pop; returns nullopt only after close() with the queue drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;
-    T value = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+    std::optional<T> value;
+    {
+      MutexLock lock(mu_);
+      while (items_.empty() && !closed_) not_empty_.wait(mu_);
+      if (items_.empty()) return std::nullopt;
+      value = std::move(items_.front());
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return value;
   }
@@ -62,7 +68,7 @@ class MpscQueue {
   std::optional<T> try_pop() {
     std::optional<T> value;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (items_.empty()) return std::nullopt;
       value = std::move(items_.front());
       items_.pop_front();
@@ -75,12 +81,8 @@ class MpscQueue {
   std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
     std::size_t n = 0;
     {
-      std::lock_guard lock(mu_);
-      while (n < max && !items_.empty()) {
-        out.push_back(std::move(items_.front()));
-        items_.pop_front();
-        ++n;
-      }
+      MutexLock lock(mu_);
+      n = drain_into(out, max);
     }
     if (n > 0) not_full_.notify_all();
     return n;
@@ -91,13 +93,9 @@ class MpscQueue {
   std::size_t pop_batch_wait(std::vector<T>& out, std::size_t max) {
     std::size_t n = 0;
     {
-      std::unique_lock lock(mu_);
-      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-      while (n < max && !items_.empty()) {
-        out.push_back(std::move(items_.front()));
-        items_.pop_front();
-        ++n;
-      }
+      MutexLock lock(mu_);
+      while (items_.empty() && !closed_) not_empty_.wait(mu_);
+      n = drain_into(out, max);
     }
     if (n > 0) not_full_.notify_all();
     return n;
@@ -111,15 +109,14 @@ class MpscQueue {
   template <typename Rep, typename Period>
   std::size_t pop_batch_wait_for(std::vector<T>& out, std::size_t max,
                                  std::chrono::duration<Rep, Period> timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
     std::size_t n = 0;
     {
-      std::unique_lock lock(mu_);
-      not_empty_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
-      while (n < max && !items_.empty()) {
-        out.push_back(std::move(items_.front()));
-        items_.pop_front();
-        ++n;
+      MutexLock lock(mu_);
+      while (items_.empty() && !closed_) {
+        if (not_empty_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
       }
+      n = drain_into(out, max);
     }
     if (n > 0) not_full_.notify_all();
     return n;
@@ -127,7 +124,7 @@ class MpscQueue {
 
   /// Closed with nothing left to pop: the consumer may exit.
   bool drained() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return closed_ && items_.empty();
   }
 
@@ -135,7 +132,7 @@ class MpscQueue {
 
   void close() {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -143,22 +140,32 @@ class MpscQueue {
   }
 
   bool closed() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
+  std::size_t drain_into(std::vector<T>& out, std::size_t max) REQUIRES(mu_) {
+    std::size_t n = 0;
+    while (n < max && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++n;
+    }
+    return n;
+  }
+
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ps

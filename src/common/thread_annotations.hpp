@@ -1,0 +1,145 @@
+// Concurrency contracts as code: Clang Thread Safety Analysis attributes
+// plus the annotated lock primitives the rest of the tree uses.
+//
+// The repo's concurrency story is hand-ordered (single-writer relaxed
+// counters, the tracer's per-slot seqlock, the adopt_ack/io_token
+// handshake) and the mutex-protected remainder is exactly the part a
+// machine can check. Every mutex in src/ is a ps::Mutex so that, under
+// clang with -Wthread-safety (the PS_ANALYZE build), a guarded member
+// touched without its lock is a compile error instead of a review
+// comment. Under gcc (which has no such analysis) every macro expands to
+// nothing and the wrappers cost exactly a std::mutex.
+//
+// The capability map — which lock or thread owns which data — lives in
+// DESIGN.md §11 next to the pslint rule catalog.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PS_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define PS_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lock ("capability" in TSA terms).
+#define CAPABILITY(x) PS_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII type that acquires in its ctor and releases in its dtor.
+#define SCOPED_CAPABILITY PS_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only with `x` held.
+#define GUARDED_BY(x) PS_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* requires `x` held.
+#define PT_GUARDED_BY(x) PS_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and exit).
+#define REQUIRES(...) \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on exit, not on entry).
+#define ACQUIRE(...) PS_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on exit).
+#define RELEASE(...) PS_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first arg is the success return value.
+#define TRY_ACQUIRE(...) \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define EXCLUDES(...) PS_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held.
+#define ASSERT_CAPABILITY(x) PS_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) PS_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the function's locking is protocol-based and the static
+/// analysis cannot follow it. Use sparingly; justify at the call site.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace ps {
+
+/// std::mutex with TSA capability annotations. All of src/ locks through
+/// this type (or MutexLock below) so the analysis can see acquisitions;
+/// libstdc++'s std::mutex is unannotated and invisible to it.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock (the std::lock_guard of the annotated world).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting on a ps::Mutex. Waits are written as
+/// explicit while-loops at the call site (not predicate lambdas): TSA
+/// does not thread capabilities into lambda bodies, so a predicate that
+/// reads guarded members would trip the very analysis this file enables.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, wait, reacquire. Caller re-checks its
+  /// predicate in a loop (spurious wakeups).
+  void wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+      REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(Mutex& mu,
+                            std::chrono::time_point<Clock, Duration> deadline)
+      REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  // _any: waits directly on the annotated Mutex (BasicLockable), which
+  // keeps the acquire/release visible to the analysis at the call site.
+  std::condition_variable_any cv_;
+};
+
+}  // namespace ps

@@ -112,7 +112,7 @@ void Router::finish_job(WorkerRuntime& worker, ShaderJob* job) {
       std::optional<net::FrameBuffer> reply;
       bool admitted;
       {
-        std::lock_guard lock(host_stack_mu_);
+        MutexLock lock(host_stack_mu_);
         admitted = slowpath_admission_.admit(host_stack_->local_deliveries().size());
         if (admitted) reply = host_stack_->handle(job->chunk.packet(i), job->chunk.in_port);
       }
@@ -156,6 +156,8 @@ void Router::process_cpu_only(WorkerRuntime& worker, ShaderJob* job) {
 void Router::simulate_hang(std::atomic<bool>& release) {
   while (running_.load(std::memory_order_acquire) &&
          !release.load(std::memory_order_acquire)) {
+    // pslint: allow(hot-sleep) -- deterministic hang simulation: the whole
+    // point is that this thread makes no progress until released.
     std::this_thread::sleep_for(kHangPollSleep);
   }
   release.store(false, std::memory_order_relaxed);
@@ -303,6 +305,8 @@ void Router::worker_loop(WorkerRuntime& worker) {
       victim->io_token.store(false, std::memory_order_release);
     }
 
+    // pslint: allow(hot-sleep) -- idle path only: every queue was dry this
+    // iteration, so yielding the core mirrors the interrupt-mode park.
     if (!progress) std::this_thread::sleep_for(kIdleSleep);
   }
 }
@@ -313,7 +317,7 @@ void Router::cpu_fallback_batch(NodeRuntime& node, std::span<ShaderJob* const> b
     job->shaded_on_cpu = true;
     if (tracer_ != nullptr) tracer_->mark_cpu_path(job->trace_slot);
   }
-  std::lock_guard lock(node.health_mu);
+  MutexLock lock(node.health_mu);
   node.health.cpu_fallback_chunks += batch.size();
 }
 
@@ -323,7 +327,7 @@ void Router::shade_batch(NodeRuntime& node, std::span<ShaderJob* const> batch) {
     for (ShaderJob* job : batch) tracer_->stamp(job->trace_slot, telemetry::Stage::kGather);
   }
   {
-    std::lock_guard lock(node.health_mu);
+    MutexLock lock(node.health_mu);
     ++node.health.batches;
   }
 
@@ -331,14 +335,14 @@ void Router::shade_batch(NodeRuntime& node, std::span<ShaderJob* const> batch) {
   // is re-admitted once it recovers.
   bool healthy;
   {
-    std::lock_guard lock(node.health_mu);
+    MutexLock lock(node.health_mu);
     healthy = node.health.healthy;
   }
   if (!healthy) {
     if (++node.batches_since_probe >= config_.gpu_probe_interval_batches) {
       node.batches_since_probe = 0;
       const auto probe = node.gpu.device->probe();
-      std::lock_guard lock(node.health_mu);
+      MutexLock lock(node.health_mu);
       ++node.health.probes;
       if (probe.ok()) {
         node.health.healthy = true;
@@ -362,8 +366,10 @@ void Router::shade_batch(NodeRuntime& node, std::span<ShaderJob* const> batch) {
       const u64 backoff =
           std::min<u64>(static_cast<u64>(config_.gpu_backoff_us) << (attempt - 1),
                         config_.gpu_backoff_cap_us);
+      // pslint: allow(hot-sleep) -- GPU retry backoff: the device just
+      // failed, so the batch is already off the fast path by definition.
       std::this_thread::sleep_for(std::chrono::microseconds(backoff));
-      std::lock_guard lock(node.health_mu);
+      MutexLock lock(node.health_mu);
       ++node.health.retries;
     }
     const ShadeOutcome outcome = shader_.shade(node.gpu, batch);
@@ -377,7 +383,7 @@ void Router::shade_batch(NodeRuntime& node, std::span<ShaderJob* const> batch) {
   // is lost) and repeated failures trip the device to unhealthy.
   ++node.consecutive_failures;
   {
-    std::lock_guard lock(node.health_mu);
+    MutexLock lock(node.health_mu);
     ++node.health.failed_batches;
     if (node.health.healthy && node.consecutive_failures >= config_.gpu_fail_threshold) {
       node.health.healthy = false;
@@ -479,6 +485,8 @@ void Router::on_worker_recover(int worker_id) {
   while (running_.load(std::memory_order_acquire) &&
          peer.adopt_ack.load(std::memory_order_acquire) != nullptr &&
          std::chrono::steady_clock::now() < deadline) {
+    // pslint: allow(hot-sleep) -- supervisor recovery wait (bounded): the
+    // owner is quarantined and not forwarding while this loop runs.
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
   worker.quarantined.store(false, std::memory_order_release);
@@ -596,13 +604,18 @@ ConservationAudit Router::audit() const {
 }
 
 slowpath::AdmissionStats Router::slowpath_admission_stats() const {
-  std::lock_guard lock(host_stack_mu_);
+  MutexLock lock(host_stack_mu_);
   return slowpath_admission_.stats();
+}
+
+slowpath::HostStackStats Router::host_stack_stats() const {
+  MutexLock lock(host_stack_mu_);
+  return host_stack_ ? host_stack_->stats() : slowpath::HostStackStats{};
 }
 
 GpuHealthStats Router::gpu_health(int node) const {
   const auto& rt = *nodes_[static_cast<std::size_t>(node)];
-  std::lock_guard lock(rt.health_mu);
+  MutexLock lock(rt.health_mu);
   return rt.health;
 }
 

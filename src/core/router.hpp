@@ -36,10 +36,10 @@
 #include <thread>
 #include <vector>
 
-#include <mutex>
 
 #include "common/cacheline.hpp"
 #include "common/heartbeat.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/mpsc_queue.hpp"
 #include "common/spsc_ring.hpp"
 #include "core/shader.hpp"
@@ -210,6 +210,12 @@ class Router {
   /// Slow-path admission accounting (admitted / shed by rate / by queue).
   slowpath::AdmissionStats slowpath_admission_stats() const;
 
+  /// Snapshot of the attached host stack's counters, taken under the same
+  /// lock the workers hold while feeding it — the only race-free way to
+  /// observe the stack while the router runs (HostStack itself is
+  /// unsynchronized by design). Zeroes when no stack is attached.
+  slowpath::HostStackStats host_stack_stats() const;
+
   /// Snapshot of node `node`'s GPU watchdog state.
   GpuHealthStats gpu_health(int node) const;
 
@@ -255,8 +261,8 @@ class Router {
 
     // Watchdog state. Counters are written only by the node's master
     // thread; the mutex orders them for gpu_health() readers.
-    mutable std::mutex health_mu;
-    GpuHealthStats health;
+    mutable Mutex health_mu;
+    GpuHealthStats health GUARDED_BY(health_mu);
     u32 consecutive_failures = 0;     // master-thread only
     u32 batches_since_probe = 0;      // master-thread only
   };
@@ -369,9 +375,11 @@ class Router {
   RouterConfig config_;
   int workers_per_node_;
 
-  slowpath::HostStack* host_stack_ = nullptr;
-  mutable std::mutex host_stack_mu_;  // the host stack is single-threaded, as Linux's is per-softirq
-  slowpath::Admission slowpath_admission_;  // guarded by host_stack_mu_
+  // The host stack is single-threaded, as Linux's is per-softirq: every
+  // worker funnels its kSlowPath packets through this one lock.
+  mutable Mutex host_stack_mu_;
+  slowpath::HostStack* host_stack_ PT_GUARDED_BY(host_stack_mu_) = nullptr;
+  slowpath::Admission slowpath_admission_ GUARDED_BY(host_stack_mu_);
   fault::FaultInjector* injector_ = nullptr;
   telemetry::MetricsRegistry* telemetry_ = nullptr;
   telemetry::PipelineTracer* tracer_ = nullptr;

@@ -15,7 +15,7 @@ FaultInjector::PointState& FaultInjector::state_for(std::string_view point) {
 }
 
 void FaultInjector::add_rule(FaultRule rule) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const std::size_t index = rules_.size();
   rules_.push_back(std::move(rule));
   // Bind to the point if it is already registered; otherwise state_for()
@@ -25,12 +25,12 @@ void FaultInjector::add_rule(FaultRule rule) {
 }
 
 void FaultInjector::register_point(std::string_view point) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   state_for(point);
 }
 
 bool FaultInjector::should_fire(std::string_view point) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   PointState& st = state_for(point);
   const u64 hit = st.stats.hits++;  // this hit's zero-based index
 
@@ -46,20 +46,20 @@ bool FaultInjector::should_fire(std::string_view point) {
 }
 
 PointStats FaultInjector::stats(std::string_view point) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = points_.find(std::string(point));
   return it == points_.end() ? PointStats{} : it->second.stats;
 }
 
 u64 FaultInjector::total_fired() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   u64 total = 0;
   for (const auto& [name, st] : points_) total += st.stats.fired;
   return total;
 }
 
 void FaultInjector::reset() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   rules_.clear();
   for (auto& [name, st] : points_) st = PointState{};
 }

@@ -11,13 +11,13 @@
 // point, so production paths pay nothing when chaos is off.
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace ps::fault {
@@ -89,12 +89,12 @@ class FaultInjector {
     std::vector<std::size_t> rules;  // indices into rules_
   };
 
-  PointState& state_for(std::string_view point);
+  PointState& state_for(std::string_view point) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<FaultRule> rules_;
-  std::unordered_map<std::string, PointState> points_;
-  Rng rng_;
+  mutable Mutex mu_;
+  std::vector<FaultRule> rules_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, PointState> points_ GUARDED_BY(mu_);
+  Rng rng_ GUARDED_BY(mu_);  // probability draws are serialized with hits
 };
 
 }  // namespace ps::fault

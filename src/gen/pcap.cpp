@@ -22,6 +22,7 @@ void put_u16(std::ofstream& out, u16 v) { out.write(reinterpret_cast<const char*
 
 PcapWriter::PcapWriter(const std::string& path)
     : out_(path, std::ios::binary | std::ios::trunc) {
+  MutexLock lock(mu_);
   if (out_) write_header();
 }
 
@@ -40,7 +41,7 @@ void PcapWriter::write_header() {
 void PcapWriter::on_frame(int /*port*/, std::span<const u8> frame) {
   // Wire-sink use has no model clock: synthesize strictly increasing
   // microsecond timestamps so captures stay sorted.
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!out_) return;
   const Picos ts = synthetic_clock_;
   synthetic_clock_ += kPicosPerMicro;
@@ -54,7 +55,7 @@ void PcapWriter::on_frame(int /*port*/, std::span<const u8> frame) {
 }
 
 void PcapWriter::write(std::span<const u8> frame, Picos timestamp) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!out_) return;
   put_u32(out_, static_cast<u32>(timestamp / kPicosPerSec));
   put_u32(out_, static_cast<u32>((timestamp % kPicosPerSec) / kPicosPerMicro));
@@ -66,7 +67,7 @@ void PcapWriter::write(std::span<const u8> frame, Picos timestamp) {
 }
 
 void PcapWriter::flush() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (out_) out_.flush();
 }
 

@@ -4,10 +4,10 @@
 #pragma once
 
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "nic/wire.hpp"
 
@@ -21,24 +21,30 @@ class PcapWriter final : public nic::WireSink {
   explicit PcapWriter(const std::string& path);
   ~PcapWriter() override;
 
-  bool ok() const { return static_cast<bool>(out_); }
+  bool ok() {
+    MutexLock lock(mu_);
+    return static_cast<bool>(out_);
+  }
 
   void on_frame(int port, std::span<const u8> frame) override;
 
   /// Write a frame with an explicit timestamp (model time).
   void write(std::span<const u8> frame, Picos timestamp);
 
-  u64 frames_written() const { return frames_; }
+  u64 frames_written() {
+    MutexLock lock(mu_);
+    return frames_;
+  }
 
   void flush();
 
  private:
-  void write_header();
+  void write_header() REQUIRES(mu_);
 
-  std::ofstream out_;
-  std::mutex mu_;
-  u64 frames_ = 0;
-  Picos synthetic_clock_ = 0;
+  Mutex mu_;
+  std::ofstream out_ GUARDED_BY(mu_);
+  u64 frames_ GUARDED_BY(mu_) = 0;
+  Picos synthetic_clock_ GUARDED_BY(mu_) = 0;
 };
 
 /// Minimal pcap reader used by tests and tooling: returns the frames in a

@@ -19,7 +19,7 @@ const char* to_string(GpuStatus status) {
 
 DeviceBuffer::DeviceBuffer(GpuDevice* device, std::size_t bytes) : account_(device->mem_) {
   assert(device != nullptr);
-  std::lock_guard lock(account_->mu);  // allocation may race device ops
+  MutexLock lock(account_->mu);  // allocation may race device ops
   if (account_->allocated + bytes > perf::kGpuMemBytes) {
     throw std::bad_alloc();  // past the card's 1.5 GB GDDR5
   }
@@ -31,7 +31,7 @@ DeviceBuffer::~DeviceBuffer() { release(); }
 
 void DeviceBuffer::release() noexcept {
   if (account_ != nullptr) {
-    std::lock_guard lock(account_->mu);
+    MutexLock lock(account_->mu);
     account_->allocated -= storage_.size();
   }
   account_.reset();
@@ -58,7 +58,7 @@ GpuDevice::GpuDevice(int gpu_id, const pcie::Topology& topo,
       streams_(1, 0) {}
 
 StreamId GpuDevice::create_stream() {
-  std::lock_guard lock(op_mu_);
+  MutexLock lock(op_mu_);
   streams_.push_back(0);
   return static_cast<StreamId>(streams_.size() - 1);
 }
@@ -92,7 +92,7 @@ void GpuDevice::charge_copy(u64 bytes, perf::Direction dir) {
 
 GpuResult GpuDevice::memcpy_h2d(DeviceBuffer& dst, std::size_t dst_offset,
                                 std::span<const u8> src, StreamId stream, Picos submit_time) {
-  std::lock_guard lock(op_mu_);
+  MutexLock lock(op_mu_);
   assert(dst_offset + src.size() <= dst.size());
   if (const GpuStatus st = check_fault("gpu.copy", GpuStatus::kCopyFailed);
       st != GpuStatus::kOk) {
@@ -125,7 +125,7 @@ GpuResult GpuDevice::memcpy_h2d(DeviceBuffer& dst, std::size_t dst_offset,
 
 GpuResult GpuDevice::memcpy_d2h(std::span<u8> dst, const DeviceBuffer& src,
                                 std::size_t src_offset, StreamId stream, Picos submit_time) {
-  std::lock_guard lock(op_mu_);
+  MutexLock lock(op_mu_);
   assert(src_offset + dst.size() <= src.size());
   if (const GpuStatus st = check_fault("gpu.copy", GpuStatus::kCopyFailed);
       st != GpuStatus::kOk) {
@@ -154,7 +154,7 @@ GpuResult GpuDevice::memcpy_d2h(std::span<u8> dst, const DeviceBuffer& src,
 
 GpuResult GpuDevice::launch(const KernelLaunch& kernel, StreamId stream, Picos submit_time,
                             ExecStats* stats_out) {
-  std::lock_guard lock(op_mu_);
+  MutexLock lock(op_mu_);
   if (const GpuStatus st = check_fault("gpu.launch", GpuStatus::kLaunchFailed);
       st != GpuStatus::kOk) {
     perf::charge_cpu_cycles(perf::kGpuDriverCallCycles);
@@ -190,7 +190,7 @@ GpuResult GpuDevice::launch(const KernelLaunch& kernel, StreamId stream, Picos s
 }
 
 GpuResult GpuDevice::probe(Picos submit_time) {
-  std::lock_guard lock(op_mu_);
+  MutexLock lock(op_mu_);
   if (const GpuStatus st = check_fault("gpu.launch", GpuStatus::kLaunchFailed);
       st != GpuStatus::kOk) {
     perf::charge_cpu_cycles(perf::kGpuDriverCallCycles);
@@ -205,14 +205,14 @@ GpuResult GpuDevice::probe(Picos submit_time) {
 }
 
 Picos GpuDevice::synchronize() const {
-  std::lock_guard lock(op_mu_);
+  MutexLock lock(op_mu_);
   Picos latest = 0;
   for (const Picos tail : streams_) latest = std::max(latest, tail);
   return latest;
 }
 
 void GpuDevice::reset_timeline() {
-  std::lock_guard lock(op_mu_);
+  MutexLock lock(op_mu_);
   std::fill(streams_.begin(), streams_.end(), 0);
   exec_engine_free_ = 0;
   copy_engine_free_ = 0;

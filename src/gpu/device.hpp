@@ -11,11 +11,11 @@
 #include <cassert>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "fault/fault_injector.hpp"
 #include "gpu/executor.hpp"
@@ -32,8 +32,8 @@ class GpuDevice;
 /// testbed) still releases its accounting safely instead of dereferencing
 /// a dead device.
 struct DeviceMemAccount {
-  std::mutex mu;
-  u64 allocated = 0;
+  Mutex mu;
+  u64 allocated GUARDED_BY(mu) = 0;
 };
 
 /// RAII device-memory allocation (the CUDA cudaMalloc/cudaFree pair).
@@ -129,7 +129,7 @@ class GpuDevice {
   /// capacity (section 2.1).
   DeviceBuffer alloc(std::size_t bytes) { return DeviceBuffer(this, bytes); }
   u64 allocated_bytes() const {
-    std::lock_guard lock(mem_->mu);
+    MutexLock lock(mem_->mu);
     return mem_->allocated;
   }
 
@@ -137,7 +137,10 @@ class GpuDevice {
   /// streams put the device in "streamed" mode, which adds the per-CUDA-
   /// call overhead the paper observed hurting lightweight kernels (§5.4).
   StreamId create_stream();
-  u32 stream_count() const { return static_cast<u32>(streams_.size()); }
+  u32 stream_count() const {
+    MutexLock lock(op_mu_);
+    return static_cast<u32>(streams_.size());
+  }
 
   // --- operations ----------------------------------------------------------
   // Each performs the work immediately (functionally) and returns status +
@@ -165,12 +168,15 @@ class GpuDevice {
   /// call back into the device. Null detaches. The pipeline tracer uses
   /// this to stamp batch spans at the device stage boundaries.
   void set_op_observer(OpObserver cb) {
-    std::lock_guard lock(op_mu_);
+    MutexLock lock(op_mu_);
     op_observer_ = std::move(cb);
   }
 
   /// Modeled completion time of everything enqueued on a stream.
-  Picos stream_tail(StreamId stream) const { return streams_.at(stream); }
+  Picos stream_tail(StreamId stream) const {
+    MutexLock lock(op_mu_);
+    return streams_.at(stream);
+  }
 
   /// Modeled completion time of all streams (cudaDeviceSynchronize).
   Picos synchronize() const;
@@ -178,16 +184,26 @@ class GpuDevice {
   /// Reset all modeled clocks to zero (between benchmark runs).
   void reset_timeline();
 
-  /// Cumulative counters.
-  u64 kernels_launched() const { return kernels_launched_; }
-  u64 bytes_h2d() const { return bytes_h2d_; }
-  u64 bytes_d2h() const { return bytes_d2h_; }
+  /// Cumulative counters. Mutated by ops under op_mu_; sampling threads
+  /// (benches, telemetry probes) take the same lock for a torn-free read.
+  u64 kernels_launched() const {
+    MutexLock lock(op_mu_);
+    return kernels_launched_;
+  }
+  u64 bytes_h2d() const {
+    MutexLock lock(op_mu_);
+    return bytes_h2d_;
+  }
+  u64 bytes_d2h() const {
+    MutexLock lock(op_mu_);
+    return bytes_d2h_;
+  }
 
  private:
   friend class DeviceBuffer;
 
-  Picos stream_call_overhead() const;
-  void charge_copy(u64 bytes, perf::Direction dir);
+  Picos stream_call_overhead() const REQUIRES(op_mu_);
+  void charge_copy(u64 bytes, perf::Direction dir) REQUIRES(op_mu_);
   /// Fault gate for one op: "gpu.sick" first, then the op's own point.
   /// Returns kOk when no injector is attached or nothing fires.
   GpuStatus check_fault(std::string_view op_point, GpuStatus op_status);
@@ -201,18 +217,18 @@ class GpuDevice {
   // Serializes device operations: a master thread and a control-plane
   // table update (DynamicIpv4ForwardApp::sync) may touch one device
   // concurrently, like the CUDA driver's per-context lock.
-  mutable std::mutex op_mu_;
+  mutable Mutex op_mu_;
 
-  OpObserver op_observer_;  // guarded by op_mu_
+  OpObserver op_observer_ GUARDED_BY(op_mu_);
 
-  std::vector<Picos> streams_;  // per-stream tail time
-  Picos exec_engine_free_ = 0;
-  Picos copy_engine_free_ = 0;
+  std::vector<Picos> streams_ GUARDED_BY(op_mu_);  // per-stream tail time
+  Picos exec_engine_free_ GUARDED_BY(op_mu_) = 0;
+  Picos copy_engine_free_ GUARDED_BY(op_mu_) = 0;
 
   std::shared_ptr<DeviceMemAccount> mem_ = std::make_shared<DeviceMemAccount>();
-  u64 kernels_launched_ = 0;
-  u64 bytes_h2d_ = 0;
-  u64 bytes_d2h_ = 0;
+  u64 kernels_launched_ GUARDED_BY(op_mu_) = 0;
+  u64 bytes_h2d_ GUARDED_BY(op_mu_) = 0;
+  u64 bytes_d2h_ GUARDED_BY(op_mu_) = 0;
 };
 
 }  // namespace ps::gpu

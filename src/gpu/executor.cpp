@@ -17,41 +17,55 @@ SimtExecutor::SimtExecutor(unsigned workers) {
 
 SimtExecutor::~SimtExecutor() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();
   for (auto& t : workers_) t.join();
 }
 
-void SimtExecutor::run_range(u32 begin, u32 end) {
+void SimtExecutor::run_range(const KernelBody& body, std::atomic<u64>* path_words,
+                             u32 begin, u32 end) {
   for (u32 tid = begin; tid < end; ++tid) {
-    ThreadCtx ctx(tid, path_words_);
-    (*body_)(ctx);
+    ThreadCtx ctx(tid, path_words);
+    body(ctx);
   }
 }
 
 void SimtExecutor::worker_loop() {
   u64 seen_generation = 0;
   while (true) {
+    const KernelBody* body = nullptr;
+    std::atomic<u64>* path_words = nullptr;
+    u32 total_threads = 0;
+    u32 total_blocks = 0;
     {
-      std::unique_lock lock(mu_);
-      work_cv_.wait(lock, [&] { return stopping_ || generation_ != seen_generation; });
+      MutexLock lock(mu_);
+      while (!stopping_ && generation_ == seen_generation) work_cv_.wait(mu_);
       if (stopping_) return;
       seen_generation = generation_;
+      // Copy the launch payload in the same critical section that
+      // observed the generation bump. A worker that wakes only after the
+      // launcher finished this launch without it copies the cleared
+      // payload (zero blocks) and goes straight back to sleep instead of
+      // touching members the next launch may be republishing.
+      body = body_;
+      path_words = path_words_;
+      total_threads = total_threads_;
+      total_blocks = total_blocks_;
       ++active_workers_;
     }
     // Claim blocks until the grid is exhausted.
     while (true) {
       const u32 block = next_block_.fetch_add(1, std::memory_order_relaxed);
-      if (block >= total_blocks_) break;
+      if (block >= total_blocks) break;
       const u32 begin = block * kBlockThreads;
-      const u32 end = std::min(total_threads_, begin + kBlockThreads);
-      run_range(begin, end);
+      const u32 end = std::min(total_threads, begin + kBlockThreads);
+      run_range(*body, path_words, begin, end);
       blocks_done_.fetch_add(1, std::memory_order_acq_rel);
     }
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       --active_workers_;
     }
     // run() waits for full quiescence so the next launch can safely reset
@@ -66,7 +80,7 @@ ExecStats SimtExecutor::run(u32 threads, const KernelBody& body, bool track_dive
   stats.warps = (threads + perf::kGpuWarpSize - 1) / perf::kGpuWarpSize;
   if (threads == 0) return stats;
 
-  std::lock_guard launch_lock(launch_mu_);
+  MutexLock launch_lock(launch_mu_);
 
   std::unique_ptr<std::atomic<u64>[]> paths;
   if (track_divergence) {
@@ -74,18 +88,22 @@ ExecStats SimtExecutor::run(u32 threads, const KernelBody& body, bool track_dive
     for (u32 i = 0; i < stats.warps; ++i) paths[i].store(0, std::memory_order_relaxed);
   }
 
-  body_ = &body;
-  path_words_ = paths.get();
-  total_threads_ = threads;
-  total_blocks_ = (threads + kBlockThreads - 1) / kBlockThreads;
-  next_block_.store(0, std::memory_order_relaxed);
-  blocks_done_.store(0, std::memory_order_relaxed);
+  const u32 blocks = (threads + kBlockThreads - 1) / kBlockThreads;
 
   if (workers_.empty()) {
-    run_range(0, threads);
+    run_range(body, paths.get(), 0, threads);
   } else {
+    next_block_.store(0, std::memory_order_relaxed);
+    blocks_done_.store(0, std::memory_order_relaxed);
     {
-      std::lock_guard lock(mu_);
+      // Publish the payload and the generation bump atomically: workers
+      // snapshot both in one critical section, so they see either this
+      // launch in full or not at all.
+      MutexLock lock(mu_);
+      body_ = &body;
+      path_words_ = paths.get();
+      total_threads_ = threads;
+      total_blocks_ = blocks;
       ++generation_;
     }
     work_cv_.notify_all();
@@ -93,18 +111,24 @@ ExecStats SimtExecutor::run(u32 threads, const KernelBody& body, bool track_dive
     // quiescence (a straggler must not observe the next launch's state).
     while (true) {
       const u32 block = next_block_.fetch_add(1, std::memory_order_relaxed);
-      if (block >= total_blocks_) break;
+      if (block >= blocks) break;
       const u32 begin = block * kBlockThreads;
-      const u32 end = std::min(total_threads_, begin + kBlockThreads);
-      run_range(begin, end);
+      const u32 end = std::min(threads, begin + kBlockThreads);
+      run_range(body, paths.get(), begin, end);
       blocks_done_.fetch_add(1, std::memory_order_acq_rel);
     }
     {
-      std::unique_lock lock(mu_);
-      done_cv_.wait(lock, [&] {
-        return blocks_done_.load(std::memory_order_acquire) == total_blocks_ &&
-               active_workers_ == 0;
-      });
+      MutexLock lock(mu_);
+      while (!(blocks_done_.load(std::memory_order_acquire) == blocks &&
+               active_workers_ == 0)) {
+        done_cv_.wait(mu_);
+      }
+      // Clear the payload for late wakers: a worker still asleep for this
+      // generation will copy zero blocks and claim nothing.
+      body_ = nullptr;
+      path_words_ = nullptr;
+      total_threads_ = 0;
+      total_blocks_ = 0;
     }
   }
 
@@ -119,8 +143,6 @@ ExecStats SimtExecutor::run(u32 threads, const KernelBody& body, bool track_dive
     stats.warp_efficiency = sum_efficiency / static_cast<double>(stats.warps);
   }
 
-  body_ = nullptr;
-  path_words_ = nullptr;
   return stats;
 }
 

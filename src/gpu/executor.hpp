@@ -7,12 +7,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "perf/calibration.hpp"
 
@@ -83,24 +82,29 @@ class SimtExecutor {
   };
 
   void worker_loop();
-  void run_range(u32 begin, u32 end);
+  static void run_range(const KernelBody& body, std::atomic<u64>* path_words,
+                        u32 begin, u32 end);
 
-  // Current launch state (one launch at a time; guarded by launch_mu_).
-  const KernelBody* body_ = nullptr;
-  std::atomic<u64>* path_words_ = nullptr;
+  // Launch payload: published by run() in the same mu_ critical section
+  // that bumps generation_, copied out by each worker in the critical
+  // section where it observes the new generation. A worker that wakes
+  // late — after the launcher already completed a launch without it —
+  // therefore can never race the next launch's publication.
+  const KernelBody* body_ GUARDED_BY(mu_) = nullptr;
+  std::atomic<u64>* path_words_ GUARDED_BY(mu_) = nullptr;
+  u32 total_threads_ GUARDED_BY(mu_) = 0;
+  u32 total_blocks_ GUARDED_BY(mu_) = 0;
   std::atomic<u32> next_block_{0};
-  u32 total_threads_ = 0;
   std::atomic<u32> blocks_done_{0};
-  u32 total_blocks_ = 0;
 
-  std::mutex launch_mu_;
+  Mutex launch_mu_;  // serializes launches (one kernel at a time)
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  u64 generation_ = 0;
-  unsigned active_workers_ = 0;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  u64 generation_ GUARDED_BY(mu_) = 0;
+  unsigned active_workers_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -110,11 +110,12 @@ u32 IoHandle::recv_chunk_wait(PacketChunk& chunk) {
     for (const auto& ref : queues_) {
       engine_->port(ref.port)->enable_rx_interrupt(ref.queue);
     }
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return irq_pending_ || engine_->stopped(); });
-    irq_pending_ = false;
+    {
+      MutexLock lock(mu_);
+      while (!irq_pending_ && !engine_->stopped()) cv_.wait(mu_);
+      irq_pending_ = false;
+    }
     // Back to polling: disable interrupts while we drain.
-    lock.unlock();
     for (const auto& ref : queues_) {
       engine_->port(ref.port)->disable_rx_interrupt(ref.queue);
     }
@@ -168,7 +169,7 @@ bool IoHandle::send_frame(int port, std::span<const u8> frame) {
 
 void IoHandle::on_interrupt() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     irq_pending_ = true;
   }
   cv_.notify_one();
@@ -209,7 +210,7 @@ IoHandle* PacketIoEngine::attach(int core, std::vector<QueueRef> queues) {
 }
 
 void PacketIoEngine::stop() {
-  stopping_ = true;
+  stopping_.store(true, std::memory_order_release);
   for (auto& handle : handles_) handle->on_interrupt();
 }
 

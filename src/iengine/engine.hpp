@@ -17,10 +17,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 #include "iengine/chunk.hpp"
 #include "nic/nic.hpp"
@@ -102,9 +102,9 @@ class IoHandle {
   std::vector<QueueRef> queues_;
   std::size_t rr_cursor_ = 0;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool irq_pending_ = false;
+  Mutex mu_;
+  CondVar cv_;  // interrupt wakeup channel (NIC thread -> owning worker)
+  bool irq_pending_ GUARDED_BY(mu_) = false;
 
   std::atomic<u64> tx_drops_{0};
 };
@@ -126,7 +126,7 @@ class PacketIoEngine {
 
   /// Unblock all recv_chunk_wait() callers; subsequent waits return 0.
   void stop();
-  bool stopped() const { return stopping_; }
+  bool stopped() const { return stopping_.load(std::memory_order_acquire); }
 
   const pcie::Topology& topology() const { return topo_; }
   nic::NicPort* port(int id) const { return ports_.at(static_cast<std::size_t>(id)); }
@@ -142,7 +142,9 @@ class PacketIoEngine {
   std::vector<std::unique_ptr<IoHandle>> handles_;
   // (port, queue) -> owning handle, for interrupt dispatch.
   std::vector<std::vector<IoHandle*>> queue_owner_;
-  bool stopping_ = false;
+  // stop() may be called from any thread while workers poll stopped() in
+  // their receive loops, so this must be an atomic, not a plain bool.
+  std::atomic<bool> stopping_{false};
 };
 
 }  // namespace ps::iengine

@@ -11,10 +11,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "route/ipv4_table.hpp"
 #include "route/ipv6_table.hpp"
 
@@ -29,7 +29,7 @@ class FibManager {
 
   /// Announce (add or replace) a route. Takes effect at commit().
   void announce(const Prefix& prefix) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     rib_[KeyFn{}(prefix)] = prefix;
     dirty_ = true;
   }
@@ -37,14 +37,14 @@ class FibManager {
   /// Withdraw a route. Takes effect at commit(). Returns false when the
   /// route was not present.
   bool withdraw(const Prefix& prefix) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     const bool erased = rib_.erase(KeyFn{}(prefix)) > 0;
     dirty_ = dirty_ || erased;
     return erased;
   }
 
   std::size_t route_count() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return rib_.size();
   }
 
@@ -52,20 +52,21 @@ class FibManager {
   /// Runs on the control-plane thread; the data path is never blocked.
   /// Returns the new generation number (unchanged if nothing was dirty).
   u64 commit() {
-    std::unique_lock lock(mu_);
-    if (!dirty_) return generation_;
     std::vector<Prefix> prefixes;
-    prefixes.reserve(rib_.size());
-    for (const auto& [key, prefix] : rib_) prefixes.push_back(prefix);
-    dirty_ = false;
-    lock.unlock();
+    {
+      MutexLock lock(mu_);
+      if (!dirty_) return generation_;
+      prefixes.reserve(rib_.size());
+      for (const auto& [key, prefix] : rib_) prefixes.push_back(prefix);
+      dirty_ = false;
+    }
 
     // Build outside the lock: announcements may continue meanwhile (they
     // will be picked up by the next commit).
     auto fresh = std::make_shared<Table>();
     fresh->build(prefixes);
 
-    lock.lock();
+    MutexLock lock(mu_);
     active_ = std::move(fresh);
     return ++generation_;
   }
@@ -73,22 +74,22 @@ class FibManager {
   /// Data-path snapshot: grab once per chunk, keep for the chunk's
   /// lifetime. Cheap (one ref-count bump under a short lock).
   std::shared_ptr<const Table> snapshot() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return active_;
   }
 
   /// Monotonic table version; bumps on every effective commit.
   u64 generation() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return generation_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const Table> active_;
-  std::unordered_map<u64, Prefix> rib_;
-  bool dirty_ = false;
-  u64 generation_ = 0;
+  mutable Mutex mu_;
+  std::shared_ptr<const Table> active_ GUARDED_BY(mu_);
+  std::unordered_map<u64, Prefix> rib_ GUARDED_BY(mu_);
+  bool dirty_ GUARDED_BY(mu_) = false;
+  u64 generation_ GUARDED_BY(mu_) = 0;
 };
 
 struct Ipv4PrefixKey {

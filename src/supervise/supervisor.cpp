@@ -20,7 +20,7 @@ Supervisor::~Supervisor() { stop(); }
 int Supervisor::add_thread(std::string name, ThreadKind kind, const Heartbeat* hb,
                            StallHandler on_stall, RecoverHandler on_recover) {
   assert(hb != nullptr);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   assert(!started_ && "register threads before start()");
   Slot slot;
   slot.name = std::move(name);
@@ -46,7 +46,7 @@ void Supervisor::check(std::chrono::steady_clock::time_point now) {
   };
   std::vector<Pending> pending;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       Slot& slot = slots_[i];
       const u64 beats = slot.hb->beats_now();
@@ -90,15 +90,17 @@ void Supervisor::check_now() { check(std::chrono::steady_clock::now()); }
 void Supervisor::run() {
   while (running_.load(std::memory_order_acquire)) {
     check(std::chrono::steady_clock::now());
-    std::unique_lock lock(mu_);
-    cv_.wait_for(lock, config_.check_interval,
-                 [&] { return !running_.load(std::memory_order_acquire); });
+    // Timed doze between passes; stop() notifies to cut the nap short and
+    // the loop head re-checks running_. A spurious wake merely runs one
+    // extra (harmless) check pass.
+    MutexLock lock(mu_);
+    cv_.wait_for(mu_, config_.check_interval);
   }
 }
 
 void Supervisor::start() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (started_) return;
     started_ = true;
     // Re-baseline every slot: the gap between registration and start()
@@ -115,7 +117,7 @@ void Supervisor::start() {
 
 void Supervisor::stop() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
   }
@@ -125,25 +127,25 @@ void Supervisor::stop() {
 }
 
 ThreadHealth Supervisor::health(int thread_id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const Slot& slot = slots_.at(static_cast<std::size_t>(thread_id));
   return {slot.state, slot.stalls, slot.recoveries, slot.last_beats};
 }
 
 std::vector<StallEvent> Supervisor::stall_events() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 u64 Supervisor::stalls_detected() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   u64 total = 0;
   for (const auto& slot : slots_) total += slot.stalls;
   return total;
 }
 
 u64 Supervisor::recoveries() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   u64 total = 0;
   for (const auto& slot : slots_) total += slot.recoveries;
   return total;

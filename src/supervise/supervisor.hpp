@@ -17,15 +17,15 @@
 // so they may block briefly (e.g. the queue-handoff handshake).
 #pragma once
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/heartbeat.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace ps::supervise {
@@ -113,13 +113,13 @@ class Supervisor {
   void check(std::chrono::steady_clock::time_point now);
 
   SupervisorConfig config_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;  // wakes the loop promptly on stop()
-  std::vector<Slot> slots_;
-  std::vector<StallEvent> events_;
-  std::thread thread_;
+  mutable Mutex mu_;
+  CondVar cv_;  // wakes the loop promptly on stop()
+  std::vector<Slot> slots_ GUARDED_BY(mu_);
+  std::vector<StallEvent> events_ GUARDED_BY(mu_);
+  std::thread thread_;  // start()/stop() caller's thread only
   std::atomic<bool> running_{false};
-  bool started_ = false;
+  bool started_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ps::supervise

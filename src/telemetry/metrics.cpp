@@ -65,7 +65,7 @@ MetricsRegistry::Entry* MetricsRegistry::find_entry(const std::string& name) {
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (Entry* e = find_entry(name)) {
     assert(e->counter != nullptr && "metric re-registered with a different flavour");
     return &e->counter->value;
@@ -76,7 +76,7 @@ Counter* MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (Entry* e = find_entry(name)) {
     assert(e->gauge != nullptr && "metric re-registered with a different flavour");
     return &e->gauge->value;
@@ -87,7 +87,7 @@ Gauge* MetricsRegistry::gauge(const std::string& name) {
 }
 
 HistogramMetric* MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [n, h] : histograms_) {
     if (n == name) return &h;
   }
@@ -98,7 +98,7 @@ HistogramMetric* MetricsRegistry::histogram(const std::string& name) {
 }
 
 void MetricsRegistry::register_probe(const std::string& name, MetricKind kind, Probe fn) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (Entry* e = find_entry(name)) {
     // Re-registration (e.g. a rebuilt Router over one registry) swaps the
     // probe in place; kind must not change.
@@ -111,7 +111,7 @@ void MetricsRegistry::register_probe(const std::string& name, MetricKind kind, P
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.sequence = snapshots_taken_.fetch_add(1, std::memory_order_relaxed) + 1;
   snap.values.reserve(entries_.size());
@@ -132,7 +132,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size() + histograms_.size();
 }
 

@@ -28,12 +28,12 @@
 #include <atomic>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/cacheline.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace ps::telemetry {
@@ -153,13 +153,16 @@ class MetricsRegistry {
     Probe probe;
   };
 
-  Entry* find_entry(const std::string& name);
+  Entry* find_entry(const std::string& name) REQUIRES(mu_);
 
-  mutable std::mutex mu_;  // registration vs snapshot iteration only
-  std::deque<CacheAligned<Counter>> counters_;  // deque: stable addresses
-  std::deque<CacheAligned<Gauge>> gauges_;
-  std::deque<std::pair<std::string, HistogramMetric>> histograms_;
-  std::vector<Entry> entries_;
+  // Registration vs snapshot iteration only. The *values* behind the
+  // entries are lock-free by design (single-writer relaxed atomics or
+  // probes with their own synchronization); mu_ guards the containers.
+  mutable Mutex mu_;
+  std::deque<CacheAligned<Counter>> counters_ GUARDED_BY(mu_);  // deque: stable addresses
+  std::deque<CacheAligned<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::deque<std::pair<std::string, HistogramMetric>> histograms_ GUARDED_BY(mu_);
+  std::vector<Entry> entries_ GUARDED_BY(mu_);
   mutable std::atomic<u64> snapshots_taken_{0};
 };
 

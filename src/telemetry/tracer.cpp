@@ -86,7 +86,7 @@ void PipelineTracer::end_span(i32 slot) {
 }
 
 std::size_t PipelineTracer::drain(std::vector<TraceSpan>& out) {
-  std::lock_guard lock(drain_mu_);
+  MutexLock lock(drain_mu_);
   std::size_t appended = 0;
   for (u32 i = 0; i < capacity_; ++i) {
     Slot& s = slots_[i].value;

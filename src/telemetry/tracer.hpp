@@ -32,10 +32,10 @@
 #include <array>
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <vector>
 
 #include "common/cacheline.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace ps::telemetry {
@@ -150,8 +150,11 @@ class PipelineTracer {
   std::atomic<u64> spans_overwritten_{0};
   std::atomic<u64> hot_path_writes_{0};
 
-  std::mutex drain_mu_;  // single logical consumer, enforced
-  std::vector<u64> drained_gen_;  // per slot: last complete_gen drained
+  Mutex drain_mu_;  // single logical consumer, enforced
+  /// Per slot: last complete_gen drained. The span slots themselves are
+  /// seqlock-protected (protocol, not a capability — see DESIGN.md §11);
+  /// only the reader's bookkeeping needs the lock.
+  std::vector<u64> drained_gen_ GUARDED_BY(drain_mu_);
 };
 
 }  // namespace ps::telemetry

@@ -84,8 +84,10 @@ TEST(SlowPathRouter, LocalTrafficDeliveredToHostStack) {
   ASSERT_TRUE(testbed.port(0).receive_frame(
       net::build_udp_ipv4(spec, net::Ipv4Addr(8, 8, 8, 8), net::Ipv4Addr(192, 0, 2, 1))));
 
+  // Poll through the router's locked snapshot: reading stack.stats()
+  // directly here would race the worker feeding the stack.
   const auto deadline = std::chrono::steady_clock::now() + 5s;
-  while (stack.stats().delivered_locally < 1 &&
+  while (router.host_stack_stats().delivered_locally < 1 &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(1ms);
   }

@@ -1,0 +1,14 @@
+// Fixture: bare-atomic must fire on defaulted memory orders and stay
+// quiet on explicit ones and on allow-comments.
+#include <atomic>
+
+std::atomic<unsigned long> counter{0};
+
+unsigned long tick() {
+  counter.fetch_add(1);                                  // finding: no order
+  counter.store(7);                                      // finding: no order
+  counter.fetch_add(1, std::memory_order_relaxed);       // ok: explicit
+  // pslint: allow(bare-atomic)
+  counter.fetch_sub(1);                                  // ok: allowed
+  return counter.load(std::memory_order_acquire);        // ok: explicit
+}

@@ -1,0 +1,9 @@
+// Fixture: hot-sleep fires in hot-path dirs unless allowed.
+#include <chrono>
+#include <thread>
+
+void spin_wait() {
+  std::this_thread::sleep_for(std::chrono::microseconds(10));  // finding
+  // pslint: allow(hot-sleep) -- fixture: justified idle backoff.
+  std::this_thread::sleep_for(std::chrono::microseconds(10));  // ok
+}

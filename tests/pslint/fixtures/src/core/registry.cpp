@@ -1,0 +1,8 @@
+// Fixture: registry-sync fires both ways — a registered-but-undocumented
+// name and a documented-but-unregistered one (router.phantom in docs.md).
+struct Reg { template <typename F> void register_probe(const char*, int, F); };
+
+void wire(Reg& reg) {
+  reg.register_probe("router.ghost_metric", 0, [] { return 0; });  // finding
+  reg.register_probe("router.rx_packets", 0, [] { return 0; });    // ok
+}

@@ -1,0 +1,22 @@
+// Fixture: drop-reason-default fires on a defaulted DropReason switch.
+namespace iengine {
+enum class DropReason { kRingFull, kParseError, kCount };
+
+int weight(DropReason reason) {
+  switch (reason) {            // not matched: no DropReason token in cond
+    case DropReason::kRingFull:
+      return 2;
+    default:                   // matched via drop_reason below? no - see next
+      return 1;
+  }
+}
+
+int weight2(DropReason drop_reason_value) {
+  switch (static_cast<DropReason>(static_cast<int>(drop_reason_value))) {
+    case DropReason::kRingFull:
+      return 2;
+    default:                   // finding: DropReason in condition + default
+      return 1;
+  }
+}
+}  // namespace iengine

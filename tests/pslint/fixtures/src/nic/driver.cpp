@@ -1,0 +1,10 @@
+// Fixture: single-writer fires when a NIC ledger counter is mutated
+// outside nic/nic.cpp.
+#include <atomic>
+
+struct Stats { std::atomic<unsigned long> packets{0}; };
+Stats rx_stats_;
+
+void poke() {
+  rx_stats_.packets.fetch_add(1, std::memory_order_relaxed);  // finding
+}
