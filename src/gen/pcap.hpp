@@ -21,7 +21,7 @@ class PcapWriter final : public nic::WireSink {
   explicit PcapWriter(const std::string& path);
   ~PcapWriter() override;
 
-  bool ok() {
+  bool ok() const {
     MutexLock lock(mu_);
     return static_cast<bool>(out_);
   }
@@ -31,7 +31,7 @@ class PcapWriter final : public nic::WireSink {
   /// Write a frame with an explicit timestamp (model time).
   void write(std::span<const u8> frame, Picos timestamp);
 
-  u64 frames_written() {
+  u64 frames_written() const {
     MutexLock lock(mu_);
     return frames_;
   }
@@ -41,7 +41,7 @@ class PcapWriter final : public nic::WireSink {
  private:
   void write_header() REQUIRES(mu_);
 
-  Mutex mu_;
+  mutable Mutex mu_;
   std::ofstream out_ GUARDED_BY(mu_);
   u64 frames_ GUARDED_BY(mu_) = 0;
   Picos synthetic_clock_ GUARDED_BY(mu_) = 0;

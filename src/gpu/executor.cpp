@@ -53,6 +53,12 @@ void SimtExecutor::worker_loop() {
       path_words = path_words_;
       total_threads = total_threads_;
       total_blocks = total_blocks_;
+      // Late waker for an already-finished launch: the payload was
+      // cleared, so there is nothing to claim. It must not touch
+      // next_block_ either — a stale fetch_add landing after the next
+      // launch resets the counter would consume a block index that is
+      // never processed, and that launch's run() would wait forever.
+      if (total_blocks == 0) continue;
       ++active_workers_;
     }
     // Claim blocks until the grid is exhausted.

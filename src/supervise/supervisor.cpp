@@ -90,11 +90,17 @@ void Supervisor::check_now() { check(std::chrono::steady_clock::now()); }
 void Supervisor::run() {
   while (running_.load(std::memory_order_acquire)) {
     check(std::chrono::steady_clock::now());
-    // Timed doze between passes; stop() notifies to cut the nap short and
-    // the loop head re-checks running_. A spurious wake merely runs one
-    // extra (harmless) check pass.
+    // Timed doze between passes. The predicate is re-checked under mu_
+    // before every wait and stop() notifies while holding mu_, so a stop
+    // that fires during check() (or between the loop-head running_ check
+    // and the wait) cannot lose its wakeup: either this thread sees
+    // running_ == false before sleeping, or it is already waiting and
+    // receives the notify.
+    const auto deadline = std::chrono::steady_clock::now() + config_.check_interval;
     MutexLock lock(mu_);
-    cv_.wait_for(mu_, config_.check_interval);
+    while (running_.load(std::memory_order_acquire)) {
+      if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
+    }
   }
 }
 
@@ -120,9 +126,12 @@ void Supervisor::stop() {
     MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
+    // Flip and notify under mu_: run() re-checks running_ under the same
+    // lock before waiting, so the wakeup cannot fall into the gap between
+    // its check and its wait.
+    running_.store(false, std::memory_order_release);
+    cv_.notify_all();
   }
-  running_.store(false, std::memory_order_release);
-  cv_.notify_all();
   if (thread_.joinable()) thread_.join();
 }
 
