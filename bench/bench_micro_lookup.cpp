@@ -1,8 +1,20 @@
 // Host wall-clock microbenchmarks of the lookup structures and hashes
-// (google-benchmark).
+// (google-benchmark), plus a self-timed scalar-vs-batch lookup harness
+// that emits the canonical BENCH lines scripts/run_bench.sh scrapes.
+//
+//   bench_micro_lookup [--smoke] [google-benchmark flags]
+//
+// --smoke shrinks the key pool / pass count and skips the
+// google-benchmark suite, so CI can gate on the BENCH lines quickly.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.hpp"
 #include "common/rng.hpp"
+#include "perf/calibration.hpp"
 #include "nic/rss.hpp"
 #include "openflow/flow.hpp"
 #include "openflow/switch_table.hpp"
@@ -32,6 +44,30 @@ void BM_Ipv4Lookup(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<i64>(state.iterations()));
 }
 BENCHMARK(BM_Ipv4Lookup);
+
+void BM_Ipv4LookupBatch(benchmark::State& state) {
+  static const auto rib = route::generate_ipv4_rib({});  // paper scale
+  static route::Ipv4Table table = [] {
+    route::Ipv4Table t;
+    t.build(rib);
+    return t;
+  }();
+
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<u32> addrs(4096);
+  for (auto& a : addrs) a = rng.next_u32();
+  std::vector<route::NextHop> out(batch);
+  const std::size_t blocks = 4096 / batch;  // both Arg values divide 4096
+  std::size_t i = 0;
+  for (auto _ : state) {
+    table.lookup_batch(addrs.data() + (i++ % blocks) * batch, out.data(), batch);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(batch));
+}
+BENCHMARK(BM_Ipv4LookupBatch)->Arg(64)->Arg(256);
 
 void BM_Ipv6Lookup(benchmark::State& state) {
   static const auto rib = route::generate_ipv6_rib(route::kPaperIpv6PrefixCount, 8, 2010);
@@ -70,6 +106,30 @@ void BM_Ipv6FlatLookup(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<i64>(state.iterations()));
 }
 BENCHMARK(BM_Ipv6FlatLookup);
+
+void BM_Ipv6FlatLookupBatch(benchmark::State& state) {
+  static const auto rib = route::generate_ipv6_rib(route::kPaperIpv6PrefixCount, 8, 2010);
+  static const route::Ipv6FlatTable flat = [] {
+    route::Ipv6Table t;
+    t.build(rib);
+    return t.flatten();
+  }();
+
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<u64> keys(2 * 4096);  // interleaved hi,lo
+  for (auto& w : keys) w = rng.next_u64();
+  std::vector<route::NextHop> out(batch);
+  const std::size_t blocks = 4096 / batch;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    flat.lookup_batch(keys.data() + 2 * (i++ % blocks) * batch, out.data(), batch);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(batch));
+}
+BENCHMARK(BM_Ipv6FlatLookupBatch)->Arg(64)->Arg(256);
 
 void BM_ToeplitzRss(benchmark::State& state) {
   net::FrameSpec spec;
@@ -138,6 +198,165 @@ void BM_WildcardScan(benchmark::State& state) {
 }
 BENCHMARK(BM_WildcardScan)->Arg(32)->Arg(1024);
 
+// ---------------------------------------------------------------------------
+// Self-timed scalar-vs-batch harness. Wall-clock per-lookup cost over a key
+// pool large enough that TBL24 (32 MB) probes miss cache, min-of-N passes
+// after a warmup pass. This is the number the bench-regression gate tracks;
+// the google-benchmark suite above stays for interactive profiling.
+
+using Clock = std::chrono::steady_clock;
+
+double ns_per_item(Clock::time_point t0, Clock::time_point t1, std::size_t items) {
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(items);
+}
+
+struct BatchResult {
+  double scalar_ns = 0;  // ns per lookup, scalar loop
+  double batch_ns = 0;   // ns per lookup, lookup_batch
+};
+
+// Scalar and batch passes are interleaved inside each repetition so a
+// noisy neighbour (shared-host CPU steal) penalises both sides equally,
+// and min-of-N keeps the cleanest pass of each.
+BatchResult time_ipv4(const route::Ipv4Table& table, const std::vector<u32>& keys,
+                      std::size_t batch, int passes) {
+  std::vector<route::NextHop> out(keys.size());
+  BatchResult r{.scalar_ns = 1e300, .batch_ns = 1e300};
+  for (int p = 0; p <= passes; ++p) {  // pass 0 is warmup
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      out[i] = table.lookup(net::Ipv4Addr(keys[i]));
+    }
+    const auto t1 = Clock::now();
+    for (std::size_t i = 0; i + batch <= keys.size(); i += batch) {
+      table.lookup_batch(keys.data() + i, out.data() + i, batch);
+    }
+    const auto t2 = Clock::now();
+    benchmark::DoNotOptimize(out.data());
+    if (p > 0) {
+      r.scalar_ns = std::min(r.scalar_ns, ns_per_item(t0, t1, keys.size()));
+      r.batch_ns = std::min(r.batch_ns, ns_per_item(t1, t2, keys.size()));
+    }
+  }
+  return r;
+}
+
+BatchResult time_ipv6(const route::Ipv6FlatTable& flat, const std::vector<u64>& keys,
+                      std::size_t batch, int passes) {
+  const std::size_t n = keys.size() / 2;
+  std::vector<route::NextHop> out(n);
+  BatchResult r{.scalar_ns = 1e300, .batch_ns = 1e300};
+  for (int p = 0; p <= passes; ++p) {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = flat.lookup(net::Ipv6Addr::from_words(keys[2 * i], keys[2 * i + 1]));
+    }
+    const auto t1 = Clock::now();
+    for (std::size_t i = 0; i + batch <= n; i += batch) {
+      flat.lookup_batch(keys.data() + 2 * i, out.data() + i, batch);
+    }
+    const auto t2 = Clock::now();
+    benchmark::DoNotOptimize(out.data());
+    if (p > 0) {
+      r.scalar_ns = std::min(r.scalar_ns, ns_per_item(t0, t1, n));
+      r.batch_ns = std::min(r.batch_ns, ns_per_item(t1, t2, n));
+    }
+  }
+  return r;
+}
+
+void emit_batch_line(const char* name, std::size_t keys, std::size_t batch,
+                     const BatchResult& r, double model_speedup) {
+  telemetry::BenchLine line(name);
+  line.field("keys", static_cast<u64>(keys));
+  line.field("batch", static_cast<u64>(batch));
+  line.fixed("scalar_ns_per_lookup", r.scalar_ns, 2);
+  line.fixed("batch_ns_per_lookup", r.batch_ns, 2);
+  line.fixed("wall_speedup", r.scalar_ns / r.batch_ns, 3);
+  // Calibrated-model ratio (perf/calibration.hpp): deterministic, reflects
+  // the paper's testbed where TBL24 probes miss to DRAM and the batch
+  // walk's memory-level parallelism pays. Wall-clock speedup on shared
+  // virtualised CI hosts underestimates it (see README, "Benchmarking and
+  // the regression gate").
+  line.fixed("model_speedup", model_speedup, 3);
+  bench::emit_bench(line);
+}
+
+void run_batch_harness(bool smoke) {
+  bench::print_header("micro_lookup", "scalar vs batched LPM lookup (ns/lookup)");
+  bench::print_note(smoke ? "smoke mode: reduced key pool and pass count"
+                          : "full mode: min-of-5 interleaved passes");
+
+  // Destinations are drawn from table-covered pools — the same traffic
+  // shape the Figure 11 harnesses offer, where the router forwards rather
+  // than drops.
+  const std::size_t v4_keys = smoke ? (1u << 17) : (1u << 20);
+  const std::size_t v6_keys = smoke ? (1u << 15) : (1u << 18);
+  const int passes = smoke ? 3 : 5;
+
+  const auto rib4 = route::generate_ipv4_rib({});  // paper scale
+  route::Ipv4Table table4;
+  table4.build(rib4);
+  const auto pool4 = route::sample_covered_ipv4(rib4, 65536);
+  Rng rng4(11);
+  std::vector<u32> keys4(v4_keys);
+  for (auto& k : keys4) k = pool4[rng4.next_below(pool4.size())];
+
+  const auto rib6 = route::generate_ipv6_rib(route::kPaperIpv6PrefixCount, 8, 2010);
+  route::Ipv6Table table6;
+  table6.build(rib6);
+  const route::Ipv6FlatTable flat = table6.flatten();
+  const auto pool6 = route::sample_covered_ipv6(rib6, 65536);
+  Rng rng6(13);
+  std::vector<u64> keys6(2 * v6_keys);
+  for (std::size_t i = 0; i < v6_keys; ++i) {
+    const auto& a = pool6[rng6.next_below(pool6.size())];
+    keys6[2 * i] = a.hi64();
+    keys6[2 * i + 1] = a.lo64();
+  }
+
+  const double model4 = perf::kCpuIpv4LookupCycles / perf::kCpuIpv4LookupBatchCycles;
+  const double model6 =
+      perf::kCpuIpv6LookupCyclesPerProbe / perf::kCpuIpv6LookupBatchCyclesPerProbe;
+
+  std::printf("\n%-8s %8s %22s %22s %9s %9s\n", "family", "batch", "scalar (ns/lookup)",
+              "batch (ns/lookup)", "wall", "model");
+  for (const std::size_t batch : {std::size_t{64}, std::size_t{256}}) {
+    const auto r4 = time_ipv4(table4, keys4, batch, passes);
+    std::printf("%-8s %8zu %22.2f %22.2f %8.2fx %8.2fx\n", "ipv4", batch, r4.scalar_ns,
+                r4.batch_ns, r4.scalar_ns / r4.batch_ns, model4);
+    emit_batch_line(batch == 64 ? "micro_lookup_ipv4_batch64" : "micro_lookup_ipv4_batch256",
+                    v4_keys, batch, r4, model4);
+    const auto r6 = time_ipv6(flat, keys6, batch, passes);
+    std::printf("%-8s %8zu %22.2f %22.2f %8.2fx %8.2fx\n", "ipv6", batch, r6.scalar_ns,
+                r6.batch_ns, r6.scalar_ns / r6.batch_ns, model6);
+    emit_batch_line(batch == 64 ? "micro_lookup_ipv6_batch64" : "micro_lookup_ipv6_batch256",
+                    v6_keys, batch, r6, model6);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::vector<char*> bench_argv;
+  bench_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+
+  run_batch_harness(smoke);
+  if (smoke) return 0;
+
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

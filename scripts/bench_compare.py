@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Diff two BENCH JSON-lines files and fail on perf regressions.
+
+Usage:
+    bench_compare.py BASELINE CANDIDATE [--threshold 0.25]
+                     [--metric-threshold NAME=FRAC ...] [--ignore REGEX]
+
+Both files hold one JSON object per line (the `BENCH {...}` lines that
+scripts/run_bench.sh scrapes, prefix stripped), keyed by their "bench"
+field. Every numeric metric present in the baseline must be present in
+the candidate; each is compared with a relative threshold:
+
+  * metrics whose name suggests "lower is better" (matching ns/us/
+    latency/cycles/drops) regress when candidate > baseline * (1 + t)
+  * everything else (throughput, speedups, counts) regresses when
+    candidate < baseline * (1 - t)
+
+--metric-threshold overrides the default for one metric name; --ignore
+skips metrics matching a regex (e.g. wall-clock timings on shared CI
+hosts); --only restricts the comparison to benches matching a regex
+(the smoke gate compares only the benches the smoke run produces). A
+bench or metric missing from the candidate is an error: a silently
+dropped series must not pass the gate. Exits 1 on any regression or
+structural mismatch, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+LOWER_IS_BETTER = re.compile(r"(_|\b)(ns|us|ms|latency|cycles|drops)(_|\b)")
+
+
+def load_bench_lines(path: str) -> dict[str, dict]:
+    benches: dict[str, dict] = {}
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("BENCH "):
+                line = line[len("BENCH "):]
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise SystemExit(f"{path}:{lineno}: not JSON: {e}")
+            name = obj.get("bench")
+            if not isinstance(name, str):
+                raise SystemExit(f"{path}:{lineno}: missing \"bench\" key")
+            benches[name] = obj
+    if not benches:
+        raise SystemExit(f"{path}: no BENCH lines found")
+    return benches
+
+
+def numeric_metrics(obj: dict) -> dict[str, float]:
+    out = {}
+    for key, value in obj.items():
+        if key == "bench":
+            continue
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[key] = float(value)
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="default relative regression threshold (default 0.25)")
+    ap.add_argument("--metric-threshold", action="append", default=[],
+                    metavar="NAME=FRAC",
+                    help="per-metric threshold override, repeatable")
+    ap.add_argument("--ignore", default=None, metavar="REGEX",
+                    help="skip metrics whose name matches this regex")
+    ap.add_argument("--only", default=None, metavar="REGEX",
+                    help="compare only benches whose name matches this regex")
+    args = ap.parse_args()
+
+    overrides: dict[str, float] = {}
+    for spec in args.metric_threshold:
+        name, sep, frac = spec.partition("=")
+        if not sep:
+            ap.error(f"--metric-threshold needs NAME=FRAC, got {spec!r}")
+        overrides[name] = float(frac)
+    ignore = re.compile(args.ignore) if args.ignore else None
+    only = re.compile(args.only) if args.only else None
+
+    baseline = load_bench_lines(args.baseline)
+    candidate = load_bench_lines(args.candidate)
+    if only:
+        baseline = {k: v for k, v in baseline.items() if only.search(k)}
+        if not baseline:
+            raise SystemExit(f"--only {args.only!r} matches no baseline bench")
+
+    failures = []
+    compared = 0
+    for bench, base_obj in sorted(baseline.items()):
+        if bench not in candidate:
+            failures.append(f"{bench}: missing from candidate")
+            continue
+        cand_metrics = numeric_metrics(candidate[bench])
+        for metric, base in sorted(numeric_metrics(base_obj).items()):
+            if ignore and ignore.search(metric):
+                continue
+            if metric not in cand_metrics:
+                failures.append(f"{bench}.{metric}: missing from candidate")
+                continue
+            cand = cand_metrics[metric]
+            threshold = overrides.get(metric, args.threshold)
+            compared += 1
+            if base == 0:
+                continue  # no relative comparison possible
+            delta = (cand - base) / abs(base)
+            if LOWER_IS_BETTER.search(metric):
+                regressed = delta > threshold
+                direction = "above"
+            else:
+                regressed = -delta > threshold
+                direction = "below"
+            marker = "FAIL" if regressed else "ok"
+            print(f"{marker:>4}  {bench}.{metric}: {base:g} -> {cand:g} "
+                  f"({delta:+.1%}, threshold {threshold:.0%})")
+            if regressed:
+                failures.append(
+                    f"{bench}.{metric}: {cand:g} is {abs(delta):.1%} {direction} "
+                    f"baseline {base:g} (threshold {threshold:.0%})")
+
+    print(f"\ncompared {compared} metrics across {len(baseline)} benches")
+    if failures:
+        print(f"{len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -152,10 +152,17 @@ core::ShadeOutcome Ipv4ForwardApp::shade(core::GpuContext& gpu,
 }
 
 void Ipv4ForwardApp::shade_cpu(core::ShaderJob& job) {
-  // Same computation as the kernel, host tables, no header rewrites.
+  // Same computation as the kernel, host tables, no header rewrites. The
+  // gathered input is already a dense key array, so the whole job goes
+  // through one batched lookup.
   const auto* in = reinterpret_cast<const u32*>(job.gpu_input.data());
   job.gpu_output.resize(job.gpu_items * sizeof(u16));
   auto* out = reinterpret_cast<u16*>(job.gpu_output.data());
+  if (batched_lookup_) {
+    perf::charge_cpu_cycles(job.gpu_items * perf::kCpuIpv4LookupBatchCycles);
+    table_.lookup_batch(in, out, job.gpu_items);
+    return;
+  }
   for (u32 k = 0; k < job.gpu_items; ++k) {
     perf::charge_cpu_cycles(perf::kCpuIpv4LookupCycles);
     out[k] = table_.lookup(net::Ipv4Addr(in[k]));
@@ -178,16 +185,44 @@ void Ipv4ForwardApp::post_shade(core::ShaderJob& job) {
 }
 
 void Ipv4ForwardApp::process_cpu(iengine::PacketChunk& chunk) {
-  for (u32 i = 0; i < chunk.count(); ++i) {
-    perf::charge_cpu_cycles(perf::kCpuIpv4LookupCycles);
-    if (!classify_and_rewrite(chunk, i)) continue;
-    const route::NextHop nh = table_.lookup(net::Ipv4Addr(chunk_view_dst(chunk, i)));
-    if (nh == route::kNoRoute) {
-      chunk.set_drop(i, iengine::DropReason::kNoRoute);
-    } else {
-      chunk.set_out_port(i, static_cast<i16>(nh));
+  if (!batched_lookup_) {
+    for (u32 i = 0; i < chunk.count(); ++i) {
+      perf::charge_cpu_cycles(perf::kCpuIpv4LookupCycles);
+      if (!classify_and_rewrite(chunk, i)) continue;
+      const route::NextHop nh = table_.lookup(net::Ipv4Addr(chunk_view_dst(chunk, i)));
+      if (nh == route::kNoRoute) {
+        chunk.set_drop(i, iengine::DropReason::kNoRoute);
+      } else {
+        chunk.set_out_port(i, static_cast<i16>(nh));
+      }
     }
+    return;
   }
+  // Slowpath / CPU-only mode: gather eligible destinations into a stack
+  // block, resolve with one batched lookup, scatter the verdicts.
+  u32 keys[kCpuBatchBlock] = {};
+  u32 idx[kCpuBatchBlock] = {};
+  route::NextHop nhs[kCpuBatchBlock] = {};
+  u32 m = 0;
+  const auto flush = [&] {
+    table_.lookup_batch(keys, nhs, m);
+    for (u32 k = 0; k < m; ++k) {
+      if (nhs[k] == route::kNoRoute) {
+        chunk.set_drop(idx[k], iengine::DropReason::kNoRoute);
+      } else {
+        chunk.set_out_port(idx[k], static_cast<i16>(nhs[k]));
+      }
+    }
+    m = 0;
+  };
+  for (u32 i = 0; i < chunk.count(); ++i) {
+    perf::charge_cpu_cycles(perf::kCpuIpv4LookupBatchCycles);
+    if (!classify_and_rewrite(chunk, i)) continue;
+    keys[m] = chunk_view_dst(chunk, i);
+    idx[m] = i;
+    if (++m == kCpuBatchBlock) flush();
+  }
+  flush();
 }
 
 }  // namespace ps::apps

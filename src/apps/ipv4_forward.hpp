@@ -28,6 +28,13 @@ class Ipv4ForwardApp final : public core::Shader {
   /// Maximum GPU-eligible packets per shading batch.
   static constexpr u32 kMaxBatchItems = 65536;
 
+  /// Ablation switch for benchmarking: when off, the CPU paths fall back to
+  /// the scalar per-packet lookup (the pre-PR5 behaviour). On by default.
+  void set_batched_lookup(bool on) { batched_lookup_ = on; }
+
+  /// Packets gathered on the stack per lookup_batch call in process_cpu.
+  static constexpr u32 kCpuBatchBlock = 256;
+
  private:
   bool classify_and_rewrite(iengine::PacketChunk& chunk, u32 i);
 
@@ -40,6 +47,7 @@ class Ipv4ForwardApp final : public core::Shader {
 
   const route::Ipv4Table& table_;
   std::unordered_map<int, GpuState> gpu_state_;
+  bool batched_lookup_ = true;
 };
 
 }  // namespace ps::apps

@@ -170,6 +170,15 @@ void Ipv6ForwardApp::shade_cpu(core::ShaderJob& job) {
   const auto* in = reinterpret_cast<const u64*>(job.gpu_input.data());
   job.gpu_output.resize(job.gpu_items * sizeof(u16));
   auto* out = reinterpret_cast<u16*>(job.gpu_output.data());
+  if (batched_lookup_) {
+    // The gathered input is already the interleaved (hi, lo) layout the
+    // batch API consumes; one interleaved walk resolves the whole job.
+    u64 probes = 0;
+    flat_.lookup_batch(in, out, job.gpu_items, &probes);
+    perf::charge_cpu_cycles(static_cast<double>(probes) *
+                            perf::kCpuIpv6LookupBatchCyclesPerProbe);
+    return;
+  }
   for (u32 k = 0; k < job.gpu_items; ++k) {
     int probes = 0;
     out[k] = table_.lookup(net::Ipv6Addr::from_words(in[k * 2], in[k * 2 + 1]), &probes);
@@ -193,22 +202,58 @@ void Ipv6ForwardApp::post_shade(core::ShaderJob& job) {
 }
 
 void Ipv6ForwardApp::process_cpu(iengine::PacketChunk& chunk) {
+  if (!batched_lookup_) {
+    for (u32 i = 0; i < chunk.count(); ++i) {
+      if (!classify_and_rewrite(chunk, i)) {
+        perf::charge_cpu_cycles(perf::kCpuIpv6LookupCyclesPerProbe);
+        continue;
+      }
+      const u8* dst = chunk_view_dst6(chunk, i);
+      int probes = 0;
+      const route::NextHop nh =
+          table_.lookup(net::Ipv6Addr::from_words(load_be64(dst), load_be64(dst + 8)), &probes);
+      perf::charge_cpu_cycles(probes * perf::kCpuIpv6LookupCyclesPerProbe);
+      if (nh == route::kNoRoute) {
+        chunk.set_drop(i, iengine::DropReason::kNoRoute);
+      } else {
+        chunk.set_out_port(i, static_cast<i16>(nh));
+      }
+    }
+    return;
+  }
+  // Slowpath / CPU-only mode: gather eligible destinations (interleaved
+  // hi/lo words) into a stack block, resolve with one batched walk, scatter
+  // the verdicts. Probe accounting is accumulated by the batch API.
+  u64 keys[2 * kCpuBatchBlock] = {};
+  u32 idx[kCpuBatchBlock] = {};
+  route::NextHop nhs[kCpuBatchBlock] = {};
+  u32 m = 0;
+  const auto flush = [&] {
+    u64 probes = 0;
+    flat_.lookup_batch(keys, nhs, m, &probes);
+    perf::charge_cpu_cycles(static_cast<double>(probes) *
+                            perf::kCpuIpv6LookupBatchCyclesPerProbe);
+    for (u32 k = 0; k < m; ++k) {
+      if (nhs[k] == route::kNoRoute) {
+        chunk.set_drop(idx[k], iengine::DropReason::kNoRoute);
+      } else {
+        chunk.set_out_port(idx[k], static_cast<i16>(nhs[k]));
+      }
+    }
+    m = 0;
+  };
   for (u32 i = 0; i < chunk.count(); ++i) {
     if (!classify_and_rewrite(chunk, i)) {
-      perf::charge_cpu_cycles(perf::kCpuIpv6LookupCyclesPerProbe);
+      perf::charge_cpu_cycles(perf::kCpuIpv6LookupBatchCyclesPerProbe);
       continue;
     }
     const u8* dst = chunk_view_dst6(chunk, i);
-    int probes = 0;
-    const route::NextHop nh =
-        table_.lookup(net::Ipv6Addr::from_words(load_be64(dst), load_be64(dst + 8)), &probes);
-    perf::charge_cpu_cycles(probes * perf::kCpuIpv6LookupCyclesPerProbe);
-    if (nh == route::kNoRoute) {
-      chunk.set_drop(i, iengine::DropReason::kNoRoute);
-    } else {
-      chunk.set_out_port(i, static_cast<i16>(nh));
-    }
+    keys[2 * m] = load_be64(dst);
+    keys[2 * m + 1] = load_be64(dst + 8);
+    idx[m] = i;
+    if (++m == kCpuBatchBlock) flush();
   }
+  flush();
 }
 
 }  // namespace ps::apps

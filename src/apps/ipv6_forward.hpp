@@ -27,6 +27,13 @@ class Ipv6ForwardApp final : public core::Shader {
 
   static constexpr u32 kMaxBatchItems = 65536;
 
+  /// Ablation switch for benchmarking: when off, the CPU paths fall back to
+  /// the scalar per-packet lookup (the pre-PR5 behaviour). On by default.
+  void set_batched_lookup(bool on) { batched_lookup_ = on; }
+
+  /// Packets gathered on the stack per lookup_batch call in process_cpu.
+  static constexpr u32 kCpuBatchBlock = 256;
+
  private:
   bool classify_and_rewrite(iengine::PacketChunk& chunk, u32 i);
 
@@ -41,6 +48,7 @@ class Ipv6ForwardApp final : public core::Shader {
   const route::Ipv6Table& table_;
   route::Ipv6FlatTable flat_;
   std::unordered_map<int, GpuState> gpu_state_;
+  bool batched_lookup_ = true;
 };
 
 }  // namespace ps::apps

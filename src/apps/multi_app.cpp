@@ -16,23 +16,29 @@ net::EtherType ethertype_of(std::span<const u8> frame) {
   return static_cast<net::EtherType>(load_be16(frame.data() + 12));
 }
 
-/// Rebuild `parent` from finished sub-chunks, original packet order first
-/// (per-flow FIFO), then any packets the children appended beyond their
-/// inputs (e.g. OpenFlow flood clones).
-void reassemble(iengine::PacketChunk& parent,
-                std::span<const core::ShaderJob::SubJob> sub_jobs) {
-  struct Source {
-    const core::ShaderJob::SubJob* sub = nullptr;
-    u32 index = 0;
-  };
-  std::vector<Source> source(parent.count());
-  for (const auto& sub : sub_jobs) {
-    for (u32 k = 0; k < sub.parent_index.size(); ++k) {
-      source[sub.parent_index[k]] = {&sub, k};
+/// Rebuild `job.chunk` from finished sub-chunks, original packet order
+/// first (per-flow FIFO), then any packets the children appended beyond
+/// their inputs (e.g. OpenFlow flood clones). Uses the job's retained
+/// scratch chunk and index vector, so steady-state reassembly does not
+/// allocate: each packet's source is packed as (sub-job index + 1) << 32 |
+/// packet index, 0 meaning "undispatched, carry through from the parent".
+void reassemble(core::ShaderJob& job) {
+  auto& parent = job.chunk;
+  const auto& sub_jobs = job.sub_jobs;
+
+  auto& source = job.scratch_u64;
+  source.assign(parent.count(), 0);
+  for (std::size_t s = 0; s < sub_jobs.size(); ++s) {
+    for (u32 k = 0; k < sub_jobs[s].parent_index.size(); ++k) {
+      source[sub_jobs[s].parent_index[k]] = (static_cast<u64>(s + 1) << 32) | k;
     }
   }
 
-  iengine::PacketChunk scratch(parent.max_packets());
+  if (!job.scratch_chunk || job.scratch_chunk->max_packets() < parent.max_packets()) {
+    job.scratch_chunk = std::make_unique<iengine::PacketChunk>(parent.max_packets());
+  }
+  auto& scratch = *job.scratch_chunk;
+  scratch.clear();
   scratch.in_port = parent.in_port;
   scratch.in_queue = parent.in_queue;
   auto copy_from = [&scratch](const iengine::PacketChunk& from, u32 k) {
@@ -44,12 +50,13 @@ void reassemble(iengine::PacketChunk& parent,
   };
 
   for (u32 i = 0; i < parent.count(); ++i) {
-    if (source[i].sub == nullptr) {
+    if (source[i] == 0) {
       // Undispatched packet (unknown protocol): carried through unchanged.
       copy_from(parent, i);
       continue;
     }
-    copy_from(source[i].sub->job->chunk, source[i].index);
+    const auto& sub = sub_jobs[(source[i] >> 32) - 1];
+    copy_from(sub.job->chunk, static_cast<u32>(source[i]));
   }
   // Child-appended extras (clones) after the originals.
   for (const auto& sub : sub_jobs) {
@@ -58,7 +65,9 @@ void reassemble(iengine::PacketChunk& parent,
       copy_from(sub_chunk, k);
     }
   }
-  parent = std::move(scratch);
+  // Swap, not move: the parent's buffers become next round's scratch, so
+  // capacity shuttles between the two chunks instead of being reallocated.
+  std::swap(parent, scratch);
 }
 
 }  // namespace
@@ -76,30 +85,37 @@ void MultiProtocolApp::pre_shade(core::ShaderJob& job) {
   auto& chunk = job.chunk;
 
   // Split into per-protocol sub-jobs, preserving per-packet provenance.
-  std::map<net::EtherType, std::size_t> sub_of;
+  // Sub-jobs are tagged with the ethertype and found by linear scan — the
+  // handful of active protocols makes a per-call map both slower and an
+  // allocation in the hot path. Pooled sub-jobs are recycled via
+  // acquire_sub with their staging buffers intact.
   for (u32 i = 0; i < chunk.count(); ++i) {
     perf::charge_cpu_cycles(8.0);  // ethertype dispatch
     // Pre-condemned packets (e.g. NIC-flagged corruption) stay in the
     // parent; reassembly carries them through with verdict and reason.
     if (chunk.verdict(i) == iengine::PacketVerdict::kDrop) continue;
     const auto type = ethertype_of(chunk.packet(i));
-    const auto child_it = children_.find(type);
-    if (child_it == children_.end()) {
-      chunk.set_verdict(i, iengine::PacketVerdict::kSlowPath);
-      continue;
+    core::ShaderJob::SubJob* sub = nullptr;
+    for (auto& existing : job.sub_jobs) {
+      if (existing.tag == static_cast<u32>(type)) {
+        sub = &existing;
+        break;
+      }
     }
-    auto [it, inserted] = sub_of.try_emplace(type, job.sub_jobs.size());
-    if (inserted) {
-      core::ShaderJob::SubJob sub;
-      sub.job = std::make_unique<core::ShaderJob>(chunk.max_packets());
-      sub.job->chunk.in_port = chunk.in_port;
-      sub.job->chunk.in_queue = chunk.in_queue;
-      sub.app = child_it->second;
-      job.sub_jobs.push_back(std::move(sub));
+    if (sub == nullptr) {
+      const auto child_it = children_.find(type);
+      if (child_it == children_.end()) {
+        chunk.set_verdict(i, iengine::PacketVerdict::kSlowPath);
+        continue;
+      }
+      sub = &job.acquire_sub(chunk.max_packets());
+      sub->tag = static_cast<u32>(type);
+      sub->app = child_it->second;
+      sub->job->chunk.in_port = chunk.in_port;
+      sub->job->chunk.in_queue = chunk.in_queue;
     }
-    auto& sub = job.sub_jobs[it->second];
-    sub.job->chunk.append(chunk.packet(i), chunk.rss_hash(i));
-    sub.parent_index.push_back(i);
+    sub->job->chunk.append(chunk.packet(i), chunk.rss_hash(i));
+    sub->parent_index.push_back(i);
   }
 
   u32 items = 0;
@@ -137,40 +153,50 @@ void MultiProtocolApp::shade_cpu(core::ShaderJob& job) {
 void MultiProtocolApp::post_shade(core::ShaderJob& job) {
   for (auto& sub : job.sub_jobs) sub.app->post_shade(*sub.job);
   for (u32 i = 0; i < job.chunk.count(); ++i) perf::charge_cpu_cycles(4.0);  // reassembly
-  reassemble(job.chunk, job.sub_jobs);
+  reassemble(job);
 }
 
 void MultiProtocolApp::process_cpu(iengine::PacketChunk& chunk) {
-  // CPU-only path: same split, children's CPU paths, same reassembly.
-  core::ShaderJob job(chunk.max_packets());
-  job.chunk = std::move(chunk);
+  // CPU-only path: same split, children's CPU paths, same reassembly. The
+  // staging job is thread-local and recycled so repeated slowpath/CPU-only
+  // chunks do not allocate; process_cpu may run on several workers at once.
+  thread_local std::unique_ptr<core::ShaderJob> staging;
+  if (!staging || staging->chunk.max_packets() < chunk.max_packets()) {
+    staging = std::make_unique<core::ShaderJob>(chunk.max_packets());
+  }
+  auto& job = *staging;
+  job.reset();
+  std::swap(job.chunk, chunk);
 
   auto& parent = job.chunk;
-  std::map<net::EtherType, std::size_t> sub_of;
   for (u32 i = 0; i < parent.count(); ++i) {
     if (parent.verdict(i) == iengine::PacketVerdict::kDrop) continue;
     const auto type = ethertype_of(parent.packet(i));
-    const auto child_it = children_.find(type);
-    if (child_it == children_.end()) {
-      parent.set_verdict(i, iengine::PacketVerdict::kSlowPath);
-      continue;
+    core::ShaderJob::SubJob* sub = nullptr;
+    for (auto& existing : job.sub_jobs) {
+      if (existing.tag == static_cast<u32>(type)) {
+        sub = &existing;
+        break;
+      }
     }
-    auto [it, inserted] = sub_of.try_emplace(type, job.sub_jobs.size());
-    if (inserted) {
-      core::ShaderJob::SubJob sub;
-      sub.job = std::make_unique<core::ShaderJob>(parent.max_packets());
-      sub.job->chunk.in_port = parent.in_port;
-      sub.app = child_it->second;
-      job.sub_jobs.push_back(std::move(sub));
+    if (sub == nullptr) {
+      const auto child_it = children_.find(type);
+      if (child_it == children_.end()) {
+        parent.set_verdict(i, iengine::PacketVerdict::kSlowPath);
+        continue;
+      }
+      sub = &job.acquire_sub(parent.max_packets());
+      sub->tag = static_cast<u32>(type);
+      sub->app = child_it->second;
+      sub->job->chunk.in_port = parent.in_port;
     }
-    auto& sub = job.sub_jobs[it->second];
-    sub.job->chunk.append(parent.packet(i), parent.rss_hash(i));
-    sub.parent_index.push_back(i);
+    sub->job->chunk.append(parent.packet(i), parent.rss_hash(i));
+    sub->parent_index.push_back(i);
   }
 
   for (auto& sub : job.sub_jobs) sub.app->process_cpu(sub.job->chunk);
-  reassemble(parent, job.sub_jobs);
-  chunk = std::move(parent);
+  reassemble(job);
+  std::swap(chunk, job.chunk);
 }
 
 }  // namespace ps::apps

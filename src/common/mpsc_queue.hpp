@@ -9,10 +9,14 @@
 // Concurrency contract (machine-checked under PS_ANALYZE): every item and
 // the closed flag are GUARDED_BY(mu_); waits are explicit loops so the
 // guarded reads stay visible to the thread-safety analysis.
+//
+// Storage is a ring preallocated at construction (T must be default- and
+// move-constructible): the queue is bounded anyway, and a deque's block
+// churn was the one steady-state allocation left on the worker→master
+// hand-off path.
 #pragma once
 
 #include <chrono>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -24,16 +28,16 @@ namespace ps {
 template <typename T>
 class MpscQueue {
  public:
-  explicit MpscQueue(std::size_t capacity) : capacity_(capacity) {}
+  explicit MpscQueue(std::size_t capacity) : capacity_(capacity), slots_(capacity) {}
 
   /// Blocking push; waits while the queue is full unless closed.
   /// Returns false if the queue was closed.
   bool push(T value) {
     {
       MutexLock lock(mu_);
-      while (items_.size() >= capacity_ && !closed_) not_full_.wait(mu_);
+      while (count_ >= capacity_ && !closed_) not_full_.wait(mu_);
       if (closed_) return false;
-      items_.push_back(std::move(value));
+      enqueue(std::move(value));
     }
     not_empty_.notify_one();
     return true;
@@ -43,8 +47,8 @@ class MpscQueue {
   bool try_push(T value) {
     {
       MutexLock lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(value));
+      if (closed_ || count_ >= capacity_) return false;
+      enqueue(std::move(value));
     }
     not_empty_.notify_one();
     return true;
@@ -55,10 +59,9 @@ class MpscQueue {
     std::optional<T> value;
     {
       MutexLock lock(mu_);
-      while (items_.empty() && !closed_) not_empty_.wait(mu_);
-      if (items_.empty()) return std::nullopt;
-      value = std::move(items_.front());
-      items_.pop_front();
+      while (count_ == 0 && !closed_) not_empty_.wait(mu_);
+      if (count_ == 0) return std::nullopt;
+      value = dequeue();
     }
     not_full_.notify_one();
     return value;
@@ -69,9 +72,8 @@ class MpscQueue {
     std::optional<T> value;
     {
       MutexLock lock(mu_);
-      if (items_.empty()) return std::nullopt;
-      value = std::move(items_.front());
-      items_.pop_front();
+      if (count_ == 0) return std::nullopt;
+      value = dequeue();
     }
     not_full_.notify_one();
     return value;
@@ -94,7 +96,7 @@ class MpscQueue {
     std::size_t n = 0;
     {
       MutexLock lock(mu_);
-      while (items_.empty() && !closed_) not_empty_.wait(mu_);
+      while (count_ == 0 && !closed_) not_empty_.wait(mu_);
       n = drain_into(out, max);
     }
     if (n > 0) not_full_.notify_all();
@@ -113,7 +115,7 @@ class MpscQueue {
     std::size_t n = 0;
     {
       MutexLock lock(mu_);
-      while (items_.empty() && !closed_) {
+      while (count_ == 0 && !closed_) {
         if (not_empty_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
       }
       n = drain_into(out, max);
@@ -125,7 +127,7 @@ class MpscQueue {
   /// Closed with nothing left to pop: the consumer may exit.
   bool drained() const {
     MutexLock lock(mu_);
-    return closed_ && items_.empty();
+    return closed_ && count_ == 0;
   }
 
   std::size_t capacity() const { return capacity_; }
@@ -146,25 +148,38 @@ class MpscQueue {
 
   std::size_t size() const {
     MutexLock lock(mu_);
-    return items_.size();
+    return count_;
   }
 
  private:
   std::size_t drain_into(std::vector<T>& out, std::size_t max) REQUIRES(mu_) {
     std::size_t n = 0;
-    while (n < max && !items_.empty()) {
-      out.push_back(std::move(items_.front()));
-      items_.pop_front();
+    while (n < max && count_ > 0) {
+      out.push_back(dequeue());
       ++n;
     }
     return n;
+  }
+
+  void enqueue(T value) REQUIRES(mu_) {
+    slots_[(head_ + count_) % capacity_] = std::move(value);
+    ++count_;
+  }
+
+  T dequeue() REQUIRES(mu_) {
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    return value;
   }
 
   const std::size_t capacity_;
   mutable Mutex mu_;
   CondVar not_empty_;
   CondVar not_full_;
-  std::deque<T> items_ GUARDED_BY(mu_);
+  std::vector<T> slots_ GUARDED_BY(mu_);  // fixed ring storage
+  std::size_t head_ GUARDED_BY(mu_) = 0;
+  std::size_t count_ GUARDED_BY(mu_) = 0;
   bool closed_ GUARDED_BY(mu_) = false;
 };
 

@@ -101,6 +101,13 @@ ModelResult ModelDriver::run(gen::TrafficGen& traffic, u64 target_packets) {
   const u64 slice = std::max<u64>(
       static_cast<u64>(testbed_.ports().size()) * config_.chunk_capacity * 4, 64);
 
+  // Loop-invariant scratch hoisted out of the steady-state loop below so
+  // the modelled data path does not allocate per slice.
+  std::vector<i16> local_ports;
+  local_ports.reserve(static_cast<std::size_t>(topo.num_ports()));
+  std::vector<ShaderJob*> batch;
+  batch.reserve(config_.gather_max);
+
   while (result.offered < target_packets) {
     // --- offered load -------------------------------------------------------
     if (io_mode_ != IoMode::kTxOnly) {
@@ -117,15 +124,15 @@ ModelResult ModelDriver::run(gen::TrafficGen& traffic, u64 target_packets) {
         // Synthesize and transmit chunks without RX (Figure 6 TX series).
         const u64 per_worker = slice / static_cast<u64>(workers_.size()) + 1;
         u64 made = 0;
+        local_ports.clear();
+        for (int p = 0; p < topo.num_ports(); ++p) {
+          if (topo.node_of_port(p) == worker.node) local_ports.push_back(static_cast<i16>(p));
+        }
         while (made < per_worker) {
           JobPtr job = acquire();
           while (job->chunk.count() < job->chunk.max_packets() && made < per_worker) {
             job->chunk.append(traffic.next_frame());
             ++made;
-          }
-          std::vector<i16> local_ports;
-          for (int p = 0; p < topo.num_ports(); ++p) {
-            if (topo.node_of_port(p) == worker.node) local_ports.push_back(static_cast<i16>(p));
           }
           for (u32 i = 0; i < job->chunk.count(); ++i) {
             job->chunk.set_out_port(i, local_ports[i % local_ports.size()]);
@@ -177,7 +184,6 @@ ModelResult ModelDriver::run(gen::TrafficGen& traffic, u64 target_packets) {
         const int master_core = n * topo.cores_per_node + wpn;
         perf::CpuChargeScope scope(&ledger_, static_cast<u16>(master_core));
 
-        std::vector<ShaderJob*> batch;
         for (std::size_t i = 0; i < pending.size(); i += config_.gather_max) {
           batch.clear();
           for (std::size_t j = i; j < std::min(pending.size(), i + config_.gather_max); ++j) {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <chrono>
 
+#include "telemetry/alloc_stats.hpp"
+
 namespace ps::core {
 
 namespace {
@@ -690,6 +692,10 @@ void Router::register_metrics() {
                          [this, node] { return gpu_health(node).healthy ? u64{1} : u64{0}; });
     }
   }
+
+  // --- process memory (steady-state allocation invariant, DESIGN.md §13)
+  reg.register_probe("mem.allocations", MetricKind::kCounter,
+                     [] { return telemetry::allocations(); });
 
   // --- slow-path admission + supervisor
   reg.register_probe("slowpath.admitted", MetricKind::kCounter,

@@ -41,22 +41,71 @@ struct ShaderJob {
   /// Composition support (section 7 multi-functionality): a dispatching
   /// shader may split a chunk into per-protocol sub-jobs, each processed
   /// by a child shader; `parent_index` maps a sub-chunk packet back to its
-  /// position in this job's chunk.
+  /// position in this job's chunk. `tag` is an app-defined dispatch key
+  /// (e.g. the ethertype) so the dispatcher can find an existing sub-job
+  /// without a per-call map.
   struct SubJob {
     std::unique_ptr<ShaderJob> job;
     class Shader* app = nullptr;
+    u32 tag = 0;
     std::vector<u32> parent_index;
   };
   std::vector<SubJob> sub_jobs;
+  /// Finished sub-jobs recycled by reset() with their allocations intact,
+  /// so steady-state composition never re-allocates staging buffers.
+  std::vector<SubJob> sub_pool;
 
-  explicit ShaderJob(u32 chunk_capacity) : chunk(chunk_capacity) {}
+  /// App-owned per-job scratch retained across reset() (capacity, not
+  /// contents): used by the multi-protocol reassembly to stay
+  /// allocation-free in steady state.
+  std::unique_ptr<iengine::PacketChunk> scratch_chunk;
+  std::vector<u64> scratch_u64;
+
+  /// Staging bytes reserved per packet slot: the largest per-item gather of
+  /// the bundled apps (a 16 B IPv6 destination address).
+  static constexpr std::size_t kStagingBytesPerItem = 16;
+  /// Sub-job slots reserved up front (>= the protocols a dispatcher splits).
+  static constexpr std::size_t kReservedSubJobs = 8;
+
+  explicit ShaderJob(u32 chunk_capacity) : chunk(chunk_capacity) {
+    // Reserve every staging vector once at construction; reset() only
+    // clear()s, so a pooled job never re-allocates in steady state.
+    gpu_input.reserve(std::size_t{chunk_capacity} * kStagingBytesPerItem);
+    gpu_output.reserve(std::size_t{chunk_capacity} * kStagingBytesPerItem);
+    gpu_index.reserve(chunk_capacity);
+    sub_jobs.reserve(kReservedSubJobs);
+    sub_pool.reserve(kReservedSubJobs);
+  }
+
+  /// Append a sub-job slot, reusing a pooled one (allocations intact) when
+  /// available. The pooled job's chunk keeps its original capacity, so a
+  /// job is always recycled within one parent (same chunk_capacity).
+  SubJob& acquire_sub(u32 chunk_capacity) {
+    if (!sub_pool.empty()) {
+      sub_jobs.push_back(std::move(sub_pool.back()));
+      sub_pool.pop_back();
+    } else {
+      SubJob sub;
+      sub.job = std::make_unique<ShaderJob>(chunk_capacity);
+      sub_jobs.push_back(std::move(sub));
+    }
+    return sub_jobs.back();
+  }
 
   void reset() {
     chunk.clear();
     gpu_input.clear();
     gpu_output.clear();
     gpu_index.clear();
+    for (auto& sub : sub_jobs) {
+      if (sub.job) sub.job->reset();
+      sub.app = nullptr;
+      sub.tag = 0;
+      sub.parent_index.clear();
+      sub_pool.push_back(std::move(sub));
+    }
     sub_jobs.clear();
+    scratch_u64.clear();
     gpu_items = 0;
     enqueue_time = 0;
     trace_slot = -1;

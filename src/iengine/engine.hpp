@@ -101,6 +101,9 @@ class IoHandle {
   u16 tx_queue_;  // this core's private TX queue index on every port
   std::vector<QueueRef> queues_;
   std::size_t rr_cursor_ = 0;
+  // RX descriptor scratch reused across recv_from_queue calls (grow-only,
+  // no synchronization: the io_token keeps a handle single-consumer).
+  std::vector<nic::RxSlot> rx_scratch_;
 
   Mutex mu_;
   CondVar cv_;  // interrupt wakeup channel (NIC thread -> owning worker)

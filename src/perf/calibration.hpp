@@ -176,6 +176,20 @@ inline constexpr u32 kGpuRandomAccessBytes = 32;
 //   IPv6 ~8 Gbps  => ~11.4 Mpps => ~1870 cycles => ~1720 cycles of lookup.
 inline constexpr double kCpuIpv4LookupCycles = 390.0;
 inline constexpr double kCpuIpv6LookupCyclesPerProbe = 245.0;  // x7 probes
+
+// Batched (software-pipelined) lookup variants, used by the lookup_batch
+// paths. The scalar constants above are dominated by the serialised DRAM
+// miss: ~100 ns (kCpuMissLatencyNs) is ~266 cycles at 2.66 GHz, nearly all
+// of kCpuIpv4LookupCycles. Interleaving kBatchInFlight = 8 keys overlaps
+// those misses up to the measured per-core MLP (kCpuMlpSingleCore = 6
+// alone, kCpuMlpAllCores = 4 with all cores loaded; section 2.4 of the
+// paper). Charging at the all-cores MLP of 4, the per-key share of the miss
+// drops from ~266 to ~266/4 ≈ 66 cycles; with the non-miss work unchanged
+// (~124 cycles for IPv4) plus prefetch/bookkeeping overhead we charge
+// ~290 cycles per IPv4 lookup and scale IPv6 per-probe cost by the same
+// miss-overlap argument (each probe is one dependent hash-slot miss).
+inline constexpr double kCpuIpv4LookupBatchCycles = 290.0;
+inline constexpr double kCpuIpv6LookupBatchCyclesPerProbe = 190.0;
 // Pre/post-shading per packet in CPU+GPU mode (gathering addresses,
 // scattering results, TTL/checksum rewrite): 39 Gbps @64 B across 6 workers.
 inline constexpr double kPreShadingCyclesPerPacket = 70.0;

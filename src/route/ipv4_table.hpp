@@ -66,10 +66,77 @@ class Ipv4Table {
     return tbl_long[chunk * kChunk + (addr & 0xff)];
   }
 
+  /// Batched LPM lookup: resolves `n` keys with `kBatchInFlight` lookups in
+  /// flight at once. DIR-24-8 is one-to-two dependent loads per key, so a
+  /// scalar loop serialises on DRAM latency; interleaving issues the TBL24
+  /// loads of the whole group before any TBLlong load is needed, and
+  /// software-prefetches both tables' cache lines, converting the per-key
+  /// miss latency into memory-level parallelism (the CPU-side analog of the
+  /// paper's GPU batching, section 5).
+  void lookup_batch(const u32* keys, NextHop* out, std::size_t n) const {
+    lookup_batch_in_arrays(tbl24_.data(), tbl_long_.data(), keys, out, n);
+  }
+
+  /// The shared batched routine over raw arrays. Software-pipelined: the
+  /// TBL24 lines of group g+2 are prefetched while group g resolves, so
+  /// every prefetch has two groups' worth of work (~16 lookups) to complete
+  /// before its line is demanded — the prefetch distance that converts
+  /// per-key miss latency into memory-level parallelism.
+  static void lookup_batch_in_arrays(const u16* tbl24, const u16* tbl_long, const u32* keys,
+                                     NextHop* out, std::size_t n) {
+    constexpr std::size_t kGroup = kBatchInFlight;
+    std::size_t i = 0;
+    if (n >= 3 * kGroup) {
+      for (std::size_t k = 0; k < 2 * kGroup; ++k) {
+        __builtin_prefetch(&tbl24[keys[k] >> 8], 0, 1);
+      }
+      for (; i + 3 * kGroup <= n; i += kGroup) {
+        for (std::size_t k = 0; k < kGroup; ++k) {
+          __builtin_prefetch(&tbl24[keys[i + 2 * kGroup + k] >> 8], 0, 1);
+        }
+        resolve_group(tbl24, tbl_long, keys + i, out + i);
+      }
+    }
+    // Up to two already-prefetched groups remain, then a scalar tail.
+    for (; i + kGroup <= n; i += kGroup) {
+      resolve_group(tbl24, tbl_long, keys + i, out + i);
+    }
+    for (; i < n; ++i) out[i] = lookup_in_arrays(tbl24, tbl_long, keys[i]);
+  }
+
   static constexpr u16 kLongFlag = 0x8000;
   static constexpr u32 kChunk = 256;
+  /// Keys kept in flight by lookup_batch. Sized to the calibrated
+  /// memory-level parallelism of one core (perf::kCpuMlpSingleCore = 6)
+  /// rounded up to a power of two.
+  static constexpr std::size_t kBatchInFlight = 8;
 
  private:
+  /// One group of kBatchInFlight keys: load every TBL24 entry (independent
+  /// loads, so the misses overlap), prefetch the TBLlong line for the
+  /// overflow minority (~3% of prefixes are longer than /24), then resolve.
+  static void resolve_group(const u16* tbl24, const u16* tbl_long, const u32* keys,
+                            NextHop* out) {
+    u16 entry[kBatchInFlight];
+    for (std::size_t k = 0; k < kBatchInFlight; ++k) {
+      entry[k] = tbl24[keys[k] >> 8];
+    }
+    for (std::size_t k = 0; k < kBatchInFlight; ++k) {
+      if ((entry[k] & kLongFlag) != 0) {
+        const u32 chunk = entry[k] & ~kLongFlag;
+        __builtin_prefetch(&tbl_long[chunk * kChunk + (keys[k] & 0xff)], 0, 1);
+      }
+    }
+    for (std::size_t k = 0; k < kBatchInFlight; ++k) {
+      if ((entry[k] & kLongFlag) == 0) {
+        out[k] = entry[k];
+      } else {
+        const u32 chunk = entry[k] & ~kLongFlag;
+        out[k] = tbl_long[chunk * kChunk + (keys[k] & 0xff)];
+      }
+    }
+  }
+
   std::vector<u16> tbl24_;     // 2^24 entries
   std::vector<u16> tbl_long_;  // kChunk entries per overflow chunk
   std::size_t prefix_count_ = 0;

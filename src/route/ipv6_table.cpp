@@ -221,4 +221,79 @@ NextHop Ipv6FlatTable::lookup_in_arrays(const Slot* slots, const u32* offsets, c
   return best;
 }
 
+void Ipv6FlatTable::lookup_batch_in_arrays(const Slot* slots, const u32* offsets,
+                                           const u32* masks, const u64* keys,
+                                           NextHop default_nh, NextHop* out, std::size_t n,
+                                           u64* total_probes) {
+  // Walks the binary search of up to kBatchInFlight keys in lockstep. Each
+  // wave first computes every live key's hash slot for its current level and
+  // prefetches it (part A), then resolves all the probes (part B). The ≤7
+  // dependent probes of a single key are unavoidable latency; across keys
+  // they are independent, so the group overlaps them.
+  u64 probes_acc = 0;
+  for (std::size_t base = 0; base < n; base += kBatchInFlight) {
+    const std::size_t m = std::min(kBatchInFlight, n - base);
+    int low[kBatchInFlight];
+    int high[kBatchInFlight];
+    int midk[kBatchInFlight];
+    NextHop best[kBatchInFlight];
+    Key128 key[kBatchInFlight];
+    u32 slot[kBatchInFlight];
+    bool probing[kBatchInFlight];
+    for (std::size_t k = 0; k < m; ++k) {
+      low[k] = 1;
+      high[k] = 128;
+      best[k] = default_nh;
+    }
+    bool any = true;
+    while (any) {
+      // Part A: advance each live key past empty levels (no memory access,
+      // same accounting as the scalar path), then hash and prefetch the slot
+      // of its first non-empty level.
+      for (std::size_t k = 0; k < m; ++k) {
+        probing[k] = false;
+        int mid = 0;
+        while (low[k] <= high[k]) {
+          mid = (low[k] + high[k]) / 2;
+          ++probes_acc;
+          if (masks[mid] != 0) break;
+          high[k] = mid - 1;
+        }
+        if (low[k] > high[k]) continue;
+        midk[k] = mid;
+        key[k] = mask128(keys[2 * (base + k)], keys[2 * (base + k) + 1], mid);
+        slot[k] = static_cast<u32>(flat_hash(key[k].hi, key[k].lo)) & masks[mid];
+        __builtin_prefetch(&slots[offsets[mid] + slot[k]], 0, 1);
+        probing[k] = true;
+      }
+      // Part B: resolve every prefetched probe and update the search range.
+      any = false;
+      for (std::size_t k = 0; k < m; ++k) {
+        if (probing[k]) {
+          const int mid = midk[k];
+          bool found = false;
+          u32 s_idx = slot[k];
+          while (slots[offsets[mid] + s_idx].occupied != 0) {
+            const Slot& s = slots[offsets[mid] + s_idx];
+            if (s.key_hi == key[k].hi && s.key_lo == key[k].lo) {
+              best[k] = s.bmp;
+              found = true;
+              break;
+            }
+            s_idx = (s_idx + 1) & masks[mid];
+          }
+          if (found) {
+            low[k] = mid + 1;
+          } else {
+            high[k] = mid - 1;
+          }
+        }
+        if (low[k] <= high[k]) any = true;
+      }
+    }
+    for (std::size_t k = 0; k < m; ++k) out[base + k] = best[k];
+  }
+  if (total_probes != nullptr) *total_probes += probes_acc;
+}
+
 }  // namespace ps::route

@@ -91,6 +91,29 @@ class Ipv6FlatTable {
                             addr.hi64(), addr.lo64(), default_nh_, probes);
   }
 
+  /// Batched LPM lookup. `keys` is interleaved host-order words — key j is
+  /// (keys[2*j] = hi, keys[2*j+1] = lo), the same layout the shader stages
+  /// into `gpu_input`. Walks the binary search of `kBatchInFlight` keys in
+  /// lockstep, level wave by level wave, prefetching every in-flight key's
+  /// hash slot before any is probed so the ≤7 dependent probes of one key
+  /// overlap with the other keys' instead of serialising. When non-null,
+  /// `total_probes` accumulates hash-table accesses across all n keys.
+  void lookup_batch(const u64* keys, NextHop* out, std::size_t n,
+                    u64* total_probes = nullptr) const {
+    lookup_batch_in_arrays(slots_.data(), level_offset_.data(), level_mask_.data(), keys,
+                           default_nh_, out, n, total_probes);
+  }
+
+  /// The shared batched routine over raw arrays.
+  static void lookup_batch_in_arrays(const Slot* slots, const u32* offsets, const u32* masks,
+                                     const u64* keys, NextHop default_nh, NextHop* out,
+                                     std::size_t n, u64* total_probes = nullptr);
+
+  /// Keys kept in flight by lookup_batch. Wider than Ipv4Table's group:
+  /// each key carries up to 7 dependent probes, so more lanes are needed
+  /// to keep the memory system busy while any one lane's chain stalls.
+  static constexpr std::size_t kBatchInFlight = 32;
+
  private:
   friend class Ipv6Table;
   std::vector<Slot> slots_;

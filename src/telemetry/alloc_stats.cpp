@@ -1,0 +1,80 @@
+#include "telemetry/alloc_stats.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace ps::telemetry {
+
+namespace detail {
+std::atomic<u64> g_new_calls{0};
+}  // namespace detail
+
+#ifdef PS_ALLOC_STATS
+bool alloc_stats_enabled() { return true; }
+u64 allocations() { return detail::g_new_calls.load(std::memory_order_relaxed); }
+#else
+bool alloc_stats_enabled() { return false; }
+u64 allocations() { return 0; }
+#endif
+
+}  // namespace ps::telemetry
+
+#ifdef PS_ALLOC_STATS
+
+// Replaceable global allocation functions ([new.delete]): every form of
+// operator new counts one allocation, every delete pairs with the malloc
+// family used here. The nothrow forms need no override — their default
+// implementations call the ordinary (replaced) operator new.
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  ps::telemetry::detail::g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  for (;;) {
+    if (void* p = std::malloc(size)) return p;
+    if (std::new_handler handler = std::get_new_handler()) {
+      handler();
+    } else {
+      throw std::bad_alloc{};
+    }
+  }
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  ps::telemetry::detail::g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  for (;;) {
+    if (void* p = std::aligned_alloc(alignment, rounded)) return p;
+    if (std::new_handler handler = std::get_new_handler()) {
+      handler();
+    } else {
+      throw std::bad_alloc{};
+    }
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+#endif  // PS_ALLOC_STATS

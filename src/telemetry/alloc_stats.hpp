@@ -1,0 +1,23 @@
+// Process-wide allocation counter for the allocation-free-steady-state
+// invariant (DESIGN.md §13): when the build enables PS_ALLOC_STATS, the
+// replaceable global operator new is overridden to bump a relaxed atomic,
+// and tests assert the counter stays flat while the router runs its steady
+// state. The probe costs one relaxed fetch_add per allocation — negligible,
+// and exactly zero on the paths the invariant holds for.
+//
+// PS_ALLOC_STATS is ON by default and forced OFF under sanitizer builds
+// (PS_SANITIZE), whose runtimes interpose their own allocator paths.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ps::telemetry {
+
+/// True when this binary was built with the counting operator new.
+bool alloc_stats_enabled();
+
+/// Total calls to the global operator new (all forms) since process start.
+/// Always 0 when alloc_stats_enabled() is false.
+u64 allocations();
+
+}  // namespace ps::telemetry

@@ -31,6 +31,16 @@ or the preceding line):
                       interrupt/poll machinery, not in the data path; the
                       few legitimate idle/backoff sleeps carry an allow
                       comment explaining why they are off the fast path.
+  steady-state-growth container growth (push_back/emplace_back/resize/
+                      insert/emplace) inside a steady-state function
+                      (worker_loop, recv_chunk, lookup_batch, ...) in
+                      src/core, src/iengine, or src/route, when the file
+                      never reserves that container. Growth in the
+                      per-packet loops reintroduces the allocations the
+                      warm-up phase exists to front-load; the counting
+                      allocator test catches the aggregate, this rule
+                      names the line. Containers warmed elsewhere or
+                      deliberately amortised carry an allow comment.
 
 Output: `path:line: [rule] message`, one per finding, sorted; exit 1 if
 anything fired. `--expect FILE` compares the findings against a golden
@@ -48,6 +58,8 @@ RULES = {
     "drop-reason-default": "switch over DropReason must not have a default label",
     "registry-sync": "fault/metric name tables out of sync with code",
     "hot-sleep": "sleep in a hot-path directory",
+    "steady-state-growth": "container growth in a steady-state loop "
+                           "without a reserve",
 }
 
 HOT_DIRS = ("iengine", "nic", "gpu", "core")
@@ -323,6 +335,81 @@ def check_hot_sleep(sf, findings):
             "explaining why this site is off the fast path)" % (m.group(1), top)))
 
 
+# --- rule: steady-state-growth ---------------------------------------------
+
+# Directories whose steady-state loops must not grow containers, and the
+# function names that ARE the steady state: the per-chunk/per-packet
+# loops that run for every batch once the pipeline is warm. Setup code
+# (build(), constructors, start()) is free to grow whatever it likes.
+STEADY_DIRS = ("core", "iengine", "route")
+STEADY_FNS = (
+    "worker_loop|master_loop|recv_and_dispatch|finish_job|process_cpu_only|"
+    "shade_batch|cpu_fallback_batch|recv_chunk|recv_from_queue|send_chunk|"
+    "lookup_batch|lookup"
+)
+STEADY_FN_RE = re.compile(r"\b(%s)\s*\(" % STEADY_FNS)
+GROWTH_METHODS = "push_back|emplace_back|resize|insert|emplace"
+GROWTH_RE = re.compile(
+    r"\b(\w+(?:(?:\.|->)\w+|\[[^\]\n]*\])*)\s*(?:\.|->)\s*"
+    r"(%s)\s*\(" % GROWTH_METHODS)
+# Chars legal between a definition's `)` and its `{`: qualifiers
+# (const, noexcept, override), trailing return types, attribute names.
+DEF_GAP_RE = re.compile(r"^[\sA-Za-z_0-9:<>,&*\[\]\-]*$")
+
+
+def _steady_bodies(code):
+    """(fn_name, body_start, body_end) for each steady-state function
+    DEFINED in this file. A match is a definition (not a call) when it is
+    not reached through . or ->, and only qualifier-ish tokens separate
+    the parameter list from an opening brace."""
+    bodies = []
+    for m in STEADY_FN_RE.finditer(code):
+        j = m.start() - 1
+        while j >= 0 and code[j] in " \t":
+            j -= 1
+        if j >= 1 and (code[j] == "." or code[j - 1:j + 1] == "->"):
+            continue  # member call, not a definition
+        params, pend = _balanced(code, m.end() - 1)
+        if params is None:
+            continue
+        brace = code.find("{", pend)
+        semi = code.find(";", pend)
+        if brace < 0 or (0 <= semi < brace):
+            continue  # declaration or expression statement
+        if not DEF_GAP_RE.match(code[pend + 1:brace]):
+            continue
+        body, bend = _balanced(code, brace)
+        if body is None:
+            continue
+        bodies.append((m.group(1), brace + 1, bend))
+    return bodies
+
+
+def check_steady_state_growth(sf, findings):
+    top = sf.rel.split("/", 1)[0]
+    if top not in STEADY_DIRS:
+        return
+    code = sf.code_nostr
+    # A container counts as warmed when this file reserves it anywhere
+    # (constructor, start(), job-pool setup — order in the file does not
+    # matter, the point is that someone owns its capacity).
+    reserved = set(re.findall(r"\b(\w+)\s*(?:\.|->)\s*reserve\s*\(", code))
+    for fn, start, end in _steady_bodies(code):
+        for gm in GROWTH_RE.finditer(code, start, end):
+            receiver = re.sub(r"\[[^\]]*\]", "", gm.group(1))
+            key = re.split(r"\.|->", receiver)[-1]
+            if key in reserved:
+                continue
+            lineno = _line_of(code, gm.start())
+            if sf.allowed(lineno, "steady-state-growth"):
+                continue
+            findings.append(Finding(
+                sf.rel, lineno, "steady-state-growth",
+                "%s.%s() grows a container inside steady-state %s() and "
+                "'%s' is never reserved in this file" %
+                (key, gm.group(2), fn, key)))
+
+
 # --- rule: registry-sync ---------------------------------------------------
 
 def _normalize(name):
@@ -483,6 +570,7 @@ def main(argv):
         check_single_writer(sf, findings)
         check_drop_reason_default(sf, findings)
         check_hot_sleep(sf, findings)
+        check_steady_state_growth(sf, findings)
     if args.docs:
         check_registry_sync(files, args.docs, findings)
 
