@@ -1,0 +1,140 @@
+// Lookup throughput under sustained route churn (the §6.2 robustness
+// claim for the lockless FIB): a million-prefix DIR-24-8 table serves
+// epoch-pinned lookups while the supervised FibUpdater commits a paced
+// announce/withdraw stream. The paper's router rebuilds its table off
+// the data path; here we additionally prove the incremental generations
+// keep the read path flat — the BENCH line carries idle vs under-churn
+// lookup rates and their ratio (churn_retention), which the nightly gate
+// compares.
+//
+//   bench_fib_churn [--smoke]
+//
+// --smoke shrinks the table and the measurement window for CI.
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "route/fib_manager.hpp"
+#include "route/fib_updater.hpp"
+#include "route/rib_gen.hpp"
+
+namespace {
+
+using namespace ps;
+using Clock = std::chrono::steady_clock;
+
+struct Phase {
+  double mpps = 0.0;
+  u64 updates = 0;
+  double updates_per_s = 0.0;
+};
+
+// Measure lookups/s for `window`, while (optionally) pacing churn ops
+// into the FIB at `updates_per_s` for the updater thread to commit.
+Phase run_phase(route::Ipv4Fib& fib, route::FibUpdater& updater, std::span<const u32> pool,
+                std::span<const route::Ipv4ChurnOp> ops, u64 updates_per_s,
+                std::chrono::milliseconds window) {
+  std::atomic<bool> done{false};
+  std::atomic<u64> queued{0};
+  std::thread churner([&] {
+    if (updates_per_s == 0) return;
+    const auto t0 = Clock::now();
+    std::size_t next = 0;
+    while (!done.load(std::memory_order_acquire) && next < ops.size()) {
+      // Absolute pacing: queue whatever the schedule says is due by now.
+      const auto elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+      const auto due = static_cast<std::size_t>(elapsed * static_cast<double>(updates_per_s));
+      while (next < std::min(due, ops.size())) {
+        const auto& op = ops[next++];
+        if (op.announce) {
+          fib.announce(op.prefix);
+        } else {
+          fib.withdraw(op.prefix);
+        }
+      }
+      queued.store(next, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  constexpr std::size_t kBatch = 256;
+  std::vector<route::NextHop> out(kBatch);
+  u64 lookups = 0;
+  const auto t0 = Clock::now();
+  const auto deadline = t0 + window;
+  std::size_t offset = 0;
+  while (Clock::now() < deadline) {
+    // One epoch pin per batch, like the router's per-chunk pinning.
+    const auto table = fib.read();
+    for (int rep = 0; rep < 16; ++rep) {
+      table->lookup_batch(pool.data() + offset, out.data(), kBatch);
+      offset = (offset + kBatch) % (pool.size() - kBatch);
+      lookups += kBatch;
+    }
+  }
+  const double elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  done.store(true, std::memory_order_release);
+  churner.join();
+  updater.drain();  // every queued op is committed before the next phase
+
+  Phase p;
+  p.mpps = static_cast<double>(lookups) / elapsed / 1e6;
+  p.updates = queued.load(std::memory_order_relaxed);
+  p.updates_per_s = static_cast<double>(p.updates) / elapsed;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const std::size_t prefixes = smoke ? 100'000 : 1'000'000;
+  const auto window = std::chrono::milliseconds(smoke ? 250 : 1000);
+  constexpr u64 kChurnRate = 10'000;  // updates/s, sustained
+
+  bench::print_header("fib_churn", "lookup throughput under sustained route churn");
+  bench::print_note(smoke ? "smoke mode: 100k prefixes, 250 ms windows"
+                          : "full mode: 1M prefixes, 1 s windows");
+
+  const auto rib = route::generate_ipv4_rib({.prefix_count = prefixes, .num_next_hops = 8,
+                                             .seed = 2010});
+  const auto pool = route::sample_covered_ipv4(rib, 1u << 16, 77);
+  // Enough ops that the paced stream never runs dry inside a window.
+  const auto ops = route::generate_ipv4_churn(
+      rib, static_cast<std::size_t>(kChurnRate) * 4, 8, 2011);
+
+  route::Ipv4Fib fib;
+  for (const auto& p : rib) fib.announce(p);
+  fib.commit();
+
+  route::FibUpdater updater(fib);
+  updater.start();
+
+  const Phase idle = run_phase(fib, updater, pool, {}, 0, window);
+  const Phase churn = run_phase(fib, updater, pool, ops, kChurnRate, window);
+  updater.stop();
+
+  std::printf("\n%-32s %10.3f Mpps\n", "lookup rate, idle control plane", idle.mpps);
+  std::printf("%-32s %10.3f Mpps (%llu updates @ %.0f/s)\n", "lookup rate, under churn",
+              churn.mpps, static_cast<unsigned long long>(churn.updates), churn.updates_per_s);
+  std::printf("%-32s %10.3f\n", "retention (churn / idle)",
+              idle.mpps > 0 ? churn.mpps / idle.mpps : 0.0);
+
+  telemetry::BenchLine line("fib_churn");
+  line.field("prefixes", static_cast<u64>(prefixes));
+  line.fixed("wall_lookup_mpps_idle", idle.mpps, 3);
+  line.fixed("wall_lookup_mpps_churn10k", churn.mpps, 3);
+  line.fixed("churn_retention", idle.mpps > 0 ? churn.mpps / idle.mpps : 0.0, 3);
+  line.field("wall_updates_applied", churn.updates);
+  line.fixed("wall_updates_per_s", churn.updates_per_s, 0);
+  bench::emit_bench(line);
+  return 0;
+}

@@ -20,7 +20,10 @@ skips metrics matching a regex (e.g. wall-clock timings on shared CI
 hosts); --only restricts the comparison to benches matching a regex
 (the smoke gate compares only the benches the smoke run produces). A
 bench or metric missing from the candidate is an error: a silently
-dropped series must not pass the gate. Exits 1 on any regression or
+dropped series must not pass the gate. A zero baseline admits no
+relative comparison: a lower-is-better metric going 0 -> nonzero fails
+as a "new nonzero value"; anything else passing through zero is
+reported but never fails. Exits 1 on any regression or
 structural mismatch, 0 otherwise.
 """
 
@@ -116,7 +119,19 @@ def main() -> int:
             threshold = overrides.get(metric, args.threshold)
             compared += 1
             if base == 0:
-                continue  # no relative comparison possible
+                # No relative comparison possible. A lower-is-better metric
+                # (drops, latency) appearing where the baseline had zero is
+                # a real regression and must fail loudly, not skip.
+                if cand == 0:
+                    print(f"  ok  {bench}.{metric}: 0 -> 0")
+                elif LOWER_IS_BETTER.search(metric):
+                    print(f"FAIL  {bench}.{metric}: 0 -> {cand:g} (new nonzero value)")
+                    failures.append(
+                        f"{bench}.{metric}: new nonzero value {cand:g} "
+                        f"(baseline 0, lower is better)")
+                else:
+                    print(f"  ok  {bench}.{metric}: 0 -> {cand:g} (up from zero)")
+                continue
             delta = (cand - base) / abs(base)
             if LOWER_IS_BETTER.search(metric):
                 regressed = delta > threshold

@@ -29,7 +29,7 @@ done
 if [ "$mode" = smoke ]; then
   benches="bench_micro_lookup:--smoke bench_fig11a_ipv4:--smoke"
 else
-  benches="bench_micro_lookup: bench_fig11a_ipv4: bench_fig12_latency: bench_overload:"
+  benches="bench_micro_lookup: bench_fig11a_ipv4: bench_fig12_latency: bench_overload: bench_fib_churn:"
 fi
 
 log="$(mktemp)"

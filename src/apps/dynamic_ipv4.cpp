@@ -132,7 +132,9 @@ core::ShadeOutcome DynamicIpv4ForwardApp::shade(core::GpuContext& gpu,
 }
 
 void DynamicIpv4ForwardApp::shade_cpu(core::ShaderJob& job) {
-  const auto table = fib_.snapshot();
+  // Lock-free: pin an epoch and read the published generation directly —
+  // no mutex, no ref-count bump on the per-packet path.
+  const auto table = fib_.read();
   const auto* in = reinterpret_cast<const u32*>(job.gpu_input.data());
   job.gpu_output.resize(job.gpu_items * sizeof(u16));
   auto* out = reinterpret_cast<u16*>(job.gpu_output.data());
@@ -158,9 +160,10 @@ void DynamicIpv4ForwardApp::post_shade(core::ShaderJob& job) {
 }
 
 void DynamicIpv4ForwardApp::process_cpu(iengine::PacketChunk& chunk) {
-  // One snapshot per chunk: routes may change between chunks, never
-  // within one.
-  const auto table = fib_.snapshot();
+  // One epoch pin per chunk: routes may change between chunks, never
+  // within one, and the pin is dropped at chunk end so reclamation of
+  // older generations is never blocked for long.
+  const auto table = fib_.read();
   for (u32 i = 0; i < chunk.count(); ++i) {
     perf::charge_cpu_cycles(perf::kCpuIpv4LookupCycles);
     net::PacketView view;

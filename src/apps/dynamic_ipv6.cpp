@@ -158,7 +158,8 @@ core::ShadeOutcome DynamicIpv6ForwardApp::shade(core::GpuContext& gpu,
 }
 
 void DynamicIpv6ForwardApp::shade_cpu(core::ShaderJob& job) {
-  const auto table = fib_.snapshot();
+  // Lock-free read: epoch pin + published-generation load, no mutex.
+  const auto table = fib_.read();
   const auto* in = reinterpret_cast<const u64*>(job.gpu_input.data());
   job.gpu_output.resize(job.gpu_items * sizeof(u16));
   auto* out = reinterpret_cast<u16*>(job.gpu_output.data());
@@ -185,7 +186,8 @@ void DynamicIpv6ForwardApp::post_shade(core::ShaderJob& job) {
 }
 
 void DynamicIpv6ForwardApp::process_cpu(iengine::PacketChunk& chunk) {
-  const auto table = fib_.snapshot();
+  // One epoch pin per chunk; dropped at chunk end so reclamation flows.
+  const auto table = fib_.read();
   for (u32 i = 0; i < chunk.count(); ++i) {
     net::PacketView view;
     if (classify_l3(chunk, i, net::EtherType::kIpv6, view) != FastPathClass::kEligible) {

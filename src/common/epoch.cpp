@@ -1,0 +1,205 @@
+#include "common/epoch.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+#if defined(__SANITIZE_THREAD__)
+#define PS_EPOCH_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PS_EPOCH_TSAN 1
+#endif
+#endif
+
+namespace ps::epoch {
+
+namespace {
+
+/// TSan does not model std::atomic_thread_fence (and gcc rejects it
+/// outright under -fsanitize=thread -Werror=tsan). Under TSan, stand in
+/// a seq_cst RMW on a shared dummy atomic: it carries the same total
+/// order TSan *can* see, at the cost of real contention — acceptable for
+/// a checking build, never compiled into production binaries.
+inline void seq_cst_fence() {
+#ifdef PS_EPOCH_TSAN
+  static std::atomic<unsigned> dummy{0};
+  dummy.fetch_add(1, std::memory_order_seq_cst);
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Live-domain registry: thread-exit slot release must not touch a
+/// domain that was destroyed first, so both sides rendezvous here.
+/// Leaked intentionally (never destroyed) so thread_local destructors
+/// running at process exit always find it alive.
+struct DomainRegistry {
+  Mutex mu;
+  std::unordered_set<Domain*> live GUARDED_BY(mu);
+};
+
+DomainRegistry& registry() {
+  static DomainRegistry* r = new DomainRegistry;
+  return *r;
+}
+
+}  // namespace
+
+/// Per-thread cache of claimed slots, one entry per domain this thread
+/// has pinned. Released at thread exit (under the registry lock, so a
+/// dead domain is skipped, not dereferenced).
+struct ThreadSlots {
+  struct Entry {
+    Domain* domain;
+    int slot;
+  };
+  std::vector<Entry> entries;
+
+  ~ThreadSlots();
+
+  int find(const Domain* domain) const {
+    for (const auto& e : entries) {
+      if (e.domain == domain) return e.slot;
+    }
+    return -1;
+  }
+};
+
+namespace {
+thread_local ThreadSlots tl_slots;
+}  // namespace
+
+Domain::Domain() {
+  auto& reg = registry();
+  MutexLock lock(reg.mu);
+  reg.live.insert(this);
+}
+
+Domain::~Domain() {
+  assert(active_readers() == 0 && "domain destroyed with pinned readers");
+  auto& reg = registry();
+  MutexLock lock(reg.mu);
+  reg.live.erase(this);
+  // retired_ drops its shared_ptrs on destruction; with no readers left
+  // that is the correct final reclaim.
+}
+
+ThreadSlots::~ThreadSlots() {
+  auto& reg = registry();
+  MutexLock lock(reg.mu);
+  for (const auto& e : entries) {
+    if (reg.live.find(e.domain) == reg.live.end()) continue;
+    // A live guard at thread exit would be a caller bug; the slot must
+    // be idle by now. Release the claim so another thread can take it.
+    e.domain->slots_[static_cast<std::size_t>(e.slot)]->epoch.store(
+        Domain::kIdle, std::memory_order_release);
+    e.domain->claimed_[static_cast<std::size_t>(e.slot)].store(false,
+                                                              std::memory_order_release);
+  }
+}
+
+int Domain::slot_for_this_thread() {
+  const int cached = tl_slots.find(this);
+  if (cached >= 0) return cached;
+  for (int i = 0; i < kMaxReaders; ++i) {
+    bool expected = false;
+    if (claimed_[static_cast<std::size_t>(i)].compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel, std::memory_order_relaxed)) {
+      tl_slots.entries.push_back({this, i});
+      return i;
+    }
+  }
+  return -1;
+}
+
+Guard Domain::pin() {
+  const int slot = slot_for_this_thread();
+  if (slot < 0) {
+    throw std::runtime_error("epoch::Domain: more than kMaxReaders concurrent reader threads");
+  }
+  Slot& s = *slots_[static_cast<std::size_t>(slot)];
+  if (s.depth++ == 0) {
+    // Publish the pin before the caller loads the protected pointer: the
+    // seq_cst fence pairs with the writer's pre-scan fence (see header).
+    const u64 e = global_epoch_.load(std::memory_order_acquire);
+    s.epoch.store(e, std::memory_order_relaxed);
+    seq_cst_fence();
+  }
+  return Guard(this, slot);
+}
+
+void Domain::unpin(int slot) {
+  Slot& s = *slots_[static_cast<std::size_t>(slot)];
+  assert(s.depth > 0);
+  if (--s.depth == 0) {
+    // Release order: everything this reader did with the protected
+    // object is visible to the writer that observes the unpin.
+    s.epoch.store(kIdle, std::memory_order_release);
+  }
+}
+
+void Guard::release() {
+  if (domain_ != nullptr) {
+    domain_->unpin(slot_);
+    domain_ = nullptr;
+  }
+}
+
+void Domain::retire(std::shared_ptr<const void> obj) {
+  // The caller unpublished `obj` before calling (program order), so a
+  // reader pinning at >= tag+1 observes the replacement pointer. The
+  // seq_cst RMW is the sync point the pin's acquire load pairs with.
+  const u64 tag = global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  MutexLock lock(mu_);
+  retired_.push_back({std::move(obj), tag});
+  retired_count_.store(retired_.size(), std::memory_order_relaxed);
+}
+
+u64 Domain::min_pinned() const {
+  u64 min = kIdle;
+  for (const auto& slot : slots_) {
+    const u64 e = slot->epoch.load(std::memory_order_acquire);
+    if (e < min) min = e;
+  }
+  return min;
+}
+
+std::size_t Domain::reclaim() {
+  // Pair with the reader-side pin fence: after this fence, any reader
+  // whose pin we fail to observe has already seen the replacement
+  // pointer (and the retirement), so the object is unreachable from it.
+  seq_cst_fence();
+  const u64 min = min_pinned();
+
+  std::vector<std::shared_ptr<const void>> to_drop;  // destroy outside mu_
+  {
+    MutexLock lock(mu_);
+    auto keep = retired_.begin();
+    for (auto it = retired_.begin(); it != retired_.end(); ++it) {
+      if (it->epoch_tag < min) {
+        to_drop.push_back(std::move(it->obj));
+      } else {
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      }
+    }
+    retired_.erase(keep, retired_.end());
+    retired_count_.store(retired_.size(), std::memory_order_relaxed);
+  }
+  return to_drop.size();
+}
+
+std::size_t Domain::retired_pending() const {
+  return retired_count_.load(std::memory_order_relaxed);
+}
+
+int Domain::active_readers() const {
+  int pinned = 0;
+  for (const auto& slot : slots_) {
+    if (slot->epoch.load(std::memory_order_acquire) != kIdle) ++pinned;
+  }
+  return pinned;
+}
+
+}  // namespace ps::epoch

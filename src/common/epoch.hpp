@@ -1,0 +1,167 @@
+// Epoch-based reclamation (the control-plane fault-domain primitive).
+//
+// The data path must read shared state (FIB generations) without ever
+// taking a lock, while the control plane replaces and frees that state
+// under it. Reference counting (shared_ptr snapshots) costs an atomic
+// RMW per reader acquisition and — as FibManager showed — tempts a mutex
+// around the pointer swap. Epochs remove both: a reader *pins* the
+// domain's current epoch into a cacheline-isolated slot (one relaxed
+// store + one fence), loads the published pointer, and unpins when done;
+// a writer retires an unpublished object tagged with the epoch at
+// retirement and reclaims it only once every pinned slot has advanced
+// past that tag. No reader ever writes shared state; no writer ever
+// blocks a reader.
+//
+// Interval-based correctness argument (the classic asymmetric fence
+// pairing):
+//  - The writer publishes the replacement pointer (release), then tags
+//    the old object with `fetch_add` on the epoch counter (seq_cst).
+//  - A reader stores its pin, fences seq_cst, then loads the pointer.
+//  - When the writer later scans the slots (after its own seq_cst
+//    fence), either it observes the pin — and the tag `t` is not below
+//    the pinned epoch, so the object survives — or the reader's fence
+//    ordered after the writer's, in which case the reader's pointer load
+//    observed the *new* pointer and the old object is unreachable from
+//    that reader. Either way no pinned reader can hold a freed pointer.
+//
+// Threads auto-register a slot on first pin (thread-local cache) and
+// release it at thread exit through a global live-domain registry, so
+// short-lived test threads do not leak slots and a domain destroyed
+// before its reader threads exit leaves no dangling release.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/thread_annotations.hpp"
+#include "common/types.hpp"
+
+namespace ps::epoch {
+
+class Domain;
+struct ThreadSlots;
+
+/// RAII pin: readers hold one while dereferencing a pointer published
+/// through the domain. Movable, not copyable; nesting is allowed (the
+/// inner pin reuses the outer's slot and keeps the older epoch, which is
+/// always the safe one).
+class Guard {
+ public:
+  Guard() = default;
+  Guard(Guard&& other) noexcept : domain_(other.domain_), slot_(other.slot_) {
+    other.domain_ = nullptr;
+  }
+  Guard& operator=(Guard&& other) noexcept {
+    if (this != &other) {
+      release();
+      domain_ = other.domain_;
+      slot_ = other.slot_;
+      other.domain_ = nullptr;
+    }
+    return *this;
+  }
+  ~Guard() { release(); }
+
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+  bool pinned() const { return domain_ != nullptr; }
+
+ private:
+  friend class Domain;
+  Guard(Domain* domain, int slot) : domain_(domain), slot_(slot) {}
+  void release();
+
+  Domain* domain_ = nullptr;
+  int slot_ = -1;
+};
+
+/// One reclamation domain: an epoch counter, a bounded set of reader
+/// slots, and the writer-side retired list. Readers are wait-free after
+/// their thread's first pin; retire/reclaim are mutex-serialized (they
+/// run on the control plane).
+class Domain {
+ public:
+  /// Reader slots available per domain. A slot is claimed per *thread*
+  /// on first pin and released at thread exit, so this bounds concurrent
+  /// reader threads, not guards.
+  static constexpr int kMaxReaders = 128;
+  /// Slot value meaning "not pinned".
+  static constexpr u64 kIdle = ~u64{0};
+
+  Domain();
+  ~Domain();
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  /// Pin the current epoch. Wait-free on the hot path (one thread-local
+  /// lookup, one relaxed store, one fence, after the thread's slot is
+  /// claimed). Dereference pointers published with release stores only
+  /// while the returned guard lives.
+  Guard pin();
+
+  /// Writer side: hand `obj` to the domain for deferred destruction. The
+  /// object must already be unpublished (no *new* reader can reach it);
+  /// it is destroyed — i.e. the shared_ptr dropped — once every reader
+  /// pinned at or before the retirement epoch has unpinned. Advances the
+  /// epoch so later pins are distinguishable from the retirement point.
+  void retire(std::shared_ptr<const void> obj);
+
+  /// Writer side: destroy every retired object no pinned reader can
+  /// still hold. With zero pinned readers this frees everything retired
+  /// so far (the zero-reader fast path). Returns the number reclaimed.
+  std::size_t reclaim();
+
+  /// Retired objects still awaiting a safe epoch (gauge; approximate
+  /// while writers run).
+  std::size_t retired_pending() const;
+
+  /// Current epoch (bumped once per retire).
+  u64 epoch() const { return global_epoch_.load(std::memory_order_acquire); }
+
+  /// Slots currently pinned (diagnostic; racy by nature).
+  int active_readers() const;
+
+ private:
+  friend class Guard;
+  friend struct ThreadSlots;  // thread-exit slot release
+
+  struct Slot {
+    std::atomic<u64> epoch{kIdle};
+    /// Owning-thread-only nesting depth (the slot is claimed by exactly
+    /// one thread, so plain storage suffices).
+    u32 depth = 0;
+  };
+
+  /// Claim (or look up) this thread's slot. Returns -1 when all
+  /// kMaxReaders slots are taken.
+  int slot_for_this_thread();
+  void unpin(int slot);
+
+  /// Smallest epoch currently pinned, or kIdle when none are.
+  u64 min_pinned() const;
+
+  struct Retired {
+    std::shared_ptr<const void> obj;
+    u64 epoch_tag = 0;
+  };
+
+  std::atomic<u64> global_epoch_{1};
+  /// Cacheline-isolated: every pin/unpin writes its own slot.
+  std::array<CacheAligned<Slot>, kMaxReaders> slots_;
+  /// Per-slot claim flags: a thread CASes one false->true to own the
+  /// slot for its lifetime. Separate from the hot epoch word so claim
+  /// traffic never bounces the pin cacheline.
+  std::array<std::atomic<bool>, kMaxReaders> claimed_{};
+
+  mutable Mutex mu_;
+  std::vector<Retired> retired_ GUARDED_BY(mu_);
+  /// Mirror of retired_.size() readable without mu_ (telemetry probe).
+  std::atomic<std::size_t> retired_count_{0};
+};
+
+}  // namespace ps::epoch

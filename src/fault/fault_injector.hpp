@@ -40,6 +40,16 @@ struct Point {
   static constexpr std::string_view kLinkFlap = "nic.link_flap";
   /// Master input-queue overflow (worker falls back to CPU shading).
   static constexpr std::string_view kMasterQueue = "core.master_queue";
+  /// FIB updater cannot allocate its standby buffer: the commit attempt
+  /// fails before anything is mutated and the batch stays queued.
+  static constexpr std::string_view kFibUpdateAllocFail = "control.fib_update.alloc_fail";
+  /// FIB updater dies partway through applying a batch: the half-mutated
+  /// standby buffer is discarded, the batch re-queued — the published
+  /// generation must be untouched. Evaluated once per op in the batch.
+  static constexpr std::string_view kFibUpdateCrashMidBatch = "control.fib_update.crash_mid_batch";
+  /// FIB updater thread wedges (stops beating) until the supervisor's
+  /// recovery kicks it. Evaluated once per updater-loop iteration.
+  static constexpr std::string_view kFibUpdateStall = "control.fib_update.stall";
 };
 
 /// One scheduled fault window on a named injection point.

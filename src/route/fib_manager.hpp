@@ -3,44 +3,136 @@
 // tables without disturbing it.
 //
 // The paper names the two candidate mechanisms — incremental update or
-// double buffering — and this implements double buffering: route changes
-// accumulate in the manager, commit() rebuilds a fresh table off the data
-// path, and the data path picks up the new snapshot at its next chunk
-// boundary. In-flight lookups keep the old snapshot alive (shared_ptr),
-// so there is never a torn table.
+// double buffering — and this module now implements both, composed:
+// route changes accumulate as pre-resolved ops, commit applies them
+// *incrementally* to a standby buffer (touching only the TBL24/TBLlong
+// regions they cover) and publishes the buffer as an immutable FIB
+// *generation* through a single atomic pointer. The data path never takes
+// a lock: readers pin an epoch (ps::epoch), load the generation, and look
+// up; a retired generation is destroyed only after every pinned epoch has
+// advanced past its retirement, then its buffer is recycled for a future
+// commit.
+//
+// Commit is transactional. A batch either publishes completely or leaves
+// the published generation untouched: the standby buffer is brought up to
+// date by replaying the op journal, the batch is applied on top, and only
+// then does the atomic pointer move. A fault mid-batch (see the
+// control.fib_update.* points) poisons the standby buffer — it is
+// discarded, the batch is re-queued in order, and the next commit retries
+// against a fresh buffer. The RIB itself is never rolled back; it always
+// reflects what has been announced, and pending ops carry the deltas that
+// still separate it from the published table.
 #pragma once
 
+#include <chrono>
+#include <deque>
 #include <memory>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/epoch.hpp"
 #include "common/thread_annotations.hpp"
+#include "fault/fault_injector.hpp"
 #include "route/ipv4_table.hpp"
 #include "route/ipv6_table.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ps::route {
 
-/// Double-buffered FIB: Table must provide build(span<const Prefix>).
+/// How a try_commit() attempt ended.
+enum class CommitStatus {
+  kClean,       // nothing pending; no new generation
+  kCommitted,   // batch fully applied and published
+  kRolledBack,  // fault hit; published generation untouched, batch re-queued
+};
+
+struct CommitResult {
+  CommitStatus status = CommitStatus::kClean;
+  u64 generation = 0;       // published generation after the attempt
+  std::size_t ops = 0;      // batch size the attempt covered
+  std::size_t slots_written = 0;  // table slots touched (incremental only)
+};
+
+/// Generation-published FIB. Table must provide build(span<const Prefix>);
+/// when it additionally provides apply_resolved(span<const ResolvedIpv4Op>)
+/// (Ipv4Table does), commits are incremental; otherwise each commit is a
+/// from-scratch rebuild, still epoch-published (Ipv6Table today).
 /// KeyFn maps a prefix to a unique (network, length) key.
 template <typename Table, typename Prefix, typename KeyFn>
 class FibManager {
  public:
-  FibManager() : active_(std::make_shared<const Table>()) {}
+  static constexpr bool kIncremental =
+      requires(Table& t, std::span<const ResolvedIpv4Op> ops) { t.apply_resolved(ops); };
 
-  /// Announce (add or replace) a route. Takes effect at commit().
-  void announce(const Prefix& prefix) {
+  /// Lock-free data-path handle: an epoch pin plus the generation it
+  /// protects. Hold for one batch/chunk, then drop — a pin held forever
+  /// blocks reclamation of every later generation.
+  class ReadGuard {
+   public:
+    ReadGuard(epoch::Guard guard, const Table* table)
+        : guard_(std::move(guard)), table_(table) {}
+    const Table* operator->() const { return table_; }
+    const Table& operator*() const { return *table_; }
+    const Table* get() const { return table_; }
+
+   private:
+    epoch::Guard guard_;
+    const Table* table_;
+  };
+
+  FibManager() : pool_(std::make_shared<BufferPool>()) {
+    auto first = wrap(std::make_unique<Generation>(), pool_);
+    current_.store(&first->table, std::memory_order_release);
     MutexLock lock(mu_);
-    rib_[KeyFn{}(prefix)] = prefix;
-    dirty_ = true;
+    active_ = std::move(first);
   }
 
-  /// Withdraw a route. Takes effect at commit(). Returns false when the
-  /// route was not present.
+  ~FibManager() {
+    // Drain retired generations before the pool dies with us. No reader
+    // may still be pinned (the data path must be stopped first).
+    domain_.reclaim();
+  }
+
+  /// Announce (add or replace) a route. Takes effect at the next commit.
+  void announce(const Prefix& prefix) {
+    MutexLock lock(mu_);
+    const u64 key = KeyFn{}(prefix);
+    PendingOp op;
+    op.prefix = prefix;
+    op.announce = true;
+    op.is_new = rib_.find(key) == rib_.end();
+    rib_[key] = prefix;
+    pending_.push_back(op);
+  }
+
+  /// Withdraw a route. Takes effect at the next commit. Returns false when
+  /// the route was not present. The op is resolved against the RIB *now*
+  /// (parent route for the freed range), so applying it later needs no RIB.
   bool withdraw(const Prefix& prefix) {
     MutexLock lock(mu_);
-    const bool erased = rib_.erase(KeyFn{}(prefix)) > 0;
-    dirty_ = dirty_ || erased;
-    return erased;
+    const u64 key = KeyFn{}(prefix);
+    auto it = rib_.find(key);
+    if (it == rib_.end()) return false;
+    PendingOp op;
+    op.prefix = it->second;
+    op.announce = false;
+    rib_.erase(it);
+    if constexpr (kIncremental) {
+      for (int l = static_cast<int>(op.prefix.length) - 1; l >= 0; --l) {
+        Prefix cover = op.prefix;
+        cover.length = static_cast<u8>(l);
+        auto parent = rib_.find(KeyFn{}(cover));
+        if (parent != rib_.end()) {
+          op.parent_nh = parent->second.next_hop;
+          op.parent_depth = parent->second.length;
+          break;
+        }
+      }
+    }
+    pending_.push_back(op);
+    return true;
   }
 
   std::size_t route_count() const {
@@ -48,48 +140,281 @@ class FibManager {
     return rib_.size();
   }
 
-  /// Rebuild the standby table from the RIB and atomically publish it.
-  /// Runs on the control-plane thread; the data path is never blocked.
-  /// Returns the new generation number (unchanged if nothing was dirty).
-  u64 commit() {
-    std::vector<Prefix> prefixes;
-    {
-      MutexLock lock(mu_);
-      if (!dirty_) return generation_;
-      prefixes.reserve(rib_.size());
-      for (const auto& [key, prefix] : rib_) prefixes.push_back(prefix);
-      dirty_ = false;
-    }
-
-    // Build outside the lock: announcements may continue meanwhile (they
-    // will be picked up by the next commit).
-    auto fresh = std::make_shared<Table>();
-    fresh->build(prefixes);
-
+  /// Ops announced/withdrawn but not yet published (re-queued rollbacks
+  /// included).
+  std::size_t pending_updates() const {
     MutexLock lock(mu_);
-    active_ = std::move(fresh);
-    return ++generation_;
+    return pending_.size();
   }
 
-  /// Data-path snapshot: grab once per chunk, keep for the chunk's
-  /// lifetime. Cheap (one ref-count bump under a short lock).
+  /// Apply and publish everything pending. Runs on the control-plane
+  /// thread; the data path is never blocked. Returns the published
+  /// generation (unchanged if nothing was pending).
+  u64 commit() { return try_commit(nullptr).generation; }
+
+  /// Fault-aware commit: one batch attempt. With an injector, the
+  /// control.fib_update.alloc_fail and .crash_mid_batch points can force a
+  /// rollback — the published generation is untouched and the batch is
+  /// re-queued in order for the next attempt (the updater's retry loop).
+  CommitResult try_commit(fault::FaultInjector* injector) {
+    MutexLock writer(commit_mu_);
+    CommitResult result;
+    result.generation = generation_.load(std::memory_order_acquire);
+    {
+      MutexLock lock(mu_);
+      if (pending_.empty()) return result;
+      result.ops = pending_.size();
+    }
+
+    // Deterministic allocation failure: fires before any buffer is
+    // acquired or mutated, so rollback is trivially "do nothing".
+    if (injector != nullptr && injector->should_fire(fault::Point::kFibUpdateAllocFail)) {
+      result.status = CommitStatus::kRolledBack;
+      note_rollback(result.ops);
+      return result;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::unique_ptr<Generation> builder = acquire_buffer();
+
+    // Drain the batch and, in the same critical section, capture what the
+    // builder needs: either the journal suffix that brings it from its own
+    // generation to the published one, or (when the journal no longer
+    // reaches back far enough, or Table has no incremental apply) the full
+    // RIB — which at this instant is exactly published-state + batch.
+    std::vector<PendingOp> batch;
+    std::vector<PendingOp> replay;
+    std::vector<Prefix> full_rib;
+    bool replayable = false;
+    {
+      MutexLock lock(mu_);
+      batch = std::move(pending_);
+      pending_.clear();
+      result.ops = batch.size();
+      if constexpr (kIncremental) {
+        replayable = journal_reaches(builder->gen);
+        if (replayable) {
+          for (const auto& b : journal_) {
+            if (b.gen > builder->gen) {
+              replay.insert(replay.end(), b.ops.begin(), b.ops.end());
+            }
+          }
+        }
+      }
+      if (!replayable) {
+        full_rib.reserve(rib_.size());
+        for (const auto& [key, prefix] : rib_) full_rib.push_back(prefix);
+      }
+    }
+
+    // Mutate the standby buffer outside every lock: announces keep
+    // flowing, lookups never notice.
+    bool crashed = false;
+    if (replayable) {
+      if constexpr (kIncremental) {
+        apply_ops(builder->table, replay, nullptr, &result.slots_written, &crashed);
+        if (!crashed) {
+          result.slots_written = 0;  // report batch work, not catch-up work
+          apply_ops(builder->table, batch, injector, &result.slots_written, &crashed);
+        }
+      }
+    } else {
+      builder->table.build(full_rib);
+      crashed = injector != nullptr &&
+                injector->should_fire(fault::Point::kFibUpdateCrashMidBatch);
+    }
+
+    if (crashed) {
+      // The buffer is part-mutated and unusable; drop it (not pooled) and
+      // put the batch back at the head so op order is preserved.
+      builder.reset();
+      MutexLock lock(mu_);
+      pending_.insert(pending_.begin(), batch.begin(), batch.end());
+      result.status = CommitStatus::kRolledBack;
+      note_rollback(result.ops);
+      return result;
+    }
+
+    // Publish: single atomic pointer swap, then retire the old generation
+    // into the epoch domain. Readers pinned on the old generation keep it
+    // alive; its buffer returns to the pool once the last pin advances.
+    const u64 next_gen = result.generation + 1;
+    builder->gen = next_gen;
+    std::shared_ptr<Generation> fresh = wrap(std::move(builder), pool_);
+    std::shared_ptr<Generation> old;
+    {
+      MutexLock lock(mu_);
+      current_.store(&fresh->table, std::memory_order_release);
+      old = std::exchange(active_, std::move(fresh));
+      generation_.store(next_gen, std::memory_order_release);
+      if constexpr (kIncremental) {
+        journal_.push_back({next_gen, batch});
+        while (journal_.size() > kJournalDepth) journal_.pop_front();
+      }
+    }
+    domain_.retire(std::shared_ptr<const void>(std::move(old)));
+    domain_.reclaim();
+
+    result.status = CommitStatus::kCommitted;
+    result.generation = next_gen;
+    if (applied_ != nullptr) applied_->add(result.ops);
+    if (apply_ns_ != nullptr) {
+      apply_ns_->record(static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                             std::chrono::steady_clock::now() - t0)
+                                             .count()));
+    }
+    return result;
+  }
+
+  /// Data-path read: pin an epoch, load the published generation. No lock,
+  /// no reference-count bump — one relaxed store and one fence after the
+  /// calling thread's first use.
+  ReadGuard read() const {
+    epoch::Guard guard = domain_.pin();
+    return ReadGuard(std::move(guard), current_.load(std::memory_order_acquire));
+  }
+
+  /// Control-plane snapshot (GPU table upload, tests): shared ownership of
+  /// the current generation. Costs a ref-count bump under a short lock —
+  /// fine per sync(), wrong per packet; the data path uses read().
   std::shared_ptr<const Table> snapshot() const {
     MutexLock lock(mu_);
-    return active_;
+    return std::shared_ptr<const Table>(active_, &active_->table);
   }
 
   /// Monotonic table version; bumps on every effective commit.
-  u64 generation() const {
-    MutexLock lock(mu_);
-    return generation_;
+  u64 generation() const { return generation_.load(std::memory_order_acquire); }
+
+  /// Retired generations not yet reclaimed (readers still pinned on them).
+  std::size_t retired_pending() const { return domain_.retired_pending(); }
+
+  /// Export churn telemetry. Call once, for the router's primary FIB: the
+  /// names are fixed (doc-synced), so two managers registering would share
+  /// slots and break the single-writer discipline.
+  void register_metrics(telemetry::MetricsRegistry& registry) {
+    applied_ = registry.counter("fib.updates_applied");
+    rolled_back_ = registry.counter("fib.updates_rolled_back");
+    apply_ns_ = registry.histogram("fib.update_apply_ns");
+    registry.register_probe("fib.generation", telemetry::MetricKind::kGauge,
+                            [this] { return generation(); });
+    registry.register_probe("fib.retired_pending", telemetry::MetricKind::kGauge,
+                            [this] { return static_cast<u64>(domain_.retired_pending()); });
   }
 
  private:
+  /// A route change resolved against the RIB at announce/withdraw time.
+  /// Field-compatible with ResolvedIpv4Op; kept per-Prefix so the same
+  /// journal machinery serves non-incremental tables.
+  struct PendingOp {
+    Prefix prefix;
+    bool announce = true;
+    bool is_new = false;
+    NextHop parent_nh = kNoRoute;
+    u8 parent_depth = 0;
+  };
+
+  /// One table buffer plus the generation whose state it holds.
+  struct Generation {
+    Table table;
+    u64 gen = 0;
+  };
+
+  /// Recycled standby buffers. Buffers come back through the epoch
+  /// domain's reclamation (custom deleter below), so a pooled buffer is
+  /// never still visible to a reader.
+  struct BufferPool {
+    Mutex mu;
+    std::vector<std::unique_ptr<Generation>> free GUARDED_BY(mu);
+  };
+
+  struct Batch {
+    u64 gen = 0;
+    std::vector<PendingOp> ops;
+  };
+
+  /// Journal depth = how far behind a pooled buffer may lag and still be
+  /// caught up incrementally; older buffers trigger a full rebuild. Also
+  /// the memory bound on the journal itself (kJournalDepth batches).
+  static constexpr std::size_t kJournalDepth = 64;
+  /// Buffers kept for reuse; more than the steady-state two (published +
+  /// standby) only transiently, e.g. while a reader pins an old generation.
+  static constexpr std::size_t kPoolDepth = 2;
+
+  static std::shared_ptr<Generation> wrap(std::unique_ptr<Generation> g,
+                                          std::shared_ptr<BufferPool> pool) {
+    return std::shared_ptr<Generation>(g.release(), [pool](Generation* raw) {
+      std::unique_ptr<Generation> owned(raw);
+      MutexLock lock(pool->mu);
+      if (pool->free.size() < kPoolDepth) pool->free.push_back(std::move(owned));
+    });
+  }
+
+  std::unique_ptr<Generation> acquire_buffer() {
+    {
+      MutexLock lock(pool_->mu);
+      if (!pool_->free.empty()) {
+        std::unique_ptr<Generation> g = std::move(pool_->free.back());
+        pool_->free.pop_back();
+        return g;
+      }
+    }
+    return std::make_unique<Generation>();  // fresh buffer holds gen-0 state
+  }
+
+  /// True when the journal contains every batch in (gen, published].
+  bool journal_reaches(u64 gen) const REQUIRES(mu_) {
+    if (journal_.empty()) return gen == generation_.load(std::memory_order_acquire);
+    return gen + 1 >= journal_.front().gen;
+  }
+
+  /// Apply ops in order; with an injector, crash_mid_batch is evaluated
+  /// per op so a batch can die anywhere inside — exactly the partial-apply
+  /// scenario rollback must survive.
+  static void apply_ops(Table& table, const std::vector<PendingOp>& ops,
+                        fault::FaultInjector* injector, std::size_t* slots, bool* crashed) {
+    if constexpr (kIncremental) {
+      for (const auto& op : ops) {
+        if (injector != nullptr &&
+            injector->should_fire(fault::Point::kFibUpdateCrashMidBatch)) {
+          *crashed = true;
+          return;
+        }
+        ResolvedIpv4Op resolved;
+        resolved.prefix = op.prefix;
+        resolved.announce = op.announce;
+        resolved.is_new = op.is_new;
+        resolved.parent_nh = op.parent_nh;
+        resolved.parent_depth = op.parent_depth;
+        *slots += table.apply_resolved(std::span<const ResolvedIpv4Op>(&resolved, 1));
+      }
+    }
+  }
+
+  void note_rollback(std::size_t ops) {
+    if (rolled_back_ != nullptr) rolled_back_->add(ops);
+  }
+
+  /// Serializes writers (commit vs commit); never touched by readers.
+  /// Lock order: commit_mu_ before mu_ before pool_->mu.
+  Mutex commit_mu_;
   mutable Mutex mu_;
-  std::shared_ptr<const Table> active_ GUARDED_BY(mu_);
+  /// Owner of the published generation; current_ aliases into it.
+  std::shared_ptr<Generation> active_ GUARDED_BY(mu_);
   std::unordered_map<u64, Prefix> rib_ GUARDED_BY(mu_);
-  bool dirty_ GUARDED_BY(mu_) = false;
-  u64 generation_ GUARDED_BY(mu_) = 0;
+  std::vector<PendingOp> pending_ GUARDED_BY(mu_);
+  std::deque<Batch> journal_ GUARDED_BY(mu_);
+
+  /// The single atomic pointer readers load. Always points into the
+  /// Generation owned by active_; lifetime beyond the swap is the epoch
+  /// domain's business.
+  std::atomic<const Table*> current_{nullptr};
+  std::atomic<u64> generation_{0};
+  mutable epoch::Domain domain_;
+  std::shared_ptr<BufferPool> pool_;
+
+  telemetry::Counter* applied_ = nullptr;
+  telemetry::Counter* rolled_back_ = nullptr;
+  telemetry::HistogramMetric* apply_ns_ = nullptr;
 };
 
 struct Ipv4PrefixKey {

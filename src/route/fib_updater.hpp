@@ -1,0 +1,96 @@
+// FIB updater thread: the control plane as a supervised fault domain.
+//
+// Announce/withdraw calls land in the FibManager's pending queue from any
+// thread; this thread is the single committer, pumping batches through
+// try_commit() under the retry/backoff discipline. A rolled-back batch
+// (control.fib_update.alloc_fail / .crash_mid_batch) stays queued and is
+// retried after a bounded exponential backoff, so a burst of faults delays
+// churn but never drops or reorders a route update. The thread carries a
+// Heartbeat; attach_supervisor() registers it so a wedged updater
+// (control.fib_update.stall) is detected like any hung worker, kicked by
+// the supervisor's recovery, and churn resumes — any in-flight batch was
+// either fully published or already rolled back to the queue, so recovery
+// never sees a torn generation.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "common/heartbeat.hpp"
+#include "common/thread_annotations.hpp"
+#include "fault/fault_injector.hpp"
+#include "route/fib_manager.hpp"
+#include "supervise/supervisor.hpp"
+
+namespace ps::route {
+
+struct FibUpdaterConfig {
+  /// Queue-empty poll interval (the updater sleeps on a condvar, so an
+  /// explicit kick() or stop() wakes it immediately).
+  std::chrono::milliseconds poll_interval{1};
+  /// First retry delay after a rolled-back commit; doubles per consecutive
+  /// rollback up to backoff_cap, resets on success.
+  std::chrono::microseconds backoff_base{50};
+  std::chrono::microseconds backoff_cap{5000};
+};
+
+class FibUpdater {
+ public:
+  FibUpdater(Ipv4Fib& fib, FibUpdaterConfig config = {},
+             fault::FaultInjector* injector = nullptr);
+  ~FibUpdater();
+
+  FibUpdater(const FibUpdater&) = delete;
+  FibUpdater& operator=(const FibUpdater&) = delete;
+
+  /// Spawn the updater thread. Idempotent.
+  void start();
+  /// Stop and join. Pending updates stay queued in the FibManager.
+  void stop();
+
+  /// Unwedge a stalled updater (the supervisor's recovery action; also
+  /// usable directly in tests). Safe from any thread, any time.
+  void kick();
+
+  /// Block until every update queued so far is published (tests/benches).
+  /// The updater must be running; faults may delay but not prevent this —
+  /// callers arm bounded fault windows.
+  void drain();
+
+  /// Register this thread with a supervisor: stall -> kick. Returns the
+  /// supervisor thread id. Call before supervisor.start().
+  int attach_supervisor(supervise::Supervisor& supervisor);
+
+  const Heartbeat* heartbeat() const { return &hb_; }
+
+  u64 commits() const { return commits_.load(std::memory_order_relaxed); }
+  u64 rollbacks() const { return rollbacks_.load(std::memory_order_relaxed); }
+  /// Times a stall-wedge was broken by kick().
+  u64 stall_recoveries() const { return stall_recoveries_.load(std::memory_order_relaxed); }
+
+ private:
+  void run();
+  /// Wedge (heartbeat silent) until kick() or stop(). Returns false when
+  /// stopping.
+  bool wedge_until_kicked();
+
+  Ipv4Fib& fib_;
+  FibUpdaterConfig config_;
+  fault::FaultInjector* injector_;
+
+  Heartbeat hb_;
+  std::thread thread_;  // start()/stop() caller's thread only
+
+  Mutex mu_;
+  CondVar cv_;
+  bool running_ GUARDED_BY(mu_) = false;
+  bool stop_requested_ GUARDED_BY(mu_) = false;
+  bool kicked_ GUARDED_BY(mu_) = false;
+  bool committing_ GUARDED_BY(mu_) = false;
+
+  std::atomic<u64> commits_{0};
+  std::atomic<u64> rollbacks_{0};
+  std::atomic<u64> stall_recoveries_{0};
+};
+
+}  // namespace ps::route

@@ -6,11 +6,13 @@
 
 namespace ps::route {
 
-Ipv4Table::Ipv4Table() : tbl24_(1u << 24, kNoRoute) {}
+Ipv4Table::Ipv4Table() : tbl24_(1u << 24, kNoRoute), depth24_(1u << 24, 0) {}
 
 void Ipv4Table::build(std::span<const Ipv4Prefix> prefixes) {
   std::fill(tbl24_.begin(), tbl24_.end(), kNoRoute);
+  std::fill(depth24_.begin(), depth24_.end(), u8{0});
   tbl_long_.clear();
+  depth_long_.clear();
   prefix_count_ = prefixes.size();
 
   // Insert in ascending prefix-length order so longer prefixes overwrite
@@ -36,28 +38,132 @@ void Ipv4Table::build(std::span<const Ipv4Prefix> prefixes) {
           continue;
         }
         entry = p.next_hop;
+        depth24_[first + i] = p.length;
       }
     } else {
-      const u32 idx24 = net >> 8;
-      u16& entry = tbl24_[idx24];
-      u32 chunk;
-      if (entry & kLongFlag) {
-        chunk = entry & ~kLongFlag;
-      } else {
-        // First >24-bit prefix under this /24: allocate an overflow chunk
-        // seeded with the current (shorter-prefix) next hop.
-        chunk = static_cast<u32>(tbl_long_.size() / kChunk);
-        if (chunk >= kLongFlag) throw std::length_error("too many >24-bit prefixes");
-        tbl_long_.insert(tbl_long_.end(), kChunk, entry);
-        entry = static_cast<u16>(kLongFlag | chunk);
-      }
+      const u32 chunk = chunk_for(net >> 8);
       const u32 first = net & 0xff;
       const u32 count = u32{1} << (32 - p.length);
       for (u32 i = 0; i < count; ++i) {
         tbl_long_[chunk * kChunk + first + i] = p.next_hop;
+        depth_long_[chunk * kChunk + first + i] = p.length;
       }
     }
   }
+}
+
+u32 Ipv4Table::chunk_for(u32 idx24) {
+  u16& entry = tbl24_[idx24];
+  if (entry & kLongFlag) return entry & ~kLongFlag;
+  // First >24-bit prefix under this /24: allocate an overflow chunk seeded
+  // with the current (shorter-prefix) next hop and its depth.
+  const u32 chunk = static_cast<u32>(tbl_long_.size() / kChunk);
+  if (chunk >= kLongFlag) throw std::length_error("too many >24-bit prefixes");
+  tbl_long_.insert(tbl_long_.end(), kChunk, entry);
+  depth_long_.insert(depth_long_.end(), kChunk, depth24_[idx24]);
+  entry = static_cast<u16>(kLongFlag | chunk);
+  return chunk;
+}
+
+std::size_t Ipv4Table::apply_resolved(std::span<const ResolvedIpv4Op> ops) {
+  std::size_t written = 0;
+  for (const auto& op : ops) written += apply_one(op);
+  return written;
+}
+
+std::size_t Ipv4Table::apply_one(const ResolvedIpv4Op& op) {
+  const auto& p = op.prefix;
+  assert(p.length <= 32);
+  assert(p.next_hop < kLongFlag);
+  const u32 net = p.network();
+  std::size_t written = 0;
+
+  if (op.announce) {
+    if (p.length <= 24) {
+      // Overwrite every slot whose current route is no more specific than
+      // us. Flagged /24s descend into their chunk: the chunk's shallow
+      // slots (depth <= L) re-resolve to the new route, the deep ones
+      // (the >24 prefixes that caused the chunk) are untouched.
+      const u32 first = net >> 8;
+      const u32 count = u32{1} << (24 - p.length);
+      for (u32 i = 0; i < count; ++i) {
+        u16& entry = tbl24_[first + i];
+        if (entry & kLongFlag) {
+          const u32 base = (entry & ~kLongFlag) * kChunk;
+          for (u32 s = 0; s < kChunk; ++s) {
+            if (depth_long_[base + s] <= p.length) {
+              tbl_long_[base + s] = p.next_hop;
+              depth_long_[base + s] = p.length;
+              ++written;
+            }
+          }
+        } else if (depth24_[first + i] <= p.length) {
+          entry = p.next_hop;
+          depth24_[first + i] = p.length;
+          ++written;
+        }
+      }
+    } else {
+      const u32 base = chunk_for(net >> 8) * kChunk;
+      const u32 first = net & 0xff;
+      const u32 count = u32{1} << (32 - p.length);
+      for (u32 i = 0; i < count; ++i) {
+        if (depth_long_[base + first + i] <= p.length) {
+          tbl_long_[base + first + i] = p.next_hop;
+          depth_long_[base + first + i] = p.length;
+          ++written;
+        }
+      }
+    }
+    if (op.is_new) ++prefix_count_;
+    return written;
+  }
+
+  // Withdraw: slots at exactly our depth are the ones whose LPM we were;
+  // they fall back to the pre-resolved parent. More-specific slots keep
+  // their route; shallower slots were never ours. Overflow chunks are
+  // never deallocated (layout may diverge from build(); lookups cannot
+  // tell, and the next announce under that /24 reuses the chunk).
+  assert(p.length == 0 || op.parent_depth < p.length);
+  if (p.length <= 24) {
+    const u32 first = net >> 8;
+    const u32 count = u32{1} << (24 - p.length);
+    for (u32 i = 0; i < count; ++i) {
+      u16& entry = tbl24_[first + i];
+      if (entry & kLongFlag) {
+        const u32 base = (entry & ~kLongFlag) * kChunk;
+        for (u32 s = 0; s < kChunk; ++s) {
+          if (depth_long_[base + s] == p.length) {
+            tbl_long_[base + s] = op.parent_nh;
+            depth_long_[base + s] = op.parent_depth;
+            ++written;
+          }
+        }
+      } else if (depth24_[first + i] == p.length) {
+        entry = op.parent_nh;
+        depth24_[first + i] = op.parent_depth;
+        ++written;
+      }
+    }
+  } else {
+    const u16 entry = tbl24_[net >> 8];
+    // No chunk means the announce that would have created it never
+    // committed; nothing to undo.
+    if (entry & kLongFlag) {
+      const u32 base = (entry & ~kLongFlag) * kChunk;
+      const u32 first = net & 0xff;
+      const u32 count = u32{1} << (32 - p.length);
+      for (u32 i = 0; i < count; ++i) {
+        if (depth_long_[base + first + i] == p.length) {
+          tbl_long_[base + first + i] = op.parent_nh;
+          depth_long_[base + first + i] = op.parent_depth;
+          ++written;
+        }
+      }
+    }
+  }
+  if (prefix_count_ > 0) --prefix_count_;
+  return written;
 }
 
 NextHop Ipv4Table::lookup(net::Ipv4Addr addr, int* probes) const {

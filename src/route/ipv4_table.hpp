@@ -31,14 +31,43 @@ struct Ipv4Prefix {
   }
 };
 
+/// One route change, pre-resolved against the RIB by the control plane so
+/// the table mutation itself is RIB-free: a withdraw carries the next hop
+/// and depth of the longest strictly-shorter covering prefix (the route
+/// that becomes the LPM for the withdrawn range), an announce carries
+/// whether it inserts a new prefix or replaces an existing one's next hop.
+struct ResolvedIpv4Op {
+  Ipv4Prefix prefix;
+  bool announce = true;
+  /// Announce only: true when the prefix was not previously in the RIB
+  /// (maintains prefix_count()).
+  bool is_new = false;
+  /// Withdraw only: the covering route the freed range falls back to
+  /// (kNoRoute / depth 0 when the withdrawn prefix had no parent).
+  NextHop parent_nh = kNoRoute;
+  u8 parent_depth = 0;
+};
+
 class Ipv4Table {
  public:
   Ipv4Table();
 
   /// Build the table from a prefix set (longest-prefix semantics; when the
-  /// same prefix appears twice the last next hop wins). The paper treats
-  /// tables as static (section 6), so updates are whole-table rebuilds.
+  /// same prefix appears twice the last next hop wins). Used for the
+  /// initial load and for the from-scratch oracle; steady-state churn goes
+  /// through apply_resolved().
   void build(std::span<const Ipv4Prefix> prefixes);
+
+  /// Incremental DIR-24-8 update (the rte_lpm depth-metadata scheme): an
+  /// announce of length L overwrites exactly the entries whose current
+  /// depth is <= L inside the prefix's range; a withdraw resets entries at
+  /// depth == L to the pre-resolved parent. Touches only the TBL24 range
+  /// and TBLlong chunks the ops cover — the whole point versus build().
+  /// Lookup results afterwards are identical to build() over the updated
+  /// RIB (overflow chunks are never deallocated on withdraw, so raw chunk
+  /// layout may differ; lookups cannot tell). Returns table slots written,
+  /// the per-batch work metric bench_fib_churn reports.
+  std::size_t apply_resolved(std::span<const ResolvedIpv4Op> ops);
 
   /// Longest-prefix-match lookup. `probes`, when non-null, receives the
   /// number of memory accesses performed (1 or 2) for cost accounting.
@@ -137,8 +166,20 @@ class Ipv4Table {
     }
   }
 
+  std::size_t apply_one(const ResolvedIpv4Op& op);
+  /// Allocate (or find) the overflow chunk under tbl24_[idx24], seeding a
+  /// fresh chunk with the entry and depth currently covering that /24.
+  u32 chunk_for(u32 idx24);
+
   std::vector<u16> tbl24_;     // 2^24 entries
   std::vector<u16> tbl_long_;  // kChunk entries per overflow chunk
+  /// Depth metadata mirroring tbl24_/tbl_long_: the prefix length of the
+  /// route each slot currently resolves to (0 for both "no route" and a
+  /// /0 default — apply_resolved treats them identically, correctly).
+  /// Only the control plane reads or writes these; lookups never touch
+  /// them, so they cost no data-path cache footprint.
+  std::vector<u8> depth24_;
+  std::vector<u8> depth_long_;
   std::size_t prefix_count_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "route/rib_gen.hpp"
 
 #include <array>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace ps::route {
@@ -40,6 +41,11 @@ constexpr std::array<double, 33> kIpv4LengthWeights = [] {
   return w;
 }();
 
+// Networks available at a given length with the first octet in [1, 223].
+constexpr u64 ipv4_length_capacity(int length) {
+  return u64{223} << (length - 8);
+}
+
 int sample_ipv4_length(Rng& rng) {
   const double r = rng.next_double();
   double acc = 0.0;
@@ -68,8 +74,15 @@ std::vector<Ipv4Prefix> generate_ipv4_rib(const RibGenConfig& config) {
   std::unordered_set<u64> seen;
   seen.reserve(config.prefix_count * 2);
 
+  // At million-prefix scale the short lengths saturate (there are only
+  // 223 usable /8s); once a length class is full, resample rather than
+  // draw collisions forever. The surplus lands on the long lengths, which
+  // have capacity to spare through a few hundred million prefixes.
+  std::array<u64, 33> per_length{};
+
   while (prefixes.size() < config.prefix_count) {
     const int length = sample_ipv4_length(rng);
+    if (per_length[static_cast<std::size_t>(length)] >= ipv4_length_capacity(length)) continue;
     // Bias networks away from reserved space: first octet in [1, 223].
     const u32 first_octet = static_cast<u32>(rng.next_range(1, 223));
     const u32 rest = rng.next_u32() & 0x00ffffff;
@@ -79,6 +92,7 @@ std::vector<Ipv4Prefix> generate_ipv4_rib(const RibGenConfig& config) {
 
     const u64 key = (static_cast<u64>(network) << 8) | static_cast<u64>(length);
     if (!seen.insert(key).second) continue;
+    ++per_length[static_cast<std::size_t>(length)];
 
     prefixes.push_back(Ipv4Prefix{
         .addr = net::Ipv4Addr(network),
@@ -87,6 +101,53 @@ std::vector<Ipv4Prefix> generate_ipv4_rib(const RibGenConfig& config) {
     });
   }
   return prefixes;
+}
+
+std::vector<Ipv4ChurnOp> generate_ipv4_churn(std::span<const Ipv4Prefix> base,
+                                             std::size_t count, u16 num_next_hops, u64 seed) {
+  Rng rng(seed);
+  // Live set at the current point in the stream, keyed (network, length).
+  std::vector<Ipv4Prefix> live(base.begin(), base.end());
+  std::unordered_map<u64, std::size_t> index;
+  index.reserve(live.size() * 2);
+  const auto key_of = [](const Ipv4Prefix& p) {
+    return (static_cast<u64>(p.network()) << 8) | static_cast<u64>(p.length);
+  };
+  for (std::size_t i = 0; i < live.size(); ++i) index.emplace(key_of(live[i]), i);
+
+  std::vector<Ipv4ChurnOp> ops;
+  ops.reserve(count);
+  while (ops.size() < count) {
+    const u64 roll = rng.next_below(100);
+    if (roll < 45 && !live.empty()) {
+      // Next-hop replacement on a live prefix (the common BGP case).
+      auto& p = live[rng.next_below(live.size())];
+      p.next_hop = static_cast<NextHop>(rng.next_below(num_next_hops));
+      ops.push_back({p, true});
+    } else if (roll < 75 || live.empty()) {
+      // Fresh announcement, unique against the live set.
+      const int length = sample_ipv4_length(rng);
+      const u32 first_octet = static_cast<u32>(rng.next_range(1, 223));
+      const u32 addr = (first_octet << 24) | (rng.next_u32() & 0x00ffffff);
+      const u32 mask = static_cast<u32>(~((u64{1} << (32 - length)) - 1));
+      const Ipv4Prefix p{net::Ipv4Addr(addr & mask), static_cast<u8>(length),
+                         static_cast<NextHop>(rng.next_below(num_next_hops))};
+      if (index.contains(key_of(p))) continue;
+      index.emplace(key_of(p), live.size());
+      live.push_back(p);
+      ops.push_back({p, true});
+    } else {
+      // Withdrawal of a live prefix (swap-remove keeps picks O(1)).
+      const std::size_t i = rng.next_below(live.size());
+      const Ipv4Prefix victim = live[i];
+      index.erase(key_of(victim));
+      live[i] = live.back();
+      live.pop_back();
+      if (i < live.size()) index[key_of(live[i])] = i;
+      ops.push_back({victim, false});
+    }
+  }
+  return ops;
 }
 
 std::vector<Ipv6Prefix> generate_ipv6_rib(std::size_t count, u16 num_next_hops, u64 seed) {

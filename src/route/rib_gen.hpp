@@ -40,6 +40,23 @@ std::vector<Ipv6Prefix> generate_ipv6_rib(std::size_t count = kPaperIpv6PrefixCo
 /// (fractions over lengths 8..32), exposed for tests.
 double ipv4_length_fraction(int length);
 
+/// One step of a control-plane churn stream.
+struct Ipv4ChurnOp {
+  Ipv4Prefix prefix;
+  bool announce = true;  // false: withdraw (prefix.next_hop ignored)
+};
+
+/// Deterministic announce/withdraw stream over a base RIB: a mix of
+/// next-hop replacements on live prefixes, fresh announcements, and
+/// withdrawals. The stream is internally consistent — every withdrawal
+/// targets a prefix live at that point (base RIB plus earlier
+/// announcements, minus earlier withdrawals), so replaying it in order
+/// through FibManager::announce/withdraw never fails. Drives the churn
+/// chaos test and bench_fib_churn.
+std::vector<Ipv4ChurnOp> generate_ipv4_churn(std::span<const Ipv4Prefix> base,
+                                             std::size_t count,
+                                             u16 num_next_hops = 8, u64 seed = 2010);
+
 /// Destination pools covered by a RIB: each address lies inside a random
 /// prefix of the table (random host bits), so every generated packet has a
 /// route. Used by the throughput benches (a miss would drop the packet and

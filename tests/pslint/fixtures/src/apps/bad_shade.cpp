@@ -1,0 +1,21 @@
+// Fixture for the read-path-lock rule in apps/: the per-packet stages
+// (shade_cpu/process_cpu/pre_shade/post_shade) must reach the FIB through
+// the epoch-pinned read(); control-plane functions like sync() may keep
+// the ref-counted snapshot().
+struct Fib { const int* snapshot(); };
+struct Job { Fib* fib; };
+
+void shade_cpu(Job& job) {
+  const int* table = job.fib->snapshot();  // FIRES
+  (void)table;
+}
+
+void process_cpu(Job& job) {
+  std::lock_guard guard(job);  // FIRES: lock acquisition per packet chunk
+  (void)guard;
+}
+
+int sync(Job& job) {
+  const int* table = job.fib->snapshot();  // ok: control-plane refresh
+  return table != nullptr;
+}

@@ -1,0 +1,13 @@
+// Fixture for the read-path-lock rule in core/: batch drivers may take
+// their own (GPU-health) locks, so those are not flagged — but reaching
+// the FIB through the mutex-taking snapshot() is.
+struct Mutex {};
+struct MutexLock { explicit MutexLock(Mutex*); };
+struct Fib { const int* snapshot(); };
+struct Node { Mutex health_mu; Fib* fib; };
+
+int shade_batch(Node& node) {
+  MutexLock lock(&node.health_mu);          // ok: core may take non-FIB locks
+  const int* table = node.fib->snapshot();  // FIRES
+  return table != nullptr;
+}

@@ -1,0 +1,29 @@
+// Fixture for the read-path-lock rule in route/: lookup leaves must not
+// take locks or fall back to the mutex-taking snapshot(). An allow
+// comment quiets a site that is genuinely off the fast path, and helper
+// names that merely contain "lookup" never match.
+struct Mutex {};
+struct MutexLock { explicit MutexLock(Mutex*); };
+struct Fib {
+  Mutex mu;
+  const int* snapshot();
+  int lookup(unsigned addr);
+  int lookup_batch(const unsigned* addrs, int n);
+  int lookup_debug_dump(unsigned addr);
+};
+
+int Fib::lookup(unsigned addr) {
+  MutexLock lock(&mu);  // FIRES: lock acquisition on the per-packet path
+  return static_cast<int>(addr);
+}
+
+int Fib::lookup_batch(const unsigned* addrs, int n) {
+  const int* table = this->snapshot();  // FIRES: takes the manager mutex
+  return table[addrs[0] % n];
+}
+
+int Fib::lookup_debug_dump(unsigned addr) {
+  // pslint: allow(read-path-lock) debug dump, never on the data path
+  MutexLock lock(&mu);  // ok: allow comment
+  return static_cast<int>(addr);
+}

@@ -1,0 +1,191 @@
+// FibManager generation semantics: lock-free reads across publishes,
+// transactional commits under the control.fib_update.* fault points
+// (published generation untouched, batch re-queued, retry converges),
+// journal replay onto recycled buffers, and churn telemetry.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "route/fib_manager.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ps::route {
+namespace {
+
+net::Ipv4Addr ip(u32 v) { return net::Ipv4Addr{v}; }
+
+Ipv4Prefix pfx(u32 addr, u8 len, NextHop nh) { return Ipv4Prefix{ip(addr), len, nh}; }
+
+TEST(FibGenerations, ReaderPinnedAcrossPublishKeepsItsGeneration) {
+  Ipv4Fib fib;
+  fib.announce(pfx(0x0A000000, 8, 1));
+  fib.commit();
+
+  auto old_reader = fib.read();
+  EXPECT_EQ(old_reader->lookup(ip(0x0A010203)), NextHop{1});
+
+  // Two more generations while the reader stays pinned.
+  fib.announce(pfx(0x0A010000, 16, 2));
+  fib.commit();
+  fib.announce(pfx(0x0A010200, 24, 3));
+  fib.commit();
+  EXPECT_GE(fib.retired_pending(), 1u);
+
+  // The pinned reader still sees its generation, bit for bit.
+  EXPECT_EQ(old_reader->lookup(ip(0x0A010203)), NextHop{1});
+  // A fresh reader sees the newest.
+  EXPECT_EQ(fib.read()->lookup(ip(0x0A010203)), NextHop{3});
+}
+
+TEST(FibGenerations, RetiredGenerationsDrainAfterReadersUnpin) {
+  Ipv4Fib fib;
+  fib.announce(pfx(0x0A000000, 8, 1));
+  fib.commit();
+  {
+    auto reader = fib.read();
+    fib.announce(pfx(0x0B000000, 8, 2));
+    fib.commit();
+    EXPECT_GE(fib.retired_pending(), 1u);
+  }
+  // Reader gone: the next commit's reclaim pass frees everything retired.
+  fib.announce(pfx(0x0C000000, 8, 3));
+  fib.commit();
+  EXPECT_EQ(fib.retired_pending(), 0u);
+}
+
+TEST(FibGenerations, AllocFailRollsBackBeforeAnyMutation) {
+  Ipv4Fib fib;
+  fault::FaultInjector chaos(42);
+  chaos.add_rule({std::string(fault::Point::kFibUpdateAllocFail), 0, 1, 1.0});
+
+  fib.announce(pfx(0x0A000000, 8, 1));
+  const auto failed = fib.try_commit(&chaos);
+  EXPECT_EQ(failed.status, CommitStatus::kRolledBack);
+  EXPECT_EQ(fib.generation(), 0u);
+  EXPECT_EQ(fib.read()->lookup(ip(0x0A000001)), kNoRoute);
+  EXPECT_EQ(fib.pending_updates(), 1u);
+
+  // Fault window over: the re-queued batch commits cleanly.
+  const auto retried = fib.try_commit(&chaos);
+  EXPECT_EQ(retried.status, CommitStatus::kCommitted);
+  EXPECT_EQ(retried.ops, 1u);
+  EXPECT_EQ(fib.generation(), 1u);
+  EXPECT_EQ(fib.read()->lookup(ip(0x0A000001)), NextHop{1});
+}
+
+TEST(FibGenerations, CrashMidBatchLeavesPublishedGenerationUntouched) {
+  Ipv4Fib fib;
+  fib.announce(pfx(0x0A000000, 8, 1));
+  fib.announce(pfx(0x0B000000, 8, 2));
+  fib.commit();
+  const u64 committed_gen = fib.generation();
+
+  // Crash on the 2nd op of the 3-op batch: partial apply, then rollback.
+  fault::FaultInjector chaos(43);
+  chaos.add_rule({std::string(fault::Point::kFibUpdateCrashMidBatch), 1, 1, 1.0});
+  fib.announce(pfx(0x0A0A0000, 16, 7));
+  fib.announce(pfx(0x0B0B0000, 16, 8));
+  ASSERT_TRUE(fib.withdraw(pfx(0x0B000000, 8, 0)));
+
+  const auto failed = fib.try_commit(&chaos);
+  EXPECT_EQ(failed.status, CommitStatus::kRolledBack);
+  EXPECT_EQ(fib.generation(), committed_gen);
+  EXPECT_EQ(fib.pending_updates(), 3u);
+  // Published lookups: exactly the pre-batch world.
+  EXPECT_EQ(fib.read()->lookup(ip(0x0A0A0001)), NextHop{1});
+  EXPECT_EQ(fib.read()->lookup(ip(0x0B000001)), NextHop{2});
+
+  // Retry with the window passed: all three ops land atomically.
+  const auto retried = fib.try_commit(&chaos);
+  EXPECT_EQ(retried.status, CommitStatus::kCommitted);
+  EXPECT_EQ(retried.ops, 3u);
+  EXPECT_EQ(fib.read()->lookup(ip(0x0A0A0001)), NextHop{7});
+  EXPECT_EQ(fib.read()->lookup(ip(0x0B0B0001)), NextHop{8});
+  EXPECT_EQ(fib.read()->lookup(ip(0x0B000001)), kNoRoute);
+  EXPECT_EQ(fib.route_count(), 3u);
+}
+
+TEST(FibGenerations, JournalReplayOntoRecycledBuffersMatchesRebuild) {
+  // Many commits so buffers cycle publish -> retire -> pool -> replay.
+  // After each commit, the published table must agree with a from-scratch
+  // build of the same RIB (the differential oracle).
+  Ipv4Fib fib;
+  std::vector<Ipv4Prefix> rib;
+
+  auto check = [&] {
+    Ipv4Table oracle;
+    oracle.build(rib);
+    auto reader = fib.read();
+    for (u32 a = 0x0A000000; a < 0x0A000000 + 0x40000; a += 0x1777) {
+      ASSERT_EQ(reader->lookup(ip(a)), oracle.lookup(ip(a))) << "addr=" << a;
+    }
+  };
+
+  for (u32 i = 0; i < 40; ++i) {
+    const u8 len = static_cast<u8>(10 + (i * 7) % 23);  // 10..32
+    const u32 addr = 0x0A000000 + i * 0x1663;
+    const Ipv4Prefix p = pfx(addr, len, static_cast<NextHop>(1 + i % 9));
+    fib.announce(p);
+    rib.push_back(Ipv4Prefix{ip(p.network()), len, p.next_hop});
+    if (i % 3 == 2) {
+      // Withdraw the prefix announced two rounds ago.
+      const Ipv4Prefix victim = rib[rib.size() - 3];
+      ASSERT_TRUE(fib.withdraw(victim));
+      rib.erase(rib.end() - 3);
+    }
+    const auto result = fib.try_commit(nullptr);
+    ASSERT_EQ(result.status, CommitStatus::kCommitted);
+    check();
+  }
+  EXPECT_EQ(fib.generation(), 40u);
+}
+
+TEST(FibGenerations, ChurnTelemetryCounts) {
+  telemetry::MetricsRegistry registry;
+  Ipv4Fib fib;
+  fib.register_metrics(registry);
+
+  fault::FaultInjector chaos(44);
+  chaos.add_rule({std::string(fault::Point::kFibUpdateAllocFail), 0, 1, 1.0});
+
+  fib.announce(pfx(0x0A000000, 8, 1));
+  fib.announce(pfx(0x0B000000, 8, 2));
+  EXPECT_EQ(fib.try_commit(&chaos).status, CommitStatus::kRolledBack);
+  EXPECT_EQ(fib.try_commit(&chaos).status, CommitStatus::kCommitted);
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.value("fib.updates_applied"), 2u);
+  EXPECT_EQ(snap.value("fib.updates_rolled_back"), 2u);
+  EXPECT_EQ(snap.value("fib.generation"), 1u);
+  EXPECT_EQ(snap.value("fib.retired_pending"), 0u);
+  bool found_hist = false;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name == "fib.update_apply_ns") {
+      found_hist = true;
+      EXPECT_EQ(h.count, 1u);
+    }
+  }
+  EXPECT_TRUE(found_hist);
+}
+
+TEST(FibGenerations, Ipv6FullRebuildPathHonorsFaultPoints) {
+  Ipv6Fib fib;
+  static_assert(!Ipv6Fib::kIncremental);
+  fault::FaultInjector chaos(45);
+  chaos.add_rule({std::string(fault::Point::kFibUpdateCrashMidBatch), 0, 1, 1.0});
+
+  Ipv6Prefix p;
+  p.addr = net::Ipv6Addr::from_words(0x2001'0db8'0000'0000ULL, 0);
+  p.length = 32;
+  p.next_hop = 4;
+  fib.announce(p);
+  EXPECT_EQ(fib.try_commit(&chaos).status, CommitStatus::kRolledBack);
+  EXPECT_EQ(fib.generation(), 0u);
+  EXPECT_EQ(fib.try_commit(&chaos).status, CommitStatus::kCommitted);
+  EXPECT_EQ(fib.generation(), 1u);
+  EXPECT_EQ(fib.read()->lookup(p.addr), NextHop{4});
+}
+
+}  // namespace
+}  // namespace ps::route

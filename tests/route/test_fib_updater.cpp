@@ -1,0 +1,108 @@
+// FibUpdater: the supervised commit pump. Retry/backoff after rolled-back
+// commits, stall-wedge detection through the Supervisor with kick-based
+// recovery, and drain semantics under fault windows.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "fault/fault_injector.hpp"
+#include "route/fib_updater.hpp"
+#include "supervise/supervisor.hpp"
+
+namespace ps::route {
+namespace {
+
+using namespace std::chrono_literals;
+
+net::Ipv4Addr ip(u32 v) { return net::Ipv4Addr{v}; }
+Ipv4Prefix pfx(u32 addr, u8 len, NextHop nh) { return Ipv4Prefix{ip(addr), len, nh}; }
+
+TEST(FibUpdater, PumpsQueuedUpdatesToPublication) {
+  Ipv4Fib fib;
+  FibUpdater updater(fib);
+  updater.start();
+
+  for (u32 i = 0; i < 32; ++i) {
+    fib.announce(pfx(0x0A000000 + (i << 16), 16, static_cast<NextHop>(1 + i % 7)));
+  }
+  updater.drain();
+  EXPECT_EQ(fib.pending_updates(), 0u);
+  EXPECT_GE(updater.commits(), 1u);
+  EXPECT_EQ(fib.route_count(), 32u);
+  EXPECT_EQ(fib.read()->lookup(ip(0x0A050001)), NextHop{6});
+  updater.stop();
+}
+
+TEST(FibUpdater, RetriesRolledBackBatchesWithBackoff) {
+  Ipv4Fib fib;
+  fault::FaultInjector chaos(7);
+  // Every commit attempt rolls back for the first 3 tries, then succeeds.
+  chaos.add_rule({std::string(fault::Point::kFibUpdateAllocFail), 0, 3, 1.0});
+
+  FibUpdater updater(fib, {}, &chaos);
+  updater.start();
+  fib.announce(pfx(0x0A000000, 8, 1));
+  updater.drain();
+  updater.stop();
+
+  EXPECT_GE(updater.rollbacks(), 3u);
+  EXPECT_GE(updater.commits(), 1u);
+  EXPECT_EQ(fib.generation(), 1u);
+  EXPECT_EQ(fib.read()->lookup(ip(0x0A000001)), NextHop{1});
+}
+
+TEST(FibUpdater, SupervisorDetectsStallAndKickRestartsChurn) {
+  Ipv4Fib fib;
+  fault::FaultInjector chaos(9);
+  // Wedge once, on the second loop iteration.
+  chaos.add_rule({std::string(fault::Point::kFibUpdateStall), 1, 1, 1.0});
+
+  FibUpdater updater(fib, {}, &chaos);
+  supervise::Supervisor supervisor({.check_interval = 1ms, .stall_window = 5ms});
+  const int tid = updater.attach_supervisor(supervisor);
+  updater.start();
+  supervisor.start();
+
+  fib.announce(pfx(0x0A000000, 8, 1));
+  // The updater wedges; only the supervisor's stall->kick recovery can
+  // resume it. Drain completing proves the whole loop closed.
+  updater.drain();
+  EXPECT_EQ(fib.read()->lookup(ip(0x0A000001)), NextHop{1});
+
+  // Churn keeps flowing after recovery.
+  fib.announce(pfx(0x0B000000, 8, 2));
+  updater.drain();
+  EXPECT_EQ(fib.read()->lookup(ip(0x0B000001)), NextHop{2});
+
+  supervisor.stop();
+  // Observe the recovery (beats resumed after the kick) before asserting
+  // on health. Under sanitizer slowdown a synchronous pass can catch the
+  // idle pump with a beat older than the stall window — a false stall the
+  // kick handler absorbs — so poll until a pass lands near a fresh beat.
+  bool live = false;
+  for (int i = 0; i < 5000 && !live; ++i) {
+    supervisor.check_now();
+    live = supervisor.health(tid).state == supervise::ThreadState::kLive;
+    if (!live) std::this_thread::sleep_for(1ms);
+  }
+  updater.stop();
+
+  EXPECT_GE(updater.stall_recoveries(), 1u);
+  EXPECT_GE(supervisor.stalls_detected(), 1u);
+  EXPECT_TRUE(live);
+}
+
+TEST(FibUpdater, StopWhileWedgedDoesNotHang) {
+  Ipv4Fib fib;
+  fault::FaultInjector chaos(11);
+  chaos.add_rule({std::string(fault::Point::kFibUpdateStall), 0, 1, 1.0});
+  FibUpdater updater(fib, {}, &chaos);
+  updater.start();
+  std::this_thread::sleep_for(2ms);  // let it hit the wedge
+  updater.stop();                    // must interrupt the wedge wait
+  EXPECT_EQ(updater.stall_recoveries(), 0u);
+}
+
+}  // namespace
+}  // namespace ps::route

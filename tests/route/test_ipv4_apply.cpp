@@ -1,0 +1,204 @@
+// Incremental DIR-24-8 updates (Ipv4Table::apply_resolved) against the
+// from-scratch oracle: after any sequence of resolved announces and
+// withdraws, lookups through the incrementally maintained table must be
+// identical to a table rebuilt from the same RIB. This is the same
+// oracle the chaos churn test runs online; here it gets adversarial
+// small cases plus a randomized soak.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "route/ipv4_table.hpp"
+
+namespace ps::route {
+namespace {
+
+net::Ipv4Addr ip(u32 v) { return net::Ipv4Addr{v}; }
+
+/// Test-side RIB: key -> prefix, with the parent resolution the control
+/// plane performs before handing ops to the table.
+class RibModel {
+ public:
+  ResolvedIpv4Op announce(u32 addr, u8 length, NextHop nh) {
+    Ipv4Prefix p{ip(addr), length, nh};
+    ResolvedIpv4Op op;
+    op.prefix = p;
+    op.announce = true;
+    op.is_new = rib_.find(key(p)) == rib_.end();
+    rib_[key(p)] = p;
+    return op;
+  }
+
+  std::optional<ResolvedIpv4Op> withdraw(u32 addr, u8 length) {
+    Ipv4Prefix probe{ip(addr), length, 0};
+    auto it = rib_.find(key(probe));
+    if (it == rib_.end()) return std::nullopt;
+    ResolvedIpv4Op op;
+    op.prefix = it->second;
+    op.announce = false;
+    rib_.erase(it);
+    // Longest strictly-shorter covering prefix in the post-withdraw RIB.
+    for (int l = static_cast<int>(length) - 1; l >= 0; --l) {
+      Ipv4Prefix cover{ip(addr), static_cast<u8>(l), 0};
+      auto p = rib_.find(key(cover));
+      if (p != rib_.end()) {
+        op.parent_nh = p->second.next_hop;
+        op.parent_depth = p->second.length;
+        return op;
+      }
+    }
+    op.parent_nh = kNoRoute;
+    op.parent_depth = 0;
+    return op;
+  }
+
+  std::vector<Ipv4Prefix> prefixes() const {
+    std::vector<Ipv4Prefix> out;
+    out.reserve(rib_.size());
+    for (const auto& [k, p] : rib_) out.push_back(p);
+    return out;
+  }
+
+  std::size_t size() const { return rib_.size(); }
+
+ private:
+  static u64 key(const Ipv4Prefix& p) {
+    return (static_cast<u64>(p.network()) << 8) | p.length;
+  }
+  std::map<u64, Ipv4Prefix> rib_;
+};
+
+/// Compare incremental vs rebuilt table on addresses around every RIB
+/// prefix boundary plus a random sample.
+void expect_equivalent(const Ipv4Table& incremental, const RibModel& rib, Rng& rng) {
+  Ipv4Table oracle;
+  auto prefixes = rib.prefixes();
+  oracle.build(prefixes);
+  EXPECT_EQ(incremental.prefix_count(), rib.size());
+
+  std::vector<u32> probes;
+  for (const auto& p : prefixes) {
+    const u32 net = p.network();
+    const u32 span = p.length == 0 ? ~u32{0} : (u32{1} << (32 - p.length)) - 1;
+    probes.push_back(net);
+    probes.push_back(net + span);               // last covered address
+    probes.push_back(net + (span >> 1));        // interior
+    probes.push_back(net + span + 1);           // first address past (wraps ok)
+    if (net != 0) probes.push_back(net - 1);    // last address before
+  }
+  for (int i = 0; i < 2048; ++i) probes.push_back(static_cast<u32>(rng.next_u64()));
+
+  for (u32 a : probes) {
+    ASSERT_EQ(incremental.lookup(ip(a)), oracle.lookup(ip(a))) << "addr=" << a;
+  }
+}
+
+TEST(Ipv4Apply, AnnounceWithdrawAcrossTheChunkBoundary) {
+  Ipv4Table t;
+  RibModel rib;
+  Rng rng(7);
+
+  // Shallow cover, then a /26 forcing a chunk, then churn on all three.
+  t.apply_resolved(std::vector<ResolvedIpv4Op>{rib.announce(0x0A000000, 8, 1)});
+  expect_equivalent(t, rib, rng);
+  t.apply_resolved(std::vector<ResolvedIpv4Op>{rib.announce(0x0A0101C0, 26, 2)});
+  expect_equivalent(t, rib, rng);
+  t.apply_resolved(std::vector<ResolvedIpv4Op>{rib.announce(0x0A010100, 24, 3)});
+  expect_equivalent(t, rib, rng);
+
+  // Withdrawing the /24 must re-expose the /8 inside the chunk without
+  // touching the /26 slots.
+  auto wd = rib.withdraw(0x0A010100, 24);
+  ASSERT_TRUE(wd.has_value());
+  t.apply_resolved(std::vector<ResolvedIpv4Op>{*wd});
+  expect_equivalent(t, rib, rng);
+
+  wd = rib.withdraw(0x0A0101C0, 26);
+  ASSERT_TRUE(wd.has_value());
+  t.apply_resolved(std::vector<ResolvedIpv4Op>{*wd});
+  expect_equivalent(t, rib, rng);
+
+  wd = rib.withdraw(0x0A000000, 8);
+  ASSERT_TRUE(wd.has_value());
+  t.apply_resolved(std::vector<ResolvedIpv4Op>{*wd});
+  expect_equivalent(t, rib, rng);
+  EXPECT_EQ(t.lookup(ip(0x0A0101C5)), kNoRoute);
+}
+
+TEST(Ipv4Apply, ReplaceNextHopInPlace) {
+  Ipv4Table t;
+  RibModel rib;
+  Rng rng(11);
+  t.apply_resolved(std::vector<ResolvedIpv4Op>{rib.announce(0xC0A80000, 16, 4)});
+  // Same prefix, new next hop: is_new=false, prefix_count unchanged.
+  const auto op = rib.announce(0xC0A80000, 16, 9);
+  EXPECT_FALSE(op.is_new);
+  t.apply_resolved(std::vector<ResolvedIpv4Op>{op});
+  EXPECT_EQ(t.prefix_count(), 1u);
+  expect_equivalent(t, rib, rng);
+}
+
+TEST(Ipv4Apply, DefaultRouteAnnounceAndWithdraw) {
+  Ipv4Table t;
+  RibModel rib;
+  Rng rng(13);
+  t.apply_resolved(std::vector<ResolvedIpv4Op>{rib.announce(0, 0, 5)});
+  expect_equivalent(t, rib, rng);
+  t.apply_resolved(std::vector<ResolvedIpv4Op>{rib.announce(0x08000000, 6, 6)});
+  expect_equivalent(t, rib, rng);
+  auto wd = rib.withdraw(0, 0);
+  ASSERT_TRUE(wd.has_value());
+  t.apply_resolved(std::vector<ResolvedIpv4Op>{*wd});
+  expect_equivalent(t, rib, rng);
+  EXPECT_EQ(t.lookup(ip(0xFFFFFFFF)), kNoRoute);
+  EXPECT_EQ(t.lookup(ip(0x09000000)), NextHop{6});
+}
+
+TEST(Ipv4Apply, Host32RouteChurn) {
+  Ipv4Table t;
+  RibModel rib;
+  Rng rng(17);
+  t.apply_resolved(std::vector<ResolvedIpv4Op>{rib.announce(0x0B0C0D0E, 32, 7)});
+  expect_equivalent(t, rib, rng);
+  t.apply_resolved(std::vector<ResolvedIpv4Op>{rib.announce(0x0B0C0D00, 25, 8)});
+  expect_equivalent(t, rib, rng);
+  auto wd = rib.withdraw(0x0B0C0D0E, 32);
+  ASSERT_TRUE(wd.has_value());
+  t.apply_resolved(std::vector<ResolvedIpv4Op>{*wd});
+  expect_equivalent(t, rib, rng);
+  EXPECT_EQ(t.lookup(ip(0x0B0C0D0E)), NextHop{8});
+}
+
+TEST(Ipv4Apply, RandomizedChurnSoakMatchesRebuild) {
+  Ipv4Table t;
+  RibModel rib;
+  Rng rng(2010);
+
+  // Cluster the random prefixes into a few /16s so announces, withdraws,
+  // covers, and chunk splits actually collide with each other.
+  const u32 bases[] = {0x0A000000u, 0x0A010000u, 0xC6336400u, 0xB0000000u};
+  std::vector<ResolvedIpv4Op> batch;
+  for (int round = 0; round < 60; ++round) {
+    batch.clear();
+    const int ops = 1 + static_cast<int>(rng.next_u64() % 8);
+    for (int i = 0; i < ops; ++i) {
+      const u32 base = bases[rng.next_u64() % 4];
+      const u8 length = static_cast<u8>(8 + rng.next_u64() % 25);  // 8..32
+      const u32 addr = base | static_cast<u32>(rng.next_u64() & 0x0000FFFFu);
+      if (rng.next_u64() % 3 != 0) {
+        batch.push_back(rib.announce(addr, length, static_cast<NextHop>(1 + rng.next_u64() % 64)));
+      } else if (auto wd = rib.withdraw(addr, length)) {
+        batch.push_back(*wd);
+      }
+    }
+    t.apply_resolved(batch);
+    if (round % 10 == 9) expect_equivalent(t, rib, rng);
+  }
+  expect_equivalent(t, rib, rng);
+}
+
+}  // namespace
+}  // namespace ps::route

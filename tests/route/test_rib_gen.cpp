@@ -72,6 +72,72 @@ TEST(RibGen, PaperScaleCountBuilds) {
   EXPECT_EQ(rib.size(), kPaperIpv4PrefixCount);
 }
 
+TEST(RibGen, MillionPrefixScaleBuildsAndRoutes) {
+  // Million-prefix tables (several times the 2009 snapshot) must generate
+  // without stalling on saturated short lengths — there are only 223
+  // usable /8s, so the surplus mass lands on longer prefixes — and must
+  // build into a servable DIR-24-8 table.
+  const auto rib = generate_ipv4_rib({.prefix_count = 1'000'000, .num_next_hops = 8, .seed = 6});
+  ASSERT_EQ(rib.size(), 1'000'000u);
+
+  std::unordered_set<u64> seen;
+  seen.reserve(rib.size() * 2);
+  for (const auto& p : rib) {
+    const u64 key = (static_cast<u64>(p.network()) << 8) | p.length;
+    ASSERT_TRUE(seen.insert(key).second);
+  }
+
+  Ipv4Table table;
+  table.build(rib);
+  EXPECT_EQ(table.prefix_count(), 1'000'000u);
+  const auto pool = sample_covered_ipv4(rib, 4096, 9);
+  u64 hits = 0;
+  for (const u32 dst : pool) {
+    if (table.lookup(net::Ipv4Addr(dst)) != kNoRoute) ++hits;
+  }
+  // Covered addresses always match some prefix (longest match may still
+  // be the sampled one or a more specific neighbour; either way, a hit).
+  EXPECT_EQ(hits, pool.size());
+}
+
+TEST(RibGen, ChurnStreamIsConsistentAndDeterministic) {
+  const auto base = generate_ipv4_rib({.prefix_count = 2'000, .num_next_hops = 4, .seed = 12});
+  const auto ops = generate_ipv4_churn(base, 5'000, 4, 13);
+  ASSERT_EQ(ops.size(), 5'000u);
+
+  // Replaying in order must keep withdrawals valid: every withdraw hits a
+  // prefix live at that point in the stream.
+  std::unordered_set<u64> live;
+  for (const auto& p : base) {
+    live.insert((static_cast<u64>(p.network()) << 8) | p.length);
+  }
+  u64 withdraws = 0, fresh = 0, replaced = 0;
+  for (const auto& op : ops) {
+    const u64 key = (static_cast<u64>(op.prefix.network()) << 8) | op.prefix.length;
+    if (!op.announce) {
+      ++withdraws;
+      ASSERT_TRUE(live.erase(key) == 1) << "withdraw of a prefix not live";
+    } else if (live.insert(key).second) {
+      ++fresh;
+    } else {
+      ++replaced;
+      EXPECT_LT(op.prefix.next_hop, 4);
+    }
+  }
+  // All three op kinds occur in a healthy mix.
+  EXPECT_GT(withdraws, ops.size() / 8);
+  EXPECT_GT(fresh, ops.size() / 8);
+  EXPECT_GT(replaced, ops.size() / 8);
+
+  const auto again = generate_ipv4_churn(base, 5'000, 4, 13);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(ops[i].prefix.addr, again[i].prefix.addr);
+    EXPECT_EQ(ops[i].prefix.length, again[i].prefix.length);
+    EXPECT_EQ(ops[i].prefix.next_hop, again[i].prefix.next_hop);
+    EXPECT_EQ(ops[i].announce, again[i].announce);
+  }
+}
+
 TEST(RibGen, Ipv6Unique64BitPrefixes) {
   const auto rib = generate_ipv6_rib(10'000, 8, 5);
   for (const auto& p : rib) {

@@ -41,6 +41,16 @@ or the preceding line):
                       allocator test catches the aggregate, this rule
                       names the line. Containers warmed elsewhere or
                       deliberately amortised carry an allow comment.
+  read-path-lock      lock acquisition (MutexLock, lock_guard, .lock())
+                      or a mutex-taking FIB snapshot() inside the
+                      per-packet read path: lookup/lookup_batch in
+                      src/route, shade_cpu/process_cpu/pre_shade/
+                      post_shade in src/apps, and (snapshot only)
+                      shade_batch/cpu_fallback_batch in src/core. The
+                      data path reads FIB generations through the
+                      epoch-pinned FibManager::read(); any lock here
+                      reintroduces the updater-stalls-lookups coupling
+                      the generation design removed.
 
 Output: `path:line: [rule] message`, one per finding, sorted; exit 1 if
 anything fired. `--expect FILE` compares the findings against a golden
@@ -60,6 +70,8 @@ RULES = {
     "hot-sleep": "sleep in a hot-path directory",
     "steady-state-growth": "container growth in a steady-state loop "
                            "without a reserve",
+    "read-path-lock": "lock acquisition or locking FIB snapshot on the "
+                      "per-packet read path",
 }
 
 HOT_DIRS = ("iengine", "nic", "gpu", "core")
@@ -96,7 +108,7 @@ SINGLE_WRITER = [
 ]
 
 REGISTRY_PREFIX_RE = re.compile(
-    r"^(router|gpu|slowpath|supervisor|engine|nic|core|mem)\.")
+    r"^(router|gpu|slowpath|supervisor|engine|nic|core|mem|fib|control)\.")
 
 FAULT_SITE_RE = re.compile(
     r"register_point\s*\(|should_fire\s*\(|check_fault\s*\(|"
@@ -357,13 +369,15 @@ GROWTH_RE = re.compile(
 DEF_GAP_RE = re.compile(r"^[\sA-Za-z_0-9:<>,&*\[\]\-]*$")
 
 
-def _steady_bodies(code):
+def _steady_bodies(code, fn_re=None):
     """(fn_name, body_start, body_end) for each steady-state function
     DEFINED in this file. A match is a definition (not a call) when it is
     not reached through . or ->, and only qualifier-ish tokens separate
     the parameter list from an opening brace."""
+    if fn_re is None:
+        fn_re = STEADY_FN_RE
     bodies = []
-    for m in STEADY_FN_RE.finditer(code):
+    for m in fn_re.finditer(code):
         j = m.start() - 1
         while j >= 0 and code[j] in " \t":
             j -= 1
@@ -408,6 +422,48 @@ def check_steady_state_growth(sf, findings):
                 "%s.%s() grows a container inside steady-state %s() and "
                 "'%s' is never reserved in this file" %
                 (key, gm.group(2), fn, key)))
+
+
+# --- rule: read-path-lock --------------------------------------------------
+
+# Per-packet read-path functions by directory, and what is forbidden in
+# each. The route/apps leaves do the actual FIB access, so any lock
+# acquisition there is a data-path stall; core's batch drivers may take
+# their own (GPU-health) locks but must reach the FIB only through the
+# apps' lock-free leaves, so only the mutex-taking snapshot() is banned.
+READ_PATH_FNS = {
+    "route": (r"lookup|lookup_batch", True),
+    "apps": (r"shade_cpu|process_cpu|pre_shade|post_shade", True),
+    "core": (r"shade_batch|cpu_fallback_batch", False),
+}
+READ_PATH_ACQUIRE_RE = re.compile(
+    r"\b(MutexLock|std::lock_guard|std::unique_lock|std::scoped_lock)\b"
+    r"|(?:\.|->)\s*lock\s*\(")
+READ_PATH_SNAPSHOT_RE = re.compile(r"(?:\.|->)\s*snapshot\s*\(")
+
+
+def check_read_path_lock(sf, findings):
+    top = sf.rel.split("/", 1)[0]
+    if top not in READ_PATH_FNS:
+        return
+    fns, ban_locks = READ_PATH_FNS[top]
+    code = sf.code_nostr
+    fn_re = re.compile(r"\b(%s)\s*\(" % fns)
+    for fn, start, end in _steady_bodies(code, fn_re):
+        sites = list(READ_PATH_SNAPSHOT_RE.finditer(code, start, end))
+        what = {m.start(): "FIB snapshot() (takes the manager mutex)"
+                for m in sites}
+        if ban_locks:
+            for m in READ_PATH_ACQUIRE_RE.finditer(code, start, end):
+                what[m.start()] = "lock acquisition"
+        for pos in sorted(what):
+            lineno = _line_of(code, pos)
+            if sf.allowed(lineno, "read-path-lock"):
+                continue
+            findings.append(Finding(
+                sf.rel, lineno, "read-path-lock",
+                "%s inside per-packet %s(); use the epoch-pinned "
+                "FibManager::read()" % (what[pos], fn)))
 
 
 # --- rule: registry-sync ---------------------------------------------------
@@ -571,6 +627,7 @@ def main(argv):
         check_drop_reason_default(sf, findings)
         check_hot_sleep(sf, findings)
         check_steady_state_growth(sf, findings)
+        check_read_path_lock(sf, findings)
     if args.docs:
         check_registry_sync(files, args.docs, findings)
 
