@@ -3,7 +3,8 @@
 
 Usage:
     bench_compare.py BASELINE CANDIDATE [--threshold 0.25]
-                     [--metric-threshold NAME=FRAC ...] [--ignore REGEX]
+                     [--metric-threshold NAME=FRAC ...] [--metric-min NAME=VALUE ...]
+                     [--ignore REGEX]
 
 Both files hold one JSON object per line (the `BENCH {...}` lines that
 scripts/run_bench.sh scrapes, prefix stripped), keyed by their "bench"
@@ -15,10 +16,17 @@ the candidate; each is compared with a relative threshold:
   * everything else (throughput, speedups, counts) regresses when
     candidate < baseline * (1 - t)
 
---metric-threshold overrides the default for one metric name; --ignore
-skips metrics matching a regex (e.g. wall-clock timings on shared CI
-hosts); --only restricts the comparison to benches matching a regex
-(the smoke gate compares only the benches the smoke run produces). A
+--metric-threshold overrides the default for one metric name;
+--metric-min pins an *absolute* floor on a metric — the candidate fails
+whenever its value drops below the floor, regardless of how the
+baseline drifted (this is how acceptance bounds like "integrity
+retention >= 0.95" stay enforced even as the baseline is re-recorded).
+An explicitly floored metric is checked even when --ignore matches it,
+and a floor naming a metric absent from the compared baseline is an
+error, so a typo cannot silently disarm the gate. --ignore skips
+metrics matching a regex (e.g. wall-clock timings on shared CI hosts);
+--only restricts the comparison to benches matching a regex (the smoke
+gate compares only the benches the smoke run produces). A
 bench or metric missing from the candidate is an error: a silently
 dropped series must not pass the gate. A zero baseline admits no
 relative comparison: a lower-is-better metric going 0 -> nonzero fails
@@ -80,6 +88,10 @@ def main() -> int:
     ap.add_argument("--metric-threshold", action="append", default=[],
                     metavar="NAME=FRAC",
                     help="per-metric threshold override, repeatable")
+    ap.add_argument("--metric-min", action="append", default=[],
+                    metavar="NAME=VALUE",
+                    help="absolute floor: fail if the candidate metric is "
+                         "below VALUE, repeatable")
     ap.add_argument("--ignore", default=None, metavar="REGEX",
                     help="skip metrics whose name matches this regex")
     ap.add_argument("--only", default=None, metavar="REGEX",
@@ -92,6 +104,13 @@ def main() -> int:
         if not sep:
             ap.error(f"--metric-threshold needs NAME=FRAC, got {spec!r}")
         overrides[name] = float(frac)
+    floors: dict[str, float] = {}
+    for spec in args.metric_min:
+        name, sep, value = spec.partition("=")
+        if not sep:
+            ap.error(f"--metric-min needs NAME=VALUE, got {spec!r}")
+        floors[name] = float(value)
+    floors_seen: set[str] = set()
     ignore = re.compile(args.ignore) if args.ignore else None
     only = re.compile(args.only) if args.only else None
 
@@ -110,12 +129,24 @@ def main() -> int:
             continue
         cand_metrics = numeric_metrics(candidate[bench])
         for metric, base in sorted(numeric_metrics(base_obj).items()):
-            if ignore and ignore.search(metric):
+            floor = floors.get(metric)
+            if ignore and ignore.search(metric) and floor is None:
                 continue
             if metric not in cand_metrics:
                 failures.append(f"{bench}.{metric}: missing from candidate")
                 continue
             cand = cand_metrics[metric]
+            if floor is not None:
+                floors_seen.add(metric)
+                if cand < floor:
+                    print(f"FAIL  {bench}.{metric}: {cand:g} below floor {floor:g}")
+                    failures.append(
+                        f"{bench}.{metric}: {cand:g} is below the absolute "
+                        f"floor {floor:g}")
+                else:
+                    print(f"  ok  {bench}.{metric}: {cand:g} >= floor {floor:g}")
+                if ignore and ignore.search(metric):
+                    continue  # floored but exempt from the relative diff
             threshold = overrides.get(metric, args.threshold)
             compared += 1
             if base == 0:
@@ -146,6 +177,11 @@ def main() -> int:
                 failures.append(
                     f"{bench}.{metric}: {cand:g} is {abs(delta):.1%} {direction} "
                     f"baseline {base:g} (threshold {threshold:.0%})")
+
+    for name in sorted(set(floors) - floors_seen):
+        failures.append(
+            f"--metric-min {name}: metric not present in the compared baseline "
+            f"(typo, or excluded by --only?)")
 
     print(f"\ncompared {compared} metrics across {len(baseline)} benches")
     if failures:

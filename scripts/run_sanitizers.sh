@@ -8,7 +8,8 @@
 # An optional second argument is a ctest -R regex to run a subset. The
 # overload-control / liveness layer leans hard on cross-thread protocols
 # (heartbeat publication, quarantine adoption, watermark reads), so its
-# suites are worth a focused TSan pass while iterating:
+# suites are worth a focused TSan pass while iterating — the trailing
+# 'Chaos' also pulls in IntegrityChaos, the corruption-under-churn suite:
 #   scripts/run_sanitizers.sh thread \
 #     'Supervisor|SupervisorChaos|OverloadControl|Admission|LinkFlap|FibChurn|RouterBackpressure|Chaos'
 #

@@ -1,10 +1,26 @@
 #include "core/model_driver.hpp"
 
 #include <cassert>
+#include <cstring>
 
 #include "perf/calibration.hpp"
 
 namespace ps::core {
+
+namespace {
+/// Drop every integrity-flagged, not-yet-dropped packet (kIntegrityFail).
+u32 drop_flagged(integrity::IntegrityChecker& checker, iengine::PacketChunk& chunk) {
+  u32 dropped = 0;
+  for (u32 i = 0; i < chunk.count(); ++i) {
+    if (!chunk.integrity_bad(i)) continue;
+    if (chunk.verdict(i) == iengine::PacketVerdict::kDrop) continue;
+    chunk.set_drop(i, iengine::DropReason::kIntegrityFail);
+    ++dropped;
+  }
+  if (dropped != 0) checker.count_quarantined(dropped);
+  return dropped;
+}
+}  // namespace
 
 ModelDriver::ModelDriver(Testbed& testbed, Shader* shader, RouterConfig config)
     : testbed_(testbed), shader_(shader), config_(config) {
@@ -26,6 +42,7 @@ ModelDriver::ModelDriver(Testbed& testbed, Shader* shader, RouterConfig config)
     }
   }
   node_pending_.resize(static_cast<std::size_t>(topo.num_nodes));
+  shadow_scratch_.reserve(std::size_t{config_.chunk_capacity} * ShaderJob::kStagingBytesPerItem);
 }
 
 i16 ModelDriver::minimal_out_port(int in_port) const {
@@ -34,9 +51,39 @@ i16 ModelDriver::minimal_out_port(int in_port) const {
   return static_cast<i16>(in_port ^ 1);
 }
 
+void ModelDriver::shadow_verify(std::span<ShaderJob* const> batch) {
+  const u64 seq = shadow_seq_++;
+  if (!integrity_->should_shadow_verify(seq, /*escalated=*/false)) return;
+  for (ShaderJob* job : batch) {
+    if (job->gpu_output.empty()) continue;
+    integrity_->count_shadow_batch();
+    shadow_scratch_.assign(job->gpu_output.begin(), job->gpu_output.end());
+    shader_->shade_cpu(*job);  // recomputes gpu_output: the CPU ground truth
+    if (shadow_scratch_ == job->gpu_output) continue;
+    u64 bad_items = 0;
+    const std::size_t items = std::max<u32>(job->gpu_items, 1);
+    const std::size_t stride = job->gpu_output.size() / items;
+    if (stride == 0 || job->gpu_output.size() % items != 0) {
+      bad_items = 1;
+    } else {
+      for (std::size_t i = 0; i < items; ++i) {
+        if (std::memcmp(shadow_scratch_.data() + i * stride,
+                        job->gpu_output.data() + i * stride, stride) != 0) {
+          ++bad_items;
+        }
+      }
+    }
+    integrity_->count_shadow_mismatch(bad_items);
+    integrity_->count_reshaded_batch();  // the CPU result above ships instead
+  }
+}
+
 void ModelDriver::process_chunk_cpu(WorkerCtx& worker, ShaderJob& job) {
   (void)worker;
   auto& chunk = job.chunk;
+  // The inline CPU path crosses no further hand-off boundary: integrity
+  // coverage ends with the RX admission check (mirrors the Router).
+  chunk.set_stamped(false);
   if (shader_ != nullptr) {
     shader_->process_cpu(chunk);
   } else {
@@ -157,6 +204,13 @@ ModelResult ModelDriver::run(gen::TrafficGen& traffic, u64 target_packets) {
           free_jobs.push_back(std::move(job));
           continue;
         }
+        if (integrity_ != nullptr) {
+          // RX admission check against the NIC's wire CRC — the stamping
+          // overhead the fig11a integrity ablation prices.
+          if (integrity_->verify_chunk(job->chunk, integrity::Stage::kRx) != 0) {
+            drop_flagged(*integrity_, job->chunk);
+          }
+        }
         const bool cpu_path =
             shader_ == nullptr || !config_.use_gpu ||
             (config_.opportunistic_threshold != 0 && n < config_.opportunistic_threshold);
@@ -171,6 +225,8 @@ ModelResult ModelDriver::run(gen::TrafficGen& traffic, u64 target_packets) {
         } else {
           job->worker_id = static_cast<int>(&worker - workers_.data());
           shader_->pre_shade(*job);
+          // Sanctioned mutation point: re-stamp before the master hand-off.
+          if (integrity_ != nullptr) integrity_->stamp_chunk(job->chunk);
           node_pending_[static_cast<std::size_t>(worker.node)].push_back(std::move(job));
         }
       }
@@ -189,12 +245,19 @@ ModelResult ModelDriver::run(gen::TrafficGen& traffic, u64 target_packets) {
           for (std::size_t j = i; j < std::min(pending.size(), i + config_.gather_max); ++j) {
             batch.push_back(pending[j].get());
           }
+          if (integrity_ != nullptr) {
+            for (auto* job : batch) {
+              integrity_->verify_chunk(job->chunk, integrity::Stage::kGather);
+            }
+          }
           const ShadeOutcome outcome =
               shader_->shade(gpu_ctx[static_cast<std::size_t>(n)], {batch.data(), batch.size()});
           if (!outcome.ok()) {
             // The analytic driver has no retry loop; re-shade on the CPU so
             // a model run under fault injection still accounts every packet.
             for (auto* job : batch) shader_->shade_cpu(*job);
+          } else if (integrity_ != nullptr) {
+            shadow_verify({batch.data(), batch.size()});
           }
         }
 
@@ -202,7 +265,16 @@ ModelResult ModelDriver::run(gen::TrafficGen& traffic, u64 target_packets) {
         for (auto& job : pending) {
           auto& worker = workers_[static_cast<std::size_t>(job->worker_id)];
           perf::CpuChargeScope wscope(&ledger_, static_cast<u16>(worker.core));
+          if (integrity_ != nullptr) {
+            integrity_->verify_chunk(job->chunk, integrity::Stage::kScatter);
+          }
           shader_->post_shade(*job);
+          if (integrity_ != nullptr && job->chunk.stamped()) {
+            drop_flagged(*integrity_, job->chunk);
+            integrity_->stamp_chunk(job->chunk);  // post_shade rewrote headers
+            integrity_->verify_chunk(job->chunk, integrity::Stage::kTx);
+            drop_flagged(*integrity_, job->chunk);
+          }
           result.forwarded += worker.handle->send_chunk(job->chunk);
           for (u32 i = 0; i < job->chunk.count(); ++i) {
             if (job->chunk.verdict(i) == iengine::PacketVerdict::kDrop) ++result.dropped;

@@ -14,6 +14,7 @@
 #include "core/shader.hpp"
 #include "core/testbed.hpp"
 #include "gen/traffic.hpp"
+#include "integrity/integrity.hpp"
 
 namespace ps::core {
 
@@ -56,6 +57,13 @@ class ModelDriver {
   /// that inspect per-resource busy time directly).
   const perf::CostLedger& ledger() const { return ledger_; }
 
+  /// Attach the data-plane integrity layer for overhead ablation: the
+  /// driver mirrors the Router's boundary checks (RX admission, gather,
+  /// scatter, pre-TX) and sampled shadow verification, charging their CPU
+  /// cost to the ambient ledger so benches can price them. Null = off
+  /// (the default); the checker must outlive the driver.
+  void set_integrity(integrity::IntegrityChecker* checker) { integrity_ = checker; }
+
  private:
   struct WorkerCtx {
     int core = 0;
@@ -64,11 +72,18 @@ class ModelDriver {
   };
 
   void process_chunk_cpu(WorkerCtx& worker, ShaderJob& job);
+  /// Sampled shadow verification of one GPU-shaded batch (no escalation or
+  /// health machinery here — the analytic driver prices the steady-state
+  /// sampling cost; the trip state machine is the Router's).
+  void shadow_verify(std::span<ShaderJob* const> batch);
   i16 minimal_out_port(int in_port) const;
 
   Testbed& testbed_;
   Shader* shader_;
   RouterConfig config_;
+  integrity::IntegrityChecker* integrity_ = nullptr;
+  u64 shadow_seq_ = 0;
+  std::vector<u8> shadow_scratch_;
   perf::CostLedger ledger_;
   std::vector<WorkerCtx> workers_;
   std::vector<std::vector<JobPtr>> node_pending_;  // gathered jobs per node

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstring>
 
 #include "telemetry/alloc_stats.hpp"
 
@@ -35,6 +36,8 @@ Router::Router(iengine::PacketIoEngine& engine, std::vector<gpu::GpuDevice*> gpu
       assert(static_cast<std::size_t>(n) < gpus.size() && gpus[static_cast<std::size_t>(n)]);
       node.master_in =
           std::make_unique<MpscQueue<ShaderJob*>>(config_.master_queue_capacity);
+      node.shadow_scratch.reserve(std::size_t{config_.chunk_capacity} *
+                                  ShaderJob::kStagingBytesPerItem);
       node.gpu.device = gpus[static_cast<std::size_t>(n)];
       node.gpu.streams.push_back(gpu::kDefaultStream);
       for (u32 s = 1; s < config_.num_streams; ++s) {
@@ -108,6 +111,14 @@ void Router::release_job(WorkerRuntime& worker, ShaderJob* job) {
 
 void Router::finish_job(WorkerRuntime& worker, ShaderJob* job) {
   auto& st = *stats_[static_cast<std::size_t>(worker.id)];
+  if (integrity_ != nullptr && job->chunk.stamped()) {
+    // Pre-TX-doorbell check: the last look before the wire (and before
+    // slow-path delivery — the host stack must not see corrupt bytes
+    // either). Anything flagged here or at an earlier boundary is dropped,
+    // never sent.
+    integrity_->verify_chunk(job->chunk, integrity::Stage::kTx);
+    drop_integrity_bad(*job);
+  }
   for (u32 i = 0; i < job->chunk.count(); ++i) {
     if (job->chunk.verdict(i) != iengine::PacketVerdict::kSlowPath) continue;
     if (host_stack_ != nullptr) {
@@ -150,6 +161,11 @@ void Router::process_cpu_only(WorkerRuntime& worker, ShaderJob* job) {
   stats_[static_cast<std::size_t>(worker.id)]->cpu_processed.fetch_add(
       job->chunk.count(), std::memory_order_relaxed);
   if (tracer_ != nullptr) tracer_->mark_cpu_path(job->trace_slot);
+  // Inline CPU path: integrity coverage ends with the RX admission check.
+  // The chunk never leaves this thread again and process_cpu rewrites
+  // headers in place, so clear the stamp rather than pay a re-stamp +
+  // re-verify for a hand-off boundary that is not there.
+  job->chunk.set_stamped(false);
   shader_.process_cpu(job->chunk);
   if (tracer_ != nullptr) tracer_->stamp(job->trace_slot, telemetry::Stage::kScatter);
   finish_job(worker, job);
@@ -182,6 +198,14 @@ bool Router::recv_and_dispatch(WorkerRuntime& worker, iengine::IoHandle* handle,
   heartbeats_[static_cast<std::size_t>(worker.id)].value.advance(n);
   if (adopted) st.adopted_chunks.fetch_add(1, std::memory_order_relaxed);
   if (worker.bp_active) st.bp_reduced_batches.fetch_add(1, std::memory_order_relaxed);
+  if (integrity_ != nullptr) {
+    // RX admission: huge-buffer bytes vs the NIC's wire CRC. A cell a
+    // flaky DIMM (or a misbehaving DMA) flipped is dropped here, before
+    // any stage spends cycles on it.
+    if (integrity_->verify_chunk(job->chunk, integrity::Stage::kRx) != 0) {
+      drop_integrity_bad(*job);
+    }
+  }
 
   const bool take_cpu_path =
       !config_.use_gpu ||
@@ -191,6 +215,10 @@ bool Router::recv_and_dispatch(WorkerRuntime& worker, iengine::IoHandle* handle,
     return true;
   }
   shader_.pre_shade(*job);
+  // pre_shade is a sanctioned mutation point (header rewrite; IPsec even
+  // swaps in a new chunk), so re-take the stamp: it now certifies the
+  // bytes handed across the worker->master boundary.
+  if (integrity_ != nullptr) integrity_->stamp_chunk(job->chunk);
   const bool push_ok =
       !divert_cpu &&
       (injector_ == nullptr || !injector_->should_fire("core.master_queue")) &&
@@ -210,6 +238,8 @@ bool Router::recv_and_dispatch(WorkerRuntime& worker, iengine::IoHandle* handle,
     if (tracer_ != nullptr) tracer_->mark_cpu_path(job->trace_slot);
     shader_.shade_cpu(*job);
     shader_.post_shade(*job);
+    // post_shade applied results to the headers: re-stamp for the TX check.
+    if (integrity_ != nullptr) integrity_->stamp_chunk(job->chunk);
     if (tracer_ != nullptr) tracer_->stamp(job->trace_slot, telemetry::Stage::kScatter);
     finish_job(worker, job);
   }
@@ -239,12 +269,33 @@ void Router::worker_loop(WorkerRuntime& worker) {
     while (auto done = worker.out_queue->pop()) {
       ShaderJob* job = *done;
       if (job->shaded_on_cpu) {
-        // The master's GPU failed this batch; the packets were shaded on
-        // the CPU, so re-attribute them.
+        // The master's GPU failed this batch (or shadow verification
+        // quarantined its results); the packets were shaded on the CPU,
+        // so re-attribute them.
+        st.gpu_processed.fetch_sub(job->chunk.count(), std::memory_order_relaxed);
+        st.cpu_processed.fetch_add(job->chunk.count(), std::memory_order_relaxed);
+      }
+      if (integrity_ != nullptr &&
+          integrity_->verify_chunk(job->chunk, integrity::Stage::kScatter) != 0 &&
+          !job->shaded_on_cpu) {
+        // Packet bytes changed somewhere between the gather and scatter
+        // boundaries: quarantine. One CPU re-shade recomputes the results
+        // from the gathered inputs; the flagged packets themselves stay
+        // bad and are dropped below, once post_shade has assigned
+        // verdicts (not before — post_shade would overwrite them).
+        shader_.shade_cpu(*job);
+        integrity_->count_reshaded_batch();
+        job->shaded_on_cpu = true;
         st.gpu_processed.fetch_sub(job->chunk.count(), std::memory_order_relaxed);
         st.cpu_processed.fetch_add(job->chunk.count(), std::memory_order_relaxed);
       }
       shader_.post_shade(*job);
+      if (integrity_ != nullptr && job->chunk.stamped()) {
+        drop_integrity_bad(*job);
+        // post_shade applied results to the headers: re-stamp for the TX
+        // check (dropped packets are skipped by the stamp).
+        integrity_->stamp_chunk(job->chunk);
+      }
       if (tracer_ != nullptr) tracer_->stamp(job->trace_slot, telemetry::Stage::kScatter);
       finish_job(worker, job);
       --inflight;
@@ -332,6 +383,15 @@ void Router::shade_batch(NodeRuntime& node, std::span<ShaderJob* const> batch) {
     MutexLock lock(node.health_mu);
     ++node.health.batches;
   }
+  if (integrity_ != nullptr) {
+    // Gather boundary: the chunks just crossed the worker->master queue.
+    // A mismatch is counted (localized) here; the owning worker drops the
+    // flagged packets at the scatter boundary — the master never touches
+    // verdicts.
+    for (ShaderJob* job : batch) {
+      integrity_->verify_chunk(job->chunk, integrity::Stage::kGather);
+    }
+  }
 
   // Unhealthy device: shade on the CPU, but probe periodically so the GPU
   // is re-admitted once it recovers.
@@ -377,6 +437,7 @@ void Router::shade_batch(NodeRuntime& node, std::span<ShaderJob* const> batch) {
     const ShadeOutcome outcome = shader_.shade(node.gpu, batch);
     if (outcome.ok()) {
       node.consecutive_failures = 0;
+      if (integrity_ != nullptr) shadow_verify_batch(node, batch);
       return;
     }
   }
@@ -394,6 +455,76 @@ void Router::shade_batch(NodeRuntime& node, std::span<ShaderJob* const> batch) {
     }
   }
   cpu_fallback_batch(node, batch);
+}
+
+u32 Router::drop_integrity_bad(ShaderJob& job) {
+  u32 dropped = 0;
+  for (u32 i = 0; i < job.chunk.count(); ++i) {
+    if (!job.chunk.integrity_bad(i)) continue;
+    if (job.chunk.verdict(i) == iengine::PacketVerdict::kDrop) continue;
+    job.chunk.set_drop(i, iengine::DropReason::kIntegrityFail);
+    ++dropped;
+  }
+  if (dropped != 0) integrity_->count_quarantined(dropped);
+  return dropped;
+}
+
+void Router::shadow_verify_batch(NodeRuntime& node, std::span<ShaderJob* const> batch) {
+  const u64 seq = node.shadow_batch_seq++;
+  const bool escalated = node.shadow_escalated_remaining > 0;
+  if (escalated && --node.shadow_escalated_remaining == 0) {
+    // Escalation window expired without tripping: the strikes age out.
+    node.shadow_strikes = 0;
+  }
+  if (!integrity_->should_shadow_verify(seq, escalated)) return;
+
+  bool any_mismatch = false;
+  for (ShaderJob* job : batch) {
+    if (job->gpu_output.empty()) continue;  // composed jobs verify via sub-chunk byte checks
+    integrity_->count_shadow_batch();
+    // Stash the device's results, recompute them on the CPU from the same
+    // gathered inputs (differential tests pin the two byte-identical),
+    // and compare. shade_cpu writes job->gpu_output, so after a mismatch
+    // the job already carries the CPU ground truth — the quarantine's
+    // one-time re-shade has effectively happened.
+    node.shadow_scratch.assign(job->gpu_output.begin(), job->gpu_output.end());
+    shader_.shade_cpu(*job);
+    if (node.shadow_scratch == job->gpu_output) continue;
+
+    any_mismatch = true;
+    u64 bad_items = 0;
+    const std::size_t items = std::max<u32>(job->gpu_items, 1);
+    const std::size_t stride = job->gpu_output.size() / items;
+    if (stride == 0 || job->gpu_output.size() % items != 0) {
+      bad_items = 1;  // no per-item framing: localize to "this batch"
+    } else {
+      for (std::size_t i = 0; i < items; ++i) {
+        if (std::memcmp(node.shadow_scratch.data() + i * stride,
+                        job->gpu_output.data() + i * stride, stride) != 0) {
+          ++bad_items;
+        }
+      }
+    }
+    integrity_->count_shadow_mismatch(bad_items);
+    integrity_->count_reshaded_batch();
+    job->shaded_on_cpu = true;  // scatter re-attributes gpu->cpu stats
+  }
+  if (!any_mismatch) return;
+
+  // Mismatch: distrust the device more. Escalate to verifying every batch;
+  // strikes within one escalation window trip the device into the
+  // gpu_health CPU-only fallback (probes re-admit it as usual).
+  node.shadow_escalated_remaining = integrity_->config().shadow_escalate_batches;
+  if (++node.shadow_strikes >= integrity_->config().shadow_trip_threshold) {
+    node.shadow_strikes = 0;
+    integrity_->count_device_suspect();
+    MutexLock lock(node.health_mu);
+    if (node.health.healthy) {
+      node.health.healthy = false;
+      ++node.health.trips;
+      node.batches_since_probe = 0;
+    }
+  }
 }
 
 void Router::master_loop(int node_id) {
@@ -696,6 +827,9 @@ void Router::register_metrics() {
   // --- process memory (steady-state allocation invariant, DESIGN.md §13)
   reg.register_probe("mem.allocations", MetricKind::kCounter,
                      [] { return telemetry::allocations(); });
+
+  // --- data-plane integrity (attach via set_integrity before set_telemetry)
+  if (integrity_ != nullptr) integrity_->register_metrics(reg);
 
   // --- slow-path admission + supervisor
   reg.register_probe("slowpath.admitted", MetricKind::kCounter,

@@ -40,9 +40,20 @@ bool FaultInjector::should_fire(std::string_view point) {
     if (hit - rule.after >= rule.count) continue;
     if (rule.probability < 1.0 && !rng_.next_bool(rule.probability)) continue;
     ++st.stats.fired;
+    if (record_firings_) firings_.push_back(Firing{std::string(point), hit});
     return true;
   }
   return false;
+}
+
+void FaultInjector::set_record_firings(bool record) {
+  MutexLock lock(mu_);
+  record_firings_ = record;
+}
+
+std::vector<Firing> FaultInjector::firings() const {
+  MutexLock lock(mu_);
+  return firings_;
 }
 
 PointStats FaultInjector::stats(std::string_view point) const {
@@ -61,6 +72,7 @@ u64 FaultInjector::total_fired() const {
 void FaultInjector::reset() {
   MutexLock lock(mu_);
   rules_.clear();
+  firings_.clear();
   for (auto& [name, st] : points_) st = PointState{};
 }
 

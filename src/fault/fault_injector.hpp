@@ -50,6 +50,23 @@ struct Point {
   /// FIB updater thread wedges (stops beating) until the supervisor's
   /// recovery kicks it. Evaluated once per updater-loop iteration.
   static constexpr std::string_view kFibUpdateStall = "control.fib_update.stall";
+  /// Silent bit flip in a huge-buffer cell after the RX DMA completed:
+  /// descriptor status stays ok, only the integrity layer's wire-CRC check
+  /// at RX admission can see it. Evaluated once per received frame.
+  static constexpr std::string_view kMemBitflip = "mem.bitflip";
+  /// PCIe transfer error on the host-to-device copy of a shading batch:
+  /// one bit flips in the device buffer, the copy still reports kOk. The
+  /// GPU then computes correct-looking results over wrong inputs —
+  /// invisible to any byte check, caught by shadow verification.
+  static constexpr std::string_view kPcieH2dCorrupt = "pcie.h2d_corrupt";
+  /// PCIe transfer error on the device-to-host copy of shading results:
+  /// one bit flips in the host destination, status kOk. Caught by shadow
+  /// verification (and by post-shade byte checks when results alter bytes).
+  static constexpr std::string_view kPcieD2hCorrupt = "pcie.d2h_corrupt";
+  /// GPU miscomputation: the kernel completes "successfully" but one
+  /// output value is wrong. Surfaces on the next D2H of results; only
+  /// shadow verification against the CPU path can detect it.
+  static constexpr std::string_view kGpuBadResult = "gpu.bad_result";
 };
 
 /// One scheduled fault window on a named injection point.
@@ -67,6 +84,17 @@ struct FaultRule {
 struct PointStats {
   u64 hits = 0;   // times the point was evaluated
   u64 fired = 0;  // times a fault was injected
+};
+
+/// One recorded fault firing: which point fired, on which zero-based hit
+/// of that point. The full sequence (in global firing order) is the
+/// reproducibility contract chaos tests pin down: same seed + same offered
+/// traffic => identical firing sequence.
+struct Firing {
+  std::string point;
+  u64 hit = 0;
+
+  bool operator==(const Firing&) const = default;
 };
 
 class FaultInjector {
@@ -90,7 +118,14 @@ class FaultInjector {
   PointStats stats(std::string_view point) const;
   u64 total_fired() const;
 
-  /// Drop all rules and counters (keeps registered point names).
+  /// Record every firing (point name + hit index, in firing order) for
+  /// replay-determinism assertions. Off by default: recording grows a
+  /// vector per firing, so it is for tests, not production chaos runs.
+  void set_record_firings(bool record);
+  std::vector<Firing> firings() const;
+
+  /// Drop all rules, counters, and recorded firings (keeps registered
+  /// point names and the recording flag; the RNG is *not* reseeded).
   void reset();
 
  private:
@@ -105,6 +140,8 @@ class FaultInjector {
   std::vector<FaultRule> rules_ GUARDED_BY(mu_);
   std::unordered_map<std::string, PointState> points_ GUARDED_BY(mu_);
   Rng rng_ GUARDED_BY(mu_);  // probability draws are serialized with hits
+  bool record_firings_ GUARDED_BY(mu_) = false;
+  std::vector<Firing> firings_ GUARDED_BY(mu_);
 };
 
 }  // namespace ps::fault

@@ -1,6 +1,7 @@
 #include "gen/traffic.hpp"
 
 #include "common/token_bucket.hpp"
+#include "net/checksum.hpp"
 
 namespace ps::gen {
 
@@ -60,6 +61,15 @@ net::FrameBuffer TrafficGen::frame_for_flow(u32 flow_id, u32 sequence) {
   if (frame.size() >= payload_offset + 8) {
     store_be32(frame.data() + payload_offset, flow_id);
     store_be32(frame.data() + payload_offset + 4, sequence);
+    if (config_.kind == TrafficKind::kIpv6Udp) {
+      // The stamp rewrote payload bytes after build: re-fill the UDP
+      // checksum (mandatory for IPv6) so generated flows still parse.
+      auto& ip =
+          *reinterpret_cast<net::Ipv6Header*>(frame.data() + sizeof(net::EthernetHeader));
+      net::udp6_fill_checksum(
+          ip, {frame.data() + sizeof(net::EthernetHeader) + sizeof(net::Ipv6Header),
+               ip.payload_length()});
+    }
   }
   return frame;
 }

@@ -102,6 +102,13 @@ GpuResult GpuDevice::memcpy_h2d(DeviceBuffer& dst, std::size_t dst_offset,
     return {st, start, start};
   }
   std::memcpy(dst.data() + dst_offset, src.data(), src.size());
+  if (injector_ != nullptr && !src.empty() &&
+      injector_->should_fire(fault::Point::kPcieH2dCorrupt)) {
+    // Silent PCIe transfer error: a bit lands flipped on the device while
+    // the copy still reports kOk. The first byte of the transfer is hit so
+    // chaos tests can reason about exactly which staged item is wrong.
+    dst.data()[dst_offset] ^= 0x01;
+  }
   bytes_h2d_ += src.size();
   charge_copy(src.size(), perf::Direction::kHostToDevice);
   // CPU time spent in the CUDA library (driver call + stream overhead).
@@ -134,6 +141,17 @@ GpuResult GpuDevice::memcpy_d2h(std::span<u8> dst, const DeviceBuffer& src,
     return {st, start, start};
   }
   std::memcpy(dst.data(), src.data() + src_offset, dst.size());
+  bool corrupt_result = pending_bad_result_;  // a lying kernel surfaces here
+  pending_bad_result_ = false;
+  if (injector_ != nullptr && !dst.empty() &&
+      injector_->should_fire(fault::Point::kPcieD2hCorrupt)) {
+    corrupt_result = true;
+  }
+  if (corrupt_result && !dst.empty()) {
+    // Flip a bit in the first result byte, status still kOk: the host now
+    // holds a wrong value it has no hardware-side reason to distrust.
+    dst.data()[0] ^= 0x01;
+  }
   bytes_d2h_ += dst.size();
   charge_copy(dst.size(), perf::Direction::kDeviceToHost);
   perf::charge_cpu_cycles(perf::kGpuDriverCallCycles +
@@ -163,6 +181,12 @@ GpuResult GpuDevice::launch(const KernelLaunch& kernel, StreamId stream, Picos s
   }
   const ExecStats stats = executor_->run(kernel.threads, kernel.body, kernel.track_divergence);
   if (stats_out != nullptr) *stats_out = stats;
+  if (injector_ != nullptr && injector_->should_fire(fault::Point::kGpuBadResult)) {
+    // Miscomputation: the launch reports success but one result is wrong.
+    // Deferred to the next D2H because the device cannot know which buffer
+    // the kernel treated as output.
+    pending_bad_result_ = true;
+  }
   ++kernels_launched_;
   perf::charge_cpu_cycles(perf::kGpuDriverCallCycles +
                           to_seconds(stream_call_overhead()) * perf::kCpuHz);

@@ -122,8 +122,17 @@ class GpuDevice {
 
   /// Attach a chaos-test fault injector (nullptr = faults off). Checked
   /// points: "gpu.sick" (device-wide, all ops), "gpu.launch", "gpu.copy",
-  /// "gpu.timeout".
-  void set_fault_injector(fault::FaultInjector* injector) { injector_ = injector; }
+  /// "gpu.timeout" — all *loud* (a failing status returns) — plus the
+  /// *silent* corruption points "pcie.h2d_corrupt", "pcie.d2h_corrupt",
+  /// and "gpu.bad_result", which flip data while still reporting kOk.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+    if (injector_ != nullptr) {
+      injector_->register_point(fault::Point::kPcieH2dCorrupt);
+      injector_->register_point(fault::Point::kPcieD2hCorrupt);
+      injector_->register_point(fault::Point::kGpuBadResult);
+    }
+  }
 
   /// Allocate device memory; throws std::bad_alloc past the 1.5 GB card
   /// capacity (section 2.1).
@@ -226,6 +235,10 @@ class GpuDevice {
   Picos copy_engine_free_ GUARDED_BY(op_mu_) = 0;
 
   std::shared_ptr<DeviceMemAccount> mem_ = std::make_shared<DeviceMemAccount>();
+  // Set by an injected "gpu.bad_result": the kernel "completed" but one
+  // result is wrong. The device cannot know which host buffer will read
+  // the results, so the corruption materializes on the next D2H copy.
+  bool pending_bad_result_ GUARDED_BY(op_mu_) = false;
   u64 kernels_launched_ GUARDED_BY(op_mu_) = 0;
   u64 bytes_h2d_ GUARDED_BY(op_mu_) = 0;
   u64 bytes_d2h_ GUARDED_BY(op_mu_) = 0;

@@ -15,6 +15,7 @@ const char* to_string(DropReason reason) {
     case DropReason::kQueueFull:  return "queue_full";
     case DropReason::kCorrupted:  return "corrupted";
     case DropReason::kSlowpathShed: return "slowpath_shed";
+    case DropReason::kIntegrityFail: return "integrity_fail";
     case DropReason::kCount:      break;
   }
   return "unknown";
@@ -28,6 +29,8 @@ PacketChunk::PacketChunk(u32 max_packets) : max_packets_(max_packets) {
   verdicts_.reserve(max_packets);
   drop_reasons_.reserve(max_packets);
   out_ports_.reserve(max_packets);
+  crcs_.reserve(max_packets);
+  integrity_bad_.reserve(max_packets);
 }
 
 void PacketChunk::clear() {
@@ -39,11 +42,14 @@ void PacketChunk::clear() {
   verdicts_.clear();
   drop_reasons_.clear();
   out_ports_.clear();
+  crcs_.clear();
+  integrity_bad_.clear();
+  stamped_ = false;
   in_port = -1;
   in_queue = 0;
 }
 
-bool PacketChunk::append(std::span<const u8> frame, u32 rss_hash) {
+bool PacketChunk::append(std::span<const u8> frame, u32 rss_hash, u32 wire_crc) {
   if (count_ >= max_packets_ || frame.size() > mem::kDataCellSize) return false;
   if (used_bytes_ + frame.size() > buffer_.size()) return false;
 
@@ -54,6 +60,9 @@ bool PacketChunk::append(std::span<const u8> frame, u32 rss_hash) {
   verdicts_.push_back(PacketVerdict::kForward);
   drop_reasons_.push_back(DropReason::kNone);
   out_ports_.push_back(-1);
+  crcs_.push_back(wire_crc);
+  integrity_bad_.push_back(0);
+  stamped_ = true;  // the wire CRC describes the bytes just copied in
   used_bytes_ += static_cast<u32>(frame.size());
   ++count_;
   return true;

@@ -34,6 +34,8 @@ enum class DropReason : u8 {
   kQueueFull,     // internal queue overflow with no fallback
   kCorrupted,     // NIC flagged the frame (bad checksum / DMA corruption)
   kSlowpathShed,  // slow-path admission control refused the packet
+  kIntegrityFail, // integrity stamp mismatch: silent corruption caught
+                  // before TX and unrepairable by a CPU re-shade
   kCount,
 };
 
@@ -55,8 +57,9 @@ class PacketChunk {
   void clear();
 
   /// Append a packet by copy; returns false when full (by packet count or
-  /// buffer bytes).
-  bool append(std::span<const u8> frame, u32 rss_hash = 0);
+  /// buffer bytes). `wire_crc` is the NIC's descriptor-side CRC32C over the
+  /// received bytes (the RX-admission integrity stamp).
+  bool append(std::span<const u8> frame, u32 rss_hash = 0, u32 wire_crc = 0);
 
   std::span<u8> packet(u32 i) {
     return {buffer_.data() + offsets_[i], lengths_[i]};
@@ -84,6 +87,23 @@ class PacketChunk {
     drop_reasons_[i] = reason;
   }
 
+  // --- integrity stamps (ps::integrity) --------------------------------------
+  // Per-packet CRC32C over the packet's current bytes. Seeded from the
+  // NIC's wire-side stamp at append and retaken by the integrity layer
+  // after each sanctioned mutation point; `integrity_bad` flags packets
+  // whose bytes stopped matching (set once at the boundary that first saw
+  // the corruption, so it is never double-counted downstream).
+  u32 crc(u32 i) const { return crcs_[i]; }
+  void set_crc(u32 i, u32 c) { crcs_[i] = c; }
+  bool integrity_bad(u32 i) const { return integrity_bad_[i] != 0; }
+  void set_integrity_bad(u32 i, bool bad) { integrity_bad_[i] = bad ? 1 : 0; }
+  /// Whether the per-packet CRCs describe the current bytes. True from
+  /// append (wire stamp); cleared when a path mutates bytes it will not
+  /// restamp (e.g. the CPU-only fast path, which ends integrity coverage
+  /// after the RX check).
+  bool stamped() const { return stamped_; }
+  void set_stamped(bool s) { stamped_ = s; }
+
   // --- provenance ------------------------------------------------------------
   int in_port = -1;
   u16 in_queue = 0;
@@ -99,6 +119,9 @@ class PacketChunk {
   std::vector<PacketVerdict> verdicts_;
   std::vector<DropReason> drop_reasons_;
   std::vector<i16> out_ports_;
+  std::vector<u32> crcs_;
+  std::vector<u8> integrity_bad_;
+  bool stamped_ = false;
 };
 
 }  // namespace ps::iengine

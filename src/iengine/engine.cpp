@@ -53,7 +53,7 @@ u32 IoHandle::recv_from_queue(const QueueRef& ref, PacketChunk& chunk, u32 max_t
 
   for (u32 i = 0; i < n; ++i) {
     const auto& slot = slots[i];
-    chunk.append({slot.data, slot.length}, slot.rss_hash);
+    chunk.append({slot.data, slot.length}, slot.rss_hash, slot.crc);
     if (!slot.checksum_ok) {
       // NIC flagged the frame corrupted on the wire/DMA; keep it in the
       // chunk so the drop is accounted, but never forward it.

@@ -1,0 +1,35 @@
+#include "integrity/crc32c.hpp"
+
+#include <array>
+
+namespace ps::integrity {
+namespace {
+
+// Reflected Castagnoli polynomial (0x1EDC6F41 bit-reversed).
+constexpr u32 kPolyReflected = 0x82F63B78u;
+
+constexpr std::array<u32, 256> make_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? (kPolyReflected ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<u32, 256> kTable = make_table();
+
+}  // namespace
+
+u32 crc32c(std::span<const u8> data, u32 seed) {
+  u32 crc = ~seed;
+  for (const u8 byte : data) {
+    crc = kTable[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace ps::integrity

@@ -1,0 +1,111 @@
+#include "integrity/integrity.hpp"
+
+#include "perf/calibration.hpp"
+#include "perf/ledger.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ps::integrity {
+
+const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::kRx:      return "rx";
+    case Stage::kGather:  return "gather";
+    case Stage::kScatter: return "scatter";
+    case Stage::kTx:      return "tx";
+    case Stage::kShadow:  return "shadow";
+    case Stage::kCount:   break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+// One CRC pass over `bytes` across `packets` packets, at the hardware
+// crc32-instruction rate. Attributed to whatever CpuChargeScope is live on
+// this thread (no-op outside a model run).
+void charge_crc_pass(u64 bytes, u64 packets) {
+  perf::charge_cpu_cycles(perf::kCrc32cCyclesPerByte * static_cast<double>(bytes) +
+                          perf::kCrc32cPerPacketCycles * static_cast<double>(packets));
+}
+
+}  // namespace
+
+void IntegrityChecker::stamp_chunk(iengine::PacketChunk& chunk) {
+  if (!config_.stamping) return;
+  const u32 n = chunk.count();
+  u64 bytes = 0;
+  u64 stamped = 0;
+  for (u32 i = 0; i < n; ++i) {
+    if (chunk.verdict(i) == iengine::PacketVerdict::kDrop) continue;
+    const auto bytes_i = chunk.packet(i);
+    chunk.set_crc(i, crc32c(bytes_i));
+    chunk.set_integrity_bad(i, false);
+    bytes += bytes_i.size();
+    ++stamped;
+  }
+  chunk.set_stamped(true);
+  stamped_packets_.fetch_add(stamped, std::memory_order_relaxed);
+  charge_crc_pass(bytes, stamped);
+}
+
+u32 IntegrityChecker::verify_chunk(iengine::PacketChunk& chunk, Stage stage) {
+  if (!config_.stamping || !chunk.stamped()) return 0;
+  const u32 n = chunk.count();
+  u32 newly_bad = 0;
+  u64 bytes = 0;
+  u64 checked = 0;
+  for (u32 i = 0; i < n; ++i) {
+    if (chunk.verdict(i) == iengine::PacketVerdict::kDrop) continue;
+    if (chunk.integrity_bad(i)) continue;  // already localized upstream
+    const auto bytes_i = chunk.packet(i);
+    bytes += bytes_i.size();
+    ++checked;
+    if (crc32c(bytes_i) != chunk.crc(i)) {
+      chunk.set_integrity_bad(i, true);
+      ++newly_bad;
+    }
+  }
+  verified_packets_.fetch_add(checked, std::memory_order_relaxed);
+  if (newly_bad != 0) {
+    corrupt_at_[static_cast<std::size_t>(stage)].fetch_add(newly_bad,
+                                                           std::memory_order_relaxed);
+  }
+  charge_crc_pass(bytes, checked);
+  return newly_bad;
+}
+
+u64 IntegrityChecker::total_corrupt() const {
+  u64 total = 0;
+  for (const auto& c : corrupt_at_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+void IntegrityChecker::register_metrics(telemetry::MetricsRegistry& registry) {
+  using telemetry::MetricKind;
+  registry.register_probe("integrity.corrupt_at.rx", MetricKind::kCounter,
+                          [this] { return corrupt_at(Stage::kRx); });
+  registry.register_probe("integrity.corrupt_at.gather", MetricKind::kCounter,
+                          [this] { return corrupt_at(Stage::kGather); });
+  registry.register_probe("integrity.corrupt_at.scatter", MetricKind::kCounter,
+                          [this] { return corrupt_at(Stage::kScatter); });
+  registry.register_probe("integrity.corrupt_at.tx", MetricKind::kCounter,
+                          [this] { return corrupt_at(Stage::kTx); });
+  registry.register_probe("integrity.corrupt_at.shadow", MetricKind::kCounter,
+                          [this] { return corrupt_at(Stage::kShadow); });
+  registry.register_probe("integrity.verified_packets", MetricKind::kCounter,
+                          [this] { return verified_packets(); });
+  registry.register_probe("integrity.stamped_packets", MetricKind::kCounter,
+                          [this] { return stamped_packets(); });
+  registry.register_probe("integrity.shadow_batches", MetricKind::kCounter,
+                          [this] { return shadow_batches(); });
+  registry.register_probe("integrity.shadow_mismatch_batches", MetricKind::kCounter,
+                          [this] { return shadow_mismatch_batches(); });
+  registry.register_probe("integrity.reshaded_batches", MetricKind::kCounter,
+                          [this] { return reshaded_batches(); });
+  registry.register_probe("integrity.quarantined_packets", MetricKind::kCounter,
+                          [this] { return quarantined_packets(); });
+  registry.register_probe("integrity.devices_tripped", MetricKind::kCounter,
+                          [this] { return devices_tripped(); });
+}
+
+}  // namespace ps::integrity

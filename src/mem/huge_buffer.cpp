@@ -6,6 +6,7 @@ HugePacketBuffer::HugePacketBuffer(u32 cells, int numa_node)
     : cell_count_(cells),
       numa_node_(numa_node),
       data_(static_cast<std::size_t>(cells) * kDataCellSize),
-      metadata_(cells) {}
+      metadata_(cells),
+      crcs_(cells) {}
 
 }  // namespace ps::mem

@@ -58,6 +58,19 @@ class HugePacketBuffer {
     return metadata_[index];
   }
 
+  /// Per-descriptor CRC32C the NIC deposits over the received bytes (the
+  /// RX-admission integrity stamp). Kept in a sidecar region rather than
+  /// PacketMetadata, which is locked to 8 bytes by the static_assert above
+  /// — real 82599 descriptors carry their FCS result out-of-band too.
+  u32 cell_crc(u32 index) const {
+    assert(index < cell_count_);
+    return crcs_[index];
+  }
+  void set_cell_crc(u32 index, u32 crc) {
+    assert(index < cell_count_);
+    crcs_[index] = crc;
+  }
+
   /// Total resident bytes (data + metadata regions) — what one DMA mapping
   /// covers instead of a mapping per packet.
   u64 mapped_bytes() const noexcept {
@@ -69,6 +82,7 @@ class HugePacketBuffer {
   int numa_node_;
   std::vector<u8> data_;
   std::vector<PacketMetadata> metadata_;
+  std::vector<u32> crcs_;  // sidecar: one wire CRC per cell
 };
 
 }  // namespace ps::mem

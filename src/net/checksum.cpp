@@ -58,6 +58,40 @@ void ipv4_decrement_ttl(Ipv4Header& h) {
   h.set_checksum(checksum_update16(h.checksum(), old_word, new_word));
 }
 
+u16 l4_checksum_ipv6(const Ipv6Header& ip, std::span<const u8> l4) {
+  u8 pseudo[40];
+  std::memcpy(pseudo, ip.src_bytes, 16);
+  std::memcpy(pseudo + 16, ip.dst_bytes, 16);
+  store_be32(pseudo + 32, static_cast<u32>(l4.size()));
+  pseudo[36] = pseudo[37] = pseudo[38] = 0;
+  pseudo[39] = ip.next_header;
+  const u32 partial = checksum_partial({pseudo, sizeof(pseudo)});
+  return checksum_finish(checksum_partial(l4, partial));
+}
+
+void udp6_fill_checksum(const Ipv6Header& ip, std::span<u8> l4) {
+  auto& udp = *reinterpret_cast<UdpHeader*>(l4.data());
+  udp.set_checksum(0);
+  u16 sum = l4_checksum_ipv6(ip, l4);
+  if (sum == 0) sum = 0xffff;  // computed 0 transmits as all-ones (RFC 768)
+  udp.set_checksum(sum);
+}
+
+bool udp6_checksum_ok(const Ipv6Header& ip, std::span<const u8> l4) {
+  if (l4.size() < sizeof(UdpHeader)) return false;
+  const auto& udp = *reinterpret_cast<const UdpHeader*>(l4.data());
+  if (udp.checksum() == 0) return false;  // mandatory for IPv6 (RFC 8200 §8.1)
+  // Summing the span including the stored checksum must fold to 0xffff.
+  u8 pseudo[40];
+  std::memcpy(pseudo, ip.src_bytes, 16);
+  std::memcpy(pseudo + 16, ip.dst_bytes, 16);
+  store_be32(pseudo + 32, static_cast<u32>(l4.size()));
+  pseudo[36] = pseudo[37] = pseudo[38] = 0;
+  pseudo[39] = ip.next_header;
+  const u32 partial = checksum_partial({pseudo, sizeof(pseudo)});
+  return checksum_finish(checksum_partial(l4, partial)) == 0;
+}
+
 u16 l4_checksum_ipv4(const Ipv4Header& ip, std::span<const u8> l4) {
   u8 pseudo[12];
   store_be32(pseudo, ip.src().value);

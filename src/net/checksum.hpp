@@ -35,4 +35,20 @@ void ipv4_decrement_ttl(Ipv4Header& h);
 /// header plus payload.
 u16 l4_checksum_ipv4(const Ipv4Header& ip, std::span<const u8> l4);
 
+/// UDP/TCP checksum over an IPv6 pseudo header (RFC 8200 §8.1: 16-byte
+/// src + dst, 32-bit upper-layer length, 3 zero bytes, next header).
+/// `l4` spans the transport header plus payload; its size is used as the
+/// pseudo-header length. The checksum field's stored bytes are summed
+/// as-is — zero it before computing a fresh value.
+u16 l4_checksum_ipv6(const Ipv6Header& ip, std::span<const u8> l4);
+
+/// Compute and install the UDP checksum of an IPv6|UDP transport span
+/// (`l4` starts at the UDP header). A computed 0 is stored as 0xffff —
+/// on the wire 0 means "no checksum", which IPv6 forbids for UDP.
+void udp6_fill_checksum(const Ipv6Header& ip, std::span<u8> l4);
+
+/// True when the stored IPv6 UDP checksum verifies. An all-zero stored
+/// checksum fails: IPv6 makes the UDP checksum mandatory.
+bool udp6_checksum_ok(const Ipv6Header& ip, std::span<const u8> l4);
+
 }  // namespace ps::net

@@ -57,6 +57,10 @@ ParseStatus parse_packet(u8* data, u32 length, PacketView& out) {
       out.has_l4 = (out.ip_proto == IpProto::kUdp && ip.payload_length() >= sizeof(UdpHeader)) ||
                    (out.ip_proto == IpProto::kTcp && ip.payload_length() >= sizeof(TcpHeader)) ||
                    (out.ip_proto == IpProto::kEsp && ip.payload_length() >= sizeof(EspHeader));
+      if (out.ip_proto == IpProto::kUdp && out.has_l4 &&
+          !udp6_checksum_ok(ip, {data + out.l4_offset, ip.payload_length()})) {
+        return ParseStatus::kBadChecksum;  // mandatory for IPv6, unlike IPv4 UDP
+      }
       return ParseStatus::kOk;
     }
     default:
@@ -115,7 +119,8 @@ FrameBuffer build_udp_ipv6(const FrameSpec& spec, const Ipv6Addr& src, const Ipv
   udp.set_src_port(spec.src_port);
   udp.set_dst_port(spec.dst_port);
   udp.set_length(static_cast<u16>(size - sizeof(EthernetHeader) - sizeof(Ipv6Header)));
-  udp.set_checksum(0xffff);  // placeholder; IPv6 requires nonzero
+  udp6_fill_checksum(ip, {frame.data() + sizeof(EthernetHeader) + sizeof(Ipv6Header),
+                          ip.payload_length()});
 
   return frame;
 }

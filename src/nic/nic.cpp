@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "integrity/crc32c.hpp"
 #include "net/packet.hpp"
 #include "perf/model.hpp"
 
@@ -54,6 +55,7 @@ void NicPort::set_fault_injector(fault::FaultInjector* injector) {
     injector_->register_point("nic.rx_corrupt");
     injector_->register_point("nic.tx_reject");
     injector_->register_point("mem.cell_exhausted");
+    injector_->register_point(fault::Point::kMemBitflip);
     injector_->register_point(link_down_point_);
     injector_->register_point(link_flap_point_);
   }
@@ -155,11 +157,23 @@ bool NicPort::receive_frame(std::span<const u8> frame) {
   meta.length = static_cast<u16>(frame.size());
   meta.rss_hash = hash;
   meta.status = checksum_ok ? 1 : 0;
+  // Wire-side integrity stamp: the NIC computes a CRC32C over the bytes it
+  // saw on the wire and deposits it next to the descriptor. Hardware work —
+  // no CPU cycles are charged — and computed from `frame` (pre-DMA bytes),
+  // so anything that mangles the cell afterwards is detectable.
+  q.buffer->set_cell_crc(cell, integrity::crc32c(frame));
   if (injector_ != nullptr && injector_->should_fire("nic.rx_corrupt")) {
     // Bit flip during DMA; the hardware checksum engine catches it and
     // clears the descriptor's checksum-ok status bit.
     dst.data()[frame.size() - 1] ^= 0xff;
     meta.status = 0;
+  }
+  if (injector_ != nullptr && injector_->should_fire(fault::Point::kMemBitflip)) {
+    // *Silent* corruption: a bit flips in the huge-buffer cell after DMA
+    // completed (cosmic ray, bad DIMM). The descriptor status stays ok —
+    // nothing hardware-side will ever flag this packet. Only the wire-CRC
+    // re-check at RX admission can catch it.
+    dst.data()[frame.size() / 2] ^= 0x01;
   }
 
   const bool was_empty = q.count() == 0;
@@ -192,6 +206,7 @@ u32 NicPort::rx_peek(u16 queue, RxSlot* out, u32 max) const {
         .data = q.buffer->cell_data(cell).data(),
         .length = meta.length,
         .rss_hash = meta.rss_hash,
+        .crc = q.buffer->cell_crc(cell),
         .checksum_ok = meta.status != 0,
     };
   }

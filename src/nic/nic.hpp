@@ -58,6 +58,7 @@ struct RxSlot {
   const u8* data = nullptr;
   u16 length = 0;
   u32 rss_hash = 0;
+  u32 crc = 0;  // NIC's CRC32C over the wire bytes (integrity stamp)
   bool checksum_ok = true;
 };
 
@@ -85,10 +86,12 @@ class NicPort {
   /// disables). Registered points: "nic.rx_ring_full" (RX ring-full burst),
   /// "nic.rx_corrupt" (frame corrupted on DMA, flagged in the descriptor),
   /// "nic.tx_reject" (TX-ring backpressure), "mem.cell_exhausted"
-  /// (huge-buffer cell unavailable), "nic.link_down.<port>" (per-frame
-  /// link fault, both directions), and "nic.link_flap.<port>" (carrier
-  /// loss: the link-state latch below goes down for the window). The
-  /// injector must outlive the port.
+  /// (huge-buffer cell unavailable), "mem.bitflip" (*silent* bit flip in
+  /// the huge-buffer cell after DMA: descriptor status stays ok, only the
+  /// integrity layer's wire-CRC check can see it), "nic.link_down.<port>"
+  /// (per-frame link fault, both directions), and "nic.link_flap.<port>"
+  /// (carrier loss: the link-state latch below goes down for the window).
+  /// The injector must outlive the port.
   void set_fault_injector(fault::FaultInjector* injector);
 
   // --- link state (carrier) ------------------------------------------------

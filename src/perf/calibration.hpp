@@ -227,6 +227,15 @@ inline constexpr double kGpuFlowHashInstr = 90.0;
 inline constexpr double kGpuWildcardInstrPerEntry = 3.2;
 inline constexpr double kGpuExactLookupInstr = 55.0;
 
+// Data-plane integrity (silent-corruption defense): CRC32C stamping and
+// boundary re-checks. Priced at the SSE4.2 `crc32` instruction rate (~1
+// quadword per 3-cycle latency, software-pipelined to ~1 byte / 0.125
+// cycles effective) plus a fixed per-packet dispatch cost. The NIC-side
+// wire stamp is hardware — it charges no CPU cycles, only the boundary
+// re-checks on the cores do.
+inline constexpr double kCrc32cCyclesPerByte = 0.125;
+inline constexpr double kCrc32cPerPacketCycles = 10.0;
+
 // ---------------------------------------------------------------------------
 // Memory-latency microbenchmark (section 2.4): an X5550 core sustains ~6
 // outstanding misses alone, ~4 when all four cores burst. ~100 ns raw miss.

@@ -1,0 +1,83 @@
+// Seed-replay determinism: the reproducibility contract the chaos tests
+// build on. Same seed + same hit sequence => byte-identical firing record,
+// including probabilistic rules, because probability draws are serialized
+// with hits under the injector lock.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+
+namespace ps::fault {
+namespace {
+
+// A deterministic interleaved "traffic pattern" over three points, with a
+// mix of always-fire windows and coin-flip rules.
+std::vector<Firing> run_schedule(u64 seed) {
+  FaultInjector inj(seed);
+  inj.set_record_firings(true);
+  inj.add_rule({.point = "mem.bitflip", .after = 5, .count = 10});
+  inj.add_rule({.point = "pcie.h2d_corrupt", .after = 2, .count = 50, .probability = 0.3});
+  inj.add_rule({.point = "gpu.bad_result", .after = 0, .count = 7, .probability = 0.5});
+  for (int round = 0; round < 40; ++round) {
+    inj.should_fire("mem.bitflip");
+    if (round % 2 == 0) inj.should_fire("pcie.h2d_corrupt");
+    if (round % 3 == 0) inj.should_fire("gpu.bad_result");
+  }
+  return inj.firings();
+}
+
+TEST(FaultReplay, SameSeedSameTrafficIdenticalFirings) {
+  const auto a = run_schedule(42);
+  const auto b = run_schedule(42);
+  EXPECT_FALSE(a.empty());  // the deterministic window alone fires 10 times
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultReplay, FiringsRecordPointAndHitIndex) {
+  const auto firings = run_schedule(42);
+  u64 bitflips = 0;
+  for (const auto& f : firings) {
+    if (f.point != "mem.bitflip") continue;
+    // The window [after=5, count=10) fires exactly on hits 5..14.
+    EXPECT_GE(f.hit, 5u);
+    EXPECT_LT(f.hit, 15u);
+    ++bitflips;
+  }
+  EXPECT_EQ(bitflips, 10u);
+}
+
+TEST(FaultReplay, DifferentSeedsDivergeOnProbabilisticRules) {
+  // Deterministic windows match across seeds; the coin-flip rules make the
+  // full sequences differ for at least one of a handful of seeds (all equal
+  // would mean the RNG ignores its seed).
+  const auto base = run_schedule(1);
+  bool diverged = false;
+  for (u64 seed = 2; seed <= 6 && !diverged; ++seed) {
+    diverged = (run_schedule(seed) != base);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultReplay, ResetClearsFiringsButKeepsRecording) {
+  FaultInjector inj(7);
+  inj.set_record_firings(true);
+  inj.add_rule({.point = "mem.bitflip", .after = 0, .count = 3});
+  for (int i = 0; i < 5; ++i) inj.should_fire("mem.bitflip");
+  ASSERT_EQ(inj.firings().size(), 3u);
+
+  inj.reset();
+  EXPECT_TRUE(inj.firings().empty());
+  EXPECT_EQ(inj.stats("mem.bitflip").hits, 0u);
+
+  // Still recording: a re-added schedule is captured again.
+  inj.add_rule({.point = "mem.bitflip", .after = 1, .count = 1});
+  for (int i = 0; i < 3; ++i) inj.should_fire("mem.bitflip");
+  const auto firings = inj.firings();
+  ASSERT_EQ(firings.size(), 1u);
+  EXPECT_EQ(firings[0], (Firing{.point = "mem.bitflip", .hit = 1}));
+}
+
+}  // namespace
+}  // namespace ps::fault

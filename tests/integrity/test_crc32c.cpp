@@ -1,0 +1,68 @@
+// CRC32C (Castagnoli) known-answer and chaining properties. The vectors are
+// the canonical ones from RFC 3720 appendix B.4, so a table regression can't
+// silently redefine what "intact bytes" means for the whole integrity layer.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "integrity/crc32c.hpp"
+
+namespace ps::integrity {
+namespace {
+
+std::span<const u8> bytes(const char* s) {
+  return {reinterpret_cast<const u8*>(s), std::strlen(s)};
+}
+
+TEST(Crc32c, KnownAnswerCheckString) {
+  // The classic CRC "check" value.
+  EXPECT_EQ(crc32c(bytes("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32c, KnownAnswerRfc3720Vectors) {
+  // RFC 3720 B.4: 32 bytes of zeros / ones / ascending.
+  std::array<u8, 32> buf{};
+  EXPECT_EQ(crc32c(buf), 0x8A9136AAu);
+  buf.fill(0xff);
+  EXPECT_EQ(crc32c(buf), 0x62A8AB43u);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<u8>(i);
+  EXPECT_EQ(crc32c(buf), 0x46DD794Eu);
+}
+
+TEST(Crc32c, EmptyInputIsSeed) {
+  EXPECT_EQ(crc32c({}), 0u);
+  EXPECT_EQ(crc32c({}, 0xdeadbeefu), 0xdeadbeefu);
+}
+
+TEST(Crc32c, SeedChainsFragments) {
+  // crc(a ++ b) == crc(b, seed = crc(a)) for every split point — the
+  // property the NIC relies on to stamp frames cell by cell.
+  std::vector<u8> data(97);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i * 7 + 3);
+  const u32 whole = crc32c(data);
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const u32 first = crc32c({data.data(), split});
+    const u32 chained = crc32c({data.data() + split, data.size() - split}, first);
+    EXPECT_EQ(chained, whole) << "split=" << split;
+  }
+}
+
+TEST(Crc32c, SingleBitFlipChangesCrc) {
+  // Detection guarantee the fault points lean on: any one flipped bit in a
+  // frame-sized buffer must change the stamp.
+  std::vector<u8> data(64, 0xa5);
+  const u32 clean = crc32c(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<u8>(1u << bit);
+      EXPECT_NE(crc32c(data), clean) << "byte=" << byte << " bit=" << bit;
+      data[byte] ^= static_cast<u8>(1u << bit);
+    }
+  }
+  EXPECT_EQ(crc32c(data), clean);
+}
+
+}  // namespace
+}  // namespace ps::integrity

@@ -1,0 +1,174 @@
+// IntegrityChecker unit semantics: stamp/verify localization, the
+// first-boundary-counts-once rule, shadow sampling/escalation decisions,
+// and the exported integrity.* metric probes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "iengine/chunk.hpp"
+#include "integrity/integrity.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ps::integrity {
+namespace {
+
+using iengine::DropReason;
+using iengine::PacketChunk;
+using iengine::PacketVerdict;
+
+PacketChunk make_chunk(u32 packets, u32 frame_size = 64) {
+  PacketChunk chunk;
+  std::vector<u8> frame(frame_size);
+  for (u32 p = 0; p < packets; ++p) {
+    for (u32 i = 0; i < frame_size; ++i) frame[i] = static_cast<u8>(p * 31 + i);
+    EXPECT_TRUE(chunk.append(frame));
+  }
+  return chunk;
+}
+
+TEST(Integrity, StampThenVerifyCleanChunk) {
+  IntegrityChecker checker;
+  auto chunk = make_chunk(8);
+  checker.stamp_chunk(chunk);
+  EXPECT_TRUE(chunk.stamped());
+  EXPECT_EQ(checker.stamped_packets(), 8u);
+  EXPECT_EQ(checker.verify_chunk(chunk, Stage::kGather), 0u);
+  EXPECT_EQ(checker.verified_packets(), 8u);
+  EXPECT_EQ(checker.total_corrupt(), 0u);
+}
+
+TEST(Integrity, CorruptionLocalizedAtFirstBoundaryOnly) {
+  IntegrityChecker checker;
+  auto chunk = make_chunk(4);
+  checker.stamp_chunk(chunk);
+
+  chunk.packet(2)[10] ^= 0x01;  // silent single-bit flip
+
+  EXPECT_EQ(checker.verify_chunk(chunk, Stage::kGather), 1u);
+  EXPECT_TRUE(chunk.integrity_bad(2));
+  EXPECT_EQ(checker.corrupt_at(Stage::kGather), 1u);
+
+  // Downstream boundaries see the flag and must not recount.
+  EXPECT_EQ(checker.verify_chunk(chunk, Stage::kScatter), 0u);
+  EXPECT_EQ(checker.verify_chunk(chunk, Stage::kTx), 0u);
+  EXPECT_EQ(checker.corrupt_at(Stage::kScatter), 0u);
+  EXPECT_EQ(checker.corrupt_at(Stage::kTx), 0u);
+  EXPECT_EQ(checker.total_corrupt(), 1u);
+}
+
+TEST(Integrity, DroppedPacketsAreSkipped) {
+  IntegrityChecker checker;
+  auto chunk = make_chunk(3);
+  chunk.set_drop(1, DropReason::kParseError);
+  checker.stamp_chunk(chunk);
+  EXPECT_EQ(checker.stamped_packets(), 2u);  // the drop is not stamped
+
+  chunk.packet(1)[0] ^= 0xff;  // corrupting a dead packet is invisible
+  EXPECT_EQ(checker.verify_chunk(chunk, Stage::kTx), 0u);
+  EXPECT_EQ(checker.verified_packets(), 2u);
+  EXPECT_FALSE(chunk.integrity_bad(1));
+}
+
+TEST(Integrity, RestampClearsFlagsAndCoversNewBytes) {
+  IntegrityChecker checker;
+  auto chunk = make_chunk(2);
+  checker.stamp_chunk(chunk);
+  chunk.packet(0)[5] ^= 0x10;
+  EXPECT_EQ(checker.verify_chunk(chunk, Stage::kRx), 1u);
+
+  // A sanctioned mutation point restamps: the current bytes become the new
+  // ground truth and the bad flag is wiped.
+  checker.stamp_chunk(chunk);
+  EXPECT_FALSE(chunk.integrity_bad(0));
+  EXPECT_EQ(checker.verify_chunk(chunk, Stage::kTx), 0u);
+}
+
+TEST(Integrity, UnstampedChunkVerifiesAsClean) {
+  IntegrityChecker checker;
+  auto chunk = make_chunk(2);
+  chunk.set_stamped(false);  // e.g. the CPU-only fast path ended coverage
+  chunk.packet(0)[0] ^= 0xff;
+  EXPECT_EQ(checker.verify_chunk(chunk, Stage::kTx), 0u);
+  EXPECT_EQ(checker.verified_packets(), 0u);
+}
+
+TEST(Integrity, StampingDisabledIsInert) {
+  IntegrityChecker checker(IntegrityConfig{.stamping = false});
+  auto chunk = make_chunk(2);
+  checker.stamp_chunk(chunk);
+  EXPECT_EQ(checker.stamped_packets(), 0u);
+  chunk.packet(0)[0] ^= 0xff;
+  EXPECT_EQ(checker.verify_chunk(chunk, Stage::kTx), 0u);
+  EXPECT_EQ(checker.total_corrupt(), 0u);
+}
+
+TEST(Integrity, ShadowSamplingOneInN) {
+  IntegrityChecker checker(IntegrityConfig{.shadow_sample_every = 4});
+  u32 sampled = 0;
+  for (u64 seq = 0; seq < 64; ++seq) {
+    if (checker.should_shadow_verify(seq, /*escalated=*/false)) ++sampled;
+  }
+  EXPECT_EQ(sampled, 16u);
+  EXPECT_TRUE(checker.should_shadow_verify(0, false));
+  EXPECT_FALSE(checker.should_shadow_verify(1, false));
+}
+
+TEST(Integrity, ShadowEscalationVerifiesEveryBatch) {
+  IntegrityChecker checker(IntegrityConfig{.shadow_sample_every = 1000});
+  EXPECT_FALSE(checker.should_shadow_verify(1, /*escalated=*/false));
+  EXPECT_TRUE(checker.should_shadow_verify(1, /*escalated=*/true));
+}
+
+TEST(Integrity, ShadowSamplingZeroDisables) {
+  IntegrityChecker checker(IntegrityConfig{.shadow_sample_every = 0});
+  EXPECT_FALSE(checker.should_shadow_verify(0, false));
+  EXPECT_FALSE(checker.should_shadow_verify(0, true));  // even escalated
+}
+
+TEST(Integrity, ShadowMismatchCountsBatchAndPackets) {
+  IntegrityChecker checker;
+  checker.count_shadow_batch();
+  checker.count_shadow_batch();
+  checker.count_shadow_mismatch(3);
+  checker.count_reshaded_batch();
+  checker.count_quarantined(2);
+  checker.count_device_suspect();
+  EXPECT_EQ(checker.shadow_batches(), 2u);
+  EXPECT_EQ(checker.shadow_mismatch_batches(), 1u);
+  EXPECT_EQ(checker.corrupt_at(Stage::kShadow), 3u);
+  EXPECT_EQ(checker.reshaded_batches(), 1u);
+  EXPECT_EQ(checker.quarantined_packets(), 2u);
+  EXPECT_EQ(checker.devices_tripped(), 1u);
+}
+
+TEST(Integrity, RegisterMetricsExportsAllProbes) {
+  IntegrityChecker checker;
+  telemetry::MetricsRegistry registry;
+  checker.register_metrics(registry);
+
+  auto chunk = make_chunk(4);
+  checker.stamp_chunk(chunk);
+  chunk.packet(0)[0] ^= 0x01;
+  checker.verify_chunk(chunk, Stage::kScatter);
+  checker.count_shadow_batch();
+  checker.count_shadow_mismatch(1);
+  checker.count_quarantined(1);
+
+  const auto snap = registry.snapshot();
+  for (const char* name :
+       {"integrity.corrupt_at.rx", "integrity.corrupt_at.gather",
+        "integrity.corrupt_at.scatter", "integrity.corrupt_at.tx",
+        "integrity.corrupt_at.shadow", "integrity.verified_packets",
+        "integrity.stamped_packets", "integrity.shadow_batches",
+        "integrity.shadow_mismatch_batches", "integrity.reshaded_batches",
+        "integrity.quarantined_packets", "integrity.devices_tripped"}) {
+    EXPECT_TRUE(snap.has(name)) << name;
+  }
+  EXPECT_EQ(snap.value("integrity.corrupt_at.scatter"), 1u);
+  EXPECT_EQ(snap.value("integrity.stamped_packets"), 4u);
+  EXPECT_EQ(snap.value("integrity.shadow_mismatch_batches"), 1u);
+  EXPECT_EQ(snap.value("integrity.quarantined_packets"), 1u);
+}
+
+}  // namespace
+}  // namespace ps::integrity

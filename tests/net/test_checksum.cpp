@@ -72,6 +72,74 @@ TEST(Checksum, L4ChecksumVerifies) {
   EXPECT_EQ(l4_checksum_ipv4(ip, l4), 0x0000);
 }
 
+namespace {
+std::span<u8> udp6_l4_span(FrameBuffer& frame) {
+  auto& ip = *reinterpret_cast<Ipv6Header*>(frame.data() + sizeof(EthernetHeader));
+  return {frame.data() + sizeof(EthernetHeader) + sizeof(Ipv6Header), ip.payload_length()};
+}
+}  // namespace
+
+TEST(Checksum, Udp6BuilderInstallsVerifiableChecksum) {
+  auto frame = build_udp_ipv6({}, Ipv6Addr::from_words(0x2001, 1),
+                              Ipv6Addr::from_words(0x2001, 2));
+  const auto& ip = *reinterpret_cast<const Ipv6Header*>(frame.data() + sizeof(EthernetHeader));
+  const auto& udp = *reinterpret_cast<const UdpHeader*>(frame.data() + sizeof(EthernetHeader) +
+                                                        sizeof(Ipv6Header));
+  EXPECT_NE(udp.checksum(), 0u);  // mandatory for IPv6
+  EXPECT_TRUE(udp6_checksum_ok(ip, udp6_l4_span(frame)));
+}
+
+TEST(Checksum, Udp6PayloadCorruptionDetected) {
+  FrameSpec spec;
+  spec.frame_size = 120;
+  auto frame = build_udp_ipv6(spec, Ipv6Addr::from_words(0xfd00, 1),
+                              Ipv6Addr::from_words(0xfd00, 2));
+  const auto& ip = *reinterpret_cast<const Ipv6Header*>(frame.data() + sizeof(EthernetHeader));
+  frame[frame.size() - 1] ^= 0x01;  // flip one payload bit
+  EXPECT_FALSE(udp6_checksum_ok(ip, udp6_l4_span(frame)));
+}
+
+TEST(Checksum, Udp6PseudoHeaderCoversAddresses) {
+  auto frame = build_udp_ipv6({}, Ipv6Addr::from_words(0x2001, 1),
+                              Ipv6Addr::from_words(0x2001, 2));
+  auto& ip = *reinterpret_cast<Ipv6Header*>(frame.data() + sizeof(EthernetHeader));
+  ip.dst_bytes[15] ^= 0x01;  // address rewrite without checksum fixup
+  EXPECT_FALSE(udp6_checksum_ok(ip, udp6_l4_span(frame)));
+}
+
+TEST(Checksum, Udp6ZeroChecksumIsRejected) {
+  auto frame = build_udp_ipv6({}, Ipv6Addr::from_words(0x2001, 1),
+                              Ipv6Addr::from_words(0x2001, 2));
+  const auto& ip = *reinterpret_cast<const Ipv6Header*>(frame.data() + sizeof(EthernetHeader));
+  auto& udp = *reinterpret_cast<UdpHeader*>(frame.data() + sizeof(EthernetHeader) +
+                                            sizeof(Ipv6Header));
+  udp.set_checksum(0);  // "no checksum" is illegal over IPv6 (RFC 8200 §8.1)
+  EXPECT_FALSE(udp6_checksum_ok(ip, udp6_l4_span(frame)));
+}
+
+TEST(Checksum, Udp6ComputedZeroStoredAsAllOnes) {
+  // Craft a datagram whose checksum computes to 0: fill, read the installed
+  // value, then tweak one payload word by exactly that amount so the fresh
+  // sum folds to zero. RFC 768 says transmit 0xffff in that case.
+  FrameSpec spec;
+  spec.frame_size = 80;
+  auto frame = build_udp_ipv6(spec, Ipv6Addr::from_words(0x2001, 1),
+                              Ipv6Addr::from_words(0x2001, 2));
+  const auto& ip = *reinterpret_cast<const Ipv6Header*>(frame.data() + sizeof(EthernetHeader));
+  auto l4 = udp6_l4_span(frame);
+  auto& udp = *reinterpret_cast<UdpHeader*>(l4.data());
+
+  // Moving the installed checksum value into a zero payload word keeps the
+  // one's-complement sum at 0xffff, i.e. the fresh checksum computes 0.
+  store_be16(l4.data() + sizeof(UdpHeader), udp.checksum());
+  udp.set_checksum(0);
+  ASSERT_EQ(l4_checksum_ipv6(ip, l4), 0u);
+
+  udp6_fill_checksum(ip, l4);
+  EXPECT_EQ(udp.checksum(), 0xffffu);
+  EXPECT_TRUE(udp6_checksum_ok(ip, l4));
+}
+
 TEST(Checksum, PartialCombination) {
   const u8 data[] = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x02};
   const u32 all = checksum_partial(data);

@@ -66,6 +66,28 @@ TEST(PacketParse, BadChecksumDetected) {
             ParseStatus::kBadChecksum);
 }
 
+TEST(PacketParse, Udp6BadChecksumDetected) {
+  auto frame = build_udp_ipv6({}, Ipv6Addr::from_words(0x2001, 1),
+                              Ipv6Addr::from_words(0x2002, 2));
+  PacketView view;
+  ASSERT_EQ(parse_packet(frame.data(), static_cast<u32>(frame.size()), view),
+            ParseStatus::kOk);
+  frame[frame.size() - 1] ^= 0x01;  // corrupt one payload bit
+  EXPECT_EQ(parse_packet(frame.data(), static_cast<u32>(frame.size()), view),
+            ParseStatus::kBadChecksum);
+}
+
+TEST(PacketParse, Udp6ZeroChecksumRejected) {
+  auto frame = build_udp_ipv6({}, Ipv6Addr::from_words(0x2001, 1),
+                              Ipv6Addr::from_words(0x2002, 2));
+  auto& udp = *reinterpret_cast<UdpHeader*>(frame.data() + sizeof(EthernetHeader) +
+                                            sizeof(Ipv6Header));
+  udp.set_checksum(0);  // mandatory for IPv6, unlike IPv4
+  PacketView view;
+  EXPECT_EQ(parse_packet(frame.data(), static_cast<u32>(frame.size()), view),
+            ParseStatus::kBadChecksum);
+}
+
 TEST(PacketParse, BadVersionDetected) {
   auto frame = build_udp_ipv4({}, Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2));
   auto& ip = *reinterpret_cast<Ipv4Header*>(frame.data() + sizeof(EthernetHeader));

@@ -1,8 +1,18 @@
-// Fixture: registry-sync fires both ways — a registered-but-undocumented
-// name and a documented-but-unregistered one (router.phantom in docs.md).
+// Fixture: registry-sync fires both ways — registered-but-undocumented
+// names and documented-but-unregistered ones (router.phantom,
+// integrity.phantom, pcie.phantom_fault in docs.md) — across every
+// checked prefix family: metrics (router.*, integrity.*) and fault
+// points (pcie.*).
+#include <string_view>
 struct Reg { template <typename F> void register_probe(const char*, int, F); };
 
 void wire(Reg& reg) {
-  reg.register_probe("router.ghost_metric", 0, [] { return 0; });  // finding
-  reg.register_probe("router.rx_packets", 0, [] { return 0; });    // ok
+  reg.register_probe("router.ghost_metric", 0, [] { return 0; });     // finding
+  reg.register_probe("router.rx_packets", 0, [] { return 0; });       // ok
+  reg.register_probe("integrity.ghost_metric", 0, [] { return 0; });  // finding
+  reg.register_probe("integrity.quarantined", 0, [] { return 0; });   // ok
 }
+
+// Fault-point declarations: the doc tables must carry these too.
+constexpr std::string_view kGhostFault = "pcie.ghost_fault";  // finding
+constexpr std::string_view kRealFault = "pcie.h2d_corrupt";   // ok
