@@ -4,7 +4,7 @@
 Usage:
     bench_compare.py BASELINE CANDIDATE [--threshold 0.25]
                      [--metric-threshold NAME=FRAC ...] [--metric-min NAME=VALUE ...]
-                     [--ignore REGEX]
+                     [--metric-max NAME=VALUE ...] [--ignore REGEX]
 
 Both files hold one JSON object per line (the `BENCH {...}` lines that
 scripts/run_bench.sh scrapes, prefix stripped), keyed by their "bench"
@@ -20,10 +20,13 @@ the candidate; each is compared with a relative threshold:
 --metric-min pins an *absolute* floor on a metric — the candidate fails
 whenever its value drops below the floor, regardless of how the
 baseline drifted (this is how acceptance bounds like "integrity
-retention >= 0.95" stay enforced even as the baseline is re-recorded).
-An explicitly floored metric is checked even when --ignore matches it,
-and a floor naming a metric absent from the compared baseline is an
-error, so a typo cannot silently disarm the gate. --ignore skips
+retention >= 0.95" stay enforced even as the baseline is re-recorded);
+--metric-max is the mirror image, an absolute ceiling for
+lower-is-better metrics — the candidate fails whenever its value
+exceeds it (e.g. "fig12 end-to-end mean <= 50us"). An explicitly
+bounded metric is checked even when --ignore matches it, and a bound
+naming a metric absent from the compared baseline is an error, so a
+typo cannot silently disarm the gate. --ignore skips
 metrics matching a regex (e.g. wall-clock timings on shared CI hosts);
 --only restricts the comparison to benches matching a regex (the smoke
 gate compares only the benches the smoke run produces). A
@@ -92,6 +95,10 @@ def main() -> int:
                     metavar="NAME=VALUE",
                     help="absolute floor: fail if the candidate metric is "
                          "below VALUE, repeatable")
+    ap.add_argument("--metric-max", action="append", default=[],
+                    metavar="NAME=VALUE",
+                    help="absolute ceiling: fail if the candidate metric is "
+                         "above VALUE, repeatable")
     ap.add_argument("--ignore", default=None, metavar="REGEX",
                     help="skip metrics whose name matches this regex")
     ap.add_argument("--only", default=None, metavar="REGEX",
@@ -111,6 +118,13 @@ def main() -> int:
             ap.error(f"--metric-min needs NAME=VALUE, got {spec!r}")
         floors[name] = float(value)
     floors_seen: set[str] = set()
+    ceilings: dict[str, float] = {}
+    for spec in args.metric_max:
+        name, sep, value = spec.partition("=")
+        if not sep:
+            ap.error(f"--metric-max needs NAME=VALUE, got {spec!r}")
+        ceilings[name] = float(value)
+    ceilings_seen: set[str] = set()
     ignore = re.compile(args.ignore) if args.ignore else None
     only = re.compile(args.only) if args.only else None
 
@@ -130,7 +144,8 @@ def main() -> int:
         cand_metrics = numeric_metrics(candidate[bench])
         for metric, base in sorted(numeric_metrics(base_obj).items()):
             floor = floors.get(metric)
-            if ignore and ignore.search(metric) and floor is None:
+            ceiling = ceilings.get(metric)
+            if ignore and ignore.search(metric) and floor is None and ceiling is None:
                 continue
             if metric not in cand_metrics:
                 failures.append(f"{bench}.{metric}: missing from candidate")
@@ -145,8 +160,17 @@ def main() -> int:
                         f"floor {floor:g}")
                 else:
                     print(f"  ok  {bench}.{metric}: {cand:g} >= floor {floor:g}")
-                if ignore and ignore.search(metric):
-                    continue  # floored but exempt from the relative diff
+            if ceiling is not None:
+                ceilings_seen.add(metric)
+                if cand > ceiling:
+                    print(f"FAIL  {bench}.{metric}: {cand:g} above ceiling {ceiling:g}")
+                    failures.append(
+                        f"{bench}.{metric}: {cand:g} is above the absolute "
+                        f"ceiling {ceiling:g}")
+                else:
+                    print(f"  ok  {bench}.{metric}: {cand:g} <= ceiling {ceiling:g}")
+            if (floor is not None or ceiling is not None) and ignore and ignore.search(metric):
+                continue  # absolutely bounded but exempt from the relative diff
             threshold = overrides.get(metric, args.threshold)
             compared += 1
             if base == 0:
@@ -181,6 +205,10 @@ def main() -> int:
     for name in sorted(set(floors) - floors_seen):
         failures.append(
             f"--metric-min {name}: metric not present in the compared baseline "
+            f"(typo, or excluded by --only?)")
+    for name in sorted(set(ceilings) - ceilings_seen):
+        failures.append(
+            f"--metric-max {name}: metric not present in the compared baseline "
             f"(typo, or excluded by --only?)")
 
     print(f"\ncompared {compared} metrics across {len(baseline)} benches")

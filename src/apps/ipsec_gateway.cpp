@@ -37,6 +37,8 @@ void IpsecGatewayApp::bind_gpu(gpu::GpuDevice& device) {
   st.blob = device.alloc(static_cast<std::size_t>(kMaxBatchBlocks) * 16 +
                          kMaxBatchPackets * kAuthPrefix);
   st.icv = device.alloc(kMaxBatchPackets * crypto::kHmacSha1_96Size);
+  st.blob_segs.reserve(iengine::PacketChunk::kDefaultMaxPackets);
+  st.icv_segs.reserve(iengine::PacketChunk::kDefaultMaxPackets);
 
   // Key material: expanded AES schedule + CTR nonce + HMAC key, uploaded
   // once per SA (keys are static, section 6).
@@ -106,6 +108,26 @@ void IpsecGatewayApp::pre_shade(core::ShaderJob& job) {
   }
 
   chunk = std::move(scratch);
+
+  // In-place scatter plan: shade() D2H-writes ciphertext and ICV straight
+  // into each encapsulated frame instead of bouncing through gpu_output.
+  // out_off addresses the canonical [ciphertext blob | ICV array] layout
+  // shade_cpu produces, which keeps the in-place result byte-comparable
+  // to a CPU re-shade. Spans are appended per packet in gpu_index order
+  // (shadow verification relies on that ordering to count bad packets).
+  {
+    const u32 blob_len = static_cast<u32>(blob.size());
+    constexpr u32 esp_offset = sizeof(net::EthernetHeader) + sizeof(net::Ipv4Header);
+    for (u32 k = 0; k < descs.size(); ++k) {
+      const PacketDesc& d = descs[k];
+      const u32 slot = job.gpu_index[k];
+      job.scatter_plan.push_back(
+          {slot, esp_offset + kAuthPrefix, d.blob_off + kAuthPrefix, d.cipher_len});
+      job.scatter_plan.push_back({slot, esp_offset + kAuthPrefix + d.cipher_len,
+                                  blob_len + k * static_cast<u32>(crypto::kHmacSha1_96Size),
+                                  static_cast<u32>(crypto::kHmacSha1_96Size)});
+    }
+  }
 
   // Serialize descriptors + block map + blob into gpu_input.
   const u32 n_packets = static_cast<u32>(descs.size());
@@ -214,7 +236,39 @@ gpu::GpuStatus IpsecGatewayApp::shade_one_job(core::GpuContext& gpu, core::Shade
   const auto hmac_result = gpu.device->launch(hmac, stream, submit_time);
   if (!hmac_result.ok()) return hmac_result.status;
 
-  // Results back: ciphertext blob + ICV array.
+  // Results back. With a scatter plan the DMA descriptor lists land
+  // ciphertext and ICV directly at each packet's frame offsets (zero-copy:
+  // post_shade's per-packet bounce copies disappear); the op count is
+  // unchanged — still one D2H per device source buffer.
+  if (!job.scatter_plan.empty()) {
+    auto& blob_segs = st.blob_segs;
+    auto& icv_segs = st.icv_segs;
+    blob_segs.clear();
+    icv_segs.clear();
+    for (const auto& span : job.scatter_plan) {
+      auto frame = job.chunk.packet(span.packet);
+      assert(span.frame_off + span.len <= frame.size());
+      std::span<u8> dst{frame.data() + span.frame_off, span.len};
+      // Canonical-layout offsets map onto the device buffers directly:
+      // [0, blob_len) is st.blob, the ICV array tail is st.icv.
+      if (span.out_off < blob_len) {
+        blob_segs.push_back({dst, span.out_off});
+      } else {
+        icv_segs.push_back({dst, span.out_off - blob_len});
+      }
+    }
+    const auto t1 = gpu.device->memcpy_d2h_scatter(blob_segs, st.blob, stream, submit_time);
+    if (!t1.ok()) return t1.status;
+    const auto t2 = gpu.device->memcpy_d2h_scatter(icv_segs, st.icv, stream, submit_time);
+    if (!t2.ok()) return t2.status;
+    done = std::max({done, t1.end, t2.end});
+    // Every span landed: only now may post_shade skip its copy-out. A
+    // failed attempt above leaves this false, so the CPU fallback's copy
+    // path overwrites any partially-scattered garbage.
+    job.applied_in_place = true;
+    return gpu::GpuStatus::kOk;
+  }
+
   job.gpu_output.resize(blob_len + n_packets * crypto::kHmacSha1_96Size);
   auto t1 = gpu.device->memcpy_d2h({job.gpu_output.data(), blob_len}, st.blob, 0, stream,
                                    submit_time);
@@ -292,6 +346,17 @@ void IpsecGatewayApp::post_shade(core::ShaderJob& job) {
   const std::size_t blob_off =
       descs_off + n_packets * sizeof(PacketDesc) + n_blocks * sizeof(BlockRef);
   const std::size_t blob_len = job.gpu_input.size() - blob_off;
+
+  if (job.applied_in_place) {
+    // Zero-copy scatter already landed ciphertext + ICV in the frames (and
+    // the master re-stamped the mutated chunk); only the per-packet
+    // post-shading bookkeeping remains.
+    for (u32 k = 0; k < n_packets; ++k) {
+      perf::charge_cpu_cycles(perf::kPostShadingCyclesPerPacket);
+    }
+    return;
+  }
+
   const u8* out_blob = job.gpu_output.data();
   const u8* out_icv = job.gpu_output.data() + blob_len;
 
@@ -310,6 +375,9 @@ void IpsecGatewayApp::post_shade(core::ShaderJob& job) {
                 out_icv + k * crypto::kHmacSha1_96Size, crypto::kHmacSha1_96Size);
     perf::charge_cpu_cycles(byte_copy_cycles(d.cipher_len + crypto::kHmacSha1_96Size));
   }
+  // The copy path rewrote frame bytes after the master's stamp; the worker
+  // re-stamps the chunk before the kTx verification.
+  if (n_packets > 0) job.frames_dirty = true;
 }
 
 void IpsecGatewayApp::process_cpu(iengine::PacketChunk& chunk) {

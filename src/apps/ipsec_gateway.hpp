@@ -56,6 +56,11 @@ class IpsecGatewayApp final : public core::Shader {
     gpu::DeviceBuffer blob;    // in-place encryption
     gpu::DeviceBuffer icv;     // 12 B per packet
     gpu::DeviceBuffer keys;    // AES schedule (176 B) + nonce (4) + auth key (20)
+    // Scatter-D2H descriptor lists reused across batches (shade runs on
+    // the one master that owns this GPU, so no synchronization; grow-only,
+    // reaching steady size after the first full batch).
+    std::vector<gpu::ScatterSeg> blob_segs;
+    std::vector<gpu::ScatterSeg> icv_segs;
   };
 
   gpu::GpuStatus shade_one_job(core::GpuContext& gpu, core::ShaderJob& job,

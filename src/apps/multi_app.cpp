@@ -154,6 +154,9 @@ void MultiProtocolApp::post_shade(core::ShaderJob& job) {
   for (auto& sub : job.sub_jobs) sub.app->post_shade(*sub.job);
   for (u32 i = 0; i < job.chunk.count(); ++i) perf::charge_cpu_cycles(4.0);  // reassembly
   reassemble(job);
+  // Reassembly rewrites the parent chunk's frames wholesale; the worker
+  // must re-stamp before the kTx verification.
+  job.frames_dirty = true;
 }
 
 void MultiProtocolApp::process_cpu(iengine::PacketChunk& chunk) {

@@ -298,6 +298,9 @@ void OpenFlowApp::post_shade(core::ShaderJob& job) {
         break;
     }
   }
+  // apply_action rewrites MAC headers and may append flood clones; the
+  // worker must re-stamp before the kTx verification.
+  if (job.gpu_items > 0) job.frames_dirty = true;
 }
 
 void OpenFlowApp::process_cpu(iengine::PacketChunk& chunk) {

@@ -55,6 +55,30 @@ void ModelDriver::shadow_verify(std::span<ShaderJob* const> batch) {
   const u64 seq = shadow_seq_++;
   if (!integrity_->should_shadow_verify(seq, /*escalated=*/false)) return;
   for (ShaderJob* job : batch) {
+    if (job->applied_in_place) {
+      // In-place scatter (mirrors Router::shadow_verify_batch): recompute
+      // the canonical layout on the CPU, compare the frames span-by-span,
+      // and repair mismatched spans in place so the CPU truth ships.
+      integrity_->count_shadow_batch();
+      shader_->shade_cpu(*job);
+      u64 bad_items = 0;
+      i64 last_bad_packet = -1;  // plan is packet-ordered
+      for (const auto& span : job->scatter_plan) {
+        auto frame = job->chunk.packet(span.packet);
+        u8* frame_bytes = frame.data() + span.frame_off;
+        const u8* truth = job->gpu_output.data() + span.out_off;
+        if (std::memcmp(frame_bytes, truth, span.len) == 0) continue;
+        std::memcpy(frame_bytes, truth, span.len);
+        if (static_cast<i64>(span.packet) != last_bad_packet) {
+          ++bad_items;
+          last_bad_packet = static_cast<i64>(span.packet);
+        }
+      }
+      if (bad_items == 0) continue;
+      integrity_->count_shadow_mismatch(bad_items);
+      integrity_->count_reshaded_batch();
+      continue;
+    }
     if (job->gpu_output.empty()) continue;
     integrity_->count_shadow_batch();
     shadow_scratch_.assign(job->gpu_output.begin(), job->gpu_output.end());
@@ -259,9 +283,19 @@ ModelResult ModelDriver::run(gen::TrafficGen& traffic, u64 target_packets) {
           } else if (integrity_ != nullptr) {
             shadow_verify({batch.data(), batch.size()});
           }
+          if (integrity_ != nullptr) {
+            // In-place scatter: the D2H wrote the frames, so the master
+            // re-certifies them here (after shading + shadow verification)
+            // — mirrors Router::master_loop's sanctioned mutation site.
+            for (auto* job : batch) {
+              if (!job->scatter_plan.empty() && job->chunk.stamped()) {
+                integrity_->stamp_chunk(job->chunk);
+              }
+            }
+          }
         }
 
-        // --- worker post-shading + TX --------------------------------------
+        // --- worker post-shading + staged TX ---------------------------------
         for (auto& job : pending) {
           auto& worker = workers_[static_cast<std::size_t>(job->worker_id)];
           perf::CpuChargeScope wscope(&ledger_, static_cast<u16>(worker.core));
@@ -271,11 +305,14 @@ ModelResult ModelDriver::run(gen::TrafficGen& traffic, u64 target_packets) {
           shader_->post_shade(*job);
           if (integrity_ != nullptr && job->chunk.stamped()) {
             drop_flagged(*integrity_, job->chunk);
-            integrity_->stamp_chunk(job->chunk);  // post_shade rewrote headers
+            // Re-stamp only if post_shade wrote frame bytes; in-place
+            // results carry the master's post-shade stamp (mirrors the
+            // Router's narrowed worker restamp).
+            if (job->frames_dirty) integrity_->stamp_chunk(job->chunk);
             integrity_->verify_chunk(job->chunk, integrity::Stage::kTx);
             drop_flagged(*integrity_, job->chunk);
           }
-          result.forwarded += worker.handle->send_chunk(job->chunk);
+          result.forwarded += worker.handle->stage_chunk_tx(job->chunk);
           for (u32 i = 0; i < job->chunk.count(); ++i) {
             if (job->chunk.verdict(i) == iengine::PacketVerdict::kDrop) ++result.dropped;
             if (job->chunk.verdict(i) == iengine::PacketVerdict::kSlowPath) ++result.slow_path;
@@ -283,6 +320,13 @@ ModelResult ModelDriver::run(gen::TrafficGen& traffic, u64 target_packets) {
           free_jobs.push_back(std::move(job));
         }
         pending.clear();
+        // Batched doorbells: one flush per worker handle for everything its
+        // chunks staged this scatter pass (charged to the worker's core).
+        for (auto& worker : workers_) {
+          if (worker.node != n) continue;
+          perf::CpuChargeScope wscope(&ledger_, static_cast<u16>(worker.core));
+          worker.handle->flush_tx();
+        }
       }
     }
   }

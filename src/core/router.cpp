@@ -34,8 +34,11 @@ Router::Router(iengine::PacketIoEngine& engine, std::vector<gpu::GpuDevice*> gpu
     auto& node = *nodes_.emplace_back(std::make_unique<NodeRuntime>());
     if (config_.use_gpu) {
       assert(static_cast<std::size_t>(n) < gpus.size() && gpus[static_cast<std::size_t>(n)]);
-      node.master_in =
-          std::make_unique<MpscQueue<ShaderJob*>>(config_.master_queue_capacity);
+      // Lock-free hand-off: one SPSC lane per worker of this node, the
+      // configured capacity split across them (watermarks read the
+      // aggregate, so the backpressure arithmetic is unchanged).
+      node.master_in = std::make_unique<SpscFanIn<ShaderJob*>>(
+          static_cast<std::size_t>(workers_per_node_), config_.master_queue_capacity);
       node.shadow_scratch.reserve(std::size_t{config_.chunk_capacity} *
                                   ShaderJob::kStagingBytesPerItem);
       node.gpu.device = gpus[static_cast<std::size_t>(n)];
@@ -53,6 +56,7 @@ Router::Router(iengine::PacketIoEngine& engine, std::vector<gpu::GpuDevice*> gpu
       auto worker = std::make_unique<WorkerRuntime>();
       worker->id = static_cast<int>(workers_.size());
       worker->node = n;
+      worker->node_slot = k;
       worker->core = n * topo.cores_per_node + k;
 
       std::vector<iengine::QueueRef> queues;
@@ -63,6 +67,10 @@ Router::Router(iengine::PacketIoEngine& engine, std::vector<gpu::GpuDevice*> gpu
       worker->handle = engine_.attach(worker->core, std::move(queues));
       worker->out_queue = std::make_unique<SpscRing<ShaderJob*>>(
           std::max<u32>(config_.pipeline_depth * 2, 16));
+      // Scatter-sweep + doorbell-settle staging, sized to the output ring
+      // so the steady state never grows them.
+      worker->scatter_scratch.resize(worker->out_queue->capacity());
+      worker->finish_scratch.reserve(worker->out_queue->capacity());
       workers_.push_back(std::move(worker));
     }
   }
@@ -109,7 +117,7 @@ void Router::release_job(WorkerRuntime& worker, ShaderJob* job) {
   job->worker_id = -1;
 }
 
-void Router::finish_job(WorkerRuntime& worker, ShaderJob* job) {
+void Router::stage_finish(WorkerRuntime& worker, ShaderJob* job) {
   auto& st = *stats_[static_cast<std::size_t>(worker.id)];
   if (integrity_ != nullptr && job->chunk.stamped()) {
     // Pre-TX-doorbell check: the last look before the wire (and before
@@ -143,9 +151,12 @@ void Router::finish_job(WorkerRuntime& worker, ShaderJob* job) {
       st.slow_path.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  // Send first: a TX ring that stays full after the retry budget marks the
-  // packet kDrop/kRingFull, so drops are tallied after the send attempt.
-  st.packets_out.fetch_add(worker.handle->send_chunk(job->chunk), std::memory_order_relaxed);
+  // Queue frames first: a TX ring that stays full after the retry budget
+  // marks the packet kDrop/kRingFull, so drops are tallied after the
+  // attempt. The doorbell itself is staged — settle_finishes() rings it
+  // once per touched port for the whole batch.
+  st.packets_out.fetch_add(worker.handle->stage_chunk_tx(job->chunk),
+                           std::memory_order_relaxed);
   for (u32 i = 0; i < job->chunk.count(); ++i) {
     if (job->chunk.verdict(i) == iengine::PacketVerdict::kDrop) {
       st.drops_by_reason[static_cast<std::size_t>(job->chunk.drop_reason(i))].fetch_add(
@@ -153,8 +164,22 @@ void Router::finish_job(WorkerRuntime& worker, ShaderJob* job) {
     }
   }
   st.in_flight_packets.fetch_sub(job->chunk.count(), std::memory_order_relaxed);
-  if (tracer_ != nullptr) tracer_->end_span(job->trace_slot);
-  release_job(worker, job);
+}
+
+void Router::settle_finishes(WorkerRuntime& worker, std::span<ShaderJob* const> jobs) {
+  worker.handle->flush_tx();
+  // Spans close only after the doorbell: kTxDoorbell brackets the actual
+  // ring, not the staging, so fig12's tail stays honest under batching.
+  for (ShaderJob* job : jobs) {
+    if (tracer_ != nullptr) tracer_->end_span(job->trace_slot);
+    release_job(worker, job);
+  }
+}
+
+void Router::finish_job(WorkerRuntime& worker, ShaderJob* job) {
+  stage_finish(worker, job);
+  const std::array<ShaderJob*, 1> one{job};
+  settle_finishes(worker, {one.data(), one.size()});
 }
 
 void Router::process_cpu_only(WorkerRuntime& worker, ShaderJob* job) {
@@ -186,7 +211,8 @@ bool Router::recv_and_dispatch(WorkerRuntime& worker, iengine::IoHandle* handle,
   auto& st = *stats_[static_cast<std::size_t>(worker.id)];
   auto& node = *nodes_[static_cast<std::size_t>(worker.node)];
   ShaderJob* job = acquire_job(worker);
-  const u32 n = handle->recv_chunk(job->chunk, batch_cap, per_queue_cap);
+  u32 n;
+  n = handle->recv_chunk(job->chunk, batch_cap, per_queue_cap);
   if (n == 0) {
     release_job(worker, job);
     return false;
@@ -222,7 +248,7 @@ bool Router::recv_and_dispatch(WorkerRuntime& worker, iengine::IoHandle* handle,
   const bool push_ok =
       !divert_cpu &&
       (injector_ == nullptr || !injector_->should_fire("core.master_queue")) &&
-      node.master_in->try_push(job);
+      node.master_in->try_push(static_cast<std::size_t>(worker.node_slot), job);
   if (push_ok) {
     st.gpu_processed.fetch_add(n, std::memory_order_relaxed);
     ++inflight;
@@ -246,6 +272,73 @@ bool Router::recv_and_dispatch(WorkerRuntime& worker, iengine::IoHandle* handle,
   return true;
 }
 
+bool Router::drain_scatter(WorkerRuntime& worker, WorkerCounters& st, u32& inflight) {
+  // The sweep is batched twice over: pop_batch drains the ring in one
+  // pass, and every chunk's TX is staged so settle_finishes below rings
+  // one doorbell per touched port for the whole sweep instead of one per
+  // chunk. worker_loop calls this between its own pipeline stages (not
+  // just once per iteration) so a result that lands while this worker is
+  // mid-RX or mid-pre-shade is picked up at the next stage boundary
+  // instead of waiting out the rest of the iteration.
+  bool progress = false;
+  auto& finished = worker.finish_scratch;
+  finished.clear();
+  std::size_t swept;
+  while ((swept = worker.out_queue->pop_batch(worker.scatter_scratch.data(),
+                                              worker.scatter_scratch.size())) > 0) {
+    for (std::size_t j = 0; j < swept; ++j) {
+      ShaderJob* job = worker.scatter_scratch[j];
+      if (job->shaded_on_cpu) {
+        // The master's GPU failed this batch (or shadow verification
+        // quarantined its results); the packets were shaded on the CPU,
+        // so re-attribute them.
+        st.gpu_processed.fetch_sub(job->chunk.count(), std::memory_order_relaxed);
+        st.cpu_processed.fetch_add(job->chunk.count(), std::memory_order_relaxed);
+      }
+      if (integrity_ != nullptr &&
+          integrity_->verify_chunk(job->chunk, integrity::Stage::kScatter) != 0 &&
+          !job->shaded_on_cpu) {
+        // Packet bytes changed somewhere between the master's post-shade
+        // stamp and this scatter boundary: quarantine. One CPU re-shade
+        // recomputes the results from the gathered inputs; the flagged
+        // packets themselves stay bad and are dropped below, once
+        // post_shade has assigned verdicts (not before — post_shade
+        // would overwrite them). An in-place device result is no longer
+        // trusted either: clearing applied_in_place makes post_shade
+        // apply the CPU ground truth over the suspect frames.
+        shader_.shade_cpu(*job);
+        integrity_->count_reshaded_batch();
+        job->shaded_on_cpu = true;
+        job->applied_in_place = false;
+        st.gpu_processed.fetch_sub(job->chunk.count(), std::memory_order_relaxed);
+        st.cpu_processed.fetch_add(job->chunk.count(), std::memory_order_relaxed);
+      }
+      shader_.post_shade(*job);
+      if (integrity_ != nullptr && job->chunk.stamped()) {
+        drop_integrity_bad(*job);
+        // Re-stamp only when post_shade actually wrote frame bytes (the
+        // copy-path result apply, MAC rewrites, reassembly). In-place
+        // results were stamped by the master at their mutation site, and
+        // verdict-only post-shaders leave the frames — and therefore the
+        // stamp — untouched.
+        if (job->frames_dirty) integrity_->stamp_chunk(job->chunk);
+      }
+      if (tracer_ != nullptr) tracer_->stamp(job->trace_slot, telemetry::Stage::kScatter);
+      stage_finish(worker, job);
+      // pslint: allow(steady-state-growth) -- 'finished' aliases
+      // finish_scratch, reserved to out_queue capacity at construction
+      finished.push_back(job);
+      --inflight;
+    }
+    progress = true;
+  }
+  if (!finished.empty()) {
+    settle_finishes(worker, {finished.data(), finished.size()});
+    finished.clear();
+  }
+  return progress;
+}
+
 void Router::worker_loop(WorkerRuntime& worker) {
   auto& st = *stats_[static_cast<std::size_t>(worker.id)];
   auto& node = *nodes_[static_cast<std::size_t>(worker.node)];
@@ -266,41 +359,7 @@ void Router::worker_loop(WorkerRuntime& worker) {
     bool progress = false;
 
     // Scatter side: results ready from the master.
-    while (auto done = worker.out_queue->pop()) {
-      ShaderJob* job = *done;
-      if (job->shaded_on_cpu) {
-        // The master's GPU failed this batch (or shadow verification
-        // quarantined its results); the packets were shaded on the CPU,
-        // so re-attribute them.
-        st.gpu_processed.fetch_sub(job->chunk.count(), std::memory_order_relaxed);
-        st.cpu_processed.fetch_add(job->chunk.count(), std::memory_order_relaxed);
-      }
-      if (integrity_ != nullptr &&
-          integrity_->verify_chunk(job->chunk, integrity::Stage::kScatter) != 0 &&
-          !job->shaded_on_cpu) {
-        // Packet bytes changed somewhere between the gather and scatter
-        // boundaries: quarantine. One CPU re-shade recomputes the results
-        // from the gathered inputs; the flagged packets themselves stay
-        // bad and are dropped below, once post_shade has assigned
-        // verdicts (not before — post_shade would overwrite them).
-        shader_.shade_cpu(*job);
-        integrity_->count_reshaded_batch();
-        job->shaded_on_cpu = true;
-        st.gpu_processed.fetch_sub(job->chunk.count(), std::memory_order_relaxed);
-        st.cpu_processed.fetch_add(job->chunk.count(), std::memory_order_relaxed);
-      }
-      shader_.post_shade(*job);
-      if (integrity_ != nullptr && job->chunk.stamped()) {
-        drop_integrity_bad(*job);
-        // post_shade applied results to the headers: re-stamp for the TX
-        // check (dropped packets are skipped by the stamp).
-        integrity_->stamp_chunk(job->chunk);
-      }
-      if (tracer_ != nullptr) tracer_->stamp(job->trace_slot, telemetry::Stage::kScatter);
-      finish_job(worker, job);
-      --inflight;
-      progress = true;
-    }
+    progress |= drain_scatter(worker, st, inflight);
 
     // End-to-end backpressure: the master queue's depth is the congestion
     // signal. Above the high watermark, shrink the RX batch and split it
@@ -343,6 +402,9 @@ void Router::worker_loop(WorkerRuntime& worker) {
       progress |= recv_and_dispatch(worker, worker.handle, batch_cap, per_queue_cap,
                                     inflight, /*adopted=*/false, divert_cpu);
       worker.io_token.store(false, std::memory_order_release);
+      // RX + pre-shade is the longest leg of the iteration; results that
+      // arrived during it ship now rather than after the adoption checks.
+      progress |= drain_scatter(worker, st, inflight);
     }
 
     // Quarantine adoption: drain a wedged peer's virtual interfaces on its
@@ -356,11 +418,22 @@ void Router::worker_loop(WorkerRuntime& worker) {
       progress |= recv_and_dispatch(worker, victim->handle, batch_cap, per_queue_cap,
                                     inflight, /*adopted=*/true, divert_cpu);
       victim->io_token.store(false, std::memory_order_release);
+      progress |= drain_scatter(worker, st, inflight);
     }
 
-    // pslint: allow(hot-sleep) -- idle path only: every queue was dry this
-    // iteration, so yielding the core mirrors the interrupt-mode park.
-    if (!progress) std::this_thread::sleep_for(kIdleSleep);
+    // Idle path: every queue was dry this iteration. Park edge-triggered —
+    // the master's wake.notify after pushing a result ends the nap
+    // immediately, so a scatter no longer eats the fixed kIdleSleep that
+    // dominated the fig12 tail; the deadline keeps RX polling and
+    // heartbeats ticking when no results are coming.
+    if (!progress) {
+      const u64 token = worker.wake.prepare_wait();
+      if (worker.out_queue->empty()) {
+        worker.wake.wait_until(token, std::chrono::steady_clock::now() + kIdleSleep);
+      } else {
+        worker.wake.cancel_wait();
+      }
+    }
   }
 }
 
@@ -480,6 +553,37 @@ void Router::shadow_verify_batch(NodeRuntime& node, std::span<ShaderJob* const> 
 
   bool any_mismatch = false;
   for (ShaderJob* job : batch) {
+    if (job->applied_in_place) {
+      // In-place scatter: the device's results live in the packet frames,
+      // not gpu_output. Recompute the canonical result layout on the CPU
+      // from the untouched gathered input, then compare span-by-span
+      // (each span's out_off addresses the same bytes in the canonical
+      // layout its frame region holds). A mismatched span is repaired in
+      // place from the CPU ground truth, so — exactly like the copy-path
+      // quarantine — the CPU result ships and the corrupt one never
+      // reaches the wire.
+      integrity_->count_shadow_batch();
+      shader_.shade_cpu(*job);
+      u64 bad_items = 0;
+      i64 last_bad_packet = -1;  // plan is packet-ordered (pre_shade fills per packet)
+      for (const auto& span : job->scatter_plan) {
+        auto frame = job->chunk.packet(span.packet);
+        u8* frame_bytes = frame.data() + span.frame_off;
+        const u8* truth = job->gpu_output.data() + span.out_off;
+        if (std::memcmp(frame_bytes, truth, span.len) == 0) continue;
+        std::memcpy(frame_bytes, truth, span.len);
+        if (static_cast<i64>(span.packet) != last_bad_packet) {
+          ++bad_items;
+          last_bad_packet = static_cast<i64>(span.packet);
+        }
+      }
+      if (bad_items == 0) continue;
+      any_mismatch = true;
+      integrity_->count_shadow_mismatch(bad_items);
+      integrity_->count_reshaded_batch();
+      job->shaded_on_cpu = true;  // scatter re-attributes gpu->cpu stats
+      continue;
+    }
     if (job->gpu_output.empty()) continue;  // composed jobs verify via sub-chunk byte checks
     integrity_->count_shadow_batch();
     // Stash the device's results, recompute them on the CPU from the same
@@ -564,13 +668,30 @@ void Router::master_loop(int node_id) {
     node.trace_batch = {};
     hb.advance(n);
 
+    if (integrity_ != nullptr) {
+      // In-place scatter moves the result-apply mutation site from the
+      // worker's post_shade to the device's D2H (or, on fallback, leaves
+      // partial D2H garbage the copy path will overwrite). Either way the
+      // frames changed after the gather stamp, and this — after shade and
+      // shadow verification — is the new sanctioned point to re-certify
+      // them; corruption past here is caught at the scatter boundary.
+      for (ShaderJob* job : batch) {
+        if (!job->scatter_plan.empty() && job->chunk.stamped()) {
+          integrity_->stamp_chunk(job->chunk);
+        }
+      }
+    }
+
     // Scatter: return each chunk to the worker it came from. Capacity is
-    // sized so a worker's in-flight jobs always fit its output ring.
+    // sized so a worker's in-flight jobs always fit its output ring. The
+    // wake ends the owner's idle nap immediately (edge-triggered) instead
+    // of letting the result sit out the remainder of its kIdleSleep.
     for (ShaderJob* job : batch) {
-      auto& out = *workers_[static_cast<std::size_t>(job->worker_id)]->out_queue;
-      const bool pushed = out.push(job);
+      auto& owner = *workers_[static_cast<std::size_t>(job->worker_id)];
+      const bool pushed = owner.out_queue->push(job);
       assert(pushed);
       (void)pushed;
+      owner.wake.notify();
     }
   }
 }
@@ -799,6 +920,20 @@ void Router::register_metrics() {
     }
     return total;
   });
+
+  // --- per-worker hand-off lanes (lock-free; counters are relaxed atomics)
+  if (config_.use_gpu) {
+    for (const auto& owned : workers_) {
+      const WorkerRuntime* w = owned.get();
+      const std::string prefix = "ring." + std::to_string(w->id) + ".";
+      const NodeRuntime* node = nodes_[static_cast<std::size_t>(w->node)].get();
+      const auto slot = static_cast<std::size_t>(w->node_slot);
+      reg.register_probe(prefix + "full_spins", MetricKind::kCounter,
+                         [node, slot] { return node->master_in->full_spins(slot); });
+      reg.register_probe(prefix + "batch_occupancy", MetricKind::kGauge,
+                         [node, slot] { return node->master_in->batch_occupancy(slot); });
+    }
+  }
 
   // --- per-node GPU watchdog (mutex-published by the master)
   if (config_.use_gpu) {

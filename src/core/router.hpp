@@ -40,7 +40,6 @@
 #include "common/cacheline.hpp"
 #include "common/heartbeat.hpp"
 #include "common/thread_annotations.hpp"
-#include "common/mpsc_queue.hpp"
 #include "common/spsc_ring.hpp"
 #include "core/shader.hpp"
 #include "fault/fault_injector.hpp"
@@ -259,7 +258,10 @@ class Router {
 
  private:
   struct NodeRuntime {
-    std::unique_ptr<MpscQueue<ShaderJob*>> master_in;
+    /// Worker->master hand-off: one lock-free SPSC lane per worker of this
+    /// node (worker k pushes lane k = its node_slot). Per-worker FIFO,
+    /// cross-worker round-robin — see SpscFanIn's ordering contract.
+    std::unique_ptr<SpscFanIn<ShaderJob*>> master_in;
     GpuContext gpu;
 
     /// Released by the supervisor to un-park a master wedged at
@@ -332,9 +334,19 @@ class Router {
     int id = 0;
     int node = 0;
     int core = 0;
+    /// This worker's lane index in its node's master_in fan-in.
+    int node_slot = 0;
     iengine::IoHandle* handle = nullptr;
     std::unique_ptr<SpscRing<ShaderJob*>> out_queue;  // master -> this worker
+    /// Edge-triggered nap for the idle path: the master notifies after
+    /// pushing results to out_queue, so a worker parked between polls
+    /// wakes for the scatter immediately instead of after kIdleSleep.
+    WakeSignal wake;
     std::vector<JobPtr> job_pool;
+    /// Worker-thread-local staging, sized once in the constructor so the
+    /// scatter sweep and the batched TX settle stay allocation-free.
+    std::vector<ShaderJob*> scatter_scratch;
+    std::vector<ShaderJob*> finish_scratch;
 
     // --- liveness / quarantine (supervisor handshake) ----------------------
     std::atomic<bool> hang_release{false};
@@ -363,6 +375,12 @@ class Router {
   };
 
   void worker_loop(WorkerRuntime& worker);
+  /// Sweep this worker's scatter ring: post-shade + verify + stage TX for
+  /// every result the master has pushed, then settle the staged doorbells
+  /// in one flush. Called at several points inside one worker_loop
+  /// iteration so results never wait out a whole RX + pre-shade leg.
+  /// Returns true when at least one job was processed.
+  bool drain_scatter(WorkerRuntime& worker, WorkerCounters& st, u32& inflight);
   void master_loop(int node);
   /// One watchdog-supervised shading pass over `batch`: retry with
   /// exponential backoff, trip to unhealthy on repeated failure, probe for
@@ -381,6 +399,15 @@ class Router {
   u32 drop_integrity_bad(ShaderJob& job);
   ShaderJob* acquire_job(WorkerRuntime& worker);
   void release_job(WorkerRuntime& worker, ShaderJob* job);
+  /// Everything finish used to do up to (and including) queueing the
+  /// chunk's frames on their TX rings — but the per-(port,queue) doorbell
+  /// is *staged*, not rung. Callers follow with settle_finishes().
+  void stage_finish(WorkerRuntime& worker, ShaderJob* job);
+  /// Ring the staged doorbells (one per touched port across the whole
+  /// batch), then close each job's trace span and recycle it.
+  void settle_finishes(WorkerRuntime& worker, std::span<ShaderJob* const> jobs);
+  /// stage_finish + settle_finishes for a single chunk — the CPU paths,
+  /// where there is no batch to amortize the doorbell across.
   void finish_job(WorkerRuntime& worker, ShaderJob* job);
   void process_cpu_only(WorkerRuntime& worker, ShaderJob* job);
   /// Fetch one chunk from `handle` and route it through the pipeline

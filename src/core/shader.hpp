@@ -13,6 +13,19 @@
 
 namespace ps::core {
 
+/// One region of a packet's frame that the device writes directly during
+/// the D2H scatter (zero-copy: no bounce through gpu_output). `out_off`
+/// addresses the same bytes in the *canonical* result layout shade_cpu
+/// produces in gpu_output, which is what makes the in-place result
+/// byte-comparable against a CPU re-shade (shadow verification) without
+/// the copy the comparison is there to eliminate.
+struct ScatterSpan {
+  u32 packet = 0;     // chunk packet index
+  u32 frame_off = 0;  // byte offset into that packet's frame
+  u32 out_off = 0;    // byte offset of the same data in canonical gpu_output
+  u32 len = 0;
+};
+
 /// One chunk's trip through the pipeline: the packets plus the staging
 /// buffers the pre-shader fills for the GPU and the shader fills back.
 struct ShaderJob {
@@ -37,6 +50,23 @@ struct ShaderJob {
   /// via shade_cpu instead of the device, so stats can re-attribute the
   /// packets from the GPU column to the CPU column.
   bool shaded_on_cpu = false;
+
+  /// In-place scatter plan (optional): filled by a pre-shader whose
+  /// results land back inside the packet frames. When non-empty, shade()
+  /// D2H-copies each span straight into chunk's frames instead of into
+  /// gpu_output, and the master re-stamps the chunk after shading (frames
+  /// are a sanctioned mutation site there, not at post_shade).
+  std::vector<ScatterSpan> scatter_plan;
+  /// Set by shade() only after *every* span of a successful device pass
+  /// landed in the frames; post_shade then skips its copy-out. Never set
+  /// on a failed attempt (partial D2H garbage is overwritten by the CPU
+  /// fallback's copy path).
+  bool applied_in_place = false;
+  /// Set by a post-shader that wrote frame bytes (copy-path result apply,
+  /// MAC rewrite, reassembly). The worker re-stamps the chunk after
+  /// post_shade only when this is set — byte-free post-shaders (verdict
+  /// and out_port writes only) keep the master's stamp.
+  bool frames_dirty = false;
 
   /// Composition support (section 7 multi-functionality): a dispatching
   /// shader may split a chunk into per-protocol sub-jobs, each processed
@@ -73,6 +103,8 @@ struct ShaderJob {
     gpu_input.reserve(std::size_t{chunk_capacity} * kStagingBytesPerItem);
     gpu_output.reserve(std::size_t{chunk_capacity} * kStagingBytesPerItem);
     gpu_index.reserve(chunk_capacity);
+    // Two spans per packet covers the bundled apps (IPsec: ciphertext + ICV).
+    scatter_plan.reserve(std::size_t{chunk_capacity} * 2);
     sub_jobs.reserve(kReservedSubJobs);
     sub_pool.reserve(kReservedSubJobs);
   }
@@ -106,10 +138,13 @@ struct ShaderJob {
     }
     sub_jobs.clear();
     scratch_u64.clear();
+    scatter_plan.clear();
     gpu_items = 0;
     enqueue_time = 0;
     trace_slot = -1;
     shaded_on_cpu = false;
+    applied_in_place = false;
+    frames_dirty = false;
   }
 };
 

@@ -170,6 +170,54 @@ GpuResult GpuDevice::memcpy_d2h(std::span<u8> dst, const DeviceBuffer& src,
   return result;
 }
 
+GpuResult GpuDevice::memcpy_d2h_scatter(std::span<const ScatterSeg> segs,
+                                        const DeviceBuffer& src, StreamId stream,
+                                        Picos submit_time) {
+  MutexLock lock(op_mu_);
+  u64 total = 0;
+  for (const auto& seg : segs) {
+    assert(seg.src_offset + seg.dst.size() <= src.size());
+    total += seg.dst.size();
+  }
+  if (const GpuStatus st = check_fault("gpu.copy", GpuStatus::kCopyFailed);
+      st != GpuStatus::kOk) {
+    perf::charge_cpu_cycles(perf::kGpuDriverCallCycles);
+    const Picos start = std::max({submit_time, streams_.at(stream), copy_engine_free_});
+    return {st, start, start};
+  }
+  for (const auto& seg : segs) {
+    std::memcpy(seg.dst.data(), src.data() + seg.src_offset, seg.dst.size());
+  }
+  bool corrupt_result = pending_bad_result_;
+  pending_bad_result_ = false;
+  if (injector_ != nullptr && total > 0 &&
+      injector_->should_fire(fault::Point::kPcieD2hCorrupt)) {
+    corrupt_result = true;
+  }
+  if (corrupt_result && total > 0) {
+    for (const auto& seg : segs) {
+      if (seg.dst.empty()) continue;
+      seg.dst.data()[0] ^= 0x01;
+      break;
+    }
+  }
+  bytes_d2h_ += total;
+  charge_copy(total, perf::Direction::kDeviceToHost);
+  perf::charge_cpu_cycles(perf::kGpuDriverCallCycles +
+                          to_seconds(stream_call_overhead()) * perf::kCpuHz);
+
+  const Picos duration = perf::pcie_transfer_time(total, perf::Direction::kDeviceToHost) +
+                         stream_call_overhead();
+  const Picos start = std::max({submit_time, streams_.at(stream), copy_engine_free_});
+  const Picos end = start + duration;
+  streams_[stream] = end;
+  copy_engine_free_ =
+      start + perf::ioh_copy_occupancy(total, perf::Direction::kDeviceToHost);
+  const GpuResult result{GpuStatus::kOk, start, end};
+  if (op_observer_) op_observer_(GpuOp::kD2h, result);
+  return result;
+}
+
 GpuResult GpuDevice::launch(const KernelLaunch& kernel, StreamId stream, Picos submit_time,
                             ExecStats* stats_out) {
   MutexLock lock(op_mu_);

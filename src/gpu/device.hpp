@@ -102,6 +102,13 @@ using OpTiming = GpuResult;
 /// Data-path operation classes, for the op observer below.
 enum class GpuOp : u8 { kH2d = 0, kKernel, kD2h };
 
+/// One entry of a scatter D2H descriptor list: `dst.size()` bytes starting
+/// at `src_offset` in the device source buffer land at `dst` on the host.
+struct ScatterSeg {
+  std::span<u8> dst;
+  std::size_t src_offset = 0;
+};
+
 struct KernelLaunch {
   std::string name;
   u32 threads = 0;
@@ -160,6 +167,18 @@ class GpuDevice {
                        StreamId stream = kDefaultStream, Picos submit_time = 0);
   GpuResult memcpy_d2h(std::span<u8> dst, const DeviceBuffer& src, std::size_t src_offset,
                        StreamId stream = kDefaultStream, Picos submit_time = 0);
+
+  /// Scatter variant of memcpy_d2h: one DMA transaction driven by a
+  /// descriptor list, writing each segment straight to its host address
+  /// (e.g. a packet frame) instead of bouncing through a contiguous
+  /// staging buffer. Costed as a single transfer of the summed bytes —
+  /// the DMA engine walks the list at line rate, exactly as NIC DMA
+  /// already scatters per-packet — so it charges one latency + one driver
+  /// call, not one per segment. Fault semantics match memcpy_d2h: a
+  /// "pcie.d2h_corrupt" (or deferred bad-result) hit flips one bit in the
+  /// first non-empty segment while still reporting kOk.
+  GpuResult memcpy_d2h_scatter(std::span<const ScatterSeg> segs, const DeviceBuffer& src,
+                               StreamId stream = kDefaultStream, Picos submit_time = 0);
 
   /// Launch a kernel; returns status + modeled timing and fills `stats_out`
   /// (if non-null) with functional divergence statistics.

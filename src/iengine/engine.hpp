@@ -76,8 +76,24 @@ class IoHandle {
   /// handle's TX queue. A full TX ring is retried with a bounded spin
   /// (charged to the perf ledger); packets still rejected after the budget
   /// are marked kDrop/kRingFull in the chunk — never silently lost.
-  /// Returns packets actually sent.
+  /// Returns packets actually sent. Equivalent to stage_chunk_tx() +
+  /// flush_tx() — one doorbell per port this chunk touched.
   u32 send_chunk(PacketChunk& chunk);
+
+  /// Doorbell-batched transmit, part 1: queue the chunk's forwarded
+  /// packets on their TX rings exactly as send_chunk does (same retry,
+  /// same kRingFull drops, same per-packet charges) but *stage* the
+  /// per-(port, tx_queue) doorbell instead of ringing it. The caller
+  /// amortizes doorbells across a whole scatter batch by staging many
+  /// chunks and then calling flush_tx() once. Frames staged here are not
+  /// guaranteed on the wire until flush_tx() returns.
+  u32 stage_chunk_tx(PacketChunk& chunk);
+
+  /// Doorbell-batched transmit, part 2: ring one doorbell (the
+  /// per-batch TX charge) for every distinct port touched since the last
+  /// flush. Returns the number of doorbells rung. Idempotent when nothing
+  /// is staged.
+  u32 flush_tx();
 
   /// Transmit one standalone frame (e.g. a slow-path ICMP reply) on this
   /// handle's TX queue of `port`. Returns false on invalid port or
@@ -104,6 +120,11 @@ class IoHandle {
   // RX descriptor scratch reused across recv_from_queue calls (grow-only,
   // no synchronization: the io_token keeps a handle single-consumer).
   std::vector<nic::RxSlot> rx_scratch_;
+  // Staged TX doorbells: ports touched by stage_chunk_tx since the last
+  // flush_tx. Owner-thread only (same io_token discipline as rx_scratch_);
+  // sized once at construction so staging never allocates.
+  std::vector<u8> tx_port_touched_;
+  std::vector<i16> tx_touched_list_;
 
   Mutex mu_;
   CondVar cv_;  // interrupt wakeup channel (NIC thread -> owning worker)

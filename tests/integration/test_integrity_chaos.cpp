@@ -20,6 +20,7 @@
 #include <thread>
 
 #include "apps/dynamic_ipv4.hpp"
+#include "apps/ipsec_gateway.hpp"
 #include "apps/ipv4_forward.hpp"
 #include "core/router.hpp"
 #include "core/testbed.hpp"
@@ -329,6 +330,175 @@ TEST(IntegrityChaos, CorruptionUnderFibChurnStaysExact) {
   EXPECT_EQ(stats.drops(iengine::DropReason::kIntegrityFail), 30u);
   EXPECT_EQ(stats.dropped(), 30u);
   EXPECT_TRUE(router.gpu_health(0).healthy);
+}
+
+TEST(IntegrityChaos, InPlaceScatterCorruptionLocalizedAtItsStage) {
+  // PR 8's in-place zero-copy scatter moves the result-apply mutation from
+  // the worker's post_shade memcpy to the device's scatter DMA — so a
+  // lying D2H now corrupts packet frames directly, with no bounce buffer
+  // in between to absorb it. The contract must not weaken: a huge-buffer
+  // bit flip is still caught at RX admission, a corrupted scatter copy is
+  // still caught (and repaired span-by-span) at the shadow check, and
+  // zero corrupted bytes reach TX. IPsec is the app that uses the
+  // in-place path (ciphertext + ICV spans per packet).
+  const auto sa = crypto::SecurityAssociation::make_test_sa(
+      0x6161, net::Ipv4Addr(172, 16, 0, 1), net::Ipv4Addr(172, 16, 0, 2));
+  apps::IpsecGatewayApp app(sa);
+
+  core::Testbed testbed({.topo = pcie::Topology::single_node(),
+                         .use_gpu = true,
+                         .ring_size = 4096,
+                         .gpu_pool_workers = 0},
+                        core::RouterConfig{.use_gpu = true});
+  gen::TrafficGen traffic({.frame_size = 64, .seed = 84});
+  testbed.connect_sink(&traffic);
+
+  // Each in-place job issues exactly two scatter D2H transactions (the
+  // ciphertext blob, then the ICV array), so d2h hits come in per-job
+  // pairs and a 4-hit window lands on whole jobs. Both hits of one job
+  // corrupt spans of that job's first packet (bit 0 of the first seg), so
+  // per-packet shadow counts stay exact.
+  fault::FaultInjector inj(/*seed=*/29);
+  inj.add_rule({.point = std::string(fault::Point::kMemBitflip), .after = 200, .count = 20});
+  inj.add_rule({.point = std::string(fault::Point::kPcieD2hCorrupt), .after = 40, .count = 4});
+  testbed.set_fault_injector(&inj);
+
+  core::RouterConfig config;
+  config.use_gpu = true;
+  config.chunk_capacity = 64;
+  config.gather_max = 4;
+  integrity::IntegrityChecker checker(
+      {.shadow_sample_every = 1, .shadow_trip_threshold = 1000});
+
+  core::Router router(testbed.engine(), testbed.gpus(), app, config);
+  router.set_fault_injector(&inj);
+  router.set_integrity(&checker);
+  router.start();
+
+  u64 accepted = 0;
+  u64 offered = 0;
+  const auto deadline = std::chrono::steady_clock::now() + 60s;
+  while (std::chrono::steady_clock::now() < deadline && offered < 200'000) {
+    accepted += traffic.offer(testbed.ports(), 2'000);
+    offered += 2'000;
+    if (inj.stats(fault::Point::kMemBitflip).fired == 20 &&
+        inj.stats(fault::Point::kPcieD2hCorrupt).fired == 4) {
+      break;
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+
+  // Everything accepted drains to the sink except the 20 bit-flipped
+  // frames quarantined at RX; scatter-corrupted packets are repaired in
+  // place from the CPU ground truth and still ship.
+  EXPECT_TRUE(wait_for([&] { return traffic.sunk_packets() + 20 == accepted; }, 30s));
+  router.stop();
+
+  ASSERT_EQ(inj.stats(fault::Point::kMemBitflip).fired, 20u);
+  ASSERT_EQ(inj.stats(fault::Point::kPcieD2hCorrupt).fired, 4u);
+
+  // Localization: flips at RX, lying scatter copies at the shadow check,
+  // nothing anywhere else — in particular kScatter and kTx stay zero,
+  // which is the "zero corrupted bytes at TX" claim for the in-place
+  // path (the shadow repair happened before the worker's sweep).
+  EXPECT_EQ(checker.corrupt_at(Stage::kRx), 20u);
+  EXPECT_EQ(checker.corrupt_at(Stage::kGather), 0u);
+  EXPECT_EQ(checker.corrupt_at(Stage::kScatter), 0u);
+  EXPECT_EQ(checker.corrupt_at(Stage::kTx), 0u);
+  // 4 hits in per-job pairs: exactly 2 jobs, each with both segs of its
+  // first packet corrupted -> one bad packet per job at the shadow check.
+  EXPECT_EQ(checker.corrupt_at(Stage::kShadow), 2u);
+  EXPECT_EQ(checker.shadow_mismatch_batches(), 2u);
+  EXPECT_EQ(checker.reshaded_batches(), 2u);
+  EXPECT_EQ(checker.quarantined_packets(), 20u);
+  EXPECT_EQ(checker.devices_tripped(), 0u);
+
+  const auto stats = router.stats();
+  EXPECT_EQ(stats.packets_in, accepted);
+  EXPECT_EQ(stats.packets_out + stats.dropped() + stats.slow_path, stats.packets_in);
+  EXPECT_EQ(stats.packets_out, traffic.sunk_packets());
+  EXPECT_EQ(stats.drops(iengine::DropReason::kIntegrityFail), 20u);
+  EXPECT_EQ(stats.dropped(), 20u);
+  EXPECT_TRUE(router.gpu_health(0).healthy);
+}
+
+TEST(IntegrityChaos, ConservationExactUnderWorkerQuarantineMidBatch) {
+  // A worker parks mid-run with in-place jobs in flight: the master keeps
+  // returning results to the hung worker's output ring, a peer adopts its
+  // NIC queues, and the owner drains everything when kicked back to life.
+  // With integrity armed and shadow verification on every batch, the
+  // whole episode must produce zero false integrity positives and an
+  // exact conservation identity — no packet lost, duplicated, or
+  // silently mutated across the quarantine/handback.
+  const auto sa = crypto::SecurityAssociation::make_test_sa(
+      0x6262, net::Ipv4Addr(172, 16, 0, 1), net::Ipv4Addr(172, 16, 0, 2));
+  apps::IpsecGatewayApp app(sa);
+
+  core::Testbed testbed({.topo = pcie::Topology::single_node(),
+                         .use_gpu = true,
+                         .ring_size = 4096,
+                         .gpu_pool_workers = 0},
+                        core::RouterConfig{.use_gpu = true});
+  gen::TrafficGen traffic({.frame_size = 64, .seed = 85});
+  testbed.connect_sink(&traffic);
+
+  fault::FaultInjector inj(/*seed=*/31);
+  inj.add_rule({.point = std::string(fault::Point::kWorkerHang), .after = 300, .count = 1});
+  testbed.set_fault_injector(&inj);
+
+  core::RouterConfig config;
+  config.use_gpu = true;
+  config.chunk_capacity = 64;
+  config.gather_max = 4;
+  config.supervisor_interval = 1ms;
+  config.supervisor_stall_window = 5ms;
+  integrity::IntegrityChecker checker(
+      {.shadow_sample_every = 1, .shadow_trip_threshold = 1000});
+
+  core::Router router(testbed.engine(), testbed.gpus(), app, config);
+  router.set_fault_injector(&inj);
+  router.set_integrity(&checker);
+  router.start();
+
+  u64 offered = 0;
+  u64 accepted = 0;
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    accepted += traffic.offer(testbed.ports(), 1'000);
+    offered += 1'000;
+    if (router.supervisor().stalls_detected() >= 1 &&
+        router.supervisor().recoveries() >= 1 && offered >= 10'000) {
+      break;
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+
+  EXPECT_EQ(inj.stats(fault::Point::kWorkerHang).fired, 1u);
+  ASSERT_GE(router.supervisor().stalls_detected(), 1u);
+  ASSERT_GE(router.supervisor().recoveries(), 1u);
+
+  EXPECT_TRUE(wait_for([&] { return traffic.sunk_packets() == accepted; }));
+  router.stop();
+
+  // No injected corruption: every boundary check must have stayed silent
+  // even though chunks crossed the hand-off while their owner was out.
+  EXPECT_EQ(checker.corrupt_at(Stage::kRx), 0u);
+  EXPECT_EQ(checker.corrupt_at(Stage::kGather), 0u);
+  EXPECT_EQ(checker.corrupt_at(Stage::kShadow), 0u);
+  EXPECT_EQ(checker.corrupt_at(Stage::kScatter), 0u);
+  EXPECT_EQ(checker.corrupt_at(Stage::kTx), 0u);
+  EXPECT_EQ(checker.quarantined_packets(), 0u);
+  EXPECT_GT(checker.shadow_batches(), 0u);
+  EXPECT_GT(checker.verified_packets(), 0u);
+
+  const auto stats = router.stats();
+  EXPECT_EQ(stats.packets_in, accepted);
+  EXPECT_EQ(stats.packets_out + stats.dropped() + stats.slow_path, stats.packets_in);
+  EXPECT_EQ(stats.packets_out, traffic.sunk_packets());
+  EXPECT_EQ(stats.dropped(), 0u);
+  const auto audit = router.audit();
+  EXPECT_TRUE(audit.balanced());
+  EXPECT_EQ(audit.in_flight, 0u);
 }
 
 }  // namespace

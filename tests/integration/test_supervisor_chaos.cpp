@@ -122,7 +122,12 @@ TEST(SupervisorChaos, MasterHangIsDetectedWorkersAbsorbAndMasterResumes) {
   core::RouterConfig config;
   config.use_gpu = true;
   config.chunk_capacity = 64;
-  config.master_queue_capacity = 4;  // fills fast while the master is out
+  // Fills fast while the master is out. Since the SPSC fan-in split this
+  // capacity across per-worker lanes (4 over 3 workers -> 2 slots each,
+  // aggregate 6), there is no shared queue and no global FIFO to rely
+  // on: each worker's own lane saturates independently, which is exactly
+  // what diverts its dispatches down the CPU path below.
+  config.master_queue_capacity = 4;
   config.supervisor_interval = 1ms;
   config.supervisor_stall_window = 5ms;
 

@@ -1,0 +1,16 @@
+// Fixture: in common/spsc_ring.hpp the handoff-mutex rule scans the
+// whole file — any lock outside WakeSignal's allow-commented idle path
+// fires, in any function.
+#pragma once
+#include <mutex>
+
+struct BadRing {
+  std::mutex mu;
+  void push() {
+    std::lock_guard<std::mutex> lock(mu);  // FIRES: hand-off header
+  }
+  void park() {
+    // pslint: allow(handoff-mutex) -- fixture: WakeSignal-style idle park.
+    std::unique_lock<std::mutex> lock(mu);  // ok: allow comment
+  }
+};

@@ -1,0 +1,26 @@
+// Fixture for the handoff-mutex rule: lock acquisition inside the
+// router's hand-off loops fires; the same lock in a non-hand-off
+// function does not, and an allow comment suppresses a sanctioned site.
+#include <mutex>
+
+struct Ctx {
+  std::mutex mu;
+};
+
+void worker_loop(Ctx& ctx) {
+  std::lock_guard<std::mutex> lock(ctx.mu);  // FIRES: hand-off loop
+}
+
+void drain_scatter(Ctx& ctx) {
+  ctx.mu.lock();  // FIRES: raw acquisition on the hand-off path
+  ctx.mu.unlock();
+}
+
+void master_loop(Ctx& ctx) {
+  // pslint: allow(handoff-mutex) -- fixture: sanctioned idle-path park.
+  std::unique_lock<std::mutex> lock(ctx.mu);  // ok: allow comment
+}
+
+void stage_finish(Ctx& ctx) {
+  std::lock_guard<std::mutex> lock(ctx.mu);  // ok: not a hand-off loop
+}

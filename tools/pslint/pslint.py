@@ -51,6 +51,15 @@ or the preceding line):
                       epoch-pinned FibManager::read(); any lock here
                       reintroduces the updater-stalls-lookups coupling
                       the generation design removed.
+  handoff-mutex       lock acquisition on the worker<->master hand-off
+                      path: anywhere in common/spsc_ring.hpp, or inside
+                      worker_loop/drain_scatter/recv_and_dispatch/
+                      master_loop in src/core. The hand-off is lock-free
+                      by design (SpscFanIn + per-worker output rings);
+                      the only sanctioned mutex is WakeSignal's idle-path
+                      park, and each of its lock sites carries an allow
+                      comment saying so. A new MutexLock here silently
+                      reintroduces the convoy the SPSC migration removed.
 
 Output: `path:line: [rule] message`, one per finding, sorted; exit 1 if
 anything fired. `--expect FILE` compares the findings against a golden
@@ -72,6 +81,8 @@ RULES = {
                            "without a reserve",
     "read-path-lock": "lock acquisition or locking FIB snapshot on the "
                       "per-packet read path",
+    "handoff-mutex": "lock acquisition on the lock-free worker<->master "
+                     "hand-off path",
 }
 
 HOT_DIRS = ("iengine", "nic", "gpu", "core")
@@ -109,7 +120,7 @@ SINGLE_WRITER = [
 
 REGISTRY_PREFIX_RE = re.compile(
     r"^(router|gpu|slowpath|supervisor|engine|nic|core|mem|fib|control|"
-    r"integrity|pcie)\.")
+    r"integrity|pcie|ring)\.")
 
 FAULT_SITE_RE = re.compile(
     r"register_point\s*\(|should_fire\s*\(|check_fault\s*\(|"
@@ -467,6 +478,41 @@ def check_read_path_lock(sf, findings):
                 "FibManager::read()" % (what[pos], fn)))
 
 
+# --- rule: handoff-mutex ---------------------------------------------------
+
+# The hand-off path: the SPSC fan-in header in full (its WakeSignal slow
+# path carries per-site allow comments), plus the router loops that move
+# jobs across the worker<->master boundary. stage_finish()/shade_batch()
+# may take their own (host-stack, GPU-health) locks — those guard other
+# subsystems, not the hand-off — so only the loop bodies are scanned.
+HANDOFF_FILE = "common/spsc_ring.hpp"
+HANDOFF_FNS = "worker_loop|drain_scatter|recv_and_dispatch|master_loop"
+HANDOFF_FN_RE = re.compile(r"\b(%s)\s*\(" % HANDOFF_FNS)
+
+
+def check_handoff_mutex(sf, findings):
+    code = sf.code_nostr
+
+    def report(pos, where):
+        lineno = _line_of(code, pos)
+        if sf.allowed(lineno, "handoff-mutex"):
+            return
+        findings.append(Finding(
+            sf.rel, lineno, "handoff-mutex",
+            "mutex acquisition %s; the hand-off is lock-free by design "
+            "(idle-path parking goes through WakeSignal)" % where))
+
+    if sf.rel == HANDOFF_FILE:
+        for m in READ_PATH_ACQUIRE_RE.finditer(code):
+            report(m.start(), "in the SPSC hand-off header")
+        return
+    if sf.rel.split("/", 1)[0] != "core":
+        return
+    for fn, start, end in _steady_bodies(code, HANDOFF_FN_RE):
+        for m in READ_PATH_ACQUIRE_RE.finditer(code, start, end):
+            report(m.start(), "inside hand-off loop %s()" % fn)
+
+
 # --- rule: registry-sync ---------------------------------------------------
 
 def _normalize(name):
@@ -629,6 +675,7 @@ def main(argv):
         check_hot_sleep(sf, findings)
         check_steady_state_growth(sf, findings)
         check_read_path_lock(sf, findings)
+        check_handoff_mutex(sf, findings)
     if args.docs:
         check_registry_sync(files, args.docs, findings)
 
