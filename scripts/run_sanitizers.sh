@@ -20,6 +20,13 @@
 # In particular TelemetryConservation runs a snapshot thread against live
 # traffic: a data race in MetricsRegistry::snapshot() fails that suite
 # under TSan.
+#
+# The "lockfree" shorthand selects by ctest *label* instead of regex: it
+# runs the LockfreeSuite entry (SPSC ring, WakeSignal, SpscFanIn, epoch
+# — the protocols the ps::mc litmus suite model-checks, here exercised
+# at full concurrency under the sanitizer). CI runs it under all three
+# presets on every PR before the full suites:
+#   scripts/run_sanitizers.sh "address thread undefined" lockfree
 set -e
 cd "$(dirname "$0")/.."
 
@@ -27,8 +34,12 @@ telemetry_filter='TelemetryConservation|MetricsRegistry|PipelineTrace|BenchLine|
 
 presets="${1:-address thread undefined}"
 filter="$2"
+label=""
 if [ "$filter" = "telemetry" ]; then
   filter="$telemetry_filter"
+elif [ "$filter" = "lockfree" ]; then
+  label="lockfree"
+  filter=""
 fi
 
 for preset in $presets; do
@@ -41,5 +52,6 @@ for preset in $presets; do
   ASAN_OPTIONS=halt_on_error=1 \
   UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   TSAN_OPTIONS=halt_on_error=1 \
-    ctest --test-dir "$build_dir" --output-on-failure ${filter:+-R "$filter"}
+    ctest --test-dir "$build_dir" --output-on-failure \
+      ${label:+-L "$label"} ${filter:+-R "$filter"}
 done

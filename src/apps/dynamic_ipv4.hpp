@@ -13,6 +13,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/atomic_shim.hpp"
 #include "core/shader.hpp"
 #include "route/fib_manager.hpp"
 
@@ -48,7 +49,8 @@ class DynamicIpv4ForwardApp final : public core::Shader {
     gpu::DeviceBuffer tbl_long[2];
     gpu::DeviceBuffer input;
     gpu::DeviceBuffer output;
-    std::atomic<int> active{0};
+    // mc: app.dyn.active -- double-buffer slot index; release swap after upload
+    ps::atomic<int> active{0};
     u64 generation = 0;  // FIB generation loaded into the active copy
   };
 

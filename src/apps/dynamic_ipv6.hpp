@@ -9,6 +9,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/atomic_shim.hpp"
 #include "core/shader.hpp"
 #include "route/fib_manager.hpp"
 
@@ -46,7 +47,8 @@ class DynamicIpv6ForwardApp final : public core::Shader {
     TableCopy copies[2];
     gpu::DeviceBuffer input;
     gpu::DeviceBuffer output;
-    std::atomic<int> active{0};
+    // mc: app.dyn.active -- double-buffer slot index; release swap after upload
+    ps::atomic<int> active{0};
     u64 generation = 0;
   };
 

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <unordered_map>
 
+#include "common/atomic_shim.hpp"
 #include "core/shader.hpp"
 #include "crypto/esp.hpp"
 
@@ -67,7 +68,8 @@ class IpsecGatewayApp final : public core::Shader {
                                gpu::StreamId stream, Picos submit_time, Picos& done);
 
   const crypto::SecurityAssociation& sa_;
-  std::atomic<u32> next_seq_{1};
+  // mc: ipsec.next_seq -- relaxed ESP sequence ticket (per-SA uniqueness only)
+  ps::atomic<u32> next_seq_{1};
   std::unordered_map<int, GpuState> gpu_state_;
 };
 

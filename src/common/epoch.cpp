@@ -4,31 +4,13 @@
 #include <stdexcept>
 #include <unordered_set>
 
-#if defined(__SANITIZE_THREAD__)
-#define PS_EPOCH_TSAN 1
-#elif defined(__has_feature)
-#if __has_feature(thread_sanitizer)
-#define PS_EPOCH_TSAN 1
-#endif
+#ifdef PS_MODEL_CHECK
+#include "mc/mc.hpp"
 #endif
 
 namespace ps::epoch {
 
 namespace {
-
-/// TSan does not model std::atomic_thread_fence (and gcc rejects it
-/// outright under -fsanitize=thread -Werror=tsan). Under TSan, stand in
-/// a seq_cst RMW on a shared dummy atomic: it carries the same total
-/// order TSan *can* see, at the cost of real contention — acceptable for
-/// a checking build, never compiled into production binaries.
-inline void seq_cst_fence() {
-#ifdef PS_EPOCH_TSAN
-  static std::atomic<unsigned> dummy{0};
-  dummy.fetch_add(1, std::memory_order_seq_cst);
-#else
-  std::atomic_thread_fence(std::memory_order_seq_cst);
-#endif
-}
 
 /// Live-domain registry: thread-exit slot release must not touch a
 /// domain that was destroyed first, so both sides rendezvous here.
@@ -56,7 +38,7 @@ struct ThreadSlots {
   };
   std::vector<Entry> entries;
 
-  ~ThreadSlots();
+  ~ThreadSlots() PS_MC_MAY_UNWIND;
 
   int find(const Domain* domain) const {
     for (const auto& e : entries) {
@@ -67,7 +49,16 @@ struct ThreadSlots {
 };
 
 namespace {
+#ifdef PS_MODEL_CHECK
+/// Under the model checker every virtual thread needs its own slot
+/// cache (a real thread_local would be shared by all fibers on the one
+/// OS thread); the checker also runs the destructor at virtual-thread
+/// exit, exercising the registry rendezvous per execution.
+ThreadSlots& thread_slots() { return mc::thread_local_instance<ThreadSlots>(); }
+#else
 thread_local ThreadSlots tl_slots;
+ThreadSlots& thread_slots() { return tl_slots; }
+#endif
 }  // namespace
 
 Domain::Domain() {
@@ -76,7 +67,7 @@ Domain::Domain() {
   reg.live.insert(this);
 }
 
-Domain::~Domain() {
+Domain::~Domain() PS_MC_MAY_UNWIND {
   assert(active_readers() == 0 && "domain destroyed with pinned readers");
   auto& reg = registry();
   MutexLock lock(reg.mu);
@@ -85,7 +76,7 @@ Domain::~Domain() {
   // that is the correct final reclaim.
 }
 
-ThreadSlots::~ThreadSlots() {
+ThreadSlots::~ThreadSlots() PS_MC_MAY_UNWIND {
   auto& reg = registry();
   MutexLock lock(reg.mu);
   for (const auto& e : entries) {
@@ -100,13 +91,14 @@ ThreadSlots::~ThreadSlots() {
 }
 
 int Domain::slot_for_this_thread() {
-  const int cached = tl_slots.find(this);
+  ThreadSlots& tls = thread_slots();
+  const int cached = tls.find(this);
   if (cached >= 0) return cached;
   for (int i = 0; i < kMaxReaders; ++i) {
     bool expected = false;
     if (claimed_[static_cast<std::size_t>(i)].compare_exchange_strong(
             expected, true, std::memory_order_acq_rel, std::memory_order_relaxed)) {
-      tl_slots.entries.push_back({this, i});
+      tls.entries.push_back({this, i});
       return i;
     }
   }
@@ -124,7 +116,8 @@ Guard Domain::pin() {
     // seq_cst fence pairs with the writer's pre-scan fence (see header).
     const u64 e = global_epoch_.load(std::memory_order_acquire);
     s.epoch.store(e, std::memory_order_relaxed);
-    seq_cst_fence();
+    // mc: epoch.fence.pin -- publish the pin before the protected-pointer load
+    fence_seq_cst();
   }
   return Guard(this, slot);
 }
@@ -169,7 +162,8 @@ std::size_t Domain::reclaim() {
   // Pair with the reader-side pin fence: after this fence, any reader
   // whose pin we fail to observe has already seen the replacement
   // pointer (and the retirement), so the object is unreachable from it.
-  seq_cst_fence();
+  // mc: epoch.fence.scan -- writer fence pairs with epoch.fence.pin
+  fence_seq_cst();
   const u64 min = min_pinned();
 
   std::vector<std::shared_ptr<const void>> to_drop;  // destroy outside mu_

@@ -35,6 +35,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/atomic_shim.hpp"
 #include "common/cacheline.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
@@ -54,7 +55,10 @@ class Guard {
   Guard(Guard&& other) noexcept : domain_(other.domain_), slot_(other.slot_) {
     other.domain_ = nullptr;
   }
-  Guard& operator=(Guard&& other) noexcept {
+  // Move-assign and the destructor run release() — an unpin, which under
+  // the model is a scheduling point that may unwind on abort (see
+  // PS_MC_MAY_UNWIND in atomic_shim.hpp). Production keeps noexcept.
+  Guard& operator=(Guard&& other) PS_MC_NOEXCEPT {
     if (this != &other) {
       release();
       domain_ = other.domain_;
@@ -63,7 +67,7 @@ class Guard {
     }
     return *this;
   }
-  ~Guard() { release(); }
+  ~Guard() PS_MC_MAY_UNWIND { release(); }
 
   Guard(const Guard&) = delete;
   Guard& operator=(const Guard&) = delete;
@@ -87,13 +91,20 @@ class Domain {
  public:
   /// Reader slots available per domain. A slot is claimed per *thread*
   /// on first pin and released at thread exit, so this bounds concurrent
-  /// reader threads, not guards.
+  /// reader threads, not guards. Overridable so the model-check litmus
+  /// build can shrink the slot scan to the handful of virtual threads it
+  /// actually runs (the checker explores every interleaving of the scan,
+  /// so 128 idle-slot loads per reclaim would blow up the state space).
+#ifdef PS_EPOCH_MAX_READERS
+  static constexpr int kMaxReaders = PS_EPOCH_MAX_READERS;
+#else
   static constexpr int kMaxReaders = 128;
+#endif
   /// Slot value meaning "not pinned".
   static constexpr u64 kIdle = ~u64{0};
 
   Domain();
-  ~Domain();
+  ~Domain() PS_MC_MAY_UNWIND;
 
   Domain(const Domain&) = delete;
   Domain& operator=(const Domain&) = delete;
@@ -131,7 +142,8 @@ class Domain {
   friend struct ThreadSlots;  // thread-exit slot release
 
   struct Slot {
-    std::atomic<u64> epoch{kIdle};
+    // mc: epoch.slot -- reader pin; relaxed store + seq_cst fence publishes it
+    ps::atomic<u64> epoch{kIdle};
     /// Owning-thread-only nesting depth (the slot is claimed by exactly
     /// one thread, so plain storage suffices).
     u32 depth = 0;
@@ -150,18 +162,21 @@ class Domain {
     u64 epoch_tag = 0;
   };
 
-  std::atomic<u64> global_epoch_{1};
+  // mc: epoch.global -- seq_cst fetch_add per retire; pin pairs via acquire
+  ps::atomic<u64> global_epoch_{1};
   /// Cacheline-isolated: every pin/unpin writes its own slot.
   std::array<CacheAligned<Slot>, kMaxReaders> slots_;
   /// Per-slot claim flags: a thread CASes one false->true to own the
   /// slot for its lifetime. Separate from the hot epoch word so claim
   /// traffic never bounces the pin cacheline.
-  std::array<std::atomic<bool>, kMaxReaders> claimed_{};
+  // mc: epoch.claimed -- slot ownership CAS; acq_rel pairs claim with release
+  std::array<ps::atomic<bool>, kMaxReaders> claimed_{};
 
   mutable Mutex mu_;
   std::vector<Retired> retired_ GUARDED_BY(mu_);
   /// Mirror of retired_.size() readable without mu_ (telemetry probe).
-  std::atomic<std::size_t> retired_count_{0};
+  // mc: epoch.retired_count -- relaxed gauge mirror, always written under mu_
+  ps::atomic<std::size_t> retired_count_{0};
 };
 
 }  // namespace ps::epoch

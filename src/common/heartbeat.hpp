@@ -15,13 +15,16 @@
 
 #include <atomic>
 
+#include "common/atomic_shim.hpp"
 #include "common/types.hpp"
 
 namespace ps {
 
 struct Heartbeat {
-  std::atomic<u64> beats{0};     // loop-alive ticks
-  std::atomic<u64> progress{0};  // units of useful work (e.g. chunks)
+  // mc: heartbeat.beats -- release tick; supervisor acquires (quarantine edge)
+  ps::atomic<u64> beats{0};  // loop-alive ticks
+  // mc: heartbeat.progress -- relaxed useful-work counter
+  ps::atomic<u64> progress{0};  // units of useful work (e.g. chunks)
 
   /// Release order so everything the thread did before the beat (queue
   /// writes, ring handoffs) is visible to a supervisor that acquires it —

@@ -14,36 +14,12 @@
 #include <optional>
 #include <vector>
 
+#include "common/atomic_shim.hpp"
 #include "common/cacheline.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
-#if defined(__SANITIZE_THREAD__)
-#define PS_SPSC_TSAN 1
-#elif defined(__has_feature)
-#if __has_feature(thread_sanitizer)
-#define PS_SPSC_TSAN 1
-#endif
-#endif
-
 namespace ps {
-
-namespace detail {
-/// TSan does not model std::atomic_thread_fence (and gcc rejects it
-/// outright under -fsanitize=thread -Werror=tsan). Under TSan, stand in
-/// a seq_cst RMW on a shared dummy atomic: it carries the same total
-/// order TSan *can* see, at the cost of real contention — acceptable for
-/// a checking build, never compiled into production binaries. (Same
-/// idiom as epoch.cpp's reader-pin fence.)
-inline void wake_seq_cst_fence() {
-#ifdef PS_SPSC_TSAN
-  static std::atomic<unsigned> dummy{0};
-  dummy.fetch_add(1, std::memory_order_seq_cst);
-#else
-  std::atomic_thread_fence(std::memory_order_seq_cst);
-#endif
-}
-}  // namespace detail
 
 template <typename T>
 class SpscRing {
@@ -113,10 +89,12 @@ class SpscRing {
   const std::size_t mask_;
   std::vector<T> slots_;
 
-  alignas(kCacheLineSize) std::atomic<u64> head_{0};  // producer writes
-  alignas(kCacheLineSize) u64 tail_cache_{0};         // producer-local
-  alignas(kCacheLineSize) std::atomic<u64> tail_{0};  // consumer writes
-  alignas(kCacheLineSize) u64 head_cache_{0};         // consumer-local
+  // mc: spsc.head -- producer-only writer; release store publishes the slot
+  alignas(kCacheLineSize) ps::atomic<u64> head_{0};
+  alignas(kCacheLineSize) u64 tail_cache_{0};  // producer-local
+  // mc: spsc.tail -- consumer-only writer; release store returns the slot
+  alignas(kCacheLineSize) ps::atomic<u64> tail_{0};
+  alignas(kCacheLineSize) u64 head_cache_{0};  // consumer-local
 };
 
 /// Edge-triggered sleep/wake for a lock-free queue's idle path.
@@ -141,7 +119,8 @@ class WakeSignal {
   /// Producer side: called after publishing work. Takes the mutex only
   /// when a consumer advertised it is (about to be) asleep.
   void notify() {
-    detail::wake_seq_cst_fence();
+    // mc: wake.fence.notify -- Dekker: order item-publish before waiting_ check
+    fence_seq_cst();
     if (!waiting_.load(std::memory_order_relaxed)) return;
     {
       // pslint: allow(handoff-mutex) -- the sanctioned slow path: taken
@@ -158,7 +137,8 @@ class WakeSignal {
   /// the producer's publish.
   u64 prepare_wait() {
     waiting_.store(true, std::memory_order_relaxed);
-    detail::wake_seq_cst_fence();
+    // mc: wake.fence.prepare -- Dekker: order waiting_=true before ring re-check
+    fence_seq_cst();
     // pslint: allow(handoff-mutex) -- idle-path arm, not the hand-off.
     MutexLock lock(mu_);
     return wake_seq_;
@@ -185,7 +165,8 @@ class WakeSignal {
   }
 
  private:
-  std::atomic<bool> waiting_{false};
+  // mc: wake.waiting -- consumer advertises sleep intent; Dekker-fenced
+  ps::atomic<bool> waiting_{false};
   Mutex mu_;
   u64 wake_seq_ GUARDED_BY(mu_) = 0;
   CondVar cv_;
@@ -334,14 +315,18 @@ class SpscFanIn {
   struct Lane {
     explicit Lane(std::size_t cap) : ring(cap) {}
     SpscRing<T> ring;
-    alignas(kCacheLineSize) std::atomic<u64> full_spins{0};    // producer-written
-    alignas(kCacheLineSize) std::atomic<u64> popped_items{0};  // consumer-written
-    std::atomic<u64> drains{0};                                // consumer-written
+    // mc: fanin.full_spins -- single-writer (producer) relaxed counter
+    alignas(kCacheLineSize) ps::atomic<u64> full_spins{0};
+    // mc: fanin.popped_items -- single-writer (consumer) relaxed counter
+    alignas(kCacheLineSize) ps::atomic<u64> popped_items{0};
+    // mc: fanin.drains -- single-writer (consumer) relaxed counter
+    ps::atomic<u64> drains{0};
   };
 
   const std::size_t per_ring_capacity_;
   std::vector<std::unique_ptr<Lane>> lanes_;  // Lane owns atomics: pointer-stable
-  std::atomic<bool> closed_{false};
+  // mc: fanin.closed -- sticky shutdown latch; release pairs with push/pop acquire
+  ps::atomic<bool> closed_{false};
   WakeSignal wake_;
   std::size_t cursor_ = 0;  // consumer-local round-robin position
 };

@@ -18,6 +18,12 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/atomic_shim.hpp"  // PS_MC_MAY_UNWIND
+
+#ifdef PS_MODEL_CHECK
+#include "mc/model_sync.hpp"
+#endif
+
 #if defined(__clang__) && (!defined(SWIG))
 #define PS_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
 #else
@@ -76,6 +82,26 @@
 
 namespace ps {
 
+#ifdef PS_MODEL_CHECK
+
+/// Model-checked Mutex: same surface, but lock/unlock are scheduling
+/// points for the ps::mc virtual-thread runtime (a real std::mutex would
+/// deadlock the single OS thread the fibers share). Only litmus targets
+/// compile with PS_MODEL_CHECK; production builds take the branch below.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  ~Mutex() { mc::detail::mutex_forget(this); }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mc::detail::mutex_lock(this); }
+  void unlock() RELEASE() { mc::detail::mutex_unlock(this); }
+  bool try_lock() TRY_ACQUIRE(true) { return mc::detail::mutex_try_lock(this); }
+};
+
+#else
+
 /// std::mutex with TSA capability annotations. All of src/ locks through
 /// this type (or MutexLock below) so the analysis can see acquisitions;
 /// libstdc++'s std::mutex is unannotated and invisible to it.
@@ -93,11 +119,15 @@ class CAPABILITY("mutex") Mutex {
   std::mutex mu_;
 };
 
+#endif  // PS_MODEL_CHECK
+
 /// RAII lock (the std::lock_guard of the annotated world).
 class SCOPED_CAPABILITY MutexLock {
  public:
   explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
-  ~MutexLock() RELEASE() { mu_.unlock(); }
+  // Unlock is a scheduling point under the model; an abort landing on it
+  // must be allowed to unwind through this destructor.
+  ~MutexLock() PS_MC_MAY_UNWIND RELEASE() { mu_.unlock(); }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
@@ -105,6 +135,41 @@ class SCOPED_CAPABILITY MutexLock {
  private:
   Mutex& mu_;
 };
+
+#ifdef PS_MODEL_CHECK
+
+/// Model-checked CondVar: wait parks the virtual thread until a notify;
+/// timed waits never time out (the checker has no clock — a timeout path
+/// would hide lost-wakeup bugs behind "the deadline saved us"), so the
+/// deadlock detector is the oracle for a signal that never arrives.
+class CondVar {
+ public:
+  CondVar() = default;
+  ~CondVar() { mc::detail::cv_forget(this); }
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) REQUIRES(mu) { mc::detail::cv_wait(this, &mu); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu, std::chrono::duration<Rep, Period>)
+      REQUIRES(mu) {
+    mc::detail::cv_wait(this, &mu);
+    return std::cv_status::no_timeout;
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(Mutex& mu, std::chrono::time_point<Clock, Duration>)
+      REQUIRES(mu) {
+    mc::detail::cv_wait(this, &mu);
+    return std::cv_status::no_timeout;
+  }
+
+  void notify_one() { mc::detail::cv_notify_one(this); }
+  void notify_all() { mc::detail::cv_notify_all(this); }
+};
+
+#else
 
 /// Condition variable waiting on a ps::Mutex. Waits are written as
 /// explicit while-loops at the call site (not predicate lambdas): TSA
@@ -141,5 +206,7 @@ class CondVar {
   // keeps the acquire/release visible to the analysis at the call site.
   std::condition_variable_any cv_;
 };
+
+#endif  // PS_MODEL_CHECK
 
 }  // namespace ps

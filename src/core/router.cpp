@@ -196,7 +196,7 @@ void Router::process_cpu_only(WorkerRuntime& worker, ShaderJob* job) {
   finish_job(worker, job);
 }
 
-void Router::simulate_hang(std::atomic<bool>& release) {
+void Router::simulate_hang(ps::atomic<bool>& release) {
   while (running_.load(std::memory_order_acquire) &&
          !release.load(std::memory_order_acquire)) {
     // pslint: allow(hot-sleep) -- deterministic hang simulation: the whole

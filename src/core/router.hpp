@@ -37,6 +37,7 @@
 #include <vector>
 
 
+#include "common/atomic_shim.hpp"
 #include "common/cacheline.hpp"
 #include "common/heartbeat.hpp"
 #include "common/thread_annotations.hpp"
@@ -266,7 +267,8 @@ class Router {
 
     /// Released by the supervisor to un-park a master wedged at
     /// fault::Point::kMasterHang (the "re-kick").
-    std::atomic<bool> hang_release{false};
+    // mc: router.hang_release -- supervisor release latch; parked thread polls
+    ps::atomic<bool> hang_release{false};
     int supervise_id = -1;
 
     /// Batch whose spans the device-op observer stamps (H2D/kernel/D2H).
@@ -296,21 +298,32 @@ class Router {
   /// atomic lets total_stats() / the supervisor / tests sample them while
   /// traffic flows without a data race or a hot-path lock.
   struct WorkerCounters {
-    std::atomic<u64> chunks{0};
-    std::atomic<u64> packets_in{0};
-    std::atomic<u64> packets_out{0};
-    std::atomic<u64> slow_path{0};
-    std::atomic<u64> cpu_processed{0};
-    std::atomic<u64> gpu_processed{0};
-    std::atomic<u64> bp_reduced_batches{0};
-    std::atomic<u64> bp_diverted_chunks{0};
-    std::atomic<u64> adopted_chunks{0};
+    // mc: router.stats -- single-writer relaxed per-worker counters
+    ps::atomic<u64> chunks{0};
+    // mc: router.stats
+    ps::atomic<u64> packets_in{0};
+    // mc: router.stats
+    ps::atomic<u64> packets_out{0};
+    // mc: router.stats
+    ps::atomic<u64> slow_path{0};
+    // mc: router.stats
+    ps::atomic<u64> cpu_processed{0};
+    // mc: router.stats
+    ps::atomic<u64> gpu_processed{0};
+    // mc: router.stats
+    ps::atomic<u64> bp_reduced_batches{0};
+    // mc: router.stats
+    ps::atomic<u64> bp_diverted_chunks{0};
+    // mc: router.stats
+    ps::atomic<u64> adopted_chunks{0};
     /// Packets fetched but not yet accounted out by finish_job. Written
     /// only by the owning worker (finish_job always runs there), so the
     /// telemetry in-flight gauge stays single-writer; the audit()'s
     /// job-pool scan is the independent cross-check.
-    std::atomic<u64> in_flight_packets{0};
-    std::array<std::atomic<u64>, iengine::kNumDropReasons> drops_by_reason{};
+    // mc: router.stats
+    ps::atomic<u64> in_flight_packets{0};
+    // mc: router.stats
+    std::array<ps::atomic<u64>, iengine::kNumDropReasons> drops_by_reason{};
 
     WorkerStats snapshot() const {
       WorkerStats s;
@@ -349,25 +362,30 @@ class Router {
     std::vector<ShaderJob*> finish_scratch;
 
     // --- liveness / quarantine (supervisor handshake) ----------------------
-    std::atomic<bool> hang_release{false};
+    // mc: router.hang_release
+    ps::atomic<bool> hang_release{false};
     /// While true this worker does not poll its own NIC queues (a peer
     /// adopted them after a detected hang). Set before the hang is
     /// released, cleared only after the adopter acknowledged letting go.
-    std::atomic<bool> quarantined{false};
+    // mc: router.quarantined -- supervisor-written latch; owner polls acquire
+    ps::atomic<bool> quarantined{false};
     /// Exclusive right to RX on this worker's handle. A stall verdict can
     /// be a false positive — a live worker merely starved of cycles, still
     /// mid-poll when the supervisor hands its queues away — so the
     /// single-consumer discipline cannot rest on the verdict alone: every
     /// poll (owner or adopter) must win this token first. Uncontended in
     /// steady state, so it costs one exchange per loop iteration.
-    std::atomic<bool> io_token{false};
+    // mc: router.io_token -- acq_rel exchange mutex for RX polling rights
+    ps::atomic<bool> io_token{false};
     /// Wedged peer whose handle this worker should drain in addition to
     /// its own (quarantine adoption). Written by the supervisor.
-    std::atomic<WorkerRuntime*> adopt{nullptr};
+    // mc: router.adopt -- supervisor release-publishes the adoption order
+    ps::atomic<WorkerRuntime*> adopt{nullptr};
     /// Last `adopt` value this worker actually acted on, published every
     /// iteration — the supervisor's proof that the adopter has let go
     /// before the owner resumes (single-consumer discipline preserved).
-    std::atomic<WorkerRuntime*> adopt_ack{nullptr};
+    // mc: router.adopt_ack -- adopter release-publishes; supervisor acquires
+    ps::atomic<WorkerRuntime*> adopt_ack{nullptr};
     int adopter_id = -1;  // supervisor-thread only
     int supervise_id = -1;
 
@@ -419,7 +437,7 @@ class Router {
                          u32 per_queue_cap, u32& inflight, bool adopted, bool divert_cpu);
   /// Park the calling thread (no heartbeats) until the supervisor releases
   /// it or the router stops — the deterministic model of a hung thread.
-  void simulate_hang(std::atomic<bool>& release);
+  void simulate_hang(ps::atomic<bool>& release);
 
   // Supervisor-thread recovery policy.
   void on_worker_stall(int worker_id);
@@ -454,7 +472,8 @@ class Router {
   std::vector<CacheAligned<Heartbeat>> heartbeats_;
   supervise::Supervisor supervisor_;
   std::vector<std::thread> threads_;
-  std::atomic<bool> running_{false};
+  // mc: router.running -- release start/stop latch; loops load acquire
+  ps::atomic<bool> running_{false};
   bool started_ = false;
 };
 

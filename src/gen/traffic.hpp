@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "common/atomic_shim.hpp"
 #include "common/rng.hpp"
 #include "net/packet.hpp"
 #include "nic/nic.hpp"
@@ -80,9 +81,12 @@ class TrafficGen final : public nic::WireSink {
   TrafficConfig config_;
   Rng rng_;
   u64 sequence_ = 0;
-  std::atomic<u64> sunk_packets_{0};
-  std::atomic<u64> sunk_bytes_{0};
-  std::vector<std::atomic<u64>> per_port_sunk_;
+  // mc: gen.sunk -- relaxed sink accounting (wire-side writer)
+  ps::atomic<u64> sunk_packets_{0};
+  // mc: gen.sunk
+  ps::atomic<u64> sunk_bytes_{0};
+  // mc: gen.sunk
+  std::vector<ps::atomic<u64>> per_port_sunk_;
 };
 
 }  // namespace ps::gen

@@ -24,7 +24,7 @@ SimtExecutor::~SimtExecutor() {
   for (auto& t : workers_) t.join();
 }
 
-void SimtExecutor::run_range(const KernelBody& body, std::atomic<u64>* path_words,
+void SimtExecutor::run_range(const KernelBody& body, ps::atomic<u64>* path_words,
                              u32 begin, u32 end) {
   for (u32 tid = begin; tid < end; ++tid) {
     ThreadCtx ctx(tid, path_words);
@@ -36,7 +36,7 @@ void SimtExecutor::worker_loop() {
   u64 seen_generation = 0;
   while (true) {
     const KernelBody* body = nullptr;
-    std::atomic<u64>* path_words = nullptr;
+    ps::atomic<u64>* path_words = nullptr;
     u32 total_threads = 0;
     u32 total_blocks = 0;
     {
@@ -88,9 +88,11 @@ ExecStats SimtExecutor::run(u32 threads, const KernelBody& body, bool track_dive
 
   MutexLock launch_lock(launch_mu_);
 
-  std::unique_ptr<std::atomic<u64>[]> paths;
+  // mc: gpu.path_words -- per-warp divergence bitmasks, relaxed fetch_or
+  std::unique_ptr<ps::atomic<u64>[]> paths;
   if (track_divergence) {
-    paths = std::make_unique<std::atomic<u64>[]>(stats.warps);
+    // mc: gpu.path_words
+    paths = std::make_unique<ps::atomic<u64>[]>(stats.warps);
     for (u32 i = 0; i < stats.warps; ++i) paths[i].store(0, std::memory_order_relaxed);
   }
 

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/atomic_shim.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "perf/calibration.hpp"
@@ -20,7 +21,7 @@ namespace ps::gpu {
 /// Execution context handed to a kernel body for one GPU thread.
 class ThreadCtx {
  public:
-  ThreadCtx(u32 tid, std::atomic<u64>* path_words)
+  ThreadCtx(u32 tid, ps::atomic<u64>* path_words)
       : tid_(tid), path_words_(path_words) {}
 
   u32 thread_id() const { return tid_; }
@@ -39,7 +40,7 @@ class ThreadCtx {
 
  private:
   u32 tid_;
-  std::atomic<u64>* path_words_;
+  ps::atomic<u64>* path_words_;
 };
 
 using KernelBody = std::function<void(ThreadCtx&)>;
@@ -82,7 +83,7 @@ class SimtExecutor {
   };
 
   void worker_loop();
-  static void run_range(const KernelBody& body, std::atomic<u64>* path_words,
+  static void run_range(const KernelBody& body, ps::atomic<u64>* path_words,
                         u32 begin, u32 end);
 
   // Launch payload: published by run() in the same mu_ critical section
@@ -91,11 +92,13 @@ class SimtExecutor {
   // late — after the launcher already completed a launch without it —
   // therefore can never race the next launch's publication.
   const KernelBody* body_ GUARDED_BY(mu_) = nullptr;
-  std::atomic<u64>* path_words_ GUARDED_BY(mu_) = nullptr;
+  ps::atomic<u64>* path_words_ GUARDED_BY(mu_) = nullptr;
   u32 total_threads_ GUARDED_BY(mu_) = 0;
   u32 total_blocks_ GUARDED_BY(mu_) = 0;
-  std::atomic<u32> next_block_{0};
-  std::atomic<u32> blocks_done_{0};
+  // mc: gpu.next_block -- relaxed block-claim ticket shared by the pool
+  ps::atomic<u32> next_block_{0};
+  // mc: gpu.blocks_done -- acq_rel completion count; launcher acquires
+  ps::atomic<u32> blocks_done_{0};
 
   Mutex launch_mu_;  // serializes launches (one kernel at a time)
 

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/atomic_shim.hpp"
 #include "common/thread_annotations.hpp"
 
 #include "iengine/chunk.hpp"
@@ -130,7 +131,8 @@ class IoHandle {
   CondVar cv_;  // interrupt wakeup channel (NIC thread -> owning worker)
   bool irq_pending_ GUARDED_BY(mu_) = false;
 
-  std::atomic<u64> tx_drops_{0};
+  // mc: engine.tx_drops -- relaxed backpressure-reject counter
+  ps::atomic<u64> tx_drops_{0};
 };
 
 class PacketIoEngine {
@@ -168,7 +170,8 @@ class PacketIoEngine {
   std::vector<std::vector<IoHandle*>> queue_owner_;
   // stop() may be called from any thread while workers poll stopped() in
   // their receive loops, so this must be an atomic, not a plain bool.
-  std::atomic<bool> stopping_{false};
+  // mc: engine.stopping -- release stop latch; pollers load acquire
+  ps::atomic<bool> stopping_{false};
 };
 
 }  // namespace ps::iengine

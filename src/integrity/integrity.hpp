@@ -44,6 +44,7 @@
 #include <array>
 #include <atomic>
 
+#include "common/atomic_shim.hpp"
 #include "common/types.hpp"
 #include "iengine/chunk.hpp"
 #include "integrity/crc32c.hpp"
@@ -148,14 +149,22 @@ class IntegrityChecker {
 
  private:
   IntegrityConfig config_;
-  std::array<std::atomic<u64>, kNumStages> corrupt_at_{};
-  std::atomic<u64> verified_packets_{0};
-  std::atomic<u64> stamped_packets_{0};
-  std::atomic<u64> shadow_batches_{0};
-  std::atomic<u64> shadow_mismatch_batches_{0};
-  std::atomic<u64> reshaded_batches_{0};
-  std::atomic<u64> quarantined_packets_{0};
-  std::atomic<u64> devices_tripped_{0};
+  // mc: integrity.corrupt_at -- relaxed chaos-injection arm counters
+  std::array<ps::atomic<u64>, kNumStages> corrupt_at_{};
+  // mc: integrity.counter -- relaxed accounting counters
+  ps::atomic<u64> verified_packets_{0};
+  // mc: integrity.counter
+  ps::atomic<u64> stamped_packets_{0};
+  // mc: integrity.counter
+  ps::atomic<u64> shadow_batches_{0};
+  // mc: integrity.counter
+  ps::atomic<u64> shadow_mismatch_batches_{0};
+  // mc: integrity.counter
+  ps::atomic<u64> reshaded_batches_{0};
+  // mc: integrity.counter
+  ps::atomic<u64> quarantined_packets_{0};
+  // mc: integrity.counter
+  ps::atomic<u64> devices_tripped_{0};
 };
 
 }  // namespace ps::integrity

@@ -1,0 +1,176 @@
+// ps::mc — a stateless model checker for the repo's lock-free protocols.
+//
+// The lock-free layer (SpscRing/SpscFanIn/WakeSignal, epoch reclamation,
+// single-writer counters) is correct only under specific C++11 memory
+// ordering arguments: acquire/release publication, a Dekker seq_cst
+// store-buffering fence, a relaxed-store + seq_cst-fence reader pin.
+// TSan checks the happens-before it can observe on ONE execution; the
+// thread-safety annotations only cover mutexes. This checker closes the
+// gap CDSChecker/GenMC-style: it runs a small test program ("litmus")
+// on cooperative virtual threads, simulates C++11 weak memory — loads
+// may read stale values from each location's modification history,
+// subject to coherence, happens-before (vector clocks), and SC-fence
+// pairing — and systematically explores schedules and reads-from
+// choices until the space is exhausted or a stated bound is hit.
+//
+// How code gets under the checker: production code declares atomics as
+// ps::atomic<T> and fences as ps::fence_seq_cst() (common/
+// atomic_shim.hpp). A litmus target compiles the SAME headers with
+// -DPS_MODEL_CHECK, which routes those aliases here — so the litmus
+// suite checks the real SpscRing/WakeSignal/epoch::Domain code, not a
+// transcription. See tests/mc/ and DESIGN.md §17.
+//
+// Exploration strategy:
+//  - schedule choices branch at every visible op (atomic/fence/mutex/
+//    cv/thread op); between visible ops a thread runs uninterrupted;
+//  - loads with several coherence-admissible stores branch on which
+//    store they read (this is where weak behaviors come from);
+//  - sleep-set pruning (Godefroid's DPOR family) skips schedules that
+//    only reorder independent operations;
+//  - a preemption bound (Options.preemption_bound) caps involuntary
+//    context switches per execution: the search is exhaustive within
+//    the bound, which is the "stated schedule bound" litmus tests
+//    report. Known ordering bugs in this codebase's protocols need 1-2
+//    preemptions at the wrong moment; the default bound of 2-3 covers
+//    them while keeping litmus runtime in CI seconds.
+//
+// Violations: MC_ASSERT failures, data races on mc::Tracked<T> plain
+// payloads, deadlocks (every live thread blocked — this is how a lost
+// wakeup manifests: the consumer parks forever on a non-empty ring),
+// and uncaught exceptions. The first violating execution is reported
+// with its full operation trace.
+//
+// Model simplifications (documented contract, see DESIGN.md §17):
+//  - modification order equals the execution order of stores;
+//  - non-atomic accesses are only checked through mc::Tracked<T>;
+//  - condition-variable timed waits never time out (a lost wakeup must
+//    surface as a deadlock, not be masked by a timeout);
+//  - a failed compare_exchange returns the latest value;
+//  - spin loops must call mc::spin_wait() so the scheduler can treat
+//    them as blocking (litmus-side concern only).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ps::mc {
+
+/// Exploration limits. A litmus states its bounds here; Outcome reports
+/// whether the space was exhausted within them.
+struct Options {
+  const char* name = "";
+  /// Hard cap on explored executions (deterministic, unlike wall time).
+  u64 max_executions = 200000;
+  /// Max involuntary context switches per execution; -1 = unbounded.
+  int preemption_bound = 2;
+  /// Max stale (non-latest) read choices per execution; bounds the
+  /// depth of weak-memory staleness so retry loops terminate.
+  int max_stale_reads = 12;
+  /// Per-execution visible-op budget (live-lock guard).
+  u64 max_steps = 20000;
+  /// Sleep-set pruning on schedule choices.
+  bool sleep_sets = true;
+};
+
+struct Outcome {
+  bool ok = true;          ///< no violation found
+  bool exhausted = false;  ///< whole space explored within the bounds
+  u64 executions = 0;      ///< executions run (including pruned/truncated)
+  u64 pruned = 0;          ///< sleep-set-redundant executions
+  u64 truncated = 0;       ///< executions cut by stale-read/step bounds
+  std::string error;       ///< first violation, empty when ok
+  std::string trace;       ///< op trace of the violating execution
+};
+
+namespace detail {
+// Runtime hooks the shim headers (mc_atomic.hpp, model_sync.hpp,
+// tracked.hpp) funnel through. Implemented in runtime.cpp.
+bool active();
+int spawn(std::function<void()> fn);
+void join(int tid);
+void thread_abandoned(int tid);
+void spin_wait();
+// Reports a violation. Throws to abort the current execution in the
+// normal case; deliberately RETURNS when an abort is already in flight
+// (so destructor-context assertions can't terminate the process) —
+// callers must tolerate falling through.
+void fail(const std::string& msg);
+void set_name(const void* addr, const char* name);
+int tls_key();
+void* tls_get(int key);
+void tls_set(int key, void* obj, void (*dtor)(void*));
+}  // namespace detail
+
+/// Explore `body` under the model. The body runs as virtual thread 0;
+/// it constructs the objects under test (fresh per execution), spawns
+/// mc::Thread workers, joins them, and asserts invariants with
+/// MC_ASSERT. Must be deterministic apart from model choices.
+Outcome check(const Options& opts, const std::function<void()>& body);
+
+/// A virtual thread. Spawn inside a check() body; must be joined.
+class Thread {
+ public:
+  explicit Thread(std::function<void()> fn) : tid_(detail::spawn(std::move(fn))) {}
+  ~Thread() {
+    if (!joined_) detail::thread_abandoned(tid_);
+  }
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  void join() {
+    detail::join(tid_);
+    joined_ = true;
+  }
+
+ private:
+  int tid_;
+  bool joined_ = false;
+};
+
+/// Park the calling virtual thread until any store lands anywhere.
+/// Litmus spin loops ("retry until the ring drains") must call this so
+/// the scheduler can model the loop as blocking instead of exploring
+/// unbounded busy-wait schedules. All threads parked here with nothing
+/// left to store is reported as a deadlock — which for a "consumer
+/// spins forever on an item that never becomes visible" litmus is
+/// exactly the violation.
+inline void spin_wait() { detail::spin_wait(); }
+
+/// Attach a debug name to an atomic/mutex/Tracked address for traces.
+template <typename T>
+inline void name(const T* addr, const char* n) {
+  detail::set_name(static_cast<const void*>(addr), n);
+}
+
+/// One instance of T per virtual thread, destroyed at virtual-thread
+/// exit — the model-checked stand-in for `thread_local` (a real
+/// thread_local would be shared by every virtual thread, since they all
+/// run on one OS thread). epoch.cpp routes its per-thread slot cache
+/// through this under PS_MODEL_CHECK.
+template <typename T>
+T& thread_local_instance() {
+  static const int key = detail::tls_key();
+  void* p = detail::tls_get(key);
+  if (p == nullptr) {
+    p = new T();
+    detail::tls_set(key, p, [](void* q) { delete static_cast<T*>(q); });
+  }
+  return *static_cast<T*>(p);
+}
+
+}  // namespace ps::mc
+
+#define PS_MC_STRINGIZE_IMPL(x) #x
+#define PS_MC_STRINGIZE(x) PS_MC_STRINGIZE_IMPL(x)
+
+/// Litmus invariant: failure aborts the execution and reports the trace.
+#define MC_ASSERT(cond)                                             \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::ps::mc::detail::fail("MC_ASSERT failed: " #cond " at "      \
+                             __FILE__ ":" PS_MC_STRINGIZE(__LINE__)); \
+    }                                                               \
+  } while (0)

@@ -1,0 +1,197 @@
+// mc::atomic<T> — the model-checked std::atomic stand-in.
+//
+// Same call surface as std::atomic (the subset src/ uses, explicit
+// memory_order everywhere), but every operation funnels into the ps::mc
+// runtime, which records it in the location's modification history,
+// offers schedule/reads-from choices to the explorer, and applies the
+// declared memory_order's synchronization (vector-clock merges, SC
+// publication). Outside an active mc::check() execution the operations
+// degrade to plain single-threaded accesses on the mirror value — good
+// enough for test-harness code that touches an atomic before/after the
+// modeled region.
+//
+// Values are type-erased through a u64 word (memcpy both ways), which
+// caps T at 8 trivially-copyable bytes — every atomic in src/ is an
+// integer, bool, enum, or pointer, all of which fit. Arithmetic for
+// fetch_add/fetch_sub is computed in T's own domain via a stateless
+// lambda passed down as a function pointer, so signed wrap and narrow
+// widths behave exactly as std::atomic would.
+//
+// Model notes:
+//  - compare_exchange_weak never fails spuriously here (it forwards to
+//    the strong form). Spurious failure only ADDS retry schedules that
+//    the explorer already covers through its scheduling choices.
+//  - a failed compare_exchange reads the latest store, not a stale one
+//    (see mc.hpp "model simplifications").
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <type_traits>
+
+#include "common/types.hpp"
+
+namespace ps::mc {
+
+namespace detail {
+// Implemented in runtime.cpp. `init` carries the mirror value so a
+// location can be registered lazily on first touch (an atomic may be
+// constructed before the modeled execution starts).
+u64 atomic_load(const void* addr, int mo, u64 init);
+void atomic_store(void* addr, u64 val, int mo, u64 init);
+u64 atomic_rmw(void* addr, int mo, u64 init, u64 (*apply)(u64, u64), u64 operand,
+               const char* what);
+bool atomic_cas(void* addr, u64* expected, u64 desired, int mo_ok, int mo_fail,
+                u64 init);
+void atomic_forget(const void* addr);
+void fence_op(int mo);
+
+template <typename T>
+inline u64 to_word(T v) {
+  static_assert(sizeof(T) <= sizeof(u64) && std::is_trivially_copyable_v<T>,
+                "mc::atomic supports trivially-copyable types up to 8 bytes");
+  u64 w = 0;
+  std::memcpy(&w, &v, sizeof(T));
+  return w;
+}
+
+template <typename T>
+inline T from_word(u64 w) {
+  T v{};
+  std::memcpy(&v, &w, sizeof(T));
+  return v;
+}
+}  // namespace detail
+
+/// Standalone fence, modeled per C++11 (release fences arm subsequent
+/// relaxed stores, acquire fences collect prior relaxed loads, seq_cst
+/// fences additionally join the single SC order).
+inline void fence(std::memory_order mo) { detail::fence_op(static_cast<int>(mo)); }
+
+template <typename T>
+class atomic {
+ public:
+  using value_type = T;
+
+  atomic() noexcept : v_(T{}) {}
+  explicit(false) atomic(T v) noexcept : v_(v) {}
+  ~atomic() { detail::atomic_forget(this); }
+
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const {
+    return detail::from_word<T>(
+        detail::atomic_load(this, static_cast<int>(mo), detail::to_word(v_)));
+  }
+
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    detail::atomic_store(this, detail::to_word(v), static_cast<int>(mo),
+                         detail::to_word(v_));
+    v_ = v;
+  }
+
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    u64 old = detail::atomic_rmw(
+        this, static_cast<int>(mo), detail::to_word(v_),
+        [](u64, u64 operand) -> u64 { return operand; }, detail::to_word(v),
+        "exchange");
+    v_ = v;
+    return detail::from_word<T>(old);
+  }
+
+  T fetch_add(T delta, std::memory_order mo = std::memory_order_seq_cst)
+    requires std::is_integral_v<T>
+  {
+    u64 old = detail::atomic_rmw(
+        this, static_cast<int>(mo), detail::to_word(v_),
+        [](u64 cur, u64 operand) -> u64 {
+          return detail::to_word(static_cast<T>(detail::from_word<T>(cur) +
+                                                detail::from_word<T>(operand)));
+        },
+        detail::to_word(delta), "fetch_add");
+    T prev = detail::from_word<T>(old);
+    v_ = static_cast<T>(prev + delta);
+    return prev;
+  }
+
+  T fetch_sub(T delta, std::memory_order mo = std::memory_order_seq_cst)
+    requires std::is_integral_v<T>
+  {
+    u64 old = detail::atomic_rmw(
+        this, static_cast<int>(mo), detail::to_word(v_),
+        [](u64 cur, u64 operand) -> u64 {
+          return detail::to_word(static_cast<T>(detail::from_word<T>(cur) -
+                                                detail::from_word<T>(operand)));
+        },
+        detail::to_word(delta), "fetch_sub");
+    T prev = detail::from_word<T>(old);
+    v_ = static_cast<T>(prev - delta);
+    return prev;
+  }
+
+  T fetch_or(T bits, std::memory_order mo = std::memory_order_seq_cst)
+    requires std::is_integral_v<T>
+  {
+    u64 old = detail::atomic_rmw(
+        this, static_cast<int>(mo), detail::to_word(v_),
+        [](u64 cur, u64 operand) -> u64 {
+          return detail::to_word(static_cast<T>(detail::from_word<T>(cur) |
+                                                detail::from_word<T>(operand)));
+        },
+        detail::to_word(bits), "fetch_or");
+    T prev = detail::from_word<T>(old);
+    v_ = static_cast<T>(prev | bits);
+    return prev;
+  }
+
+  bool compare_exchange_strong(T& expected, T desired, std::memory_order mo_ok,
+                               std::memory_order mo_fail) {
+    u64 exp = detail::to_word(expected);
+    bool ok = detail::atomic_cas(this, &exp, detail::to_word(desired),
+                                 static_cast<int>(mo_ok), static_cast<int>(mo_fail),
+                                 detail::to_word(v_));
+    expected = detail::from_word<T>(exp);
+    if (ok) v_ = desired;
+    return ok;
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order mo = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, mo, cas_fail_order(mo));
+  }
+
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order mo_ok,
+                             std::memory_order mo_fail) {
+    return compare_exchange_strong(expected, desired, mo_ok, mo_fail);
+  }
+
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order mo = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, mo, cas_fail_order(mo));
+  }
+
+  explicit(false) operator T() const { return load(); }
+  T operator=(T v) {
+    store(v);
+    return v;
+  }
+
+ private:
+  static constexpr std::memory_order cas_fail_order(std::memory_order mo) {
+    switch (mo) {
+      case std::memory_order_acq_rel:
+        return std::memory_order_acquire;
+      case std::memory_order_release:
+        return std::memory_order_relaxed;
+      default:
+        return mo;
+    }
+  }
+
+  // Mirror of the modification-order tail; the value plain code sees
+  // outside an execution, and the lazy-registration seed inside one.
+  T v_;
+};
+
+}  // namespace ps::mc

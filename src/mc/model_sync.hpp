@@ -1,0 +1,31 @@
+// Runtime hooks for the model-checked mutex and condition variable.
+//
+// Under PS_MODEL_CHECK, ps::Mutex and ps::CondVar (declared in
+// common/thread_annotations.hpp, where the TSA annotations live) route
+// through these hooks instead of std::mutex / condition_variable_any:
+// lock() parks the virtual thread until the scheduler grants the free
+// mutex, unlock() publishes the critical section's vector clock, and
+// cv waits enqueue FIFO and NEVER time out — in the model, a timed wait
+// whose wakeup never arrives must surface as a deadlock (the lost-
+// wakeup oracle), not be papered over by a timeout branch the real code
+// only has as a liveness belt-and-suspenders.
+//
+// Implemented in src/mc/runtime.cpp; every hook no-ops (mutex grants
+// immediately) when no modeled execution is active.
+#pragma once
+
+namespace ps::mc::detail {
+
+void mutex_lock(void* mu);
+void mutex_unlock(void* mu);
+bool mutex_try_lock(void* mu);
+void mutex_forget(const void* mu);
+
+/// Atomically: release `mu`, enqueue on `cv`, park; after a notify
+/// selects this waiter, reacquire `mu` before returning.
+void cv_wait(void* cv, void* mu);
+void cv_notify_one(void* cv);
+void cv_notify_all(void* cv);
+void cv_forget(const void* cv);
+
+}  // namespace ps::mc::detail

@@ -1,0 +1,1359 @@
+// The ps::mc runtime: cooperative virtual threads + an operational C++11
+// weak-memory model + a DFS schedule explorer. See mc.hpp for the
+// user-facing contract; this file is the machinery.
+//
+// Execution model. Virtual threads are ucontext fibers multiplexed on
+// the one OS thread that called mc::check() (so a fiber switch is a
+// register swap, ~100ns, and nothing here is ever concurrent for real).
+// A fiber runs uninterrupted between "visible" operations — atomic
+// accesses, fences, mutex/condvar ops, spawn/join/spin_wait. At each
+// visible op it parks, presenting the op as a pending descriptor; the
+// scheduler picks one enabled thread, resumes it, and the thread
+// performs exactly its pending op before running to the next park. That
+// yield-before-op protocol is what lets the explorer (a) branch the
+// schedule at every visible op and (b) test pending ops against sleep
+// sets without executing them.
+//
+// Memory model (operational, CDSChecker-flavored). Each atomic location
+// keeps its full store history; modification order is execution order.
+// A load may read any store in a suffix of that history bounded below
+// by three rules:
+//   coherence — a thread never reads older than what it last read or
+//     wrote there (per-thread ratchet);
+//   happens-before — a load cannot read a store that was overwritten
+//     by another store that happens-before the load (vector clocks:
+//     each store records its writer's clock; the newest store whose
+//     clock <= the reader's clock is the floor);
+//   SC order — seq_cst stores (and relaxed stores promoted by their
+//     thread's later seq_cst fence) take a slot in a single global SC
+//     sequence; a seq_cst load/fence at SC position k cannot read below
+//     the newest store published at or before k. This is what makes the
+//     Dekker store-buffering idiom (WakeSignal) come out right: with
+//     both fences the stale read is inadmissible, drop either fence and
+//     it is admissible again.
+// Release/acquire edges merge vector clocks; relaxed loads bank the
+// writer's release clock into an "acquire-pending" set that a later
+// acquire fence promotes; release fences arm subsequent relaxed stores
+// with the fence-point clock; RMWs read the history tail (atomicity)
+// and continue release sequences.
+//
+// Explorer. Depth-first over a trail of (choice-kind, chosen, #alts)
+// records; each execution deterministically replays the trail prefix
+// and takes first-alternative for fresh choices, then the trail is
+// advanced odometer-style. Sleep sets prune schedule choices; a
+// preemption bound caps involuntary switches per execution. Violations
+// (MC_ASSERT, data race, deadlock, lost wakeup = deadlock, uncaught
+// exception) stop the search and report the recorded op trace.
+//
+// Abort discipline: on violation/truncation/pruning the in-flight
+// execution unwinds every live fiber (children first) by resuming it in
+// teardown mode, where the park point throws McAbort and every runtime
+// hook degrades to a raw, non-parking operation — destructors (epoch
+// guards, rings, domains) run to completion so no state or memory leaks
+// into the next execution.
+#include "mc/mc.hpp"
+
+#include <ucontext.h>
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mc/mc_atomic.hpp"
+#include "mc/model_sync.hpp"
+#include "mc/tracked.hpp"
+
+namespace ps::mc {
+namespace {
+
+constexpr int kMaxThreads = 16;
+constexpr std::size_t kFiberStackBytes = 256 * 1024;
+constexpr std::size_t kTraceCap = 512;
+constexpr u64 kNeverPublished = ~u64{0};
+
+struct McAbort {};
+
+struct VC {
+  std::array<u64, kMaxThreads> c{};
+
+  void merge(const VC& o) {
+    for (int i = 0; i < kMaxThreads; ++i) {
+      if (o.c[i] > c[i]) c[i] = o.c[i];
+    }
+  }
+  bool leq(const VC& o) const {
+    for (int i = 0; i < kMaxThreads; ++i) {
+      if (c[i] > o.c[i]) return false;
+    }
+    return true;
+  }
+};
+
+enum class OpKind : u8 {
+  kStart,       // freshly spawned thread: run preamble to its first op
+  kLoad,
+  kStore,
+  kRmw,
+  kCas,
+  kFence,
+  kMutexLock,
+  kMutexTryLock,
+  kMutexUnlock,
+  kCvWait,
+  kCvNotify,
+  kSpinWait,
+  kSpawn,
+  kJoin,
+};
+
+const char* op_name(OpKind k) {
+  switch (k) {
+    case OpKind::kStart: return "start";
+    case OpKind::kLoad: return "load";
+    case OpKind::kStore: return "store";
+    case OpKind::kRmw: return "rmw";
+    case OpKind::kCas: return "cas";
+    case OpKind::kFence: return "fence";
+    case OpKind::kMutexLock: return "lock";
+    case OpKind::kMutexTryLock: return "try_lock";
+    case OpKind::kMutexUnlock: return "unlock";
+    case OpKind::kCvWait: return "cv_wait";
+    case OpKind::kCvNotify: return "cv_notify";
+    case OpKind::kSpinWait: return "spin_wait";
+    case OpKind::kSpawn: return "spawn";
+    case OpKind::kJoin: return "join";
+  }
+  return "?";
+}
+
+/// A pending visible operation, presented at the park point. `a` is the
+/// primary object (atomic / mutex / cv), `b` a secondary one (the mutex
+/// of a cv_wait), `arg` op-specific (spin-wait store-count snapshot,
+/// join target tid).
+struct Op {
+  OpKind kind = OpKind::kStart;
+  const void* a = nullptr;
+  const void* b = nullptr;
+  int mo = 0;
+  u64 arg = 0;
+};
+
+bool op_writes(OpKind k) {
+  switch (k) {
+    case OpKind::kStore:
+    case OpKind::kRmw:
+    case OpKind::kCas:
+    case OpKind::kMutexLock:
+    case OpKind::kMutexTryLock:
+    case OpKind::kMutexUnlock:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Dependence over-approximation for sleep sets: may these two ops not
+/// commute? Fences, thread ops, condvar ops, and spin-wait are treated
+/// as globally dependent (fences constrain every location's admissible
+/// sets through SC publication; the rest is rare enough that precision
+/// buys nothing). Same-location atomic/mutex ops conflict unless both
+/// are loads.
+bool conflicts(const Op& x, const Op& y) {
+  auto global = [](OpKind k) {
+    switch (k) {
+      case OpKind::kFence:
+      case OpKind::kCvWait:
+      case OpKind::kCvNotify:
+      case OpKind::kSpawn:
+      case OpKind::kJoin:
+      case OpKind::kSpinWait:
+        return true;
+      default:
+        return false;
+    }
+  };
+  if (global(x.kind) || global(y.kind)) return true;
+  if (x.kind == OpKind::kStart || y.kind == OpKind::kStart) return false;
+  if (x.a == y.a && x.a != nullptr) return op_writes(x.kind) || op_writes(y.kind);
+  // cv_wait is globally dependent above, so `b` (its mutex) needs no case.
+  return false;
+}
+
+bool is_acquire(int mo) {
+  auto m = static_cast<std::memory_order>(mo);
+  return m == std::memory_order_acquire || m == std::memory_order_consume ||
+         m == std::memory_order_acq_rel || m == std::memory_order_seq_cst;
+}
+
+bool is_release(int mo) {
+  auto m = static_cast<std::memory_order>(mo);
+  return m == std::memory_order_release || m == std::memory_order_acq_rel ||
+         m == std::memory_order_seq_cst;
+}
+
+bool is_seq_cst(int mo) {
+  return static_cast<std::memory_order>(mo) == std::memory_order_seq_cst;
+}
+
+const char* mo_name(int mo) {
+  switch (static_cast<std::memory_order>(mo)) {
+    case std::memory_order_relaxed: return "rlx";
+    case std::memory_order_consume: return "cns";
+    case std::memory_order_acquire: return "acq";
+    case std::memory_order_release: return "rel";
+    case std::memory_order_acq_rel: return "ar";
+    case std::memory_order_seq_cst: return "sc";
+  }
+  return "?";
+}
+
+/// One entry in a location's modification history.
+struct StoreRec {
+  u64 value = 0;
+  int tid = -1;
+  VC commit;           ///< writer's clock at the store (HB-overwrite floor)
+  VC release;          ///< clock an acquire reader merges
+  bool has_release = false;
+  u64 publish = kNeverPublished;  ///< SC-order slot, if SC-published
+};
+
+struct LocState {
+  std::vector<StoreRec> stores;
+};
+
+struct MutexState {
+  bool held = false;
+  int owner = -1;
+  VC clock;  ///< clock of the last unlock (merged by the next lock)
+};
+
+struct CvState {
+  std::vector<int> waiters;  // FIFO
+};
+
+/// Plain (non-atomic) access ledger for one Tracked<T> address:
+/// FastTrack-style last-writer epoch plus reads-since-last-write.
+struct PlainState {
+  bool has_write = false;
+  int w_tid = -1;
+  u64 w_tick = 0;
+  std::vector<std::pair<int, u64>> reads;  // (tid, tick)
+};
+
+enum class TState : u8 { kRunnable, kBlockedCv, kFinished };
+
+struct TraceEnt {
+  u32 step = 0;
+  i8 tid = -1;
+  OpKind kind = OpKind::kStart;
+  i8 mo = 0;
+  const void* addr = nullptr;
+  u64 value = 0;
+  i32 read_idx = -1;  ///< history index a load read from, -1 n/a
+  i32 hist_n = 0;     ///< history size at that moment
+};
+
+struct Fiber {
+  ucontext_t ctx{};
+  std::vector<unsigned char> stack;
+  std::function<void()> fn;
+  TState state = TState::kRunnable;
+  bool started = false;
+  Op pending;
+  const void* cv_mu = nullptr;  ///< mutex to reacquire after a cv wakeup
+
+  VC clock;
+  VC fence_rel;               ///< clock at the last release fence
+  bool has_fence_rel = false;
+  VC acq_pending;             ///< banked release clocks from relaxed loads
+  u64 last_sc_fence = 0;      ///< SC-order slot of the last seq_cst fence
+  std::vector<std::pair<int, std::size_t>> sc_unpublished;
+  std::unordered_map<int, std::size_t> seen;  ///< per-loc coherence floor
+  /// A load since the last spin_wait picked a non-tail store. If this
+  /// thread then blocks in spin_wait and everything deadlocks, the
+  /// "deadlock" is an unfair schedule (the sibling branch where the
+  /// load read the fresh value exists and is explored) — prune, don't
+  /// report. C++ guarantees eventual store visibility; a spinner
+  /// re-reading a stale value forever is not an execution.
+  bool stale_since_spin = false;
+
+  struct Tls {
+    void* obj = nullptr;
+    void (*dtor)(void*) = nullptr;
+  };
+  std::vector<Tls> tls;
+};
+
+struct Choice {
+  u8 kind = 0;  // 0 = schedule, 1 = reads-from, 2 = loc registration order
+  int chosen = 0;
+  int num = 1;
+};
+
+constexpr u8 kChoiceSched = 0;
+constexpr u8 kChoiceRead = 1;
+
+class Runtime {
+ public:
+  Outcome run(const Options& opts, const std::function<void()>& body);
+
+  // --- hooks, called from fiber (or raw) context -----------------------
+  /// The execution is being dropped (violation recorded, bound hit, or
+  /// teardown unwind): every hook degrades to a raw non-parking op so
+  /// destructors can run to completion without re-entering the model.
+  bool aborting() const {
+    return teardown_ || exec_truncated_ || !violation_.empty();
+  }
+  bool raw() const { return !running_ || aborting() || current_ < 0; }
+  bool running() const { return running_; }
+  bool teardown() const { return teardown_; }
+
+  u64 atomic_load(const void* addr, int mo, u64 init);
+  void atomic_store(void* addr, u64 val, int mo, u64 init);
+  u64 atomic_rmw(void* addr, int mo, u64 init, u64 (*apply)(u64, u64), u64 operand,
+                 const char* what);
+  bool atomic_cas(void* addr, u64* expected, u64 desired, int mo_ok, int mo_fail,
+                  u64 init);
+  void fence_op(int mo);
+  void forget_loc(const void* addr);
+
+  void mutex_lock(void* mu);
+  void mutex_unlock(void* mu);
+  bool mutex_try_lock(void* mu);
+  void mutex_forget(const void* mu) { mutexes_.erase(mu); }
+  void cv_wait(void* cv, void* mu);
+  void cv_notify(void* cv, bool all);
+  void cv_forget(const void* cv) { cvs_.erase(cv); }
+
+  void plain_read(const void* addr);
+  void plain_write(void* addr);
+  void plain_forget(const void* addr) { plains_.erase(addr); }
+
+  int spawn(std::function<void()> fn);
+  void join(int tid);
+  void thread_abandoned(int tid);
+  void spin_wait_op();
+  void fail(const std::string& msg);
+
+  void set_name(const void* addr, const char* n) { names_[addr] = n; }
+  int current() const { return current_; }
+  std::vector<Fiber::Tls>& current_tls() { return fibers_[current_]->tls; }
+
+  void fiber_main(int tid);
+
+ private:
+  // --- exploration driver ---------------------------------------------
+  void run_one(const std::function<void()>& body);
+  void schedule_loop();
+  void abort_all();
+  void reset_exec();
+  int choose(u8 kind, int num);
+  void resume(int tid);
+  void park();
+  void reach_op(const Op& op);
+  bool enabled(int tid) const;
+
+  // --- memory model ----------------------------------------------------
+  int ensure_loc(const void* addr, u64 init);
+  Fiber& self() { return *fibers_[current_]; }
+  void begin_op();  // clock tick + step accounting
+  u64 do_load(int loc, int mo, bool count_stale);
+  void do_store(int loc, void* addr, u64 val, int mo, bool rmw_prev_release,
+                const VC* prev_release);
+  void trace(OpKind kind, const void* addr, int mo, u64 value, i32 read_idx,
+             i32 hist_n);
+  std::string loc_label(const void* addr) const;
+  std::string format_trace() const;
+  [[noreturn]] void violate(const std::string& msg);
+  void check_plain(const PlainState& ps, bool write, const void* addr);
+
+  // persistent across executions
+  Options opts_;
+  std::vector<Choice> trail_;
+  std::size_t pos_ = 0;
+  std::unordered_map<const void*, std::string> names_;
+  std::vector<std::vector<unsigned char>> stack_pool_;
+  u64 pruned_total_ = 0;
+  u64 truncated_total_ = 0;
+
+  // per-execution
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::unordered_map<const void*, int> loc_ids_;
+  std::vector<LocState> locs_;
+  std::unordered_map<const void*, MutexState> mutexes_;
+  std::unordered_map<const void*, CvState> cvs_;
+  std::unordered_map<const void*, PlainState> plains_;
+  std::set<int> sleeping_;
+  std::vector<TraceEnt> trace_;
+  u64 trace_dropped_ = 0;
+  std::string violation_;
+  u64 steps_ = 0;
+  u64 store_count_ = 0;
+  u64 sc_order_ = 0;
+  int preemptions_ = 0;
+  int stale_reads_ = 0;
+  int current_ = -1;
+  bool exec_truncated_ = false;
+  bool exec_pruned_ = false;
+
+  bool running_ = false;
+  bool teardown_ = false;
+  ucontext_t sched_ctx_{};
+};
+
+Runtime g_runtime;
+Runtime* const g_rt = &g_runtime;
+
+void fiber_trampoline() { g_rt->fiber_main(g_rt->current()); }
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+
+Outcome Runtime::run(const Options& opts, const std::function<void()>& body) {
+  if (running_) {
+    throw std::logic_error("mc::check is not reentrant");
+  }
+  opts_ = opts;
+  trail_.clear();
+  pruned_total_ = 0;
+  truncated_total_ = 0;
+  running_ = true;
+
+  Outcome out;
+  for (;;) {
+    run_one(body);
+    out.executions++;
+    if (!violation_.empty()) {
+      out.ok = false;
+      out.error = violation_;
+      if (opts_.name != nullptr && opts_.name[0] != '\0') {
+        out.error = std::string(opts_.name) + ": " + out.error;
+      }
+      out.trace = format_trace();
+      break;
+    }
+    // Drop any stale trail suffix (this execution may have ended earlier
+    // than the sibling that created those entries), then advance the
+    // deepest unexhausted choice, odometer-style.
+    trail_.resize(pos_);
+    while (!trail_.empty()) {
+      Choice& c = trail_.back();
+      if (c.chosen + 1 < c.num) {
+        c.chosen++;
+        break;
+      }
+      trail_.pop_back();
+    }
+    if (trail_.empty()) {
+      out.exhausted = true;
+      break;
+    }
+    if (out.executions >= opts_.max_executions) break;
+  }
+  out.pruned = pruned_total_;
+  out.truncated = truncated_total_;
+
+  reset_exec();  // free the last execution's fibers/state
+  running_ = false;
+  return out;
+}
+
+void Runtime::reset_exec() {
+  for (auto& f : fibers_) {
+    if (!f->stack.empty()) stack_pool_.push_back(std::move(f->stack));
+  }
+  fibers_.clear();
+  loc_ids_.clear();
+  locs_.clear();
+  mutexes_.clear();
+  cvs_.clear();
+  plains_.clear();
+  sleeping_.clear();
+  trace_.clear();
+  trace_dropped_ = 0;
+  violation_.clear();
+  steps_ = 0;
+  store_count_ = 0;
+  sc_order_ = 0;
+  preemptions_ = 0;
+  stale_reads_ = 0;
+  current_ = -1;
+  exec_truncated_ = false;
+  exec_pruned_ = false;
+  teardown_ = false;
+  pos_ = 0;
+}
+
+void Runtime::run_one(const std::function<void()>& body) {
+  reset_exec();
+  {
+    // Spawn the body as virtual thread 0 (bypasses the visible-op
+    // protocol: there is nothing to schedule against yet).
+    auto f = std::make_unique<Fiber>();
+    f->fn = body;
+    f->pending = Op{OpKind::kStart, nullptr, nullptr, 0, 0};
+    fibers_.push_back(std::move(f));
+  }
+  schedule_loop();
+  if (!violation_.empty() || exec_truncated_ || exec_pruned_) {
+    abort_all();
+  }
+  if (exec_truncated_) truncated_total_++;
+  if (exec_pruned_) pruned_total_++;
+}
+
+bool Runtime::enabled(int tid) const {
+  const Fiber& f = *fibers_[tid];
+  if (f.state != TState::kRunnable) return false;
+  switch (f.pending.kind) {
+    case OpKind::kMutexLock: {
+      auto it = mutexes_.find(f.pending.a);
+      return it == mutexes_.end() || !it->second.held;
+    }
+    case OpKind::kSpinWait:
+      return store_count_ > f.pending.arg;
+    case OpKind::kJoin:
+      return fibers_[static_cast<int>(f.pending.arg)]->state == TState::kFinished;
+    default:
+      return true;
+  }
+}
+
+void Runtime::schedule_loop() {
+  for (;;) {
+    if (!violation_.empty() || exec_truncated_) return;
+    if (steps_ > opts_.max_steps) {
+      exec_truncated_ = true;
+      return;
+    }
+
+    std::vector<int> enabled_tids;
+    bool live = false;
+    for (int t = 0; t < static_cast<int>(fibers_.size()); ++t) {
+      if (fibers_[t]->state != TState::kFinished) live = true;
+      if (enabled(t)) enabled_tids.push_back(t);
+    }
+    if (!live) return;  // clean completion
+    if (enabled_tids.empty()) {
+      for (const auto& f : fibers_) {
+        if (f->state == TState::kRunnable &&
+            f->pending.kind == OpKind::kSpinWait && f->stale_since_spin) {
+          exec_pruned_ = true;  // unfair stale-spin schedule, see Fiber
+          return;
+        }
+      }
+      std::string msg = "deadlock: every live thread is blocked —";
+      for (int t = 0; t < static_cast<int>(fibers_.size()); ++t) {
+        const Fiber& f = *fibers_[t];
+        if (f.state == TState::kFinished) continue;
+        msg += " T" + std::to_string(t) + "(";
+        if (f.state == TState::kBlockedCv) {
+          msg += "cv_wait " + loc_label(f.pending.a);
+        } else {
+          msg += std::string(op_name(f.pending.kind));
+          if (f.pending.a != nullptr) msg += " " + loc_label(f.pending.a);
+        }
+        msg += ")";
+      }
+      violation_ = msg;
+      return;
+    }
+
+    std::vector<int> candidates;
+    if (opts_.sleep_sets) {
+      for (int t : enabled_tids) {
+        if (sleeping_.count(t) == 0) candidates.push_back(t);
+      }
+      if (candidates.empty()) {
+        // Every enabled thread is asleep: each of their next transitions
+        // was explored in an earlier sibling and nothing dependent has
+        // run since, so this whole subtree is redundant.
+        exec_pruned_ = true;
+        return;
+      }
+    } else {
+      candidates = enabled_tids;
+    }
+
+    // Deterministic candidate order: current thread first (continuing is
+    // the "free" choice that spends no preemption), then by tid.
+    bool cur_enabled = false;
+    if (current_ >= 0) {
+      for (int t : candidates) cur_enabled = cur_enabled || t == current_;
+    }
+    if (cur_enabled) {
+      std::vector<int> reordered{current_};
+      for (int t : candidates) {
+        if (t != current_) reordered.push_back(t);
+      }
+      candidates = std::move(reordered);
+      if (opts_.preemption_bound >= 0 && preemptions_ >= opts_.preemption_bound) {
+        candidates.resize(1);
+      }
+    }
+
+    int c = choose(kChoiceSched, static_cast<int>(candidates.size()));
+    if (!violation_.empty()) return;
+    // Siblings 0..c-1 were fully explored from this node: their threads
+    // go to sleep until a dependent op executes.
+    if (opts_.sleep_sets) {
+      for (int i = 0; i < c; ++i) sleeping_.insert(candidates[i]);
+    }
+    int t = candidates[c];
+    if (cur_enabled && t != current_) preemptions_++;
+
+    Op performed = fibers_[t]->pending;
+    steps_++;
+    resume(t);
+
+    if (opts_.sleep_sets && !sleeping_.empty()) {
+      std::vector<int> wake;
+      for (int s : sleeping_) {
+        if (conflicts(performed, fibers_[s]->pending)) wake.push_back(s);
+      }
+      for (int s : wake) sleeping_.erase(s);
+    }
+  }
+}
+
+int Runtime::choose(u8 kind, int num) {
+  if (num <= 1) return 0;
+  if (pos_ < trail_.size()) {
+    Choice& c = trail_[pos_];
+    if (c.kind != kind || c.num != num) {
+      violation_ =
+          "internal: nondeterministic replay — the litmus body must make "
+          "identical calls given identical model choices";
+      pos_++;
+      if (current_ >= 0) throw McAbort{};
+      return 0;
+    }
+    pos_++;
+    return c.chosen;
+  }
+  trail_.push_back(Choice{kind, 0, num});
+  pos_++;
+  return 0;
+}
+
+void Runtime::resume(int tid) {
+  current_ = tid;
+  Fiber& f = *fibers_[tid];
+  if (!f.started) {
+    f.started = true;
+    if (f.stack.empty()) {
+      if (!stack_pool_.empty()) {
+        f.stack = std::move(stack_pool_.back());
+        stack_pool_.pop_back();
+      } else {
+        f.stack.resize(kFiberStackBytes);
+      }
+    }
+    getcontext(&f.ctx);
+    f.ctx.uc_stack.ss_sp = f.stack.data();
+    f.ctx.uc_stack.ss_size = f.stack.size();
+    f.ctx.uc_link = &sched_ctx_;
+    makecontext(&f.ctx, fiber_trampoline, 0);
+  }
+  swapcontext(&sched_ctx_, &f.ctx);
+  current_ = -1;
+}
+
+void Runtime::park() {
+  Fiber& f = self();
+  swapcontext(&f.ctx, &sched_ctx_);
+  if (aborting()) throw McAbort{};
+}
+
+void Runtime::reach_op(const Op& op) {
+  self().pending = op;
+  park();
+}
+
+void Runtime::fiber_main(int tid) {
+  Fiber& f = *fibers_[tid];
+  try {
+    f.fn();
+  } catch (const McAbort&) {
+    // teardown unwind — fall through to TLS cleanup (runs raw)
+  } catch (const std::exception& e) {
+    if (violation_.empty() && !teardown_) {
+      violation_ = std::string("uncaught exception in T") + std::to_string(tid) +
+                   ": " + e.what();
+    }
+  } catch (...) {
+    if (violation_.empty() && !teardown_) {
+      violation_ = std::string("uncaught exception in T") + std::to_string(tid);
+    }
+  }
+  // Virtual-thread-local destructors, reverse registration order (may
+  // perform visible ops, e.g. an epoch slot release — that is the point).
+  for (std::size_t i = f.tls.size(); i > 0; --i) {
+    Fiber::Tls e = f.tls[i - 1];
+    f.tls[i - 1] = Fiber::Tls{};
+    if (e.obj != nullptr) {
+      try {
+        e.dtor(e.obj);
+      } catch (const McAbort&) {
+      }
+    }
+  }
+  f.state = TState::kFinished;
+  swapcontext(&f.ctx, &sched_ctx_);  // never resumed again
+}
+
+void Runtime::abort_all() {
+  teardown_ = true;
+  for (int t = static_cast<int>(fibers_.size()) - 1; t >= 0; --t) {
+    Fiber& f = *fibers_[t];
+    if (f.state == TState::kFinished) continue;
+    if (!f.started) {
+      // Never ran: nothing on its stack to unwind.
+      f.state = TState::kFinished;
+      continue;
+    }
+    current_ = t;
+    swapcontext(&sched_ctx_, &f.ctx);
+    current_ = -1;
+  }
+  teardown_ = false;
+}
+
+[[noreturn]] void Runtime::violate(const std::string& msg) {
+  if (violation_.empty()) violation_ = msg;
+  throw McAbort{};
+}
+
+// ---------------------------------------------------------------------------
+// Memory model
+
+int Runtime::ensure_loc(const void* addr, u64 init) {
+  auto it = loc_ids_.find(addr);
+  if (it != loc_ids_.end()) return it->second;
+  int id = static_cast<int>(locs_.size());
+  loc_ids_.emplace(addr, id);
+  locs_.emplace_back();
+  // The initialization store: zero clock (every thread that can reach
+  // this atomic got it via program order or a spawn edge), SC-published
+  // at order 0 so it never constrains an SC-bounded load.
+  StoreRec init_rec;
+  init_rec.value = init;
+  init_rec.publish = 0;
+  locs_[id].stores.push_back(init_rec);
+  return id;
+}
+
+void Runtime::forget_loc(const void* addr) {
+  loc_ids_.erase(addr);  // history stays orphaned in locs_; ids are not reused
+}
+
+void Runtime::begin_op() {
+  Fiber& f = self();
+  f.clock.c[current_]++;
+}
+
+void Runtime::trace(OpKind kind, const void* addr, int mo, u64 value, i32 read_idx,
+                    i32 hist_n) {
+  if (trace_.size() >= kTraceCap) {
+    trace_dropped_++;
+    return;
+  }
+  TraceEnt e;
+  e.step = static_cast<u32>(steps_);
+  e.tid = static_cast<i8>(current_);
+  e.kind = kind;
+  e.mo = static_cast<i8>(mo);
+  e.addr = addr;
+  e.value = value;
+  e.read_idx = read_idx;
+  e.hist_n = hist_n;
+  trace_.push_back(e);
+}
+
+u64 Runtime::do_load(int loc, int mo, bool count_stale) {
+  Fiber& f = self();
+  auto& stores = locs_[loc].stores;
+  std::size_t n = stores.size();
+  std::size_t lo = 0;
+  auto sit = f.seen.find(loc);
+  if (sit != f.seen.end()) lo = sit->second;
+
+  // happens-before floor: newest store whose commit clock <= our clock
+  // was (transitively) observed or program-ordered before this load; no
+  // older store may be read.
+  for (std::size_t j = n; j > lo; --j) {
+    if (stores[j - 1].commit.leq(f.clock)) {
+      if (j - 1 > lo) lo = j - 1;
+      break;
+    }
+  }
+
+  // SC floor: an SC load (or any load after our latest SC fence) cannot
+  // read below the newest store SC-published at or before that point.
+  u64 bound = f.last_sc_fence;
+  if (is_seq_cst(mo)) bound = ++sc_order_;
+  for (std::size_t j = n; j > lo; --j) {
+    if (stores[j - 1].publish <= bound) {
+      if (j - 1 > lo) lo = j - 1;
+      break;
+    }
+  }
+
+  int k = static_cast<int>(n - lo);
+  int pick = choose(kChoiceRead, k);
+  std::size_t idx = n - 1 - static_cast<std::size_t>(pick);
+  if (pick > 0) {
+    f.stale_since_spin = true;
+    if (count_stale) {
+      stale_reads_++;
+      if (stale_reads_ > opts_.max_stale_reads) {
+        exec_truncated_ = true;
+        throw McAbort{};
+      }
+    }
+  }
+
+  const StoreRec& s = stores[idx];
+  if (sit != f.seen.end()) {
+    if (idx > sit->second) sit->second = idx;
+  } else {
+    f.seen.emplace(loc, idx);
+  }
+  if (s.has_release) {
+    if (is_acquire(mo)) {
+      f.clock.merge(s.release);
+    } else {
+      f.acq_pending.merge(s.release);
+    }
+  }
+  return s.value;
+}
+
+void Runtime::do_store(int loc, void* addr, u64 val, int mo, bool rmw_prev_release,
+                       const VC* prev_release) {
+  Fiber& f = self();
+  auto& stores = locs_[loc].stores;
+  StoreRec rec;
+  rec.value = val;
+  rec.tid = current_;
+  rec.commit = f.clock;
+  if (is_release(mo)) {
+    rec.release = f.clock;
+    rec.has_release = true;
+  } else if (f.has_fence_rel) {
+    rec.release = f.fence_rel;
+    rec.has_release = true;
+  }
+  if (rmw_prev_release && prev_release != nullptr) {
+    // RMW continues the release sequence headed by the store it read.
+    rec.release.merge(*prev_release);
+    rec.has_release = true;
+  }
+  std::size_t idx = stores.size();
+  if (is_seq_cst(mo)) {
+    rec.publish = ++sc_order_;
+  } else {
+    f.sc_unpublished.emplace_back(loc, idx);
+  }
+  stores.push_back(rec);
+  auto sit = f.seen.find(loc);
+  if (sit != f.seen.end()) {
+    sit->second = idx;
+  } else {
+    f.seen.emplace(loc, idx);
+  }
+  store_count_++;
+  (void)addr;
+}
+
+// ---------------------------------------------------------------------------
+// Hooks: atomics and fences
+
+u64 Runtime::atomic_load(const void* addr, int mo, u64 init) {
+  if (raw()) return init;
+  reach_op(Op{OpKind::kLoad, addr, nullptr, mo, 0});
+  begin_op();
+  int loc = ensure_loc(addr, init);
+  std::size_t n = locs_[loc].stores.size();
+  u64 v = do_load(loc, mo, /*count_stale=*/true);
+  // Recover which index was read for the trace (seen was just ratcheted).
+  trace(OpKind::kLoad, addr, mo, v, static_cast<i32>(self().seen[loc]),
+        static_cast<i32>(n));
+  return v;
+}
+
+void Runtime::atomic_store(void* addr, u64 val, int mo, u64 init) {
+  if (raw()) return;
+  reach_op(Op{OpKind::kStore, addr, nullptr, mo, 0});
+  begin_op();
+  int loc = ensure_loc(addr, init);
+  do_store(loc, addr, val, mo, false, nullptr);
+  trace(OpKind::kStore, addr, mo, val, -1, static_cast<i32>(locs_[loc].stores.size()));
+}
+
+u64 Runtime::atomic_rmw(void* addr, int mo, u64 init, u64 (*apply)(u64, u64),
+                        u64 operand, const char* what) {
+  (void)what;
+  if (raw()) return init;
+  reach_op(Op{OpKind::kRmw, addr, nullptr, mo, 0});
+  begin_op();
+  int loc = ensure_loc(addr, init);
+  auto& stores = locs_[loc].stores;
+  // Atomicity: an RMW reads the modification-order tail, full stop.
+  const StoreRec tail = stores.back();
+  Fiber& f = self();
+  f.seen[loc] = stores.size() - 1;
+  if (tail.has_release) {
+    if (is_acquire(mo)) {
+      f.clock.merge(tail.release);
+    } else {
+      f.acq_pending.merge(tail.release);
+    }
+  }
+  u64 newv = apply(tail.value, operand);
+  do_store(loc, addr, newv, mo, tail.has_release, &tail.release);
+  trace(OpKind::kRmw, addr, mo, newv, static_cast<i32>(stores.size()) - 2,
+        static_cast<i32>(stores.size()));
+  return tail.value;
+}
+
+bool Runtime::atomic_cas(void* addr, u64* expected, u64 desired, int mo_ok,
+                         int mo_fail, u64 init) {
+  if (raw()) {
+    if (*expected == init) return true;
+    *expected = init;
+    return false;
+  }
+  reach_op(Op{OpKind::kCas, addr, nullptr, mo_ok, 0});
+  begin_op();
+  int loc = ensure_loc(addr, init);
+  auto& stores = locs_[loc].stores;
+  const StoreRec tail = stores.back();
+  Fiber& f = self();
+  f.seen[loc] = stores.size() - 1;
+  if (tail.value == *expected) {
+    if (tail.has_release) {
+      if (is_acquire(mo_ok)) {
+        f.clock.merge(tail.release);
+      } else {
+        f.acq_pending.merge(tail.release);
+      }
+    }
+    do_store(loc, addr, desired, mo_ok, tail.has_release, &tail.release);
+    trace(OpKind::kCas, addr, mo_ok, desired, static_cast<i32>(stores.size()) - 2,
+          static_cast<i32>(stores.size()));
+    return true;
+  }
+  // Failure: a pure load of the tail with the failure order.
+  if (tail.has_release) {
+    if (is_acquire(mo_fail)) {
+      f.clock.merge(tail.release);
+    } else {
+      f.acq_pending.merge(tail.release);
+    }
+  }
+  *expected = tail.value;
+  trace(OpKind::kCas, addr, mo_fail, tail.value, static_cast<i32>(stores.size()) - 1,
+        static_cast<i32>(stores.size()));
+  return false;
+}
+
+void Runtime::fence_op(int mo) {
+  if (raw()) return;
+  reach_op(Op{OpKind::kFence, nullptr, nullptr, mo, 0});
+  begin_op();
+  Fiber& f = self();
+  if (is_acquire(mo)) {
+    f.clock.merge(f.acq_pending);
+  }
+  if (is_release(mo)) {
+    f.fence_rel = f.clock;
+    f.has_fence_rel = true;
+  }
+  if (is_seq_cst(mo)) {
+    u64 slot = ++sc_order_;
+    f.last_sc_fence = slot;
+    // Our earlier relaxed stores become SC-published here: any SC
+    // load/fence after this point must see them (or newer).
+    for (const auto& [loc, idx] : f.sc_unpublished) {
+      StoreRec& s = locs_[loc].stores[idx];
+      if (s.publish > slot) s.publish = slot;
+    }
+    f.sc_unpublished.clear();
+  }
+  trace(OpKind::kFence, nullptr, mo, 0, -1, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Hooks: mutex / condvar
+
+void Runtime::mutex_lock(void* mu) {
+  if (raw()) return;
+  reach_op(Op{OpKind::kMutexLock, mu, nullptr, 0, 0});
+  begin_op();
+  MutexState& m = mutexes_[mu];
+  if (m.held) {
+    violate("internal: scheduled a lock on a held mutex");
+  }
+  m.held = true;
+  m.owner = current_;
+  self().clock.merge(m.clock);
+  trace(OpKind::kMutexLock, mu, 0, 0, -1, 0);
+}
+
+void Runtime::mutex_unlock(void* mu) {
+  if (raw()) return;
+  reach_op(Op{OpKind::kMutexUnlock, mu, nullptr, 0, 0});
+  begin_op();
+  auto it = mutexes_.find(mu);
+  if (it == mutexes_.end() || !it->second.held || it->second.owner != current_) {
+    violate("unlock of a mutex not held by this thread: " + loc_label(mu));
+  }
+  it->second.held = false;
+  it->second.owner = -1;
+  it->second.clock = self().clock;
+  trace(OpKind::kMutexUnlock, mu, 0, 0, -1, 0);
+}
+
+bool Runtime::mutex_try_lock(void* mu) {
+  if (raw()) return true;
+  reach_op(Op{OpKind::kMutexTryLock, mu, nullptr, 0, 0});
+  begin_op();
+  MutexState& m = mutexes_[mu];
+  if (m.held) {
+    trace(OpKind::kMutexTryLock, mu, 0, 0, -1, 0);
+    return false;
+  }
+  m.held = true;
+  m.owner = current_;
+  self().clock.merge(m.clock);
+  trace(OpKind::kMutexTryLock, mu, 0, 1, -1, 0);
+  return true;
+}
+
+void Runtime::cv_wait(void* cv, void* mu) {
+  if (raw()) return;
+  reach_op(Op{OpKind::kCvWait, cv, mu, 0, 0});
+  // Phase A (atomic from other threads' perspective — no park inside):
+  // enqueue, release the mutex, go to sleep.
+  begin_op();
+  Fiber& f = self();
+  auto it = mutexes_.find(mu);
+  if (it == mutexes_.end() || !it->second.held || it->second.owner != current_) {
+    violate("cv_wait without holding the mutex: " + loc_label(mu));
+  }
+  it->second.held = false;
+  it->second.owner = -1;
+  it->second.clock = f.clock;
+  cvs_[cv].waiters.push_back(current_);
+  f.cv_mu = mu;
+  f.state = TState::kBlockedCv;
+  trace(OpKind::kCvWait, cv, 0, 0, -1, 0);
+  park();
+  // A notify flipped us runnable with pending = lock(mu); the scheduler
+  // resumed us once the mutex was free. Reacquire.
+  begin_op();
+  MutexState& m = mutexes_[mu];
+  if (m.held) {
+    violate("internal: cv wakeup scheduled with mutex held");
+  }
+  m.held = true;
+  m.owner = current_;
+  f.clock.merge(m.clock);
+  trace(OpKind::kMutexLock, mu, 0, 0, -1, 0);
+}
+
+void Runtime::cv_notify(void* cv, bool all) {
+  if (raw()) return;
+  reach_op(Op{OpKind::kCvNotify, cv, nullptr, 0, all ? 1u : 0u});
+  begin_op();
+  auto it = cvs_.find(cv);
+  int woken = 0;
+  if (it != cvs_.end()) {
+    auto& ws = it->second.waiters;
+    while (!ws.empty()) {
+      int w = ws.front();
+      ws.erase(ws.begin());
+      Fiber& fw = *fibers_[w];
+      fw.state = TState::kRunnable;
+      fw.pending = Op{OpKind::kMutexLock, fw.cv_mu, nullptr, 0, 0};
+      woken++;
+      if (!all) break;
+    }
+  }
+  trace(OpKind::kCvNotify, cv, 0, static_cast<u64>(woken), -1, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Hooks: plain (Tracked) accesses — FastTrack-style race check, no park.
+
+void Runtime::check_plain(const PlainState& pl, bool write, const void* addr) {
+  const Fiber& f = *fibers_[current_];
+  if (pl.has_write && pl.w_tid != current_ && pl.w_tick > f.clock.c[pl.w_tid]) {
+    violate(std::string("data race on ") + loc_label(addr) + ": T" +
+            std::to_string(current_) + (write ? " write" : " read") +
+            " concurrent with T" + std::to_string(pl.w_tid) + " write");
+  }
+  if (write) {
+    for (const auto& [rt, rtick] : pl.reads) {
+      if (rt != current_ && rtick > f.clock.c[rt]) {
+        violate(std::string("data race on ") + loc_label(addr) + ": T" +
+                std::to_string(current_) + " write concurrent with T" +
+                std::to_string(rt) + " read");
+      }
+    }
+  }
+}
+
+void Runtime::plain_read(const void* addr) {
+  if (raw()) return;
+  PlainState& pl = plains_[addr];
+  check_plain(pl, false, addr);
+  // Tick = own clock + 1: the access is ordered before our next visible
+  // op, so only a thread that synchronizes with something at or after
+  // that op sees it as ordered.
+  u64 tick = fibers_[current_]->clock.c[current_] + 1;
+  for (auto& [rt, rtick] : pl.reads) {
+    if (rt == current_) {
+      rtick = tick;
+      return;
+    }
+  }
+  pl.reads.emplace_back(current_, tick);
+}
+
+void Runtime::plain_write(void* addr) {
+  if (raw()) return;
+  PlainState& pl = plains_[addr];
+  check_plain(pl, true, addr);
+  pl.has_write = true;
+  pl.w_tid = current_;
+  pl.w_tick = fibers_[current_]->clock.c[current_] + 1;
+  pl.reads.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Hooks: threads
+
+int Runtime::spawn(std::function<void()> fn) {
+  if (!running_ || current_ < 0) {
+    throw std::logic_error("mc::Thread can only be spawned inside mc::check");
+  }
+  if (aborting()) throw McAbort{};
+  if (fibers_.size() >= kMaxThreads) {
+    violate("too many virtual threads (kMaxThreads)");
+  }
+  reach_op(Op{OpKind::kSpawn, nullptr, nullptr, 0, 0});
+  begin_op();
+  int tid = static_cast<int>(fibers_.size());
+  auto child = std::make_unique<Fiber>();
+  child->fn = std::move(fn);
+  child->pending = Op{OpKind::kStart, nullptr, nullptr, 0, 0};
+  child->clock = self().clock;  // spawn edge
+  fibers_.push_back(std::move(child));
+  trace(OpKind::kSpawn, nullptr, 0, static_cast<u64>(tid), -1, 0);
+  return tid;
+}
+
+void Runtime::join(int tid) {
+  if (raw()) return;
+  reach_op(Op{OpKind::kJoin, nullptr, nullptr, 0, static_cast<u64>(tid)});
+  begin_op();
+  self().clock.merge(fibers_[tid]->clock);  // join edge
+  trace(OpKind::kJoin, nullptr, 0, static_cast<u64>(tid), -1, 0);
+}
+
+void Runtime::thread_abandoned(int tid) {
+  // Record only — never throw: this is called from a destructor, which
+  // may be running during perfectly normal stack unwinding. The raw()
+  // flip (violation_ now set) drops the rest of the execution.
+  if (raw()) return;
+  violation_ = "mc::Thread T" + std::to_string(tid) + " destroyed without join()";
+}
+
+void Runtime::spin_wait_op() {
+  if (raw()) return;
+  // Snapshot at park time is exact: no other fiber can run between the
+  // caller's last visible op and this park (cooperative scheduling).
+  reach_op(Op{OpKind::kSpinWait, nullptr, nullptr, 0, store_count_});
+  begin_op();
+  self().stale_since_spin = false;  // new spin iteration, fresh slate
+  trace(OpKind::kSpinWait, nullptr, 0, 0, -1, 0);
+}
+
+void Runtime::fail(const std::string& msg) {
+  if (!running_ || current_ < 0) {
+    throw std::logic_error(msg);
+  }
+  // During an abort/teardown unwind, assertions may fire against
+  // half-torn state (and throwing from a destructor mid-unwind would
+  // terminate); the first cause is already recorded — swallow.
+  if (aborting()) return;
+  violate(msg);
+}
+
+// ---------------------------------------------------------------------------
+// Trace formatting
+
+std::string Runtime::loc_label(const void* addr) const {
+  auto it = names_.find(addr);
+  if (it != names_.end()) return it->second;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "@%p", addr);
+  return buf;
+}
+
+std::string Runtime::format_trace() const {
+  std::string out;
+  for (const TraceEnt& e : trace_) {
+    char head[64];
+    std::snprintf(head, sizeof(head), "  %4u T%d ", e.step, e.tid);
+    out += head;
+    out += op_name(e.kind);
+    switch (e.kind) {
+      case OpKind::kLoad:
+        out += " " + loc_label(e.addr) + " " + mo_name(e.mo) + " -> " +
+               std::to_string(e.value) + " (store " + std::to_string(e.read_idx) +
+               "/" + std::to_string(e.hist_n - 1) + ")";
+        break;
+      case OpKind::kStore:
+      case OpKind::kRmw:
+        out += " " + loc_label(e.addr) + " " + mo_name(e.mo) + " := " +
+               std::to_string(e.value);
+        break;
+      case OpKind::kCas:
+        out += " " + loc_label(e.addr) + " " + mo_name(e.mo) + " := " +
+               std::to_string(e.value);
+        break;
+      case OpKind::kFence:
+        out += std::string(" ") + mo_name(e.mo);
+        break;
+      case OpKind::kMutexLock:
+      case OpKind::kMutexUnlock:
+        out += " " + loc_label(e.addr);
+        break;
+      case OpKind::kMutexTryLock:
+        out += " " + loc_label(e.addr) + (e.value != 0 ? " -> ok" : " -> busy");
+        break;
+      case OpKind::kCvWait:
+      case OpKind::kCvNotify:
+        out += " " + loc_label(e.addr);
+        break;
+      case OpKind::kSpawn:
+      case OpKind::kJoin:
+        out += " T" + std::to_string(e.value);
+        break;
+      default:
+        break;
+    }
+    out += "\n";
+  }
+  if (trace_dropped_ > 0) {
+    out += "  ... (" + std::to_string(trace_dropped_) + " earlier ops dropped)\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public / detail surface
+
+Outcome check(const Options& opts, const std::function<void()>& body) {
+  return g_rt->run(opts, body);
+}
+
+namespace detail {
+
+bool active() { return g_rt->running(); }
+
+u64 atomic_load(const void* addr, int mo, u64 init) {
+  return g_rt->atomic_load(addr, mo, init);
+}
+void atomic_store(void* addr, u64 val, int mo, u64 init) {
+  g_rt->atomic_store(addr, val, mo, init);
+}
+u64 atomic_rmw(void* addr, int mo, u64 init, u64 (*apply)(u64, u64), u64 operand,
+               const char* what) {
+  return g_rt->atomic_rmw(addr, mo, init, apply, operand, what);
+}
+bool atomic_cas(void* addr, u64* expected, u64 desired, int mo_ok, int mo_fail,
+                u64 init) {
+  return g_rt->atomic_cas(addr, expected, desired, mo_ok, mo_fail, init);
+}
+void atomic_forget(const void* addr) {
+  if (g_rt->running()) g_rt->forget_loc(addr);
+}
+void fence_op(int mo) { g_rt->fence_op(mo); }
+
+void mutex_lock(void* mu) { g_rt->mutex_lock(mu); }
+void mutex_unlock(void* mu) { g_rt->mutex_unlock(mu); }
+bool mutex_try_lock(void* mu) { return g_rt->mutex_try_lock(mu); }
+void mutex_forget(const void* mu) {
+  if (g_rt->running()) g_rt->mutex_forget(mu);
+}
+void cv_wait(void* cv, void* mu) { g_rt->cv_wait(cv, mu); }
+void cv_notify_one(void* cv) { g_rt->cv_notify(cv, false); }
+void cv_notify_all(void* cv) { g_rt->cv_notify(cv, true); }
+void cv_forget(const void* cv) {
+  if (g_rt->running()) g_rt->cv_forget(cv);
+}
+
+void plain_read(const void* addr) { g_rt->plain_read(addr); }
+void plain_write(void* addr) { g_rt->plain_write(addr); }
+void plain_forget(const void* addr) {
+  if (g_rt->running()) g_rt->plain_forget(addr);
+}
+
+int spawn(std::function<void()> fn) { return g_rt->spawn(std::move(fn)); }
+void join(int tid) { g_rt->join(tid); }
+void thread_abandoned(int tid) { g_rt->thread_abandoned(tid); }
+void spin_wait() { g_rt->spin_wait_op(); }
+void fail(const std::string& msg) { g_rt->fail(msg); }
+void set_name(const void* addr, const char* name) { g_rt->set_name(addr, name); }
+
+namespace {
+// Fallback slots for thread_local_instance outside an execution (test
+// harness code touching e.g. an epoch domain before/after check()).
+std::vector<std::pair<void*, void (*)(void*)>>& fallback_tls() {
+  static std::vector<std::pair<void*, void (*)(void*)>> slots;
+  return slots;
+}
+int g_tls_keys = 0;
+}  // namespace
+
+int tls_key() { return g_tls_keys++; }
+
+void* tls_get(int key) {
+  if (g_rt->running() && g_rt->current() >= 0) {
+    auto& tls = g_rt->current_tls();
+    if (key < static_cast<int>(tls.size())) return tls[key].obj;
+    return nullptr;
+  }
+  auto& fb = fallback_tls();
+  if (key < static_cast<int>(fb.size())) return fb[key].first;
+  return nullptr;
+}
+
+void tls_set(int key, void* obj, void (*dtor)(void*)) {
+  if (g_rt->running() && g_rt->current() >= 0) {
+    auto& tls = g_rt->current_tls();
+    if (key >= static_cast<int>(tls.size())) tls.resize(key + 1);
+    tls[key].obj = obj;
+    tls[key].dtor = dtor;
+    return;
+  }
+  auto& fb = fallback_tls();
+  if (key >= static_cast<int>(fb.size())) fb.resize(key + 1, {nullptr, nullptr});
+  fb[key] = {obj, dtor};
+}
+
+}  // namespace detail
+}  // namespace ps::mc

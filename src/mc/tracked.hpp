@@ -1,0 +1,79 @@
+// mc::Tracked<T> — data-race detection for the plain (non-atomic) side
+// of a protocol.
+//
+// A weak-memory bug often does NOT change any atomic value a litmus
+// could assert on: weakening SpscRing's tail release-store to relaxed
+// still delivers every index — what breaks is the happens-before edge
+// that made the producer's *payload* write safe to reuse the slot over.
+// Interleaving semantics alone would execute that racy access and see a
+// plausible value. Tracked<T> closes the hole: it wraps a plain payload
+// field and reports every read/write to the runtime, which runs a
+// FastTrack-style check (last-writer epoch + reads-since-last-write vs
+// the accessing thread's vector clock). Any access not ordered by
+// happens-before is a violation, exactly like the C++ data-race rule.
+//
+// Litmus tests instantiate the real containers over Tracked payloads —
+// e.g. SpscRing<mc::Tracked<u64>> — so slot reuse, batch copies, and
+// epoch-deferred reclamation are all checked without touching the
+// production headers. Outside an active execution every hook is a no-op
+// and Tracked<T> behaves as a plain T wrapper.
+#pragma once
+
+#include <utility>
+
+namespace ps::mc {
+
+namespace detail {
+// Implemented in runtime.cpp; no-ops when no execution is active.
+void plain_read(const void* addr);
+void plain_write(void* addr);
+void plain_forget(const void* addr);
+}  // namespace detail
+
+template <typename T>
+class Tracked {
+ public:
+  Tracked() : v_() { detail::plain_write(this); }
+  explicit(false) Tracked(const T& v) : v_(v) { detail::plain_write(this); }
+  ~Tracked() { detail::plain_forget(this); }
+
+  Tracked(const Tracked& o) : v_((detail::plain_read(&o), o.v_)) {
+    detail::plain_write(this);
+  }
+  // Deliberately NOT noexcept: a racy access is reported by throwing, and
+  // a noexcept move would turn that report into std::terminate.
+  Tracked(Tracked&& o) : v_((detail::plain_read(&o), std::move(o.v_))) {
+    detail::plain_write(this);
+  }
+  Tracked& operator=(const Tracked& o) {
+    detail::plain_read(&o);
+    detail::plain_write(this);
+    v_ = o.v_;
+    return *this;
+  }
+  Tracked& operator=(Tracked&& o) {
+    detail::plain_read(&o);
+    detail::plain_write(this);
+    v_ = std::move(o.v_);
+    return *this;
+  }
+  Tracked& operator=(const T& v) {
+    detail::plain_write(this);
+    v_ = v;
+    return *this;
+  }
+
+  explicit(false) operator T() const {
+    detail::plain_read(this);
+    return v_;
+  }
+  T get() const {
+    detail::plain_read(this);
+    return v_;
+  }
+
+ private:
+  T v_;
+};
+
+}  // namespace ps::mc

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/atomic_shim.hpp"
 #include "common/cacheline.hpp"
 #include "common/types.hpp"
 #include "fault/fault_injector.hpp"
@@ -42,9 +43,12 @@ struct QueueStats {
 /// with relaxed RMWs, and any thread — stats queries, telemetry probes —
 /// may snapshot concurrently without a data race.
 struct AtomicQueueStats {
-  std::atomic<u64> packets{0};
-  std::atomic<u64> bytes{0};
-  std::atomic<u64> drops{0};
+  // mc: nic.queue_stats -- single-writer relaxed per-queue counters
+  ps::atomic<u64> packets{0};
+  // mc: nic.queue_stats
+  ps::atomic<u64> bytes{0};
+  // mc: nic.queue_stats
+  ps::atomic<u64> drops{0};
 
   QueueStats snapshot() const {
     return {packets.load(std::memory_order_relaxed), bytes.load(std::memory_order_relaxed),
@@ -163,9 +167,12 @@ class NicPort {
     // SPSC across threads: the wire side produces (head), the one owning
     // core consumes (tail) — the same single-writer discipline that lets
     // the real engine go lock-free (section 4.4).
-    std::atomic<u32> head{0};  // next cell hardware fills
-    std::atomic<u32> tail{0};  // next cell software consumes
-    std::atomic<bool> irq_enabled{false};
+    // mc: nic.ring.head -- wire-side producer index; release publish
+    ps::atomic<u32> head{0};  // next cell hardware fills
+    // mc: nic.ring.tail -- owning-core consumer index; release return
+    ps::atomic<u32> tail{0};  // next cell software consumes
+    // mc: nic.ring.irq -- interrupt mask latch (relaxed)
+    ps::atomic<bool> irq_enabled{false};
 
     u32 count() const {
       return head.load(std::memory_order_acquire) - tail.load(std::memory_order_acquire);
@@ -208,9 +215,12 @@ class NicPort {
   fault::FaultInjector* injector_ = nullptr;
   std::string link_down_point_;  // "nic.link_down.<port>", precomputed
   std::string link_flap_point_;  // "nic.link_flap.<port>", precomputed
-  std::atomic<bool> link_up_{true};
-  std::atomic<u64> link_flaps_{0};
-  std::atomic<u64> carrier_lost_frames_{0};
+  // mc: nic.link -- carrier latch + flap counters (relaxed telemetry)
+  ps::atomic<bool> link_up_{true};
+  // mc: nic.link
+  ps::atomic<u64> link_flaps_{0};
+  // mc: nic.link
+  ps::atomic<u64> carrier_lost_frames_{0};
   bool numa_blind_ = false;
   WireSink* wire_sink_ = nullptr;
   NullWire default_sink_;

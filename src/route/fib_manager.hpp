@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/atomic_shim.hpp"
 #include "common/epoch.hpp"
 #include "common/thread_annotations.hpp"
 #include "fault/fault_injector.hpp"
@@ -407,8 +408,10 @@ class FibManager {
   /// The single atomic pointer readers load. Always points into the
   /// Generation owned by active_; lifetime beyond the swap is the epoch
   /// domain's business.
-  std::atomic<const Table*> current_{nullptr};
-  std::atomic<u64> generation_{0};
+  // mc: fib.current -- release pointer swap; readers load acquire under pin
+  ps::atomic<const Table*> current_{nullptr};
+  // mc: fib.generation -- release gen bump paired with current_ swap
+  ps::atomic<u64> generation_{0};
   mutable epoch::Domain domain_;
   std::shared_ptr<BufferPool> pool_;
 

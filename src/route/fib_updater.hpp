@@ -16,6 +16,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/atomic_shim.hpp"
 #include "common/heartbeat.hpp"
 #include "common/thread_annotations.hpp"
 #include "fault/fault_injector.hpp"
@@ -88,9 +89,12 @@ class FibUpdater {
   bool kicked_ GUARDED_BY(mu_) = false;
   bool committing_ GUARDED_BY(mu_) = false;
 
-  std::atomic<u64> commits_{0};
-  std::atomic<u64> rollbacks_{0};
-  std::atomic<u64> stall_recoveries_{0};
+  // mc: fib.updater.counter -- single-writer relaxed progress counters
+  ps::atomic<u64> commits_{0};
+  // mc: fib.updater.counter
+  ps::atomic<u64> rollbacks_{0};
+  // mc: fib.updater.counter
+  ps::atomic<u64> stall_recoveries_{0};
 };
 
 }  // namespace ps::route

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/atomic_shim.hpp"
 #include "common/heartbeat.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
@@ -118,7 +119,8 @@ class Supervisor {
   std::vector<Slot> slots_ GUARDED_BY(mu_);
   std::vector<StallEvent> events_ GUARDED_BY(mu_);
   std::thread thread_;  // start()/stop() caller's thread only
-  std::atomic<bool> running_{false};
+  // mc: supervise.running -- relaxed liveness flag read by accessors
+  ps::atomic<bool> running_{false};
   bool started_ GUARDED_BY(mu_) = false;
 };
 

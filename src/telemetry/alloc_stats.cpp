@@ -4,10 +4,13 @@
 #include <cstdlib>
 #include <new>
 
+#include "common/atomic_shim.hpp"
+
 namespace ps::telemetry {
 
 namespace detail {
-std::atomic<u64> g_new_calls{0};
+// mc: alloc.new_calls -- relaxed global allocation tally (operator new hook)
+ps::atomic<u64> g_new_calls{0};
 }  // namespace detail
 
 #ifdef PS_ALLOC_STATS

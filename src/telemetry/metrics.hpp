@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_shim.hpp"
 #include "common/cacheline.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
@@ -54,7 +55,8 @@ class Counter {
   u64 value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::atomic<u64> value_{0};
+  // mc: metrics.counter -- single-writer relaxed counter/gauge slots
+  ps::atomic<u64> value_{0};
 };
 
 /// Owned gauge slot: one writer thread, relaxed stores/adds.
@@ -66,7 +68,8 @@ class Gauge {
   u64 value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::atomic<u64> value_{0};
+  // mc: metrics.counter
+  ps::atomic<u64> value_{0};
 };
 
 /// Owned log2-bucketed histogram: one writer thread records with relaxed
@@ -90,9 +93,12 @@ class HistogramMetric {
   Snapshot snapshot() const;
 
  private:
-  std::atomic<u64> count_{0};
-  std::atomic<u64> sum_{0};
-  std::array<std::atomic<u64>, kBuckets> buckets_{};
+  // mc: metrics.counter
+  ps::atomic<u64> count_{0};
+  // mc: metrics.counter
+  ps::atomic<u64> sum_{0};
+  // mc: metrics.counter
+  std::array<ps::atomic<u64>, kBuckets> buckets_{};
 };
 
 /// One metric's value at snapshot time.
@@ -163,7 +169,8 @@ class MetricsRegistry {
   std::deque<CacheAligned<Gauge>> gauges_ GUARDED_BY(mu_);
   std::deque<std::pair<std::string, HistogramMetric>> histograms_ GUARDED_BY(mu_);
   std::vector<Entry> entries_ GUARDED_BY(mu_);
-  mutable std::atomic<u64> snapshots_taken_{0};
+  // mc: metrics.counter
+  mutable ps::atomic<u64> snapshots_taken_{0};
 };
 
 }  // namespace ps::telemetry

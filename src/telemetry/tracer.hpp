@@ -34,6 +34,7 @@
 #include <chrono>
 #include <vector>
 
+#include "common/atomic_shim.hpp"
 #include "common/cacheline.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
@@ -126,29 +127,42 @@ class PipelineTracer {
  private:
   struct Slot {
     /// Seqlock: odd = a writer owns the slot (span open), even = at rest.
-    std::atomic<u32> seq{0};
+    // mc: trace.seq -- per-slot seqlock word; acq/rel brackets the payload
+    ps::atomic<u32> seq{0};
     /// Claim generation of the last *completed* span in this slot; the
     /// reader remembers what it drained to skip stale re-reads.
-    std::atomic<u64> complete_gen{0};
-    std::atomic<u64> chunk_id{0};
-    std::atomic<u32> packets{0};
-    std::atomic<u8> cpu_path{0};
-    std::array<std::atomic<u64>, kNumStages> ts{};
+    // mc: trace.payload -- seqlock-protected payload, relaxed inside brackets
+    ps::atomic<u64> complete_gen{0};
+    // mc: trace.payload
+    ps::atomic<u64> chunk_id{0};
+    // mc: trace.payload
+    ps::atomic<u32> packets{0};
+    // mc: trace.payload
+    ps::atomic<u8> cpu_path{0};
+    // mc: trace.payload
+    std::array<ps::atomic<u64>, kNumStages> ts{};
   };
 
   void count_write(u64 n = 1) { hot_path_writes_.fetch_add(n, std::memory_order_relaxed); }
 
   u32 capacity_ = 0;  // power of two
   u32 mask_ = 0;
-  std::atomic<bool> enabled_{false};
-  std::atomic<u64> next_claim_{0};  // claim tickets; slot = ticket & mask
+  // mc: trace.enabled -- relaxed on/off flag; stale reads only delay effect
+  ps::atomic<bool> enabled_{false};
+  // mc: trace.next_claim -- relaxed fetch_add ticket; slot = ticket & mask
+  ps::atomic<u64> next_claim_{0};
   std::vector<CacheAligned<Slot>> slots_;
 
-  std::atomic<u64> spans_started_{0};
-  std::atomic<u64> spans_completed_{0};
-  std::atomic<u64> spans_dropped_{0};
-  std::atomic<u64> spans_overwritten_{0};
-  std::atomic<u64> hot_path_writes_{0};
+  // mc: trace.counter -- relaxed multi-writer accounting counters
+  ps::atomic<u64> spans_started_{0};
+  // mc: trace.counter
+  ps::atomic<u64> spans_completed_{0};
+  // mc: trace.counter
+  ps::atomic<u64> spans_dropped_{0};
+  // mc: trace.counter
+  ps::atomic<u64> spans_overwritten_{0};
+  // mc: trace.counter
+  ps::atomic<u64> hot_path_writes_{0};
 
   Mutex drain_mu_;  // single logical consumer, enforced
   /// Per slot: last complete_gen drained. The span slots themselves are

@@ -1,0 +1,156 @@
+// SpscFanIn edge geometry: non-power-of-two producer counts, the
+// degenerate single-producer shape, and sweep-cursor fairness when full
+// and empty lanes interleave. These pin the corners the main fan-in
+// suite's symmetric scenarios never reach.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/spsc_ring.hpp"
+
+namespace ps {
+namespace {
+
+TEST(FanInEdge, NonPowerOfTwoProducerCounts) {
+  // The per-lane split must round UP to a power of two for every awkward
+  // producer count, never down to zero or below the minimum of 2.
+  struct Case {
+    std::size_t producers;
+    std::size_t total;
+    std::size_t want_per_lane;
+  };
+  const Case cases[] = {
+      {3, 64, 32},   // 64/3 = 21 -> 32
+      {5, 64, 16},   // 64/5 = 12 -> 16
+      {6, 64, 16},   // 64/6 = 10 -> 16
+      {7, 64, 16},   // 64/7 = 9  -> 16
+      {7, 7, 2},     // 7/7 = 1   -> floor of 2
+      {9, 1024, 128},  // 1024/9 = 113 -> 128
+  };
+  for (const Case& c : cases) {
+    SpscFanIn<int> q(c.producers, c.total);
+    EXPECT_EQ(q.producers(), c.producers);
+    EXPECT_EQ(q.per_ring_capacity(), c.want_per_lane)
+        << c.producers << " producers over " << c.total << " slots";
+    EXPECT_EQ(q.capacity(), c.producers * c.want_per_lane);
+    // Every lane accepts up to exactly the split — no lane got shorted.
+    for (std::size_t p = 0; p < c.producers; ++p) {
+      for (std::size_t i = 0; i < c.want_per_lane; ++i) {
+        EXPECT_TRUE(q.try_push(p, static_cast<int>(i)));
+      }
+      EXPECT_FALSE(q.try_push(p, -1));
+    }
+    EXPECT_EQ(q.size(), q.capacity());
+  }
+}
+
+TEST(FanInEdge, SingleProducerDegeneratesToPlainSpsc) {
+  // producers == 1: the sweep has one lane; the structure must behave
+  // exactly like an SpscRing — global FIFO, full capacity in one lane.
+  SpscFanIn<int> q(1, 8);
+  EXPECT_EQ(q.producers(), 1u);
+  EXPECT_EQ(q.per_ring_capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(0, i));
+  EXPECT_FALSE(q.try_push(0, 99));
+  EXPECT_EQ(q.full_spins(0), 1u);
+
+  std::vector<int> out;
+  out.reserve(8);
+  // Slice the drain into uneven batches; order must still be global FIFO
+  // because there is no cross-lane interleaving to excuse reordering.
+  int expect = 0;
+  for (const std::size_t batch : {3u, 1u, 4u}) {
+    ASSERT_EQ(q.pop_batch(out, batch), batch);
+    for (int v : out) EXPECT_EQ(v, expect++);
+  }
+  EXPECT_EQ(expect, 8);
+  EXPECT_EQ(q.size(), 0u);
+  // Space reclaimed: the lane accepts again after the drain.
+  EXPECT_TRUE(q.try_push(0, 100));
+}
+
+TEST(FanInEdge, SweepSkipsEmptyLanesWithoutLosingCursor) {
+  // Lanes 0 and 2 empty, lanes 1 and 3 loaded: the sweep must skip the
+  // empty lanes (not stall or return short), drain greedily per visited
+  // lane, and resume round-robin from where the previous sweep stopped
+  // instead of restarting at lane 0.
+  SpscFanIn<int> q(4, 16);
+  ASSERT_TRUE(q.try_push(1, 10));
+  ASSERT_TRUE(q.try_push(1, 11));
+  ASSERT_TRUE(q.try_push(3, 30));
+  ASSERT_TRUE(q.try_push(3, 31));
+
+  std::vector<int> out;
+  out.reserve(16);
+  // Fresh cursor: lane 0 is skipped and lane 1 is drained to the cap.
+  ASSERT_EQ(q.pop_batch(out, 2), 2u);
+  EXPECT_EQ(out[0], 10);
+  EXPECT_EQ(out[1], 11);
+  // Re-arm lane 1 *behind* the cursor. A cursor bug that restarts the
+  // sweep at lane 0 would serve this new item before lane 3's backlog.
+  ASSERT_TRUE(q.try_push(1, 12));
+  ASSERT_EQ(q.pop_batch(out, 2), 2u);
+  EXPECT_EQ(out[0], 30);
+  EXPECT_EQ(out[1], 31);
+  // The wrapped sweep finally reaches lane 1 again.
+  ASSERT_EQ(q.pop_batch(out, 2), 1u);
+  EXPECT_EQ(out[0], 12);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(FanInEdge, FullAndEmptyLaneMixStaysFair) {
+  // Lane 0 saturated, lane 1 trickling: repeated capped sweeps must keep
+  // servicing BOTH lanes — a cursor bug that restarts at lane 0 every
+  // sweep would starve lane 1 behind the always-full lane.
+  SpscFanIn<std::pair<int, int>> q(2, 4);  // 2 slots per lane
+  ASSERT_EQ(q.per_ring_capacity(), 2u);
+
+  int pushed0 = 0;
+  int pushed1 = 0;
+  int popped0 = 0;
+  int popped1 = 0;
+  auto refill = [&] {
+    while (q.try_push(0, {0, pushed0})) ++pushed0;  // keep lane 0 at capacity
+    if (q.try_push(1, {1, pushed1})) ++pushed1;     // trickle into lane 1
+  };
+
+  std::vector<std::pair<int, int>> out;
+  out.reserve(4);
+  refill();
+  for (int sweep = 0; sweep < 32; ++sweep) {
+    q.pop_batch(out, 1);  // worst case: one slot per sweep
+    ASSERT_EQ(out.size(), 1u);
+    const auto [lane, seq] = out[0];
+    if (lane == 0) {
+      EXPECT_EQ(seq, popped0++);
+    } else {
+      EXPECT_EQ(seq, popped1++);
+    }
+    refill();
+  }
+  // 32 single-item sweeps over two nonempty lanes: round-robin hands each
+  // lane exactly half the service.
+  EXPECT_EQ(popped0, 16);
+  EXPECT_EQ(popped1, 16);
+  EXPECT_GT(q.full_spins(0), 0u);
+}
+
+TEST(FanInEdge, DrainedReflectsEveryLaneAcrossClose) {
+  // drained() must require EVERY lane empty, including lanes that were
+  // full at close time and lanes that were never used.
+  SpscFanIn<int> q(3, 6);
+  ASSERT_TRUE(q.try_push(0, 1));
+  ASSERT_TRUE(q.try_push(2, 3));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.drained());
+  std::vector<int> out;
+  out.reserve(6);
+  EXPECT_EQ(q.pop_batch(out, 6), 2u);
+  EXPECT_TRUE(q.drained());
+}
+
+}  // namespace
+}  // namespace ps

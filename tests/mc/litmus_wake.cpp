@@ -1,0 +1,114 @@
+// Litmus: WakeSignal's Dekker protocol — a wakeup is never lost.
+//
+// The hazard is store-buffering: the consumer publishes waiting_=true and
+// re-checks the ring; the producer publishes an item and checks waiting_.
+// Without the two seq_cst fences both can read stale values: the producer
+// skips the notify, the consumer parks on a non-empty ring, and — because
+// the model's CondVar has no timeout to hide behind — the execution
+// deadlocks, which is exactly what the checker reports. The real header
+// passes because both fences are there; mc_mutants.cpp proves dropping
+// either one is caught.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+
+#include "common/spsc_ring.hpp"
+#include "mc/mc.hpp"
+#include "mc/tracked.hpp"
+
+namespace {
+
+using ps::u64;
+using ps::mc::Options;
+using ps::mc::Outcome;
+
+constexpr std::chrono::hours kForever{24};
+
+// Direct protocol use, as SpscFanIn::pop_batch_wait_for uses it: arm,
+// re-check, park. One item from the producer must always be received.
+TEST(McWakeSignal, NeverLostWakeup) {
+  Options opt;
+  opt.name = "wake_no_lost";
+  Outcome o = ps::mc::check(opt, [] {
+    ps::SpscRing<ps::mc::Tracked<u64>> ring(2);
+    ps::WakeSignal wake;
+    ps::mc::Thread producer([&] {
+      bool pushed = ring.push(ps::mc::Tracked<u64>(42));
+      MC_ASSERT(pushed);  // capacity 2, single item: cannot be full
+      wake.notify();
+    });
+    ps::mc::Thread consumer([&] {
+      for (;;) {
+        std::optional<ps::mc::Tracked<u64>> v = ring.pop();
+        if (v.has_value()) {
+          MC_ASSERT(v->get() == 42);
+          return;
+        }
+        const u64 token = wake.prepare_wait();
+        // The mandated re-check between arm and park: the seq_cst fence
+        // in prepare_wait() orders it against the producer's publish.
+        v = ring.pop();
+        if (v.has_value()) {
+          wake.cancel_wait();
+          MC_ASSERT(v->get() == 42);
+          return;
+        }
+        // A lost wakeup would park here forever -> deadlock -> reported.
+        wake.wait_until(token, std::chrono::steady_clock::now() + kForever);
+      }
+    });
+    producer.join();
+    consumer.join();
+  });
+  EXPECT_TRUE(o.ok) << o.error << "\n" << o.trace;
+  EXPECT_TRUE(o.exhausted) << "state space not fully explored: " << o.executions;
+}
+
+// The same property through the production entry point: a consumer parked
+// in SpscFanIn::pop_batch_wait_for must always receive the racing push.
+TEST(McWakeSignal, FanInWaitForReceivesRacingPush) {
+  Options opt;
+  opt.name = "fanin_wait_for";
+  Outcome o = ps::mc::check(opt, [] {
+    ps::SpscFanIn<u64> fanin(1, 2);
+    ps::mc::Thread producer([&] {
+      while (!fanin.try_push(0, 7)) ps::mc::spin_wait();
+    });
+    ps::mc::Thread consumer([&] {
+      std::vector<u64> out;
+      out.reserve(2);
+      const std::size_t n = fanin.pop_batch_wait_for(out, 2, kForever);
+      MC_ASSERT(n == 1);
+      MC_ASSERT(out[0] == 7);
+    });
+    producer.join();
+    consumer.join();
+  });
+  EXPECT_TRUE(o.ok) << o.error << "\n" << o.trace;
+  EXPECT_TRUE(o.exhausted) << "state space not fully explored: " << o.executions;
+}
+
+// close() must also end a park: a consumer waiting on an empty fan-in
+// while another thread closes it may not sleep forever.
+TEST(McWakeSignal, CloseWakesParkedConsumer) {
+  Options opt;
+  opt.name = "fanin_close_wakes";
+  Outcome o = ps::mc::check(opt, [] {
+    ps::SpscFanIn<u64> fanin(1, 2);
+    ps::mc::Thread closer([&] { fanin.close(); });
+    ps::mc::Thread consumer([&] {
+      std::vector<u64> out;
+      out.reserve(2);
+      const std::size_t n = fanin.pop_batch_wait_for(out, 2, kForever);
+      MC_ASSERT(n == 0);
+    });
+    closer.join();
+    consumer.join();
+    MC_ASSERT(fanin.drained());
+  });
+  EXPECT_TRUE(o.ok) << o.error << "\n" << o.trace;
+  EXPECT_TRUE(o.exhausted) << "state space not fully explored: " << o.executions;
+}
+
+}  // namespace

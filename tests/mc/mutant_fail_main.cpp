@@ -1,0 +1,20 @@
+// WILL_FAIL driver: run one seeded-bug protocol exactly the way a real
+// litmus target would (exit 0 on verified, nonzero on violation) so the
+// ctest entry McMutantMustFail proves the end-to-end failure mode — a
+// checker regression that stops reporting the bug turns this command's
+// exit code green and the WILL_FAIL inversion red.
+#include <cstdio>
+
+#include "protocols.hpp"
+
+int main() {
+  const ps::mc::Outcome o =
+      ps::mc_litmus::check_mini_wake<false, true>("mutant_must_fail");
+  if (!o.ok) {
+    std::printf("violation (expected): %s\n%s", o.error.c_str(), o.trace.c_str());
+    return 1;
+  }
+  std::printf("verified clean after %llu executions -- the checker missed the seeded bug\n",
+              static_cast<unsigned long long>(o.executions));
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Seeded-bug mutants: weaken one memory-order knob per protocol replica
+// and assert the checker FIRES. A checker that stops catching any of
+// these has silently lost its teeth — these tests are the litmus suite's
+// own regression suite. The unmutated replicas must still verify clean,
+// proving the catch is the bug, not replica noise.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "protocols.hpp"
+
+namespace {
+
+using ps::mc::Outcome;
+using ps::mc_litmus::check_mini_epoch;
+using ps::mc_litmus::check_mini_spsc;
+using ps::mc_litmus::check_mini_wake;
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+constexpr auto kAcquire = std::memory_order_acquire;
+constexpr auto kRelease = std::memory_order_release;
+
+// --- baselines: the faithful replicas verify clean --------------------------
+
+TEST(McMutants, SpscBaselineClean) {
+  Outcome o = check_mini_spsc<kRelease, kAcquire, kRelease>("mini_spsc_ok");
+  EXPECT_TRUE(o.ok) << o.error << "\n" << o.trace;
+  EXPECT_TRUE(o.exhausted);
+}
+
+TEST(McMutants, WakeBaselineClean) {
+  Outcome o = check_mini_wake<true, true>("mini_wake_ok");
+  EXPECT_TRUE(o.ok) << o.error << "\n" << o.trace;
+  EXPECT_TRUE(o.exhausted);
+}
+
+TEST(McMutants, EpochBaselineClean) {
+  Outcome o = check_mini_epoch<true, true>("mini_epoch_ok");
+  EXPECT_TRUE(o.ok) << o.error << "\n" << o.trace;
+  EXPECT_TRUE(o.exhausted);
+}
+
+// --- SpscRing mutants -------------------------------------------------------
+
+// Producer publishes head with relaxed: the consumer can observe the new
+// head before the slot write — a torn hand-off the Tracked payload
+// reports as a race (or the FIFO assert as a stale value).
+TEST(McMutants, SpscPublishRelaxedCaught) {
+  Outcome o = check_mini_spsc<kRelaxed, kAcquire, kRelease>("mini_spsc_pub_rlx");
+  EXPECT_FALSE(o.ok) << "checker failed to catch the relaxed head publish";
+}
+
+// Consumer reads head with relaxed: severs the same edge from the other
+// side.
+TEST(McMutants, SpscConsumeRelaxedCaught) {
+  Outcome o = check_mini_spsc<kRelease, kRelaxed, kRelease>("mini_spsc_cons_rlx");
+  EXPECT_FALSE(o.ok) << "checker failed to catch the relaxed head consume";
+}
+
+// Consumer returns the slot with a relaxed tail store: the producer's
+// acquire refresh no longer carries the consumer's read, so the slot
+// REUSE write races the consumer's earlier read of the same slot.
+TEST(McMutants, SpscSlotReuseRelaxedCaught) {
+  Outcome o = check_mini_spsc<kRelease, kAcquire, kRelaxed>("mini_spsc_ret_rlx");
+  EXPECT_FALSE(o.ok) << "checker failed to catch the relaxed tail return";
+}
+
+// --- WakeSignal mutants -----------------------------------------------------
+
+// Drop the producer-side (notify) fence: store-buffering lets the
+// producer miss waiting_=true while the consumer missed the item — the
+// consumer parks forever (deadlock).
+TEST(McMutants, WakeDropNotifyFenceCaught) {
+  Outcome o = check_mini_wake<false, true>("mini_wake_no_notify_fence");
+  EXPECT_FALSE(o.ok) << "checker failed to catch the dropped notify fence";
+  EXPECT_NE(o.error.find("deadlock"), std::string::npos) << o.error;
+}
+
+// Drop the consumer-side (prepare_wait) fence: same lost wakeup, other
+// side of the Dekker pair.
+TEST(McMutants, WakeDropPrepareFenceCaught) {
+  Outcome o = check_mini_wake<true, false>("mini_wake_no_prepare_fence");
+  EXPECT_FALSE(o.ok) << "checker failed to catch the dropped prepare fence";
+  EXPECT_NE(o.error.find("deadlock"), std::string::npos) << o.error;
+}
+
+// --- Epoch mutants ----------------------------------------------------------
+
+// Drop the reader's pin fence (`mc: epoch.fence.pin`): the writer's scan
+// can miss the pin and reclaim under a reader still holding the old
+// pointer.
+TEST(McMutants, EpochDropPinFenceCaught) {
+  Outcome o = check_mini_epoch<false, true>("mini_epoch_no_pin_fence");
+  EXPECT_FALSE(o.ok) << "checker failed to catch the dropped pin fence";
+}
+
+// Drop the writer's pre-scan fence (`mc: epoch.fence.scan`): same hazard
+// from the writer's side of the interval argument.
+TEST(McMutants, EpochDropScanFenceCaught) {
+  Outcome o = check_mini_epoch<true, false>("mini_epoch_no_scan_fence");
+  EXPECT_FALSE(o.ok) << "checker failed to catch the dropped scan fence";
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+// Template-parameterized replicas of the three lock-free protocols the
+// litmus suite covers, with the memory orders (or fences) as template
+// knobs. The production headers hard-code the correct orders; these
+// replicas exist so the mutant tests can *weaken* one knob at a time and
+// prove the checker catches each seeded bug. Keep each replica a faithful
+// skeleton of its production counterpart — same stores, same loads, same
+// fences — just small enough to enumerate.
+#pragma once
+
+#include <array>
+
+#include "common/thread_annotations.hpp"
+#include "mc/mc.hpp"
+#include "mc/mc_atomic.hpp"
+#include "mc/tracked.hpp"
+
+namespace ps::mc_litmus {
+
+// --- SpscRing skeleton ------------------------------------------------------
+// Two-slot ring, three items (forces slot reuse). Knobs:
+//   PubOrder:  producer's head publish   (production: release)
+//   ConsOrder: consumer's head read      (production: acquire)
+//   RetOrder:  consumer's tail return    (production: release)
+// The producer's tail refresh stays acquire, as in production — the three
+// knobs isolate the three edges a mutant can sever.
+template <std::memory_order PubOrder, std::memory_order ConsOrder,
+          std::memory_order RetOrder>
+inline ps::mc::Outcome check_mini_spsc(const char* name) {
+  ps::mc::Options opt;
+  opt.name = name;
+  return ps::mc::check(opt, [] {
+    struct Ring {
+      ps::mc::atomic<ps::u64> head{0};
+      ps::mc::atomic<ps::u64> tail{0};
+      std::array<ps::mc::Tracked<ps::u64>, 2> slots{};
+    } ring;
+    ps::mc::Thread producer([&] {
+      for (ps::u64 i = 1; i <= 3; ++i) {
+        const ps::u64 h = ring.head.load(std::memory_order_relaxed);
+        while (h - ring.tail.load(std::memory_order_acquire) >= 2) {
+          ps::mc::spin_wait();
+        }
+        ring.slots[h & 1] = ps::mc::Tracked<ps::u64>(i);
+        ring.head.store(h + 1, PubOrder);
+      }
+    });
+    ps::mc::Thread consumer([&] {
+      for (ps::u64 expect = 1; expect <= 3; ++expect) {
+        const ps::u64 t = ring.tail.load(std::memory_order_relaxed);
+        while (ring.head.load(ConsOrder) == t) ps::mc::spin_wait();
+        MC_ASSERT(ring.slots[t & 1].get() == expect);
+        ring.tail.store(t + 1, RetOrder);
+      }
+    });
+    producer.join();
+    consumer.join();
+  });
+}
+
+// --- WakeSignal skeleton ----------------------------------------------------
+// The Dekker arm/notify protocol around a one-word "ring". Knobs: the two
+// seq_cst fences (production has both). A severed fence loses the wakeup
+// in some interleaving, and with the model's timeout-free CondVar that is
+// a deadlock, which the checker reports.
+template <bool NotifyFence, bool PrepareFence>
+inline ps::mc::Outcome check_mini_wake(const char* name) {
+  ps::mc::Options opt;
+  opt.name = name;
+  return ps::mc::check(opt, [] {
+    struct Wake {
+      ps::mc::atomic<int> item{0};
+      ps::mc::atomic<bool> waiting{false};
+      ps::Mutex mu;
+      ps::u64 wake_seq GUARDED_BY(mu) = 0;
+      ps::CondVar cv;
+    } w;
+    ps::mc::Thread producer([&] {
+      w.item.store(1, std::memory_order_relaxed);  // publish the "item"
+      if (NotifyFence) ps::mc::fence(std::memory_order_seq_cst);
+      if (w.waiting.load(std::memory_order_relaxed)) {
+        {
+          ps::MutexLock lock(w.mu);
+          ++w.wake_seq;
+        }
+        w.cv.notify_one();
+      }
+    });
+    ps::mc::Thread consumer([&] {
+      w.waiting.store(true, std::memory_order_relaxed);
+      if (PrepareFence) ps::mc::fence(std::memory_order_seq_cst);
+      ps::u64 token;
+      {
+        ps::MutexLock lock(w.mu);
+        token = w.wake_seq;
+      }
+      // The mandated re-check between arm and park.
+      if (w.item.load(std::memory_order_relaxed) == 0) {
+        ps::MutexLock lock(w.mu);
+        // Lost wakeup = nobody ever bumps wake_seq = deadlock here.
+        while (w.wake_seq == token) w.cv.wait(w.mu);
+      }
+      w.waiting.store(false, std::memory_order_relaxed);
+      MC_ASSERT(w.item.load(std::memory_order_relaxed) == 1);
+    });
+    producer.join();
+    consumer.join();
+  });
+}
+
+// --- Epoch reclamation skeleton ---------------------------------------------
+// One reader slot, one retire/reclaim cycle. Knobs: the reader's pin
+// fence and the writer's pre-scan fence (production epoch.cpp has both:
+// `mc: epoch.fence.pin` / `mc: epoch.fence.scan`). The "free" is a
+// relaxed poison store, the "use" is the reader's dereference-while-
+// holding-the-old-pointer assert.
+template <bool PinFence, bool ScanFence>
+inline ps::mc::Outcome check_mini_epoch(const char* name) {
+  ps::mc::Options opt;
+  opt.name = name;
+  return ps::mc::check(opt, [] {
+    struct Dom {
+      ps::mc::atomic<ps::u64> epoch{1};
+      ps::mc::atomic<ps::u64> slot{~ps::u64{0}};
+      ps::mc::atomic<int> current{1};  // 1 = old object, 2 = replacement
+      ps::mc::atomic<int> old_alive{1};
+    } d;
+    ps::mc::Thread reader([&] {
+      const ps::u64 e = d.epoch.load(std::memory_order_acquire);
+      d.slot.store(e, std::memory_order_relaxed);
+      if (PinFence) ps::mc::fence(std::memory_order_seq_cst);
+      if (d.current.load(std::memory_order_acquire) == 1) {
+        MC_ASSERT(d.old_alive.load(std::memory_order_relaxed) == 1);
+      }
+      d.slot.store(~ps::u64{0}, std::memory_order_release);
+    });
+    ps::mc::Thread writer([&] {
+      d.current.store(2, std::memory_order_release);  // unpublish old
+      const ps::u64 tag = d.epoch.fetch_add(1, std::memory_order_seq_cst);
+      if (ScanFence) ps::mc::fence(std::memory_order_seq_cst);
+      const ps::u64 pinned = d.slot.load(std::memory_order_acquire);
+      if (pinned > tag) {  // kIdle or pinned after the bump: reclaimable
+        d.old_alive.store(0, std::memory_order_relaxed);
+      }
+    });
+    reader.join();
+    writer.join();
+  });
+}
+
+}  // namespace ps::mc_litmus

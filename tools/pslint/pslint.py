@@ -60,6 +60,21 @@ or the preceding line):
                       park, and each of its lock sites carries an allow
                       comment saying so. A new MutexLock here silently
                       reintroduces the convoy the SPSC migration removed.
+  atomics-audit       the memory-model contract discipline, three checks
+                      in one rule. (1) bare std::atomic declarations and
+                      std::atomic_thread_fence calls are banned — all
+                      atomics go through ps::atomic / ps::fence_seq_cst()
+                      (common/atomic_shim.hpp) so the model-check build
+                      can reroute them; the shim itself and src/mc/ are
+                      the sanctioned exceptions. (2) every ps::atomic
+                      declaration and fence_seq_cst() call site carries a
+                      `// mc: <key>` contract tag (same line or up to two
+                      comment lines above) naming its row in the DESIGN.md
+                      §17 memory-model contract table; pointer/reference
+                      spellings (ps::atomic<T>* / ps::atomic<T>&) are
+                      exempt — the owning declaration carries the
+                      contract. (3) the tag keys and the doc table rows
+                      (backticked `mc:<key>` entries) must match two-way.
 
 Output: `path:line: [rule] message`, one per finding, sorted; exit 1 if
 anything fired. `--expect FILE` compares the findings against a golden
@@ -83,6 +98,8 @@ RULES = {
                       "per-packet read path",
     "handoff-mutex": "lock acquisition on the lock-free worker<->master "
                      "hand-off path",
+    "atomics-audit": "bare std::atomic, untagged ps::atomic site, or "
+                     "mc: contract keys out of sync with the doc table",
 }
 
 HOT_DIRS = ("iengine", "nic", "gpu", "core")
@@ -513,6 +530,126 @@ def check_handoff_mutex(sf, findings):
             report(m.start(), "inside hand-off loop %s()" % fn)
 
 
+# --- rule: atomics-audit ---------------------------------------------------
+
+# Files allowed to spell std::atomic / std::atomic_thread_fence: the shim
+# that defines the production backend, and the model-checker runtime that
+# defines the other one.
+ATOMIC_EXEMPT_FILE = "common/atomic_shim.hpp"
+ATOMIC_EXEMPT_DIR = "mc/"
+
+BARE_STD_ATOMIC_RE = re.compile(r"\bstd::atomic(?:\s*<|_thread_fence\b)")
+PS_ATOMIC_SITE_RE = re.compile(r"\bps::atomic\s*<|\b(?:ps::)?fence_seq_cst\s*\(")
+MC_TAG_RE = re.compile(r"//\s*mc:\s*([A-Za-z0-9_][A-Za-z0-9_.\-]*)")
+MC_KEY_RE = re.compile(r"[A-Za-z0-9_][A-Za-z0-9_.\-]*\Z")
+
+
+def _close_angle(code, open_pos):
+    """Index of the `>` closing the template argument list opening at
+    open_pos, or -1. Depth counting is enough: atomic template arguments
+    are types, so no stray comparison operators appear inside."""
+    depth = 0
+    for i in range(open_pos, len(code)):
+        if code[i] == "<":
+            depth += 1
+        elif code[i] == ">":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _mc_tag_near(sf, lineno):
+    """The `// mc: <key>` tag covering a site: same line or up to two
+    lines above (mirrors the allow-comment proximity rule)."""
+    for ln in (lineno, lineno - 1, lineno - 2):
+        if 1 <= ln <= len(sf.lines):
+            m = MC_TAG_RE.search(sf.lines[ln - 1])
+            if m:
+                return m.group(1)
+    return None
+
+
+def check_atomics_audit(sf, findings, code_keys):
+    """Per-file half of the rule; `code_keys` accumulates
+    key -> (rel, line) of the first tagged site for the doc sync pass."""
+    if sf.rel == ATOMIC_EXEMPT_FILE or sf.rel.startswith(ATOMIC_EXEMPT_DIR):
+        return
+    code = sf.code_nostr
+    for m in BARE_STD_ATOMIC_RE.finditer(code):
+        lineno = _line_of(code, m.start())
+        if sf.allowed(lineno, "atomics-audit"):
+            continue
+        findings.append(Finding(
+            sf.rel, lineno, "atomics-audit",
+            "bare %s; declare atomics as ps::atomic and fences as "
+            "ps::fence_seq_cst() (common/atomic_shim.hpp) so the "
+            "model-check build can reroute them"
+            % ("std::atomic_thread_fence" if "fence" in m.group(0)
+               else "std::atomic")))
+    for m in PS_ATOMIC_SITE_RE.finditer(code):
+        if "atomic" in m.group(0):
+            open_angle = code.find("<", m.start())
+            close = _close_angle(code, open_angle)
+            if close < 0:
+                continue
+            j = close + 1
+            while j < len(code) and code[j] in " \t":
+                j += 1
+            if j < len(code) and code[j] in "*&":
+                # Pointer/reference spelling: the owning declaration
+                # carries the contract tag.
+                continue
+            what = "ps::atomic declaration"
+        else:
+            what = "fence_seq_cst() call"
+        lineno = _line_of(code, m.start())
+        key = _mc_tag_near(sf, lineno)
+        if key is None:
+            if sf.allowed(lineno, "atomics-audit"):
+                continue
+            findings.append(Finding(
+                sf.rel, lineno, "atomics-audit",
+                "%s without a `// mc: <key>` contract tag naming its "
+                "DESIGN.md row" % what))
+        else:
+            code_keys.setdefault(key, (sf.rel, lineno))
+
+
+def _doc_mc_keys(path):
+    """`mc:<key>` entries from a doc's tables: key -> first line. Only
+    table rows count, same contract as registry-sync."""
+    keys = {}
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        lines = f.read().split("\n")
+    for i, line in enumerate(lines, 1):
+        if not line.lstrip().startswith("|"):
+            continue
+        for tok in re.findall(r"`mc:\s*([^`]+)`", line):
+            tok = tok.strip()
+            if MC_KEY_RE.match(tok):
+                keys.setdefault(tok, i)
+    return keys
+
+
+def check_atomics_doc_sync(code_keys, docs, findings):
+    doc_keys = {}
+    for doc in docs:
+        for key, line in _doc_mc_keys(doc).items():
+            doc_keys.setdefault(key, (doc, line))
+    for key, (rel, line) in sorted(code_keys.items()):
+        if key not in doc_keys:
+            findings.append(Finding(
+                rel, line, "atomics-audit",
+                "mc: key '%s' is tagged in code but missing from the "
+                "memory-model contract table" % key))
+    for key, (doc, line) in sorted(doc_keys.items()):
+        if key not in code_keys:
+            findings.append(Finding(
+                os.path.basename(doc), line, "atomics-audit",
+                "mc: key '%s' is documented but never tagged in code" % key))
+
+
 # --- rule: registry-sync ---------------------------------------------------
 
 def _normalize(name):
@@ -668,6 +805,7 @@ def main(argv):
 
     files = collect_files(args.src)
     findings = []
+    mc_code_keys = {}
     for sf in files:
         check_bare_atomic(sf, findings)
         check_single_writer(sf, findings)
@@ -676,8 +814,10 @@ def main(argv):
         check_steady_state_growth(sf, findings)
         check_read_path_lock(sf, findings)
         check_handoff_mutex(sf, findings)
+        check_atomics_audit(sf, findings, mc_code_keys)
     if args.docs:
         check_registry_sync(files, args.docs, findings)
+        check_atomics_doc_sync(mc_code_keys, args.docs, findings)
 
     findings.sort(key=lambda f: (f.rel, f.line, f.rule, f.message))
     rendered = [f.render() for f in findings]
