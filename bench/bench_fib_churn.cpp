@@ -18,6 +18,7 @@
 
 #include "bench/bench_util.hpp"
 #include "common/rng.hpp"
+#include "gen/shape.hpp"
 #include "route/fib_manager.hpp"
 #include "route/fib_updater.hpp"
 #include "route/rib_gen.hpp"
@@ -120,6 +121,19 @@ int main(int argc, char** argv) {
 
   const Phase idle = run_phase(fib, updater, pool, {}, 0, window);
   const Phase churn = run_phase(fib, updater, pool, ops, kChurnRate, window);
+
+  // Zipf-popularity key pool (DESIGN.md §18): the same lookup loop, but
+  // keys drawn with Zipf(1.0)-skewed rank frequency over the covered
+  // pool — the flow-popularity shape real traffic shows. The hot head
+  // concentrates DIR-24-8 accesses on a few cache lines, so this bounds
+  // how much locality realistic traffic buys over the uniform sweep.
+  std::vector<u32> zipf_pool(pool.size());
+  {
+    gen::ZipfSampler zipf(static_cast<u32>(pool.size()), 1.0);
+    Rng rng(78);
+    for (auto& key : zipf_pool) key = pool[zipf.sample(rng)];
+  }
+  const Phase zipf_idle = run_phase(fib, updater, zipf_pool, {}, 0, window);
   updater.stop();
 
   std::printf("\n%-32s %10.3f Mpps\n", "lookup rate, idle control plane", idle.mpps);
@@ -127,12 +141,16 @@ int main(int argc, char** argv) {
               churn.mpps, static_cast<unsigned long long>(churn.updates), churn.updates_per_s);
   std::printf("%-32s %10.3f\n", "retention (churn / idle)",
               idle.mpps > 0 ? churn.mpps / idle.mpps : 0.0);
+  std::printf("%-32s %10.3f Mpps (%.3fx uniform)\n", "lookup rate, Zipf-popularity keys",
+              zipf_idle.mpps, idle.mpps > 0 ? zipf_idle.mpps / idle.mpps : 0.0);
 
   telemetry::BenchLine line("fib_churn");
   line.field("prefixes", static_cast<u64>(prefixes));
   line.fixed("wall_lookup_mpps_idle", idle.mpps, 3);
   line.fixed("wall_lookup_mpps_churn10k", churn.mpps, 3);
   line.fixed("churn_retention", idle.mpps > 0 ? churn.mpps / idle.mpps : 0.0, 3);
+  line.fixed("wall_lookup_mpps_zipf", zipf_idle.mpps, 3);
+  line.fixed("zipf_pool_locality", idle.mpps > 0 ? zipf_idle.mpps / idle.mpps : 0.0, 3);
   line.field("wall_updates_applied", churn.updates);
   line.fixed("wall_updates_per_s", churn.updates_per_s, 0);
   bench::emit_bench(line);

@@ -13,17 +13,17 @@
 
 namespace {
 
-ps::core::ModelResult run_ipv4(const ps::route::Ipv4Table& table,
-                               const std::vector<ps::u32>& dst_pool, ps::u32 frame_size,
-                               bool use_gpu, bool batched, ps::u64 packets,
-                               ps::integrity::IntegrityChecker* checker = nullptr) {
+ps::core::ModelResult run_shaped(const ps::route::Ipv4Table& table,
+                                 const std::vector<ps::u32>& dst_pool,
+                                 ps::gen::TrafficConfig tcfg, bool use_gpu, bool batched,
+                                 ps::u64 packets,
+                                 ps::integrity::IntegrityChecker* checker = nullptr) {
   using namespace ps;
   core::TestbedConfig cfg{.topo = pcie::Topology::paper_server(),
                           .use_gpu = use_gpu,
                           .ring_size = 4096};
   core::RouterConfig rcfg{.use_gpu = use_gpu};
   core::Testbed testbed(cfg, rcfg);
-  gen::TrafficConfig tcfg{.frame_size = frame_size, .seed = 7};
   tcfg.ipv4_dst_pool = dst_pool;
   gen::TrafficGen traffic(tcfg);
   testbed.connect_sink(&traffic);
@@ -32,6 +32,14 @@ ps::core::ModelResult run_ipv4(const ps::route::Ipv4Table& table,
   core::ModelDriver driver(testbed, &app, rcfg);
   if (checker != nullptr) driver.set_integrity(checker);
   return driver.run(traffic, packets);
+}
+
+ps::core::ModelResult run_ipv4(const ps::route::Ipv4Table& table,
+                               const std::vector<ps::u32>& dst_pool, ps::u32 frame_size,
+                               bool use_gpu, bool batched, ps::u64 packets,
+                               ps::integrity::IntegrityChecker* checker = nullptr) {
+  return run_shaped(table, dst_pool, {.frame_size = frame_size, .seed = 7}, use_gpu, batched,
+                    packets, checker);
 }
 
 }  // namespace
@@ -87,6 +95,23 @@ int main(int argc, char** argv) {
   std::printf("CPU-only 64 B integrity ablation: off %.2f Mpps, on %.2f Mpps (retention %.3f)\n",
               batch64.mpps, integ64.mpps, retention);
 
+  // Realistic load shapes (DESIGN.md §18), both on the CPU+GPU path: the
+  // 7:4:1 IMIX frame-size mix, and 64 B frames whose flow popularity is
+  // Zipf(1.0)-skewed across one million distinct flows (all destinations
+  // still drawn from the covered pool, so every packet forwards). Both
+  // are deterministic model metrics — imix_mpps / zipf1m_mpps are what
+  // the nightly bench gate diffs.
+  const auto imix = run_shaped(table, dst_pool, {.seed = 7, .size_dist = gen::SizeDist::kImix},
+                               true, true, packets);
+  const auto zipf1m = run_shaped(table, dst_pool,
+                                 {.frame_size = 64,
+                                  .seed = 7,
+                                  .flow_count = 1'000'000,
+                                  .flow_dist = gen::FlowDist::kZipf},
+                                 true, true, packets);
+  std::printf("CPU+GPU realistic shapes: IMIX %.2f Mpps (%.1f Gbps), Zipf-1M flows %.2f Mpps\n",
+              imix.mpps, imix.input_gbps, zipf1m.mpps);
+
   telemetry::BenchLine line("fig11a_ipv4");
   line.field("frame_size", 64);
   line.fixed("cpu64_scalar_mpps", scalar64.mpps, 3);
@@ -97,6 +122,9 @@ int main(int argc, char** argv) {
   line.fixed("cpu64_integrity_mpps", integ64.mpps, 3);
   line.fixed("integrity_retention", retention, 3);
   line.fixed("gpu64_gbps", gpu64, 2);
+  line.fixed("imix_mpps", imix.mpps, 3);
+  line.fixed("imix_gbps", imix.input_gbps, 2);
+  line.fixed("zipf1m_mpps", zipf1m.mpps, 3);
   bench::emit_bench(line);
 
   bench::print_comparisons({

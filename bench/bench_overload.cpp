@@ -70,13 +70,13 @@ struct Harness {
   CostlyShader shader;
   core::Router router;
 
-  Harness()
+  explicit Harness(gen::TrafficConfig tcfg = {.frame_size = 64, .seed = 7})
       : testbed({.topo = pcie::Topology::single_node(),
                  .use_gpu = true,
                  .ring_size = 4096,
                  .gpu_pool_workers = 0},
                 core::RouterConfig{.use_gpu = true}),
-        traffic({.frame_size = 64, .seed = 7}),
+        traffic(tcfg),
         router(testbed.engine(), testbed.gpus(), shader,
                core::RouterConfig{.use_gpu = true, .chunk_capacity = 64,
                                   .master_queue_capacity = 8}) {
@@ -88,8 +88,9 @@ struct Harness {
 
 /// Unpaced flood for `window`: the router's sustained drain rate is its
 /// capacity.
-double measure_capacity_pps(std::chrono::milliseconds window) {
-  Harness h;
+double measure_capacity_pps(std::chrono::milliseconds window,
+                            gen::TrafficConfig tcfg = {.frame_size = 64, .seed = 7}) {
+  Harness h(tcfg);
   h.traffic.offer(h.testbed.ports(), 4'096);  // prime the rings
   const u64 sunk0 = h.traffic.sunk_packets();
   const auto t0 = Clock::now();
@@ -216,6 +217,20 @@ int main() {
   const auto& at4x = points.back();
   const double retention = peak > 0 ? at4x.goodput_pps / peak : 0.0;
 
+  // Realistic-shape capacity (DESIGN.md §18): the same unpaced-flood
+  // ceiling under the IMIX size mix and under Zipf(1.0) popularity over
+  // one million distinct flows. Wall-clock on a shared host, so emitted
+  // under the wall_ prefix the nightly gate records but does not diff.
+  const double imix_pps = measure_capacity_pps(
+      400ms, {.seed = 7, .size_dist = gen::SizeDist::kImix});
+  const double zipf1m_pps = measure_capacity_pps(
+      400ms, {.frame_size = 64,
+              .seed = 7,
+              .flow_count = 1'000'000,
+              .flow_dist = gen::FlowDist::kZipf});
+  std::printf("\nrealistic-shape capacity: IMIX %.0f pps, Zipf-1M flows %.0f pps\n",
+              imix_pps, zipf1m_pps);
+
   bench::print_comparisons({
       {"goodput at 4x / peak goodput (>= 0.85)", 1.0, retention},
   });
@@ -225,6 +240,8 @@ int main() {
   line.fixed("capacity_pps", capacity_pps, 0)
       .fixed("peak_goodput_pps", peak, 0)
       .fixed("goodput_retention_at_4x", retention, 3)
+      .fixed("wall_imix_capacity_pps", imix_pps, 0)
+      .fixed("wall_zipf1m_capacity_pps", zipf1m_pps, 0)
       .array("points");
   for (const auto& p : points) {
     line.object()

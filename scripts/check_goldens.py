@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Verify the golden pcap corpus against its checksum manifest.
+
+tests/data/MANIFEST.sha256 pins every committed capture byte-for-byte.
+Any drift — a regenerated pcap that was not re-blessed, a manifest edit
+without the matching capture, a capture added without a manifest row —
+fails with the regeneration hint. scripts/regen_goldens.sh rebuilds the
+corpus AND the manifest together; nothing else should touch either.
+"""
+
+import argparse
+import hashlib
+import os
+import sys
+
+REGEN_HINT = ("run scripts/regen_goldens.sh to regenerate the corpus and "
+              "manifest together, then commit both")
+
+
+def sha256_of(path):
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 16), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--data-dir", default="tests/data",
+                    help="corpus directory holding the pcaps and manifest")
+    args = ap.parse_args(argv)
+
+    manifest_path = os.path.join(args.data_dir, "MANIFEST.sha256")
+    if not os.path.isfile(manifest_path):
+        print("check_goldens: missing %s; %s" % (manifest_path, REGEN_HINT))
+        return 1
+
+    expected = {}
+    with open(manifest_path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                print("check_goldens: malformed manifest line %d: %r" % (lineno, line))
+                return 1
+            digest, name = parts
+            expected[name] = digest
+
+    failures = []
+    for name, digest in sorted(expected.items()):
+        path = os.path.join(args.data_dir, name)
+        if not os.path.isfile(path):
+            failures.append("%s: listed in manifest but missing from %s"
+                            % (name, args.data_dir))
+            continue
+        actual = sha256_of(path)
+        if actual != digest:
+            failures.append("%s: checksum drift (manifest %s..., file %s...)"
+                            % (name, digest[:12], actual[:12]))
+
+    on_disk = {n for n in os.listdir(args.data_dir) if n.endswith(".pcap")}
+    for name in sorted(on_disk - set(expected)):
+        failures.append("%s: present in %s but not pinned by the manifest"
+                        % (name, args.data_dir))
+
+    if failures:
+        for f in failures:
+            print("check_goldens: %s" % f)
+        print("check_goldens: %d problem(s); %s" % (len(failures), REGEN_HINT))
+        return 1
+    print("check_goldens: %d capture(s) match the manifest" % len(expected))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

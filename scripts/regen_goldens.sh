@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerate the golden pcap corpus (tests/data) and its checksum
+# manifest in one step. Run after any intentional change to packet
+# construction, routing behaviour, or the corpus definitions in
+# src/cap/golden.cpp, then commit the new pcaps and MANIFEST.sha256
+# together. The GoldenManifest ctest and the ExpectGolden tests fail
+# until both are re-blessed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+DATA_DIR=tests/data
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target make_goldens -j "$(nproc)"
+
+mkdir -p "$DATA_DIR"
+"$BUILD_DIR"/tools/make_goldens/make_goldens "$DATA_DIR"
+
+(
+  cd "$DATA_DIR"
+  : > MANIFEST.sha256
+  for f in $(ls *.pcap | sort); do
+    sha256sum "$f" >> MANIFEST.sha256
+  done
+)
+
+echo "regenerated corpus:"
+cat "$DATA_DIR"/MANIFEST.sha256
+python3 scripts/check_goldens.py --data-dir "$DATA_DIR"

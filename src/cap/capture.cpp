@@ -1,0 +1,26 @@
+#include "cap/capture.hpp"
+
+namespace ps::cap {
+
+void PortTap::on_frame(int port, std::span<const u8> frame) {
+  if (port_filter_ < 0 || port == port_filter_) {
+    writer_.on_frame(port, frame);
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+  }
+  if (downstream_ != nullptr) downstream_->on_frame(port, frame);
+}
+
+void PortTap::register_metrics(telemetry::MetricsRegistry& registry) {
+  registry.register_probe("cap.tap.frames", telemetry::MetricKind::kCounter,
+                          [this] { return frames_tapped(); });
+  registry.register_probe("cap.tap.bytes", telemetry::MetricKind::kCounter,
+                          [this] { return bytes_tapped(); });
+}
+
+void attach_tx_tap(nic::NicPort& port, PortTap& tap) {
+  tap.set_downstream(port.wire_sink());
+  port.set_wire_sink(&tap);
+}
+
+}  // namespace ps::cap

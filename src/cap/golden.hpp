@@ -1,0 +1,44 @@
+// Golden corpus definitions (DESIGN.md §18): the three committed captures
+// the replay-gate CI job routes through the full router and compares
+// against expected TX. Everything here is shared between the expect tests
+// and the regeneration tool (tools/make_goldens), so the corpus can never
+// drift between "what the test replays" and "what the tool regenerates".
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "cap/expect.hpp"
+
+namespace ps::cap {
+
+enum class Corpus : u8 {
+  kIpv4Imix,  // IPv4 forwarding over a real-histogram RIB, IMIX sizes
+  kIpv6,      // IPv6 forwarding (128-bit LPM), mixed flows
+  kIpsec,     // ESP tunnel encapsulation (crypto determinism end to end)
+};
+
+inline constexpr std::array<Corpus, 3> kAllCorpora = {Corpus::kIpv4Imix, Corpus::kIpv6,
+                                                      Corpus::kIpsec};
+
+/// Stable corpus slug: "ipv4_imix", "ipv6", "ipsec".
+const char* corpus_name(Corpus corpus);
+
+/// Paths under the committed corpus directory (tests/data).
+std::string corpus_input_path(const std::string& data_dir, Corpus corpus);
+std::string corpus_golden_path(const std::string& data_dir, Corpus corpus);
+
+/// Number of frames each corpus input carries.
+u64 corpus_frame_count(Corpus corpus);
+
+/// Synthesize the corpus input capture deterministically (seeded
+/// generator, synthetic pcap clock) and write it to `path`. Regenerating
+/// yields byte-identical files — the checksum manifest depends on it.
+void write_corpus_input(Corpus corpus, const std::string& path);
+
+/// Replay the capture at `input_path` through the full router configured
+/// for `corpus` (paper-server testbed, GPU path, inline deterministic
+/// execution) and return the canonicalized TX frames.
+FrameList route_corpus(Corpus corpus, const std::string& input_path);
+
+}  // namespace ps::cap

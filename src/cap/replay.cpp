@@ -1,0 +1,77 @@
+#include "cap/replay.hpp"
+
+namespace ps::cap {
+
+PcapReplayer::PcapReplayer(const std::string& path, ReplayConfig config)
+    : config_(config), records_(gen::read_pcap_records(path)) {
+  if (records_.empty()) return;
+  base_ = records_.front().timestamp;
+  for (const auto& rec : records_) total_wire_bytes_ += wire_bytes(rec.bytes.size());
+
+  if (config_.rate == ReplayRate::kFixed) {
+    // Cumulative serialization schedule: frame i goes out once frames
+    // 0..i-1 have finished serializing at fixed_gbps.
+    fixed_due_.resize(records_.size());
+    const double gbps = config_.fixed_gbps > 0 ? config_.fixed_gbps : 1.0;
+    double cum_bits = 0.0;
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      fixed_due_[i] = static_cast<Picos>(cum_bits / gbps * 1e3);  // bits / (Gbit/s) -> ps
+      cum_bits += static_cast<double>(wire_bytes(records_[i].bytes.size())) * 8.0;
+    }
+  }
+}
+
+Picos PcapReplayer::due_time(u64 record) const {
+  switch (config_.rate) {
+    case ReplayRate::kRecorded:
+      return records_[record].timestamp - base_;
+    case ReplayRate::kFixed:
+      return fixed_due_[record];
+    case ReplayRate::kMax:
+      return 0;
+  }
+  return 0;
+}
+
+double PcapReplayer::mean_wire_bytes() const {
+  if (records_.empty()) return 0.0;
+  return static_cast<double>(total_wire_bytes_) / static_cast<double>(records_.size());
+}
+
+gen::OfferResult PcapReplayer::offer_some(std::span<nic::NicPort* const> ports,
+                                          u64 max_frames) {
+  gen::OfferResult result;
+  if (ports.empty()) return result;
+  while (result.offered < max_frames && !exhausted()) {
+    const auto& rec = records_[cursor_];
+    clock_ = pass_offset_ + due_time(cursor_);
+    nic::NicPort* port =
+        ports[emitted_.load(std::memory_order_relaxed) % ports.size()];
+    ++result.offered;
+    emitted_.fetch_add(1, std::memory_order_relaxed);
+    if (port->receive_frame(rec.bytes)) ++result.accepted;
+    if (++cursor_ >= records_.size()) {
+      ++loops_done_;
+      cursor_ = 0;
+      // Looped passes are separated by one microsecond of virtual time so
+      // the schedule stays strictly ordered.
+      pass_offset_ = clock_ + kPicosPerMicro;
+    }
+  }
+  return result;
+}
+
+void PcapReplayer::rewind() {
+  cursor_ = 0;
+  loops_done_ = 0;
+  clock_ = 0;
+  pass_offset_ = 0;
+  emitted_.store(0, std::memory_order_relaxed);
+}
+
+void PcapReplayer::register_metrics(telemetry::MetricsRegistry& registry) {
+  registry.register_probe("cap.replay.frames", telemetry::MetricKind::kCounter,
+                          [this] { return frames_emitted(); });
+}
+
+}  // namespace ps::cap

@@ -1,0 +1,81 @@
+// Replay side of ps::cap (DESIGN.md §18): plays a pcap capture back into
+// NIC ports through the FrameSource interface, so a recorded workload
+// becomes a reproducible bench/test input. Pacing is deterministic by
+// construction — the emission schedule is a pure function of the capture's
+// recorded timestamps (kRecorded), the configured rate (kFixed), or
+// nothing (kMax); no wall clock is ever consulted.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/atomic_shim.hpp"
+#include "gen/pcap.hpp"
+#include "gen/source.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ps::cap {
+
+enum class ReplayRate : u8 {
+  kRecorded,  // preserve the capture's inter-arrival gaps
+  kFixed,     // constant wire rate (fixed_gbps)
+  kMax,       // as fast as the rings accept (back-to-back)
+};
+
+struct ReplayConfig {
+  ReplayRate rate = ReplayRate::kRecorded;
+  double fixed_gbps = 10.0;  // kFixed only
+  /// Times to play the capture end to end; 0 = loop forever (benches).
+  u32 loop_count = 1;
+};
+
+class PcapReplayer final : public gen::FrameSource {
+ public:
+  explicit PcapReplayer(const std::string& path, ReplayConfig config = {});
+
+  bool ok() const { return !records_.empty(); }
+  const ReplayConfig& config() const { return config_; }
+  u64 frames_loaded() const { return records_.size(); }
+  const std::vector<gen::PcapRecord>& records() const { return records_; }
+
+  /// Virtual injection time of record `i` within one pass: the capture's
+  /// recorded gap structure rebased to zero (kRecorded), back-to-back
+  /// wire serialization at fixed_gbps (kFixed), or zero (kMax). The
+  /// round-trip determinism test asserts replay reproduces exactly this
+  /// schedule — identical frame sequence, identical inter-arrival gaps.
+  Picos due_time(u64 record) const;
+
+  // --- FrameSource -----------------------------------------------------------
+  gen::OfferResult offer_some(std::span<nic::NicPort* const> ports, u64 max_frames) override;
+  bool exhausted() const override {
+    return records_.empty() || (config_.loop_count != 0 && loops_done_ >= config_.loop_count);
+  }
+  double mean_wire_bytes() const override;
+
+  /// Restart from the first record (clock and counters reset).
+  void rewind();
+
+  u64 frames_emitted() const { return emitted_.load(std::memory_order_relaxed); }
+  /// Virtual wire clock: due time of the last emitted frame.
+  Picos clock() const { return clock_; }
+
+  /// Expose the replayer under `cap.replay.*` (registry-sync'd with the
+  /// README metric table): cap.replay.frames.
+  void register_metrics(telemetry::MetricsRegistry& registry);
+
+ private:
+  ReplayConfig config_;
+  std::vector<gen::PcapRecord> records_;
+  std::vector<Picos> fixed_due_;  // kFixed: cumulative wire-serialization times
+  Picos base_ = 0;                // first record's recorded timestamp
+  u64 total_wire_bytes_ = 0;
+  u64 cursor_ = 0;       // next record within the current pass
+  u32 loops_done_ = 0;
+  Picos clock_ = 0;
+  Picos pass_offset_ = 0;  // virtual time at the start of the current pass
+  // mc: cap.replay -- relaxed emission counter (driver-thread writer)
+  ps::atomic<u64> emitted_{0};
+};
+
+}  // namespace ps::cap

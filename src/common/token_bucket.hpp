@@ -7,6 +7,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/types.hpp"
 
@@ -32,12 +33,17 @@ class TokenBucket {
   }
 
   /// Earliest model time at which `cost` tokens will be available
-  /// (== now when they already are).
+  /// (== now when they already are). When short, the result is strictly
+  /// later than `now`: the wait is rounded up and floored at 1 ps, so a
+  /// caller looping `now = next_available(now)` always makes progress
+  /// even when float rounding leaves the deficit below one picosecond's
+  /// worth of refill.
   Picos next_available(Picos now, double cost = 1.0) {
     refill(now);
     if (tokens_ >= cost) return now;
     const double deficit = cost - tokens_;
-    return now + static_cast<Picos>(deficit / rate_ * 1e12);
+    const auto wait = static_cast<Picos>(std::ceil(deficit / rate_ * 1e12));
+    return now + std::max<Picos>(wait, 1);
   }
 
   double tokens_at(Picos now) {

@@ -121,6 +121,16 @@ void ModelDriver::process_chunk_cpu(WorkerCtx& worker, ShaderJob& job) {
 }
 
 ModelResult ModelDriver::run(gen::TrafficGen& traffic, u64 target_packets) {
+  return run_impl(traffic, &traffic, target_packets);
+}
+
+ModelResult ModelDriver::run(gen::FrameSource& source, u64 target_packets) {
+  assert(io_mode_ != IoMode::kTxOnly && "TX-only mode requires the TrafficGen overload");
+  return run_impl(source, nullptr, target_packets);
+}
+
+ModelResult ModelDriver::run_impl(gen::FrameSource& source, gen::TrafficGen* txonly_traffic,
+                                  u64 target_packets) {
   const auto& topo = testbed_.topology();
   const int wpn = testbed_.workers_per_node();
   const int active_per_node = active_workers_ > 0 ? std::min(active_workers_, wpn) : wpn;
@@ -166,11 +176,14 @@ ModelResult ModelDriver::run(gen::TrafficGen& traffic, u64 target_packets) {
     return std::make_unique<ShaderJob>(config_.chunk_capacity);
   };
 
-  const u64 in_frame_wire = wire_bytes(traffic.config().frame_size);
+  // Variable-size sources (IMIX, captures) report their exact mean so the
+  // accepted-frames -> input-Gbps conversion stays honest.
+  const double in_mean_wire = source.mean_wire_bytes();
   // Keep the RX queues deep enough that recv_chunk mostly fetches full
   // batches — the steady-state condition of the saturated-router figures.
   const u64 slice = std::max<u64>(
       static_cast<u64>(testbed_.ports().size()) * config_.chunk_capacity * 4, 64);
+  bool source_dry = false;  // finite source produced nothing this pass
 
   // Loop-invariant scratch hoisted out of the steady-state loop below so
   // the modelled data path does not allocate per slice.
@@ -182,8 +195,10 @@ ModelResult ModelDriver::run(gen::TrafficGen& traffic, u64 target_packets) {
   while (result.offered < target_packets) {
     // --- offered load -------------------------------------------------------
     if (io_mode_ != IoMode::kTxOnly) {
-      result.accepted += traffic.offer(testbed_.ports(), slice);
-      result.offered += slice;
+      const gen::OfferResult offered = source.offer_some(testbed_.ports(), slice);
+      result.offered += offered.offered;
+      result.accepted += offered.accepted;
+      source_dry = offered.offered == 0;
     }
 
     // --- worker RX + pre-shading -------------------------------------------
@@ -202,7 +217,7 @@ ModelResult ModelDriver::run(gen::TrafficGen& traffic, u64 target_packets) {
         while (made < per_worker) {
           JobPtr job = acquire();
           while (job->chunk.count() < job->chunk.max_packets() && made < per_worker) {
-            job->chunk.append(traffic.next_frame());
+            job->chunk.append(txonly_traffic->next_frame());
             ++made;
           }
           for (u32 i = 0; i < job->chunk.count(); ++i) {
@@ -329,12 +344,18 @@ ModelResult ModelDriver::run(gen::TrafficGen& traffic, u64 target_packets) {
         }
       }
     }
+
+    // A drained finite source ends the run: each pass fully empties the
+    // rings (workers drain until recv_chunk returns 0) and the GPU batches
+    // above, so nothing is still in flight when the source goes dry.
+    if (source_dry && io_mode_ != IoMode::kTxOnly) break;
   }
 
   const Picos t = ledger_.bottleneck_time();
   result.bottleneck = ledger_.bottleneck_name();
   if (t > 0) {
-    result.input_gbps = to_gbps(result.accepted * in_frame_wire, t);
+    result.input_gbps =
+        to_gbps(static_cast<u64>(static_cast<double>(result.accepted) * in_mean_wire + 0.5), t);
     u64 tx_bytes = 0;
     u64 tx_packets = 0;
     for (auto* port : testbed_.ports()) {

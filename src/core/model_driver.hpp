@@ -13,6 +13,7 @@
 
 #include "core/shader.hpp"
 #include "core/testbed.hpp"
+#include "gen/source.hpp"
 #include "gen/traffic.hpp"
 #include "integrity/integrity.hpp"
 
@@ -43,6 +44,13 @@ class ModelDriver {
   /// throughput.
   ModelResult run(gen::TrafficGen& traffic, u64 target_packets);
 
+  /// Same, fed by any FrameSource (e.g. cap::PcapReplayer). A finite
+  /// source ends the run early: when it stops producing, everything
+  /// already in the rings has been drained and the result covers exactly
+  /// the frames the source emitted. Not valid with IoMode::kTxOnly (TX
+  /// synthesis needs the generator itself).
+  ModelResult run(gen::FrameSource& source, u64 target_packets);
+
   /// Minimal-forwarding behaviour flags.
   void set_node_crossing(bool v) { node_crossing_ = v; }
   /// Restrict the run to the first `n` worker cores (0 = all); used by the
@@ -65,6 +73,11 @@ class ModelDriver {
   void set_integrity(integrity::IntegrityChecker* checker) { integrity_ = checker; }
 
  private:
+  /// Shared pipeline loop: `txonly_traffic` is non-null only for the
+  /// TrafficGen overload (TX-only mode synthesizes frames directly).
+  ModelResult run_impl(gen::FrameSource& source, gen::TrafficGen* txonly_traffic,
+                       u64 target_packets);
+
   struct WorkerCtx {
     int core = 0;
     int node = 0;

@@ -48,4 +48,8 @@ void Testbed::connect_sink(nic::WireSink* sink) {
   for (auto& port : ports_) port->set_wire_sink(sink);
 }
 
+void Testbed::connect_rx_tap(nic::WireSink* tap) {
+  for (auto& port : ports_) port->set_rx_tap(tap);
+}
+
 }  // namespace ps::core

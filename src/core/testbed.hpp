@@ -49,6 +49,11 @@ class Testbed {
   /// Point every port's TX at `sink` (e.g. the traffic generator).
   void connect_sink(nic::WireSink* sink);
 
+  /// Attach an RX-side wire tap to every port (ps::cap live capture;
+  /// null detaches). The tap sees every arriving frame before NIC-side
+  /// drop decisions — passive-optical-tap semantics (DESIGN.md §18).
+  void connect_rx_tap(nic::WireSink* tap);
+
   int workers_per_node() const { return workers_per_node_; }
 
  private:

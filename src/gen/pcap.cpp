@@ -20,8 +20,10 @@ void put_u16(std::ofstream& out, u16 v) { out.write(reinterpret_cast<const char*
 
 }  // namespace
 
-PcapWriter::PcapWriter(const std::string& path)
-    : out_(path, std::ios::binary | std::ios::trunc) {
+PcapWriter::PcapWriter(const std::string& path, PcapClock clock)
+    : out_(path, std::ios::binary | std::ios::trunc),
+      clock_(clock),
+      epoch_(std::chrono::steady_clock::now()) {
   MutexLock lock(mu_);
   if (out_) write_header();
 }
@@ -38,25 +40,23 @@ void PcapWriter::write_header() {
   put_u32(out_, kLinkTypeEthernet);
 }
 
-void PcapWriter::on_frame(int /*port*/, std::span<const u8> frame) {
-  // Wire-sink use has no model clock: synthesize strictly increasing
-  // microsecond timestamps so captures stay sorted.
-  MutexLock lock(mu_);
-  if (!out_) return;
-  const Picos ts = synthetic_clock_;
-  synthetic_clock_ += kPicosPerMicro;
-  put_u32(out_, static_cast<u32>(ts / kPicosPerSec));
-  put_u32(out_, static_cast<u32>((ts % kPicosPerSec) / kPicosPerMicro));
-  put_u32(out_, static_cast<u32>(frame.size()));
-  put_u32(out_, static_cast<u32>(frame.size()));
-  out_.write(reinterpret_cast<const char*>(frame.data()),
-             static_cast<std::streamsize>(frame.size()));
-  ++frames_;
+Picos PcapWriter::capture_now() {
+  if (clock_ == PcapClock::kSynthetic) {
+    const Picos ts = synthetic_clock_;
+    synthetic_clock_ += kPicosPerMicro;
+    return ts;
+  }
+  // Monotonic capture clock: microseconds elapsed since construction.
+  // steady_clock never goes backwards, but clamp anyway so the replay
+  // invariant (non-decreasing record timestamps) holds by construction.
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  const Picos ts =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count() * kPicosPerMicro;
+  last_timestamp_ = std::max(last_timestamp_, ts);
+  return last_timestamp_;
 }
 
-void PcapWriter::write(std::span<const u8> frame, Picos timestamp) {
-  MutexLock lock(mu_);
-  if (!out_) return;
+void PcapWriter::write_record(std::span<const u8> frame, Picos timestamp) {
   put_u32(out_, static_cast<u32>(timestamp / kPicosPerSec));
   put_u32(out_, static_cast<u32>((timestamp % kPicosPerSec) / kPicosPerMicro));
   put_u32(out_, static_cast<u32>(frame.size()));
@@ -66,33 +66,56 @@ void PcapWriter::write(std::span<const u8> frame, Picos timestamp) {
   ++frames_;
 }
 
+void PcapWriter::on_frame(int /*port*/, std::span<const u8> frame) {
+  MutexLock lock(mu_);
+  if (!out_) return;
+  write_record(frame, capture_now());
+}
+
+void PcapWriter::write(std::span<const u8> frame, Picos timestamp) {
+  MutexLock lock(mu_);
+  if (!out_) return;
+  write_record(frame, timestamp);
+}
+
 void PcapWriter::flush() {
   MutexLock lock(mu_);
   if (out_) out_.flush();
 }
 
 std::vector<std::vector<u8>> read_pcap(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
   std::vector<std::vector<u8>> frames;
-  if (!in) return frames;
+  for (auto& record : read_pcap_records(path)) frames.push_back(std::move(record.bytes));
+  return frames;
+}
+
+std::vector<PcapRecord> read_pcap_records(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<PcapRecord> records;
+  if (!in) return records;
 
   u8 header[24];
-  if (!in.read(reinterpret_cast<char*>(header), sizeof(header))) return frames;
+  if (!in.read(reinterpret_cast<char*>(header), sizeof(header))) return records;
   u32 magic;
   std::memcpy(&magic, header, 4);
-  if (magic != kMagic) return frames;
+  if (magic != kMagic) return records;
 
   while (true) {
     u8 record[16];
     if (!in.read(reinterpret_cast<char*>(record), sizeof(record))) break;
-    u32 caplen;
+    u32 sec, usec, caplen;
+    std::memcpy(&sec, record, 4);
+    std::memcpy(&usec, record + 4, 4);
     std::memcpy(&caplen, record + 8, 4);
     if (caplen > kSnapLen) break;  // corrupt
-    std::vector<u8> frame(caplen);
-    if (!in.read(reinterpret_cast<char*>(frame.data()), caplen)) break;
-    frames.push_back(std::move(frame));
+    PcapRecord rec;
+    rec.timestamp = static_cast<Picos>(sec) * kPicosPerSec +
+                    static_cast<Picos>(usec) * kPicosPerMicro;
+    rec.bytes.resize(caplen);
+    if (!in.read(reinterpret_cast<char*>(rec.bytes.data()), caplen)) break;
+    records.push_back(std::move(rec));
   }
-  return frames;
+  return records;
 }
 
 }  // namespace ps::gen

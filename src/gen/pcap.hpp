@@ -3,6 +3,7 @@
 // Wireshark — the debugging loop a real deployment would have.
 #pragma once
 
+#include <chrono>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -13,12 +14,33 @@
 
 namespace ps::gen {
 
+/// Where a capture's record timestamps come from (DESIGN.md §18). Both
+/// modes share one epoch convention — time zero is the start of the
+/// capture, not a wall-clock date — so replay-at-recorded-rate only ever
+/// depends on inter-arrival gaps, never on when the capture was taken.
+enum class PcapClock : u8 {
+  /// Deterministic: frame i is stamped i microseconds after the first
+  /// frame (epoch = first frame written). Byte-identical captures
+  /// run-to-run — the mode golden corpora and tests use.
+  kSynthetic,
+  /// Wall-capture: microseconds of std::chrono::steady_clock elapsed
+  /// since the writer was constructed (epoch = writer construction),
+  /// clamped non-decreasing so a capture is always replayable in order.
+  kMonotonic,
+};
+
+/// One parsed capture record: capture timestamp (picoseconds from the
+/// file's epoch, microsecond granularity on disk) plus the frame bytes.
+struct PcapRecord {
+  Picos timestamp = 0;
+  std::vector<u8> bytes;
+};
+
 /// A WireSink that writes every frame to a pcap file (LINKTYPE_ETHERNET).
-/// Timestamps count simulated microseconds from the first frame; thread-
-/// safe so it can sit behind the multithreaded Router.
+/// Thread-safe so it can sit behind the multithreaded Router.
 class PcapWriter final : public nic::WireSink {
  public:
-  explicit PcapWriter(const std::string& path);
+  explicit PcapWriter(const std::string& path, PcapClock clock = PcapClock::kSynthetic);
   ~PcapWriter() override;
 
   bool ok() const {
@@ -28,7 +50,8 @@ class PcapWriter final : public nic::WireSink {
 
   void on_frame(int port, std::span<const u8> frame) override;
 
-  /// Write a frame with an explicit timestamp (model time).
+  /// Write a frame with an explicit timestamp (model time from the run's
+  /// epoch). Callers own ordering; replay requires non-decreasing stamps.
   void write(std::span<const u8> frame, Picos timestamp);
 
   u64 frames_written() const {
@@ -40,15 +63,24 @@ class PcapWriter final : public nic::WireSink {
 
  private:
   void write_header() REQUIRES(mu_);
+  void write_record(std::span<const u8> frame, Picos timestamp) REQUIRES(mu_);
+  Picos capture_now() REQUIRES(mu_);
 
   mutable Mutex mu_;
   std::ofstream out_ GUARDED_BY(mu_);
   u64 frames_ GUARDED_BY(mu_) = 0;
+  PcapClock clock_;
+  std::chrono::steady_clock::time_point epoch_;  // kMonotonic: construction
   Picos synthetic_clock_ GUARDED_BY(mu_) = 0;
+  Picos last_timestamp_ GUARDED_BY(mu_) = 0;  // non-decreasing clamp
 };
 
 /// Minimal pcap reader used by tests and tooling: returns the frames in a
 /// capture file (empty on malformed input).
 std::vector<std::vector<u8>> read_pcap(const std::string& path);
+
+/// Full reader: frames plus their capture timestamps (picoseconds from
+/// the capture's epoch). The replayer's input.
+std::vector<PcapRecord> read_pcap_records(const std::string& path);
 
 }  // namespace ps::gen

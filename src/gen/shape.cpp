@@ -1,0 +1,38 @@
+#include "gen/shape.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ps::gen {
+
+double imix_mean_wire_bytes() {
+  u64 total = 0;
+  for (u32 size : kImixPattern) total += wire_bytes(size);
+  return static_cast<double>(total) / static_cast<double>(kImixPattern.size());
+}
+
+ZipfSampler::ZipfSampler(u32 n, double exponent) : exponent_(exponent) {
+  if (n == 0) n = 1;
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (u32 r = 0; r < n; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r) + 1.0, exponent_);
+    cdf_[r] = sum;
+  }
+  norm_ = sum;
+  const double inv = 1.0 / sum;
+  for (auto& c : cdf_) c *= inv;
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+u32 ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<u32>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(u32 r) const {
+  return 1.0 / std::pow(static_cast<double>(r) + 1.0, exponent_) / norm_;
+}
+
+}  // namespace ps::gen

@@ -1,0 +1,57 @@
+// Realistic load shapes (DESIGN.md §18): the frame-size mixes and flow
+// popularity distributions that separate honest benchmark numbers from the
+// uniform-random traffic real routers never see. Everything here is
+// deterministic (seeded Rng) and allocation-free after construction, per
+// the steady-state invariant of §13.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace ps::gen {
+
+/// The canonical simple-IMIX frame-size pattern: 7 x 64 B, 4 x 594 B and
+/// 1 x 1518 B per 12-frame window, interleaved so every window carries the
+/// exact 7:4:1 ratio (tests assert the fractions are exact over any
+/// aligned window, not just in the limit).
+inline constexpr std::array<u32, 12> kImixPattern = {
+    64, 594, 64, 64, 1518, 64, 594, 64, 594, 64, 64, 594,
+};
+
+/// Mean wire bytes (frame + Ethernet overhead) of one IMIX window frame.
+double imix_mean_wire_bytes();
+
+/// Frame size for position `sequence` of an IMIX stream.
+inline u32 imix_frame_size(u64 sequence) {
+  return kImixPattern[sequence % kImixPattern.size()];
+}
+
+/// Zipf(s) sampler over ranks [0, n): rank r is drawn with probability
+/// proportional to 1 / (r+1)^s. Implemented as an exact CDF table —
+/// O(n) doubles at construction, O(log n) binary search per sample, zero
+/// allocation in steady state, and valid for any exponent including the
+/// classic s = 1.0 (where rejection-inversion shortcuts break down).
+/// A few million flows costs a few tens of MB of table, paid once.
+class ZipfSampler {
+ public:
+  ZipfSampler(u32 n, double exponent);
+
+  u32 size() const { return static_cast<u32>(cdf_.size()); }
+  double exponent() const { return exponent_; }
+
+  /// Draw one rank in [0, n). Deterministic given the Rng state.
+  u32 sample(Rng& rng) const;
+
+  /// Exact probability of rank `r` under the distribution.
+  double probability(u32 r) const;
+
+ private:
+  double exponent_;
+  double norm_ = 1.0;          // generalized harmonic number H_{n,s}
+  std::vector<double> cdf_;    // cdf_[r] = P(rank <= r), cdf_.back() == 1
+};
+
+}  // namespace ps::gen

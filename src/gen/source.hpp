@@ -1,0 +1,40 @@
+// Frame-source abstraction: anything that can inject frames into NIC
+// ports. The synthetic generator (TrafficGen) and the pcap replayer
+// (cap::PcapReplayer) both implement it, so the model driver and benches
+// can be fed either synthetic load or a recorded capture through one
+// interface.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "nic/nic.hpp"
+
+namespace ps::gen {
+
+/// Outcome of one injection call: `offered` frames were presented to the
+/// ports, `accepted` of them fit in RX rings (the difference is ring-full
+/// drop). offered < max means the source ran out (finite captures).
+struct OfferResult {
+  u64 offered = 0;
+  u64 accepted = 0;
+};
+
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+
+  /// Inject up to `max_frames` frames round-robin across `ports`.
+  virtual OfferResult offer_some(std::span<nic::NicPort* const> ports, u64 max_frames) = 0;
+
+  /// True once the source can produce no further frames (a drained
+  /// capture). Synthetic generators never exhaust.
+  virtual bool exhausted() const = 0;
+
+  /// Mean wire bytes per offered frame (frame + Ethernet overhead) — the
+  /// model driver uses it to convert accepted frames to input Gbps for
+  /// variable-size sources (IMIX, captures).
+  virtual double mean_wire_bytes() const = 0;
+};
+
+}  // namespace ps::gen

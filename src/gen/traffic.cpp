@@ -1,17 +1,30 @@
 #include "gen/traffic.hpp"
 
+#include <algorithm>
+
 #include "common/token_bucket.hpp"
 #include "net/checksum.hpp"
 
 namespace ps::gen {
 
 TrafficGen::TrafficGen(TrafficConfig config)
-    : config_(config), rng_(config.seed), per_port_sunk_(64) {}
+    : config_(config), rng_(config.seed), per_port_sunk_(64) {
+  if (config_.flow_dist == FlowDist::kZipf && config_.flow_count != 0) {
+    // Pre-size the popularity table here, outside the hot path: sampling
+    // millions of flows must allocate nothing in steady state (§13).
+    zipf_ = std::make_unique<ZipfSampler>(config_.flow_count, config_.zipf_exponent);
+  }
+  u32 max_frame = config_.frame_size;
+  if (config_.size_dist == SizeDist::kImix) {
+    max_frame = *std::max_element(kImixPattern.begin(), kImixPattern.end());
+  }
+  scratch_.reserve(max_frame);
+}
 
-net::FrameBuffer TrafficGen::build(u32 src_entropy, u32 dst_entropy, u16 src_port,
-                                   u16 dst_port) {
+void TrafficGen::build_into(net::FrameBuffer& out, u32 frame_size, u32 src_entropy,
+                            u32 dst_entropy, u16 src_port, u16 dst_port) {
   net::FrameSpec spec;
-  spec.frame_size = config_.frame_size;
+  spec.frame_size = frame_size;
   spec.src_port = src_port;
   spec.dst_port = dst_port;
 
@@ -22,7 +35,8 @@ net::FrameBuffer TrafficGen::build(u32 src_entropy, u32 dst_entropy, u16 src_por
     if (!config_.ipv4_dst_pool.empty()) {
       dst = net::Ipv4Addr(config_.ipv4_dst_pool[dst_entropy % config_.ipv4_dst_pool.size()]);
     }
-    return net::build_udp_ipv4(spec, src, dst);
+    net::build_udp_ipv4_into(out, spec, src, dst);
+    return;
   }
   const auto src = net::Ipv6Addr::from_words(0x2001'0000'0000'0000ULL | src_entropy,
                                              src_entropy * 0x9e3779b97f4a7c15ULL);
@@ -31,22 +45,43 @@ net::FrameBuffer TrafficGen::build(u32 src_entropy, u32 dst_entropy, u16 src_por
   if (!config_.ipv6_dst_pool.empty()) {
     dst = config_.ipv6_dst_pool[dst_entropy % config_.ipv6_dst_pool.size()];
   }
-  return net::build_udp_ipv6(spec, src, dst);
+  net::build_udp_ipv6_into(out, spec, src, dst);
+}
+
+u32 TrafficGen::next_flow_id() {
+  if (zipf_ != nullptr) return zipf_->sample(rng_);
+  return static_cast<u32>(rng_.next_below(config_.flow_count));
 }
 
 net::FrameBuffer TrafficGen::next_frame() {
+  net::FrameBuffer out;
+  next_frame_into(out);
+  return out;
+}
+
+void TrafficGen::next_frame_into(net::FrameBuffer& out) {
+  const u32 size = config_.size_dist == SizeDist::kImix ? imix_frame_size(sequence_)
+                                                        : config_.frame_size;
   ++sequence_;
   if (config_.flow_count != 0) {
-    return frame_for_flow(static_cast<u32>(rng_.next_below(config_.flow_count)));
+    frame_for_flow_into(out, size, next_flow_id(), 0);
+    return;
   }
   const u32 src = rng_.next_u32();
   const u32 dst = rng_.next_u32();
   const u16 sport = static_cast<u16>(rng_.next_range(1024, 65535));
   const u16 dport = static_cast<u16>(rng_.next_range(1, 65535));
-  return build(src, dst, sport, dport);
+  build_into(out, size, src, dst, sport, dport);
 }
 
 net::FrameBuffer TrafficGen::frame_for_flow(u32 flow_id, u32 sequence) {
+  net::FrameBuffer out;
+  frame_for_flow_into(out, config_.frame_size, flow_id, sequence);
+  return out;
+}
+
+void TrafficGen::frame_for_flow_into(net::FrameBuffer& out, u32 frame_size, u32 flow_id,
+                                     u32 sequence) {
   // Stable per-flow tuple derived from the id; sequence is carried in the
   // payload (after the UDP header) for ordering checks.
   Rng flow_rng(config_.seed * 0x2545f491'4f6cdd1dULL + flow_id);
@@ -54,50 +89,85 @@ net::FrameBuffer TrafficGen::frame_for_flow(u32 flow_id, u32 sequence) {
   const u32 dst = flow_rng.next_u32();
   const u16 sport = static_cast<u16>(flow_rng.next_range(1024, 65535));
   const u16 dport = static_cast<u16>(flow_rng.next_range(1, 65535));
-  auto frame = build(src, dst, sport, dport);
+  build_into(out, frame_size, src, dst, sport, dport);
 
   const std::size_t payload_offset =
       (config_.kind == TrafficKind::kIpv4Udp ? net::kMinUdpIpv4Frame : net::kMinUdpIpv6Frame);
-  if (frame.size() >= payload_offset + 8) {
-    store_be32(frame.data() + payload_offset, flow_id);
-    store_be32(frame.data() + payload_offset + 4, sequence);
+  if (out.size() >= payload_offset + 8) {
+    store_be32(out.data() + payload_offset, flow_id);
+    store_be32(out.data() + payload_offset + 4, sequence);
     if (config_.kind == TrafficKind::kIpv6Udp) {
       // The stamp rewrote payload bytes after build: re-fill the UDP
       // checksum (mandatory for IPv6) so generated flows still parse.
-      auto& ip =
-          *reinterpret_cast<net::Ipv6Header*>(frame.data() + sizeof(net::EthernetHeader));
+      auto& ip = *reinterpret_cast<net::Ipv6Header*>(out.data() + sizeof(net::EthernetHeader));
       net::udp6_fill_checksum(
-          ip, {frame.data() + sizeof(net::EthernetHeader) + sizeof(net::Ipv6Header),
+          ip, {out.data() + sizeof(net::EthernetHeader) + sizeof(net::Ipv6Header),
                ip.payload_length()});
     }
   }
-  return frame;
 }
 
 u64 TrafficGen::offer(std::span<nic::NicPort* const> ports, u64 count) {
   u64 accepted = 0;
   for (u64 i = 0; i < count; ++i) {
-    auto frame = next_frame();
+    next_frame_into(scratch_);
     nic::NicPort* port = ports[i % ports.size()];
-    if (port->receive_frame(frame)) ++accepted;
+    if (port->receive_frame(scratch_)) ++accepted;
   }
   return accepted;
+}
+
+OfferResult TrafficGen::offer_some(std::span<nic::NicPort* const> ports, u64 max_frames) {
+  return {max_frames, offer(ports, max_frames)};
+}
+
+double TrafficGen::mean_wire_bytes() const {
+  if (config_.size_dist == SizeDist::kImix) return imix_mean_wire_bytes();
+  return static_cast<double>(wire_bytes(config_.frame_size));
 }
 
 TrafficGen::PacedResult TrafficGen::offer_paced(std::span<nic::NicPort* const> ports,
                                                 double gbps, Picos duration) {
   PacedResult result;
-  const double frames_per_sec =
-      gbps * 1e9 / (static_cast<double>(wire_bytes(config_.frame_size)) * 8.0);
+  const double frames_per_sec = gbps * 1e9 / (mean_wire_bytes() * 8.0);
   TokenBucket bucket(frames_per_sec, /*burst=*/8.0);
 
   Picos now = 0;
   while (now < duration) {
     if (bucket.try_consume(now)) {
-      auto frame = next_frame();
+      next_frame_into(scratch_);
       nic::NicPort* port = ports[result.offered % ports.size()];
       ++result.offered;
-      if (port->receive_frame(frame)) ++result.accepted;
+      if (port->receive_frame(scratch_)) ++result.accepted;
+    } else {
+      now = std::min(duration, bucket.next_available(now));
+    }
+  }
+  return result;
+}
+
+TrafficGen::PacedResult TrafficGen::offer_bursty(std::span<nic::NicPort* const> ports,
+                                                 double gbps, Picos duration, Picos on_period,
+                                                 Picos off_period) {
+  PacedResult result;
+  if (on_period <= 0) return result;
+  const double frames_per_sec = gbps * 1e9 / (mean_wire_bytes() * 8.0);
+  TokenBucket bucket(frames_per_sec, /*burst=*/8.0);
+  const Picos cycle = on_period + off_period;
+
+  Picos now = 0;
+  while (now < duration) {
+    const Picos phase = now % cycle;
+    if (phase >= on_period) {
+      // Off window: skip straight to the next burst's start.
+      now = now - phase + cycle;
+      continue;
+    }
+    if (bucket.try_consume(now)) {
+      next_frame_into(scratch_);
+      nic::NicPort* port = ports[result.offered % ports.size()];
+      ++result.offered;
+      if (port->receive_frame(scratch_)) ++result.accepted;
     } else {
       now = std::min(duration, bucket.next_available(now));
     }
@@ -117,6 +187,13 @@ void TrafficGen::reset_sink() {
   sunk_packets_.store(0, std::memory_order_relaxed);
   sunk_bytes_.store(0, std::memory_order_relaxed);
   for (auto& c : per_port_sunk_) c.store(0, std::memory_order_relaxed);
+}
+
+void TrafficGen::register_metrics(telemetry::MetricsRegistry& registry) {
+  registry.register_probe("gen.sunk_packets", telemetry::MetricKind::kCounter,
+                          [this] { return sunk_packets(); });
+  registry.register_probe("gen.sunk_bytes", telemetry::MetricKind::kCounter,
+                          [this] { return sunk_bytes(); });
 }
 
 }  // namespace ps::gen

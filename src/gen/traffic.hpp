@@ -1,18 +1,26 @@
 // Packet generator / sink (section 6.1): synthesizes traffic with random
 // destination IP addresses and UDP ports so IP forwarding and OpenFlow
 // look up a different entry for every packet, and acts as the sink for
-// whatever the router transmits back.
+// whatever the router transmits back. Beyond the uniform fixed-size
+// traffic of the paper's testbed, the generator produces the realistic
+// load shapes of DESIGN.md §18: IMIX frame-size mixes, Zipf-skewed flow
+// popularity over millions of pre-sized flows, and on-off burst pacing —
+// all allocation-free in steady state (§13).
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/atomic_shim.hpp"
 #include "common/rng.hpp"
+#include "gen/shape.hpp"
+#include "gen/source.hpp"
 #include "net/packet.hpp"
 #include "nic/nic.hpp"
 #include "nic/wire.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ps::gen {
 
@@ -21,12 +29,29 @@ enum class TrafficKind : u8 {
   kIpv6Udp,
 };
 
+/// Frame-size distribution of the generated stream.
+enum class SizeDist : u8 {
+  kFixed,  // every frame is config.frame_size bytes
+  kImix,   // the 7:4:1 IMIX window of shape.hpp (64/594/1518 B)
+};
+
+/// Flow-popularity distribution when flow_count > 0.
+enum class FlowDist : u8 {
+  kUniform,  // every flow equally likely
+  kZipf,     // rank r drawn ~ 1/(r+1)^zipf_exponent (heavy-tailed)
+};
+
 struct TrafficConfig {
   TrafficKind kind = TrafficKind::kIpv4Udp;
   u32 frame_size = net::kMinFrameSize;
   u64 seed = 7;
   /// Number of distinct flows (5-tuples); 0 = every packet its own flow.
   u32 flow_count = 0;
+  SizeDist size_dist = SizeDist::kFixed;
+  FlowDist flow_dist = FlowDist::kUniform;
+  /// Zipf skew (only read when flow_dist == kZipf). 1.0 is the classic
+  /// web/flow-popularity exponent.
+  double zipf_exponent = 1.0;
   /// Destination pools: when non-empty, destinations are drawn uniformly
   /// from here instead of the full address space. The throughput figures
   /// sample destinations covered by the forwarding table (a packet that
@@ -36,7 +61,7 @@ struct TrafficConfig {
   std::vector<net::Ipv6Addr> ipv6_dst_pool;
 };
 
-class TrafficGen final : public nic::WireSink {
+class TrafficGen final : public nic::WireSink, public FrameSource {
  public:
   explicit TrafficGen(TrafficConfig config = {});
 
@@ -44,6 +69,11 @@ class TrafficGen final : public nic::WireSink {
 
   /// Produce the next frame (deterministic sequence from the seed).
   net::FrameBuffer next_frame();
+
+  /// Allocation-free variant: overwrites `out` in place. Once `out` has
+  /// grown to the largest frame of the mix no allocation occurs — the
+  /// hot path for million-flow steady-state runs.
+  void next_frame_into(net::FrameBuffer& out);
 
   /// Produce a frame for flow `flow_id` (stable 5-tuple per id) — used by
   /// ordering tests, which need repeated packets of one flow.
@@ -63,6 +93,19 @@ class TrafficGen final : public nic::WireSink {
   };
   PacedResult offer_paced(std::span<nic::NicPort* const> ports, double gbps, Picos duration);
 
+  /// On-off burst pacing on the model clock: alternate `on_period` of
+  /// emission at `gbps` with `off_period` of silence, for `duration` of
+  /// simulated time. The bursty arrival shape real links show (§18);
+  /// mean rate is gbps * on/(on+off).
+  PacedResult offer_bursty(std::span<nic::NicPort* const> ports, double gbps, Picos duration,
+                           Picos on_period, Picos off_period);
+
+  // --- FrameSource -----------------------------------------------------------
+  OfferResult offer_some(std::span<nic::NicPort* const> ports, u64 max_frames) override;
+  bool exhausted() const override { return false; }  // synthetic: endless
+  /// Mean wire bytes per generated frame (exact for both size dists).
+  double mean_wire_bytes() const override;
+
   // --- sink side -------------------------------------------------------------
   // Sink counters are atomic: with the real-threaded Router, several worker
   // cores transmit into this sink concurrently.
@@ -75,12 +118,23 @@ class TrafficGen final : public nic::WireSink {
   }
   void reset_sink();
 
+  /// Expose the generator's sink side under `gen.*` (registry-sync'd with
+  /// the README metric table): gen.sunk_packets, gen.sunk_bytes.
+  void register_metrics(telemetry::MetricsRegistry& registry);
+
  private:
-  net::FrameBuffer build(u32 src_entropy, u32 dst_entropy, u16 src_port, u16 dst_port);
+  void build_into(net::FrameBuffer& out, u32 frame_size, u32 src_entropy, u32 dst_entropy,
+                  u16 src_port, u16 dst_port);
+  void frame_for_flow_into(net::FrameBuffer& out, u32 frame_size, u32 flow_id, u32 sequence);
+  u32 next_flow_id();
 
   TrafficConfig config_;
   Rng rng_;
   u64 sequence_ = 0;
+  /// Pre-sized Zipf CDF (flow_dist == kZipf only): built once at
+  /// construction so million-flow sampling allocates nothing per frame.
+  std::unique_ptr<ZipfSampler> zipf_;
+  net::FrameBuffer scratch_;  // reused by offer paths (allocation-free)
   // mc: gen.sunk -- relaxed sink accounting (wire-side writer)
   ps::atomic<u64> sunk_packets_{0};
   // mc: gen.sunk

@@ -69,8 +69,15 @@ ParseStatus parse_packet(u8* data, u32 length, PacketView& out) {
 }
 
 FrameBuffer build_udp_ipv4(const FrameSpec& spec, Ipv4Addr src, Ipv4Addr dst) {
+  FrameBuffer frame;
+  build_udp_ipv4_into(frame, spec, src, dst);
+  return frame;
+}
+
+void build_udp_ipv4_into(FrameBuffer& frame, const FrameSpec& spec, Ipv4Addr src,
+                         Ipv4Addr dst) {
   const u32 size = std::max(spec.frame_size, kMinUdpIpv4Frame);
-  FrameBuffer frame(size, 0);
+  frame.assign(size, 0);
 
   auto& eth = *reinterpret_cast<EthernetHeader*>(frame.data());
   eth.set_dst(spec.dst_mac);
@@ -94,13 +101,18 @@ FrameBuffer build_udp_ipv4(const FrameSpec& spec, Ipv4Addr src, Ipv4Addr dst) {
   udp.set_dst_port(spec.dst_port);
   udp.set_length(static_cast<u16>(size - sizeof(EthernetHeader) - sizeof(Ipv4Header)));
   udp.set_checksum(0);  // optional for IPv4; generator leaves it zero
-
-  return frame;
 }
 
 FrameBuffer build_udp_ipv6(const FrameSpec& spec, const Ipv6Addr& src, const Ipv6Addr& dst) {
+  FrameBuffer frame;
+  build_udp_ipv6_into(frame, spec, src, dst);
+  return frame;
+}
+
+void build_udp_ipv6_into(FrameBuffer& frame, const FrameSpec& spec, const Ipv6Addr& src,
+                         const Ipv6Addr& dst) {
   const u32 size = std::max(spec.frame_size, kMinUdpIpv6Frame);
-  FrameBuffer frame(size, 0);
+  frame.assign(size, 0);
 
   auto& eth = *reinterpret_cast<EthernetHeader*>(frame.data());
   eth.set_dst(spec.dst_mac);
@@ -121,8 +133,6 @@ FrameBuffer build_udp_ipv6(const FrameSpec& spec, const Ipv6Addr& src, const Ipv
   udp.set_length(static_cast<u16>(size - sizeof(EthernetHeader) - sizeof(Ipv6Header)));
   udp6_fill_checksum(ip, {frame.data() + sizeof(EthernetHeader) + sizeof(Ipv6Header),
                           ip.payload_length()});
-
-  return frame;
 }
 
 }  // namespace ps::net

@@ -75,6 +75,14 @@ FrameBuffer build_udp_ipv4(const FrameSpec& spec, Ipv4Addr src, Ipv4Addr dst);
 /// Build a UDP-over-IPv6 frame (frame_size >= 62 B).
 FrameBuffer build_udp_ipv6(const FrameSpec& spec, const Ipv6Addr& src, const Ipv6Addr& dst);
 
+/// In-place variants for allocation-free steady-state generation
+/// (DESIGN.md §13): `out` is resized and overwritten; once its capacity
+/// has grown to the largest frame in the mix, no further allocation
+/// occurs. The returning builders above are thin wrappers over these.
+void build_udp_ipv4_into(FrameBuffer& out, const FrameSpec& spec, Ipv4Addr src, Ipv4Addr dst);
+void build_udp_ipv6_into(FrameBuffer& out, const FrameSpec& spec, const Ipv6Addr& src,
+                         const Ipv6Addr& dst);
+
 /// Minimum frame sizes the builders accept.
 inline constexpr u32 kMinUdpIpv4Frame =
     sizeof(EthernetHeader) + sizeof(Ipv4Header) + sizeof(UdpHeader);

@@ -117,6 +117,10 @@ void NicPort::charge_tx_dma(u32 frame_bytes) {
 bool NicPort::receive_frame(std::span<const u8> frame) {
   if (frame.empty() || frame.size() > mem::kDataCellSize) return false;
 
+  // Passive tap first: a wire tap observes arrivals before any NIC-side
+  // drop decision (ring-full, carrier, fault injection).
+  if (rx_tap_ != nullptr) rx_tap_->on_frame(port_id_, frame);
+
   // Hardware-side parse: RSS fields + IPv4 checksum verification (the
   // 82599 marks bad-checksum packets in the descriptor status).
   net::PacketView view;

@@ -86,6 +86,16 @@ class NicPort {
   /// Peer receiving transmitted frames (may be null = drop after counting).
   void set_wire_sink(WireSink* sink) { wire_sink_ = sink; }
 
+  /// Current TX peer (null when defaulted) — lets a capture tap interpose
+  /// itself between the port and the existing sink (cap::PortTap).
+  WireSink* wire_sink() const { return wire_sink_; }
+
+  /// RX-side wire tap (may be null = off): sees every frame that arrives
+  /// on the wire, *before* ring-full or carrier drops — the semantics of a
+  /// passive optical tap, which observes the wire, not the driver. Used by
+  /// ps::cap to record live captures (DESIGN.md §18).
+  void set_rx_tap(WireSink* tap) { rx_tap_ = tap; }
+
   /// Route this port's fault-injection checks through `injector` (null
   /// disables). Registered points: "nic.rx_ring_full" (RX ring-full burst),
   /// "nic.rx_corrupt" (frame corrupted on DMA, flagged in the descriptor),
@@ -223,6 +233,7 @@ class NicPort {
   ps::atomic<u64> carrier_lost_frames_{0};
   bool numa_blind_ = false;
   WireSink* wire_sink_ = nullptr;
+  WireSink* rx_tap_ = nullptr;
   NullWire default_sink_;
   InterruptHandler irq_handler_;
 };

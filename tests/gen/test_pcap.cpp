@@ -92,6 +92,62 @@ TEST(Pcap, AsWireSinkBehindPorts) {
   std::remove(path.c_str());
 }
 
+TEST(Pcap, SyntheticClockStampsOneMicrosecondPerFrame) {
+  // The deterministic capture mode (DESIGN.md §18): frame i is stamped i
+  // microseconds after the first frame. Epoch is the first frame written,
+  // so captures are byte-identical run to run.
+  const auto path = temp_path("synthetic.pcap");
+  {
+    PcapWriter writer(path, PcapClock::kSynthetic);
+    const std::vector<u8> frame(64, 0x11);
+    for (int i = 0; i < 4; ++i) writer.on_frame(0, frame);
+  }
+  const auto records = read_pcap_records(path);
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].timestamp, static_cast<Picos>(i) * kPicosPerMicro) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, MonotonicClockIsNonDecreasingFromConstruction) {
+  // Wall-capture mode: microseconds of steady_clock elapsed since the
+  // writer was constructed, clamped non-decreasing — always replayable.
+  const auto path = temp_path("monotonic.pcap");
+  {
+    PcapWriter writer(path, PcapClock::kMonotonic);
+    const std::vector<u8> frame(64, 0x22);
+    for (int i = 0; i < 16; ++i) writer.on_frame(0, frame);
+  }
+  const auto records = read_pcap_records(path);
+  ASSERT_EQ(records.size(), 16u);
+  EXPECT_GE(records.front().timestamp, 0);
+  // Epoch is writer construction, not boot or the Unix epoch: the whole
+  // capture spans well under a second of elapsed time.
+  EXPECT_LT(records.back().timestamp, kPicosPerSec);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GE(records[i].timestamp, records[i - 1].timestamp) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, RecordsReaderRoundTripsExplicitStamps) {
+  const auto path = temp_path("records.pcap");
+  const std::vector<u8> small(60, 0x33), big(512, 0x44);
+  {
+    PcapWriter writer(path);
+    writer.write(small, seconds(0.25));
+    writer.write(big, seconds(3.5));
+  }
+  const auto records = read_pcap_records(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].timestamp, seconds(0.25));
+  EXPECT_EQ(records[0].bytes, small);
+  EXPECT_EQ(records[1].timestamp, seconds(3.5));
+  EXPECT_EQ(records[1].bytes, big);
+  std::remove(path.c_str());
+}
+
 TEST(Pcap, ReaderRejectsGarbage) {
   const auto path = temp_path("garbage.pcap");
   {
@@ -100,6 +156,8 @@ TEST(Pcap, ReaderRejectsGarbage) {
   }
   EXPECT_TRUE(read_pcap(path).empty());
   EXPECT_TRUE(read_pcap(temp_path("does-not-exist.pcap")).empty());
+  EXPECT_TRUE(read_pcap_records(path).empty());
+  EXPECT_TRUE(read_pcap_records(temp_path("does-not-exist.pcap")).empty());
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,147 @@
+// Load-shape properties (DESIGN.md §18): the IMIX window carries its
+// 7:4:1 ratio exactly, the Zipf sampler's empirical rank frequencies
+// track the analytic distribution, and the million-flow configuration
+// stays allocation-free once warm — the properties the realistic bench
+// series (imix_mpps, zipf1m_mpps) stand on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "gen/shape.hpp"
+#include "gen/traffic.hpp"
+#include "telemetry/alloc_stats.hpp"
+
+namespace ps::gen {
+namespace {
+
+TEST(Imix, WindowFractionsAreExact) {
+  // Over any aligned 12-frame window the mix is exactly 7 x 64, 4 x 594,
+  // 1 x 1518 — not just in the limit.
+  TrafficGen traffic({.seed = 3, .size_dist = SizeDist::kImix});
+  for (int window = 0; window < 8; ++window) {
+    std::map<std::size_t, int> counts;
+    for (int i = 0; i < 12; ++i) ++counts[traffic.next_frame().size()];
+    EXPECT_EQ(counts[64], 7) << "window " << window;
+    EXPECT_EQ(counts[594], 4) << "window " << window;
+    EXPECT_EQ(counts[1518], 1) << "window " << window;
+  }
+}
+
+TEST(Imix, MeanWireBytesMatchesPattern) {
+  double sum = 0.0;
+  for (u32 size : kImixPattern) sum += static_cast<double>(wire_bytes(size));
+  const double expected = sum / static_cast<double>(kImixPattern.size());
+  EXPECT_DOUBLE_EQ(imix_mean_wire_bytes(), expected);
+
+  TrafficGen traffic({.size_dist = SizeDist::kImix});
+  EXPECT_DOUBLE_EQ(traffic.mean_wire_bytes(), expected);
+}
+
+TEST(Zipf, CdfIsProperDistribution) {
+  ZipfSampler zipf(10'000, 1.0);
+  EXPECT_EQ(zipf.size(), 10'000u);
+  double total = 0.0;
+  for (u32 r = 0; r < zipf.size(); ++r) {
+    EXPECT_GT(zipf.probability(r), 0.0);
+    if (r > 0) {
+      EXPECT_LE(zipf.probability(r), zipf.probability(r - 1)) << r;
+    }
+    total += zipf.probability(r);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, EmpiricalRankFrequencyTracksAnalytic) {
+  // Draw enough samples that the head ranks have tight empirical
+  // frequencies, then compare against probability(r) within 10 %.
+  constexpr u32 kRanks = 1000;
+  constexpr u64 kSamples = 400'000;
+  ZipfSampler zipf(kRanks, 1.0);
+  Rng rng(99);
+  std::vector<u64> hits(kRanks, 0);
+  for (u64 i = 0; i < kSamples; ++i) {
+    const u32 r = zipf.sample(rng);
+    ASSERT_LT(r, kRanks);
+    ++hits[r];
+  }
+  for (u32 r = 0; r < 20; ++r) {
+    const double expected = zipf.probability(r);
+    const double observed = static_cast<double>(hits[r]) / static_cast<double>(kSamples);
+    EXPECT_NEAR(observed, expected, expected * 0.10) << "rank " << r;
+  }
+  // Heavy tail: rank 0 under s=1.0 over 1000 ranks has ~13 % of all
+  // traffic — orders of magnitude above the uniform 0.1 %.
+  EXPECT_GT(static_cast<double>(hits[0]) / static_cast<double>(kSamples), 0.10);
+}
+
+TEST(Zipf, DeterministicGivenSeed) {
+  ZipfSampler zipf(4096, 1.2);
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(zipf.sample(a), zipf.sample(b)) << i;
+}
+
+TEST(Zipf, MillionFlowGenerationIsAllocationFree) {
+  if (!telemetry::alloc_stats_enabled()) {
+    GTEST_SKIP() << "built without PS_ALLOC_STATS (sanitizer build?)";
+  }
+  // The §13 steady-state contract extended to the generator: with the
+  // Zipf table and scratch frame pre-sized at construction, producing
+  // frames across a million distinct flows must not allocate.
+  TrafficGen traffic({.seed = 11,
+                      .flow_count = 1'000'000,
+                      .size_dist = SizeDist::kImix,
+                      .flow_dist = FlowDist::kZipf});
+  net::FrameBuffer scratch;
+  // Warmup: grow the caller-side buffer to the largest frame of the mix.
+  for (int i = 0; i < 64; ++i) traffic.next_frame_into(scratch);
+
+  const u64 before = telemetry::allocations();
+  for (int i = 0; i < 20'000; ++i) traffic.next_frame_into(scratch);
+  const u64 after = telemetry::allocations();
+  EXPECT_EQ(after - before, 0u)
+      << "million-flow Zipf generation allocated " << (after - before)
+      << " times in steady state";
+}
+
+TEST(Zipf, MillionFlowModeDrawsManyDistinctFlows) {
+  // zipf1m_mpps must exercise genuinely distinct flows, not a head so
+  // heavy the tail never appears: 50k draws over 1M ranks at s=1.0
+  // should see thousands of distinct ranks.
+  ZipfSampler zipf(1'000'000, 1.0);
+  Rng rng(5);
+  std::unordered_set<u32> seen;
+  for (int i = 0; i < 50'000; ++i) seen.insert(zipf.sample(rng));
+  EXPECT_GT(seen.size(), 10'000u);
+  EXPECT_LE(*std::max_element(seen.begin(), seen.end()), 1'000'000u - 1);
+}
+
+TEST(Bursty, OnOffPacingHitsDutyCycleMeanRate) {
+  // offer_bursty alternates on/off windows on the model clock; the mean
+  // offered rate over the run is gbps * on/(on+off).
+  nic::NicPort port(0, pcie::Topology::single_node(), {.ring_size = 64});
+  nic::NicPort* ports[] = {&port};
+  TrafficGen traffic({.seed = 17});
+
+  const double gbps = 1.0;
+  const Picos duration = seconds(0.002);
+  const Picos on = seconds(0.0001), off = seconds(0.0001);  // 50 % duty
+  const auto result = traffic.offer_bursty(ports, gbps, duration, on, off);
+
+  const double frames_per_sec = gbps * 1e9 / (traffic.mean_wire_bytes() * 8.0);
+  const double expected = frames_per_sec * to_seconds(duration) * 0.5;
+  EXPECT_NEAR(static_cast<double>(result.offered), expected, expected * 0.15);
+
+  // Degenerate shapes: zero off-period reduces to plain pacing (double
+  // the duty cycle's frames), zero on-period emits nothing.
+  TrafficGen steady({.seed = 17});
+  const auto all_on = steady.offer_bursty(ports, gbps, duration, on, 0);
+  EXPECT_NEAR(static_cast<double>(all_on.offered), expected * 2.0, expected * 0.2);
+  EXPECT_EQ(traffic.offer_bursty(ports, gbps, duration, 0, off).offered, 0u);
+}
+
+}  // namespace
+}  // namespace ps::gen

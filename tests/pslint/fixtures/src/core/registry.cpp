@@ -1,8 +1,8 @@
 // Fixture: registry-sync fires both ways — registered-but-undocumented
 // names and documented-but-unregistered ones (router.phantom,
 // integrity.phantom, pcie.phantom_fault in docs.md) — across every
-// checked prefix family: metrics (router.*, integrity.*) and fault
-// points (pcie.*).
+// checked prefix family: metrics (router.*, integrity.*, and the
+// capture/generator families cap.*, gen.*) and fault points (pcie.*).
 #include <string_view>
 struct Reg { template <typename F> void register_probe(const char*, int, F); };
 
@@ -11,6 +11,10 @@ void wire(Reg& reg) {
   reg.register_probe("router.rx_packets", 0, [] { return 0; });       // ok
   reg.register_probe("integrity.ghost_metric", 0, [] { return 0; });  // finding
   reg.register_probe("integrity.quarantined", 0, [] { return 0; });   // ok
+  reg.register_probe("cap.ghost_metric", 0, [] { return 0; });        // finding
+  reg.register_probe("cap.tap.frames", 0, [] { return 0; });          // ok
+  reg.register_probe("gen.ghost_metric", 0, [] { return 0; });        // finding
+  reg.register_probe("gen.sunk_packets", 0, [] { return 0; });        // ok
 }
 
 // Fault-point declarations: the doc tables must carry these too.

@@ -137,7 +137,7 @@ SINGLE_WRITER = [
 
 REGISTRY_PREFIX_RE = re.compile(
     r"^(router|gpu|slowpath|supervisor|engine|nic|core|mem|fib|control|"
-    r"integrity|pcie|ring)\.")
+    r"integrity|pcie|ring|cap|gen)\.")
 
 FAULT_SITE_RE = re.compile(
     r"register_point\s*\(|should_fire\s*\(|check_fault\s*\(|"
